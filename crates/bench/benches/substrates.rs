@@ -1,0 +1,144 @@
+//! Criterion micro-benchmarks of the substrate kernels: nearest-neighbour
+//! search, LOF, clustering, the statistics layer and the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use navarchos_cluster::{linkage, Linkage};
+use navarchos_fleetsim::faults::FaultEffects;
+use navarchos_fleetsim::physics::{simulate_ride, ThermalState};
+use navarchos_fleetsim::usage::RideKind;
+use navarchos_fleetsim::vehicle::VehicleModel;
+use navarchos_neighbors::{KdTree, KnnIndex, LofModel, Metric, SortedNeighbors};
+use navarchos_dsp::power_spectrum;
+use navarchos_iforest::{IsolationForest, IsolationForestParams};
+use navarchos_stat::correlation::pearson;
+use navarchos_stat::martingale::{conformal_pvalue, PowerMartingale};
+use navarchos_tsframe::sax::SaxEncoder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_neighbors(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let reference: Vec<f64> = (0..1000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let queries: Vec<f64> = (0..1024).map(|_| rng.gen_range(-1.2..1.2)).collect();
+
+    let mut group = c.benchmark_group("nn_1d_1024_queries");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    let sorted = SortedNeighbors::new(&reference);
+    group.bench_function("sorted_binary_search", |b| {
+        b.iter(|| queries.iter().map(|&q| sorted.nearest_distance(q)).sum::<f64>())
+    });
+    group.bench_function("brute_force", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&q| reference.iter().map(|&v| (v - q).abs()).fold(f64::INFINITY, f64::min))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+
+    let points: Vec<Vec<f64>> =
+        (0..500).map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let mut group = c.benchmark_group("knn_lof");
+    let idx = KnnIndex::new(&points, 6, Metric::Euclidean);
+    let q: Vec<f64> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    group.bench_function("knn_k10_n500", |b| b.iter(|| idx.knn_score(&q, 10, None)));
+    group.bench_function("lof_fit_n500", |b| {
+        b.iter(|| LofModel::fit(&points, 6, 10, Metric::Euclidean).reference_scores()[0])
+    });
+    group.finish();
+
+    // k-d tree vs brute force at the fleet-level point counts where the
+    // tree starts to pay for itself.
+    let big: Vec<Vec<f64>> =
+        (0..20_000).map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let tree = KdTree::new(&big, 6);
+    let brute = KnnIndex::new(&big, 6, Metric::Euclidean);
+    let mut group = c.benchmark_group("knn_k10_n20000");
+    group.bench_function("kdtree", |b| b.iter(|| tree.knn_score(&q, 10, None)));
+    group.bench_function("brute_force", |b| b.iter(|| brute.knn_score(&q, 10, None)));
+    group.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("agglomerative_linkage");
+    for n in [200usize, 500, 1000] {
+        let pts: Vec<f64> = (0..n * 4).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| linkage(pts, 4, Linkage::Average).merges().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_stat(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x: Vec<f64> = (0..45).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let y: Vec<f64> = (0..45).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let reference: Vec<f64> = (0..200).map(|_| rng.gen_range(0.0..1.0)).collect();
+
+    let mut group = c.benchmark_group("stat_kernels");
+    group.bench_function("pearson_45", |b| b.iter(|| pearson(&x, &y)));
+    group.bench_function("conformal_pvalue_200", |b| {
+        b.iter(|| conformal_pvalue(&reference, 0.42, 0.5))
+    });
+    group.bench_function("martingale_update", |b| {
+        let mut m = PowerMartingale::default().with_window(60);
+        b.iter(|| m.update(0.3))
+    });
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let signal: Vec<f64> = (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let data: Vec<f64> = (0..512 * 6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+    let mut group = c.benchmark_group("extension_kernels");
+    group.bench_function("fft_power_spectrum_128", |b| b.iter(|| power_spectrum(&signal)));
+    let sax = SaxEncoder::new(6, 5);
+    group.bench_function("sax_encode_45", |b| b.iter(|| sax.encode(&signal[..45])));
+    group.sample_size(20);
+    group.bench_function("iforest_fit_512x6", |b| {
+        b.iter(|| {
+            IsolationForest::fit(&data, 6, &IsolationForestParams { n_trees: 50, ..Default::default() })
+                .n_trees()
+        })
+    });
+    let forest =
+        IsolationForest::fit(&data, 6, &IsolationForestParams { n_trees: 50, ..Default::default() });
+    let q: Vec<f64> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    group.bench_function("iforest_score", |b| b.iter(|| forest.score(&q)));
+    group.finish();
+}
+
+fn bench_fleetsim(c: &mut Criterion) {
+    let model = VehicleModel::compact();
+    let mut group = c.benchmark_group("simulate_ride");
+    group.throughput(Throughput::Elements(60));
+    group.bench_function("regional_60min", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut out = Vec::with_capacity(64);
+        b.iter(|| {
+            out.clear();
+            let mut thermal = ThermalState::cold(15.0);
+            simulate_ride(
+                &model,
+                &FaultEffects::default(),
+                &mut thermal,
+                RideKind::Regional,
+                0,
+                60,
+                15.0,
+                &mut rng,
+                &mut out,
+            );
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbors, bench_cluster, bench_stat, bench_extensions, bench_fleetsim);
+criterion_main!(benches);

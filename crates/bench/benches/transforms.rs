@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the step-1 data transformations — the
+//! kernels behind the transformation columns of Table 1, including the
+//! window/stride ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use navarchos_fleetsim::{FleetConfig, PID_NAMES};
+use navarchos_tsframe::{
+    CorrelationTransform, DeltaTransform, Frame, MeanTransform, RawTransform, Transform,
+};
+
+/// One vehicle-day-scale telemetry frame (~7k records).
+fn telemetry() -> Frame {
+    let mut cfg = FleetConfig::small(1);
+    cfg.n_vehicles = 1;
+    cfg.n_recorded = 1;
+    cfg.n_failures = 0;
+    cfg.n_days = 60;
+    let fleet = cfg.generate();
+    fleet.vehicles[0].frame.clone()
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let frame = telemetry();
+    let names = frame.names().to_vec();
+    let mut group = c.benchmark_group("transform");
+    group.throughput(Throughput::Elements(frame.len() as u64));
+
+    group.bench_function("raw", |b| {
+        let mut t = RawTransform::new(&names);
+        b.iter(|| t.apply(&frame).len())
+    });
+    group.bench_function("delta", |b| {
+        let mut t = DeltaTransform::new(&names);
+        b.iter(|| t.apply(&frame).len())
+    });
+    group.bench_function("mean_w45", |b| {
+        let mut t = MeanTransform::new(&names, 45, 3);
+        b.iter(|| t.apply(&frame).len())
+    });
+    group.bench_function("correlation_w45", |b| {
+        let mut t = CorrelationTransform::new(&names, 45, 3).with_differencing();
+        b.iter(|| t.apply(&frame).len())
+    });
+    group.finish();
+
+    // Window/stride ablation (DESIGN.md): correlation cost scaling.
+    let mut group = c.benchmark_group("correlation_window");
+    for window in [30usize, 45, 60, 90] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            let mut t = CorrelationTransform::new(&names, w, 3).with_differencing();
+            b.iter(|| t.apply(&frame).len())
+        });
+    }
+    group.finish();
+
+    let _ = PID_NAMES;
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

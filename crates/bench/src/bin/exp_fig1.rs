@@ -1,0 +1,9 @@
+//! Regenerates Figure 1 — DTC / repair / service timelines.
+use navarchos_bench::experiments::{dataset_summary, figure1, paper_fleet};
+use navarchos_bench::report::emit;
+
+fn main() {
+    let fleet = paper_fleet();
+    let body = format!("{}\n{}", dataset_summary(&fleet), figure1(&fleet));
+    emit("fig1_event_timelines.txt", &body);
+}

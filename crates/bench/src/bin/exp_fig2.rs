@@ -1,0 +1,9 @@
+//! Regenerates Figure 2 — clustering exploration and LOF outliers.
+use navarchos_bench::experiments::{dataset_summary, figure2, paper_fleet};
+use navarchos_bench::report::emit;
+
+fn main() {
+    let fleet = paper_fleet();
+    let body = format!("{}\n{}", dataset_summary(&fleet), figure2(&fleet));
+    emit("fig2_exploration.txt", &body);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 4 — the setting40 technique × transformation grid.
+use navarchos_bench::experiments::{figure_grid, paper_fleet, run_grid};
+use navarchos_bench::report::emit;
+
+fn main() {
+    let fleet = paper_fleet();
+    let results = run_grid(&fleet);
+    emit("fig4_grid_setting40.txt", &figure_grid(&results, "setting40", 4));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 5 — the setting26 technique × transformation grid.
+use navarchos_bench::experiments::{figure_grid, paper_fleet, run_grid};
+use navarchos_bench::report::emit;
+
+fn main() {
+    let fleet = paper_fleet();
+    let results = run_grid(&fleet);
+    emit("fig5_grid_setting26.txt", &figure_grid(&results, "setting26", 5));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 6 — transformation ranking critical diagrams.
+use navarchos_bench::experiments::{figure6, paper_fleet, run_grid};
+use navarchos_bench::report::emit;
+
+fn main() {
+    let fleet = paper_fleet();
+    let results = run_grid(&fleet);
+    emit("fig6_transform_ranking.txt", &figure6(&results));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 7 — technique ranking critical diagrams.
+use navarchos_bench::experiments::{figure7, paper_fleet, run_grid};
+use navarchos_bench::report::emit;
+
+fn main() {
+    let fleet = paper_fleet();
+    let results = run_grid(&fleet);
+    emit("fig7_technique_ranking.txt", &figure7(&results));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 8 — per-feature anomaly scores of one vehicle.
+use navarchos_bench::experiments::{figure8, paper_fleet, table2};
+use navarchos_bench::report::emit;
+
+fn main() {
+    let fleet = paper_fleet();
+    let (_, outcome) = table2(&fleet);
+    let (factor, _) = outcome.evaluate(&fleet, &fleet.setting26(), 30);
+    emit("fig8_vehicle_trace.txt", &figure8(&fleet, &outcome, factor));
+}

@@ -1,0 +1,8 @@
+//! Scenario-robustness experiment: the headline configuration on fleet
+//! regimes it was never tuned on.
+use navarchos_bench::experiments::scenario_robustness;
+use navarchos_bench::report::emit;
+
+fn main() {
+    emit("scenario_robustness.txt", &scenario_robustness());
+}

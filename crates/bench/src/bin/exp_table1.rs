@@ -1,0 +1,9 @@
+//! Regenerates Table 1 — execution times of the grid cells.
+use navarchos_bench::experiments::{paper_fleet, run_grid, table1};
+use navarchos_bench::report::emit;
+
+fn main() {
+    let fleet = paper_fleet();
+    let results = run_grid(&fleet);
+    emit("table1_execution_time.txt", &table1(&results));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 2 — analytical results of the complete solution.
+use navarchos_bench::experiments::{paper_fleet, table2};
+use navarchos_bench::report::emit;
+
+fn main() {
+    let fleet = paper_fleet();
+    let (body, _) = table2(&fleet);
+    emit("table2_best_configuration.txt", &body);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 3 — the reference-reset-policy ablation.
+use navarchos_bench::experiments::{paper_fleet, table3};
+use navarchos_bench::report::emit;
+
+fn main() {
+    let fleet = paper_fleet();
+    emit("table3_no_service_reset.txt", &table3(&fleet));
+}

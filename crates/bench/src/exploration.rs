@@ -1,0 +1,148 @@
+//! The data-exploration pipeline of Section 2 (Figures 1 and 2): day-level
+//! aggregation, agglomerative clustering, LOF outliers, and the
+//! outlier-to-failure categorisation.
+
+use navarchos_cluster::{linkage, Linkage};
+use navarchos_fleetsim::FleetData;
+use navarchos_neighbors::{LofModel, Metric};
+use navarchos_tsframe::aggregate::{daily_aggregate, znormalize_columns, SECONDS_PER_DAY};
+use navarchos_tsframe::FilterSpec;
+
+/// One aggregated vehicle-day point.
+#[derive(Debug, Clone, Copy)]
+pub struct DayPoint {
+    /// Vehicle index.
+    pub vehicle: usize,
+    /// Day-bucket start timestamp.
+    pub day_start: i64,
+}
+
+/// Aggregates every vehicle's filtered telemetry to per-day mean+std
+/// feature vectors. Returns the (row-major) matrix, its dimension, and
+/// the per-row metadata.
+pub fn day_matrix(fleet: &FleetData, min_records: usize) -> (Vec<f64>, usize, Vec<DayPoint>) {
+    let filter = FilterSpec::navarchos_default();
+    let mut points = Vec::new();
+    let mut meta = Vec::new();
+    let mut dim = 0;
+    for (v, vd) in fleet.vehicles.iter().enumerate() {
+        let filtered = filter.apply(&vd.frame);
+        for agg in daily_aggregate(&filtered, SECONDS_PER_DAY, min_records) {
+            let fv = agg.feature_vector();
+            dim = fv.len();
+            points.extend(fv);
+            meta.push(DayPoint { vehicle: v, day_start: agg.bucket_start });
+        }
+    }
+    (points, dim, meta)
+}
+
+/// Result of the Figure 2 exploration.
+pub struct Exploration {
+    /// Row-major z-normalised feature matrix the clustering ran on.
+    pub points: Vec<f64>,
+    /// Feature dimension of `points`.
+    pub dim: usize,
+    /// Cluster label of each vehicle-day point.
+    pub labels: Vec<usize>,
+    /// Per-row metadata aligned with `labels`.
+    pub meta: Vec<DayPoint>,
+    /// LOF score of each point.
+    pub lof_scores: Vec<f64>,
+    /// Indices of the top-1 % outliers, highest LOF first.
+    pub outliers: Vec<usize>,
+    /// Number of clusters requested.
+    pub k: usize,
+}
+
+/// Outlier-to-failure relation categories of Section 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutlierCategory {
+    /// Outlier at most `horizon` days before the vehicle's next failure.
+    RelatedToFailure,
+    /// No failure occurs after the outlier at all.
+    NoFailureAfter,
+    /// Next failure is more than `horizon` days away.
+    FarFromFailure,
+}
+
+/// Runs the exploration: z-normalised day aggregates → average-linkage
+/// clustering cut at `k` → LOF with neighbourhood `lof_k` → top-1 %
+/// outliers. `max_points` caps the matrix by even subsampling (the
+/// paper itself plots "a sample").
+pub fn explore(fleet: &FleetData, k: usize, lof_k: usize, max_points: usize) -> Exploration {
+    let (mut points, dim, mut meta) = day_matrix(fleet, 30);
+    assert!(dim > 0, "no aggregated data");
+    let n = meta.len();
+    if n > max_points {
+        let stride = n.div_ceil(max_points);
+        let mut kept_points = Vec::with_capacity(max_points * dim);
+        let mut kept_meta = Vec::with_capacity(max_points);
+        for i in (0..n).step_by(stride) {
+            kept_points.extend_from_slice(&points[i * dim..(i + 1) * dim]);
+            kept_meta.push(meta[i]);
+        }
+        points = kept_points;
+        meta = kept_meta;
+    }
+    znormalize_columns(&mut points, dim);
+
+    let dendrogram = linkage(&points, dim, Linkage::Average);
+    let labels = dendrogram.cut_k(k);
+
+    let rows: Vec<Vec<f64>> = points.chunks(dim).map(|c| c.to_vec()).collect();
+    let lof = LofModel::fit(&rows, dim, lof_k, Metric::Euclidean);
+    let lof_scores = lof.reference_scores().to_vec();
+    let outliers = lof.top_outliers((meta.len() / 100).max(1));
+
+    Exploration { points, dim, labels, meta, lof_scores, outliers, k }
+}
+
+impl Exploration {
+    /// Number of distinct vehicles contributing to each cluster.
+    pub fn cluster_vehicle_counts(&self) -> Vec<usize> {
+        (0..self.k)
+            .map(|c| {
+                let mut vehicles: Vec<usize> = self
+                    .meta
+                    .iter()
+                    .zip(&self.labels)
+                    .filter(|&(_, &l)| l == c)
+                    .map(|(m, _)| m.vehicle)
+                    .collect();
+                vehicles.sort_unstable();
+                vehicles.dedup();
+                vehicles.len()
+            })
+            .collect()
+    }
+
+    /// Point count per cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Categorises each top outlier against the vehicle's *recorded
+    /// failures* with the given horizon (days), as in Section 2.
+    pub fn categorize_outliers(&self, fleet: &FleetData, horizon_days: i64) -> Vec<OutlierCategory> {
+        self.outliers
+            .iter()
+            .map(|&i| {
+                let m = self.meta[i];
+                let repairs = fleet.vehicles[m.vehicle].recorded_repairs();
+                let next = repairs.iter().copied().filter(|&r| r > m.day_start).min();
+                match next {
+                    None => OutlierCategory::NoFailureAfter,
+                    Some(r) if r - m.day_start <= horizon_days * SECONDS_PER_DAY => {
+                        OutlierCategory::RelatedToFailure
+                    }
+                    Some(_) => OutlierCategory::FarFromFailure,
+                }
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,10 @@
+//! Experiment harness: shared machinery for the binaries that regenerate
+//! every table and figure of the paper (see DESIGN.md's per-experiment
+//! index), and for the Criterion micro-benchmarks.
+
+pub mod experiments;
+pub mod exploration;
+pub mod grid;
+pub mod report;
+
+pub use grid::{fleet_scores, repairs_for, Cell, GridOutcome};

@@ -1,0 +1,488 @@
+//! `navarchos` — command-line front end for the PdM framework.
+//!
+//! ```text
+//! navarchos simulate --out DIR [--vehicles N] [--days N] [--seed N]
+//!     Generate a synthetic fleet; writes <DIR>/vehicle-XX.csv telemetry,
+//!     <DIR>/events.csv and <DIR>/ground_truth.csv.
+//!
+//! navarchos monitor --telemetry FILE [--events FILE] [--factor F]
+//!     Stream one vehicle's CSV telemetry through the complete solution
+//!     (correlation + Closest-pair) and print alarms.
+//!
+//! navarchos evaluate --dir DIR [--ph DAYS] [--factor F]
+//!     Run the batch pipeline over a simulated fleet directory and report
+//!     precision / recall / F0.5 under the prediction-horizon protocol.
+//!
+//! navarchos resample --telemetry FILE --out FILE [--period SECONDS]
+//!     Put irregular CSV telemetry on a regular time grid (gap-aware:
+//!     parking time is never interpolated across).
+//! ```
+//!
+//! Argument parsing is by hand (the workspace's sanctioned dependency set
+//! has no CLI crate); every flag takes the form `--name value`.
+
+use navarchos_core::detectors::DetectorKind;
+use navarchos_core::evaluation::{evaluate_vehicle_instances, factor_grid, EvalCounts, EvalParams};
+use navarchos_core::AlarmAggregator;
+use navarchos_core::runner::{run_vehicle, RunnerParams};
+use navarchos_core::{PipelineConfig, StreamingPipeline, TransformKind};
+use navarchos_fleetsim::FleetConfig;
+use navarchos_tsframe::csv::{read_csv_file, write_csv_file};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(&flags),
+        "monitor" => cmd_monitor(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "explore" => cmd_explore(&flags),
+        "resample" => cmd_resample(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+navarchos — unsupervised vehicle predictive maintenance (EDBT 2024 reproduction)
+
+USAGE:
+  navarchos simulate --out DIR [--vehicles N] [--days N] [--seed N] [--failures N]
+  navarchos monitor  --telemetry FILE [--events FILE] [--factor F]
+  navarchos evaluate --dir DIR [--ph DAYS]
+  navarchos explore  --dir DIR [--clusters K]
+  navarchos resample --telemetry FILE --out FILE [--period SECONDS] [--max-gap SECONDS] [--method linear|previous]
+  navarchos help";
+
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got '{arg}'"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get_num<T: std::str::FromStr>(
+    flags: &BTreeMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(name) {
+        Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        None => Ok(default),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// simulate
+// ---------------------------------------------------------------------------
+
+fn cmd_simulate(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let out: PathBuf = flags.get("out").ok_or("--out DIR is required")?.into();
+    let mut cfg = FleetConfig::navarchos();
+    cfg.n_vehicles = get_num(flags, "vehicles", cfg.n_vehicles)?;
+    cfg.n_days = get_num(flags, "days", cfg.n_days)?;
+    cfg.seed = get_num(flags, "seed", cfg.seed)?;
+    cfg.n_failures = get_num(flags, "failures", cfg.n_failures.min(cfg.n_vehicles))?;
+    cfg.n_recorded = cfg.n_recorded.min(cfg.n_vehicles);
+    cfg.n_failures = cfg.n_failures.min(cfg.n_recorded);
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("create {}: {e}", out.display()))?;
+    let fleet = cfg.generate();
+
+    for vd in &fleet.vehicles {
+        let path = out.join(format!("{}.csv", vd.id));
+        write_csv_file(&vd.frame, &path).map_err(|e| e.to_string())?;
+    }
+
+    // Recorded events, one file for the whole fleet.
+    let mut events = String::from("vehicle,timestamp,kind\n");
+    for vd in &fleet.vehicles {
+        for e in vd.recorded_events() {
+            events.push_str(&format!("{},{},{}\n", e.vehicle, e.timestamp, e.kind.label()));
+        }
+    }
+    std::fs::write(out.join("events.csv"), events).map_err(|e| e.to_string())?;
+
+    // Ground truth (what an evaluator may use; the pipeline must not).
+    let mut truth = String::from("vehicle,fault,start,repair\n");
+    for w in &fleet.faults {
+        truth.push_str(&format!("{},{},{},{}\n", w.vehicle, w.kind.label(), w.start, w.repair));
+    }
+    std::fs::write(out.join("ground_truth.csv"), truth).map_err(|e| e.to_string())?;
+
+    println!(
+        "wrote {} vehicles ({} records), {} recorded events, {} failures to {}",
+        fleet.vehicles.len(),
+        fleet.total_records(),
+        fleet.recorded_event_count(),
+        fleet.recorded_repair_count(),
+        out.display()
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// monitor
+// ---------------------------------------------------------------------------
+
+fn cmd_monitor(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let telemetry: PathBuf = flags.get("telemetry").ok_or("--telemetry FILE is required")?.into();
+    let factor: f64 = get_num(flags, "factor", 8.0)?;
+    let frame = read_csv_file(&telemetry).map_err(|e| e.to_string())?;
+    println!("loaded {} records / {} signals from {}", frame.len(), frame.width(), telemetry.display());
+
+    let maintenance = match flags.get("events") {
+        Some(path) => load_events(Path::new(path), None)?,
+        None => Vec::new(),
+    };
+
+    let mut cfg =
+        PipelineConfig::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
+    cfg.threshold_factor = factor;
+    let mut pipeline = StreamingPipeline::new(frame.names(), cfg);
+
+    let mut events = maintenance.iter().peekable();
+    let mut aggregator = AlarmAggregator::new(&EvalParams::days(30), 15);
+    let mut row = Vec::new();
+    let mut alarms = 0usize;
+    let mut instances = 0usize;
+    for i in 0..frame.len() {
+        let t = frame.timestamps()[i];
+        while let Some(&&(mt, is_repair)) = events.peek() {
+            if mt > t {
+                break;
+            }
+            pipeline.process_event(is_repair);
+            aggregator.reset();
+            events.next();
+        }
+        frame.row_into(i, &mut row);
+        for alarm in pipeline.process_record(t, &row) {
+            alarms += 1;
+            if let Some(instance) = aggregator.push(&alarm) {
+                instances += 1;
+                println!(
+                    "t={} OPERATOR ALARM: {} violations on {} features (latest: {})",
+                    instance.start,
+                    instance.violations,
+                    instance.channels.len(),
+                    alarm.channel_name
+                );
+            }
+        }
+    }
+    println!(
+        "{alarms} raw violations → {instances} operator alarms; final pipeline state: {}",
+        pipeline.phase_name()
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// evaluate
+// ---------------------------------------------------------------------------
+
+fn cmd_evaluate(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let dir: PathBuf = flags.get("dir").ok_or("--dir DIR is required")?.into();
+    let ph: i64 = get_num(flags, "ph", 30)?;
+    let events_path = dir.join("events.csv");
+
+    // Discover the vehicles from the telemetry files.
+    let mut vehicle_files: Vec<(usize, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(&dir).map_err(|e| e.to_string())? {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if let Some(num) = name.strip_prefix("vehicle-").and_then(|s| s.strip_suffix(".csv")) {
+            if let Ok(v) = num.parse::<usize>() {
+                vehicle_files.push((v, path));
+            }
+        }
+    }
+    vehicle_files.sort();
+    if vehicle_files.is_empty() {
+        return Err(format!("no vehicle-XX.csv files in {}", dir.display()));
+    }
+
+    let params =
+        RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
+    let eval = EvalParams::days(ph);
+
+    let mut traces = Vec::new();
+    let mut repairs_per_vehicle = Vec::new();
+    for (v, path) in &vehicle_files {
+        let frame = read_csv_file(path).map_err(|e| e.to_string())?;
+        let maintenance = load_events(&events_path, Some(*v))?;
+        let repairs: Vec<i64> =
+            maintenance.iter().filter(|&&(_, r)| r).map(|&(t, _)| t).collect();
+        traces.push(run_vehicle(&frame, &maintenance, &params));
+        repairs_per_vehicle.push(repairs);
+    }
+
+    println!("threshold-factor sweep (PH = {ph} days):");
+    let mut best: Option<(f64, EvalCounts)> = None;
+    for factor in factor_grid() {
+        let mut counts = EvalCounts::default();
+        for (vs, repairs) in traces.iter().zip(&repairs_per_vehicle) {
+            let instances = vs.alarm_instances(factor, &eval);
+            counts.merge(&evaluate_vehicle_instances(&instances, repairs, eval));
+        }
+        println!(
+            "  factor {factor:6.2}: tp {:2}  fp {:3}  fn {:2}  precision {:.2}  recall {:.2}  F0.5 {:.2}",
+            counts.tp,
+            counts.fp,
+            counts.fn_,
+            counts.precision(),
+            counts.recall(),
+            counts.f05()
+        );
+        if best.as_ref().map(|(_, b)| counts.f05() > b.f05()).unwrap_or(true) {
+            best = Some((factor, counts));
+        }
+    }
+    if let Some((factor, counts)) = best {
+        println!(
+            "\nbest: factor {factor} → F0.5 {:.2} (precision {:.2}, recall {:.2})",
+            counts.f05(),
+            counts.precision(),
+            counts.recall()
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// explore
+// ---------------------------------------------------------------------------
+
+fn cmd_explore(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    use navarchos_cluster::{linkage, Linkage};
+    use navarchos_tsframe::aggregate::{daily_aggregate, znormalize_columns, SECONDS_PER_DAY};
+    use navarchos_tsframe::FilterSpec;
+
+    let dir: PathBuf = flags.get("dir").ok_or("--dir DIR is required")?.into();
+    let k: usize = get_num(flags, "clusters", 9)?;
+
+    let mut vehicle_files: Vec<(usize, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(&dir).map_err(|e| e.to_string())? {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if let Some(num) = name.strip_prefix("vehicle-").and_then(|s| s.strip_suffix(".csv")) {
+            if let Ok(v) = num.parse::<usize>() {
+                vehicle_files.push((v, path));
+            }
+        }
+    }
+    vehicle_files.sort();
+    if vehicle_files.is_empty() {
+        return Err(format!("no vehicle-XX.csv files in {}", dir.display()));
+    }
+
+    // Day-level aggregation of the filtered telemetry, as in the paper's
+    // Section 2 exploration.
+    let filter = FilterSpec::navarchos_default();
+    let mut points = Vec::new();
+    let mut owners = Vec::new();
+    let mut dim = 0;
+    for (v, path) in &vehicle_files {
+        let frame = read_csv_file(path).map_err(|e| e.to_string())?;
+        let filtered = filter.apply(&frame);
+        for agg in daily_aggregate(&filtered, SECONDS_PER_DAY, 30) {
+            let features = agg.feature_vector();
+            dim = features.len();
+            points.extend(features);
+            owners.push(*v);
+        }
+    }
+    if owners.len() < k {
+        return Err(format!("only {} vehicle-days; need at least {k}", owners.len()));
+    }
+    // Cap the matrix (agglomerative clustering is O(n²)).
+    let max_points = 2500;
+    if owners.len() > max_points {
+        let stride = owners.len().div_ceil(max_points);
+        let mut kept_points = Vec::new();
+        let mut kept_owners = Vec::new();
+        for i in (0..owners.len()).step_by(stride) {
+            kept_points.extend_from_slice(&points[i * dim..(i + 1) * dim]);
+            kept_owners.push(owners[i]);
+        }
+        points = kept_points;
+        owners = kept_owners;
+    }
+    znormalize_columns(&mut points, dim);
+    let labels = linkage(&points, dim, Linkage::Average).cut_k(k);
+
+    println!("{} vehicle-days clustered into {k} groups:", owners.len());
+    for c in 0..k {
+        let mut members: Vec<usize> =
+            owners.iter().zip(&labels).filter(|&(_, &l)| l == c).map(|(&v, _)| v).collect();
+        let size = members.len();
+        members.sort_unstable();
+        members.dedup();
+        println!(
+            "  cluster {c}: {size:4} days across {:2} vehicles {}",
+            members.len(),
+            if members.len() == 1 {
+                format!("(single vehicle: vehicle-{:02})", members[0])
+            } else {
+                String::new()
+            }
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// resample
+// ---------------------------------------------------------------------------
+
+fn cmd_resample(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    use navarchos_tsframe::{resample, FillMethod, ResampleSpec};
+
+    let input: PathBuf = flags.get("telemetry").ok_or("--telemetry FILE is required")?.into();
+    let out: PathBuf = flags.get("out").ok_or("--out FILE is required")?.into();
+    let period: i64 = get_num(flags, "period", 60)?;
+    let max_gap: i64 = get_num(flags, "max-gap", 6 * 3_600)?;
+    if period <= 0 || max_gap <= 0 {
+        return Err("--period and --max-gap must be positive".to_string());
+    }
+    let method = match flags.get("method").map(String::as_str) {
+        None | Some("linear") => FillMethod::Linear,
+        Some("previous") => FillMethod::Previous,
+        Some(other) => return Err(format!("--method must be linear or previous, got '{other}'")),
+    };
+
+    let frame = read_csv_file(&input).map_err(|e| e.to_string())?;
+    let gridded = resample(&frame, ResampleSpec { period, max_gap, method });
+    write_csv_file(&gridded, &out).map_err(|e| e.to_string())?;
+    println!(
+        "{} records -> {} grid points at {period} s ({} written)",
+        frame.len(),
+        gridded.len(),
+        out.display(),
+    );
+    Ok(())
+}
+
+/// Loads `(timestamp, is_repair)` maintenance events from events.csv,
+/// optionally filtered to one vehicle.
+fn load_events(path: &Path, vehicle: Option<usize>) -> Result<Vec<(i64, bool)>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return Ok(Vec::new()), // events are optional
+    };
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != 3 {
+            return Err(format!("{}: line {} malformed", path.display(), i + 1));
+        }
+        let v: usize = cells[0].trim().parse().map_err(|e| format!("bad vehicle: {e}"))?;
+        if let Some(want) = vehicle {
+            if v != want {
+                continue;
+            }
+        }
+        let t: i64 = cells[1].trim().parse().map_err(|e| format!("bad timestamp: {e}"))?;
+        match cells[2].trim() {
+            "service" => out.push((t, false)),
+            "repair" => out.push((t, true)),
+            _ => {} // inspections / DTCs don't reset the reference
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn parse_flags_happy_path() {
+        let args: Vec<String> =
+            ["--out", "/tmp/x", "--vehicles", "8"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.get("out").map(String::as_str), Some("/tmp/x"));
+        assert_eq!(f.get("vehicles").map(String::as_str), Some("8"));
+    }
+
+    #[test]
+    fn parse_flags_rejects_bare_values() {
+        let args: Vec<String> = ["simulate"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn parse_flags_rejects_missing_value() {
+        let args: Vec<String> = ["--out"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn get_num_defaults_and_parses() {
+        let f = flags(&[("days", "42")]);
+        assert_eq!(get_num::<usize>(&f, "days", 7).unwrap(), 42);
+        assert_eq!(get_num::<usize>(&f, "missing", 7).unwrap(), 7);
+        let bad = flags(&[("days", "not-a-number")]);
+        assert!(get_num::<usize>(&bad, "days", 7).is_err());
+    }
+
+    #[test]
+    fn load_events_filters_and_sorts() {
+        let dir = std::env::temp_dir().join("navarchos-cli-test-events");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.csv");
+        std::fs::write(
+            &path,
+            "vehicle,timestamp,kind\n1,200,repair\n0,100,service\n1,50,service\n1,75,inspection\n",
+        )
+        .unwrap();
+        let all = load_events(&path, None).unwrap();
+        assert_eq!(all, vec![(50, false), (100, false), (200, true)], "inspections dropped");
+        let only_v1 = load_events(&path, Some(1)).unwrap();
+        assert_eq!(only_v1, vec![(50, false), (200, true)]);
+        // A missing file is not an error (events are optional).
+        assert!(load_events(&dir.join("nope.csv"), None).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end tests of the `navarchos` binary: simulate → evaluate →
+//! monitor → explore over a temporary directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn navarchos() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_navarchos"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("navarchos-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn simulate_then_evaluate_and_explore() {
+    let dir = temp_dir("flow");
+    let out = navarchos()
+        .args(["simulate", "--out", dir.to_str().unwrap()])
+        .args(["--vehicles", "6", "--days", "80", "--failures", "2", "--seed", "5"])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("vehicle-00.csv").exists());
+    assert!(dir.join("events.csv").exists());
+    assert!(dir.join("ground_truth.csv").exists());
+
+    let out = navarchos()
+        .args(["evaluate", "--dir", dir.to_str().unwrap(), "--ph", "30"])
+        .output()
+        .expect("run evaluate");
+    assert!(out.status.success(), "evaluate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("threshold-factor sweep"));
+    assert!(text.contains("best: factor"));
+
+    let out = navarchos()
+        .args(["monitor", "--telemetry"])
+        .arg(dir.join("vehicle-00.csv"))
+        .args(["--events"])
+        .arg(dir.join("events.csv"))
+        .args(["--factor", "12"])
+        .output()
+        .expect("run monitor");
+    assert!(out.status.success(), "monitor failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("loaded"));
+
+    let out = navarchos()
+        .args(["explore", "--dir", dir.to_str().unwrap(), "--clusters", "4"])
+        .output()
+        .expect("run explore");
+    assert!(out.status.success(), "explore failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cluster 0"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = navarchos().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = navarchos().args(["evaluate", "--dir", "/definitely/not/here"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = navarchos().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn resample_roundtrip() {
+    let dir = temp_dir("resample");
+    let input = dir.join("raw.csv");
+    // Two rides, 30 s cadence, separated by a >6 h gap.
+    let mut csv = String::from("timestamp,rpm,speed\n");
+    for i in 0..20 {
+        csv.push_str(&format!("{},{},{}\n", i * 30, 1500 + i * 10, 40 + i));
+    }
+    let resume = 19 * 30 + 8 * 3_600;
+    for i in 0..20 {
+        csv.push_str(&format!("{},{},{}\n", resume + i * 30, 2000, 60));
+    }
+    std::fs::write(&input, csv).unwrap();
+
+    let out_path = dir.join("gridded.csv");
+    let out = navarchos()
+        .args(["resample", "--telemetry", input.to_str().unwrap()])
+        .args(["--out", out_path.to_str().unwrap(), "--period", "60"])
+        .output()
+        .expect("run resample");
+    assert!(out.status.success(), "resample failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines[0].contains("rpm"), "header preserved: {}", lines[0]);
+    // Regular 60 s spacing within rides, and no grid points inside the gap.
+    let stamps: Vec<i64> =
+        lines[1..].iter().map(|l| l.split(',').next().unwrap().parse().unwrap()).collect();
+    assert!(stamps.windows(2).all(|w| (w[1] - w[0]) % 60 == 0));
+    assert!(!stamps.iter().any(|&t| t > 19 * 30 && t < resume), "gap bridged");
+
+    // Invalid method is rejected.
+    let out = navarchos()
+        .args(["resample", "--telemetry", input.to_str().unwrap()])
+        .args(["--out", out_path.to_str().unwrap(), "--method", "cubic"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

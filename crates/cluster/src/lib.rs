@@ -1,0 +1,12 @@
+//! Agglomerative hierarchical clustering for the data-exploration step of
+//! the paper (Section 2, Figure 2): average-linkage clustering with the
+//! Euclidean metric over day-aggregated fleet data, cut at 9 clusters.
+//!
+//! The implementation uses the nearest-neighbour-chain algorithm with
+//! Lance–Williams distance updates, which runs in O(n²) time and memory and
+//! is exact for the *reducible* linkages offered here (single, complete,
+//! average, weighted).
+
+pub mod hierarchy;
+
+pub use hierarchy::{agglomerative_labels, linkage, silhouette_score, Dendrogram, Linkage, Merge};

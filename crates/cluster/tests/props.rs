@@ -1,0 +1,75 @@
+//! Property-based tests for the agglomerative clustering substrate.
+
+use navarchos_cluster::{linkage, Linkage};
+use proptest::prelude::*;
+
+fn flat_points(dim: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<f64>, usize)> {
+    prop::collection::vec(-100.0f64..100.0, n)
+        .prop_map(move |mut v| {
+            let len = (v.len() / dim).max(1) * dim;
+            v.truncate(len);
+            (v, dim)
+        })
+}
+
+proptest! {
+    #[test]
+    fn merge_count_and_sizes((pts, dim) in flat_points(2, 4..64)) {
+        let n = pts.len() / dim;
+        for method in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Weighted] {
+            let d = linkage(&pts, dim, method);
+            prop_assert_eq!(d.merges().len(), n - 1);
+            prop_assert_eq!(d.merges().last().unwrap().size, n);
+            // Heights sorted ascending.
+            for w in d.merges().windows(2) {
+                prop_assert!(w[0].distance <= w[1].distance + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cut_k_produces_k_clusters((pts, dim) in flat_points(3, 6..60), k in 1usize..6) {
+        let n = pts.len() / dim;
+        prop_assume!(k <= n);
+        let d = linkage(&pts, dim, Linkage::Average);
+        let labels = d.cut_k(k);
+        prop_assert_eq!(labels.len(), n);
+        let mut uniq = labels.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        // With possibly-duplicated points, ties can make fewer distinct
+        // clusters than requested only if merge heights tie at zero.
+        prop_assert!(uniq.len() <= k);
+        prop_assert!(labels.iter().all(|&l| l < k));
+    }
+
+    #[test]
+    fn single_linkage_height_is_min_crossing_edge((pts, dim) in flat_points(1, 4..32)) {
+        // For 1-D single linkage, the final merge distance equals the
+        // largest gap between consecutive sorted points' cluster frontier —
+        // at minimum it is bounded by the largest adjacent gap.
+        let mut sorted = pts.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let max_gap = sorted.windows(2).map(|w| w[1] - w[0]).fold(0.0f64, f64::max);
+        let d = linkage(&pts, dim, Linkage::Single);
+        let last = d.merges().last().unwrap().distance;
+        prop_assert!((last - max_gap).abs() < 1e-9, "single-linkage root = max adjacent gap");
+    }
+
+    #[test]
+    fn linkage_heights_ordered_by_method((pts, dim) in flat_points(2, 4..40)) {
+        // Root height: single ≤ average ≤ complete.
+        let s = linkage(&pts, dim, Linkage::Single).merges().last().unwrap().distance;
+        let a = linkage(&pts, dim, Linkage::Average).merges().last().unwrap().distance;
+        let c = linkage(&pts, dim, Linkage::Complete).merges().last().unwrap().distance;
+        prop_assert!(s <= a + 1e-9);
+        prop_assert!(a <= c + 1e-9);
+    }
+
+    #[test]
+    fn deterministic((pts, dim) in flat_points(2, 4..40)) {
+        let a = linkage(&pts, dim, Linkage::Average);
+        let b = linkage(&pts, dim, Linkage::Average);
+        prop_assert_eq!(a.merges(), b.merges());
+    }
+}

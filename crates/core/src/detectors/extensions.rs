@@ -1,0 +1,195 @@
+//! Extension detectors beyond the paper's four: the isolation forest the
+//! paper cites through Khan et al. \[12\] ("such a method could become an
+//! option for the third step") and the per-feature MLP regression scheme
+//! of Massaro et al. \[15\] that its related-work section discusses. Both
+//! are exercised by the `exp_ablations` experiment.
+
+use super::{Detector, DetectorParams};
+use crate::reference::ReferenceProfile;
+use navarchos_iforest::{IsolationForest, IsolationForestParams};
+use navarchos_nnet::{MlpParams, MlpRegressor};
+
+/// Isolation-forest detector: one calibrated score channel in (0, 1),
+/// thresholded with constant values like Grand.
+pub struct IsolationForestDetector {
+    dim: usize,
+    params: IsolationForestParams,
+    forest: Option<IsolationForest>,
+}
+
+impl IsolationForestDetector {
+    /// Creates an unfitted detector for `dim`-dimensional samples.
+    pub fn new(dim: usize, params: &DetectorParams) -> Self {
+        assert!(dim > 0);
+        IsolationForestDetector {
+            dim,
+            params: IsolationForestParams { seed: params.seed, ..Default::default() },
+            forest: None,
+        }
+    }
+}
+
+impl Detector for IsolationForestDetector {
+    fn n_channels(&self) -> usize {
+        1
+    }
+
+    fn channel_names(&self) -> Vec<String> {
+        vec!["isolation-forest".to_string()]
+    }
+
+    fn fit(&mut self, reference: &ReferenceProfile) {
+        assert_eq!(reference.dim(), self.dim, "profile width mismatch");
+        assert!(reference.len() >= 4, "reference too small");
+        self.forest = Some(IsolationForest::fit(reference.data(), self.dim, &self.params));
+    }
+
+    fn score(&mut self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.dim);
+        match &self.forest {
+            Some(f) => vec![f.score(x)],
+            None => vec![f64::NAN],
+        }
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.forest.is_some()
+    }
+
+    fn reset(&mut self) {
+        self.forest = None;
+    }
+
+    fn uses_constant_threshold(&self) -> bool {
+        true
+    }
+}
+
+/// Per-feature MLP regression detector: like the XGBoost detector, one
+/// regressor per feature predicts it from the remaining features; the
+/// absolute prediction error is the per-feature anomaly score.
+pub struct MlpDetector {
+    names: Vec<String>,
+    params: MlpParams,
+    models: Vec<MlpRegressor>,
+    scratch: Vec<f64>,
+}
+
+impl MlpDetector {
+    /// Creates an unfitted detector for the named features.
+    pub fn new<S: AsRef<str>>(names: &[S], params: &DetectorParams) -> Self {
+        assert!(names.len() >= 2, "per-feature regression needs at least 2 features");
+        MlpDetector {
+            names: names.iter().map(|s| s.as_ref().to_string()).collect(),
+            params: MlpParams { seed: params.seed, ..Default::default() },
+            models: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl Detector for MlpDetector {
+    fn n_channels(&self) -> usize {
+        self.names.len()
+    }
+
+    fn channel_names(&self) -> Vec<String> {
+        self.names.clone()
+    }
+
+    fn fit(&mut self, reference: &ReferenceProfile) {
+        let f = self.names.len();
+        assert_eq!(reference.dim(), f, "profile width mismatch");
+        assert!(reference.len() >= 8, "reference too small for regression");
+        let n = reference.len();
+        self.models.clear();
+        let mut x = Vec::with_capacity(n * (f - 1));
+        let mut y = Vec::with_capacity(n);
+        for j in 0..f {
+            x.clear();
+            y.clear();
+            for i in 0..n {
+                let row = reference.sample(i);
+                y.push(row[j]);
+                x.extend(row.iter().enumerate().filter(|&(c, _)| c != j).map(|(_, &v)| v));
+            }
+            self.models.push(MlpRegressor::fit(&x, f - 1, &y, &self.params));
+        }
+    }
+
+    fn score(&mut self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.names.len());
+        if self.models.is_empty() {
+            return vec![f64::NAN; self.names.len()];
+        }
+        let mut out = Vec::with_capacity(self.names.len());
+        for j in 0..self.names.len() {
+            self.scratch.clear();
+            self.scratch
+                .extend(x.iter().enumerate().filter(|&(i, _)| i != j).map(|(_, &v)| v));
+            out.push((self.models[j].predict(&self.scratch) - x[j]).abs());
+        }
+        out
+    }
+
+    fn is_fitted(&self) -> bool {
+        !self.models.is_empty()
+    }
+
+    fn reset(&mut self) {
+        self.models.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Structured profile: b = 2a, c = −a.
+    fn structured_profile(n: usize) -> ReferenceProfile {
+        let mut p = ReferenceProfile::new(3, n);
+        for i in 0..n {
+            let a = (i as f64 * 0.31).sin() * 2.0;
+            p.push(&[a, 2.0 * a, -a]);
+        }
+        p
+    }
+
+    #[test]
+    fn iforest_flags_out_of_manifold_points() {
+        let mut d = IsolationForestDetector::new(3, &DetectorParams::default());
+        d.fit(&structured_profile(200));
+        let normal = d.score(&[1.0, 2.0, -1.0])[0];
+        let weird = d.score(&[1.0, -2.0, 5.0])[0];
+        assert!(weird > normal, "off-manifold {weird} vs on-manifold {normal}");
+        assert!(d.uses_constant_threshold());
+    }
+
+    #[test]
+    fn iforest_reset_and_unfitted() {
+        let mut d = IsolationForestDetector::new(3, &DetectorParams::default());
+        assert!(d.score(&[0.0; 3])[0].is_nan());
+        d.fit(&structured_profile(50));
+        assert!(d.is_fitted());
+        d.reset();
+        assert!(!d.is_fitted());
+    }
+
+    #[test]
+    fn mlp_blames_broken_feature() {
+        let mut d = MlpDetector::new(&["a", "b", "c"], &DetectorParams::default());
+        d.fit(&structured_profile(300));
+        let ok = d.score(&[1.0, 2.0, -1.0]);
+        assert!(ok.iter().all(|&s| s < 0.5), "consistent sample scores low: {ok:?}");
+        let broken = d.score(&[1.0, -2.0, -1.0]);
+        assert!(broken[1] > 1.0, "b channel flags the break: {broken:?}");
+        assert!(broken[1] > broken[2], "b blamed most: {broken:?}");
+    }
+
+    #[test]
+    fn mlp_channels() {
+        let d = MlpDetector::new(&["x", "y"], &DetectorParams::default());
+        assert_eq!(d.n_channels(), 2);
+        assert!(!d.uses_constant_threshold());
+    }
+}

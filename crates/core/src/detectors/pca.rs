@@ -1,0 +1,318 @@
+//! PCA reconstruction-error detector (extension): project each sample
+//! onto the principal subspace of the reference profile and score the
+//! residual norm. Subspace methods are a standard unsupervised baseline
+//! in the PdM literature the paper surveys; like the closest-pair
+//! detector this one needs no labels and fits in microseconds, but it
+//! models the profile's *global* linear structure instead of local
+//! neighbourhoods.
+
+use super::{Detector, DetectorParams};
+use crate::reference::ReferenceProfile;
+
+/// Reconstruction-error detector on the principal subspace of the
+/// reference profile. Emits one score channel (the residual 2-norm),
+/// thresholded with the self-tuning threshold.
+///
+/// ```
+/// use navarchos_core::detectors::{Detector, DetectorParams, PcaDetector};
+/// use navarchos_core::reference::ReferenceProfile;
+///
+/// // Reference confined to the line b = 2a.
+/// let mut profile = ReferenceProfile::new(2, 16);
+/// for i in 0..16 {
+///     let a = (i as f64 * 0.5).sin();
+///     profile.push(&[a, 2.0 * a]);
+/// }
+/// let mut det = PcaDetector::new(2, &DetectorParams::default());
+/// det.fit(&profile);
+/// assert!(det.score(&[0.4, 0.8])[0] < 1e-6);  // on the line
+/// assert!(det.score(&[0.4, -0.8])[0] > 0.5);  // off the line
+/// ```
+pub struct PcaDetector {
+    dim: usize,
+    /// Fraction of total variance the retained subspace must explain.
+    energy: f64,
+    mean: Vec<f64>,
+    /// Retained components, row-major `k × dim`, orthonormal rows.
+    components: Vec<f64>,
+    k: usize,
+    fitted: bool,
+}
+
+/// Power-iteration sweeps per component.
+const POWER_ITERS: usize = 200;
+
+impl PcaDetector {
+    /// Creates an unfitted detector for `dim`-dimensional samples keeping
+    /// enough components to explain 90 % of the reference variance.
+    pub fn new(dim: usize, _params: &DetectorParams) -> Self {
+        Self::with_energy(dim, 0.9)
+    }
+
+    /// Creates a detector retaining enough components to explain the
+    /// given fraction of variance.
+    ///
+    /// # Panics
+    /// Panics unless `0 < energy < 1` and `dim >= 2` (with one dimension
+    /// the subspace is the whole space and every residual is zero).
+    pub fn with_energy(dim: usize, energy: f64) -> Self {
+        assert!(dim >= 2, "PCA residuals need at least 2 dimensions");
+        assert!(energy > 0.0 && energy < 1.0, "energy must be in (0, 1)");
+        PcaDetector {
+            dim,
+            energy,
+            mean: Vec::new(),
+            components: Vec::new(),
+            k: 0,
+            fitted: false,
+        }
+    }
+
+    /// Number of retained components (0 before fitting).
+    pub fn n_components(&self) -> usize {
+        self.k
+    }
+
+    /// Leading eigenvector of the symmetric matrix `cov` (row-major
+    /// `d × d`) by power iteration, and its eigenvalue. Returns `None`
+    /// when the matrix is (numerically) zero.
+    fn leading_eigenpair(cov: &[f64], d: usize) -> Option<(Vec<f64>, f64)> {
+        // Deterministic non-degenerate start vector.
+        let mut v: Vec<f64> = (0..d).map(|i| 1.0 + (i as f64) * 0.173).collect();
+        let norm = |u: &[f64]| u.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let n0 = norm(&v);
+        for x in &mut v {
+            *x /= n0;
+        }
+        let mut w = vec![0.0; d];
+        let mut lambda = 0.0;
+        for _ in 0..POWER_ITERS {
+            for (i, slot) in w.iter_mut().enumerate() {
+                *slot = cov[i * d..(i + 1) * d]
+                    .iter()
+                    .zip(&v)
+                    .map(|(c, x)| c * x)
+                    .sum();
+            }
+            let n = norm(&w);
+            if n < 1e-12 {
+                return None;
+            }
+            let next_lambda = v.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>();
+            for (a, b) in v.iter_mut().zip(&w) {
+                *a = b / n;
+            }
+            if (next_lambda - lambda).abs() <= 1e-12 * next_lambda.abs().max(1.0) {
+                lambda = next_lambda;
+                break;
+            }
+            lambda = next_lambda;
+        }
+        if lambda <= 1e-12 {
+            return None;
+        }
+        Some((v, lambda))
+    }
+}
+
+impl Detector for PcaDetector {
+    fn n_channels(&self) -> usize {
+        1
+    }
+
+    fn channel_names(&self) -> Vec<String> {
+        vec!["pca-residual".to_string()]
+    }
+
+    fn fit(&mut self, reference: &ReferenceProfile) {
+        let d = self.dim;
+        assert_eq!(reference.dim(), d, "profile width mismatch");
+        let n = reference.len();
+        assert!(n >= 4, "reference too small for PCA");
+
+        self.mean = vec![0.0; d];
+        for i in 0..n {
+            for (m, &x) in self.mean.iter_mut().zip(reference.sample(i)) {
+                *m += x;
+            }
+        }
+        for m in &mut self.mean {
+            *m /= n as f64;
+        }
+
+        // Covariance, row-major d × d.
+        let mut cov = vec![0.0; d * d];
+        let mut centered = vec![0.0; d];
+        for i in 0..n {
+            for (c, (&x, &m)) in centered
+                .iter_mut()
+                .zip(reference.sample(i).iter().zip(&self.mean))
+            {
+                *c = x - m;
+            }
+            for r in 0..d {
+                for c in r..d {
+                    cov[r * d + c] += centered[r] * centered[c];
+                }
+            }
+        }
+        let denom = (n - 1) as f64;
+        for r in 0..d {
+            for c in r..d {
+                cov[r * d + c] /= denom;
+                cov[c * d + r] = cov[r * d + c];
+            }
+        }
+        let total_var: f64 = (0..d).map(|i| cov[i * d + i]).sum();
+
+        // Extract components by power iteration with deflation until the
+        // energy target is met. Never retain all d components: a full
+        // basis reconstructs everything and the residual is identically
+        // zero.
+        self.components.clear();
+        self.k = 0;
+        let mut explained = 0.0;
+        while self.k < d - 1 {
+            let Some((v, lambda)) = Self::leading_eigenpair(&cov, d) else {
+                break;
+            };
+            explained += lambda;
+            self.components.extend_from_slice(&v);
+            self.k += 1;
+            if total_var > 0.0 && explained / total_var >= self.energy {
+                break;
+            }
+            // Deflate: cov -= lambda v vᵀ.
+            for r in 0..d {
+                for c in 0..d {
+                    cov[r * d + c] -= lambda * v[r] * v[c];
+                }
+            }
+        }
+        // A profile with no variance at all still fits (k = 0): every
+        // centered sample is its own residual.
+        self.fitted = true;
+    }
+
+    fn score(&mut self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.dim);
+        if !self.fitted {
+            return vec![f64::NAN];
+        }
+        let d = self.dim;
+        let mut residual: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
+        for c in 0..self.k {
+            let comp = &self.components[c * d..(c + 1) * d];
+            let proj: f64 = comp.iter().zip(&residual).map(|(a, b)| a * b).sum();
+            for (r, a) in residual.iter_mut().zip(comp) {
+                *r -= proj * a;
+            }
+        }
+        vec![residual.iter().map(|r| r * r).sum::<f64>().sqrt()]
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    fn reset(&mut self) {
+        self.mean.clear();
+        self.components.clear();
+        self.k = 0;
+        self.fitted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Profile confined to the plane b = 2a, c = a − b (rank 2 in 3-D)
+    /// plus tiny noise.
+    fn planar_profile(n: usize) -> ReferenceProfile {
+        let mut p = ReferenceProfile::new(3, n);
+        for i in 0..n {
+            let a = (i as f64 * 0.37).sin() * 2.0;
+            let b = (i as f64 * 0.59).cos();
+            let eps = ((i * 2_654_435_761) % 1_000) as f64 / 1_000.0 * 0.01;
+            p.push(&[a, b, a - b + eps]);
+        }
+        p
+    }
+
+    #[test]
+    fn on_subspace_scores_low_off_subspace_high() {
+        let mut d = PcaDetector::new(3, &DetectorParams::default());
+        d.fit(&planar_profile(200));
+        assert!(d.n_components() >= 1 && d.n_components() <= 2);
+        let on = d.score(&[1.0, 0.5, 0.5])[0];
+        let off = d.score(&[1.0, 0.5, 4.0])[0];
+        assert!(on < 0.1, "on-plane residual small: {on}");
+        assert!(off > 1.0, "off-plane residual large: {off}");
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut d = PcaDetector::with_energy(3, 0.99);
+        d.fit(&planar_profile(200));
+        let k = d.n_components();
+        let dim = 3;
+        for i in 0..k {
+            for j in 0..k {
+                let dot: f64 = d.components[i * dim..(i + 1) * dim]
+                    .iter()
+                    .zip(&d.components[j * dim..(j + 1) * dim])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-6, "⟨v{i}, v{j}⟩ = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn never_retains_a_full_basis() {
+        // Isotropic data: energy target unreachable below d components,
+        // but the detector must stop at d − 1 so residuals stay useful.
+        let mut p = ReferenceProfile::new(2, 100);
+        for i in 0..100 {
+            let a = (i as f64 * 0.7).sin();
+            let b = (i as f64 * 1.3).cos();
+            p.push(&[a, b]);
+        }
+        let mut d = PcaDetector::with_energy(2, 0.999);
+        d.fit(&p);
+        assert_eq!(d.n_components(), 1);
+    }
+
+    #[test]
+    fn constant_profile_scores_distance_from_mean() {
+        let mut p = ReferenceProfile::new(2, 10);
+        for _ in 0..10 {
+            p.push(&[3.0, -1.0]);
+        }
+        let mut d = PcaDetector::new(2, &DetectorParams::default());
+        d.fit(&p);
+        assert_eq!(d.n_components(), 0, "no variance, no components");
+        assert!(d.score(&[3.0, -1.0])[0] < 1e-12);
+        assert!((d.score(&[3.0, 1.0])[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfitted_nan_and_reset() {
+        let mut d = PcaDetector::new(3, &DetectorParams::default());
+        assert!(d.score(&[0.0; 3])[0].is_nan());
+        d.fit(&planar_profile(50));
+        assert!(d.is_fitted());
+        assert!(!d.uses_constant_threshold());
+        d.reset();
+        assert!(!d.is_fitted());
+        assert!(d.score(&[0.0; 3])[0].is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 dimensions")]
+    fn one_dimension_rejected() {
+        let _ = PcaDetector::new(1, &DetectorParams::default());
+    }
+}

@@ -1,0 +1,197 @@
+//! SAX-novelty detection — an implementation of the paper's *future work*
+//! ("discretizing the signal input and creating artificial events"): each
+//! signal's recent window is SAX-encoded, and a window whose word is
+//! unknown (or far from every word) in the reference vocabulary is an
+//! artificial event; its per-signal novelty is the anomaly score.
+//!
+//! Operates on *raw* transformed samples (`TransformKind::Raw`), keeping
+//! its own rolling window like the TranAD wrapper.
+
+use super::{Detector, DetectorParams};
+use crate::reference::ReferenceProfile;
+use navarchos_tsframe::sax::SaxEncoder;
+
+/// Per-feature SAX vocabulary novelty detector.
+pub struct SaxNoveltyDetector {
+    names: Vec<String>,
+    encoder: SaxEncoder,
+    window: usize,
+    stride: usize,
+    /// Learned vocabulary per feature (deduplicated reference words).
+    vocab: Vec<Vec<Vec<u8>>>,
+    /// Rolling raw-sample buffer (row-major, most recent last).
+    buffer: Vec<f64>,
+    since_emit: usize,
+    /// Last emitted scores, repeated between window emissions so the
+    /// detector stays aligned one-score-per-sample.
+    last_scores: Vec<f64>,
+}
+
+impl SaxNoveltyDetector {
+    /// Creates the detector: `window` raw samples per word, emitted every
+    /// `stride` samples, with the given SAX parameters.
+    pub fn new<S: AsRef<str>>(names: &[S], params: &DetectorParams) -> Self {
+        let _ = params;
+        let names: Vec<String> = names.iter().map(|s| s.as_ref().to_string()).collect();
+        let n = names.len();
+        SaxNoveltyDetector {
+            encoder: SaxEncoder::new(6, 5),
+            window: 30,
+            stride: 5,
+            vocab: Vec::new(),
+            buffer: Vec::new(),
+            since_emit: 0,
+            last_scores: vec![0.0; n],
+            names,
+        }
+    }
+
+    /// Encodes feature `c` of a row-major sample block.
+    fn encode_column(&self, block: &[f64], c: usize) -> Vec<u8> {
+        let n_feats = self.names.len();
+        let col: Vec<f64> = block.chunks(n_feats).map(|row| row[c]).collect();
+        self.encoder.encode(&col)
+    }
+
+    /// Novelty of a word against a vocabulary: the minimum SAX word
+    /// distance to any known word (0 = known behaviour).
+    fn novelty(&self, word: &[u8], vocab: &[Vec<u8>]) -> f64 {
+        vocab
+            .iter()
+            .map(|w| self.encoder.word_distance(word, w))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl Detector for SaxNoveltyDetector {
+    fn n_channels(&self) -> usize {
+        self.names.len()
+    }
+
+    fn channel_names(&self) -> Vec<String> {
+        self.names.iter().map(|n| format!("sax:{n}")).collect()
+    }
+
+    fn fit(&mut self, reference: &ReferenceProfile) {
+        assert_eq!(reference.dim(), self.names.len(), "profile width mismatch");
+        assert!(reference.len() >= self.window, "reference shorter than the SAX window");
+        let n_feats = self.names.len();
+        let data = reference.data();
+        self.vocab = vec![Vec::new(); n_feats];
+        let mut s = 0;
+        while s + self.window <= reference.len() {
+            let block = &data[s * n_feats..(s + self.window) * n_feats];
+            for c in 0..n_feats {
+                let word = self.encode_column(block, c);
+                if !self.vocab[c].contains(&word) {
+                    self.vocab[c].push(word);
+                }
+            }
+            s += self.stride;
+        }
+        self.buffer.clear();
+        self.since_emit = 0;
+        self.last_scores = vec![0.0; n_feats];
+    }
+
+    fn score(&mut self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.names.len());
+        if self.vocab.is_empty() {
+            return vec![f64::NAN; self.names.len()];
+        }
+        let n_feats = self.names.len();
+        self.buffer.extend_from_slice(x);
+        let cap = self.window * n_feats;
+        if self.buffer.len() > cap {
+            self.buffer.drain(..self.buffer.len() - cap);
+        }
+        if self.buffer.len() < cap {
+            return self.last_scores.clone();
+        }
+        self.since_emit += 1;
+        if self.since_emit >= self.stride {
+            self.since_emit = 0;
+            let block = self.buffer.clone();
+            for c in 0..n_feats {
+                let word = self.encode_column(&block, c);
+                self.last_scores[c] = self.novelty(&word, &self.vocab[c]);
+            }
+        }
+        self.last_scores.clone()
+    }
+
+    fn is_fitted(&self) -> bool {
+        !self.vocab.is_empty()
+    }
+
+    fn reset(&mut self) {
+        self.vocab.clear();
+        self.buffer.clear();
+        self.since_emit = 0;
+        self.last_scores = vec![0.0; self.names.len()];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sinusoidal two-signal reference.
+    fn wave_profile(n: usize) -> ReferenceProfile {
+        let mut p = ReferenceProfile::new(2, n);
+        for i in 0..n {
+            let t = i as f64 * 0.35;
+            p.push(&[t.sin() * 5.0, t.cos() * 3.0]);
+        }
+        p
+    }
+
+    #[test]
+    fn known_behaviour_scores_zero() {
+        let mut d = SaxNoveltyDetector::new(&["a", "b"], &DetectorParams::default());
+        d.fit(&wave_profile(240));
+        // Continue the same waves: every word is in the vocabulary.
+        let mut max_score = 0.0f64;
+        for i in 0..120 {
+            let t = (240 + i) as f64 * 0.35;
+            let s = d.score(&[t.sin() * 5.0, t.cos() * 3.0]);
+            max_score = max_score.max(s[0]).max(s[1]);
+        }
+        assert!(max_score < 0.5, "familiar patterns score ≈ 0, got {max_score}");
+    }
+
+    #[test]
+    fn novel_shape_scores_high_on_its_channel() {
+        let mut d = SaxNoveltyDetector::new(&["a", "b"], &DetectorParams::default());
+        d.fit(&wave_profile(240));
+        // Channel a switches to a spike train it has never produced.
+        let mut a_max = 0.0f64;
+        let mut b_max = 0.0f64;
+        for i in 0..120 {
+            let t = (240 + i) as f64 * 0.35;
+            let spike = if i % 10 == 0 { 25.0 } else { -2.0 };
+            let s = d.score(&[spike, t.cos() * 3.0]);
+            a_max = a_max.max(s[0]);
+            b_max = b_max.max(s[1]);
+        }
+        assert!(a_max > b_max, "novelty attributed to the changed signal: {a_max} vs {b_max}");
+        assert!(a_max > 0.5, "spike train is a novel word: {a_max}");
+    }
+
+    #[test]
+    fn unfitted_and_reset() {
+        let mut d = SaxNoveltyDetector::new(&["a", "b"], &DetectorParams::default());
+        assert!(!d.is_fitted());
+        assert!(d.score(&[0.0, 0.0])[0].is_nan());
+        d.fit(&wave_profile(120));
+        assert!(d.is_fitted());
+        d.reset();
+        assert!(!d.is_fitted());
+    }
+
+    #[test]
+    fn channel_names_are_prefixed() {
+        let d = SaxNoveltyDetector::new(&["rpm", "speed"], &DetectorParams::default());
+        assert_eq!(d.channel_names(), vec!["sax:rpm", "sax:speed"]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Fleet-level Grand — the *original* "wisdom of the crowd" formulation of
+//! Rögnvaldsson et al. (DMKD 2018) that the paper describes before
+//! adopting the per-vehicle inductive variant: each vehicle's recent
+//! behaviour is scored for strangeness against its *peers'* concurrent
+//! behaviour, then a per-vehicle martingale accumulates the evidence.
+//!
+//! The paper argues this variant is ill-suited to heterogeneous fleets
+//! ("in our case, vehicles differ from each other, and so, we follow
+//! another strategy"); this implementation exists to let that argument be
+//! tested instead of assumed — see the `exp_ablations` experiment.
+
+use navarchos_neighbors::KdTree;
+use navarchos_stat::martingale::{conformal_pvalue, PowerMartingale};
+
+/// One vehicle's time-stamped feature series (daily behaviour vectors).
+#[derive(Debug, Clone)]
+pub struct VehicleSeries {
+    /// Day-bucket timestamps (sorted ascending).
+    pub timestamps: Vec<i64>,
+    /// Row-major feature matrix aligned with `timestamps`.
+    pub features: Vec<f64>,
+    /// Feature dimension.
+    pub dim: usize,
+}
+
+impl VehicleSeries {
+    /// Feature vector of day `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Number of days.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+}
+
+/// Fleet-level Grand parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetGrandParams {
+    /// Trailing peer window (days): a vehicle-day is compared against the
+    /// other vehicles' days within this horizon.
+    pub peer_window_days: i64,
+    /// Neighbourhood size of the kNN strangeness measure.
+    pub k: usize,
+    /// Martingale sliding memory (updates).
+    pub martingale_window: usize,
+    /// Minimum number of peer samples required to score a day.
+    pub min_peers: usize,
+}
+
+impl Default for FleetGrandParams {
+    fn default() -> Self {
+        FleetGrandParams { peer_window_days: 30, k: 5, martingale_window: 30, min_peers: 20 }
+    }
+}
+
+/// Deviation-level series (one value in [0, 1] per scored day) per
+/// vehicle, aligned with each input series' timestamps (`NaN` where too
+/// few peers existed).
+pub fn fleet_grand_scores(
+    series: &[VehicleSeries],
+    params: &FleetGrandParams,
+) -> Vec<Vec<f64>> {
+    assert!(!series.is_empty(), "empty fleet");
+    let dim = series.iter().find(|s| !s.is_empty()).map(|s| s.dim).unwrap_or(0);
+    assert!(series.iter().all(|s| s.is_empty() || s.dim == dim), "mixed feature dims");
+
+    let mut out = Vec::with_capacity(series.len());
+    for (v, own) in series.iter().enumerate() {
+        let mut martingale =
+            PowerMartingale::default().with_window(params.martingale_window);
+        let mut scores = Vec::with_capacity(own.len());
+        for i in 0..own.len() {
+            let t = own.timestamps[i];
+            // Collect the peer pool: other vehicles' days within the window.
+            let mut pool: Vec<Vec<f64>> = Vec::new();
+            for (u, peer) in series.iter().enumerate() {
+                if u == v {
+                    continue;
+                }
+                for j in 0..peer.len() {
+                    let pt = peer.timestamps[j];
+                    if pt <= t && t - pt <= params.peer_window_days * 86_400 {
+                        pool.push(peer.row(j).to_vec());
+                    }
+                }
+            }
+            if pool.len() < params.min_peers.max(params.k + 1) {
+                scores.push(f64::NAN);
+                continue;
+            }
+            // The k-d tree returns exactly the brute-force distances but
+            // turns the O(|pool|²) leave-one-out calibration into
+            // O(|pool| log |pool|).
+            let index = KdTree::new(&pool, dim);
+            // Strangeness of the vehicle-day and of each peer (leave-one-out)
+            // — the conformal calibration set.
+            let s_own = index.knn_score(own.row(i), params.k, None);
+            let calibration: Vec<f64> = (0..index.len())
+                .map(|p| index.knn_score(&pool[p], params.k, Some(p)))
+                .collect();
+            let p = conformal_pvalue(&calibration, s_own, 0.5);
+            scores.push(martingale.update(p));
+        }
+        out.push(scores);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A homogeneous fleet of `n` vehicles over `days` days; vehicle 0
+    /// drifts away from the crowd starting at `drift_from` (if given).
+    fn fleet(n: usize, days: usize, drift_from: Option<usize>) -> Vec<VehicleSeries> {
+        (0..n)
+            .map(|v| {
+                let mut features = Vec::new();
+                let mut timestamps = Vec::new();
+                for d in 0..days {
+                    timestamps.push(d as i64 * 86_400);
+                    let base = [
+                        (d as f64 * 0.3).sin() + 0.01 * v as f64,
+                        (d as f64 * 0.2).cos() - 0.01 * v as f64,
+                    ];
+                    let drifted = match drift_from {
+                        Some(from) if v == 0 && d >= from => [base[0] + 3.0, base[1] - 3.0],
+                        _ => base,
+                    };
+                    features.extend(drifted);
+                }
+                VehicleSeries { timestamps, features, dim: 2 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn homogeneous_fleet_stays_quiet() {
+        let series = fleet(6, 60, None);
+        let scores = fleet_grand_scores(&series, &FleetGrandParams::default());
+        assert_eq!(scores.len(), 6);
+        for vehicle_scores in &scores {
+            let max = vehicle_scores.iter().cloned().filter(|s| s.is_finite()).fold(0.0, f64::max);
+            assert!(max < 0.9, "peer-consistent vehicles stay low, got {max}");
+        }
+    }
+
+    #[test]
+    fn drifting_vehicle_is_flagged() {
+        let series = fleet(6, 80, Some(40));
+        let scores = fleet_grand_scores(&series, &FleetGrandParams::default());
+        let late_dev = scores[0][60..]
+            .iter()
+            .cloned()
+            .filter(|s| s.is_finite())
+            .fold(0.0, f64::max);
+        assert!(late_dev > 0.9, "drifting vehicle saturates: {late_dev}");
+        // Peers stay low even while vehicle 0 drifts.
+        for vehicle_scores in &scores[1..] {
+            let max = vehicle_scores.iter().cloned().filter(|s| s.is_finite()).fold(0.0, f64::max);
+            assert!(max < 0.9, "peer falsely flagged: {max}");
+        }
+    }
+
+    #[test]
+    fn sparse_fleet_yields_nan() {
+        // Two vehicles cannot provide enough peers under the default
+        // minimum.
+        let series = fleet(2, 10, None);
+        let scores = fleet_grand_scores(&series, &FleetGrandParams::default());
+        assert!(scores[0].iter().all(|s| s.is_nan()));
+    }
+
+    #[test]
+    fn early_days_have_fewer_peers() {
+        let series = fleet(8, 30, None);
+        let params = FleetGrandParams { min_peers: 40, ..Default::default() };
+        let scores = fleet_grand_scores(&series, &params);
+        // Day 0 has only 7 peer-days (< 40) → NaN; late days have plenty.
+        assert!(scores[0][0].is_nan());
+        assert!(scores[0].last().unwrap().is_finite());
+    }
+}

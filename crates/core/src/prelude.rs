@@ -1,0 +1,18 @@
+//! One-line import surface for downstream users:
+//!
+//! ```
+//! use navarchos_core::prelude::*;
+//!
+//! let cfg = PipelineConfig::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
+//! let pipeline = StreamingPipeline::new(&["a", "b", "c", "d", "e", "f"], cfg);
+//! assert_eq!(pipeline.phase_name(), "filling-reference");
+//! ```
+
+pub use crate::aggregator::{AlarmAggregator, AlarmInstance};
+pub use crate::detectors::{Detector, DetectorKind, DetectorParams, GrandNcm};
+pub use crate::evaluation::{EvalCounts, EvalParams};
+pub use crate::pipeline::{Alarm, PipelineConfig, StreamingPipeline};
+pub use crate::reference::{ReferenceProfile, ResetPolicy};
+pub use crate::runner::{run_vehicle, RunnerParams, VehicleScores};
+pub use crate::threshold::SelfTuningThreshold;
+pub use navarchos_tsframe::{FilterSpec, Frame, Transform, TransformKind};

@@ -1,0 +1,206 @@
+//! Property-based tests for the framework layer.
+
+use navarchos_core::evaluation::{
+    alarm_instances, dedup_alarms, evaluate_vehicle, EvalCounts, EvalParams,
+};
+use navarchos_core::reference::ReferenceProfile;
+use navarchos_core::threshold::{batch_thresholds, SelfTuningThreshold};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn threshold_monotone_in_factor(
+        scores in prop::collection::vec(0.0f64..100.0, 3..64),
+        f1 in 0.0f64..10.0,
+        f2 in 0.0f64..10.0,
+    ) {
+        let holdout = vec![scores];
+        let (a, b) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let ta = batch_thresholds(&holdout, a, None)[0];
+        let tb = batch_thresholds(&holdout, b, None)[0];
+        prop_assert!(ta <= tb + 1e-9);
+    }
+
+    #[test]
+    fn violations_shrink_with_factor(
+        healthy in prop::collection::vec(0.0f64..10.0, 4..32),
+        queries in prop::collection::vec(0.0f64..50.0, 1..32),
+    ) {
+        let mut th_low = SelfTuningThreshold::new(1, 1.0);
+        let mut th_high = SelfTuningThreshold::new(1, 5.0);
+        for &s in &healthy {
+            th_low.observe(&[s]);
+            th_high.observe(&[s]);
+        }
+        th_low.fit();
+        th_high.fit();
+        let v_low: usize = queries.iter().map(|&q| th_low.violations(&[q]).len()).sum();
+        let v_high: usize = queries.iter().map(|&q| th_high.violations(&[q]).len()).sum();
+        prop_assert!(v_high <= v_low);
+    }
+
+    #[test]
+    fn dedup_never_increases_count(
+        mut alarms in prop::collection::vec(0i64..10_000_000, 0..64),
+        window in 1i64..1_000_000,
+        min_v in 1usize..4,
+    ) {
+        alarms.sort_unstable();
+        let d = dedup_alarms(&alarms, window, min_v);
+        prop_assert!(d.len() <= alarms.len());
+        // Outputs are a subset of group-start times, strictly spaced.
+        for w in d.windows(2) {
+            prop_assert!(w[1] - w[0] >= window);
+        }
+    }
+
+    #[test]
+    fn instance_channels_rule(
+        events in prop::collection::vec((0i64..100i64, 0usize..4), 0..64),
+        min_channels in 1usize..4,
+    ) {
+        let mut evs = events.clone();
+        evs.sort();
+        let inst = alarm_instances(&evs, 10, 1, min_channels);
+        let lenient = alarm_instances(&evs, 10, 1, 1);
+        prop_assert!(inst.len() <= lenient.len(), "stricter channel rule cannot add instances");
+    }
+
+    #[test]
+    fn evaluation_counts_consistent(
+        mut alarms in prop::collection::vec(0i64..(365 * 86_400i64), 0..32),
+        mut repairs in prop::collection::vec(0i64..(365 * 86_400i64), 0..6),
+    ) {
+        alarms.sort_unstable();
+        repairs.sort_unstable();
+        repairs.dedup();
+        let params = EvalParams { min_instance_violations: 1, ..EvalParams::days(30) };
+        let c = evaluate_vehicle(&alarms, &repairs, params);
+        prop_assert_eq!(c.tp + c.fn_, repairs.len(), "every failure is hit or missed");
+        let instances = dedup_alarms(&alarms, params.dedup_seconds, 1);
+        prop_assert!(c.tp + c.fp <= instances.len() + repairs.len());
+    }
+
+    #[test]
+    fn fbeta_bounded(tp in 0usize..20, fp in 0usize..20, fn_ in 0usize..20, beta in 0.1f64..4.0) {
+        let c = EvalCounts { tp, fp, fn_ };
+        let f = c.f_beta(beta);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!((0.0..=1.0).contains(&c.precision()));
+        prop_assert!((0.0..=1.0).contains(&c.recall()));
+    }
+
+    #[test]
+    fn reference_profile_capacity_respected(
+        dim in 1usize..6,
+        capacity in 1usize..32,
+        extra in 0usize..16,
+    ) {
+        let mut p = ReferenceProfile::new(dim, capacity);
+        let sample: Vec<f64> = (0..dim).map(|i| i as f64).collect();
+        let mut completed = 0;
+        for _ in 0..(capacity + extra) {
+            if p.push(&sample) {
+                completed += 1;
+            }
+        }
+        prop_assert_eq!(p.len(), capacity);
+        prop_assert_eq!(completed, 1, "exactly one completing push");
+    }
+}
+
+mod detector_props {
+    use navarchos_core::detectors::{Detector, DetectorParams, KdeDetector, PcaDetector};
+    use navarchos_core::reference::ReferenceProfile;
+    use proptest::prelude::*;
+
+    fn profile_from(rows: &[(f64, f64, f64)]) -> ReferenceProfile {
+        let mut p = ReferenceProfile::new(3, rows.len());
+        for &(a, b, c) in rows {
+            p.push(&[a, b, c]);
+        }
+        p
+    }
+
+    proptest! {
+        #[test]
+        fn pca_residual_is_non_negative_and_translation_invariant(
+            rows in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0), 8..64),
+            query in (-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0),
+            shift in -100.0f64..100.0,
+        ) {
+            let mut d = PcaDetector::new(3, &DetectorParams::default());
+            d.fit(&profile_from(&rows));
+            let s = d.score(&[query.0, query.1, query.2])[0];
+            prop_assert!(s >= 0.0 && s.is_finite());
+
+            // Shifting the profile and the query together leaves the
+            // residual unchanged (PCA centres on the mean).
+            let shifted: Vec<(f64, f64, f64)> =
+                rows.iter().map(|&(a, b, c)| (a + shift, b + shift, c + shift)).collect();
+            let mut d2 = PcaDetector::new(3, &DetectorParams::default());
+            d2.fit(&profile_from(&shifted));
+            let s2 = d2.score(&[query.0 + shift, query.1 + shift, query.2 + shift])[0];
+            prop_assert!((s - s2).abs() <= 1e-6 * (1.0 + s.abs()), "{s} vs {s2}");
+        }
+
+        #[test]
+        fn pca_reference_samples_score_below_profile_diameter(
+            rows in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0), 8..40),
+        ) {
+            let profile = profile_from(&rows);
+            let mut d = PcaDetector::new(3, &DetectorParams::default());
+            d.fit(&profile);
+            // A residual is a distance to an affine subspace through the
+            // data mean, so it can never exceed the distance to the mean,
+            // which is itself bounded by the profile diameter.
+            let diameter = rows
+                .iter()
+                .flat_map(|a| rows.iter().map(move |b| {
+                    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2) + (a.2 - b.2).powi(2)).sqrt()
+                }))
+                .fold(0.0f64, f64::max);
+            for &(a, b, c) in &rows {
+                let s = d.score(&[a, b, c])[0];
+                prop_assert!(s <= diameter + 1e-9, "residual {s} > diameter {diameter}");
+            }
+        }
+
+        #[test]
+        fn kde_density_decreases_away_from_the_data(
+            rows in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0), 8..40),
+            direction in (0.1f64..1.0, 0.1f64..1.0, 0.1f64..1.0),
+        ) {
+            let mut d = KdeDetector::new(3, &DetectorParams::default());
+            d.fit(&profile_from(&rows));
+            // Walk far away along `direction`. Once every coordinate
+            // exceeds the data's (|coord| <= 5, direction >= 0.1 so k >= 60
+            // suffices), the distance to every kernel centre grows with k
+            // and novelty must grow monotonically.
+            let mut prev = f64::NEG_INFINITY;
+            for k in [60.0, 120.0, 240.0] {
+                let s = d.score(&[k * direction.0, k * direction.1, k * direction.2])[0];
+                prop_assert!(s.is_finite());
+                prop_assert!(s > prev, "novelty not growing: {s} after {prev}");
+                prev = s;
+            }
+        }
+
+        #[test]
+        fn kde_log_density_never_exceeds_max_kernel_height(
+            rows in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0), 8..40),
+            query in (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0),
+        ) {
+            let mut d = KdeDetector::new(3, &DetectorParams::default());
+            d.fit(&profile_from(&rows));
+            // Density ≤ product of kernel peaks: ln f(x) ≤ -Σ ln(h_j √2π).
+            let cap: f64 = -d
+                .bandwidths()
+                .iter()
+                .map(|h| (h * (2.0 * std::f64::consts::PI).sqrt()).ln())
+                .sum::<f64>();
+            let ld = d.log_density(&[query.0, query.1, query.2]);
+            prop_assert!(ld <= cap + 1e-9, "log-density {ld} above cap {cap}");
+        }
+    }
+}

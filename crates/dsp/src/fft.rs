@@ -1,0 +1,230 @@
+//! Iterative radix-2 Cooley–Tukey FFT. Window lengths in this workload are
+//! ≤ 256 samples, so a simple in-place implementation with precomputed
+//! twiddle factors is more than fast enough.
+
+/// A complex number (f64 re/im).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    pub fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, other: Complex) -> Complex {
+        Complex { re: self.re + other.re, im: self.im + other.im }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, other: Complex) -> Complex {
+        Complex { re: self.re - other.re, im: self.im - other.im }
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+}
+
+/// In-place forward FFT.
+///
+/// # Panics
+/// If the length is not a power of two (callers zero-pad; see
+/// [`power_spectrum`]).
+pub fn fft_inplace(data: &mut [Complex]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT (including the 1/n normalisation).
+///
+/// # Panics
+/// If the length is not a power of two.
+pub fn ifft_inplace(data: &mut [Complex]) {
+    fft_dir(data, true);
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        v.re /= n;
+        v.im /= n;
+    }
+}
+
+fn fft_dir(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly stages.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let w_len = Complex::new(angle.cos(), angle.sin());
+        let mut start = 0;
+        while start < n {
+            let mut w = Complex::real(1.0);
+            for k in 0..len / 2 {
+                let even = data[start + k];
+                let odd = data[start + k + len / 2] * w;
+                data[start + k] = even + odd;
+                data[start + k + len / 2] = even - odd;
+                w = w * w_len;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// One-sided power spectrum of a real signal: the signal is mean-removed,
+/// zero-padded to the next power of two, transformed, and the power of
+/// bins `0..n/2+1` returned (bin 0 is ~0 after mean removal).
+pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let mean = signal.iter().sum::<f64>() / signal.len() as f64;
+    let n = signal.len().next_power_of_two();
+    let mut buf: Vec<Complex> = signal.iter().map(|&v| Complex::real(v - mean)).collect();
+    buf.resize(n, Complex::default());
+    fft_inplace(&mut buf);
+    buf[..n / 2 + 1].iter().map(|c| c.norm_sq() / n as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::real(1.0);
+        fft_inplace(&mut data);
+        for c in &data {
+            assert_close(c.re, 1.0, 1e-12);
+            assert_close(c.im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_definition() {
+        let signal = [1.0, 2.0, -1.0, 0.5, 3.0, -2.0, 0.0, 1.5];
+        let mut fast: Vec<Complex> = signal.iter().map(|&v| Complex::real(v)).collect();
+        fft_inplace(&mut fast);
+        // Naive DFT.
+        let n = signal.len();
+        for (k, f) in fast.iter().enumerate() {
+            let mut acc = Complex::default();
+            for (t, &x) in signal.iter().enumerate() {
+                let angle = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                acc = acc + Complex::new(x * angle.cos(), x * angle.sin());
+            }
+            assert_close(f.re, acc.re, 1e-9);
+            assert_close(f.im, acc.im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn ifft_round_trips() {
+        let signal = [0.3, -1.2, 2.2, 0.0, 4.1, -0.5, 1.0, 0.7];
+        let mut buf: Vec<Complex> = signal.iter().map(|&v| Complex::real(v)).collect();
+        fft_inplace(&mut buf);
+        ifft_inplace(&mut buf);
+        for (c, &x) in buf.iter().zip(&signal) {
+            assert_close(c.re, x, 1e-10);
+            assert_close(c.im, 0.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn sinusoid_concentrates_in_one_bin() {
+        // 64 samples of a k=5 sinusoid → all power in bin 5.
+        let n = 64;
+        let k = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64).sin())
+            .collect();
+        let ps = power_spectrum(&signal);
+        let peak = ps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(peak, k);
+        let total: f64 = ps.iter().sum();
+        assert!(ps[k] / total > 0.99, "power concentrated: {}", ps[k] / total);
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let signal = [1.0, -2.0, 3.0, 0.5, -1.5, 2.5, 0.0, -0.5];
+        let mut buf: Vec<Complex> = signal.iter().map(|&v| Complex::real(v)).collect();
+        fft_inplace(&mut buf);
+        let time_energy: f64 = signal.iter().map(|&v| v * v).sum();
+        let freq_energy: f64 =
+            buf.iter().map(|c| c.norm_sq()).sum::<f64>() / signal.len() as f64;
+        assert_close(time_energy, freq_energy, 1e-9);
+    }
+
+    #[test]
+    fn power_spectrum_pads_non_power_of_two() {
+        let signal: Vec<f64> = (0..50).map(|t| (t as f64 * 0.3).sin()).collect();
+        let ps = power_spectrum(&signal);
+        assert_eq!(ps.len(), 64 / 2 + 1);
+        assert!(ps.iter().all(|&p| p >= 0.0 && p.is_finite()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_fft_panics() {
+        let mut data = vec![Complex::default(); 6];
+        fft_inplace(&mut data);
+    }
+}

@@ -1,0 +1,129 @@
+//! Fixed-bin normalised histograms — the "histograms" step-1 alternative
+//! named by the paper. A histogram over a window describes how the vehicle
+//! *distributes* its operation across a signal's range, which is closer to
+//! behaviour than raw values are.
+
+/// A fixed-range histogram specification.
+///
+/// ```
+/// use navarchos_dsp::Histogram;
+///
+/// let h = Histogram::new(0.0, 10.0, 5);
+/// let hist = h.normalized(&[1.0, 1.5, 9.0, 9.5]);
+/// assert_eq!(hist, vec![0.5, 0.0, 0.0, 0.0, 0.5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: usize,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    /// If `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "empty histogram range");
+        assert!(bins > 0, "need at least one bin");
+        Histogram { lo, hi, bins }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Bin index for a value; values outside the range clamp to the edge
+    /// bins (out-of-range operation is still operation).
+    pub fn bin_of(&self, v: f64) -> usize {
+        if !v.is_finite() {
+            return 0;
+        }
+        let frac = (v - self.lo) / (self.hi - self.lo);
+        ((frac * self.bins as f64).floor() as isize).clamp(0, self.bins as isize - 1) as usize
+    }
+
+    /// Normalised histogram of a window (fractions summing to 1; all-zero
+    /// for an empty window).
+    pub fn normalized(&self, window: &[f64]) -> Vec<f64> {
+        let mut counts = vec![0.0f64; self.bins];
+        let mut n = 0usize;
+        for &v in window {
+            if v.is_finite() {
+                counts[self.bin_of(v)] += 1.0;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            for c in &mut counts {
+                *c /= n as f64;
+            }
+        }
+        counts
+    }
+
+    /// Histogram intersection similarity of two normalised histograms
+    /// (1 = identical, 0 = disjoint).
+    pub fn intersection(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "histogram widths differ");
+        a.iter().zip(b).map(|(&x, &y)| x.min(y)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_of(0.0), 0);
+        assert_eq!(h.bin_of(1.9), 0);
+        assert_eq!(h.bin_of(2.0), 1);
+        assert_eq!(h.bin_of(9.99), 4);
+        assert_eq!(h.bin_of(10.0), 4, "upper edge clamps into the last bin");
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_of(-100.0), 0);
+        assert_eq!(h.bin_of(100.0), 4);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        let window = [0.1, 0.3, 0.6, 0.9, 0.95, f64::NAN];
+        let hist = h.normalized(&window);
+        assert!((hist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(hist.len(), 4);
+        // NaN dropped: 5 finite values; two in the last bin.
+        assert!((hist[3] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_all_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.normalized(&[]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn intersection_properties() {
+        let a = [0.5, 0.5, 0.0];
+        let b = [0.0, 0.5, 0.5];
+        assert!((Histogram::intersection(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((Histogram::intersection(&a, &b) - 0.5).abs() < 1e-12);
+        let c = [1.0, 0.0, 0.0];
+        let d = [0.0, 0.0, 1.0];
+        assert_eq!(Histogram::intersection(&c, &d), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_range_panics() {
+        Histogram::new(1.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,18 @@
+//! Signal-processing substrate for the frequency-domain and histogram data
+//! transformations that the paper names as step-1 alternatives
+//! ("delta transformation, correlation between signals, frequency-domain
+//! transformation, histograms, and others", Section 3.1) but does not
+//! evaluate — implemented here as the library's extension surface.
+//!
+//! * [`fft`] — an iterative radix-2 Cooley–Tukey FFT over `f64` pairs.
+//! * [`spectral`] — windowed spectral features (band energies, spectral
+//!   centroid/rolloff) built on the FFT.
+//! * [`histogram`] — fixed-bin normalised histograms of windowed signals.
+
+pub mod fft;
+pub mod histogram;
+pub mod spectral;
+
+pub use fft::{fft_inplace, ifft_inplace, power_spectrum, Complex};
+pub use histogram::Histogram;
+pub use spectral::{band_energies, spectral_centroid, spectral_rolloff};

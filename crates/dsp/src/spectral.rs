@@ -1,0 +1,129 @@
+//! Windowed spectral features over the one-sided power spectrum: the
+//! building blocks of the frequency-domain transformation.
+
+use crate::fft::power_spectrum;
+
+/// Total power in `n_bands` equal-width frequency bands of a signal's
+/// one-sided spectrum (DC bin excluded). The band energies are normalised
+/// to sum to 1, so the feature describes the *shape* of the spectrum, not
+/// the signal's amplitude — amplitude is usage-dependent, shape is
+/// behaviour-dependent.
+pub fn band_energies(signal: &[f64], n_bands: usize) -> Vec<f64> {
+    assert!(n_bands > 0, "need at least one band");
+    let ps = power_spectrum(signal);
+    if ps.len() <= 1 {
+        return vec![0.0; n_bands];
+    }
+    let bins = &ps[1..]; // drop DC
+    let mut bands = vec![0.0; n_bands];
+    for (i, &p) in bins.iter().enumerate() {
+        let band = (i * n_bands) / bins.len();
+        bands[band.min(n_bands - 1)] += p;
+    }
+    let total: f64 = bands.iter().sum();
+    if total > 0.0 {
+        for b in &mut bands {
+            *b /= total;
+        }
+    }
+    bands
+}
+
+/// Spectral centroid: the power-weighted mean frequency, in units of
+/// normalised frequency (0 = DC, 1 = Nyquist). 0 for a powerless signal.
+pub fn spectral_centroid(signal: &[f64]) -> f64 {
+    let ps = power_spectrum(signal);
+    if ps.len() <= 1 {
+        return 0.0;
+    }
+    let nyquist = (ps.len() - 1) as f64;
+    let total: f64 = ps[1..].iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    ps[1..]
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i + 1) as f64 / nyquist * p)
+        .sum::<f64>()
+        / total
+}
+
+/// Spectral rolloff: the normalised frequency below which `fraction` of the
+/// total (non-DC) power lies. 0 for a powerless signal.
+pub fn spectral_rolloff(signal: &[f64], fraction: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+    let ps = power_spectrum(signal);
+    if ps.len() <= 1 {
+        return 0.0;
+    }
+    let nyquist = (ps.len() - 1) as f64;
+    let total: f64 = ps[1..].iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (i, &p) in ps[1..].iter().enumerate() {
+        acc += p;
+        if acc >= fraction * total {
+            return (i + 1) as f64 / nyquist;
+        }
+    }
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, k: usize) -> Vec<f64> {
+        (0..n).map(|t| (2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64).sin()).collect()
+    }
+
+    #[test]
+    fn band_energies_sum_to_one() {
+        let signal = tone(64, 7);
+        let bands = band_energies(&signal, 4);
+        assert_eq!(bands.len(), 4);
+        assert!((bands.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_tone_fills_low_band() {
+        let bands = band_energies(&tone(64, 2), 4);
+        assert!(bands[0] > 0.95, "low tone lands in band 0: {bands:?}");
+        let bands_hi = band_energies(&tone(64, 30), 4);
+        assert!(bands_hi[3] > 0.95, "high tone lands in band 3: {bands_hi:?}");
+    }
+
+    #[test]
+    fn centroid_orders_tones() {
+        let lo = spectral_centroid(&tone(64, 3));
+        let hi = spectral_centroid(&tone(64, 25));
+        assert!(lo < hi);
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn centroid_of_pure_tone_is_its_frequency() {
+        // k = 8 of 64 samples → normalised frequency 8/32 = 0.25.
+        let c = spectral_centroid(&tone(64, 8));
+        assert!((c - 0.25).abs() < 0.01, "centroid {c}");
+    }
+
+    #[test]
+    fn rolloff_brackets_tone() {
+        let r = spectral_rolloff(&tone(64, 8), 0.9);
+        assert!((r - 0.25).abs() < 0.05, "rolloff {r}");
+        assert!(spectral_rolloff(&tone(64, 8), 0.0) <= r);
+    }
+
+    #[test]
+    fn degenerate_signals() {
+        assert_eq!(spectral_centroid(&[]), 0.0);
+        assert_eq!(spectral_centroid(&[5.0, 5.0, 5.0, 5.0]), 0.0, "constant → no power");
+        assert_eq!(spectral_rolloff(&[0.0; 8], 0.9), 0.0);
+        let bands = band_energies(&[0.0; 8], 3);
+        assert_eq!(bands, vec![0.0, 0.0, 0.0]);
+    }
+}

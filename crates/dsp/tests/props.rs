@@ -1,0 +1,86 @@
+//! Property-based tests for the DSP substrate.
+
+use navarchos_dsp::{band_energies, fft_inplace, ifft_inplace, power_spectrum, Complex, Histogram};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fft_ifft_round_trip(signal in prop::collection::vec(-100.0f64..100.0, 1..65)) {
+        let n = signal.len().next_power_of_two();
+        let mut buf: Vec<Complex> = signal.iter().map(|&v| Complex::real(v)).collect();
+        buf.resize(n, Complex::default());
+        fft_inplace(&mut buf);
+        ifft_inplace(&mut buf);
+        for (c, &x) in buf.iter().zip(&signal) {
+            prop_assert!((c.re - x).abs() < 1e-8);
+            prop_assert!(c.im.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(
+        a in prop::collection::vec(-10.0f64..10.0, 16..=16),
+        b in prop::collection::vec(-10.0f64..10.0, 16..=16),
+        alpha in -5.0f64..5.0,
+    ) {
+        // FFT(αa + b) == α·FFT(a) + FFT(b)
+        let run = |xs: &[f64]| {
+            let mut buf: Vec<Complex> = xs.iter().map(|&v| Complex::real(v)).collect();
+            fft_inplace(&mut buf);
+            buf
+        };
+        let combined: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| alpha * x + y).collect();
+        let lhs = run(&combined);
+        let fa = run(&a);
+        let fb = run(&b);
+        for i in 0..16 {
+            prop_assert!((lhs[i].re - (alpha * fa[i].re + fb[i].re)).abs() < 1e-7);
+            prop_assert!((lhs[i].im - (alpha * fa[i].im + fb[i].im)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn power_spectrum_nonnegative(signal in prop::collection::vec(-100.0f64..100.0, 2..100)) {
+        let ps = power_spectrum(&signal);
+        prop_assert!(ps.iter().all(|&p| p >= 0.0 && p.is_finite()));
+    }
+
+    #[test]
+    fn band_energies_simplex(signal in prop::collection::vec(-100.0f64..100.0, 8..64), bands in 1usize..8) {
+        let be = band_energies(&signal, bands);
+        prop_assert_eq!(be.len(), bands);
+        prop_assert!(be.iter().all(|&e| e >= 0.0));
+        let s: f64 = be.iter().sum();
+        prop_assert!(s < 1e-12 || (s - 1.0).abs() < 1e-9, "sum {s}");
+    }
+
+    #[test]
+    fn histogram_is_a_distribution(
+        window in prop::collection::vec(-50.0f64..50.0, 1..64),
+        bins in 2usize..12,
+    ) {
+        let h = Histogram::new(-10.0, 10.0, bins);
+        let hist = h.normalized(&window);
+        prop_assert_eq!(hist.len(), bins);
+        let s: f64 = hist.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        prop_assert!(hist.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn histogram_intersection_bounds(
+        a in prop::collection::vec(0.0f64..1.0, 6..=6),
+        b in prop::collection::vec(0.0f64..1.0, 6..=6),
+    ) {
+        // Normalise both.
+        let norm = |v: &[f64]| -> Vec<f64> {
+            let s: f64 = v.iter().sum();
+            if s > 0.0 { v.iter().map(|&x| x / s).collect() } else { vec![0.0; v.len()] }
+        };
+        let (na, nb) = (norm(&a), norm(&b));
+        let i = Histogram::intersection(&na, &nb);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&i));
+        let self_i = Histogram::intersection(&na, &na);
+        prop_assert!(i <= self_i + 1e-9, "self-intersection maximal");
+    }
+}

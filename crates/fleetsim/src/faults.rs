@@ -1,0 +1,311 @@
+//! Fault models. Every fault is designed to perturb the *relationships*
+//! between PID signals while keeping each individual signal inside its
+//! normal range most of the time — the property that makes the paper's
+//! correlation transformation effective and raw-space distances blind.
+
+use rand::Rng;
+
+/// The component failure developing before a repair event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Thermostat progressively stuck (partially) open: the coolant
+    /// regulates lower and starts tracking road speed inversely. Raw
+    /// coolant values (65–85 °C) still overlap the warm-up phase of every
+    /// healthy ride, but corr(speed, coolantTemp) flips sign persistently.
+    ThermostatStuckOpen,
+    /// Radiator/fan degradation: cooling capacity fades, coolant rises
+    /// with load instead of sitting at the thermostat point —
+    /// corr(rpm, coolantTemp) turns strongly positive.
+    RadiatorDegradation,
+    /// Mass-airflow sensor drift: the MAF reading loses gain and gains
+    /// noise — corr(mafAirFlowRate, mapIntake) and corr(maf, rpm) decay.
+    MafSensorDrift,
+    /// Intake manifold leak: unmetered air raises manifold pressure at low
+    /// throttle and lifts idle rpm — corr(mapIntake, mafAirFlowRate)
+    /// weakens and the map/rpm relationship shifts.
+    IntakeLeak,
+}
+
+impl FaultKind {
+    /// All fault kinds, used round-robin when planning fleet failures.
+    pub fn all() -> [FaultKind; 4] {
+        [
+            FaultKind::ThermostatStuckOpen,
+            FaultKind::RadiatorDegradation,
+            FaultKind::MafSensorDrift,
+            FaultKind::IntakeLeak,
+        ]
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::ThermostatStuckOpen => "thermostat-stuck-open",
+            FaultKind::RadiatorDegradation => "radiator-degradation",
+            FaultKind::MafSensorDrift => "maf-sensor-drift",
+            FaultKind::IntakeLeak => "intake-leak",
+        }
+    }
+}
+
+/// A planned fault: severity ramps linearly from 0 at `start` to 1 at
+/// `repair`, after which the component is fixed.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultWindow {
+    /// Index of the affected vehicle.
+    pub vehicle: usize,
+    /// Timestamp at which degradation begins.
+    pub start: i64,
+    /// Timestamp of the repair that ends the fault.
+    pub repair: i64,
+    /// The failing component.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// Severity in [0, 1] at time `t`: 0 before `start` and after
+    /// `repair`, linear ramp in between.
+    pub fn severity(&self, t: i64) -> f64 {
+        if t < self.start || t >= self.repair {
+            0.0
+        } else {
+            // Super-linear ramp: degradation accelerates as the component
+            // approaches failure, so the last weeks carry most of the
+            // signature while the early window stays subtle.
+            let lin = (t - self.start) as f64 / (self.repair - self.start).max(1) as f64;
+            lin.powf(1.5)
+        }
+    }
+}
+
+/// Effective physics modifiers produced by active faults; the physics
+/// engine consumes these on top of the vehicle's base model.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultEffects {
+    /// Replacement thermostat opening temperature offset (°C, ≤ 0).
+    pub thermostat_offset_c: f64,
+    /// Fraction of full radiator flow leaking through a stuck-open
+    /// thermostat *below* the opening point (0 = healthy, sealed).
+    /// A stuck thermostat keeps the radiator permanently in circuit, so
+    /// the coolant floats at a speed/load-dependent balance point instead
+    /// of regulating at the setpoint.
+    pub thermostat_stuck_fraction: f64,
+    /// Multiplier on radiator cooling capacity (≤ 1).
+    pub cooling_scale: f64,
+    /// Multiplier on the measured MAF reading (≤ 1).
+    pub maf_gain: f64,
+    /// Extra Gaussian noise on the MAF reading (g/s).
+    pub maf_noise: f64,
+    /// Probability per record of an intermittent MAF dropout (the sensor
+    /// momentarily reads a fraction of the true flow) — the decorrelating
+    /// signature of a dying MAF sensor.
+    pub maf_dropout_p: f64,
+    /// Probability per record of an intermittent manifold-leak surge
+    /// (the leak opens with vibration, spiking MAP at low load).
+    pub map_surge_p: f64,
+    /// Surge magnitude (kPa at closed throttle).
+    pub map_surge_kpa: f64,
+    /// Additive manifold pressure at low throttle (kPa, ≥ 0).
+    pub map_idle_offset: f64,
+    /// Low-throttle manifold pressure instability (kPa of extra noise,
+    /// scaled by (1 − load)): a leaking manifold hunts instead of holding
+    /// steady vacuum, which decorrelates MAP from rpm/MAF.
+    pub map_noise: f64,
+    /// Additive idle rpm (≥ 0).
+    pub idle_rpm_offset: f64,
+}
+
+impl Default for FaultEffects {
+    fn default() -> Self {
+        FaultEffects {
+            thermostat_offset_c: 0.0,
+            thermostat_stuck_fraction: 0.0,
+            cooling_scale: 1.0,
+            maf_gain: 1.0,
+            maf_noise: 0.0,
+            maf_dropout_p: 0.0,
+            map_surge_p: 0.0,
+            map_surge_kpa: 0.0,
+            map_idle_offset: 0.0,
+            map_noise: 0.0,
+            idle_rpm_offset: 0.0,
+        }
+    }
+}
+
+impl FaultEffects {
+    /// Accumulates the effect of one fault at the given severity.
+    pub fn accumulate(&mut self, kind: FaultKind, severity: f64) {
+        let s = severity.clamp(0.0, 1.0);
+        if s == 0.0 {
+            return;
+        }
+        match kind {
+            FaultKind::ThermostatStuckOpen => {
+                // The thermostat progressively sticks open: a growing
+                // fraction of radiator flow bypasses the (closed) valve, so
+                // the coolant floats at a speed/load-dependent balance
+                // point below the setpoint instead of regulating there.
+                self.thermostat_stuck_fraction += 0.30 * s;
+                self.thermostat_offset_c -= 6.0 * s;
+            }
+            FaultKind::RadiatorDegradation => {
+                self.cooling_scale *= 1.0 - 0.80 * s;
+            }
+            FaultKind::MafSensorDrift => {
+                self.maf_gain *= 1.0 - 0.25 * s;
+                self.maf_noise += 4.0 * s;
+                self.maf_dropout_p += 0.45 * s;
+            }
+            FaultKind::IntakeLeak => {
+                self.map_idle_offset += 8.0 * s;
+                self.map_surge_p += 0.50 * s;
+                self.map_surge_kpa += 45.0 * s;
+                self.idle_rpm_offset += 180.0 * s;
+                self.maf_gain *= 1.0 - 0.12 * s;
+            }
+        }
+    }
+
+    /// Combined effects of all `windows` active on vehicle `vehicle` at
+    /// time `t`.
+    pub fn at(windows: &[FaultWindow], vehicle: usize, t: i64) -> FaultEffects {
+        let mut fx = FaultEffects::default();
+        for w in windows.iter().filter(|w| w.vehicle == vehicle) {
+            let s = w.severity(t);
+            if s > 0.0 {
+                fx.accumulate(w.kind, s);
+            }
+        }
+        fx
+    }
+
+    /// Applies the measurement-side corruption (MAF gain/noise) to a
+    /// measured MAF value.
+    pub fn corrupt_maf<R: Rng>(&self, maf_true: f64, rng: &mut R) -> f64 {
+        let mut out = maf_true;
+        if self.maf_noise > 0.0 {
+            out += self.maf_noise * normal(rng);
+        }
+        out *= self.maf_gain;
+        if self.maf_dropout_p > 0.0 && rng.gen_bool(self.maf_dropout_p.clamp(0.0, 1.0)) {
+            out *= 0.15;
+        }
+        out.max(0.0)
+    }
+
+    /// Applies the intermittent manifold-leak surge to the low-throttle MAP
+    /// contribution (called by the physics with the current load).
+    pub fn map_surge<R: Rng>(&self, load: f64, rng: &mut R) -> f64 {
+        if self.map_surge_p > 0.0 && rng.gen_bool(self.map_surge_p.clamp(0.0, 1.0)) {
+            self.map_surge_kpa * (1.0 - load)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Standard normal draw via Box–Muller (kept local: `rand_distr` is not in
+/// the sanctioned dependency set).
+pub fn normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn severity_ramp() {
+        let w = FaultWindow { vehicle: 0, start: 100, repair: 200, kind: FaultKind::IntakeLeak };
+        assert_eq!(w.severity(50), 0.0);
+        assert_eq!(w.severity(100), 0.0);
+        assert!((w.severity(150) - 0.5f64.powf(1.5)).abs() < 1e-12);
+        assert!(w.severity(199) > 0.98);
+        assert_eq!(w.severity(200), 0.0, "fixed at repair time");
+        assert_eq!(w.severity(250), 0.0);
+    }
+
+    #[test]
+    fn effects_accumulate_per_kind() {
+        let mut fx = FaultEffects::default();
+        fx.accumulate(FaultKind::ThermostatStuckOpen, 1.0);
+        assert!(fx.thermostat_stuck_fraction > 0.2);
+        assert!(fx.thermostat_offset_c < 0.0);
+
+        let mut fx = FaultEffects::default();
+        fx.accumulate(FaultKind::RadiatorDegradation, 1.0);
+        assert!(fx.cooling_scale < 0.5);
+
+        let mut fx = FaultEffects::default();
+        fx.accumulate(FaultKind::MafSensorDrift, 1.0);
+        assert!(fx.maf_gain <= 0.8);
+        assert!(fx.maf_noise > 0.0);
+        assert!(fx.maf_dropout_p > 0.3);
+
+        let mut fx = FaultEffects::default();
+        fx.accumulate(FaultKind::IntakeLeak, 1.0);
+        assert!(fx.map_idle_offset > 4.0);
+        assert!(fx.map_surge_p > 0.3);
+        assert!(fx.map_surge_kpa > 20.0);
+        assert!(fx.idle_rpm_offset > 100.0);
+    }
+
+    #[test]
+    fn zero_severity_is_identity() {
+        let mut fx = FaultEffects::default();
+        for kind in FaultKind::all() {
+            fx.accumulate(kind, 0.0);
+        }
+        assert_eq!(fx.cooling_scale, 1.0);
+        assert_eq!(fx.maf_gain, 1.0);
+        assert_eq!(fx.thermostat_offset_c, 0.0);
+    }
+
+    #[test]
+    fn at_combines_only_matching_vehicle() {
+        let windows = vec![
+            FaultWindow { vehicle: 0, start: 0, repair: 100, kind: FaultKind::MafSensorDrift },
+            FaultWindow { vehicle: 1, start: 0, repair: 100, kind: FaultKind::IntakeLeak },
+        ];
+        let fx0 = FaultEffects::at(&windows, 0, 50);
+        assert!(fx0.maf_gain < 1.0);
+        assert_eq!(fx0.map_idle_offset, 0.0);
+        let fx2 = FaultEffects::at(&windows, 2, 50);
+        assert_eq!(fx2.maf_gain, 1.0);
+    }
+
+    #[test]
+    fn corrupt_maf_scales_and_stays_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut fx = FaultEffects::default();
+        fx.accumulate(FaultKind::MafSensorDrift, 1.0);
+        let vals: Vec<f64> = (0..400).map(|_| fx.corrupt_maf(20.0, &mut rng)).collect();
+        assert!(vals.iter().all(|&v| v >= 0.0));
+        // Gain 0.75 with 45 % dropouts at 15 %: E ≈ 20·0.75·(0.55 + 0.45·0.15) ≈ 9.3
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 9.3).abs() < 1.5, "expected ≈ 9.3, got {mean}");
+        // Dropout records are visible as a distinct low mode.
+        let lows = vals.iter().filter(|&&v| v < 4.0).count();
+        assert!(lows > 100, "dropouts present: {lows}");
+    }
+
+    #[test]
+    fn normal_is_standard() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+}

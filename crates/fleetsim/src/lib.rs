@@ -1,0 +1,36 @@
+//! Synthetic fleet telemetry substrate replacing the proprietary Navarchos
+//! FMS dataset of the paper.
+//!
+//! The simulator produces, for a configurable fleet, the six OBD-II PID
+//! signals of the paper at one record per minute of operation, plus the
+//! maintenance event log (services, repairs, DTCs) with the paper's
+//! *partial information* property: only a subset of vehicles has any events
+//! recorded, and several true events are silently missing.
+//!
+//! The generator is physics-grounded rather than noise-grounded so the
+//! paper's structural findings reproduce from first principles:
+//!
+//! * usage (urban / regional / highway / short rides) and vehicle model
+//!   dominate the *raw* signal space — clustering day-aggregated raw data
+//!   yields usage/model clusters, not health clusters (Section 2, Fig. 2);
+//! * faults perturb the *relationships* between signals (thermostat stuck
+//!   open, intake leak, MAF drift, radiator degradation), so the
+//!   correlation transformation exposes them while raw distances drown in
+//!   usage variance (Sections 3–4).
+//!
+//! Everything is deterministic given [`FleetConfig::seed`].
+
+pub mod events;
+pub mod faults;
+pub mod fleet;
+pub mod physics;
+pub mod types;
+pub mod usage;
+pub mod vehicle;
+
+pub use events::{Event, EventKind};
+pub use faults::{FaultKind, FaultWindow};
+pub use fleet::{FleetConfig, FleetData, VehicleData};
+pub use types::{VehicleId, PID_NAMES, RECORD_INTERVAL_SECONDS, START_EPOCH};
+pub use usage::{RideKind, UsageProfile};
+pub use vehicle::VehicleModel;

@@ -1,0 +1,369 @@
+//! Per-minute signal generation: a compact longitudinal + thermal vehicle
+//! model. Signals are produced in the canonical PID order of
+//! [`crate::types::PID_NAMES`].
+
+use crate::faults::{normal, FaultEffects};
+use crate::types::pid;
+use crate::usage::RideKind;
+use crate::vehicle::VehicleModel;
+use rand::Rng;
+
+/// Thermal state carried between rides (coolant retains heat while
+/// parked).
+#[derive(Debug, Clone, Copy)]
+pub struct ThermalState {
+    /// Coolant temperature (°C).
+    pub coolant_c: f64,
+    /// Timestamp at which the vehicle last stopped operating.
+    pub last_stop: i64,
+}
+
+impl ThermalState {
+    /// A vehicle that has been parked long enough to be fully cold.
+    pub fn cold(ambient_c: f64) -> Self {
+        ThermalState { coolant_c: ambient_c, last_stop: i64::MIN / 2 }
+    }
+
+    /// Exponential cool-down toward ambient while parked (time constant
+    /// ~45 minutes).
+    pub fn cool_down(&mut self, now: i64, ambient_c: f64) {
+        let parked_min = ((now - self.last_stop).max(0) as f64) / 60.0;
+        let decay = (-parked_min / 45.0).exp();
+        self.coolant_c = ambient_c + (self.coolant_c - ambient_c) * decay;
+    }
+}
+
+/// One generated record: the six PID values, in canonical order.
+pub type PidRecord = [f64; 6];
+
+/// Simulates a single ride, appending one record per minute to `out` and
+/// updating the thermal state.
+///
+/// `effects` carries any active fault modifiers; pass
+/// `FaultEffects::default()` for a healthy vehicle.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_ride<R: Rng>(
+    model: &VehicleModel,
+    effects: &FaultEffects,
+    thermal: &mut ThermalState,
+    kind: RideKind,
+    start_time: i64,
+    duration_min: usize,
+    ambient_c: f64,
+    rng: &mut R,
+    out: &mut Vec<(i64, PidRecord)>,
+) {
+    thermal.cool_down(start_time, ambient_c);
+
+    let target = kind.target_speed() * rng.gen_range(0.85..1.15);
+    let sigma = kind.speed_sigma();
+    let stop_p = kind.stop_probability();
+    let idle_rpm = model.idle_rpm + effects.idle_rpm_offset;
+    let thermostat = model.thermostat_open_c + effects.thermostat_offset_c;
+    let cooling_gain = model.cooling_gain * effects.cooling_scale;
+
+    let mut v = 0.0f64;
+    let mut stopped_for = 0usize;
+    // Traffic-wave OU process: the effective cruise target drifts slowly.
+    let mut wave = 0.0f64;
+    let wave_sigma = kind.target_wave_sigma();
+    // Slow road-grade process (OU): hills modulate engine load even at
+    // constant speed, keeping load-coupled signals genuinely co-moving
+    // during cruise.
+    let mut grade = 0.0f64;
+
+    for minute in 0..duration_min {
+        let t = start_time + minute as i64 * 60;
+
+        // --- Longitudinal dynamics -------------------------------------
+        wave += 0.10 * (0.0 - wave) + wave_sigma * normal(rng);
+        let target_now = if stopped_for > 0 {
+            stopped_for -= 1;
+            0.0
+        } else if rng.gen_bool(stop_p) {
+            stopped_for = rng.gen_range(1..3);
+            0.0
+        } else {
+            (target + wave).max(0.0)
+        };
+        let prev_v = v;
+        v += 0.38 * (target_now - v) + sigma * normal(rng) * 0.4;
+        v = v.clamp(0.0, 135.0);
+        let accel = v - prev_v; // km/h per minute
+
+        // --- Engine speed ----------------------------------------------
+        let rpm_true = if v < 2.0 {
+            idle_rpm
+        } else {
+            idle_rpm * 0.35 + v * model.rpm_per_kmh(v) + 18.0 * accel.max(0.0)
+        };
+
+        // --- Load & manifold pressure -----------------------------------
+        grade += 0.25 * (0.0 - grade) + 0.035 * normal(rng);
+        grade = grade.clamp(-0.09, 0.09);
+        let load = (0.12 + 0.004 * v + 0.055 * accel.max(0.0) + 0.000028 * v * v
+            + grade * (0.3 + v / 90.0))
+            .clamp(0.08, 1.0);
+        let map_true = model.map_idle_kpa
+            + (model.map_wot_kpa - model.map_idle_kpa) * load
+            + (1.0 - load) * (effects.map_idle_offset + effects.map_noise * normal(rng))
+            + effects.map_surge(load, rng);
+
+        // --- Intake air temperature -------------------------------------
+        // Heat soak at low speed, ram-air cooling at high speed, plus a
+        // small coupling to the coolant (shared engine bay).
+        let intake_true = ambient_c
+            + 6.0
+            + 14.0 * (-v / 35.0).exp()
+            + 0.05 * (thermal.coolant_c - ambient_c).max(0.0) * (-v / 60.0).exp();
+
+        // --- Mass airflow (speed–density) --------------------------------
+        // g/s = VE · disp(L) · rpm/120 · P(kPa) / (0.287 · T(K))
+        let t_kelvin = intake_true + 273.15;
+        let maf_true = model.volumetric_efficiency * model.displacement_l * rpm_true / 120.0
+            * map_true
+            / (0.287 * t_kelvin);
+
+        // --- Coolant thermal ODE (per-minute Euler step) ------------------
+        // Sub-linear rpm exponent: real engines shed a growing share of
+        // combustion heat through the exhaust at high rpm, so coolant heat
+        // input grows slower than rpm.
+        let heat = model.heat_gain * load * (rpm_true / 1000.0).powf(0.7);
+        // Proportional thermostat: the valve opens over a 4 °C band above
+        // the setpoint, so a healthy engine settles smoothly a degree or
+        // two above it instead of bang-bang cycling (1.2 °C band). A stuck-open valve
+        // (fault) leaks a fraction of full radiator flow even when closed.
+        let opening = ((thermal.coolant_c - thermostat) / 1.2).clamp(0.0, 1.0);
+        let radiator_flow = opening.max(effects.thermostat_stuck_fraction);
+        let cooling = radiator_flow
+            * cooling_gain
+            * (thermal.coolant_c - ambient_c)
+            * (1.0 + v / 40.0)
+            + 0.012 * (thermal.coolant_c - ambient_c);
+        thermal.coolant_c += (heat - cooling) * 0.55;
+        thermal.coolant_c = thermal.coolant_c.clamp(ambient_c - 5.0, 125.0);
+
+        // --- Sensor layer -------------------------------------------------
+        let n = &model.sensor_noise;
+        let mut rec: PidRecord = [0.0; 6];
+        rec[pid::RPM] = (rpm_true + n[0] * normal(rng)).max(0.0);
+        rec[pid::SPEED] = (v + n[1] * normal(rng)).max(0.0);
+        rec[pid::COOLANT] = thermal.coolant_c + n[2] * normal(rng);
+        rec[pid::INTAKE_TEMP] = intake_true + n[3] * normal(rng);
+        rec[pid::MAP] = (map_true + n[4] * normal(rng)).max(10.0);
+        rec[pid::MAF] = effects.corrupt_maf(maf_true + n[5] * normal(rng), rng);
+
+        out.push((t, rec));
+    }
+
+    thermal.last_stop = start_time + duration_min as i64 * 60;
+}
+
+/// Seasonal + diurnal ambient temperature model (°C) for a day index and
+/// an hour of day; mild Mediterranean climate matching the paper's fleet
+/// region.
+pub fn ambient_temperature(day: usize, hour: f64, daily_jitter: f64) -> f64 {
+    ambient_temperature_with(day, hour, daily_jitter, 5.5)
+}
+
+/// [`ambient_temperature`] with an explicit seasonal amplitude (°C) — the
+/// climate knob of the seasonal-drift ablation.
+pub fn ambient_temperature_with(
+    day: usize,
+    hour: f64,
+    daily_jitter: f64,
+    seasonal_amplitude: f64,
+) -> f64 {
+    let seasonal = 15.0
+        + seasonal_amplitude
+            * ((day as f64 - 15.0) / 365.0 * std::f64::consts::TAU - std::f64::consts::FRAC_PI_2)
+                .sin();
+    let diurnal = 3.0 * ((hour - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+    seasonal + diurnal + daily_jitter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultKind;
+    use navarchos_stat::correlation::pearson;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_ride(kind: RideKind, effects: &FaultEffects, minutes: usize, seed: u64) -> Vec<PidRecord> {
+        let model = VehicleModel::compact();
+        let mut thermal = ThermalState::cold(15.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        simulate_ride(&model, effects, &mut thermal, kind, 0, minutes, 15.0, &mut rng, &mut out);
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+
+    #[test]
+    fn signals_within_physical_ranges() {
+        for kind in [RideKind::Urban, RideKind::Highway, RideKind::ExtraShort, RideKind::Long] {
+            let recs = run_ride(kind, &FaultEffects::default(), 90, 1);
+            for r in &recs {
+                assert!(r[pid::RPM] >= 0.0 && r[pid::RPM] < 8000.0, "{kind:?} rpm {}", r[pid::RPM]);
+                assert!(r[pid::SPEED] >= 0.0 && r[pid::SPEED] <= 150.0);
+                assert!(r[pid::COOLANT] > 0.0 && r[pid::COOLANT] <= 128.0);
+                assert!(r[pid::INTAKE_TEMP] > 0.0 && r[pid::INTAKE_TEMP] < 80.0);
+                assert!(r[pid::MAP] >= 10.0 && r[pid::MAP] <= 130.0);
+                assert!(r[pid::MAF] >= 0.0 && r[pid::MAF] < 400.0);
+            }
+        }
+    }
+
+    #[test]
+    fn coolant_warms_up_and_regulates() {
+        let recs = run_ride(RideKind::Regional, &FaultEffects::default(), 120, 2);
+        let early = recs[2][pid::COOLANT];
+        let late: f64 =
+            recs[100..].iter().map(|r| r[pid::COOLANT]).sum::<f64>() / (recs.len() - 100) as f64;
+        assert!(early < 50.0, "cold start, got {early}");
+        assert!((82.0..98.0).contains(&late), "regulated near thermostat, got {late}");
+    }
+
+    #[test]
+    fn highway_faster_and_higher_rpm_than_urban() {
+        let hw = run_ride(RideKind::Highway, &FaultEffects::default(), 80, 3);
+        let ur = run_ride(RideKind::Urban, &FaultEffects::default(), 80, 3);
+        let mean = |rs: &[PidRecord], i: usize| {
+            rs.iter().map(|r| r[i]).sum::<f64>() / rs.len() as f64
+        };
+        assert!(mean(&hw, pid::SPEED) > 2.0 * mean(&ur, pid::SPEED));
+        assert!(mean(&hw, pid::RPM) > mean(&ur, pid::RPM));
+        assert!(mean(&hw, pid::MAF) > mean(&ur, pid::MAF));
+    }
+
+    #[test]
+    fn rpm_speed_strongly_correlated_when_healthy() {
+        let recs = run_ride(RideKind::Regional, &FaultEffects::default(), 120, 4);
+        let rpm: Vec<f64> = recs.iter().map(|r| r[pid::RPM]).collect();
+        let speed: Vec<f64> = recs.iter().map(|r| r[pid::SPEED]).collect();
+        assert!(pearson(&rpm, &speed) > 0.8);
+    }
+
+    #[test]
+    fn map_maf_correlated_when_healthy_decorrelated_under_maf_drift() {
+        let healthy = run_ride(RideKind::Urban, &FaultEffects::default(), 150, 5);
+        let mut fx = FaultEffects::default();
+        fx.accumulate(FaultKind::MafSensorDrift, 1.0);
+        let faulty = run_ride(RideKind::Urban, &fx, 150, 5);
+        let corr = |rs: &[PidRecord]| {
+            let a: Vec<f64> = rs.iter().map(|r| r[pid::MAP]).collect();
+            let b: Vec<f64> = rs.iter().map(|r| r[pid::MAF]).collect();
+            pearson(&a, &b)
+        };
+        let c_h = corr(&healthy);
+        let c_f = corr(&faulty);
+        assert!(c_h > 0.78, "healthy map~maf = {c_h}");
+        assert!(c_f < c_h - 0.12, "drift weakens coupling: {c_f} vs {c_h}");
+    }
+
+    /// Simulates a day-like mixed sequence of rides with shared thermal
+    /// state (warm restarts), mirroring real operation.
+    fn run_mixed_day(effects: &FaultEffects, seed: u64) -> Vec<PidRecord> {
+        let model = VehicleModel::compact();
+        let mut thermal = ThermalState::cold(15.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        let mut t0 = 0i64;
+        for _ in 0..6 {
+            simulate_ride(&model, effects, &mut thermal, RideKind::Urban, t0, 45, 15.0, &mut rng, &mut out);
+            t0 += 45 * 60 + 3600;
+            simulate_ride(&model, effects, &mut thermal, RideKind::Regional, t0, 60, 15.0, &mut rng, &mut out);
+            t0 += 60 * 60 + 3600;
+        }
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+
+    #[test]
+    fn thermostat_fault_unpins_coolant() {
+        let mut fx = FaultEffects::default();
+        fx.accumulate(FaultKind::ThermostatStuckOpen, 1.0);
+        // Single long ride: compare the fully warmed-up tail.
+        let run_long = |fx: &FaultEffects, seed: u64| {
+            let model = VehicleModel::compact();
+            let mut thermal = ThermalState::cold(15.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            simulate_ride(&model, fx, &mut thermal, RideKind::Regional, 0, 150, 15.0, &mut rng, &mut out);
+            out.into_iter().map(|(_, r)| r).collect::<Vec<PidRecord>>()
+        };
+        let healthy = run_long(&FaultEffects::default(), 6);
+        let faulty = run_long(&fx, 6);
+        let tail = |rs: &[PidRecord]| -> Vec<f64> {
+            rs[100..].iter().map(|r| r[pid::COOLANT]).collect()
+        };
+        let h = tail(&healthy);
+        let f = tail(&faulty);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        // Healthy: regulated at the setpoint. Faulty: the radiator is
+        // permanently in circuit, so the engine settles well below it and
+        // the temperature floats with speed/load.
+        assert!((85.0..95.0).contains(&mean(&h)), "healthy settles near 89, got {}", mean(&h));
+        assert!(mean(&f) < mean(&h) - 5.0, "faulty runs cool: {} vs {}", mean(&f), mean(&h));
+        // The faulty engine regularly dips far below any healthy warm
+        // temperature.
+        let q10_h = navarchos_stat::descriptive::quantile(&h, 0.1);
+        let q10_f = navarchos_stat::descriptive::quantile(&f, 0.1);
+        assert!(q10_f < q10_h - 5.0, "faulty dips low: {q10_f} vs {q10_h}");
+    }
+
+    #[test]
+    fn intake_leak_decouples_map() {
+        let mut fx = FaultEffects::default();
+        fx.accumulate(FaultKind::IntakeLeak, 1.0);
+        let healthy = run_mixed_day(&FaultEffects::default(), 8);
+        let faulty = run_mixed_day(&fx, 8);
+        let corr = |rs: &[PidRecord]| {
+            let a: Vec<f64> = rs.iter().map(|r| r[pid::RPM]).collect();
+            let b: Vec<f64> = rs.iter().map(|r| r[pid::MAP]).collect();
+            pearson(&a, &b)
+        };
+        let c_h = corr(&healthy);
+        let c_f = corr(&faulty);
+        assert!(c_f < c_h - 0.08, "leak decouples rpm~map: {c_f} vs {c_h}");
+    }
+
+    #[test]
+    fn radiator_fault_raises_load_temperature_coupling() {
+        let mut fx = FaultEffects::default();
+        fx.accumulate(FaultKind::RadiatorDegradation, 1.0);
+        let healthy = run_ride(RideKind::Highway, &FaultEffects::default(), 200, 7);
+        let faulty = run_ride(RideKind::Highway, &fx, 200, 7);
+        let warm_mean = |rs: &[PidRecord]| {
+            rs[100..].iter().map(|r| r[pid::COOLANT]).sum::<f64>() / (rs.len() - 100) as f64
+        };
+        assert!(warm_mean(&faulty) > warm_mean(&healthy) + 3.0, "runs hotter under load");
+        assert!(warm_mean(&faulty) < 126.0, "but stays inside the plausible range");
+    }
+
+    #[test]
+    fn thermal_state_cools_while_parked() {
+        let mut ts = ThermalState { coolant_c: 90.0, last_stop: 0 };
+        ts.cool_down(3600, 10.0); // parked one hour (timestamps in seconds)
+        assert!(ts.coolant_c < 90.0 && ts.coolant_c > 15.0);
+        let mut ts2 = ThermalState { coolant_c: 90.0, last_stop: 0 };
+        ts2.cool_down(10 * 3600, 10.0); // parked 10 hours → ambient
+        assert!((ts2.coolant_c - 10.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn ambient_seasonality() {
+        let summer = ambient_temperature(200, 14.0, 0.0);
+        let winter = ambient_temperature(20, 14.0, 0.0);
+        assert!(summer > winter + 10.0, "summer {summer} vs winter {winter}");
+        let noon = ambient_temperature(100, 14.0, 0.0);
+        let night = ambient_temperature(100, 2.0, 0.0);
+        assert!(noon > night);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_ride(RideKind::Urban, &FaultEffects::default(), 30, 42);
+        let b = run_ride(RideKind::Urban, &FaultEffects::default(), 30, 42);
+        assert_eq!(a, b);
+    }
+}

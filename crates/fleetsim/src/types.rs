@@ -1,0 +1,68 @@
+//! Shared identifiers and constants of the simulated fleet.
+
+/// The six OBD-II PID signals the paper collects, in canonical column
+/// order. Every frame produced by the simulator uses exactly these names.
+pub const PID_NAMES: [&str; 6] =
+    ["rpm", "speed", "coolantTemp", "intakeTemp", "mapIntake", "mafAirFlowRate"];
+
+/// Index of each PID in [`PID_NAMES`] (kept in one place so physics code
+/// reads declaratively).
+pub mod pid {
+    /// Engine speed (revolutions per minute).
+    pub const RPM: usize = 0;
+    /// Road speed (km/h).
+    pub const SPEED: usize = 1;
+    /// Engine coolant temperature (°C).
+    pub const COOLANT: usize = 2;
+    /// Intake manifold air temperature (°C).
+    pub const INTAKE_TEMP: usize = 3;
+    /// Manifold absolute pressure (kPa).
+    pub const MAP: usize = 4;
+    /// Mass air-flow rate (g/s).
+    pub const MAF: usize = 5;
+}
+
+/// Sampling interval: one record per minute of operation, as in the paper.
+pub const RECORD_INTERVAL_SECONDS: i64 = 60;
+
+/// Simulation start timestamp (2023-01-01T00:00:00Z). A fixed epoch keeps
+/// every run reproducible.
+pub const START_EPOCH: i64 = 1_672_531_200;
+
+/// Identifier of a vehicle within a fleet (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VehicleId(pub u32);
+
+impl VehicleId {
+    /// Index into fleet-ordered collections.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VehicleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vehicle-{:02}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_indices_match_names() {
+        assert_eq!(PID_NAMES[pid::RPM], "rpm");
+        assert_eq!(PID_NAMES[pid::SPEED], "speed");
+        assert_eq!(PID_NAMES[pid::COOLANT], "coolantTemp");
+        assert_eq!(PID_NAMES[pid::INTAKE_TEMP], "intakeTemp");
+        assert_eq!(PID_NAMES[pid::MAP], "mapIntake");
+        assert_eq!(PID_NAMES[pid::MAF], "mafAirFlowRate");
+    }
+
+    #[test]
+    fn vehicle_id_display() {
+        assert_eq!(VehicleId(7).to_string(), "vehicle-07");
+        assert_eq!(VehicleId(23).index(), 23);
+    }
+}

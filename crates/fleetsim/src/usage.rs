@@ -1,0 +1,234 @@
+//! Usage regimes: what kind of rides a vehicle performs and how often.
+//!
+//! Usage — not health — is the dominant source of variance in the raw
+//! signals, which is the core confounder the paper's framework must
+//! overcome. Profiles below reproduce the cluster semantics of Figure 2:
+//! regular rides, extremely small rides, high-speed long rides, short
+//! rides, and long rides.
+
+use rand::Rng;
+
+/// The kind of one ride.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RideKind {
+    /// Dense stop-and-go city traffic.
+    Urban,
+    /// Mixed suburban / regional roads.
+    Regional,
+    /// Sustained high-speed motorway driving.
+    Highway,
+    /// Short errand (5–15 minutes).
+    Short,
+    /// Extremely small hop (2–6 minutes) — the engine barely warms up.
+    ExtraShort,
+    /// Multi-hour long-distance trip.
+    Long,
+}
+
+impl RideKind {
+    /// Target cruise speed (km/h) for the ride kind.
+    pub fn target_speed(&self) -> f64 {
+        match self {
+            RideKind::Urban => 26.0,
+            RideKind::Regional => 58.0,
+            RideKind::Highway => 104.0,
+            RideKind::Short => 30.0,
+            RideKind::ExtraShort => 19.0,
+            RideKind::Long => 86.0,
+        }
+    }
+
+    /// Speed volatility (stop-and-go produces large swings).
+    pub fn speed_sigma(&self) -> f64 {
+        match self {
+            RideKind::Urban => 9.0,
+            RideKind::Regional => 6.0,
+            RideKind::Highway => 4.0,
+            RideKind::Short => 8.0,
+            RideKind::ExtraShort => 7.0,
+            RideKind::Long => 5.0,
+        }
+    }
+
+    /// Probability per minute of a full stop (traffic light, junction).
+    pub fn stop_probability(&self) -> f64 {
+        match self {
+            RideKind::Urban => 0.16,
+            RideKind::Regional => 0.05,
+            RideKind::Highway => 0.004,
+            RideKind::Short => 0.12,
+            RideKind::ExtraShort => 0.14,
+            RideKind::Long => 0.02,
+        }
+    }
+
+    /// Standard deviation of the slow traffic-wave drift of the target
+    /// speed (km/h per minute of OU forcing): even "steady" motorway
+    /// cruising breathes with surrounding traffic.
+    pub fn target_wave_sigma(&self) -> f64 {
+        match self {
+            RideKind::Urban => 1.0,
+            RideKind::Regional => 2.2,
+            RideKind::Highway => 3.5,
+            RideKind::Short => 1.0,
+            RideKind::ExtraShort => 0.8,
+            RideKind::Long => 3.0,
+        }
+    }
+
+    /// Ride duration range in minutes (inclusive-exclusive).
+    pub fn duration_range(&self) -> (usize, usize) {
+        match self {
+            RideKind::Urban => (20, 55),
+            RideKind::Regional => (25, 70),
+            RideKind::Highway => (35, 90),
+            RideKind::Short => (5, 15),
+            RideKind::ExtraShort => (2, 6),
+            RideKind::Long => (110, 220),
+        }
+    }
+}
+
+/// A vehicle's long-run usage pattern: a categorical distribution over ride
+/// kinds plus an operating-intensity knob.
+#[derive(Debug, Clone)]
+pub struct UsageProfile {
+    /// Profile name (mirrors the cluster descriptions of Figure 2).
+    pub name: &'static str,
+    /// `(kind, weight)` pairs; weights need not sum to 1.
+    pub ride_weights: Vec<(RideKind, f64)>,
+    /// Mean number of rides per operating day.
+    pub rides_per_day: f64,
+    /// Probability that the vehicle operates at all on a given day.
+    pub operating_probability: f64,
+}
+
+impl UsageProfile {
+    /// The bulk of the fleet: everyday mixed usage ("regular rides").
+    pub fn regular() -> Self {
+        UsageProfile {
+            name: "regular",
+            ride_weights: vec![
+                (RideKind::Urban, 0.45),
+                (RideKind::Regional, 0.30),
+                (RideKind::Short, 0.15),
+                (RideKind::Highway, 0.10),
+            ],
+            rides_per_day: 2.4,
+            operating_probability: 0.86,
+        }
+    }
+
+    /// Vehicles doing almost exclusively tiny hops ("extremely small
+    /// rides").
+    pub fn micro_trips() -> Self {
+        UsageProfile {
+            name: "micro-trips",
+            ride_weights: vec![(RideKind::ExtraShort, 0.7), (RideKind::Short, 0.3)],
+            rides_per_day: 4.5,
+            operating_probability: 0.9,
+        }
+    }
+
+    /// High-speed, long-distance usage ("high speed/rpm involving long
+    /// rides").
+    pub fn motorway() -> Self {
+        UsageProfile {
+            name: "motorway",
+            ride_weights: vec![(RideKind::Highway, 0.6), (RideKind::Long, 0.4)],
+            rides_per_day: 1.6,
+            operating_probability: 0.8,
+        }
+    }
+
+    /// Mostly short errands ("short rides").
+    pub fn errands() -> Self {
+        UsageProfile {
+            name: "errands",
+            ride_weights: vec![(RideKind::Short, 0.6), (RideKind::Urban, 0.4)],
+            rides_per_day: 3.0,
+            operating_probability: 0.82,
+        }
+    }
+
+    /// Long regional hauling ("long rides").
+    pub fn long_haul() -> Self {
+        UsageProfile {
+            name: "long-haul",
+            ride_weights: vec![(RideKind::Long, 0.55), (RideKind::Regional, 0.45)],
+            rides_per_day: 1.3,
+            operating_probability: 0.78,
+        }
+    }
+
+    /// Samples a ride kind from the profile's categorical distribution.
+    pub fn sample_ride<R: Rng>(&self, rng: &mut R) -> RideKind {
+        let total: f64 = self.ride_weights.iter().map(|&(_, w)| w).sum();
+        let mut u = rng.gen_range(0.0..total);
+        for &(kind, w) in &self.ride_weights {
+            if u < w {
+                return kind;
+            }
+            u -= w;
+        }
+        self.ride_weights.last().expect("profile has at least one ride kind").0
+    }
+
+    /// Samples the number of rides on an operating day (≥ 1).
+    pub fn sample_ride_count<R: Rng>(&self, rng: &mut R) -> usize {
+        // Rounded exponential-ish scatter around the mean.
+        let lambda = self.rides_per_day.max(1.0);
+        let jittered = lambda + rng.gen_range(-1.0..1.0);
+        jittered.round().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ride_kinds_ordering() {
+        assert!(RideKind::Highway.target_speed() > RideKind::Regional.target_speed());
+        assert!(RideKind::Regional.target_speed() > RideKind::Urban.target_speed());
+        assert!(RideKind::Urban.stop_probability() > RideKind::Highway.stop_probability());
+        let (lo, hi) = RideKind::ExtraShort.duration_range();
+        assert!(lo >= 2 && hi <= 6);
+    }
+
+    #[test]
+    fn sample_ride_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = UsageProfile::micro_trips();
+        let mut extra_short = 0;
+        for _ in 0..1000 {
+            if p.sample_ride(&mut rng) == RideKind::ExtraShort {
+                extra_short += 1;
+            }
+        }
+        // Weight 0.7 → expect roughly 700.
+        assert!((600..800).contains(&extra_short), "got {extra_short}");
+    }
+
+    #[test]
+    fn sample_ride_only_profile_kinds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = UsageProfile::motorway();
+        for _ in 0..200 {
+            let k = p.sample_ride(&mut rng);
+            assert!(k == RideKind::Highway || k == RideKind::Long);
+        }
+    }
+
+    #[test]
+    fn ride_count_positive_and_near_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = UsageProfile::regular();
+        let counts: Vec<usize> = (0..500).map(|_| p.sample_ride_count(&mut rng)).collect();
+        assert!(counts.iter().all(|&c| c >= 1));
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!((mean - p.rides_per_day).abs() < 0.5, "mean={mean}");
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-vehicle physical models. The fleet mixes a few mainstream model
+//! families with deliberately idiosyncratic one-off vehicles, because the
+//! paper's exploration found several clusters consisting of the data of a
+//! single vehicle (Figure 2: clusters 2, 3, 5, 7).
+
+use rand::Rng;
+
+/// Static physical parameters of one vehicle.
+#[derive(Debug, Clone)]
+pub struct VehicleModel {
+    /// Human-readable family name ("compact", "van", …).
+    pub family: &'static str,
+    /// Idle engine speed (rpm).
+    pub idle_rpm: f64,
+    /// Engine displacement (litres) — scales airflow.
+    pub displacement_l: f64,
+    /// Volumetric efficiency (0–1) — scales airflow.
+    pub volumetric_efficiency: f64,
+    /// Gearing table: rpm added per km/h within each speed band; longer
+    /// gearing (smaller values) for highway-oriented vehicles.
+    pub gear_ratios: [f64; 5],
+    /// Speed-band upper bounds (km/h) for the gearing table's first four
+    /// entries.
+    pub gear_bands: [f64; 4],
+    /// Thermostat opening temperature (°C) — coolant regulates here.
+    pub thermostat_open_c: f64,
+    /// Coolant thermal inertia: °C change per unit net heat per minute.
+    pub thermal_mass: f64,
+    /// Heat input coefficient (per unit load·krpm).
+    pub heat_gain: f64,
+    /// Radiator cooling coefficient above thermostat opening.
+    pub cooling_gain: f64,
+    /// Additional per-signal Gaussian sensor noise std, in signal units:
+    /// [rpm, speed, coolant, intakeTemp, map, maf].
+    pub sensor_noise: [f64; 6],
+    /// Manifold pressure at closed throttle (kPa).
+    pub map_idle_kpa: f64,
+    /// Manifold pressure at wide-open throttle (kPa).
+    pub map_wot_kpa: f64,
+}
+
+impl VehicleModel {
+    /// A mainstream compact car (the "regular rides" bulk of the fleet).
+    pub fn compact() -> Self {
+        VehicleModel {
+            family: "compact",
+            idle_rpm: 820.0,
+            displacement_l: 1.4,
+            volumetric_efficiency: 0.82,
+            gear_ratios: [72.0, 52.0, 40.0, 32.0, 26.0],
+            gear_bands: [18.0, 38.0, 62.0, 88.0],
+            thermostat_open_c: 89.0,
+            thermal_mass: 0.055,
+            heat_gain: 10.5,
+            cooling_gain: 0.16,
+            sensor_noise: [9.0, 0.5, 0.4, 0.5, 1.0, 0.5],
+            map_idle_kpa: 31.0,
+            map_wot_kpa: 99.0,
+        }
+    }
+
+    /// A light commercial van (heavier, shorter gearing, hotter running).
+    pub fn van() -> Self {
+        VehicleModel {
+            family: "van",
+            idle_rpm: 780.0,
+            displacement_l: 2.2,
+            volumetric_efficiency: 0.86,
+            gear_ratios: [80.0, 58.0, 45.0, 36.0, 30.0],
+            gear_bands: [16.0, 34.0, 56.0, 82.0],
+            thermostat_open_c: 91.0,
+            thermal_mass: 0.045,
+            heat_gain: 12.0,
+            cooling_gain: 0.15,
+            sensor_noise: [11.0, 0.6, 0.5, 0.6, 1.2, 0.7],
+            map_idle_kpa: 33.0,
+            map_wot_kpa: 102.0,
+        }
+    }
+
+    /// A highway-oriented sedan (long gearing, efficient cruise).
+    pub fn sedan() -> Self {
+        VehicleModel {
+            family: "sedan",
+            idle_rpm: 700.0,
+            displacement_l: 1.8,
+            volumetric_efficiency: 0.84,
+            gear_ratios: [68.0, 48.0, 36.0, 28.0, 22.0],
+            gear_bands: [20.0, 42.0, 68.0, 95.0],
+            thermostat_open_c: 88.0,
+            thermal_mass: 0.06,
+            heat_gain: 10.0,
+            cooling_gain: 0.17,
+            sensor_noise: [8.0, 0.45, 0.35, 0.45, 0.9, 0.45],
+            map_idle_kpa: 30.0,
+            map_wot_kpa: 98.0,
+        }
+    }
+
+    /// A small city runabout.
+    pub fn citycar() -> Self {
+        VehicleModel {
+            family: "citycar",
+            idle_rpm: 900.0,
+            displacement_l: 1.0,
+            volumetric_efficiency: 0.80,
+            gear_ratios: [85.0, 60.0, 47.0, 38.0, 33.0],
+            gear_bands: [15.0, 32.0, 52.0, 75.0],
+            thermostat_open_c: 90.0,
+            thermal_mass: 0.07,
+            heat_gain: 9.0,
+            cooling_gain: 0.18,
+            sensor_noise: [10.0, 0.5, 0.45, 0.55, 1.1, 0.5],
+            map_idle_kpa: 32.0,
+            map_wot_kpa: 97.0,
+        }
+    }
+
+    /// A deliberately idiosyncratic one-off (odd gearing and thermals);
+    /// `variant` perturbs the base so each one-off is unique. These are the
+    /// vehicles that formed their own clusters in the paper's Figure 2.
+    pub fn oddball(variant: u32) -> Self {
+        let v = variant as f64;
+        VehicleModel {
+            family: "oddball",
+            idle_rpm: 950.0 + 120.0 * (v % 3.0),
+            displacement_l: 2.8 + 0.4 * (v % 2.0),
+            volumetric_efficiency: 0.88,
+            gear_ratios: [
+                95.0 + 6.0 * v,
+                70.0 + 4.0 * v,
+                55.0 + 3.0 * v,
+                45.0 + 2.0 * v,
+                38.0 + 2.0 * v,
+            ],
+            gear_bands: [14.0, 30.0, 48.0, 70.0],
+            thermostat_open_c: 93.0 + (v % 2.0) * 3.0,
+            thermal_mass: 0.04,
+            heat_gain: 12.0 + 0.5 * v,
+            cooling_gain: 0.13,
+            sensor_noise: [13.0, 0.7, 0.55, 0.7, 1.4, 0.9],
+            map_idle_kpa: 35.0,
+            map_wot_kpa: 105.0,
+        }
+    }
+
+    /// Applies small per-vehicle manufacturing scatter so no two fleet
+    /// members are numerically identical.
+    pub fn jitter<R: Rng>(mut self, rng: &mut R) -> Self {
+        fn j<R: Rng>(rng: &mut R, v: f64, rel: f64) -> f64 {
+            v * (1.0 + rng.gen_range(-rel..rel))
+        }
+        self.idle_rpm = j(rng, self.idle_rpm, 0.03);
+        self.displacement_l = j(rng, self.displacement_l, 0.02);
+        self.volumetric_efficiency = j(rng, self.volumetric_efficiency, 0.02).clamp(0.7, 0.95);
+        for g in &mut self.gear_ratios {
+            *g *= 1.0 + rng.gen_range(-0.03..0.03);
+        }
+        self.thermostat_open_c = j(rng, self.thermostat_open_c, 0.01);
+        self.heat_gain = j(rng, self.heat_gain, 0.05);
+        self.cooling_gain = j(rng, self.cooling_gain, 0.05);
+        self
+    }
+
+    /// Rpm added per km/h at road speed `v`. Gear selection by speed band
+    /// with a smooth 24 km/h cross-fade around each shift point: wide
+    /// enough that `v · ratio(v)` stays monotone in `v` (a narrower blend
+    /// would make rpm *fall* as speed rises inside the shift zone, flipping
+    /// the rpm–speed coupling for windows that cruise near a boundary).
+    pub fn rpm_per_kmh(&self, v: f64) -> f64 {
+        const BLEND: f64 = 24.0;
+        let mut ratio = self.gear_ratios[0];
+        for (i, band) in self.gear_bands.iter().enumerate() {
+            // Fraction of the shift to the next gear completed at speed v.
+            let t = ((v - (band - BLEND / 2.0)) / BLEND).clamp(0.0, 1.0);
+            ratio += t * (self.gear_ratios[i + 1] - self.gear_ratios[i]);
+        }
+        ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gearing_decreases_with_speed() {
+        for m in [
+            VehicleModel::compact(),
+            VehicleModel::van(),
+            VehicleModel::sedan(),
+            VehicleModel::citycar(),
+            VehicleModel::oddball(0),
+        ] {
+            let mut last = f64::INFINITY;
+            for v in [5.0, 25.0, 50.0, 75.0, 110.0] {
+                let r = m.rpm_per_kmh(v);
+                assert!(r <= last, "{}: ratio not monotone at {v}", m.family);
+                last = r;
+            }
+        }
+    }
+
+    #[test]
+    fn oddballs_differ_by_variant() {
+        let a = VehicleModel::oddball(0);
+        let b = VehicleModel::oddball(1);
+        assert_ne!(a.gear_ratios[0], b.gear_ratios[0]);
+        assert_ne!(a.heat_gain, b.heat_gain);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let base = VehicleModel::compact();
+        let j1 = base.clone().jitter(&mut rng1);
+        let j2 = base.clone().jitter(&mut rng2);
+        assert_eq!(j1.idle_rpm, j2.idle_rpm, "same seed, same jitter");
+        assert!((j1.idle_rpm - base.idle_rpm).abs() / base.idle_rpm < 0.031);
+        assert!(j1.volumetric_efficiency >= 0.7 && j1.volumetric_efficiency <= 0.95);
+    }
+}

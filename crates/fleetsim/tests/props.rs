@@ -1,0 +1,101 @@
+//! Property-based tests for the fleet simulator.
+
+use navarchos_fleetsim::faults::{FaultEffects, FaultKind, FaultWindow};
+use navarchos_fleetsim::physics::{ambient_temperature, simulate_ride, ThermalState};
+use navarchos_fleetsim::types::pid;
+use navarchos_fleetsim::usage::RideKind;
+use navarchos_fleetsim::vehicle::VehicleModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn signals_physically_plausible(
+        seed in 0u64..1000,
+        kind_ix in 0usize..6,
+        minutes in 5usize..120,
+        ambient in -5.0f64..35.0,
+    ) {
+        let kind = [
+            RideKind::Urban,
+            RideKind::Regional,
+            RideKind::Highway,
+            RideKind::Short,
+            RideKind::ExtraShort,
+            RideKind::Long,
+        ][kind_ix];
+        let model = VehicleModel::compact();
+        let mut thermal = ThermalState::cold(ambient);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        simulate_ride(
+            &model, &FaultEffects::default(), &mut thermal, kind, 0, minutes, ambient, &mut rng, &mut out,
+        );
+        prop_assert_eq!(out.len(), minutes);
+        for (_, r) in &out {
+            prop_assert!((0.0..8000.0).contains(&r[pid::RPM]));
+            prop_assert!((0.0..=200.0).contains(&r[pid::SPEED]));
+            prop_assert!(r[pid::COOLANT] > ambient - 10.0 && r[pid::COOLANT] <= 128.0);
+            prop_assert!((5.0..255.0).contains(&r[pid::MAP]));
+            prop_assert!((0.0..650.0).contains(&r[pid::MAF]));
+        }
+    }
+
+    #[test]
+    fn severity_always_in_unit_interval(start in 0i64..1000, len in 1i64..1000, t in -2000i64..4000) {
+        let w = FaultWindow {
+            vehicle: 0,
+            start,
+            repair: start + len,
+            kind: FaultKind::IntakeLeak,
+        };
+        let s = w.severity(t);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn severity_monotone_inside_window(start in 0i64..100, len in 10i64..1000, f1 in 0.0f64..1.0, f2 in 0.0f64..1.0) {
+        let w = FaultWindow { vehicle: 0, start, repair: start + len, kind: FaultKind::MafSensorDrift };
+        let (a, b) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let t1 = start + (a * (len - 1) as f64) as i64;
+        let t2 = start + (b * (len - 1) as f64) as i64;
+        prop_assert!(w.severity(t1) <= w.severity(t2) + 1e-12);
+    }
+
+    #[test]
+    fn fault_effects_bounded(sev in 0.0f64..1.0) {
+        for kind in FaultKind::all() {
+            let mut fx = FaultEffects::default();
+            fx.accumulate(kind, sev);
+            prop_assert!(fx.cooling_scale > 0.0 && fx.cooling_scale <= 2.0);
+            prop_assert!(fx.maf_gain > 0.0 && fx.maf_gain <= 1.0);
+            prop_assert!((0.0..1.0).contains(&fx.maf_dropout_p));
+            prop_assert!((0.0..1.0).contains(&fx.map_surge_p));
+        }
+    }
+
+    #[test]
+    fn ambient_seasonal_bounds(day in 0usize..365, hour in 0.0f64..24.0) {
+        let t = ambient_temperature(day, hour, 0.0);
+        prop_assert!((-5.0..40.0).contains(&t), "ambient {t}");
+    }
+
+    #[test]
+    fn rides_deterministic(seed in 0u64..500) {
+        let model = VehicleModel::sedan();
+        let run = || {
+            let mut thermal = ThermalState::cold(15.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            simulate_ride(
+                &model, &FaultEffects::default(), &mut thermal, RideKind::Urban, 0, 30, 15.0,
+                &mut rng, &mut out,
+            );
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,16 @@
+//! Gradient-boosted regression trees in the style of XGBoost (Chen &
+//! Guestrin, KDD 2016): second-order boosting with regularised leaf
+//! weights, exact greedy splits, shrinkage and row/column subsampling.
+//!
+//! The paper instantiates framework step 3 with one XGBoost regressor per
+//! PID feature, each trained on the healthy reference `Ref` to predict its
+//! target feature from the remaining ones; the prediction loss on new data
+//! is the anomaly score (Section 3.6). Datasets in that role are small
+//! (hundreds to thousands of rows, ≤ 15 features), squarely inside
+//! exact-greedy territory — no histogram approximation is needed.
+
+pub mod booster;
+pub mod tree;
+
+pub use booster::{GbdtParams, GbdtRegressor};
+pub use tree::{Node, Tree};

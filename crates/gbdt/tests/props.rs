@@ -1,0 +1,60 @@
+//! Property-based tests for the gradient-boosted trees.
+
+use navarchos_gbdt::{GbdtParams, GbdtRegressor};
+use proptest::prelude::*;
+
+fn dataset(n: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), n).prop_map(|rows| {
+        let mut x = Vec::with_capacity(rows.len() * 2);
+        let mut y = Vec::with_capacity(rows.len());
+        for (a, b) in rows {
+            x.push(a);
+            x.push(b);
+            y.push(a - 0.5 * b);
+        }
+        (x, y)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn predictions_finite_and_bounded((x, y) in dataset(8..64)) {
+        let model = GbdtRegressor::fit(&x, 2, &y, &GbdtParams { n_rounds: 20, ..Default::default() });
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for row in x.chunks(2) {
+            let p = model.predict(row);
+            prop_assert!(p.is_finite());
+            // Tree ensembles on squared loss cannot extrapolate beyond the
+            // target range (leaf weights are shrunk averages).
+            prop_assert!(p >= lo - 1.0 && p <= hi + 1.0, "p={p} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt_training_loss((x, y) in dataset(16..64)) {
+        let few = GbdtRegressor::fit(&x, 2, &y, &GbdtParams { n_rounds: 5, ..Default::default() });
+        let many = GbdtRegressor::fit(&x, 2, &y, &GbdtParams { n_rounds: 40, ..Default::default() });
+        prop_assert!(many.mse(&x, &y) <= few.mse(&x, &y) + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed((x, y) in dataset(10..40)) {
+        let p = GbdtParams { n_rounds: 10, subsample: 0.8, colsample: 0.5, seed: 3, ..Default::default() };
+        let a = GbdtRegressor::fit(&x, 2, &y, &p);
+        let b = GbdtRegressor::fit(&x, 2, &y, &p);
+        for row in x.chunks(2).take(8) {
+            prop_assert_eq!(a.predict(row), b.predict(row));
+        }
+    }
+
+    #[test]
+    fn constant_target_learned_exactly(c in -100.0f64..100.0, n in 4usize..40) {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y = vec![c; n];
+        let model = GbdtRegressor::fit(&x, 1, &y, &GbdtParams::default());
+        prop_assert!((model.predict(&[0.0]) - c).abs() < 1e-6);
+    }
+}

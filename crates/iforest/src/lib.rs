@@ -1,0 +1,273 @@
+//! Isolation Forest (Liu, Ting & Zhou, ICDM 2008) — the detector the paper
+//! cites through Khan et al. \[12\] as a further step-3 option ("such a
+//! method could become an option for the third step") but does not
+//! evaluate. Implemented here as an extension and exercised by the
+//! `exp_ablations` experiment.
+//!
+//! Anomaly score follows the original paper: `s(x) = 2^(−E[h(x)] / c(n))`
+//! where `h(x)` is the isolation path length and `c(n)` the average path
+//! length of an unsuccessful BST search. Scores near 1 are anomalous,
+//! scores well below 0.5 are normal.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Isolation forest hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IsolationForestParams {
+    /// Number of isolation trees.
+    pub n_trees: usize,
+    /// Sub-sample size per tree (ψ in the paper; 256 is the canonical
+    /// default).
+    pub sample_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IsolationForestParams {
+    fn default() -> Self {
+        IsolationForestParams { n_trees: 100, sample_size: 256, seed: 17 }
+    }
+}
+
+enum Node {
+    /// Internal split: `feature < threshold` goes left.
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    /// External node holding `size` training points.
+    Leaf { size: usize },
+}
+
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Grows one isolation tree over the row indices `rows`.
+    #[allow(clippy::ptr_arg)]
+    fn grow(
+        data: &[f64],
+        dim: usize,
+        rows: &mut Vec<u32>,
+        max_depth: usize,
+        rng: &mut StdRng,
+    ) -> Tree {
+        let mut nodes = Vec::new();
+        Self::build(data, dim, rows, 0, max_depth, rng, &mut nodes);
+        Tree { nodes }
+    }
+
+    #[allow(clippy::ptr_arg)]
+    fn build(
+        data: &[f64],
+        dim: usize,
+        rows: &mut Vec<u32>,
+        depth: usize,
+        max_depth: usize,
+        rng: &mut StdRng,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        if depth >= max_depth || rows.len() <= 1 {
+            nodes.push(Node::Leaf { size: rows.len() });
+            return nodes.len() - 1;
+        }
+        // Pick a feature with spread; give up after a few attempts (all
+        // remaining points identical).
+        let mut chosen: Option<(usize, f64)> = None;
+        for _ in 0..8 {
+            let f = rng.gen_range(0..dim);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &r in rows.iter() {
+                let v = data[r as usize * dim + f];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi > lo {
+                chosen = Some((f, rng.gen_range(lo..hi)));
+                break;
+            }
+        }
+        let Some((feature, threshold)) = chosen else {
+            nodes.push(Node::Leaf { size: rows.len() });
+            return nodes.len() - 1;
+        };
+
+        let mut left_rows: Vec<u32> = Vec::new();
+        let mut right_rows: Vec<u32> = Vec::new();
+        for &r in rows.iter() {
+            if data[r as usize * dim + feature] < threshold {
+                left_rows.push(r);
+            } else {
+                right_rows.push(r);
+            }
+        }
+        let idx = nodes.len();
+        nodes.push(Node::Leaf { size: 0 }); // placeholder
+        let left = Self::build(data, dim, &mut left_rows, depth + 1, max_depth, rng, nodes);
+        let right = Self::build(data, dim, &mut right_rows, depth + 1, max_depth, rng, nodes);
+        nodes[idx] = Node::Split { feature, threshold, left, right };
+        idx
+    }
+
+    /// Path length of a query, with the standard `c(size)` adjustment at
+    /// external nodes holding more than one point.
+    fn path_length(&self, x: &[f64]) -> f64 {
+        let mut i = 0;
+        let mut depth = 0.0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { size } => return depth + c_factor(*size),
+                Node::Split { feature, threshold, left, right } => {
+                    depth += 1.0;
+                    i = if x[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Euler–Mascheroni constant (not yet stable in `std`).
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Average path length of an unsuccessful BST search over `n` points —
+/// the normaliser `c(n)` of the isolation-forest score.
+pub fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + EULER_GAMMA) - 2.0 * (n - 1.0) / n
+}
+
+/// A fitted isolation forest.
+///
+/// ```
+/// use navarchos_iforest::{IsolationForest, IsolationForestParams};
+///
+/// // A tight 1-D cluster around zero.
+/// let data: Vec<f64> = (0..100).map(|i| (i % 10) as f64 * 0.01).collect();
+/// let forest = IsolationForest::fit(&data, 1, &IsolationForestParams::default());
+/// assert!(forest.score(&[50.0]) > forest.score(&[0.05]));
+/// ```
+pub struct IsolationForest {
+    trees: Vec<Tree>,
+    dim: usize,
+    c_n: f64,
+}
+
+impl IsolationForest {
+    /// Fits the forest on row-major `data` (`n × dim`).
+    ///
+    /// # Panics
+    /// If the buffer is not `n × dim`, is empty, or `dim == 0`.
+    pub fn fit(data: &[f64], dim: usize, params: &IsolationForestParams) -> Self {
+        assert!(dim > 0 && !data.is_empty() && data.len() % dim == 0, "bad data shape");
+        let n = data.len() / dim;
+        let psi = params.sample_size.min(n).max(2);
+        let max_depth = (psi as f64).log2().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for _ in 0..params.n_trees {
+            // Sample ψ rows without replacement (partial Fisher–Yates).
+            let mut all: Vec<u32> = (0..n as u32).collect();
+            for i in 0..psi {
+                let j = rng.gen_range(i..n);
+                all.swap(i, j);
+            }
+            let mut rows: Vec<u32> = all[..psi].to_vec();
+            trees.push(Tree::grow(data, dim, &mut rows, max_depth, &mut rng));
+        }
+        IsolationForest { trees, dim, c_n: c_factor(psi) }
+    }
+
+    /// Anomaly score in (0, 1): `2^(−E[h(x)] / c(ψ))`. Higher = more
+    /// anomalous; ~0.5 for average points.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        let mean_path: f64 =
+            self.trees.iter().map(|t| t.path_length(x)).sum::<f64>() / self.trees.len() as f64;
+        2f64.powf(-mean_path / self.c_n)
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_with_outlier() -> (Vec<f64>, usize) {
+        let mut data = Vec::new();
+        for i in 0..40 {
+            for j in 0..5 {
+                data.push(i as f64 * 0.02);
+                data.push(j as f64 * 0.02);
+            }
+        }
+        // One far outlier.
+        data.push(10.0);
+        data.push(10.0);
+        (data, 2)
+    }
+
+    #[test]
+    fn outlier_scores_highest() {
+        let (data, dim) = cluster_with_outlier();
+        let forest = IsolationForest::fit(&data, dim, &IsolationForestParams::default());
+        let n = data.len() / dim;
+        let scores: Vec<f64> = (0..n).map(|i| forest.score(&data[i * dim..(i + 1) * dim])).collect();
+        let outlier = n - 1;
+        let max_inlier =
+            scores[..outlier].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            scores[outlier] > max_inlier,
+            "outlier {} vs max inlier {max_inlier}",
+            scores[outlier]
+        );
+        assert!(scores[outlier] > 0.6, "clearly anomalous: {}", scores[outlier]);
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let (data, dim) = cluster_with_outlier();
+        let forest = IsolationForest::fit(&data, dim, &IsolationForestParams::default());
+        for q in [[0.0, 0.0], [5.0, -3.0], [0.4, 0.4], [100.0, 100.0]] {
+            let s = forest.score(&q);
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, dim) = cluster_with_outlier();
+        let p = IsolationForestParams { n_trees: 25, ..Default::default() };
+        let a = IsolationForest::fit(&data, dim, &p);
+        let b = IsolationForest::fit(&data, dim, &p);
+        assert_eq!(a.score(&[1.0, 1.0]), b.score(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn c_factor_grows_logarithmically() {
+        assert_eq!(c_factor(1), 0.0);
+        assert!(c_factor(16) < c_factor(256));
+        // Known value: c(256) ≈ 10.24 (from the original paper).
+        assert!((c_factor(256) - 10.24).abs() < 0.1, "c(256) = {}", c_factor(256));
+    }
+
+    #[test]
+    fn identical_points_score_uniformly() {
+        let data = vec![3.0; 64]; // 32 identical 2-D points
+        let forest = IsolationForest::fit(&data, 2, &IsolationForestParams { n_trees: 10, ..Default::default() });
+        let s = forest.score(&[3.0, 3.0]);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,55 @@
+//! Property-based tests for the isolation forest.
+
+use navarchos_iforest::{c_factor, IsolationForest, IsolationForestParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn scores_in_unit_interval(
+        data in prop::collection::vec(-100.0f64..100.0, 8..128),
+        queries in prop::collection::vec(-200.0f64..200.0, 1..8),
+    ) {
+        let n = (data.len() / 2) * 2; // 2-D points
+        let forest = IsolationForest::fit(
+            &data[..n],
+            2,
+            &IsolationForestParams { n_trees: 20, ..Default::default() },
+        );
+        for q in queries.chunks(2) {
+            if q.len() == 2 {
+                let s = forest.score(q);
+                prop_assert!((0.0..=1.0).contains(&s), "score {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn far_outlier_scores_above_cluster_center(
+        spread in 0.01f64..1.0,
+        offset in 50.0f64..500.0,
+    ) {
+        // Tight 1-D cluster at 0 with the given spread.
+        let data: Vec<f64> = (0..128).map(|i| (i % 16) as f64 * spread / 16.0).collect();
+        let forest = IsolationForest::fit(&data, 1, &IsolationForestParams::default());
+        let inside = forest.score(&[spread / 2.0]);
+        let outside = forest.score(&[offset]);
+        prop_assert!(outside > inside, "outlier {outside} vs inlier {inside}");
+    }
+
+    #[test]
+    fn c_factor_monotone(n1 in 2usize..1000, n2 in 2usize..1000) {
+        let (a, b) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        prop_assert!(c_factor(a) <= c_factor(b) + 1e-12);
+    }
+
+    #[test]
+    fn deterministic(data in prop::collection::vec(-10.0f64..10.0, 16..64)) {
+        let n = (data.len() / 2) * 2;
+        let p = IsolationForestParams { n_trees: 10, seed: 9, ..Default::default() };
+        let a = IsolationForest::fit(&data[..n], 2, &p);
+        let b = IsolationForest::fit(&data[..n], 2, &p);
+        prop_assert_eq!(a.score(&[0.0, 0.0]), b.score(&[0.0, 0.0]));
+    }
+}

@@ -1,0 +1,93 @@
+//! Distance metrics over feature vectors. The paper uses the Euclidean
+//! metric throughout (clustering, Grand, Closest-pair); the others are
+//! provided for sensitivity experiments.
+
+/// Squared Euclidean distance (no square root — monotone in the Euclidean
+/// distance, so it is the preferred kernel for neighbour *ranking*).
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean (L2) distance.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance.
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+}
+
+/// Chebyshev (L∞) distance.
+pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// Metric selector used by the index types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// Euclidean (L2) — the paper's choice.
+    #[default]
+    Euclidean,
+    /// Manhattan (L1).
+    Manhattan,
+    /// Chebyshev (L∞).
+    Chebyshev,
+}
+
+impl Metric {
+    /// Evaluates the metric on a pair of equally-long vectors.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            Metric::Euclidean => euclidean(a, b),
+            Metric::Manhattan => manhattan(a, b),
+            Metric::Chebyshev => chebyshev(a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [0.0, 0.0, 0.0];
+    const B: [f64; 3] = [3.0, 4.0, 0.0];
+
+    #[test]
+    fn euclidean_345() {
+        assert_eq!(euclidean(&A, &B), 5.0);
+        assert_eq!(squared_euclidean(&A, &B), 25.0);
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        assert_eq!(manhattan(&A, &B), 7.0);
+        assert_eq!(chebyshev(&A, &B), 4.0);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            assert_eq!(m.eval(&B, &B), 0.0);
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            assert_eq!(m.eval(&A, &B), m.eval(&B, &A));
+        }
+    }
+
+    #[test]
+    fn metric_ordering() {
+        // L∞ ≤ L2 ≤ L1 always.
+        let x = [1.0, -2.0, 0.5];
+        let y = [-1.0, 0.3, 2.0];
+        assert!(chebyshev(&x, &y) <= euclidean(&x, &y));
+        assert!(euclidean(&x, &y) <= manhattan(&x, &y));
+    }
+}

@@ -1,0 +1,206 @@
+//! Brute-force k-nearest-neighbour index over a fixed reference set.
+//!
+//! Reference profiles in this workload are small (hundreds to a few
+//! thousand vectors of ≤ 15 features), where a cache-friendly linear scan
+//! beats tree structures; the index keeps the points in one contiguous
+//! buffer and uses a bounded max-heap for the k best candidates.
+
+use crate::distance::Metric;
+
+/// A k-NN index over a fixed set of equally-long feature vectors.
+#[derive(Debug, Clone)]
+pub struct KnnIndex {
+    dim: usize,
+    /// Row-major point buffer, `len = n * dim`.
+    data: Vec<f64>,
+    metric: Metric,
+}
+
+impl KnnIndex {
+    /// Builds an index from vectors of dimension `dim`.
+    ///
+    /// # Panics
+    /// If any point's length differs from `dim` or `dim == 0`.
+    pub fn new(points: &[Vec<f64>], dim: usize, metric: Metric) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        let mut data = Vec::with_capacity(points.len() * dim);
+        for p in points {
+            assert_eq!(p.len(), dim, "point dimension mismatch");
+            data.extend_from_slice(p);
+        }
+        KnnIndex { dim, data, metric }
+    }
+
+    /// Builds an index directly from a row-major buffer.
+    pub fn from_flat(data: Vec<f64>, dim: usize, metric: Metric) -> Self {
+        assert!(dim > 0 && data.len() % dim == 0, "buffer is not a multiple of dim");
+        KnnIndex { dim, data, metric }
+    }
+
+    /// Number of reference points.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Reference point `i`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The `k` nearest reference points to `query`, as `(index, distance)`
+    /// sorted by increasing distance. Returns fewer than `k` pairs when the
+    /// index holds fewer points. `exclude` (if given) skips one reference
+    /// index — used for leave-one-out queries on the reference itself.
+    pub fn nearest(&self, query: &[f64], k: usize, exclude: Option<usize>) -> Vec<(usize, f64)> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
+        // Bounded "max-heap" as a sorted insertion buffer: k is small (≤ 20
+        // in every caller), so linear insertion beats a BinaryHeap here.
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+        for i in 0..self.len() {
+            if exclude == Some(i) {
+                continue;
+            }
+            let d = self.metric.eval(query, self.point(i));
+            if best.len() < k || d < best[best.len() - 1].1 {
+                let pos = best.partition_point(|&(_, bd)| bd <= d);
+                best.insert(pos, (i, d));
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        }
+        best
+    }
+
+    /// Average distance to the k nearest neighbours — Grand's kNN
+    /// non-conformity measure. Returns `NaN` on an empty index.
+    pub fn knn_score(&self, query: &[f64], k: usize, exclude: Option<usize>) -> f64 {
+        let nn = self.nearest(query, k, exclude);
+        if nn.is_empty() {
+            return f64::NAN;
+        }
+        nn.iter().map(|&(_, d)| d).sum::<f64>() / nn.len() as f64
+    }
+
+    /// Distance to the single nearest neighbour.
+    pub fn nearest_distance(&self, query: &[f64], exclude: Option<usize>) -> f64 {
+        self.nearest(query, 1, exclude).first().map(|&(_, d)| d).unwrap_or(f64::NAN)
+    }
+
+    /// Component-wise median of the reference set — the "most central
+    /// pattern" used by Grand's `Median` non-conformity measure.
+    pub fn median_point(&self) -> Vec<f64> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(self.dim);
+        let mut column = Vec::with_capacity(n);
+        for j in 0..self.dim {
+            column.clear();
+            column.extend((0..n).map(|i| self.data[i * self.dim + j]));
+            column.sort_by(|a, b| a.total_cmp(b));
+            out.push(navarchos_stat::descriptive::quantile_sorted(&column, 0.5));
+        }
+        out
+    }
+
+    /// Distance from `query` to the component-wise median of the reference.
+    pub fn median_score(&self, query: &[f64]) -> f64 {
+        if self.is_empty() {
+            return f64::NAN;
+        }
+        self.metric.eval(query, &self.median_point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_index() -> KnnIndex {
+        // 0..10 on a line.
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        KnnIndex::new(&pts, 1, Metric::Euclidean)
+    }
+
+    #[test]
+    fn nearest_returns_sorted_distances() {
+        let idx = grid_index();
+        let nn = idx.nearest(&[3.2], 3, None);
+        assert_eq!(nn.len(), 3);
+        assert_eq!(nn[0].0, 3);
+        assert!((nn[0].1 - 0.2).abs() < 1e-12);
+        assert!(nn[0].1 <= nn[1].1 && nn[1].1 <= nn[2].1);
+    }
+
+    #[test]
+    fn nearest_with_exclusion() {
+        let idx = grid_index();
+        let nn = idx.nearest(&[3.0], 1, Some(3));
+        assert_ne!(nn[0].0, 3);
+        assert!((nn[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_index() {
+        let idx = grid_index();
+        let nn = idx.nearest(&[0.0], 100, None);
+        assert_eq!(nn.len(), 10);
+    }
+
+    #[test]
+    fn knn_score_is_average() {
+        let idx = grid_index();
+        // 2 nearest of 4.5 are 4 and 5, both at distance 0.5.
+        assert!((idx.knn_score(&[4.5], 2, None) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_distance_zero_on_member() {
+        let idx = grid_index();
+        assert_eq!(idx.nearest_distance(&[7.0], None), 0.0);
+    }
+
+    #[test]
+    fn median_point_componentwise() {
+        let pts = vec![vec![1.0, 10.0], vec![2.0, 30.0], vec![3.0, 20.0]];
+        let idx = KnnIndex::new(&pts, 2, Metric::Euclidean);
+        assert_eq!(idx.median_point(), vec![2.0, 20.0]);
+        assert!((idx.median_score(&[2.0, 24.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_index_scores_nan() {
+        let idx = KnnIndex::new(&[], 2, Metric::Euclidean);
+        assert!(idx.nearest_distance(&[0.0, 0.0], None).is_nan());
+        assert!(idx.knn_score(&[0.0, 0.0], 3, None).is_nan());
+        assert!(idx.median_score(&[0.0, 0.0]).is_nan());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn from_flat_roundtrip() {
+        let idx = KnnIndex::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2, Metric::Manhattan);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.point(1), &[3.0, 4.0]);
+        let nn = idx.nearest(&[3.0, 4.0], 1, None);
+        assert_eq!(nn[0], (1, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        KnnIndex::new(&[vec![1.0, 2.0]], 3, Metric::Euclidean);
+    }
+}

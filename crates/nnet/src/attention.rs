@@ -1,0 +1,211 @@
+//! Multi-head self-attention over a single sequence (`seq × d_model`),
+//! with a complete manual backward pass.
+
+use crate::layers::{softmax_rows, softmax_rows_backward, Adam, Linear};
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Multi-head self-attention module.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    n_heads: usize,
+    d_model: usize,
+}
+
+/// Cache of one attention forward pass, needed by `backward`.
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    x: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Per-head attention probabilities.
+    probs: Vec<Matrix>,
+    concat: Matrix,
+}
+
+impl MultiHeadAttention {
+    /// Creates the module; `d_model` must be divisible by `n_heads`.
+    pub fn new<R: Rng>(d_model: usize, n_heads: usize, rng: &mut R) -> Self {
+        assert!(n_heads > 0 && d_model % n_heads == 0, "d_model must divide by heads");
+        MultiHeadAttention {
+            wq: Linear::new(d_model, d_model, rng),
+            wk: Linear::new(d_model, d_model, rng),
+            wv: Linear::new(d_model, d_model, rng),
+            wo: Linear::new(d_model, d_model, rng),
+            n_heads,
+            d_model,
+        }
+    }
+
+    /// Forward pass over a `(seq × d_model)` sequence.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, AttentionCache) {
+        debug_assert_eq!(x.cols(), self.d_model);
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let dk = self.d_model / self.n_heads;
+        let scale = 1.0 / (dk as f64).sqrt();
+
+        let mut concat = Matrix::zeros(x.rows(), self.d_model);
+        let mut probs = Vec::with_capacity(self.n_heads);
+        for h in 0..self.n_heads {
+            let qh = q.col_block(h * dk, dk);
+            let kh = k.col_block(h * dk, dk);
+            let vh = v.col_block(h * dk, dk);
+            let mut scores = qh.matmul_transb(&kh);
+            scores.scale(scale);
+            let p = softmax_rows(&scores);
+            let yh = p.matmul(&vh);
+            concat.add_col_block(h * dk, &yh);
+            probs.push(p);
+        }
+        let out = self.wo.forward(&concat);
+        (out, AttentionCache { x: x.clone(), q, k, v, probs, concat })
+    }
+
+    /// Backward pass; accumulates all projection gradients and returns the
+    /// gradient w.r.t. the input sequence.
+    pub fn backward(&mut self, cache: &AttentionCache, grad_out: &Matrix) -> Matrix {
+        let dk = self.d_model / self.n_heads;
+        let scale = 1.0 / (dk as f64).sqrt();
+
+        let d_concat = self.wo.backward(&cache.concat, grad_out);
+
+        let mut dq = Matrix::zeros(cache.q.rows(), self.d_model);
+        let mut dk_mat = Matrix::zeros(cache.k.rows(), self.d_model);
+        let mut dv = Matrix::zeros(cache.v.rows(), self.d_model);
+        for h in 0..self.n_heads {
+            let d_yh = d_concat.col_block(h * dk, dk);
+            let p = &cache.probs[h];
+            let qh = cache.q.col_block(h * dk, dk);
+            let kh = cache.k.col_block(h * dk, dk);
+            let vh = cache.v.col_block(h * dk, dk);
+
+            // yh = p · vh
+            let d_p = d_yh.matmul_transb(&vh);
+            let d_vh = p.transa_matmul(&d_yh);
+            // p = softmax(scores)
+            let mut d_scores = softmax_rows_backward(p, &d_p);
+            d_scores.scale(scale);
+            // scores = qh · khᵀ
+            let d_qh = d_scores.matmul(&kh);
+            let d_kh = d_scores.transa_matmul(&qh);
+
+            dq.add_col_block(h * dk, &d_qh);
+            dk_mat.add_col_block(h * dk, &d_kh);
+            dv.add_col_block(h * dk, &d_vh);
+        }
+
+        let mut gx = self.wq.backward(&cache.x, &dq);
+        gx.add_assign(&self.wk.backward(&cache.x, &dk_mat));
+        gx.add_assign(&self.wv.backward(&cache.x, &dv));
+        gx
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.wq.zero_grad();
+        self.wk.zero_grad();
+        self.wv.zero_grad();
+        self.wo.zero_grad();
+    }
+
+    /// Applies one Adam update to every projection.
+    pub fn step(&mut self, opt: &Adam, t: usize) {
+        self.wq.step(opt, t);
+        self.wk.step(opt, t);
+        self.wv.step(opt, t);
+        self.wo.step(opt, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let attn = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = Matrix::from_fn(5, 8, |r, c| ((r * 8 + c) as f64 * 0.717).sin());
+        let (y, _) = attn.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 8));
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn attention_probs_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let attn = MultiHeadAttention::new(4, 1, &mut rng);
+        let x = Matrix::from_fn(3, 4, |r, c| (r as f64 - c as f64) * 0.3);
+        let (_, cache) = attn.forward(&x);
+        for p in &cache.probs {
+            for r in 0..p.rows() {
+                let s: f64 = p.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut attn = MultiHeadAttention::new(4, 2, &mut rng);
+        let x = Matrix::from_fn(3, 4, |r, c| ((r + 2 * c) as f64 * 0.37).cos());
+        let (y, cache) = attn.forward(&x);
+        let gx = attn.backward(&cache, &y); // loss = ½‖y‖²
+        let f = |xx: &Matrix| 0.5 * attn.forward(xx).0.sq_norm();
+        let h = 1e-6;
+        for r in 0..3 {
+            for c in 0..4 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + h);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - h);
+                let num = (f(&xp) - f(&xm)) / (2.0 * h);
+                assert!(
+                    (gx.get(r, c) - num).abs() < 1e-4,
+                    "({r},{c}): analytic {} vs numeric {num}",
+                    gx.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_vs_multi_head_both_learn() {
+        // Tiny sanity: gradient steps reduce reconstruction loss.
+        for heads in [1, 2] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut attn = MultiHeadAttention::new(4, heads, &mut rng);
+            let x = Matrix::from_fn(4, 4, |r, c| ((r * 3 + c) as f64 * 0.11).sin());
+            let opt = Adam { lr: 5e-3, ..Default::default() };
+            let mut first = None;
+            let mut last = 0.0;
+            for t in 1..=200 {
+                let (y, cache) = attn.forward(&x);
+                let diff = y.sub(&x);
+                last = diff.sq_norm();
+                first.get_or_insert(last);
+                attn.zero_grad();
+                attn.backward(&cache, &diff);
+                attn.step(&opt, t);
+            }
+            assert!(last < 0.5 * first.unwrap(), "heads={heads}: {last} vs {first:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn indivisible_heads_panic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        MultiHeadAttention::new(6, 4, &mut rng);
+    }
+}

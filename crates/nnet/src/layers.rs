@@ -1,0 +1,433 @@
+//! Network modules with explicit forward caches and manual backward
+//! passes, plus the Adam optimiser. Each module owns its parameters and
+//! gradient accumulators; callers keep the per-pass caches, which makes
+//! multi-pass architectures (TranAD's two-phase training) straightforward.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Adam optimiser state for one parameter tensor.
+#[derive(Debug, Clone)]
+struct AdamState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl AdamState {
+    fn new(len: usize) -> Self {
+        AdamState { m: vec![0.0; len], v: vec![0.0; len] }
+    }
+
+    fn step(&mut self, params: &mut [f64], grads: &[f64], opt: &Adam, t: usize) {
+        let b1t = 1.0 - opt.beta1.powi(t as i32);
+        let b2t = 1.0 - opt.beta2.powi(t as i32);
+        for ((p, &g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            *m = opt.beta1 * *m + (1.0 - opt.beta1) * g;
+            *v = opt.beta2 * *v + (1.0 - opt.beta2) * g * g;
+            let mhat = *m / b1t;
+            let vhat = *v / b2t;
+            *p -= opt.lr * mhat / (vhat.sqrt() + opt.eps);
+        }
+    }
+}
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+}
+
+/// Fully-connected layer `y = x·W + b` over row-major `(n × in)` inputs.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weights, `in × out`.
+    pub w: Matrix,
+    /// Bias, length `out`.
+    pub b: Vec<f64>,
+    gw: Matrix,
+    gb: Vec<f64>,
+    adam_w: AdamState,
+    adam_b: AdamState,
+}
+
+impl Linear {
+    /// Xavier-initialised layer.
+    pub fn new<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Self {
+        Linear {
+            w: Matrix::xavier(fan_in, fan_out, rng),
+            b: vec![0.0; fan_out],
+            gw: Matrix::zeros(fan_in, fan_out),
+            gb: vec![0.0; fan_out],
+            adam_w: AdamState::new(fan_in * fan_out),
+            adam_b: AdamState::new(fan_out),
+        }
+    }
+
+    /// Forward pass; the caller must retain `x` as the backward cache.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        for r in 0..y.rows() {
+            for (o, &b) in y.row_mut(r).iter_mut().zip(&self.b) {
+                *o += b;
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// input gradient. `x` must be the same matrix passed to `forward`.
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Matrix {
+        self.gw.add_assign(&x.transa_matmul(grad_out));
+        for r in 0..grad_out.rows() {
+            for (g, &d) in self.gb.iter_mut().zip(grad_out.row(r)) {
+                *g += d;
+            }
+        }
+        grad_out.matmul_transb(&self.w)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gw.scale(0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Applies one Adam update (step counter `t` starts at 1).
+    pub fn step(&mut self, opt: &Adam, t: usize) {
+        let gw = self.gw.clone();
+        self.adam_w.step(self.w.data_mut(), gw.data(), opt, t);
+        let gb = self.gb.clone();
+        self.adam_b.step(&mut self.b, &gb, opt, t);
+    }
+}
+
+/// Layer normalisation over the last dimension with learned gain/bias.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Gain γ, length = feature dim.
+    pub gamma: Vec<f64>,
+    /// Bias β, length = feature dim.
+    pub beta: Vec<f64>,
+    ggamma: Vec<f64>,
+    gbeta: Vec<f64>,
+    adam_g: AdamState,
+    adam_b: AdamState,
+    eps: f64,
+}
+
+/// Backward cache of one LayerNorm forward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    xhat: Matrix,
+    inv_std: Vec<f64>,
+}
+
+impl LayerNorm {
+    /// Identity-initialised layer norm of width `dim`.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: vec![1.0; dim],
+            beta: vec![0.0; dim],
+            ggamma: vec![0.0; dim],
+            gbeta: vec![0.0; dim],
+            adam_g: AdamState::new(dim),
+            adam_b: AdamState::new(dim),
+            eps: 1e-5,
+        }
+    }
+
+    /// Forward pass, returning the output and the backward cache.
+    #[allow(clippy::needless_range_loop)]
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
+        let d = self.gamma.len();
+        debug_assert_eq!(x.cols(), d);
+        let mut xhat = Matrix::zeros(x.rows(), d);
+        let mut inv_std = Vec::with_capacity(x.rows());
+        let mut y = Matrix::zeros(x.rows(), d);
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f64>() / d as f64;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / d as f64;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(istd);
+            for c in 0..d {
+                let xh = (row[c] - mean) * istd;
+                xhat.set(r, c, xh);
+                y.set(r, c, xh * self.gamma[c] + self.beta[c]);
+            }
+        }
+        (y, LayerNormCache { xhat, inv_std })
+    }
+
+    /// Backward pass; accumulates γ/β gradients and returns the input
+    /// gradient.
+#[allow(clippy::needless_range_loop)]
+    pub fn backward(&mut self, cache: &LayerNormCache, grad_out: &Matrix) -> Matrix {
+        let d = self.gamma.len() as f64;
+        let mut gx = Matrix::zeros(grad_out.rows(), grad_out.cols());
+        for r in 0..grad_out.rows() {
+            let go = grad_out.row(r);
+            let xh = cache.xhat.row(r);
+            // Accumulate parameter grads.
+            for c in 0..go.len() {
+                self.ggamma[c] += go[c] * xh[c];
+                self.gbeta[c] += go[c];
+            }
+            // dxhat = go * gamma; dx = (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)) * inv_std
+            let dxhat: Vec<f64> = go.iter().zip(&self.gamma).map(|(&g, &ga)| g * ga).collect();
+            let mean_dx = dxhat.iter().sum::<f64>() / d;
+            let mean_dx_xh =
+                dxhat.iter().zip(xh).map(|(&a, &b)| a * b).sum::<f64>() / d;
+            let istd = cache.inv_std[r];
+            for c in 0..dxhat.len() {
+                gx.set(r, c, (dxhat[c] - mean_dx - xh[c] * mean_dx_xh) * istd);
+            }
+        }
+        gx
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.ggamma.iter_mut().for_each(|g| *g = 0.0);
+        self.gbeta.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Applies one Adam update.
+    pub fn step(&mut self, opt: &Adam, t: usize) {
+        let gg = self.ggamma.clone();
+        self.adam_g.step(&mut self.gamma, &gg, opt, t);
+        let gb = self.gbeta.clone();
+        self.adam_b.step(&mut self.beta, &gb, opt, t);
+    }
+}
+
+/// GELU activation (tanh approximation), stateless apart from the forward
+/// cache (the input).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gelu;
+
+impl Gelu {
+    const C: f64 = 0.797_884_560_802_865_4; // sqrt(2/π)
+
+    /// Forward pass; cache is the input matrix.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        x.map(|v| 0.5 * v * (1.0 + (Self::C * (v + 0.044715 * v * v * v)).tanh()))
+    }
+
+    /// Backward pass given the cached input.
+    pub fn backward(&self, x: &Matrix, grad_out: &Matrix) -> Matrix {
+        let dgelu = x.map(|v| {
+            let u = Self::C * (v + 0.044715 * v * v * v);
+            let t = u.tanh();
+            let du = Self::C * (1.0 + 3.0 * 0.044715 * v * v);
+            0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du
+        });
+        grad_out.hadamard(&dgelu)
+    }
+}
+
+/// Row-wise softmax (used by attention); returns the probabilities.
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let max = row.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0;
+        for (c, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            out.set(r, c, e);
+            sum += e;
+        }
+        for c in 0..x.cols() {
+            out.set(r, c, out.get(r, c) / sum);
+        }
+    }
+    out
+}
+
+/// Backward of row-wise softmax: given probabilities `p` and upstream
+/// gradient, returns the logit gradient.
+pub fn softmax_rows_backward(p: &Matrix, grad_out: &Matrix) -> Matrix {
+    let mut gx = Matrix::zeros(p.rows(), p.cols());
+    for r in 0..p.rows() {
+        let pr = p.row(r);
+        let go = grad_out.row(r);
+        let dot: f64 = pr.iter().zip(go).map(|(&a, &b)| a * b).sum();
+        for c in 0..pr.len() {
+            gx.set(r, c, pr[c] * (go[c] - dot));
+        }
+    }
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference check of a scalar loss wrt one input entry.
+    fn numeric_grad(f: impl Fn(&Matrix) -> f64, x: &Matrix, r: usize, c: usize) -> f64 {
+        let h = 1e-6;
+        let mut xp = x.clone();
+        xp.set(r, c, x.get(r, c) + h);
+        let mut xm = x.clone();
+        xm.set(r, c, x.get(r, c) - h);
+        (f(&xp) - f(&xm)) / (2.0 * h)
+    }
+
+    #[test]
+    fn linear_backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.5, 0.3, -0.7]);
+        // Loss = ½‖y‖².
+        let y = lin.forward(&x);
+        let gx = lin.backward(&x, &y);
+        let f = |xx: &Matrix| 0.5 * lin.forward(xx).sq_norm();
+        for r in 0..2 {
+            for c in 0..3 {
+                let num = numeric_grad(f, &x, r, c);
+                assert!((gx.get(r, c) - num).abs() < 1e-5, "({r},{c}): {} vs {num}", gx.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn linear_weight_grad_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![0.7, -0.4]);
+        let y = lin.forward(&x);
+        lin.zero_grad();
+        lin.backward(&x, &y);
+        // Perturb w[0,1] numerically.
+        let h = 1e-6;
+        let orig = lin.w.get(0, 1);
+        lin.w.set(0, 1, orig + h);
+        let fp = 0.5 * lin.forward(&x).sq_norm();
+        lin.w.set(0, 1, orig - h);
+        let fm = 0.5 * lin.forward(&x).sq_norm();
+        lin.w.set(0, 1, orig);
+        let num = (fp - fm) / (2.0 * h);
+        assert!((lin.gw.get(0, 1) - num).abs() < 1e-5);
+    }
+
+    #[test]
+    fn layernorm_output_is_normalized() {
+        let ln = LayerNorm::new(4);
+        let x = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0]);
+        let (y, _) = ln.forward(&x);
+        for r in 0..2 {
+            let row = y.row(r);
+            let mean = row.iter().sum::<f64>() / 4.0;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layernorm_backward_matches_finite_differences() {
+        let mut ln = LayerNorm::new(3);
+        ln.gamma = vec![1.3, 0.8, 1.1];
+        ln.beta = vec![0.1, -0.2, 0.3];
+        let x = Matrix::from_vec(2, 3, vec![0.4, -0.9, 1.7, 2.0, 0.1, -1.2]);
+        let (y, cache) = ln.forward(&x);
+        let gx = ln.backward(&cache, &y);
+        let f = |xx: &Matrix| 0.5 * ln.forward(xx).0.sq_norm();
+        for r in 0..2 {
+            for c in 0..3 {
+                let num = numeric_grad(f, &x, r, c);
+                assert!((gx.get(r, c) - num).abs() < 1e-4, "({r},{c}): {} vs {num}", gx.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn gelu_backward_matches_finite_differences() {
+        let g = Gelu;
+        let x = Matrix::from_vec(1, 5, vec![-2.0, -0.5, 0.0, 0.5, 2.0]);
+        let y = g.forward(&x);
+        let gx = g.backward(&x, &y);
+        let f = |xx: &Matrix| 0.5 * g.forward(xx).sq_norm();
+        for c in 0..5 {
+            let num = numeric_grad(f, &x, 0, c);
+            assert!((gx.get(0, c) - num).abs() < 1e-5, "c={c}");
+        }
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        let g = Gelu;
+        let y = g.forward(&Matrix::from_vec(1, 3, vec![0.0, 1.0, -1.0]));
+        assert!(y.get(0, 0).abs() < 1e-12);
+        assert!((y.get(0, 1) - 0.8412).abs() < 1e-3);
+        assert!((y.get(0, 2) + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1000.0]);
+        let p = softmax_rows(&x);
+        for r in 0..2 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        // Large logits do not overflow.
+        assert!((p.get(1, 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_differences() {
+        let x = Matrix::from_vec(1, 4, vec![0.2, -0.4, 1.0, 0.5]);
+        let p = softmax_rows(&x);
+        // Loss = Σ cᵢ pᵢ with fixed coefficients.
+        let coef = Matrix::from_vec(1, 4, vec![1.0, -2.0, 0.5, 3.0]);
+        let gx = softmax_rows_backward(&p, &coef);
+        let f = |xx: &Matrix| {
+            let pp = softmax_rows(xx);
+            pp.data().iter().zip(coef.data()).map(|(&a, &b)| a * b).sum::<f64>()
+        };
+        for c in 0..4 {
+            let num = numeric_grad(f, &x, 0, c);
+            assert!((gx.get(0, c) - num).abs() < 1e-6, "c={c}");
+        }
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimise ‖x·W − target‖² over W with Adam via a Linear layer.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lin = Linear::new(1, 1, &mut rng);
+        let opt = Adam { lr: 0.05, ..Default::default() };
+        let x = Matrix::from_vec(1, 1, vec![1.0]);
+        for t in 1..=300 {
+            let y = lin.forward(&x);
+            let grad = Matrix::from_vec(1, 1, vec![y.get(0, 0) - 3.0]);
+            lin.zero_grad();
+            lin.backward(&x, &grad);
+            lin.step(&opt, t);
+        }
+        let y = lin.forward(&x).get(0, 0);
+        assert!((y - 3.0).abs() < 1e-2, "converged to {y}");
+    }
+}

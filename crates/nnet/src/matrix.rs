@@ -1,0 +1,340 @@
+//! Dense row-major matrix kernel. Deliberately minimal: the model widths
+//! used by TranAD here (≤ 64) make naive triple loops with the right
+//! iteration order competitive, and keeping the kernel tiny keeps the
+//! backward passes auditable.
+
+use rand::Rng;
+
+/// A dense row-major matrix of `f64`.
+///
+/// ```
+/// use navarchos_nnet::Matrix;
+///
+/// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+/// assert_eq!(a.matmul(&b).data(), &[2.0, 1.0, 4.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a closure over (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// If the buffer length is not `rows × cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialisation for a `fan_in × fan_out`
+    /// weight matrix.
+    pub fn xavier<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-bound..bound))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw data (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `self · other` (ikj loop order for cache-friendly accumulation).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ`.
+    pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transb shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut s = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    s += a * b;
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other`.
+    pub fn transa_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "transa_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise addition in place.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise subtraction: `self − other` as a new matrix.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a - b).collect(),
+        }
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, s: f64) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Element-wise (Hadamard) product as a new matrix.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect(),
+        }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Sum of squared elements.
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|&v| v * v).sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            f64::NAN
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Column block copy: columns `[start, start+width)` as a new matrix.
+    pub fn col_block(&self, start: usize, width: usize) -> Matrix {
+        assert!(start + width <= self.cols, "column block out of range");
+        Matrix::from_fn(self.rows, width, |r, c| self.get(r, start + c))
+    }
+
+    /// Adds `other` into columns `[start, ...)` in place.
+    pub fn add_col_block(&mut self, start: usize, other: &Matrix) {
+        assert_eq!(self.rows, other.rows);
+        assert!(start + other.cols <= self.cols);
+        for r in 0..self.rows {
+            for c in 0..other.cols {
+                self.data[r * self.cols + start + c] += other.get(r, c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn a() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    fn b() -> Matrix {
+        Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0])
+    }
+
+    #[test]
+    fn matmul_known() {
+        let c = a().matmul(&b());
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transb_equals_matmul_with_transpose() {
+        let bt = b().transpose();
+        let c1 = a().matmul(&b());
+        let c2 = a().matmul_transb(&bt);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn transa_matmul_equals_transpose_then_matmul() {
+        let at = a().transpose();
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let c1 = at.matmul(&x);
+        let c2 = a().transa_matmul(&x);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        assert_eq!(a().transpose().transpose(), a());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut m = a();
+        m.add_assign(&a());
+        assert_eq!(m.get(0, 0), 2.0);
+        m.scale(0.5);
+        assert_eq!(m, a());
+        let d = a().sub(&a());
+        assert_eq!(d.sq_norm(), 0.0);
+        let h = a().hadamard(&a());
+        assert_eq!(h.get(1, 2), 36.0);
+        assert_eq!(a().map(|v| v + 1.0).get(0, 0), 2.0);
+        assert!((a().mean() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hcat_and_col_block_roundtrip() {
+        let m = a();
+        let n = Matrix::from_vec(2, 2, vec![-1.0, -2.0, -3.0, -4.0]);
+        let cat = m.hcat(&n);
+        assert_eq!(cat.cols(), 5);
+        assert_eq!(cat.col_block(0, 3), m);
+        assert_eq!(cat.col_block(3, 2), n);
+    }
+
+    #[test]
+    fn add_col_block() {
+        let mut m = Matrix::zeros(2, 4);
+        let n = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        m.add_col_block(1, &n);
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0, 0.0]);
+        assert_eq!(m.row(1), &[0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Matrix::xavier(30, 30, &mut rng);
+        let bound = (6.0f64 / 60.0).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= bound));
+        // Not degenerate.
+        assert!(w.data().iter().any(|&v| v.abs() > bound / 10.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        a().matmul(&a());
+    }
+}

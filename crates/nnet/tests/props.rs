@@ -1,0 +1,81 @@
+//! Property-based tests for the neural substrate.
+
+use navarchos_nnet::layers::softmax_rows;
+use navarchos_nnet::{Gelu, LayerNorm, Matrix};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        // a·(b + c) == a·b + a·c
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(3, 5), b in matrix(5, 2)) {
+        // (a·b)ᵀ == bᵀ·aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(x in matrix(4, 6)) {
+        let p = softmax_rows(&x);
+        for r in 0..4 {
+            let s: f64 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_row_shift(x in matrix(2, 5), shift in -100.0f64..100.0) {
+        let p1 = softmax_rows(&x);
+        let shifted = x.map(|v| v + shift);
+        let p2 = softmax_rows(&shifted);
+        for (a, b) in p1.data().iter().zip(p2.data()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn layernorm_output_standardized(x in matrix(3, 8)) {
+        let ln = LayerNorm::new(8);
+        let (y, _) = ln.forward(&x);
+        for r in 0..3 {
+            let row = y.row(r);
+            let mean: f64 = row.iter().sum::<f64>() / 8.0;
+            prop_assert!(mean.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn gelu_bounded_below_and_monotone_on_positives(a in 0.0f64..5.0, b in 0.0f64..5.0, neg in -8.0f64..0.0) {
+        // GELU is monotone on x ≥ 0 (the tanh approximation has a tiny dip
+        // near x ≈ −4, so global monotonicity does not hold).
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let g = Gelu;
+        let m = Matrix::from_vec(1, 3, vec![lo, hi, neg]);
+        let y = g.forward(&m);
+        prop_assert!(y.get(0, 0) <= y.get(0, 1) + 1e-9);
+        // Bounded below by ≈ −0.17 everywhere.
+        prop_assert!(y.get(0, 2) > -0.2);
+    }
+}

@@ -1,0 +1,505 @@
+//! Non-parametric comparison of techniques across datasets: Friedman test,
+//! Wilcoxon signed-rank test, Holm correction, and the combined
+//! average-rank analysis ("critical diagrams") the paper produces with the
+//! `autorank` Python package for Figures 6 and 7.
+
+use crate::dist::{chi_squared_sf, normal_sf};
+
+/// Average (fractional) ranks of a slice, 1-based, ties receive the mean of
+/// the ranks they span. `[10, 20, 20, 30]` → `[1.0, 2.5, 2.5, 4.0]`.
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Result of a Friedman test.
+#[derive(Debug, Clone)]
+pub struct FriedmanResult {
+    /// Chi-squared statistic (tie-corrected).
+    pub statistic: f64,
+    /// Degrees of freedom (k − 1).
+    pub df: f64,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+    /// Average rank of each treatment (rank 1 = smallest value).
+    pub avg_ranks: Vec<f64>,
+}
+
+/// Friedman test over a `blocks × treatments` matrix of scores. Ranks are
+/// assigned within each block with rank 1 going to the *smallest* value;
+/// callers comparing "higher is better" metrics should negate their scores
+/// (as [`RankAnalysis`] does).
+///
+/// Requires at least 2 blocks and 2 treatments; ties are handled with
+/// average ranks and the standard tie correction.
+pub fn friedman_test(scores: &[Vec<f64>]) -> FriedmanResult {
+    let n = scores.len();
+    assert!(n >= 2, "Friedman test needs at least two blocks");
+    let k = scores[0].len();
+    assert!(k >= 2, "Friedman test needs at least two treatments");
+    assert!(scores.iter().all(|row| row.len() == k), "ragged score matrix");
+
+    let mut rank_sums = vec![0.0; k];
+    let mut tie_term = 0.0; // Σ over blocks of Σ (t³ − t) per tie group
+    for row in scores {
+        let ranks = average_ranks(row);
+        for (s, r) in rank_sums.iter_mut().zip(&ranks) {
+            *s += r;
+        }
+        // Count tie group sizes in this block.
+        let mut sorted: Vec<f64> = row.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut i = 0;
+        while i < k {
+            let mut j = i;
+            while j + 1 < k && sorted[j + 1] == sorted[i] {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            tie_term += t * t * t - t;
+            i = j + 1;
+        }
+    }
+    let nf = n as f64;
+    let kf = k as f64;
+    let sum_r2: f64 = rank_sums.iter().map(|r| r * r).sum();
+    let raw = 12.0 / (nf * kf * (kf + 1.0)) * sum_r2 - 3.0 * nf * (kf + 1.0);
+    let correction = 1.0 - tie_term / (nf * kf * (kf * kf - 1.0));
+    let statistic = if correction > 0.0 { raw / correction } else { 0.0 };
+    let df = kf - 1.0;
+    FriedmanResult {
+        statistic,
+        df,
+        p_value: chi_squared_sf(statistic.max(0.0), df),
+        avg_ranks: rank_sums.iter().map(|r| r / nf).collect(),
+    }
+}
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy)]
+pub struct WilcoxonResult {
+    /// Sum of ranks of positive differences (W⁺).
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences (W⁻).
+    pub w_minus: f64,
+    /// Number of non-zero differences actually ranked.
+    pub n_used: usize,
+    /// Two-sided p-value (exact for ≤ 25 pairs, normal approximation with
+    /// tie and continuity correction above).
+    pub p_value: f64,
+}
+
+/// Two-sided Wilcoxon signed-rank test on paired samples.
+///
+/// Zero differences are discarded (Wilcoxon's original treatment). With no
+/// remaining differences the p-value is 1 (the samples are identical).
+pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> WilcoxonResult {
+    assert_eq!(x.len(), y.len(), "paired samples must be equally long");
+    let diffs: Vec<f64> = x
+        .iter()
+        .zip(y)
+        .map(|(&a, &b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return WilcoxonResult { w_plus: 0.0, w_minus: 0.0, n_used: 0, p_value: 1.0 };
+    }
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = average_ranks(&abs);
+    let mut w_plus = 0.0;
+    let mut w_minus = 0.0;
+    for (d, r) in diffs.iter().zip(&ranks) {
+        if *d > 0.0 {
+            w_plus += r;
+        } else {
+            w_minus += r;
+        }
+    }
+
+    let p_value = if n <= 25 {
+        exact_wilcoxon_p(&ranks, w_plus.min(w_minus))
+    } else {
+        // Normal approximation with tie correction and continuity correction.
+        let nf = n as f64;
+        let mean = nf * (nf + 1.0) / 4.0;
+        let mut tie_term = 0.0;
+        let mut sorted = abs.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && sorted[j + 1] == sorted[i] {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            tie_term += t * t * t - t;
+            i = j + 1;
+        }
+        let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term / 48.0;
+        if var <= 0.0 {
+            1.0
+        } else {
+            let w = w_plus.min(w_minus);
+            let z = (w - mean + 0.5) / var.sqrt();
+            (2.0 * normal_sf(-z)).min(1.0)
+        }
+    };
+
+    WilcoxonResult { w_plus, w_minus, n_used: n, p_value }
+}
+
+/// Exact two-sided p-value: P(W ≤ w_obs or W ≥ symmetric counterpart) via
+/// dynamic programming on doubled ranks (average ranks are multiples of ½,
+/// so doubling yields integers even under ties).
+fn exact_wilcoxon_p(ranks: &[f64], w_obs: f64) -> f64 {
+    let doubled: Vec<usize> = ranks.iter().map(|r| (r * 2.0).round() as usize).collect();
+    let total: usize = doubled.iter().sum();
+    // counts[s] = number of sign assignments with doubled W+ equal to s.
+    let mut counts = vec![0.0f64; total + 1];
+    counts[0] = 1.0;
+    for &d in &doubled {
+        for s in (d..=total).rev() {
+            counts[s] += counts[s - d];
+        }
+    }
+    let n_assignments = 2f64.powi(ranks.len() as i32);
+    let w2 = (w_obs * 2.0).round() as usize;
+    // Two-sided: by symmetry of the null distribution around total/2,
+    // P(min(W+,W-) ≤ w) = P(W+ ≤ w) + P(W+ ≥ total − w).
+    let lower: f64 = counts.iter().take(w2.min(total) + 1).sum();
+    let upper: f64 = counts.iter().skip(total.saturating_sub(w2)).sum();
+    ((lower + upper) / n_assignments).min(1.0)
+}
+
+/// Holm step-down correction. Returns adjusted p-values in the original
+/// order; adjusted values are monotone and clipped at 1.
+pub fn holm_correction(p_values: &[f64]) -> Vec<f64> {
+    let m = p_values.len();
+    let mut idx: Vec<usize> = (0..m).collect();
+    idx.sort_by(|&a, &b| p_values[a].total_cmp(&p_values[b]));
+    let mut adjusted = vec![0.0; m];
+    let mut running_max = 0.0f64;
+    for (i, &orig) in idx.iter().enumerate() {
+        let adj = ((m - i) as f64 * p_values[orig]).min(1.0);
+        running_max = running_max.max(adj);
+        adjusted[orig] = running_max;
+    }
+    adjusted
+}
+
+/// Full `autorank`-style analysis: Friedman omnibus test followed by
+/// pairwise Wilcoxon signed-rank tests with Holm correction, and a grouping
+/// of treatments that are statistically indistinguishable (the horizontal
+/// bars of a critical diagram).
+#[derive(Debug, Clone)]
+pub struct RankAnalysis {
+    /// Treatment names in input order.
+    pub names: Vec<String>,
+    /// Average rank per treatment (rank 1 = best).
+    pub avg_ranks: Vec<f64>,
+    /// Friedman omnibus result.
+    pub friedman: FriedmanResult,
+    /// Holm-adjusted pairwise p-values, indexed `[i][j]` (symmetric, 1 on
+    /// the diagonal).
+    pub pairwise_p: Vec<Vec<f64>>,
+    /// Significance level used for grouping.
+    pub alpha: f64,
+    /// Treatment indices ordered by average rank (best first).
+    pub order: Vec<usize>,
+    /// Maximal contiguous groups (by rank order) whose members are pairwise
+    /// not significantly different — one bar each in a critical diagram.
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl RankAnalysis {
+    /// Runs the analysis on a `blocks × treatments` matrix. When
+    /// `higher_is_better` is true (the paper's F0.5 scores), rank 1 goes to
+    /// the largest value.
+#[allow(clippy::needless_range_loop)]
+    pub fn new<S: AsRef<str>>(
+        scores: &[Vec<f64>],
+        names: &[S],
+        higher_is_better: bool,
+        alpha: f64,
+    ) -> Self {
+        let k = names.len();
+        assert!(scores.iter().all(|r| r.len() == k), "score matrix does not match names");
+        let oriented: Vec<Vec<f64>> = scores
+            .iter()
+            .map(|row| row.iter().map(|&v| if higher_is_better { -v } else { v }).collect())
+            .collect();
+        let friedman = friedman_test(&oriented);
+
+        // Pairwise Wilcoxon on the raw scores (orientation does not affect
+        // two-sided p-values).
+        let mut flat_p = Vec::with_capacity(k * (k - 1) / 2);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let xi: Vec<f64> = scores.iter().map(|r| r[i]).collect();
+                let xj: Vec<f64> = scores.iter().map(|r| r[j]).collect();
+                flat_p.push(wilcoxon_signed_rank(&xi, &xj).p_value);
+            }
+        }
+        let adjusted = holm_correction(&flat_p);
+        let mut pairwise_p = vec![vec![1.0; k]; k];
+        let mut it = adjusted.iter();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let p = *it.next().expect("pair count mismatch");
+                pairwise_p[i][j] = p;
+                pairwise_p[j][i] = p;
+            }
+        }
+
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| friedman.avg_ranks[a].total_cmp(&friedman.avg_ranks[b]));
+
+        // Greedy maximal bars over the rank ordering: a group [s..e] is valid
+        // when every pair inside is non-significant at alpha.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut start = 0;
+        while start < k {
+            let mut end = start;
+            'grow: while end + 1 < k {
+                for m in start..=end {
+                    if pairwise_p[order[m]][order[end + 1]] < alpha {
+                        break 'grow;
+                    }
+                }
+                end += 1;
+            }
+            let group: Vec<usize> = order[start..=end].to_vec();
+            // Only keep maximal groups (skip bars fully contained in the
+            // previous one).
+            let redundant = groups
+                .last()
+                .map(|last: &Vec<usize>| group.iter().all(|g| last.contains(g)))
+                .unwrap_or(false);
+            if !redundant {
+                groups.push(group);
+            }
+            start += 1;
+            // Fast-forward: restart growth from each position to catch
+            // overlapping bars, but skip positions already interior to the
+            // last bar's span when the bar extends to the end.
+            if end == k - 1 && start > 0 && groups.last().map(|g| g.len()) == Some(k - start + 1) {
+                break;
+            }
+        }
+
+        RankAnalysis {
+            names: names.iter().map(|s| s.as_ref().to_string()).collect(),
+            avg_ranks: friedman.avg_ranks.clone(),
+            friedman,
+            pairwise_p,
+            alpha,
+            order,
+            groups,
+        }
+    }
+
+    /// Whether treatments `i` and `j` differ significantly after Holm
+    /// correction.
+    pub fn significant(&self, i: usize, j: usize) -> bool {
+        i != j && self.pairwise_p[i][j] < self.alpha
+    }
+
+    /// Text rendering of the critical diagram: treatments sorted by average
+    /// rank with the indistinguishability groups drawn as brackets.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Friedman chi2({:.0}) = {:.3}, p = {:.4}{}\n",
+            self.friedman.df,
+            self.friedman.statistic,
+            self.friedman.p_value,
+            if self.friedman.p_value < self.alpha { " (significant)" } else { "" }
+        ));
+        for &i in &self.order {
+            let bars: String = self
+                .groups
+                .iter()
+                .map(|g| if g.contains(&i) { '█' } else { ' ' })
+                .collect();
+            out.push_str(&format!("  {:>5.2}  {:<14} {}\n", self.avg_ranks[i], self.names[i], bars));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_with_ties() {
+        assert_eq!(average_ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(average_ranks(&[5.0]), vec![1.0]);
+        assert_eq!(average_ranks(&[2.0, 2.0, 2.0]), vec![2.0, 2.0, 2.0]);
+        assert_eq!(average_ranks(&[3.0, 1.0, 2.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn friedman_known_example() {
+        // Classic textbook example (Conover): 12 blocks, 3 treatments.
+        let scores = vec![
+            vec![1.0, 3.0, 2.0],
+            vec![2.0, 3.0, 1.0],
+            vec![1.0, 3.0, 2.0],
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 1.0, 2.0],
+            vec![2.0, 3.0, 1.0],
+            vec![3.0, 2.0, 1.0],
+            vec![1.0, 3.0, 2.0],
+            vec![1.0, 3.0, 2.0],
+            vec![2.0, 1.0, 3.0],
+            vec![2.0, 3.0, 1.0],
+            vec![1.0, 2.0, 3.0],
+        ];
+        let res = friedman_test(&scores);
+        assert_eq!(res.df, 2.0);
+        assert!(res.statistic >= 0.0);
+        assert!(res.p_value > 0.0 && res.p_value <= 1.0);
+        // Rank sums must total n·k(k+1)/2.
+        let sum: f64 = res.avg_ranks.iter().sum::<f64>() * scores.len() as f64;
+        assert!((sum - 12.0 * 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn friedman_strong_effect_is_significant() {
+        // Treatment 0 always best, 2 always worst across 10 blocks.
+        let scores: Vec<Vec<f64>> =
+            (0..10).map(|b| vec![b as f64, b as f64 + 10.0, b as f64 + 20.0]).collect();
+        let res = friedman_test(&scores);
+        assert!(res.p_value < 0.01, "p={}", res.p_value);
+        assert!(res.avg_ranks[0] < res.avg_ranks[1]);
+        assert!(res.avg_ranks[1] < res.avg_ranks[2]);
+        assert_eq!(res.avg_ranks, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn wilcoxon_identical_samples() {
+        let x = [1.0, 2.0, 3.0];
+        let res = wilcoxon_signed_rank(&x, &x);
+        assert_eq!(res.n_used, 0);
+        assert_eq!(res.p_value, 1.0);
+    }
+
+    #[test]
+    fn wilcoxon_exact_small_example() {
+        // n=5, all differences positive: W- = 0, exact two-sided p = 2/32.
+        let x = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let res = wilcoxon_signed_rank(&x, &y);
+        assert_eq!(res.w_minus, 0.0);
+        assert_eq!(res.w_plus, 15.0);
+        assert!((res.p_value - 2.0 / 32.0).abs() < 1e-12, "p={}", res.p_value);
+    }
+
+    #[test]
+    fn wilcoxon_symmetric_in_sign() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 4.0];
+        let y = [2.0, 3.0, 4.0, 6.0, 5.0, 7.0, 1.0];
+        let a = wilcoxon_signed_rank(&x, &y);
+        let b = wilcoxon_signed_rank(&y, &x);
+        assert!((a.p_value - b.p_value).abs() < 1e-12);
+        assert_eq!(a.w_plus, b.w_minus);
+    }
+
+    #[test]
+    fn wilcoxon_large_sample_normal_path() {
+        // n=30 forces the normal approximation; strong one-sided effect.
+        let x: Vec<f64> = (0..30).map(|i| i as f64 + 2.0).collect();
+        let y: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let res = wilcoxon_signed_rank(&x, &y);
+        assert!(res.p_value < 0.001, "p={}", res.p_value);
+    }
+
+    #[test]
+    fn holm_correction_basic() {
+        let p = [0.01, 0.04, 0.03, 0.005];
+        let adj = holm_correction(&p);
+        // Sorted: 0.005*4=0.02, 0.01*3=0.03, 0.03*2=0.06, 0.04*1=0.06 (monotone).
+        assert!((adj[3] - 0.02).abs() < 1e-12);
+        assert!((adj[0] - 0.03).abs() < 1e-12);
+        assert!((adj[2] - 0.06).abs() < 1e-12);
+        assert!((adj[1] - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn holm_clips_at_one() {
+        let adj = holm_correction(&[0.9, 0.8]);
+        assert!(adj.iter().all(|&p| p <= 1.0));
+    }
+
+    #[test]
+    fn rank_analysis_orders_and_groups() {
+        // Treatment "good" clearly dominates across 12 blocks; "a" and "b"
+        // are noisy equals.
+        let mut scores = Vec::new();
+        for b in 0..12 {
+            let noise = (b as f64 * 0.37).sin() * 0.01;
+            scores.push(vec![0.9 + noise, 0.5 - noise, 0.5 + noise]);
+        }
+        let ra = RankAnalysis::new(&scores, &["good", "a", "b"], true, 0.05);
+        assert_eq!(ra.order[0], 0, "dominant treatment ranked first");
+        assert!(ra.friedman.p_value < 0.05);
+        assert!(ra.significant(0, 1));
+        assert!(ra.significant(0, 2));
+        assert!(!ra.significant(1, 2));
+        // a and b must share a group; good must not share one with them.
+        assert!(ra
+            .groups
+            .iter()
+            .any(|g| g.contains(&1) && g.contains(&2) && !g.contains(&0)));
+        let render = ra.render();
+        assert!(render.contains("good"));
+    }
+
+    #[test]
+    fn render_contains_friedman_and_all_names() {
+        let scores: Vec<Vec<f64>> =
+            (0..8).map(|b| vec![0.8 + 0.001 * b as f64, 0.4, 0.1]).collect();
+        let ra = RankAnalysis::new(&scores, &["best", "mid", "worst"], true, 0.05);
+        let text = ra.render();
+        assert!(text.contains("Friedman"));
+        for name in ["best", "mid", "worst"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        // Rendered order follows average rank.
+        let best_pos = text.find("best").unwrap();
+        let worst_pos = text.find("worst").unwrap();
+        assert!(best_pos < worst_pos);
+    }
+
+    #[test]
+    fn rank_analysis_lower_is_better() {
+        let scores = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 6.0],
+            vec![1.5, 5.5],
+            vec![1.2, 5.2],
+            vec![0.9, 4.9],
+            vec![1.1, 5.1],
+        ];
+        let ra = RankAnalysis::new(&scores, &["fast", "slow"], false, 0.05);
+        assert!(ra.avg_ranks[0] < ra.avg_ranks[1]);
+        assert_eq!(ra.order[0], 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the statistical foundation.
+
+use navarchos_stat::correlation::{pearson, CorrelationPairs};
+use navarchos_stat::descriptive::{mean, quantile, sample_std, RunningStats};
+use navarchos_stat::dist::{chi_squared_cdf, normal_cdf, normal_quantile};
+use navarchos_stat::drift::{Cusum, EwmaChart, PageHinkley};
+use navarchos_stat::martingale::{conformal_pvalue, PowerMartingale};
+use navarchos_stat::ranking::{average_ranks, holm_correction, wilcoxon_signed_rank};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        xs in finite_vec(2..64),
+        ys in finite_vec(2..64),
+    ) {
+        let n = xs.len().min(ys.len());
+        let (x, y) = (&xs[..n], &ys[..n]);
+        let r = pearson(x, y);
+        prop_assert!(r.is_nan() || (-1.0..=1.0).contains(&r));
+        let r2 = pearson(y, x);
+        if r.is_finite() && r2.is_finite() {
+            prop_assert!((r - r2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pearson_shift_scale_invariant(
+        xs in finite_vec(4..32),
+        a in 0.1f64..10.0,
+        b in -100.0f64..100.0,
+    ) {
+        // Use a co-varying second signal so the correlation is non-trivial.
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, &v)| v + i as f64).collect();
+        let r1 = pearson(&xs, &ys);
+        let scaled: Vec<f64> = xs.iter().map(|&v| a * v + b).collect();
+        let r2 = pearson(&scaled, &ys);
+        if r1.is_finite() && r2.is_finite() && r1 != 0.0 && r2 != 0.0 {
+            prop_assert!((r1 - r2).abs() < 1e-6, "{r1} vs {r2}");
+        }
+    }
+
+    #[test]
+    fn running_stats_match_batch(xs in finite_vec(2..128)) {
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        prop_assert!((rs.mean() - mean(&xs)).abs() < 1e-6 * (1.0 + mean(&xs).abs()));
+        let batch = sample_std(&xs);
+        if batch.is_finite() {
+            prop_assert!((rs.sample_std() - batch).abs() < 1e-6 * (1.0 + batch));
+        }
+    }
+
+    #[test]
+    fn quantile_within_range_and_monotone(xs in finite_vec(1..64), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v1 = quantile(&xs, q1);
+        prop_assert!(v1 >= lo - 1e-9 && v1 <= hi + 1e-9);
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&xs, qa) <= quantile(&xs, qb) + 1e-12);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_statistic(xs in finite_vec(1..64)) {
+        let ranks = average_ranks(&xs);
+        let n = xs.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        // Rank sum is invariant: n(n+1)/2.
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        prop_assert!(ranks.iter().all(|&r| r >= 1.0 && r <= n));
+    }
+
+    #[test]
+    fn holm_adjusted_pvalues_dominate_raw(ps in prop::collection::vec(0.0f64..1.0, 1..16)) {
+        let adj = holm_correction(&ps);
+        prop_assert_eq!(adj.len(), ps.len());
+        for (a, p) in adj.iter().zip(&ps) {
+            prop_assert!(*a >= *p - 1e-12, "adjusted below raw");
+            prop_assert!(*a <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn wilcoxon_pvalue_valid(
+        xs in finite_vec(2..26),
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|&v| v + 1.0).collect();
+        let r = wilcoxon_signed_rank(&xs, &ys);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        // All differences are −1: fully one-sided.
+        prop_assert_eq!(r.w_plus, 0.0);
+    }
+
+    #[test]
+    fn normal_quantile_round_trips(p in 0.001f64..0.999) {
+        let x = normal_quantile(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chi_squared_cdf_monotone(x1 in 0.0f64..50.0, x2 in 0.0f64..50.0, k in 1.0f64..20.0) {
+        let (a, b) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(chi_squared_cdf(a, k) <= chi_squared_cdf(b, k) + 1e-9);
+    }
+
+    #[test]
+    fn conformal_pvalue_in_unit_interval(
+        reference in finite_vec(1..64),
+        s in -1e6f64..1e6,
+        theta in 0.0f64..1.0,
+    ) {
+        let p = conformal_pvalue(&reference, s, theta);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn martingale_deviation_bounded(ps in prop::collection::vec(0.001f64..1.0, 1..256)) {
+        let mut m = PowerMartingale::default();
+        for &p in &ps {
+            let dev = m.update(p);
+            prop_assert!((0.0..=1.0).contains(&dev));
+        }
+    }
+
+    #[test]
+    fn condensed_index_bijective(n in 2usize..12) {
+        let names: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+        let pairs = CorrelationPairs::new(&names);
+        let mut seen = vec![false; pairs.n_pairs()];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let k = pairs.condensed_index(i, j);
+                prop_assert!(!seen[k], "index collision");
+                seen[k] = true;
+                prop_assert_eq!(pairs.pair_indices(k), (i, j));
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+}
+
+proptest! {
+    #[test]
+    fn cusum_statistic_is_non_negative_and_bounded_by_threshold(
+        xs in finite_vec(1..128),
+        slack in 0.0f64..10.0,
+        threshold in 0.1f64..1e5,
+    ) {
+        let mut c = Cusum::new(0.0, slack, threshold);
+        for &x in &xs {
+            c.update(x);
+            prop_assert!(c.statistic() >= 0.0);
+            // After every update (alarm or not) the statistic is at most
+            // the threshold: alarms reset it to zero.
+            prop_assert!(c.statistic() <= threshold);
+        }
+    }
+
+    #[test]
+    fn cusum_alarm_count_monotone_in_threshold(
+        xs in finite_vec(1..128),
+        t1 in 1.0f64..100.0,
+        extra in 1.0f64..100.0,
+    ) {
+        let mut low = Cusum::new(0.0, 0.5, t1);
+        let mut high = Cusum::new(0.0, 0.5, t1 + extra);
+        let alarms_low = xs.iter().filter(|&&x| low.update(x)).count();
+        let alarms_high = xs.iter().filter(|&&x| high.update(x)).count();
+        prop_assert!(alarms_high <= alarms_low, "{alarms_high} > {alarms_low}");
+    }
+
+    #[test]
+    fn page_hinkley_never_alarms_on_constant_streams(
+        level in -1e3f64..1e3,
+        n in 1usize..512,
+    ) {
+        let mut ph = PageHinkley::new(0.01, 5.0);
+        for _ in 0..n {
+            prop_assert!(!ph.update(level), "constant stream alarmed");
+        }
+        prop_assert_eq!(ph.len(), n as u64);
+    }
+
+    #[test]
+    fn ewma_statistic_stays_within_data_hull(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..128),
+        lambda in 0.01f64..1.0,
+    ) {
+        let mut chart = EwmaChart::new(0.0, 1.0, lambda, 3.0);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min).min(0.0);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(0.0);
+        for &x in &xs {
+            chart.update(x);
+            // A convex combination of the seed (= mu = 0 here before the
+            // first sample) and the data never escapes their hull.
+            prop_assert!(chart.statistic() >= lo - 1e-9);
+            prop_assert!(chart.statistic() <= hi + 1e-9);
+        }
+    }
+}

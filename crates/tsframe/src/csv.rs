@@ -1,0 +1,216 @@
+//! Plain-CSV import/export for frames — the interchange surface a fleet
+//! operator would use to feed their own telemetry into the framework. The
+//! format is one header row (`timestamp,<signal>,…`) followed by one data
+//! row per record, timestamps as integer Unix seconds.
+//!
+//! Implemented by hand (no quoting/escaping: telemetry is purely numeric)
+//! to stay inside the workspace's sanctioned dependency set.
+
+use crate::frame::Frame;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors raised by CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file, with a line number (1-based) and
+    /// description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a frame as CSV.
+pub fn write_csv<W: Write>(frame: &Frame, writer: W) -> Result<(), CsvError> {
+    let mut w = BufWriter::new(writer);
+    write!(w, "timestamp")?;
+    for name in frame.names() {
+        write!(w, ",{name}")?;
+    }
+    writeln!(w)?;
+    let mut row = Vec::with_capacity(frame.width());
+    for i in 0..frame.len() {
+        frame.row_into(i, &mut row);
+        write!(w, "{}", frame.timestamps()[i])?;
+        for v in &row {
+            write!(w, ",{v}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a frame from CSV. Rows must be time-ordered (frames are
+/// append-only); a `NaN` cell is accepted and will be dropped by the
+/// record filter downstream.
+pub fn read_csv<R: Read>(reader: R) -> Result<Frame, CsvError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or(CsvError::Parse { line: 1, message: "empty file".into() })??;
+    let mut cols = header.split(',');
+    let first = cols.next().unwrap_or_default().trim();
+    if !first.eq_ignore_ascii_case("timestamp") {
+        return Err(CsvError::Parse {
+            line: 1,
+            message: format!("first column must be 'timestamp', got '{first}'"),
+        });
+    }
+    let names: Vec<String> = cols.map(|c| c.trim().to_string()).collect();
+    if names.is_empty() {
+        return Err(CsvError::Parse { line: 1, message: "no signal columns".into() });
+    }
+
+    let mut frame = Frame::new(&names);
+    let mut row = Vec::with_capacity(names.len());
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut cells = line.split(',');
+        let ts: i64 = cells
+            .next()
+            .unwrap_or_default()
+            .trim()
+            .parse()
+            .map_err(|e| CsvError::Parse { line: line_no, message: format!("bad timestamp: {e}") })?;
+        row.clear();
+        for cell in cells {
+            let v: f64 = cell.trim().parse().map_err(|e| CsvError::Parse {
+                line: line_no,
+                message: format!("bad value '{}': {e}", cell.trim()),
+            })?;
+            row.push(v);
+        }
+        if row.len() != names.len() {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!("expected {} values, got {}", names.len(), row.len()),
+            });
+        }
+        if let Some(&last) = frame.timestamps().last() {
+            if ts < last {
+                return Err(CsvError::Parse {
+                    line: line_no,
+                    message: format!("timestamps must be non-decreasing ({ts} after {last})"),
+                });
+            }
+        }
+        frame.push_row(ts, &row);
+    }
+    Ok(frame)
+}
+
+/// Convenience: writes a frame to a file path.
+pub fn write_csv_file(frame: &Frame, path: &std::path::Path) -> Result<(), CsvError> {
+    write_csv(frame, std::fs::File::create(path)?)
+}
+
+/// Convenience: reads a frame from a file path.
+pub fn read_csv_file(path: &std::path::Path) -> Result<Frame, CsvError> {
+    read_csv(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Frame {
+        let mut f = Frame::new(&["rpm", "speed"]);
+        f.push_row(100, &[1500.0, 42.5]);
+        f.push_row(160, &[1800.25, 50.0]);
+        f.push_row(220, &[900.0, 0.0]);
+        f
+    }
+
+    #[test]
+    fn round_trip_preserves_frame() {
+        let f = sample_frame();
+        let mut buf = Vec::new();
+        write_csv(&f, &mut buf).unwrap();
+        let g = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn header_and_format() {
+        let mut buf = Vec::new();
+        write_csv(&sample_frame(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("timestamp,rpm,speed\n"));
+        assert!(text.contains("100,1500,42.5"));
+    }
+
+    #[test]
+    fn rejects_missing_timestamp_header() {
+        let err = read_csv("time,rpm\n1,2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = read_csv("timestamp,a,b\n10,1.0\n".as_bytes()).unwrap_err();
+        match err {
+            CsvError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("expected 2"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unordered_timestamps() {
+        let err = read_csv("timestamp,a\n10,1.0\n5,2.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_values() {
+        let err = read_csv("timestamp,a\n10,hello\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad value"));
+    }
+
+    #[test]
+    fn skips_blank_lines_and_accepts_nan() {
+        let f = read_csv("timestamp,a\n10,1.0\n\n20,NaN\n".as_bytes()).unwrap();
+        assert_eq!(f.len(), 2);
+        assert!(f.column(0)[1].is_nan());
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        assert!(read_csv("".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,599 @@
+//! The four data transformations of framework step 1 (Section 3.2 of the
+//! paper), behind one streaming [`Transform`] trait that mirrors
+//! Algorithm 1's `collect` / `ready` / `transform` protocol: raw samples go
+//! in one at a time, transformed feature vectors come out whenever the
+//! transformation's internal buffer allows.
+
+use crate::frame::Frame;
+use navarchos_stat::correlation::CorrelationPairs;
+
+/// A streaming data transformation.
+///
+/// `push` feeds one raw record and returns the transformed sample it
+/// completes, if any (windowed transformations emit every `stride` records
+/// once their buffer is full).
+pub trait Transform {
+    /// Number of output features.
+    fn output_dim(&self) -> usize;
+
+    /// Names of the output features (for alarm attribution).
+    fn output_names(&self) -> Vec<String>;
+
+    /// Feeds one raw record; returns a transformed `(timestamp, features)`
+    /// sample when one is completed.
+    fn push(&mut self, timestamp: i64, row: &[f64]) -> Option<(i64, Vec<f64>)>;
+
+    /// Clears all buffered state (used when the reference profile resets).
+    fn reset(&mut self);
+
+    /// Applies the transformation to a whole frame, returning the
+    /// transformed frame. The streaming state is reset before and after.
+    fn apply(&mut self, frame: &Frame) -> Frame
+    where
+        Self: Sized,
+    {
+        self.reset();
+        let names = self.output_names();
+        let mut out = Frame::new(&names);
+        let mut buf = Vec::with_capacity(frame.width());
+        for i in 0..frame.len() {
+            frame.row_into(i, &mut buf);
+            if let Some((t, x)) = self.push(frame.timestamps()[i], &buf) {
+                out.push_row(t, &x);
+            }
+        }
+        self.reset();
+        out
+    }
+}
+
+/// Identifies a transformation choice; used by experiment grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransformKind {
+    /// Raw sensor records, unchanged.
+    Raw,
+    /// First differences between consecutive records.
+    Delta,
+    /// Windowed mean of each signal.
+    Mean,
+    /// Windowed pairwise Pearson correlations.
+    Correlation,
+    /// Windowed spectral band energies + centroid per signal (extension;
+    /// the paper's "frequency-domain transformation" alternative).
+    Spectral,
+    /// Windowed normalised histograms per signal (extension; the paper's
+    /// "histograms" alternative). Requires the Navarchos PID schema —
+    /// construct [`crate::extended::HistogramTransform`] directly for
+    /// custom ranges.
+    Histogram,
+}
+
+impl TransformKind {
+    /// Paper-style short label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransformKind::Raw => "raw",
+            TransformKind::Delta => "delta",
+            TransformKind::Mean => "mean agr.",
+            TransformKind::Correlation => "correlation",
+            TransformKind::Spectral => "spectral",
+            TransformKind::Histogram => "histogram",
+        }
+    }
+
+    /// Builds the transformation with the given input schema and window
+    /// parameters (`window`/`stride` are ignored by raw and delta).
+    pub fn build(&self, input_names: &[String], window: usize, stride: usize) -> Box<dyn Transform> {
+        match self {
+            TransformKind::Raw => Box::new(RawTransform::new(input_names)),
+            TransformKind::Delta => Box::new(DeltaTransform::new(input_names)),
+            TransformKind::Mean => Box::new(MeanTransform::new(input_names, window, stride)),
+            TransformKind::Correlation => {
+                Box::new(CorrelationTransform::new(input_names, window, stride))
+            }
+            TransformKind::Spectral => Box::new(crate::extended::SpectralTransform::new(
+                input_names,
+                window.max(8),
+                stride,
+                4,
+            )),
+            TransformKind::Histogram => {
+                let ranges = crate::extended::HistogramTransform::navarchos_ranges();
+                assert_eq!(
+                    input_names.len(),
+                    ranges.len(),
+                    "TransformKind::Histogram requires the 6-signal Navarchos schema;                      construct HistogramTransform directly for custom ranges"
+                );
+                Box::new(crate::extended::HistogramTransform::new(
+                    input_names,
+                    &ranges,
+                    6,
+                    window,
+                    stride,
+                ))
+            }
+        }
+    }
+
+    /// All four choices, in the paper's presentation order.
+    pub fn all() -> [TransformKind; 4] {
+        [TransformKind::Raw, TransformKind::Delta, TransformKind::Mean, TransformKind::Correlation]
+    }
+}
+
+/// Per-signal dynamics floors for the six Navarchos PID signals (same
+/// order as the canonical schema): within-window standard deviations below
+/// these are sensor noise / regulation residue, not vehicle dynamics.
+pub fn navarchos_corr_floors() -> Vec<f64> {
+    // Scales for *differenced* signals: roughly 2× the per-minute sensor
+    // noise of each PID, so windows whose changes are noise-dominated
+    // shrink toward 0.
+    vec![25.0, 1.2, 1.0, 1.0, 2.5, 1.8]
+}
+
+/// Identity transformation: every record is emitted unchanged.
+#[derive(Debug, Clone)]
+pub struct RawTransform {
+    names: Vec<String>,
+}
+
+impl RawTransform {
+    /// Creates the transformation for the given input schema.
+    pub fn new(input_names: &[String]) -> Self {
+        RawTransform { names: input_names.to_vec() }
+    }
+}
+
+impl Transform for RawTransform {
+    fn output_dim(&self) -> usize {
+        self.names.len()
+    }
+
+    fn output_names(&self) -> Vec<String> {
+        self.names.clone()
+    }
+
+    fn push(&mut self, timestamp: i64, row: &[f64]) -> Option<(i64, Vec<f64>)> {
+        debug_assert_eq!(row.len(), self.names.len());
+        Some((timestamp, row.to_vec()))
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// First-difference ("delta") transformation: emits `x_t − x_{t−1}` from
+/// the second record on — a discrete derivative of each signal
+/// (Giobergia et al., DSAA 2018).
+#[derive(Debug, Clone)]
+pub struct DeltaTransform {
+    names: Vec<String>,
+    prev: Option<(i64, Vec<f64>)>,
+    /// Records further apart than this (seconds) are not differenced —
+    /// a delta across a parked gap is not a derivative.
+    max_gap: i64,
+}
+
+impl DeltaTransform {
+    /// Creates the transformation for the given input schema.
+    pub fn new(input_names: &[String]) -> Self {
+        DeltaTransform { names: input_names.to_vec(), prev: None, max_gap: 30 * 60 }
+    }
+}
+
+impl Transform for DeltaTransform {
+    fn output_dim(&self) -> usize {
+        self.names.len()
+    }
+
+    fn output_names(&self) -> Vec<String> {
+        self.names.iter().map(|n| format!("d_{n}")).collect()
+    }
+
+    fn push(&mut self, timestamp: i64, row: &[f64]) -> Option<(i64, Vec<f64>)> {
+        debug_assert_eq!(row.len(), self.names.len());
+        let out = match &self.prev {
+            Some((pt, p)) if timestamp - pt <= self.max_gap => {
+                Some((timestamp, row.iter().zip(p).map(|(&a, &b)| a - b).collect()))
+            }
+            _ => None,
+        };
+        self.prev = Some((timestamp, row.to_vec()));
+        out
+    }
+
+    fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+/// Ring buffer shared by the windowed transformations: keeps the last
+/// `window` records per signal.
+#[derive(Debug, Clone)]
+struct WindowBuffer {
+    window: usize,
+    stride: usize,
+    /// Maximum gap between consecutive records (seconds); a larger gap
+    /// (the vehicle was parked) clears the buffer so windows never span
+    /// ride boundaries, where cross-signal co-movement is meaningless.
+    max_gap: i64,
+    last_t: Option<i64>,
+    /// Per-signal ring storage, logically ordered; physically a rolling
+    /// Vec with drain — windows are small (≤ a few hundred), so the drain
+    /// cost is negligible against the per-window math.
+    cols: Vec<Vec<f64>>,
+    /// Timestamps parallel to the ring storage.
+    times: Vec<i64>,
+    since_emit: usize,
+    full_once: bool,
+}
+
+impl WindowBuffer {
+    /// Default operational-gap limit: windows may span parking gaps within
+    /// a day (mixing ride regimes inside one window covers the vehicle's
+    /// full dynamic range and *stabilises* the correlation estimates), but
+    /// an overnight gap starts a fresh window.
+    const DEFAULT_MAX_GAP: i64 = 6 * 3600;
+
+    fn new(width: usize, window: usize, stride: usize) -> Self {
+        assert!(window >= 2, "window must hold at least 2 records");
+        assert!(stride >= 1, "stride must be at least 1");
+        WindowBuffer {
+            window,
+            stride,
+            max_gap: Self::DEFAULT_MAX_GAP,
+            last_t: None,
+            cols: vec![Vec::with_capacity(window + 1); width],
+            times: Vec::with_capacity(window + 1),
+            since_emit: 0,
+            full_once: false,
+        }
+    }
+
+    /// Pushes one record; returns true when a window should be emitted.
+    fn push_at(&mut self, t: i64, row: &[f64]) -> bool {
+        if let Some(last) = self.last_t {
+            if t - last > self.max_gap {
+                self.reset();
+            }
+        }
+        self.last_t = Some(t);
+        self.times.push(t);
+        if self.times.len() > self.window {
+            self.times.remove(0);
+        }
+        self.push(row)
+    }
+
+    fn push(&mut self, row: &[f64]) -> bool {
+        for (c, &v) in self.cols.iter_mut().zip(row) {
+            c.push(v);
+            if c.len() > self.window {
+                c.remove(0);
+            }
+        }
+        if self.cols[0].len() < self.window {
+            return false;
+        }
+        if !self.full_once {
+            // Emit immediately the first time the window fills.
+            self.full_once = true;
+            self.since_emit = 0;
+            return true;
+        }
+        self.since_emit += 1;
+        if self.since_emit >= self.stride {
+            self.since_emit = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn reset(&mut self) {
+        for c in &mut self.cols {
+            c.clear();
+        }
+        self.times.clear();
+        self.since_emit = 0;
+        self.full_once = false;
+        self.last_t = None;
+    }
+}
+
+/// Windowed mean transformation: every `stride` records (once `window`
+/// records are buffered) emits the mean of each signal over the window.
+#[derive(Debug, Clone)]
+pub struct MeanTransform {
+    names: Vec<String>,
+    buffer: WindowBuffer,
+}
+
+impl MeanTransform {
+    /// Creates the transformation with the given window length and stride
+    /// (both in records).
+    pub fn new(input_names: &[String], window: usize, stride: usize) -> Self {
+        MeanTransform {
+            names: input_names.to_vec(),
+            buffer: WindowBuffer::new(input_names.len(), window, stride),
+        }
+    }
+}
+
+impl Transform for MeanTransform {
+    fn output_dim(&self) -> usize {
+        self.names.len()
+    }
+
+    fn output_names(&self) -> Vec<String> {
+        self.names.iter().map(|n| format!("mean_{n}")).collect()
+    }
+
+    fn push(&mut self, timestamp: i64, row: &[f64]) -> Option<(i64, Vec<f64>)> {
+        debug_assert_eq!(row.len(), self.names.len());
+        if self.buffer.push_at(timestamp, row) {
+            let means = self
+                .buffer
+                .cols
+                .iter()
+                .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+                .collect();
+            Some((timestamp, means))
+        } else {
+            None
+        }
+    }
+
+    fn reset(&mut self) {
+        self.buffer.reset();
+    }
+}
+
+/// Correlation transformation — the paper's best-performing choice: every
+/// `stride` records (once `window` records are buffered) emits the
+/// pairwise Pearson correlation of all signals over the window, condensed
+/// to f·(f−1)/2 features.
+#[derive(Debug, Clone)]
+pub struct CorrelationTransform {
+    pairs: CorrelationPairs,
+    buffer: WindowBuffer,
+    /// Per-signal dynamics scales. A quasi-constant signal (cruising at
+    /// fixed speed, coolant pinned at the thermostat point) makes its
+    /// pairwise correlations noise-dominated, so each pair's correlation
+    /// is shrunk by smooth per-signal weights `std² / (std² + scale²)`:
+    /// fully-dynamic windows keep their correlation, quasi-static ones
+    /// fade continuously toward 0 (avoiding a bimodal feature that a hard
+    /// gate would create).
+    min_std: Option<Vec<f64>>,
+    /// Correlate first differences of the signals instead of their levels.
+    /// Windowed level series are non-stationary (regime trends dominate),
+    /// which makes level correlations composition-dependent — the classic
+    /// spurious-correlation problem; differencing isolates the instant
+    /// signal-to-signal coupling, which is both stable across usage
+    /// regimes and exactly what a developing fault perturbs. Differences
+    /// are only taken between records ≤ 2 minutes apart.
+    difference: bool,
+}
+
+impl CorrelationTransform {
+    /// Creates the transformation with the given window length and stride
+    /// (both in records).
+    pub fn new(input_names: &[String], window: usize, stride: usize) -> Self {
+        CorrelationTransform {
+            pairs: CorrelationPairs::new(input_names),
+            buffer: WindowBuffer::new(input_names.len(), window, stride),
+            min_std: None,
+            difference: false,
+        }
+    }
+
+    /// Enables first-difference correlation (see the `difference` field).
+    pub fn with_differencing(mut self) -> Self {
+        self.difference = true;
+        self
+    }
+
+    /// Sets the per-signal dynamics floors (one per input signal).
+    pub fn with_min_std(mut self, floors: Vec<f64>) -> Self {
+        assert_eq!(floors.len(), self.pairs.n_signals(), "one floor per signal");
+        self.min_std = Some(floors);
+        self
+    }
+
+    /// The pair enumeration (for attributing condensed features back to
+    /// signal pairs).
+    pub fn pairs(&self) -> &CorrelationPairs {
+        &self.pairs
+    }
+}
+
+impl Transform for CorrelationTransform {
+    fn output_dim(&self) -> usize {
+        self.pairs.n_pairs()
+    }
+
+    fn output_names(&self) -> Vec<String> {
+        self.pairs.names()
+    }
+
+#[allow(clippy::needless_range_loop)]
+    fn push(&mut self, timestamp: i64, row: &[f64]) -> Option<(i64, Vec<f64>)> {
+        debug_assert_eq!(row.len(), self.pairs.n_signals());
+        if self.buffer.push_at(timestamp, row) {
+            let diff_storage: Vec<Vec<f64>>;
+            let views: Vec<&[f64]> = if self.difference {
+                let times = &self.buffer.times;
+                diff_storage = self
+                    .buffer
+                    .cols
+                    .iter()
+                    .map(|col| {
+                        let mut d = Vec::with_capacity(col.len().saturating_sub(1));
+                        for i in 1..col.len() {
+                            if times[i] - times[i - 1] <= 120 {
+                                d.push(col[i] - col[i - 1]);
+                            }
+                        }
+                        d
+                    })
+                    .collect();
+                if diff_storage[0].len() < (self.buffer.window / 2).max(4) {
+                    // Too few contiguous pairs to estimate anything.
+                    return None;
+                }
+                diff_storage.iter().map(|c| c.as_slice()).collect()
+            } else {
+                self.buffer.cols.iter().map(|c| c.as_slice()).collect()
+            };
+            let mut out = self.pairs.condensed_pearson(&views);
+            if let Some(scales) = &self.min_std {
+                let weights: Vec<f64> = views
+                    .iter()
+                    .zip(scales)
+                    .map(|(col, &scale)| {
+                        let var = navarchos_stat::descriptive::sample_var(col);
+                        if var.is_finite() {
+                            var / (var + scale * scale)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                for k in 0..out.len() {
+                    let (i, j) = self.pairs.pair_indices(k);
+                    out[k] *= weights[i] * weights[j];
+                }
+            }
+            Some((timestamp, out))
+        } else {
+            None
+        }
+    }
+
+    fn reset(&mut self) {
+        self.buffer.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn toy_frame() -> Frame {
+        let mut f = Frame::new(&["x", "y"]);
+        for i in 0..10 {
+            f.push_row(i as i64 * 60, &[i as f64, 2.0 * i as f64 + 1.0]);
+        }
+        f
+    }
+
+    #[test]
+    fn raw_is_identity() {
+        let mut t = RawTransform::new(&names(&["x", "y"]));
+        let f = toy_frame();
+        let g = t.apply(&f);
+        assert_eq!(g.len(), f.len());
+        assert_eq!(g.column(0), f.column(0));
+        assert_eq!(g.names(), f.names());
+    }
+
+    #[test]
+    fn delta_first_differences() {
+        let mut t = DeltaTransform::new(&names(&["x", "y"]));
+        let f = toy_frame();
+        let g = t.apply(&f);
+        assert_eq!(g.len(), f.len() - 1, "first record has no predecessor");
+        assert!(g.column(0).iter().all(|&d| (d - 1.0).abs() < 1e-12));
+        assert!(g.column(1).iter().all(|&d| (d - 2.0).abs() < 1e-12));
+        assert_eq!(g.names()[0], "d_x");
+    }
+
+    #[test]
+    fn delta_reset_clears_prev() {
+        let mut t = DeltaTransform::new(&names(&["x"]));
+        assert!(t.push(0, &[1.0]).is_none());
+        assert!(t.push(1, &[2.0]).is_some());
+        t.reset();
+        assert!(t.push(2, &[5.0]).is_none(), "reset forgets the previous record");
+    }
+
+    #[test]
+    fn mean_windows_and_stride() {
+        let mut t = MeanTransform::new(&names(&["x", "y"]), 4, 2);
+        let f = toy_frame();
+        let g = t.apply(&f);
+        // Window fills at record 4 (x values 0..3, mean 1.5), then every 2.
+        assert_eq!(g.len(), 4);
+        assert!((g.column(0)[0] - 1.5).abs() < 1e-12);
+        assert!((g.column(0)[1] - 3.5).abs() < 1e-12);
+        assert_eq!(g.names()[1], "mean_y");
+    }
+
+    #[test]
+    fn correlation_perfectly_linear_signals() {
+        let mut t = CorrelationTransform::new(&names(&["x", "y"]), 5, 1);
+        let f = toy_frame();
+        let g = t.apply(&f);
+        assert_eq!(g.width(), 1);
+        assert_eq!(g.names()[0], "x~y");
+        // y = 2x + 1 → correlation exactly 1 in every window.
+        for &c in g.column(0) {
+            assert!((c - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn correlation_detects_relationship_flip() {
+        let names2 = names(&["a", "b"]);
+        let mut t = CorrelationTransform::new(&names2, 4, 4);
+        let mut out = Vec::new();
+        // First regime: b = a.
+        for i in 0..8 {
+            if let Some((_, x)) = t.push(i, &[i as f64, i as f64]) {
+                out.push(x[0]);
+            }
+        }
+        // Second regime: b = -a (relationship flip, as a fault would cause).
+        for i in 8..16 {
+            if let Some((_, x)) = t.push(i, &[i as f64, -(i as f64)]) {
+                out.push(x[0]);
+            }
+        }
+        assert!((out[0] - 1.0).abs() < 1e-9);
+        assert!(*out.last().unwrap() < 0.0, "flip visible in correlation space");
+    }
+
+    #[test]
+    fn transform_kind_builds_expected_dims() {
+        let n = names(&["a", "b", "c"]);
+        assert_eq!(TransformKind::Raw.build(&n, 8, 4).output_dim(), 3);
+        assert_eq!(TransformKind::Delta.build(&n, 8, 4).output_dim(), 3);
+        assert_eq!(TransformKind::Mean.build(&n, 8, 4).output_dim(), 3);
+        assert_eq!(TransformKind::Correlation.build(&n, 8, 4).output_dim(), 3);
+        let n6 = names(&["a", "b", "c", "d", "e", "f"]);
+        assert_eq!(TransformKind::Correlation.build(&n6, 8, 4).output_dim(), 15);
+    }
+
+    #[test]
+    fn window_emits_immediately_when_full_then_strides() {
+        let mut t = MeanTransform::new(&names(&["x"]), 3, 5);
+        let mut emitted = Vec::new();
+        for i in 0..20 {
+            if t.push(i, &[i as f64]).is_some() {
+                emitted.push(i);
+            }
+        }
+        assert_eq!(emitted[0], 2, "first emit when the window fills");
+        assert_eq!(emitted[1], 7, "then every `stride` records");
+        assert_eq!(emitted[2], 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn window_of_one_panics() {
+        MeanTransform::new(&names(&["x"]), 1, 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests for frames, filters and transformations.
+
+use navarchos_tsframe::aggregate::{daily_aggregate, SECONDS_PER_DAY};
+use navarchos_tsframe::{
+    resample, CorrelationTransform, DeltaTransform, FillMethod, Frame, MeanTransform,
+    RawTransform, ResampleSpec, RollingExtrema, RollingStats, Transform,
+};
+use proptest::prelude::*;
+
+/// Builds a time-ordered 2-signal frame with 1-minute cadence.
+fn frame_2(values: &[(f64, f64)]) -> Frame {
+    let mut f = Frame::new(&["a", "b"]);
+    for (i, &(a, b)) in values.iter().enumerate() {
+        f.push_row(i as i64 * 60, &[a, b]);
+    }
+    f
+}
+
+proptest! {
+    #[test]
+    fn raw_transform_is_identity(vals in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..64)) {
+        let f = frame_2(&vals);
+        let mut t = RawTransform::new(f.names());
+        let g = t.apply(&f);
+        prop_assert_eq!(g.len(), f.len());
+        prop_assert_eq!(g.column(0), f.column(0));
+        prop_assert_eq!(g.column(1), f.column(1));
+    }
+
+    #[test]
+    fn delta_telescopes(vals in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..64)) {
+        let f = frame_2(&vals);
+        let mut t = DeltaTransform::new(f.names());
+        let g = t.apply(&f);
+        prop_assert_eq!(g.len(), f.len() - 1);
+        // Telescoping sum: Σ deltas = last − first.
+        let sum: f64 = g.column(0).iter().sum();
+        let expected = vals.last().unwrap().0 - vals.first().unwrap().0;
+        prop_assert!((sum - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_transform_within_minmax(vals in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 8..80)) {
+        let f = frame_2(&vals);
+        let mut t = MeanTransform::new(f.names(), 6, 2);
+        let g = t.apply(&f);
+        let lo = vals.iter().map(|v| v.0).fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().map(|v| v.0).fold(f64::NEG_INFINITY, f64::max);
+        for &m in g.column(0) {
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn correlation_features_bounded(vals in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 10..100)) {
+        let f = frame_2(&vals);
+        let mut t = CorrelationTransform::new(f.names(), 8, 2);
+        let g = t.apply(&f);
+        prop_assert_eq!(g.width(), 1);
+        for &c in g.column(0) {
+            prop_assert!(c.is_nan() || (-1.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn windowed_emission_count(n in 10usize..200, window in 2usize..12, stride in 1usize..6) {
+        prop_assume!(window <= n);
+        let vals: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, (i * 2) as f64)).collect();
+        let f = frame_2(&vals);
+        let mut t = MeanTransform::new(f.names(), window, stride);
+        let g = t.apply(&f);
+        // First emission when the window fills, then every `stride`.
+        let expected = 1 + (n - window) / stride;
+        prop_assert_eq!(g.len(), expected);
+    }
+
+    #[test]
+    fn daily_aggregate_partitions_rows(
+        counts in prop::collection::vec(1usize..50, 1..6),
+    ) {
+        // `counts[d]` rows on day d.
+        let mut f = Frame::new(&["x"]);
+        let mut total = 0usize;
+        for (d, &c) in counts.iter().enumerate() {
+            for i in 0..c {
+                f.push_row(d as i64 * SECONDS_PER_DAY + i as i64 * 60, &[i as f64]);
+            }
+            total += c;
+        }
+        let aggs = daily_aggregate(&f, SECONDS_PER_DAY, 1);
+        prop_assert_eq!(aggs.len(), counts.len());
+        prop_assert_eq!(aggs.iter().map(|a| a.count).sum::<usize>(), total);
+    }
+
+    #[test]
+    fn frame_slice_time_partition(
+        n in 2usize..64,
+        split_frac in 0.1f64..0.9,
+    ) {
+        let vals: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, -(i as f64))).collect();
+        let f = frame_2(&vals);
+        let split = (n as f64 * split_frac) as i64 * 60;
+        let left = f.slice_time(i64::MIN, split);
+        let right = f.slice_time(split, i64::MAX);
+        prop_assert_eq!(left.len() + right.len(), n);
+    }
+}
+
+proptest! {
+    #[test]
+    fn resample_grid_is_regular_and_within_range(
+        gaps in prop::collection::vec(1i64..400, 2..64),
+        period in 1i64..120,
+    ) {
+        let mut f = Frame::new(&["x"]);
+        let mut t = 0i64;
+        for (i, &g) in gaps.iter().enumerate() {
+            f.push_row(t, &[i as f64]);
+            t += g;
+        }
+        let spec = ResampleSpec { period, max_gap: 500, method: FillMethod::Linear };
+        let r = resample(&f, spec);
+        let first = f.timestamps()[0];
+        let last = *f.timestamps().last().unwrap();
+        for w in r.timestamps().windows(2) {
+            prop_assert!(w[1] > w[0], "strictly increasing");
+            prop_assert_eq!((w[1] - w[0]) % period, 0, "grid-aligned spacing");
+        }
+        for &gt in r.timestamps() {
+            prop_assert!(gt >= first && gt <= last, "inside the observed range");
+            prop_assert_eq!(gt.rem_euclid(period), 0, "on the global grid");
+        }
+    }
+
+    #[test]
+    fn linear_resample_values_within_neighbour_hull(
+        vals in prop::collection::vec(-100.0f64..100.0, 2..64),
+        period in 1i64..90,
+    ) {
+        let mut f = Frame::new(&["x"]);
+        for (i, &v) in vals.iter().enumerate() {
+            f.push_row(i as i64 * 60, &[v]);
+        }
+        let r = resample(&f, ResampleSpec { period, max_gap: 3_600, method: FillMethod::Linear });
+        for (i, &gt) in r.timestamps().iter().enumerate() {
+            // Locate the bracketing input samples.
+            let hi = f.timestamps().iter().position(|&t| t >= gt).unwrap();
+            let lo = if f.timestamps()[hi] == gt { hi } else { hi - 1 };
+            let (a, b) = (f.column(0)[lo], f.column(0)[hi]);
+            let (min, max) = (a.min(b), a.max(b));
+            let v = r.column(0)[i];
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9, "{v} outside [{min}, {max}]");
+        }
+    }
+
+    #[test]
+    fn previous_hold_reproduces_observed_values(
+        vals in prop::collection::vec(-100.0f64..100.0, 2..64),
+        period in 1i64..90,
+    ) {
+        let mut f = Frame::new(&["x"]);
+        for (i, &v) in vals.iter().enumerate() {
+            f.push_row(i as i64 * 60 + 7, &[v]);
+        }
+        let r = resample(&f, ResampleSpec { period, max_gap: 3_600, method: FillMethod::Previous });
+        for (i, &gt) in r.timestamps().iter().enumerate() {
+            let v = r.column(0)[i];
+            prop_assert!(
+                f.timestamps().iter().zip(f.column(0)).any(|(&t, &x)| t <= gt && x == v),
+                "held value {v} was never observed at or before {gt}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn rolling_stats_match_recomputation(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        window in 1usize..24,
+    ) {
+        let mut acc = RollingStats::new(window);
+        for (i, &x) in xs.iter().enumerate() {
+            acc.push(x);
+            let lo = (i + 1).saturating_sub(window);
+            let win = &xs[lo..=i];
+            let mean = win.iter().sum::<f64>() / win.len() as f64;
+            prop_assert!((acc.mean().unwrap() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+            if win.len() >= 2 {
+                let var = win.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                    / (win.len() - 1) as f64;
+                prop_assert!(
+                    (acc.variance().unwrap() - var).abs() < 1e-6 * (1.0 + var),
+                    "{} vs {var}", acc.variance().unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_extrema_match_recomputation(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        window in 1usize..24,
+    ) {
+        let mut acc = RollingExtrema::new(window);
+        for (i, &x) in xs.iter().enumerate() {
+            acc.push(x);
+            let lo = (i + 1).saturating_sub(window);
+            let win = &xs[lo..=i];
+            let lo_v = win.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi_v = win.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(acc.min(), Some(lo_v));
+            prop_assert_eq!(acc.max(), Some(hi_v));
+        }
+    }
+}

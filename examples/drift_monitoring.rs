@@ -1,0 +1,162 @@
+//! Drift monitoring: watch every faulty vehicle's anomaly-score stream
+//! for persistent level shifts with the sequential change detectors in
+//! `navarchos-stat` — the complementary tool to the framework's
+//! reset-on-recorded-event reference profiles. The paper's discussion
+//! section blames concept drift (services, seasons, silent failures) for
+//! most of the task's difficulty; CUSUM-style monitors make those shifts
+//! visible even when no event was logged.
+//!
+//! The example also demonstrates gap-aware resampling: the irregular
+//! OBD-II cadence is put on a regular 1-minute grid without ever
+//! interpolating across parking time.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p navarchos-examples --bin drift_monitoring
+//! ```
+
+use navarchos_core::detectors::DetectorKind;
+use navarchos_core::runner::{run_vehicle, RunnerParams, VehicleScores};
+use navarchos_core::TransformKind;
+use navarchos_fleetsim::{EventKind, FaultWindow, FleetConfig, VehicleData, START_EPOCH};
+use navarchos_stat::drift::{PageHinkley, ShiftDirection, TwoSidedCusum};
+use navarchos_stat::{mean, sample_std};
+use navarchos_tsframe::aggregate::SECONDS_PER_DAY;
+use navarchos_tsframe::{resample, FilterSpec, ResampleSpec};
+
+fn day(t: i64) -> i64 {
+    (t - START_EPOCH) / SECONDS_PER_DAY
+}
+
+/// Runs the headline pipeline on one vehicle and reduces the scores to
+/// one value per day (the worst channel — faults touch a few correlation
+/// pairs, so a mean across all channels would dilute them).
+fn daily_worst_scores(vd: &VehicleData) -> Vec<(i64, f64)> {
+    let params =
+        RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
+    let maintenance: Vec<(i64, bool)> = vd
+        .events
+        .iter()
+        .filter(|e| e.recorded && e.kind.is_maintenance())
+        .map(|e| (e.timestamp, e.kind == EventKind::Repair))
+        .collect();
+    let vs: VehicleScores = run_vehicle(&vd.frame, &maintenance, &params);
+    let mut series: Vec<(i64, f64)> = Vec::new();
+    for (i, &t) in vs.timestamps.iter().enumerate() {
+        let day_start = START_EPOCH + day(t) * SECONDS_PER_DAY;
+        let m = (0..vs.n_channels).map(|c| vs.score(i, c)).fold(0.0, f64::max);
+        match series.last_mut() {
+            Some((d, v)) if *d == day_start => *v = v.max(m),
+            _ => series.push((day_start, m)),
+        }
+    }
+    series
+}
+
+/// Shift alerts on a daily score stream: a two-sided CUSUM around the
+/// early-life baseline plus a Page–Hinkley test that learns its own.
+fn shift_alerts(series: &[(i64, f64)]) -> Vec<(i64, ShiftDirection)> {
+    let baseline: Vec<f64> = series.iter().take(30).map(|&(_, v)| v).collect();
+    let (mu, sigma) = (mean(&baseline), sample_std(&baseline).max(1e-6));
+    let mut cusum = TwoSidedCusum::new(mu, 0.25 * sigma, 6.0 * sigma);
+    let mut ph = PageHinkley::new(0.25 * sigma, 8.0 * sigma);
+    let mut alerts: Vec<(i64, ShiftDirection)> = Vec::new();
+    for &(t, v) in series {
+        let c = cusum.update(v);
+        let p = ph.update(v);
+        let hit = c.or(if p { Some(ShiftDirection::Up) } else { None });
+        if let Some(direction) = hit {
+            // A persistent shift keeps re-triggering the statistics;
+            // report each episode once (21-day refractory window).
+            match alerts.last() {
+                Some(&(last, _)) if t - last < 21 * SECONDS_PER_DAY => {}
+                _ => alerts.push((t, direction)),
+            }
+        }
+    }
+    alerts
+}
+
+fn main() {
+    let fleet = FleetConfig::long_haul(17).generate();
+    println!(
+        "long-haul fleet: {} vehicles, {} injected faults\n",
+        fleet.vehicles.len(),
+        fleet.faults.len(),
+    );
+
+    // Part 1 — gap-aware resampling, shown once on the first faulty
+    // vehicle. Drift monitoring must keep cold-running records (a
+    // stuck-open thermostat holds the coolant *below* the detection
+    // pipeline's warm-up cutoff), so the warm-up filter is disabled.
+    let first = fleet.faults.first().expect("config injects faults");
+    let mut spec = FilterSpec::navarchos_default();
+    spec.warm_column = None;
+    let filtered = spec.apply(&fleet.vehicles[first.vehicle].frame);
+    let gridded = resample(&filtered, ResampleSpec::linear(60));
+    println!(
+        "resampling {}: {} irregular records -> {} one-minute grid points\n",
+        fleet.vehicles[first.vehicle].id,
+        filtered.len(),
+        gridded.len(),
+    );
+
+    // Part 2 — score-level drift monitoring across the whole fleet's
+    // faulty vehicles. The detection pipeline thresholds each score
+    // stream *within* a maintenance segment; the drift monitor watches it
+    // *across* segments, where slow degradation and unrecorded services
+    // show up as persistent level shifts.
+    println!("vehicle      | fault                  | window (days) | alerts | in-window | score in/out");
+    let mut corroborated = 0;
+    for FaultWindow { vehicle, start, repair, kind } in &fleet.faults {
+        let vd = &fleet.vehicles[*vehicle];
+        let series = daily_worst_scores(vd);
+        if series.len() < 45 {
+            println!("{:<12} | {:<22} | (too little data)", vd.id, kind.label());
+            continue;
+        }
+        let alerts = shift_alerts(&series);
+        let in_window =
+            alerts.iter().filter(|&&(t, _)| t >= *start && t <= *repair).count();
+        if in_window > 0 {
+            corroborated += 1;
+        }
+        let (mut inside, mut outside) = (Vec::new(), Vec::new());
+        for &(t, v) in &series {
+            if t >= *start && t <= *repair {
+                inside.push(v);
+            } else {
+                outside.push(v);
+            }
+        }
+        let ratio = if inside.is_empty() || outside.is_empty() {
+            f64::NAN
+        } else {
+            mean(&inside) / mean(&outside).max(1e-12)
+        };
+        println!(
+            "{:<12} | {:<22} | {:>4} – {:>4}   | {:>6} | {:>9} | {:>6.2}x",
+            vd.id,
+            kind.label(),
+            day(*start),
+            day(*repair),
+            alerts.len(),
+            in_window,
+            ratio,
+        );
+        for (t, direction) in &alerts {
+            let tag = if *t >= *start && *t <= *repair {
+                "inside the fault window"
+            } else {
+                "outside — unrecorded service / re-baselining suspect"
+            };
+            println!("    day {:>3}: shift {:?} ({tag})", day(*t), direction);
+        }
+    }
+    println!(
+        "\n{corroborated}/{} faults show a score-level shift inside their window. \
+         Shifts outside a window point at unrecorded services or sensor \
+         re-baselining — the drift the paper's discussion section describes.",
+        fleet.faults.len(),
+    );
+}

@@ -1,0 +1,42 @@
+//! Integration: CSV export/import round-trips the simulator's frames, so
+//! the CLI's simulate → evaluate path operates on faithful data.
+
+use navarchos_fleetsim::FleetConfig;
+use navarchos_tsframe::csv::{read_csv, write_csv};
+
+#[test]
+fn simulated_telemetry_survives_csv() {
+    let fleet = FleetConfig::small(13).generate();
+    for vd in fleet.vehicles.iter().take(2) {
+        let mut buf = Vec::new();
+        write_csv(&vd.frame, &mut buf).expect("write");
+        let back = read_csv(buf.as_slice()).expect("read");
+        assert_eq!(back.len(), vd.frame.len());
+        assert_eq!(back.names(), vd.frame.names());
+        assert_eq!(back.timestamps(), vd.frame.timestamps());
+        // f64 round-trips through the shortest-representation formatter.
+        for c in 0..back.width() {
+            assert_eq!(back.column(c), vd.frame.column(c));
+        }
+    }
+}
+
+#[test]
+fn csv_frames_feed_the_pipeline() {
+    use navarchos_core::detectors::DetectorKind;
+    use navarchos_core::runner::{run_vehicle, RunnerParams};
+    use navarchos_core::TransformKind;
+
+    let fleet = FleetConfig::small(13).generate();
+    let vd = &fleet.vehicles[0];
+    let mut buf = Vec::new();
+    write_csv(&vd.frame, &mut buf).expect("write");
+    let frame = read_csv(buf.as_slice()).expect("read");
+
+    let params =
+        RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
+    let direct = run_vehicle(&vd.frame, &[], &params);
+    let via_csv = run_vehicle(&frame, &[], &params);
+    assert_eq!(direct.timestamps, via_csv.timestamps);
+    assert_eq!(direct.scores, via_csv.scores);
+}

@@ -1,0 +1,117 @@
+//! Integration: the sequential drift detectors of `navarchos-stat`
+//! against the simulator's real drift sources — the seasonal ambient
+//! cycle and service-induced sensor re-baselining.
+
+use navarchos_fleetsim::physics::ambient_temperature_with;
+use navarchos_fleetsim::{FleetConfig, START_EPOCH};
+use navarchos_stat::drift::{Cusum, EwmaChart, PageHinkley};
+use navarchos_stat::{mean, sample_std};
+use navarchos_tsframe::aggregate::SECONDS_PER_DAY;
+
+/// The seasonal ambient cycle is exactly the slow drift Page–Hinkley is
+/// built for: a winter-calibrated monitor must flag the approach of
+/// summer, and a zero-amplitude climate must stay silent.
+#[test]
+fn page_hinkley_sees_the_seasons() {
+    let noon_temps = |amplitude: f64| -> Vec<f64> {
+        (0..365).map(|d| ambient_temperature_with(d, 12.0, 0.0, amplitude)).collect()
+    };
+
+    let mut ph = PageHinkley::new(0.05, 30.0);
+    let detected = noon_temps(9.5).iter().position(|&t| ph.update(t));
+    let detected = detected.expect("a 19 degC seasonal swing must be flagged");
+    assert!(
+        (30..330).contains(&detected),
+        "flagged at day {detected}, expected during the warming season"
+    );
+
+    let mut ph_flat = PageHinkley::new(0.05, 30.0);
+    assert!(
+        !noon_temps(0.0).iter().any(|&t| ph_flat.update(t)),
+        "no seasonality, no drift"
+    );
+}
+
+/// A CUSUM calibrated on one month of winter noons alarms before summer
+/// peaks, and an EWMA chart goes (and stays) out of control mid-summer.
+#[test]
+fn control_charts_calibrated_in_winter_alarm_by_summer() {
+    let temps: Vec<f64> =
+        (0..365).map(|d| ambient_temperature_with(d, 12.0, 0.0, 9.5)).collect();
+    let (mu, sigma) = (mean(&temps[..30]), sample_std(&temps[..30]).max(0.2));
+
+    let mut cusum = Cusum::new(mu, 0.5 * sigma, 8.0 * sigma);
+    let first_alarm = temps.iter().position(|&t| cusum.update(t));
+    assert!(first_alarm.is_some_and(|d| d < 210), "CUSUM silent: {first_alarm:?}");
+
+    let mut chart = EwmaChart::new(mu, sigma, 0.2, 4.0);
+    let mid_summer_out: Vec<bool> = temps.iter().map(|&t| chart.update(t)).collect();
+    assert!(mid_summer_out[182], "EWMA chart in control at mid-summer");
+    assert!(!mid_summer_out[5], "EWMA chart out of control during calibration");
+}
+
+/// Service re-baselining steps the observed PID levels; across a year of
+/// per-day means the drift detectors and the fleet's own event log must
+/// tell a consistent story: the signal a monitor fires on is real (the
+/// series' spread across the service is larger than within segments).
+#[test]
+fn rebaselining_steps_are_larger_than_within_segment_noise() {
+    let fleet = FleetConfig::small(11).generate();
+    // A vehicle with at least two recorded services.
+    let vd = fleet
+        .vehicles
+        .iter()
+        .find(|v| v.events.iter().filter(|e| e.recorded && e.kind.is_maintenance()).count() >= 2)
+        .expect("small fleet has serviced vehicles");
+
+    // Daily mean of the MAP sensor (gain-stepped at services).
+    let col = vd.frame.column_index("mapIntake").expect("PID present");
+    let ts = vd.frame.timestamps();
+    let xs = vd.frame.column(col);
+    let mut daily: Vec<(i64, f64)> = Vec::new();
+    let mut start = 0;
+    while start < ts.len() {
+        let d = (ts[start] - START_EPOCH) / SECONDS_PER_DAY;
+        let mut end = start;
+        while end < ts.len() && (ts[end] - START_EPOCH) / SECONDS_PER_DAY == d {
+            end += 1;
+        }
+        daily.push((d, mean(&xs[start..end])));
+        start = end;
+    }
+    assert!(daily.len() > 30, "enough driving days");
+
+    // Whole-series spread vs median per-segment spread: re-baselining and
+    // usage drift across segments must dominate within-segment noise —
+    // otherwise a drift monitor on this stream could never separate the
+    // two, and the paper's concept-drift complaint would not reproduce.
+    let all: Vec<f64> = daily.iter().map(|&(_, v)| v).collect();
+    let services: Vec<i64> = vd
+        .events
+        .iter()
+        .filter(|e| e.recorded && e.kind.is_maintenance())
+        .map(|e| (e.timestamp - START_EPOCH) / SECONDS_PER_DAY)
+        .collect();
+    let mut segment_stds = Vec::new();
+    let mut bounds = vec![i64::MIN];
+    bounds.extend(&services);
+    bounds.push(i64::MAX);
+    for w in bounds.windows(2) {
+        let seg: Vec<f64> = daily
+            .iter()
+            .filter(|&&(d, _)| d >= w[0] && d < w[1])
+            .map(|&(_, v)| v)
+            .collect();
+        if seg.len() >= 5 {
+            segment_stds.push(sample_std(&seg));
+        }
+    }
+    assert!(!segment_stds.is_empty(), "at least one populated segment");
+    segment_stds.sort_by(f64::total_cmp);
+    let median_within = segment_stds[segment_stds.len() / 2];
+    let across = sample_std(&all);
+    assert!(
+        across > median_within,
+        "across-segment spread {across} vs within {median_within}"
+    );
+}

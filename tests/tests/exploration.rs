@@ -1,0 +1,43 @@
+//! Integration of the Section 2 exploration pipeline across crates.
+
+use navarchos_bench::exploration::{explore, OutlierCategory};
+use navarchos_fleetsim::FleetConfig;
+
+#[test]
+fn exploration_pipeline_produces_clusters_and_outliers() {
+    let mut cfg = FleetConfig::navarchos();
+    cfg.n_vehicles = 12;
+    cfg.n_recorded = 9;
+    cfg.n_failures = 3;
+    cfg.n_days = 180;
+    let fleet = cfg.generate();
+
+    let ex = explore(&fleet, 7, 10, 1200);
+    assert_eq!(ex.labels.len(), ex.meta.len());
+    assert!(ex.labels.iter().all(|&l| l < 7));
+    assert_eq!(ex.cluster_sizes().iter().sum::<usize>(), ex.meta.len());
+    assert!(!ex.outliers.is_empty());
+    assert!(ex.outliers.len() <= ex.meta.len() / 50 + 1, "top 1 % only");
+
+    // Outlier LOF scores must dominate the median point.
+    let median_lof = {
+        let mut s = ex.lof_scores.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s[s.len() / 2]
+    };
+    for &i in &ex.outliers {
+        assert!(ex.lof_scores[i] >= median_lof);
+    }
+
+    let cats = ex.categorize_outliers(&fleet, 30);
+    assert_eq!(cats.len(), ex.outliers.len());
+    // Category counts partition the outlier set. (The paper found *no*
+    // failure-related raw outliers; our synthetic faults are intermittent
+    // and therefore more visible in day-aggregate space late in their
+    // ramp — a documented substitution deviation, see EXPERIMENTS.md —
+    // so no unrelatedness fraction is asserted here.)
+    let a = cats.iter().filter(|c| matches!(c, OutlierCategory::RelatedToFailure)).count();
+    let b = cats.iter().filter(|c| matches!(c, OutlierCategory::NoFailureAfter)).count();
+    let c = cats.iter().filter(|c| matches!(c, OutlierCategory::FarFromFailure)).count();
+    assert_eq!(a + b + c, cats.len());
+}

@@ -1,0 +1,43 @@
+//! Determinism guarantees across the whole stack.
+
+use navarchos_bench::grid::{fleet_scores, Cell};
+use navarchos_core::detectors::DetectorKind;
+use navarchos_core::ResetPolicy;
+use navarchos_fleetsim::FleetConfig;
+use navarchos_tsframe::TransformKind;
+
+#[test]
+fn fleet_generation_is_bit_identical() {
+    let a = FleetConfig::small(99).generate();
+    let b = FleetConfig::small(99).generate();
+    assert_eq!(a.total_records(), b.total_records());
+    for (va, vb) in a.vehicles.iter().zip(&b.vehicles) {
+        assert_eq!(va.frame, vb.frame);
+        assert_eq!(va.events, vb.events);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = FleetConfig::small(1).generate();
+    let b = FleetConfig::small(2).generate();
+    assert_ne!(a.vehicles[0].frame, b.vehicles[0].frame);
+}
+
+#[test]
+fn scoring_is_deterministic() {
+    let fleet = FleetConfig::small(5).generate();
+    let run = || {
+        fleet_scores(
+            &fleet,
+            Cell { transform: TransformKind::Correlation, detector: DetectorKind::ClosestPair },
+            ResetPolicy::OnServiceOrRepair,
+        )
+    };
+    let a = run();
+    let b = run();
+    for (x, y) in a.scores.iter().zip(&b.scores) {
+        assert_eq!(x.timestamps, y.timestamps);
+        assert_eq!(x.scores, y.scores);
+    }
+}
