@@ -3,13 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use navarchos_cluster::{linkage, Linkage};
+use navarchos_dsp::power_spectrum;
 use navarchos_fleetsim::faults::FaultEffects;
 use navarchos_fleetsim::physics::{simulate_ride, ThermalState};
 use navarchos_fleetsim::usage::RideKind;
 use navarchos_fleetsim::vehicle::VehicleModel;
-use navarchos_neighbors::{KdTree, KnnIndex, LofModel, Metric, SortedNeighbors};
-use navarchos_dsp::power_spectrum;
 use navarchos_iforest::{IsolationForest, IsolationForestParams};
+use navarchos_neighbors::{KdTree, KnnIndex, LofModel, Metric, SortedNeighbors};
 use navarchos_stat::correlation::pearson;
 use navarchos_stat::martingale::{conformal_pvalue, PowerMartingale};
 use navarchos_tsframe::sax::SaxEncoder;
@@ -102,12 +102,19 @@ fn bench_extensions(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("iforest_fit_512x6", |b| {
         b.iter(|| {
-            IsolationForest::fit(&data, 6, &IsolationForestParams { n_trees: 50, ..Default::default() })
-                .n_trees()
+            IsolationForest::fit(
+                &data,
+                6,
+                &IsolationForestParams { n_trees: 50, ..Default::default() },
+            )
+            .n_trees()
         })
     });
-    let forest =
-        IsolationForest::fit(&data, 6, &IsolationForestParams { n_trees: 50, ..Default::default() });
+    let forest = IsolationForest::fit(
+        &data,
+        6,
+        &IsolationForestParams { n_trees: 50, ..Default::default() },
+    );
     let q: Vec<f64> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
     group.bench_function("iforest_score", |b| b.iter(|| forest.score(&q)));
     group.finish();
@@ -140,5 +147,12 @@ fn bench_fleetsim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_neighbors, bench_cluster, bench_stat, bench_extensions, bench_fleetsim);
+criterion_group!(
+    benches,
+    bench_neighbors,
+    bench_cluster,
+    bench_stat,
+    bench_extensions,
+    bench_fleetsim
+);
 criterion_main!(benches);

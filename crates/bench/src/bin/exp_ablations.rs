@@ -1,10 +1,21 @@
 //! Extra ablations called out in DESIGN.md: Grand's non-conformity
 //! measure and the correlation window/stride.
-use navarchos_bench::experiments::{dtc_baseline, extension_comparison, fleet_grand_ablation, grand_ncm_ablation, paper_fleet, seasonal_ablation, window_ablation};
+use navarchos_bench::experiments::{
+    dtc_baseline, extension_comparison, fleet_grand_ablation, grand_ncm_ablation, paper_fleet,
+    seasonal_ablation, window_ablation,
+};
 use navarchos_bench::report::emit;
 
 fn main() {
     let fleet = paper_fleet();
-    let body = format!("{}\n{}\n{}\n{}\n{}\n{}", grand_ncm_ablation(&fleet), window_ablation(&fleet), extension_comparison(&fleet), fleet_grand_ablation(&fleet), dtc_baseline(&fleet), seasonal_ablation());
+    let body = format!(
+        "{}\n{}\n{}\n{}\n{}\n{}",
+        grand_ncm_ablation(&fleet),
+        window_ablation(&fleet),
+        extension_comparison(&fleet),
+        fleet_grand_ablation(&fleet),
+        dtc_baseline(&fleet),
+        seasonal_ablation()
+    );
     emit("ablations.txt", &body);
 }

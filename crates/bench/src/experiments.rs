@@ -3,9 +3,9 @@
 //! `exp_*` binaries and `reproduce_all` are thin wrappers.
 
 use crate::exploration::{explore, OutlierCategory};
-use navarchos_cluster::silhouette_score;
 use crate::grid::{fleet_scores, Cell, GridOutcome};
 use crate::report::{bar, table};
+use navarchos_cluster::silhouette_score;
 use navarchos_core::detectors::DetectorKind;
 use navarchos_core::evaluation::EvalParams;
 use navarchos_core::runner::RunnerParams;
@@ -142,10 +142,8 @@ pub fn figure2(fleet: &FleetData) -> String {
             interpretation,
         ]);
     }
-    let cluster_table = table(
-        &["cluster", "points", "vehicles", "dominant usage", "interpretation"],
-        &rows,
-    );
+    let cluster_table =
+        table(&["cluster", "points", "vehicles", "dominant usage", "interpretation"], &rows);
 
     let cats = ex.categorize_outliers(fleet, 30);
     let n = cats.len().max(1);
@@ -176,6 +174,7 @@ pub fn figure2(fleet: &FleetData) -> String {
 // ---------------------------------------------------------------------------
 
 /// One evaluated grid cell with all four (setting, PH) results.
+#[derive(Debug)]
 pub struct CellResult {
     /// The cell.
     pub cell: Cell,
@@ -352,9 +351,8 @@ fn f05_matrix(
 /// three granularities (all techniques / similarity-based / learned).
 pub fn figure6(results: &[CellResult]) -> String {
     let all = |_: DetectorKind| true;
-    let similarity = |d: DetectorKind| {
-        matches!(d, DetectorKind::ClosestPair | DetectorKind::Grand(_))
-    };
+    let similarity =
+        |d: DetectorKind| matches!(d, DetectorKind::ClosestPair | DetectorKind::Grand(_));
     let learned = |d: DetectorKind| matches!(d, DetectorKind::TranAd | DetectorKind::Xgboost);
     let every_t = |_: TransformKind| true;
 
@@ -377,8 +375,7 @@ pub fn figure6(results: &[CellResult]) -> String {
 pub fn figure7(results: &[CellResult]) -> String {
     let every_d = |_: DetectorKind| true;
     let all_t = |_: TransformKind| true;
-    let corr_raw =
-        |t: TransformKind| matches!(t, TransformKind::Correlation | TransformKind::Raw);
+    let corr_raw = |t: TransformKind| matches!(t, TransformKind::Correlation | TransformKind::Raw);
     let no_raw = |t: TransformKind| t != TransformKind::Raw;
 
     let mut out = String::from("Figure 7 — critical diagrams for anomaly detection techniques\n");
@@ -608,10 +605,7 @@ pub fn grand_ncm_ablation(fleet: &FleetData) -> String {
     for ncm in [GrandNcm::Median, GrandNcm::Knn, GrandNcm::Lof] {
         let outcome = fleet_scores(
             fleet,
-            Cell {
-                transform: TransformKind::Correlation,
-                detector: DetectorKind::Grand(ncm),
-            },
+            Cell { transform: TransformKind::Correlation, detector: DetectorKind::Grand(ncm) },
             ResetPolicy::OnServiceOrRepair,
         );
         let (param, c) = outcome.evaluate(fleet, &fleet.setting26(), 30);
@@ -725,11 +719,7 @@ pub fn dtc_baseline(fleet: &FleetData) -> String {
             dtc_times.sort_unstable();
             let instances =
                 navarchos_core::evaluation::dedup_alarms(&dtc_times, eval.dedup_seconds, 1);
-            counts.merge(&evaluate_vehicle_instances(
-                &instances,
-                &vd.recorded_repairs(),
-                eval,
-            ));
+            counts.merge(&evaluate_vehicle_instances(&instances, &vd.recorded_repairs(), eval));
         }
         rows.push(vec![
             format!("{ph} days"),
@@ -761,7 +751,11 @@ pub fn scenario_robustness() -> String {
     for (name, cfgs) in [
         (
             "urban-delivery",
-            [FleetConfig::urban_delivery(1), FleetConfig::urban_delivery(2), FleetConfig::urban_delivery(3)],
+            [
+                FleetConfig::urban_delivery(1),
+                FleetConfig::urban_delivery(2),
+                FleetConfig::urban_delivery(3),
+            ],
         ),
         (
             "long-haul",
@@ -773,10 +767,7 @@ pub fn scenario_robustness() -> String {
             let fleet = cfg.generate();
             let outcome = fleet_scores(
                 &fleet,
-                Cell {
-                    transform: TransformKind::Correlation,
-                    detector: DetectorKind::ClosestPair,
-                },
+                Cell { transform: TransformKind::Correlation, detector: DetectorKind::ClosestPair },
                 ResetPolicy::OnServiceOrRepair,
             );
             let subset = fleet.setting26();
@@ -805,9 +796,7 @@ pub fn scenario_robustness() -> String {
 /// Vehicle-days are daily medians of the correlation features; deviation
 /// levels are swept over the constant-threshold grid.
 pub fn fleet_grand_ablation(fleet: &FleetData) -> String {
-    use navarchos_core::evaluation::{
-        constant_grid, evaluate_vehicle_instances, EvalCounts,
-    };
+    use navarchos_core::evaluation::{constant_grid, evaluate_vehicle_instances, EvalCounts};
     use navarchos_core::{fleet_grand_scores, FleetGrandParams, VehicleSeries};
     use navarchos_tsframe::{CorrelationTransform, FilterSpec, Transform};
 
@@ -859,12 +848,8 @@ pub fn fleet_grand_ablation(fleet: &FleetData) -> String {
                 .filter(|&(_, &s)| s.is_finite() && s > th)
                 .map(|(&t, _)| (t, 0usize))
                 .collect();
-            let instances = navarchos_core::evaluation::alarm_instances(
-                &events,
-                eval.dedup_seconds,
-                2,
-                1,
-            );
+            let instances =
+                navarchos_core::evaluation::alarm_instances(&events, eval.dedup_seconds, 2, 1);
             counts.merge(&evaluate_vehicle_instances(
                 &instances,
                 &fleet.vehicles[v].recorded_repairs(),

@@ -38,6 +38,7 @@ pub fn day_matrix(fleet: &FleetData, min_records: usize) -> (Vec<f64>, usize, Ve
 }
 
 /// Result of the Figure 2 exploration.
+#[derive(Debug)]
 pub struct Exploration {
     /// Row-major z-normalised feature matrix the clustering ran on.
     pub points: Vec<f64>,
@@ -128,7 +129,11 @@ impl Exploration {
 
     /// Categorises each top outlier against the vehicle's *recorded
     /// failures* with the given horizon (days), as in Section 2.
-    pub fn categorize_outliers(&self, fleet: &FleetData, horizon_days: i64) -> Vec<OutlierCategory> {
+    pub fn categorize_outliers(
+        &self,
+        fleet: &FleetData,
+        horizon_days: i64,
+    ) -> Vec<OutlierCategory> {
         self.outliers
             .iter()
             .map(|&i| {

@@ -21,6 +21,7 @@ pub struct Cell {
 }
 
 /// Scores and metadata of one evaluated grid cell.
+#[derive(Debug)]
 pub struct GridOutcome {
     /// The cell.
     pub cell: Cell,
@@ -61,8 +62,7 @@ pub fn fleet_scores_with(fleet: &FleetData, params: RunnerParams) -> GridOutcome
     let cell = Cell { transform: params.transform, detector: params.detector };
 
     let n = fleet.vehicles.len();
-    let threads =
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
 
     // Round-robin vehicle partition; each worker returns (vehicle, trace,
     // seconds) triples that are reassembled in fleet order.
@@ -87,11 +87,7 @@ pub fn fleet_scores_with(fleet: &FleetData, params: RunnerParams) -> GridOutcome
     results.sort_by_key(|&(v, _, _)| v);
 
     let scoring_seconds = results.iter().map(|&(_, _, s)| s).sum();
-    GridOutcome {
-        cell,
-        scores: results.into_iter().map(|(_, t, _)| t).collect(),
-        scoring_seconds,
-    }
+    GridOutcome { cell, scores: results.into_iter().map(|(_, t, _)| t).collect(), scoring_seconds }
 }
 
 impl GridOutcome {

@@ -39,14 +39,8 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
         line.push('\n');
         line
     };
-    out.push_str(&fmt_row(
-        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
-        &widths,
-    ));
-    out.push_str(&fmt_row(
-        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
-        &widths,
-    ));
+    out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
+    out.push_str(&fmt_row(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(), &widths));
     for row in rows {
         out.push_str(&fmt_row(row, &widths));
     }

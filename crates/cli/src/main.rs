@@ -23,8 +23,8 @@
 
 use navarchos_core::detectors::DetectorKind;
 use navarchos_core::evaluation::{evaluate_vehicle_instances, factor_grid, EvalCounts, EvalParams};
-use navarchos_core::AlarmAggregator;
 use navarchos_core::runner::{run_vehicle, RunnerParams};
+use navarchos_core::AlarmAggregator;
 use navarchos_core::{PipelineConfig, StreamingPipeline, TransformKind};
 use navarchos_fleetsim::FleetConfig;
 use navarchos_tsframe::csv::{read_csv_file, write_csv_file};
@@ -161,7 +161,12 @@ fn cmd_monitor(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let telemetry: PathBuf = flags.get("telemetry").ok_or("--telemetry FILE is required")?.into();
     let factor: f64 = get_num(flags, "factor", 8.0)?;
     let frame = read_csv_file(&telemetry).map_err(|e| e.to_string())?;
-    println!("loaded {} records / {} signals from {}", frame.len(), frame.width(), telemetry.display());
+    println!(
+        "loaded {} records / {} signals from {}",
+        frame.len(),
+        frame.width(),
+        telemetry.display()
+    );
 
     let maintenance = match flags.get("events") {
         Some(path) => load_events(Path::new(path), None)?,
@@ -223,7 +228,9 @@ fn cmd_evaluate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let mut vehicle_files: Vec<(usize, PathBuf)> = Vec::new();
     for entry in std::fs::read_dir(&dir).map_err(|e| e.to_string())? {
         let path = entry.map_err(|e| e.to_string())?.path();
-        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
         if let Some(num) = name.strip_prefix("vehicle-").and_then(|s| s.strip_suffix(".csv")) {
             if let Ok(v) = num.parse::<usize>() {
                 vehicle_files.push((v, path));
@@ -235,8 +242,7 @@ fn cmd_evaluate(flags: &BTreeMap<String, String>) -> Result<(), String> {
         return Err(format!("no vehicle-XX.csv files in {}", dir.display()));
     }
 
-    let params =
-        RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
+    let params = RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
     let eval = EvalParams::days(ph);
 
     let mut traces = Vec::new();
@@ -244,8 +250,7 @@ fn cmd_evaluate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     for (v, path) in &vehicle_files {
         let frame = read_csv_file(path).map_err(|e| e.to_string())?;
         let maintenance = load_events(&events_path, Some(*v))?;
-        let repairs: Vec<i64> =
-            maintenance.iter().filter(|&&(_, r)| r).map(|&(t, _)| t).collect();
+        let repairs: Vec<i64> = maintenance.iter().filter(|&&(_, r)| r).map(|&(t, _)| t).collect();
         traces.push(run_vehicle(&frame, &maintenance, &params));
         repairs_per_vehicle.push(repairs);
     }
@@ -297,7 +302,9 @@ fn cmd_explore(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let mut vehicle_files: Vec<(usize, PathBuf)> = Vec::new();
     for entry in std::fs::read_dir(&dir).map_err(|e| e.to_string())? {
         let path = entry.map_err(|e| e.to_string())?.path();
-        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
         if let Some(num) = name.strip_prefix("vehicle-").and_then(|s| s.strip_suffix(".csv")) {
             if let Ok(v) = num.parse::<usize>() {
                 vehicle_files.push((v, path));

@@ -96,6 +96,8 @@ impl Dendrogram {
 
     /// Applies the first `applied` merges through a union-find and extracts
     /// labels.
+    // needless_range_loop: `i` is the leaf id being labelled, not a mere
+    // subscript — an enumerate() would obscure the union-find lookup.
     #[allow(clippy::needless_range_loop)]
     fn cut_merges(&self, applied: usize) -> Vec<usize> {
         let total = self.n + self.merges.len();
@@ -148,6 +150,9 @@ impl Dendrogram {
 ///
 /// # Panics
 /// If the buffer length is not a multiple of `dim`, or `dim == 0`.
+// float_cmp: `d == best_d` is an exact tie-break between two entries of the
+// same distance matrix — equality means "same stored value", never "close".
+#[allow(clippy::float_cmp)]
 pub fn linkage(points: &[f64], dim: usize, method: Linkage) -> Dendrogram {
     assert!(dim > 0, "dim must be positive");
     assert!(points.len() % dim == 0, "points buffer is not n × dim");
@@ -234,10 +239,7 @@ pub fn linkage(points: &[f64], dim: usize, method: Linkage) -> Dendrogram {
     // the provisional internal ids to the sorted positions.
     let mut order: Vec<usize> = (0..raw_merges.len()).collect();
     order.sort_by(|&a, &b| {
-        raw_merges[a]
-            .distance
-            .total_cmp(&raw_merges[b].distance)
-            .then(a.cmp(&b))
+        raw_merges[a].distance.total_cmp(&raw_merges[b].distance).then(a.cmp(&b))
     });
     let mut id_map = vec![0usize; raw_merges.len()];
     for (new_pos, &old_pos) in order.iter().enumerate() {
@@ -253,10 +255,7 @@ pub fn linkage(points: &[f64], dim: usize, method: Linkage) -> Dendrogram {
         .collect();
     // Children must refer to earlier ids; NN-chain with a reducible linkage
     // guarantees this after sorting.
-    debug_assert!(merges
-        .iter()
-        .enumerate()
-        .all(|(t, m)| m.a < n + t && m.b < n + t));
+    debug_assert!(merges.iter().enumerate().all(|(t, m)| m.a < n + t && m.b < n + t));
     // Normalise child order for reproducibility.
     for m in &mut merges {
         if m.a > m.b {
@@ -276,7 +275,6 @@ pub fn agglomerative_labels(points: &[f64], dim: usize, k: usize, method: Linkag
 /// Mean pairwise Euclidean distance within each cluster (0 for singleton
 /// clusters). Used by the exploration experiment to describe cluster
 /// tightness.
-#[allow(clippy::needless_range_loop)]
 pub fn intra_cluster_mean_distance(
     points: &[f64],
     dim: usize,

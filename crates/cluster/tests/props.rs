@@ -4,12 +4,11 @@ use navarchos_cluster::{linkage, Linkage};
 use proptest::prelude::*;
 
 fn flat_points(dim: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<f64>, usize)> {
-    prop::collection::vec(-100.0f64..100.0, n)
-        .prop_map(move |mut v| {
-            let len = (v.len() / dim).max(1) * dim;
-            v.truncate(len);
-            (v, dim)
-        })
+    prop::collection::vec(-100.0f64..100.0, n).prop_map(move |mut v| {
+        let len = (v.len() / dim).max(1) * dim;
+        v.truncate(len);
+        (v, dim)
+    })
 }
 
 proptest! {

@@ -74,14 +74,14 @@ impl AlarmAggregator {
             && self.count >= self.min_violations
             && self.channels.len() >= self.min_channels
         {
+            // `count >= 1` implies an open group; checked rather than
+            // asserted so a bookkeeping bug degrades to a missed alarm
+            // instead of aborting the run.
+            let start = self.group_start?;
             self.emitted_current = true;
             let mut channels = self.channels.clone();
             channels.sort_unstable();
-            Some(AlarmInstance {
-                start: self.group_start.expect("group open"),
-                violations: self.count,
-                channels,
-            })
+            Some(AlarmInstance { start, violations: self.count, channels })
         } else {
             None
         }
@@ -101,7 +101,13 @@ mod tests {
     use super::*;
 
     fn alarm(t: i64, channel: usize) -> Alarm {
-        Alarm { timestamp: t, channel, channel_name: format!("ch{channel}"), score: 1.0, threshold: 0.5 }
+        Alarm {
+            timestamp: t,
+            channel,
+            channel_name: format!("ch{channel}"),
+            score: 1.0,
+            threshold: 0.5,
+        }
     }
 
     fn aggregator(min_violations: usize, min_channels: usize) -> AlarmAggregator {

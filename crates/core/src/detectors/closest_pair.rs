@@ -52,11 +52,7 @@ impl Detector for ClosestPairDetector {
         if self.per_feature.is_empty() {
             return vec![f64::NAN; self.names.len()];
         }
-        self.per_feature
-            .iter()
-            .zip(x)
-            .map(|(nn, &v)| nn.nearest_distance(v))
-            .collect()
+        self.per_feature.iter().zip(x).map(|(nn, &v)| nn.nearest_distance(v)).collect()
     }
 
     fn is_fitted(&self) -> bool {

@@ -11,6 +11,7 @@ use navarchos_nnet::{MlpParams, MlpRegressor};
 
 /// Isolation-forest detector: one calibrated score channel in (0, 1),
 /// thresholded with constant values like Grand.
+#[derive(Debug)]
 pub struct IsolationForestDetector {
     dim: usize,
     params: IsolationForestParams,
@@ -68,6 +69,7 @@ impl Detector for IsolationForestDetector {
 /// Per-feature MLP regression detector: like the XGBoost detector, one
 /// regressor per feature predicts it from the remaining features; the
 /// absolute prediction error is the per-feature anomaly score.
+#[derive(Debug)]
 pub struct MlpDetector {
     names: Vec<String>,
     params: MlpParams,
@@ -125,8 +127,7 @@ impl Detector for MlpDetector {
         let mut out = Vec::with_capacity(self.names.len());
         for j in 0..self.names.len() {
             self.scratch.clear();
-            self.scratch
-                .extend(x.iter().enumerate().filter(|&(i, _)| i != j).map(|(_, &v)| v));
+            self.scratch.extend(x.iter().enumerate().filter(|&(i, _)| i != j).map(|(_, &v)| v));
             out.push((self.models[j].predict(&self.scratch) - x[j]).abs());
         }
         out

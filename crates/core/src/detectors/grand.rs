@@ -31,6 +31,7 @@ impl GrandNcm {
     }
 }
 
+#[derive(Debug)]
 enum FittedNcm {
     Median { index: KnnIndex, median: Vec<f64> },
     Knn { index: KnnIndex, k: usize },
@@ -51,6 +52,7 @@ impl FittedNcm {
 }
 
 /// The Grand inductive detector.
+#[derive(Debug)]
 pub struct GrandDetector {
     dim: usize,
     ncm_kind: GrandNcm,
@@ -205,7 +207,10 @@ mod tests {
         let mut max_dev = 0.0f64;
         for i in 0..300 {
             // Points jittered inside the grid (deterministic pattern).
-            let x = [(i % 6) as f64 * 0.1 + 0.01 * ((i * 7 % 10) as f64 - 5.0) / 5.0, ((i / 6) % 6) as f64 * 0.1];
+            let x = [
+                (i % 6) as f64 * 0.1 + 0.01 * ((i * 7 % 10) as f64 - 5.0) / 5.0,
+                ((i / 6) % 6) as f64 * 0.1,
+            ];
             max_dev = max_dev.max(d.score(&x)[0]);
         }
         assert!(max_dev < 0.9, "healthy max deviation {max_dev}");

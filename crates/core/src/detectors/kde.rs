@@ -11,6 +11,7 @@ use crate::reference::ReferenceProfile;
 /// Gaussian-KDE novelty detector. Emits one channel: the negative
 /// log-density of the sample under the reference KDE (higher = more
 /// anomalous), thresholded with the self-tuning threshold.
+#[derive(Debug)]
 pub struct KdeDetector {
     dim: usize,
     /// Multiplier on the Silverman bandwidth (1 = plain Silverman).
@@ -126,12 +127,8 @@ impl Detector for KdeDetector {
             .collect();
 
         let ln_2pi_half = 0.5 * (2.0 * std::f64::consts::PI).ln();
-        self.log_norm = -(n as f64).ln()
-            - self
-                .bandwidth
-                .iter()
-                .map(|h| h.ln() + ln_2pi_half)
-                .sum::<f64>();
+        self.log_norm =
+            -(n as f64).ln() - self.bandwidth.iter().map(|h| h.ln() + ln_2pi_half).sum::<f64>();
     }
 
     fn score(&mut self, x: &[f64]) -> Vec<f64> {

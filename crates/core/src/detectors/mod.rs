@@ -27,7 +27,10 @@ pub use xgboost::XgboostDetector;
 use crate::reference::ReferenceProfile;
 
 /// An unsupervised anomaly scorer.
-pub trait Detector {
+///
+/// `Debug` is a supertrait so boxed detectors stay inspectable inside the
+/// pipeline/runner structs (workspace lint: `missing_debug_implementations`).
+pub trait Detector: std::fmt::Debug {
     /// Number of score channels emitted per sample (per-feature detectors
     /// emit one channel per input feature; Grand and TranAD emit one).
     fn n_channels(&self) -> usize;
@@ -173,9 +176,7 @@ impl DetectorKind {
             )),
             DetectorKind::TranAd => Box::new(TranAdDetector::new(dim, params)),
             DetectorKind::Xgboost => Box::new(XgboostDetector::new(names, params)),
-            DetectorKind::IsolationForest => {
-                Box::new(IsolationForestDetector::new(dim, params))
-            }
+            DetectorKind::IsolationForest => Box::new(IsolationForestDetector::new(dim, params)),
             DetectorKind::Mlp => Box::new(MlpDetector::new(names, params)),
             DetectorKind::SaxNovelty => Box::new(SaxNoveltyDetector::new(names, params)),
             DetectorKind::Pca => Box::new(PcaDetector::new(dim, params)),

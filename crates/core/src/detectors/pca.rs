@@ -28,6 +28,7 @@ use crate::reference::ReferenceProfile;
 /// assert!(det.score(&[0.4, 0.8])[0] < 1e-6);  // on the line
 /// assert!(det.score(&[0.4, -0.8])[0] > 0.5);  // off the line
 /// ```
+#[derive(Debug)]
 pub struct PcaDetector {
     dim: usize,
     /// Fraction of total variance the retained subspace must explain.
@@ -58,14 +59,7 @@ impl PcaDetector {
     pub fn with_energy(dim: usize, energy: f64) -> Self {
         assert!(dim >= 2, "PCA residuals need at least 2 dimensions");
         assert!(energy > 0.0 && energy < 1.0, "energy must be in (0, 1)");
-        PcaDetector {
-            dim,
-            energy,
-            mean: Vec::new(),
-            components: Vec::new(),
-            k: 0,
-            fitted: false,
-        }
+        PcaDetector { dim, energy, mean: Vec::new(), components: Vec::new(), k: 0, fitted: false }
     }
 
     /// Number of retained components (0 before fitting).
@@ -88,11 +82,7 @@ impl PcaDetector {
         let mut lambda = 0.0;
         for _ in 0..POWER_ITERS {
             for (i, slot) in w.iter_mut().enumerate() {
-                *slot = cov[i * d..(i + 1) * d]
-                    .iter()
-                    .zip(&v)
-                    .map(|(c, x)| c * x)
-                    .sum();
+                *slot = cov[i * d..(i + 1) * d].iter().zip(&v).map(|(c, x)| c * x).sum();
             }
             let n = norm(&w);
             if n < 1e-12 {
@@ -144,9 +134,7 @@ impl Detector for PcaDetector {
         let mut cov = vec![0.0; d * d];
         let mut centered = vec![0.0; d];
         for i in 0..n {
-            for (c, (&x, &m)) in centered
-                .iter_mut()
-                .zip(reference.sample(i).iter().zip(&self.mean))
+            for (c, (&x, &m)) in centered.iter_mut().zip(reference.sample(i).iter().zip(&self.mean))
             {
                 *c = x - m;
             }

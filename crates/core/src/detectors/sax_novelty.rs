@@ -12,6 +12,7 @@ use crate::reference::ReferenceProfile;
 use navarchos_tsframe::sax::SaxEncoder;
 
 /// Per-feature SAX vocabulary novelty detector.
+#[derive(Debug)]
 pub struct SaxNoveltyDetector {
     names: Vec<String>,
     encoder: SaxEncoder,
@@ -56,10 +57,7 @@ impl SaxNoveltyDetector {
     /// Novelty of a word against a vocabulary: the minimum SAX word
     /// distance to any known word (0 = known behaviour).
     fn novelty(&self, word: &[u8], vocab: &[Vec<u8>]) -> f64 {
-        vocab
-            .iter()
-            .map(|w| self.encoder.word_distance(word, w))
-            .fold(f64::INFINITY, f64::min)
+        vocab.iter().map(|w| self.encoder.word_distance(word, w)).fold(f64::INFINITY, f64::min)
     }
 }
 

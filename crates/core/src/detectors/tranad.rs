@@ -8,6 +8,7 @@ use crate::reference::ReferenceProfile;
 use navarchos_nnet::{Matrix, TranAd, TranAdConfig};
 
 /// Reconstruction-error detector backed by TranAD.
+#[derive(Debug)]
 pub struct TranAdDetector {
     dim: usize,
     cfg: TranAdConfig,
@@ -69,10 +70,7 @@ impl Detector for TranAdDetector {
 
     fn fit(&mut self, reference: &ReferenceProfile) {
         assert_eq!(reference.dim(), self.dim, "profile width mismatch");
-        assert!(
-            reference.len() >= self.cfg.window,
-            "reference shorter than the TranAD window"
-        );
+        assert!(reference.len() >= self.cfg.window, "reference shorter than the TranAD window");
         let series = Matrix::from_vec(reference.len(), self.dim, reference.data().to_vec());
         self.model = Some(TranAd::fit(&series, self.cfg));
         self.buffer.clear();
@@ -172,8 +170,7 @@ mod tests {
 
     #[test]
     fn per_feature_mode_attributes_the_broken_channel() {
-        let mut d = TranAdDetector::new(2, &quick_params())
-            .with_per_feature_channels(&["a", "b"]);
+        let mut d = TranAdDetector::new(2, &quick_params()).with_per_feature_channels(&["a", "b"]);
         assert_eq!(d.n_channels(), 2);
         assert_eq!(d.channel_names(), vec!["tranad:a", "tranad:b"]);
         d.fit(&structured_profile(150));

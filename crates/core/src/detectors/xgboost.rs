@@ -9,6 +9,7 @@ use crate::reference::ReferenceProfile;
 use navarchos_gbdt::{GbdtParams, GbdtRegressor};
 
 /// Per-feature regression-loss detector.
+#[derive(Debug)]
 pub struct XgboostDetector {
     names: Vec<String>,
     params: GbdtParams,
@@ -37,8 +38,7 @@ impl XgboostDetector {
     /// Copies every feature except `j` from `x` into the scratch buffer.
     fn inputs_without(&mut self, x: &[f64], j: usize) {
         self.scratch.clear();
-        self.scratch
-            .extend(x.iter().enumerate().filter(|&(i, _)| i != j).map(|(_, &v)| v));
+        self.scratch.extend(x.iter().enumerate().filter(|&(i, _)| i != j).map(|(_, &v)| v));
     }
 }
 

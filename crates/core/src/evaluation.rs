@@ -87,10 +87,13 @@ impl EvalCounts {
         let p = self.precision();
         let r = self.recall();
         let b2 = beta * beta;
-        if p + r == 0.0 || b2 * p + r == 0.0 {
-            0.0
+        // p, r >= 0, so the denominator vanishes exactly when both are 0;
+        // `> 0.0` also routes a NaN score to the defined-zero branch.
+        let denom = b2 * p + r;
+        if denom > 0.0 {
+            (1.0 + b2) * p * r / denom
         } else {
-            (1.0 + b2) * p * r / (b2 * p + r)
+            0.0
         }
     }
 
@@ -298,7 +301,10 @@ pub fn bootstrap_f05_ci(
 
 /// The self-tuning factor grid used by the experiments.
 pub fn factor_grid() -> Vec<f64> {
-    vec![0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0]
+    vec![
+        0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 24.0, 32.0, 48.0,
+        64.0, 96.0,
+    ]
 }
 
 /// The constant-threshold grid used for Grand.
@@ -425,7 +431,11 @@ mod tests {
         for (i, r) in instances.iter().zip(&repairs) {
             point.merge(&evaluate_vehicle_instances(i, r, params));
         }
-        assert!(lo <= point.f05() + 1e-9 && point.f05() <= hi + 1e-9, "[{lo},{hi}] vs {}", point.f05());
+        assert!(
+            lo <= point.f05() + 1e-9 && point.f05() <= hi + 1e-9,
+            "[{lo},{hi}] vs {}",
+            point.f05()
+        );
     }
 
     #[test]

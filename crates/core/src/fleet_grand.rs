@@ -63,18 +63,14 @@ impl Default for FleetGrandParams {
 /// Deviation-level series (one value in [0, 1] per scored day) per
 /// vehicle, aligned with each input series' timestamps (`NaN` where too
 /// few peers existed).
-pub fn fleet_grand_scores(
-    series: &[VehicleSeries],
-    params: &FleetGrandParams,
-) -> Vec<Vec<f64>> {
+pub fn fleet_grand_scores(series: &[VehicleSeries], params: &FleetGrandParams) -> Vec<Vec<f64>> {
     assert!(!series.is_empty(), "empty fleet");
     let dim = series.iter().find(|s| !s.is_empty()).map(|s| s.dim).unwrap_or(0);
     assert!(series.iter().all(|s| s.is_empty() || s.dim == dim), "mixed feature dims");
 
     let mut out = Vec::with_capacity(series.len());
     for (v, own) in series.iter().enumerate() {
-        let mut martingale =
-            PowerMartingale::default().with_window(params.martingale_window);
+        let mut martingale = PowerMartingale::default().with_window(params.martingale_window);
         let mut scores = Vec::with_capacity(own.len());
         for i in 0..own.len() {
             let t = own.timestamps[i];
@@ -102,9 +98,8 @@ pub fn fleet_grand_scores(
             // Strangeness of the vehicle-day and of each peer (leave-one-out)
             // — the conformal calibration set.
             let s_own = index.knn_score(own.row(i), params.k, None);
-            let calibration: Vec<f64> = (0..index.len())
-                .map(|p| index.knn_score(&pool[p], params.k, Some(p)))
-                .collect();
+            let calibration: Vec<f64> =
+                (0..index.len()).map(|p| index.knn_score(&pool[p], params.k, Some(p))).collect();
             let p = conformal_pvalue(&calibration, s_own, 0.5);
             scores.push(martingale.update(p));
         }
@@ -156,11 +151,8 @@ mod tests {
     fn drifting_vehicle_is_flagged() {
         let series = fleet(6, 80, Some(40));
         let scores = fleet_grand_scores(&series, &FleetGrandParams::default());
-        let late_dev = scores[0][60..]
-            .iter()
-            .cloned()
-            .filter(|s| s.is_finite())
-            .fold(0.0, f64::max);
+        let late_dev =
+            scores[0][60..].iter().cloned().filter(|s| s.is_finite()).fold(0.0, f64::max);
         assert!(late_dev > 0.9, "drifting vehicle saturates: {late_dev}");
         // Peers stay low even while vehicle 0 drifts.
         for vehicle_scores in &scores[1..] {

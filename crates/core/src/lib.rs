@@ -20,10 +20,10 @@
 
 pub mod aggregator;
 pub mod detectors;
-pub mod prelude;
 pub mod evaluation;
 pub mod fleet_grand;
 pub mod pipeline;
+pub mod prelude;
 pub mod reference;
 pub mod runner;
 pub mod threshold;

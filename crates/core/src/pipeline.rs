@@ -99,6 +99,7 @@ enum Phase {
 }
 
 /// The streaming pipeline of Algorithm 1 for a single vehicle.
+#[derive(Debug)]
 pub struct StreamingPipeline {
     cfg: PipelineConfig,
     input_names: Vec<String>,
@@ -113,9 +114,14 @@ pub struct StreamingPipeline {
 impl StreamingPipeline {
     /// Creates the pipeline for records with the given column names.
     pub fn new<S: AsRef<str>>(input_names: &[S], cfg: PipelineConfig) -> Self {
-        let input_names: Vec<String> =
-            input_names.iter().map(|s| s.as_ref().to_string()).collect();
-        let transform = crate::runner::build_transform(cfg.transform, &input_names, cfg.window, cfg.stride, &cfg.corr_floors);
+        let input_names: Vec<String> = input_names.iter().map(|s| s.as_ref().to_string()).collect();
+        let transform = crate::runner::build_transform(
+            cfg.transform,
+            &input_names,
+            cfg.window,
+            cfg.stride,
+            &cfg.corr_floors,
+        );
         let dim = transform.output_dim();
         let names = transform.output_names();
         let detector = cfg.detector.build(dim, &names, &cfg.detector_params);

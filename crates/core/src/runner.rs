@@ -233,9 +233,19 @@ impl VehicleScores {
 /// (time-sorted; already filtered to the reset policy's event kinds by
 /// the caller via [`ResetPolicy`] is *not* required — the policy in
 /// `params` is applied here given `(time, is_repair)` pairs).
-pub fn run_vehicle(frame: &Frame, maintenance: &[(i64, bool)], params: &RunnerParams) -> VehicleScores {
+pub fn run_vehicle(
+    frame: &Frame,
+    maintenance: &[(i64, bool)],
+    params: &RunnerParams,
+) -> VehicleScores {
     let input_names: Vec<String> = frame.names().to_vec();
-    let mut transform = build_transform(params.transform, &input_names, params.window, params.stride, &params.corr_floors);
+    let mut transform = build_transform(
+        params.transform,
+        &input_names,
+        params.window,
+        params.stride,
+        &params.corr_floors,
+    );
     let dim = transform.output_dim();
     let names = transform.output_names();
     let mut detector = params.detector.build(dim, &names, &params.detector_params);
@@ -307,7 +317,13 @@ pub fn run_vehicle(frame: &Frame, maintenance: &[(i64, bool)], params: &RunnerPa
             }
             reset_iter.next();
             if params.reset_policy.resets_on(is_repair) {
-                close_segment(&mut open, &mut segments, &mut contexts, &pending_context, timestamps.len());
+                close_segment(
+                    &mut open,
+                    &mut segments,
+                    &mut contexts,
+                    &pending_context,
+                    timestamps.len(),
+                );
                 profile.clear();
                 detector.reset();
                 transform.reset();

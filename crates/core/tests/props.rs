@@ -110,7 +110,11 @@ proptest! {
 }
 
 mod detector_props {
-    use navarchos_core::detectors::{Detector, DetectorParams, KdeDetector, PcaDetector};
+    use navarchos_core::detectors::{
+        ClosestPairDetector, Detector, DetectorParams, GrandDetector, GrandNcm,
+        IsolationForestDetector, KdeDetector, MlpDetector, PcaDetector, SaxNoveltyDetector,
+        TranAdDetector, XgboostDetector,
+    };
     use navarchos_core::reference::ReferenceProfile;
     use proptest::prelude::*;
 
@@ -187,6 +191,71 @@ mod detector_props {
         }
 
         #[test]
+        fn closest_pair_scores_are_finite_and_non_negative(
+            rows in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0), 4..48),
+            query in (-80.0f64..80.0, -80.0f64..80.0, -80.0f64..80.0),
+        ) {
+            let mut d = ClosestPairDetector::new(&["a", "b", "c"]);
+            prop_assert!(d.score(&[query.0, query.1, query.2]).iter().all(|v| v.is_nan()));
+            d.fit(&profile_from(&rows));
+            let s = d.score(&[query.0, query.1, query.2]);
+            prop_assert_eq!(s.len(), d.n_channels());
+            prop_assert!(s.iter().all(|v| v.is_finite() && *v >= 0.0), "{:?}", s);
+            // A reference member has a zero-distance closest pair in every
+            // channel.
+            let (a, b, c) = rows[0];
+            prop_assert!(d.score(&[a, b, c]).iter().all(|&v| v == 0.0));
+        }
+
+        #[test]
+        fn grand_deviation_stays_in_unit_interval(
+            rows in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0), 8..32),
+            queries in prop::collection::vec((-8.0f64..8.0, -8.0f64..8.0, -8.0f64..8.0), 1..16),
+            ncm_i in 0usize..3,
+        ) {
+            let ncm = [GrandNcm::Median, GrandNcm::Knn, GrandNcm::Lof][ncm_i];
+            let mut d = GrandDetector::new(3, ncm, 3, 20);
+            d.fit(&profile_from(&rows));
+            for q in &queries {
+                let s = d.score(&[q.0, q.1, q.2]);
+                prop_assert_eq!(s.len(), 1);
+                prop_assert!((0.0..=1.0).contains(&s[0]), "deviation {} for {:?}", s[0], ncm);
+            }
+        }
+
+        #[test]
+        fn isolation_forest_scores_bounded_and_deterministic(
+            rows in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0), 8..32),
+            query in (-20.0f64..20.0, -20.0f64..20.0, -20.0f64..20.0),
+        ) {
+            let profile = profile_from(&rows);
+            let q = [query.0, query.1, query.2];
+            let mut d = IsolationForestDetector::new(3, &DetectorParams::default());
+            d.fit(&profile);
+            let s = d.score(&q);
+            prop_assert_eq!(s.len(), 1);
+            prop_assert!((0.0..=1.0).contains(&s[0]), "score {}", s[0]);
+            // Same seed + same data → identical forest.
+            let mut d2 = IsolationForestDetector::new(3, &DetectorParams::default());
+            d2.fit(&profile);
+            prop_assert_eq!(d2.score(&q), s);
+        }
+
+        #[test]
+        fn sax_novelty_scores_are_finite_and_non_negative(
+            rows in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0), 30..45),
+            queries in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0), 1..40),
+        ) {
+            let mut d = SaxNoveltyDetector::new(&["a", "b", "c"], &DetectorParams::default());
+            d.fit(&profile_from(&rows));
+            for q in &queries {
+                let s = d.score(&[q.0, q.1, q.2]);
+                prop_assert_eq!(s.len(), 3);
+                prop_assert!(s.iter().all(|v| v.is_finite() && *v >= 0.0), "{:?}", s);
+            }
+        }
+
+        #[test]
         fn kde_log_density_never_exceeds_max_kernel_height(
             rows in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0), 8..40),
             query in (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0),
@@ -201,6 +270,52 @@ mod detector_props {
                 .sum::<f64>();
             let ld = d.log_density(&[query.0, query.1, query.2]);
             prop_assert!(ld <= cap + 1e-9, "log-density {ld} above cap {cap}");
+        }
+    }
+
+    // The trained detectors (gradient boosting / neural nets) pay a real
+    // fit cost per case, so they run with a reduced case budget.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn xgboost_errors_are_finite_and_non_negative(
+            rows in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0), 8..24),
+            query in (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0),
+        ) {
+            let mut d = XgboostDetector::new(&["a", "b", "c"], &DetectorParams::default());
+            d.fit(&profile_from(&rows));
+            let s = d.score(&[query.0, query.1, query.2]);
+            prop_assert_eq!(s.len(), 3);
+            prop_assert!(s.iter().all(|v| v.is_finite() && *v >= 0.0), "{:?}", s);
+        }
+
+        #[test]
+        fn mlp_errors_are_finite_and_non_negative(
+            rows in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0), 8..20),
+            query in (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0),
+        ) {
+            let mut d = MlpDetector::new(&["a", "b", "c"], &DetectorParams::default());
+            d.fit(&profile_from(&rows));
+            let s = d.score(&[query.0, query.1, query.2]);
+            prop_assert_eq!(s.len(), 3);
+            prop_assert!(s.iter().all(|v| v.is_finite() && *v >= 0.0), "{:?}", s);
+        }
+
+        #[test]
+        fn tranad_scores_finite_through_warmup(
+            rows in prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0, -2.0f64..2.0), 10..20),
+            queries in prop::collection::vec((-3.0f64..3.0, -3.0f64..3.0, -3.0f64..3.0), 1..12),
+        ) {
+            let mut d = TranAdDetector::new(3, &DetectorParams::default());
+            d.fit(&profile_from(&rows));
+            // Scores must be finite both before the rolling window fills
+            // (training-mean fallback) and after (real reconstructions).
+            for q in &queries {
+                let s = d.score(&[q.0, q.1, q.2]);
+                prop_assert_eq!(s.len(), 1);
+                prop_assert!(s[0].is_finite() && s[0] >= 0.0, "score {}", s[0]);
+            }
         }
     }
 }

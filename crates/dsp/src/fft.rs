@@ -191,12 +191,7 @@ mod tests {
             .map(|t| (2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64).sin())
             .collect();
         let ps = power_spectrum(&signal);
-        let peak = ps
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap();
+        let peak = ps.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
         assert_eq!(peak, k);
         let total: f64 = ps.iter().sum();
         assert!(ps[k] / total > 0.99, "power concentrated: {}", ps[k] / total);
@@ -208,8 +203,7 @@ mod tests {
         let mut buf: Vec<Complex> = signal.iter().map(|&v| Complex::real(v)).collect();
         fft_inplace(&mut buf);
         let time_energy: f64 = signal.iter().map(|&v| v * v).sum();
-        let freq_energy: f64 =
-            buf.iter().map(|c| c.norm_sq()).sum::<f64>() / signal.len() as f64;
+        let freq_energy: f64 = buf.iter().map(|c| c.norm_sq()).sum::<f64>() / signal.len() as f64;
         assert_close(time_energy, freq_energy, 1e-9);
     }
 

@@ -41,12 +41,7 @@ pub fn spectral_centroid(signal: &[f64]) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    ps[1..]
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (i + 1) as f64 / nyquist * p)
-        .sum::<f64>()
-        / total
+    ps[1..].iter().enumerate().map(|(i, &p)| (i + 1) as f64 / nyquist * p).sum::<f64>() / total
 }
 
 /// Spectral rolloff: the normalised frequency below which `fraction` of the

@@ -137,7 +137,8 @@ impl FaultEffects {
     /// Accumulates the effect of one fault at the given severity.
     pub fn accumulate(&mut self, kind: FaultKind, severity: f64) {
         let s = severity.clamp(0.0, 1.0);
-        if s == 0.0 {
+        // Reject NaN severities explicitly — clamp preserves them.
+        if s.is_nan() || s <= 0.0 {
             return;
         }
         match kind {

@@ -41,6 +41,8 @@ pub type PidRecord = [f64; 6];
 ///
 /// `effects` carries any active fault modifiers; pass
 /// `FaultEffects::default()` for a healthy vehicle.
+// too_many_arguments: the ride is a function of exactly these physical
+// inputs; a parameter struct would just rename the argument list.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_ride<R: Rng>(
     model: &VehicleModel,
@@ -101,7 +103,10 @@ pub fn simulate_ride<R: Rng>(
         // --- Load & manifold pressure -----------------------------------
         grade += 0.25 * (0.0 - grade) + 0.035 * normal(rng);
         grade = grade.clamp(-0.09, 0.09);
-        let load = (0.12 + 0.004 * v + 0.055 * accel.max(0.0) + 0.000028 * v * v
+        let load = (0.12
+            + 0.004 * v
+            + 0.055 * accel.max(0.0)
+            + 0.000028 * v * v
             + grade * (0.3 + v / 90.0))
             .clamp(0.08, 1.0);
         let map_true = model.map_idle_kpa
@@ -135,11 +140,9 @@ pub fn simulate_ride<R: Rng>(
         // (fault) leaks a fraction of full radiator flow even when closed.
         let opening = ((thermal.coolant_c - thermostat) / 1.2).clamp(0.0, 1.0);
         let radiator_flow = opening.max(effects.thermostat_stuck_fraction);
-        let cooling = radiator_flow
-            * cooling_gain
-            * (thermal.coolant_c - ambient_c)
-            * (1.0 + v / 40.0)
-            + 0.012 * (thermal.coolant_c - ambient_c);
+        let cooling =
+            radiator_flow * cooling_gain * (thermal.coolant_c - ambient_c) * (1.0 + v / 40.0)
+                + 0.012 * (thermal.coolant_c - ambient_c);
         thermal.coolant_c += (heat - cooling) * 0.55;
         thermal.coolant_c = thermal.coolant_c.clamp(ambient_c - 5.0, 125.0);
 
@@ -190,7 +193,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn run_ride(kind: RideKind, effects: &FaultEffects, minutes: usize, seed: u64) -> Vec<PidRecord> {
+    fn run_ride(
+        kind: RideKind,
+        effects: &FaultEffects,
+        minutes: usize,
+        seed: u64,
+    ) -> Vec<PidRecord> {
         let model = VehicleModel::compact();
         let mut thermal = ThermalState::cold(15.0);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -228,9 +236,8 @@ mod tests {
     fn highway_faster_and_higher_rpm_than_urban() {
         let hw = run_ride(RideKind::Highway, &FaultEffects::default(), 80, 3);
         let ur = run_ride(RideKind::Urban, &FaultEffects::default(), 80, 3);
-        let mean = |rs: &[PidRecord], i: usize| {
-            rs.iter().map(|r| r[i]).sum::<f64>() / rs.len() as f64
-        };
+        let mean =
+            |rs: &[PidRecord], i: usize| rs.iter().map(|r| r[i]).sum::<f64>() / rs.len() as f64;
         assert!(mean(&hw, pid::SPEED) > 2.0 * mean(&ur, pid::SPEED));
         assert!(mean(&hw, pid::RPM) > mean(&ur, pid::RPM));
         assert!(mean(&hw, pid::MAF) > mean(&ur, pid::MAF));
@@ -270,9 +277,29 @@ mod tests {
         let mut out = Vec::new();
         let mut t0 = 0i64;
         for _ in 0..6 {
-            simulate_ride(&model, effects, &mut thermal, RideKind::Urban, t0, 45, 15.0, &mut rng, &mut out);
+            simulate_ride(
+                &model,
+                effects,
+                &mut thermal,
+                RideKind::Urban,
+                t0,
+                45,
+                15.0,
+                &mut rng,
+                &mut out,
+            );
             t0 += 45 * 60 + 3600;
-            simulate_ride(&model, effects, &mut thermal, RideKind::Regional, t0, 60, 15.0, &mut rng, &mut out);
+            simulate_ride(
+                &model,
+                effects,
+                &mut thermal,
+                RideKind::Regional,
+                t0,
+                60,
+                15.0,
+                &mut rng,
+                &mut out,
+            );
             t0 += 60 * 60 + 3600;
         }
         out.into_iter().map(|(_, r)| r).collect()
@@ -288,14 +315,23 @@ mod tests {
             let mut thermal = ThermalState::cold(15.0);
             let mut rng = StdRng::seed_from_u64(seed);
             let mut out = Vec::new();
-            simulate_ride(&model, fx, &mut thermal, RideKind::Regional, 0, 150, 15.0, &mut rng, &mut out);
+            simulate_ride(
+                &model,
+                fx,
+                &mut thermal,
+                RideKind::Regional,
+                0,
+                150,
+                15.0,
+                &mut rng,
+                &mut out,
+            );
             out.into_iter().map(|(_, r)| r).collect::<Vec<PidRecord>>()
         };
         let healthy = run_long(&FaultEffects::default(), 6);
         let faulty = run_long(&fx, 6);
-        let tail = |rs: &[PidRecord]| -> Vec<f64> {
-            rs[100..].iter().map(|r| r[pid::COOLANT]).collect()
-        };
+        let tail =
+            |rs: &[PidRecord]| -> Vec<f64> { rs[100..].iter().map(|r| r[pid::COOLANT]).collect() };
         let h = tail(&healthy);
         let f = tail(&faulty);
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;

@@ -269,10 +269,7 @@ mod tests {
             let p2 = model.predict(&[a, b2]);
             shifted_err += (p2 - (2.0 * a + 3.0 * b2)).abs();
         }
-        assert!(
-            shifted_err > 1.5 * healthy_err,
-            "shifted {shifted_err} vs healthy {healthy_err}"
-        );
+        assert!(shifted_err > 1.5 * healthy_err, "shifted {shifted_err} vs healthy {healthy_err}");
     }
 
     #[test]
@@ -297,7 +294,8 @@ mod tests {
     #[test]
     fn predict_batch_matches_predict() {
         let (x, y) = friedman_like(50);
-        let model = GbdtRegressor::fit(&x, 5, &y, &GbdtParams { n_rounds: 10, ..Default::default() });
+        let model =
+            GbdtRegressor::fit(&x, 5, &y, &GbdtParams { n_rounds: 10, ..Default::default() });
         let batch = model.predict_batch(&x);
         for i in 0..50 {
             assert_eq!(batch[i], model.predict(&x[i * 5..(i + 1) * 5]));

@@ -54,7 +54,6 @@ impl Tree {
     /// Grows a tree on the given rows (indices into the row-major matrix
     /// `x`), fitting the gradient/hessian statistics. `features` restricts
     /// the columns considered (column subsampling).
-    #[allow(clippy::ptr_arg)]
     pub fn grow(
         x: &[f64],
         dim: usize,
@@ -121,11 +120,16 @@ impl Builder<'_> {
     /// Recursively builds the subtree for `rows`, returning its node index.
     /// (`&mut Vec` rather than `&mut [_]`: children receive freshly
     /// partitioned ownership-local vectors.)
+    // float_cmp: equal adjacent values in a sorted column mean "no split
+    // point exists between them" — an exact duplicate test, not a tolerance.
+    #[allow(clippy::float_cmp)]
+    // ptr_arg: recursion hands each child a freshly partitioned, ownership-
+    // local Vec (truncate + extend), which a `&mut [_]` cannot express.
     #[allow(clippy::ptr_arg)]
     fn build_node(&mut self, rows: &mut Vec<u32>, features: &[usize], depth: usize) -> usize {
-        let (g_sum, h_sum) = rows.iter().fold((0.0, 0.0), |(g, h), &r| {
-            (g + self.grad[r as usize], h + self.hess[r as usize])
-        });
+        let (g_sum, h_sum) = rows
+            .iter()
+            .fold((0.0, 0.0), |(g, h), &r| (g + self.grad[r as usize], h + self.hess[r as usize]));
 
         let leaf_weight = -g_sum / (h_sum + self.params.lambda);
         if depth >= self.params.max_depth || rows.len() < 2 {
@@ -239,15 +243,8 @@ mod tests {
         let (g, h) = stats(&y);
         let rows: Vec<u32> = (0..64).collect();
         for d in 1..5 {
-            let tree = Tree::grow(
-                &x,
-                1,
-                &g,
-                &h,
-                &rows,
-                &[0],
-                GrowParams { max_depth: d, ..PARAMS },
-            );
+            let tree =
+                Tree::grow(&x, 1, &g, &h, &rows, &[0], GrowParams { max_depth: d, ..PARAMS });
             assert!(tree.depth() <= d, "depth {} > requested {d}", tree.depth());
             assert!(tree.n_leaves() <= 1 << d);
         }
@@ -260,15 +257,7 @@ mod tests {
         let y: Vec<f64> = x.iter().map(|&v| if v < 8.0 { 0.01 } else { -0.01 }).collect();
         let (g, h) = stats(&y);
         let rows: Vec<u32> = (0..16).collect();
-        let strict = Tree::grow(
-            &x,
-            1,
-            &g,
-            &h,
-            &rows,
-            &[0],
-            GrowParams { gamma: 1.0, ..PARAMS },
-        );
+        let strict = Tree::grow(&x, 1, &g, &h, &rows, &[0], GrowParams { gamma: 1.0, ..PARAMS });
         assert_eq!(strict.n_leaves(), 1, "gamma suppresses the weak split");
     }
 
@@ -278,15 +267,8 @@ mod tests {
         let y = vec![5.0, 0.0, 0.0, 0.0];
         let (g, h) = stats(&y);
         let rows: Vec<u32> = (0..4).collect();
-        let tree = Tree::grow(
-            &x,
-            1,
-            &g,
-            &h,
-            &rows,
-            &[0],
-            GrowParams { min_child_weight: 2.0, ..PARAMS },
-        );
+        let tree =
+            Tree::grow(&x, 1, &g, &h, &rows, &[0], GrowParams { min_child_weight: 2.0, ..PARAMS });
         // The best cut (isolating row 0) is forbidden; only the 2/2 cut
         // remains admissible.
         for n in tree.nodes() {

@@ -30,6 +30,7 @@ impl Default for IsolationForestParams {
     }
 }
 
+#[derive(Debug)]
 enum Node {
     /// Internal split: `feature < threshold` goes left.
     Split { feature: usize, threshold: f64, left: usize, right: usize },
@@ -37,13 +38,13 @@ enum Node {
     Leaf { size: usize },
 }
 
+#[derive(Debug)]
 struct Tree {
     nodes: Vec<Node>,
 }
 
 impl Tree {
     /// Grows one isolation tree over the row indices `rows`.
-    #[allow(clippy::ptr_arg)]
     fn grow(
         data: &[f64],
         dim: usize,
@@ -56,6 +57,8 @@ impl Tree {
         Tree { nodes }
     }
 
+    // ptr_arg: recursion repartitions `rows` in place (truncate + extend),
+    // which needs the owning Vec, not a `&mut [_]` view.
     #[allow(clippy::ptr_arg)]
     fn build(
         data: &[f64],
@@ -149,6 +152,7 @@ pub fn c_factor(n: usize) -> f64 {
 /// let forest = IsolationForest::fit(&data, 1, &IsolationForestParams::default());
 /// assert!(forest.score(&[50.0]) > forest.score(&[0.05]));
 /// ```
+#[derive(Debug)]
 pub struct IsolationForest {
     trees: Vec<Tree>,
     dim: usize,
@@ -224,10 +228,10 @@ mod tests {
         let (data, dim) = cluster_with_outlier();
         let forest = IsolationForest::fit(&data, dim, &IsolationForestParams::default());
         let n = data.len() / dim;
-        let scores: Vec<f64> = (0..n).map(|i| forest.score(&data[i * dim..(i + 1) * dim])).collect();
+        let scores: Vec<f64> =
+            (0..n).map(|i| forest.score(&data[i * dim..(i + 1) * dim])).collect();
         let outlier = n - 1;
-        let max_inlier =
-            scores[..outlier].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max_inlier = scores[..outlier].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(
             scores[outlier] > max_inlier,
             "outlier {} vs max inlier {max_inlier}",
@@ -266,7 +270,11 @@ mod tests {
     #[test]
     fn identical_points_score_uniformly() {
         let data = vec![3.0; 64]; // 32 identical 2-D points
-        let forest = IsolationForest::fit(&data, 2, &IsolationForestParams { n_trees: 10, ..Default::default() });
+        let forest = IsolationForest::fit(
+            &data,
+            2,
+            &IsolationForestParams { n_trees: 10, ..Default::default() },
+        );
         let s = forest.score(&[3.0, 3.0]);
         assert!((0.0..=1.0).contains(&s));
     }

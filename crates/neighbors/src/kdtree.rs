@@ -84,13 +84,8 @@ impl KdTree {
         assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
         assert!(data.iter().all(|v| v.is_finite()), "coordinates must be finite");
         let n = data.len() / dim;
-        let mut tree = KdTree {
-            data,
-            dim,
-            order: (0..n).collect(),
-            nodes: Vec::new(),
-            root: usize::MAX,
-        };
+        let mut tree =
+            KdTree { data, dim, order: (0..n).collect(), nodes: Vec::new(), root: usize::MAX };
         if n > 0 {
             tree.root = tree.build(0, n);
         }
@@ -198,10 +193,7 @@ impl KdTree {
     /// Distance to the single nearest neighbour (∞ for an empty tree or
     /// when everything is excluded).
     pub fn nearest_distance(&self, query: &[f64], exclude: Option<usize>) -> f64 {
-        self.nearest(query, 1, exclude)
-            .first()
-            .map(|&(_, d)| d)
-            .unwrap_or(f64::INFINITY)
+        self.nearest(query, 1, exclude).first().map(|&(_, d)| d).unwrap_or(f64::INFINITY)
     }
 
     /// Mean distance to the `k` nearest neighbours — the kNN
@@ -232,7 +224,9 @@ impl KdTree {
                     let d2 = self.dist2(p, query);
                     if heap.len() < k {
                         heap.push(Candidate { dist2: d2, index: p });
-                    } else if d2 < heap.peek().expect("non-empty").dist2 {
+                    } else if heap.peek().is_some_and(|c| d2 < c.dist2) {
+                        // `is_some_and` keeps k = 0 a no-op instead of a
+                        // panic on the empty heap.
                         heap.pop();
                         heap.push(Candidate { dist2: d2, index: p });
                     }
@@ -247,7 +241,7 @@ impl KdTree {
                 let worst = if heap.len() < k {
                     f64::INFINITY
                 } else {
-                    heap.peek().expect("non-empty").dist2
+                    heap.peek().map_or(f64::INFINITY, |c| c.dist2)
                 };
                 if delta * delta < worst {
                     self.search(far, query, k, exclude, heap);
@@ -285,12 +279,7 @@ mod tests {
                     let b = brute.nearest(&q, k, None);
                     assert_eq!(a.len(), b.len());
                     for (x, y) in a.iter().zip(&b) {
-                        assert!(
-                            (x.1 - y.1).abs() < 1e-9,
-                            "dim {dim} k {k}: {:?} vs {:?}",
-                            x,
-                            y
-                        );
+                        assert!((x.1 - y.1).abs() < 1e-9, "dim {dim} k {k}: {:?} vs {:?}", x, y);
                     }
                 }
             }

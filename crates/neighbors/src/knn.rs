@@ -63,6 +63,10 @@ impl KnnIndex {
     /// index — used for leave-one-out queries on the reference itself.
     pub fn nearest(&self, query: &[f64], k: usize, exclude: Option<usize>) -> Vec<(usize, f64)> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        debug_assert!(
+            query.iter().all(|v| v.is_finite()),
+            "kNN queries expect finite coordinates (filter upstream)"
+        );
         if k == 0 {
             return Vec::new();
         }
@@ -74,7 +78,7 @@ impl KnnIndex {
                 continue;
             }
             let d = self.metric.eval(query, self.point(i));
-            if best.len() < k || d < best[best.len() - 1].1 {
+            if best.len() < k || best.last().is_some_and(|&(_, worst)| d < worst) {
                 let pos = best.partition_point(|&(_, bd)| bd <= d);
                 best.insert(pos, (i, d));
                 if best.len() > k {
@@ -108,7 +112,7 @@ impl KnnIndex {
         let mut column = Vec::with_capacity(n);
         for j in 0..self.dim {
             column.clear();
-            column.extend((0..n).map(|i| self.data[i * self.dim + j]));
+            column.extend(self.data.iter().skip(j).step_by(self.dim).copied());
             column.sort_by(|a, b| a.total_cmp(b));
             out.push(navarchos_stat::descriptive::quantile_sorted(&column, 0.5));
         }

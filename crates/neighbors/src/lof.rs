@@ -29,7 +29,9 @@ impl LofModel {
     /// # Panics
     /// If fewer than `k + 1` points are provided (every point needs `k`
     /// neighbours besides itself) or `k == 0`.
-#[allow(clippy::needless_range_loop)]
+    // needless_range_loop: `i` is simultaneously the query index and the
+    // self-exclusion id passed to `nearest`, so a plain loop is clearer.
+    #[allow(clippy::needless_range_loop)]
     pub fn fit(points: &[Vec<f64>], dim: usize, k: usize, metric: Metric) -> Self {
         assert!(k > 0, "k must be positive");
         assert!(points.len() > k, "LOF needs more than k points");
@@ -65,11 +67,11 @@ impl LofModel {
         for &(o, d) in neighbors {
             sum += d.max(k_distance[o]);
         }
-        if sum == 0.0 {
+        if sum > 0.0 {
+            neighbors.len() as f64 / sum
+        } else {
             // All neighbours are duplicates: infinite density.
             f64::INFINITY
-        } else {
-            neighbors.len() as f64 / sum
         }
     }
 

@@ -21,10 +21,8 @@ impl AdamState {
     fn step(&mut self, params: &mut [f64], grads: &[f64], opt: &Adam, t: usize) {
         let b1t = 1.0 - opt.beta1.powi(t as i32);
         let b2t = 1.0 - opt.beta2.powi(t as i32);
-        for ((p, &g), (m, v)) in params
-            .iter_mut()
-            .zip(grads)
-            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        for ((p, &g), (m, v)) in
+            params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
             *m = opt.beta1 * *m + (1.0 - opt.beta1) * g;
             *v = opt.beta2 * *v + (1.0 - opt.beta2) * g * g;
@@ -154,6 +152,8 @@ impl LayerNorm {
     }
 
     /// Forward pass, returning the output and the backward cache.
+    // needless_range_loop: the row loop indexes three parallel buffers
+    // (input, output, cache) at once; zip chains would bury the math.
     #[allow(clippy::needless_range_loop)]
     pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
         let d = self.gamma.len();
@@ -178,7 +178,6 @@ impl LayerNorm {
 
     /// Backward pass; accumulates γ/β gradients and returns the input
     /// gradient.
-#[allow(clippy::needless_range_loop)]
     pub fn backward(&mut self, cache: &LayerNormCache, grad_out: &Matrix) -> Matrix {
         let d = self.gamma.len() as f64;
         let mut gx = Matrix::zeros(grad_out.rows(), grad_out.cols());
@@ -193,8 +192,7 @@ impl LayerNorm {
             // dxhat = go * gamma; dx = (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)) * inv_std
             let dxhat: Vec<f64> = go.iter().zip(&self.gamma).map(|(&g, &ga)| g * ga).collect();
             let mean_dx = dxhat.iter().sum::<f64>() / d;
-            let mean_dx_xh =
-                dxhat.iter().zip(xh).map(|(&a, &b)| a * b).sum::<f64>() / d;
+            let mean_dx_xh = dxhat.iter().zip(xh).map(|(&a, &b)| a * b).sum::<f64>() / d;
             let istd = cache.inv_std[r];
             for c in 0..dxhat.len() {
                 gx.set(r, c, (dxhat[c] - mean_dx - xh[c] * mean_dx_xh) * istd);

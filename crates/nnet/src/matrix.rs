@@ -101,6 +101,9 @@ impl Matrix {
     }
 
     /// `self · other` (ikj loop order for cache-friendly accumulation).
+    // float_cmp: `a == 0.0` is an exact sparsity skip — NaN must NOT be
+    // skipped, so it correctly falls through and propagates.
+    #[allow(clippy::float_cmp)]
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
@@ -139,6 +142,8 @@ impl Matrix {
     }
 
     /// `selfᵀ · other`.
+    // float_cmp: same exact sparsity skip as `matmul`.
+    #[allow(clippy::float_cmp)]
     pub fn transa_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "transa_matmul shape mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);

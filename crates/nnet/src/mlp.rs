@@ -31,6 +31,7 @@ impl Default for MlpParams {
 }
 
 /// A fitted one-hidden-layer MLP regressor with z-scored inputs/targets.
+#[derive(Debug)]
 pub struct MlpRegressor {
     l1: Linear,
     gelu: Gelu,

@@ -112,6 +112,7 @@ impl Decoder {
 }
 
 /// A fitted TranAD model.
+#[derive(Debug)]
 pub struct TranAd {
     cfg: TranAdConfig,
     embed: Linear,
@@ -224,7 +225,10 @@ impl TranAd {
         // Phase 1.
         let p1 = self.forward(x, &zeros, true);
         // Phase 2: self-conditioned on the phase-1 error (stop-gradient).
-        let o1 = &p1.d1.as_ref().expect("dec1 ran in phase 1").out;
+        // `with_dec1 = true` guarantees d1; skipping the step (not
+        // panicking) is the contract if that ever regresses.
+        let Some(d1) = p1.d1.as_ref() else { return };
+        let o1 = &d1.out;
         let focus = o1.sub(x).map(|v| v * v);
         let p2 = self.forward(x, &focus, false);
 
@@ -237,7 +241,7 @@ impl TranAd {
         let d_o1 = o1.sub(x);
         let mut d_o2 = p1.d2.out.sub(x);
         d_o2.scale(w1);
-        let mut gz1 = self.dec1.backward(p1.d1.as_ref().expect("cache"), &d_o1);
+        let mut gz1 = self.dec1.backward(d1, &d_o1);
         gz1.add_assign(&self.dec2.backward(&p1.d2, &d_o2));
         let g_enc_in1 = self.encoder.backward(&p1.enc_cache, &gz1);
         let x_cat1 = x.hcat(&zeros);
@@ -264,7 +268,12 @@ impl TranAd {
     fn window_score(&self, x: &Matrix) -> f64 {
         let zeros = Matrix::zeros(x.rows(), x.cols());
         let p1 = self.forward(x, &zeros, true);
-        let o1 = &p1.d1.as_ref().expect("dec1 ran").out;
+        // NaN, not a panic, is the score of a window the model failed to
+        // reconstruct — the caller's aggregation treats NaN as "no score".
+        let Some(d1) = p1.d1.as_ref() else {
+            return f64::NAN;
+        };
+        let o1 = &d1.out;
         let focus = o1.sub(x).map(|v| v * v);
         let p2 = self.forward(x, &focus, false);
         let e1 = o1.sub(x).sq_norm();
@@ -306,7 +315,11 @@ impl TranAd {
     fn window_feature_errors(&self, x: &Matrix) -> Vec<f64> {
         let zeros = Matrix::zeros(x.rows(), x.cols());
         let p1 = self.forward(x, &zeros, true);
-        let o1 = &p1.d1.as_ref().expect("dec1 ran").out;
+        // Mirrors `window_score`: NaN attributions instead of a panic.
+        let Some(d1) = p1.d1.as_ref() else {
+            return vec![f64::NAN; x.cols()];
+        };
+        let o1 = &d1.out;
         let focus = o1.sub(x).map(|v| v * v);
         let p2 = self.forward(x, &focus, false);
         let e1 = o1.sub(x);
@@ -374,11 +387,7 @@ mod tests {
     }
 
     fn quick_cfg() -> TranAdConfig {
-        TranAdConfig {
-            epochs: 8,
-            max_windows: 150,
-            ..TranAdConfig::for_features(3)
-        }
+        TranAdConfig { epochs: 8, max_windows: 150, ..TranAdConfig::for_features(3) }
     }
 
     #[test]
@@ -389,8 +398,7 @@ mod tests {
         // Held-out healthy data (different phase, same structure).
         let healthy = healthy_series(80, 1.7);
         let healthy_scores = model.score_series(&healthy);
-        let healthy_mean: f64 =
-            healthy_scores.iter().sum::<f64>() / healthy_scores.len() as f64;
+        let healthy_mean: f64 = healthy_scores.iter().sum::<f64>() / healthy_scores.len() as f64;
 
         // Broken structure: feature 1 decouples from feature 0.
         let broken = Matrix::from_fn(80, 3, |r, c| {
@@ -404,10 +412,7 @@ mod tests {
         let broken_scores = model.score_series(&broken);
         let broken_mean: f64 = broken_scores.iter().sum::<f64>() / broken_scores.len() as f64;
 
-        assert!(
-            broken_mean > 1.5 * healthy_mean,
-            "broken {broken_mean} vs healthy {healthy_mean}"
-        );
+        assert!(broken_mean > 1.5 * healthy_mean, "broken {broken_mean} vs healthy {healthy_mean}");
     }
 
     #[test]
@@ -452,10 +457,7 @@ mod tests {
         });
         let errs = model.feature_errors_raw_window(&broken);
         assert_eq!(errs.len(), 3);
-        assert!(
-            errs[1] > errs[0] && errs[1] > errs[2],
-            "broken feature dominates: {errs:?}"
-        );
+        assert!(errs[1] > errs[0] && errs[1] > errs[2], "broken feature dominates: {errs:?}");
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
     if x.len() != y.len() || x.len() < 2 {
         return f64::NAN;
     }
+    debug_assert!(
+        x.iter().chain(y).all(|v| v.is_finite()),
+        "pearson expects finite inputs (filter upstream)"
+    );
     let mx = mean(x);
     let my = mean(y);
     let mut sxy = 0.0;
@@ -103,7 +107,9 @@ impl CorrelationPairs {
             }
             k -= row;
         }
-        unreachable!("condensed index out of range")
+        // Out-of-range `k` is caught by the debug_assert above; in release
+        // the last valid pair is a harmless clamp for a read-only lookup.
+        (n.saturating_sub(2), n.saturating_sub(1))
     }
 
     /// Condensed feature index of signal pair (i, j) with i < j.
@@ -132,9 +138,9 @@ impl CorrelationPairs {
     pub fn condensed_pearson(&self, signals: &[&[f64]]) -> Vec<f64> {
         assert_eq!(signals.len(), self.names.len(), "signal count mismatch");
         let mut out = Vec::with_capacity(self.n_pairs());
-        for i in 0..signals.len() {
-            for j in (i + 1)..signals.len() {
-                out.push(pearson(signals[i], signals[j]));
+        for (i, a) in signals.iter().enumerate() {
+            for b in signals.iter().skip(i + 1) {
+                out.push(pearson(a, b));
             }
         }
         out

@@ -69,18 +69,24 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 
 /// Minimum of a slice ignoring NaNs. Returns `NaN` if no finite value exists.
 pub fn min_finite(xs: &[f64]) -> f64 {
-    xs.iter()
-        .copied()
-        .filter(|x| x.is_finite())
-        .fold(f64::NAN, |acc, x| if acc.is_nan() || x < acc { x } else { acc })
+    xs.iter().copied().filter(|x| x.is_finite()).fold(f64::NAN, |acc, x| {
+        if acc.is_nan() || x < acc {
+            x
+        } else {
+            acc
+        }
+    })
 }
 
 /// Maximum of a slice ignoring NaNs. Returns `NaN` if no finite value exists.
 pub fn max_finite(xs: &[f64]) -> f64 {
-    xs.iter()
-        .copied()
-        .filter(|x| x.is_finite())
-        .fold(f64::NAN, |acc, x| if acc.is_nan() || x > acc { x } else { acc })
+    xs.iter().copied().filter(|x| x.is_finite()).fold(f64::NAN, |acc, x| {
+        if acc.is_nan() || x > acc {
+            x
+        } else {
+            acc
+        }
+    })
 }
 
 /// Numerically stable streaming mean/variance accumulator (Welford's
@@ -199,12 +205,15 @@ impl RunningStats {
 pub fn zscore(x: f64, mean: f64, std: f64) -> f64 {
     if std > 0.0 && std.is_finite() {
         (x - mean) / std
-    } else if x == mean {
-        0.0
-    } else if x > mean {
-        f64::INFINITY
     } else {
-        f64::NEG_INFINITY
+        // Degenerate spread: sign of the deviation only. `partial_cmp`
+        // makes the NaN case explicit (NaN in, NaN out).
+        match x.partial_cmp(&mean) {
+            Some(std::cmp::Ordering::Equal) => 0.0,
+            Some(std::cmp::Ordering::Greater) => f64::INFINITY,
+            Some(std::cmp::Ordering::Less) => f64::NEG_INFINITY,
+            None => f64::NAN,
+        }
     }
 }
 

@@ -25,10 +25,11 @@ pub fn normal_quantile(p: f64) -> f64 {
     if !(0.0..=1.0).contains(&p) {
         return f64::NAN;
     }
-    if p == 0.0 {
+    // In [0, 1] after the range check, so `<=`/`>=` hit exactly the ends.
+    if p <= 0.0 {
         return f64::NEG_INFINITY;
     }
-    if p == 1.0 {
+    if p >= 1.0 {
         return f64::INFINITY;
     }
     const A: [f64; 6] = [

@@ -33,4 +33,6 @@ pub use descriptive::{mean, median, quantile, sample_std, sample_var, RunningSta
 pub use dist::{chi_squared_sf, normal_cdf, normal_quantile, normal_sf};
 pub use drift::{Cusum, EwmaChart, PageHinkley, ShiftDirection, TwoSidedCusum};
 pub use martingale::{conformal_pvalue, PowerMartingale};
-pub use ranking::{average_ranks, friedman_test, holm_correction, wilcoxon_signed_rank, RankAnalysis};
+pub use ranking::{
+    average_ranks, friedman_test, holm_correction, wilcoxon_signed_rank, RankAnalysis,
+};

@@ -13,6 +13,9 @@
 /// `p = (#{s_i > s} + θ · (#{s_i = s} + 1)) / (n + 1)` with θ drawn by the
 /// caller in [0, 1] (pass 0.5 for the deterministic mid-p variant). Larger
 /// scores (stranger samples) yield smaller p-values.
+// float_cmp: the smoothed p-value's `#{s_i = s}` term is defined on exact
+// equality of stored scores; a tolerance would change the distribution.
+#[allow(clippy::float_cmp)]
 pub fn conformal_pvalue(reference: &[f64], s: f64, theta: f64) -> f64 {
     let n = reference.len();
     let mut greater = 0usize;

@@ -7,6 +7,9 @@ use crate::dist::{chi_squared_sf, normal_sf};
 
 /// Average (fractional) ranks of a slice, 1-based, ties receive the mean of
 /// the ranks they span. `[10, 20, 20, 30]` → `[1.0, 2.5, 2.5, 4.0]`.
+// float_cmp: tie groups are runs of exactly-equal sorted values; fractional
+// ranks must not merge merely-close values.
+#[allow(clippy::float_cmp)]
 pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
@@ -47,6 +50,9 @@ pub struct FriedmanResult {
 ///
 /// Requires at least 2 blocks and 2 treatments; ties are handled with
 /// average ranks and the standard tie correction.
+// float_cmp: the tie-correction term counts runs of exactly-equal sorted
+// scores, per the statistic's definition.
+#[allow(clippy::float_cmp)]
 pub fn friedman_test(scores: &[Vec<f64>]) -> FriedmanResult {
     let n = scores.len();
     assert!(n >= 2, "Friedman test needs at least two blocks");
@@ -108,14 +114,12 @@ pub struct WilcoxonResult {
 ///
 /// Zero differences are discarded (Wilcoxon's original treatment). With no
 /// remaining differences the p-value is 1 (the samples are identical).
+// float_cmp: discarding exactly-zero differences and counting exactly-equal
+// tie runs are both part of Wilcoxon's definition.
+#[allow(clippy::float_cmp)]
 pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> WilcoxonResult {
     assert_eq!(x.len(), y.len(), "paired samples must be equally long");
-    let diffs: Vec<f64> = x
-        .iter()
-        .zip(y)
-        .map(|(&a, &b)| a - b)
-        .filter(|d| *d != 0.0)
-        .collect();
+    let diffs: Vec<f64> = x.iter().zip(y).map(|(&a, &b)| a - b).filter(|d| *d != 0.0).collect();
     let n = diffs.len();
     if n == 0 {
         return WilcoxonResult { w_plus: 0.0, w_minus: 0.0, n_used: 0, p_value: 1.0 };
@@ -231,7 +235,9 @@ impl RankAnalysis {
     /// Runs the analysis on a `blocks × treatments` matrix. When
     /// `higher_is_better` is true (the paper's F0.5 scores), rank 1 goes to
     /// the largest value.
-#[allow(clippy::needless_range_loop)]
+    // needless_range_loop: the pairwise (i, j) loops mirror the upper-
+    // triangle indexing of the Holm-corrected p-value matrix.
+    #[allow(clippy::needless_range_loop)]
     pub fn new<S: AsRef<str>>(
         scores: &[Vec<f64>],
         names: &[S],
@@ -261,7 +267,9 @@ impl RankAnalysis {
         let mut it = adjusted.iter();
         for i in 0..k {
             for j in (i + 1)..k {
-                let p = *it.next().expect("pair count mismatch");
+                // Holm correction preserves length, so the iterator cannot
+                // run dry; p = 1 ("no evidence") if that ever regresses.
+                let p = it.next().copied().unwrap_or(1.0);
                 pairwise_p[i][j] = p;
                 pairwise_p[j][i] = p;
             }
@@ -332,12 +340,12 @@ impl RankAnalysis {
             if self.friedman.p_value < self.alpha { " (significant)" } else { "" }
         ));
         for &i in &self.order {
-            let bars: String = self
-                .groups
-                .iter()
-                .map(|g| if g.contains(&i) { '█' } else { ' ' })
-                .collect();
-            out.push_str(&format!("  {:>5.2}  {:<14} {}\n", self.avg_ranks[i], self.names[i], bars));
+            let bars: String =
+                self.groups.iter().map(|g| if g.contains(&i) { '█' } else { ' ' }).collect();
+            out.push_str(&format!(
+                "  {:>5.2}  {:<14} {}\n",
+                self.avg_ranks[i], self.names[i], bars
+            ));
         }
         out
     }
@@ -464,10 +472,7 @@ mod tests {
         assert!(ra.significant(0, 2));
         assert!(!ra.significant(1, 2));
         // a and b must share a group; good must not share one with them.
-        assert!(ra
-            .groups
-            .iter()
-            .any(|g| g.contains(&1) && g.contains(&2) && !g.contains(&0)));
+        assert!(ra.groups.iter().any(|g| g.contains(&1) && g.contains(&2) && !g.contains(&0)));
         let render = ra.render();
         assert!(render.contains("good"));
     }

@@ -36,20 +36,35 @@ impl DailyAggregate {
 /// Aggregates a time-ordered frame into fixed-width buckets (default: one
 /// day). Buckets with fewer than `min_records` rows are skipped — a day
 /// with a handful of samples produces meaningless standard deviations.
+// needless_range_loop: the column index drives parallel reads from the
+// frame and writes into per-column accumulators.
 #[allow(clippy::needless_range_loop)]
-pub fn daily_aggregate(frame: &Frame, bucket_seconds: i64, min_records: usize) -> Vec<DailyAggregate> {
+pub fn daily_aggregate(
+    frame: &Frame,
+    bucket_seconds: i64,
+    min_records: usize,
+) -> Vec<DailyAggregate> {
     assert!(bucket_seconds > 0, "bucket width must be positive");
     let mut out = Vec::new();
     if frame.is_empty() {
         return out;
     }
     let ts = frame.timestamps();
+    // Frame::push_row enforces this; the bucket sweep silently corrupts if
+    // it ever stops holding, so re-check in debug builds.
+    debug_assert!(
+        ts.windows(2).all(|w| w[0] <= w[1]),
+        "bucket aggregation needs monotone timestamps"
+    );
     let width = frame.width();
     let mut stats: Vec<RunningStats> = vec![RunningStats::new(); width];
     let mut bucket = ts[0].div_euclid(bucket_seconds);
     let mut count = 0usize;
 
-    let flush = |bucket: i64, count: usize, stats: &mut Vec<RunningStats>, out: &mut Vec<DailyAggregate>| {
+    let flush = |bucket: i64,
+                 count: usize,
+                 stats: &mut Vec<RunningStats>,
+                 out: &mut Vec<DailyAggregate>| {
         if count >= min_records.max(1) {
             out.push(DailyAggregate {
                 bucket_start: bucket * bucket_seconds,

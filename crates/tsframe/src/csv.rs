@@ -28,7 +28,9 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
-            CsvError::Parse { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            CsvError::Parse { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
         }
     }
 }
@@ -74,9 +76,8 @@ pub fn write_csv<W: Write>(frame: &Frame, writer: W) -> Result<(), CsvError> {
 /// record filter downstream.
 pub fn read_csv<R: Read>(reader: R) -> Result<Frame, CsvError> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or(CsvError::Parse { line: 1, message: "empty file".into() })??;
+    let header =
+        lines.next().ok_or(CsvError::Parse { line: 1, message: "empty file".into() })??;
     let mut cols = header.split(',');
     let first = cols.next().unwrap_or_default().trim();
     if !first.eq_ignore_ascii_case("timestamp") {
@@ -99,12 +100,9 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Frame, CsvError> {
             continue;
         }
         let mut cells = line.split(',');
-        let ts: i64 = cells
-            .next()
-            .unwrap_or_default()
-            .trim()
-            .parse()
-            .map_err(|e| CsvError::Parse { line: line_no, message: format!("bad timestamp: {e}") })?;
+        let ts: i64 = cells.next().unwrap_or_default().trim().parse().map_err(|e| {
+            CsvError::Parse { line: line_no, message: format!("bad timestamp: {e}") }
+        })?;
         row.clear();
         for cell in cells {
             let v: f64 = cell.trim().parse().map_err(|e| CsvError::Parse {

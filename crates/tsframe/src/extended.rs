@@ -159,12 +159,12 @@ impl HistogramTransform {
     /// The physical PID ranges of the Navarchos schema, in canonical order.
     pub fn navarchos_ranges() -> Vec<(f64, f64)> {
         vec![
-            (600.0, 5000.0),  // rpm
-            (0.0, 140.0),     // speed
-            (50.0, 120.0),    // coolantTemp (post warm-up filter)
-            (0.0, 60.0),      // intakeTemp
-            (20.0, 110.0),    // mapIntake
-            (0.0, 160.0),     // mafAirFlowRate
+            (600.0, 5000.0), // rpm
+            (0.0, 140.0),    // speed
+            (50.0, 120.0),   // coolantTemp (post warm-up filter)
+            (0.0, 60.0),     // intakeTemp
+            (20.0, 110.0),   // mapIntake
+            (0.0, 160.0),    // mafAirFlowRate
         ]
     }
 

@@ -73,7 +73,6 @@ impl FilterSpec {
 
     /// Computes the keep-mask for a frame: `true` = record survives.
     /// Records with any non-finite value are always dropped.
-#[allow(clippy::needless_range_loop)]
     pub fn mask(&self, frame: &Frame) -> Vec<bool> {
         let n = frame.len();
         let mut mask = vec![true; n];
@@ -90,9 +89,7 @@ impl FilterSpec {
 
         // Stationary state: requires both columns to be configured & present.
         if let (Some(sc), Some(rc)) = (&self.speed_column, &self.rpm_column) {
-            if let (Some(speed), Some(rpm)) =
-                (frame.column_by_name(sc), frame.column_by_name(rc))
-            {
+            if let (Some(speed), Some(rpm)) = (frame.column_by_name(sc), frame.column_by_name(rc)) {
                 for i in 0..n {
                     if speed[i] < self.min_moving_speed && rpm[i] < self.min_running_rpm {
                         mask[i] = false;
@@ -167,7 +164,14 @@ mod tests {
     use super::*;
 
     fn pid_frame() -> Frame {
-        let mut f = Frame::new(&["rpm", "speed", "coolantTemp", "intakeTemp", "mapIntake", "mafAirFlowRate"]);
+        let mut f = Frame::new(&[
+            "rpm",
+            "speed",
+            "coolantTemp",
+            "intakeTemp",
+            "mapIntake",
+            "mafAirFlowRate",
+        ]);
         // Normal driving record.
         f.push_row(0, &[2000.0, 50.0, 90.0, 25.0, 100.0, 30.0]);
         // Stationary: speed ~0, idle rpm.
@@ -193,14 +197,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(clippy::needless_range_loop)]
     fn keep_row_matches_mask() {
         let f = pid_frame();
         let spec = FilterSpec::navarchos_default();
         let mask = spec.mask(&f);
         let names = f.names().to_vec();
-        for i in 0..f.len() {
-            assert_eq!(spec.keep_row(&names, &f.row(i)), mask[i], "row {i}");
+        for (i, &keep) in mask.iter().enumerate() {
+            assert_eq!(spec.keep_row(&names, &f.row(i)), keep, "row {i}");
         }
     }
 

@@ -27,9 +27,9 @@ pub mod sax;
 pub mod transform;
 
 pub use aggregate::{daily_aggregate, DailyAggregate};
+pub use extended::{HistogramTransform, SpectralTransform};
 pub use filter::{FilterSpec, ValidRange};
 pub use frame::Frame;
-pub use extended::{HistogramTransform, SpectralTransform};
 pub use resample::{resample, FillMethod, ResampleSpec};
 pub use rolling::{rolling_mean, rolling_std, RollingExtrema, RollingStats};
 pub use transform::{

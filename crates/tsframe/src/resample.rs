@@ -76,8 +76,9 @@ pub fn resample(frame: &Frame, spec: ResampleSpec) -> Frame {
     let ts = frame.timestamps();
     assert!(ts.windows(2).all(|w| w[0] <= w[1]), "timestamps must be sorted");
 
-    let first = ts[0];
-    let last = *ts.last().expect("non-empty");
+    let (Some(&first), Some(&last)) = (ts.first(), ts.last()) else {
+        return out;
+    };
     let t0 = first.div_euclid(spec.period) * spec.period;
     let t0 = if t0 < first { t0 + spec.period } else { t0 };
 

@@ -64,6 +64,8 @@ impl RollingStats {
 
     /// Absorbs one sample, evicting the oldest once the window is full.
     pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "rolling stats expect finite samples (filter upstream)");
+        debug_assert!(self.window > 0, "window invariant violated");
         if self.buf.is_empty() {
             self.pivot = x;
         }
@@ -72,10 +74,12 @@ impl RollingStats {
         self.sum += d;
         self.sum_sq += d * d;
         if self.buf.len() > self.window {
-            let old = self.buf.pop_front().expect("non-empty") - self.pivot;
-            self.sum -= old;
-            self.sum_sq -= old * old;
-            self.evictions += 1;
+            if let Some(front) = self.buf.pop_front() {
+                let old = front - self.pivot;
+                self.sum -= old;
+                self.sum_sq -= old * old;
+                self.evictions += 1;
+            }
             if self.evictions >= 2 * self.window {
                 self.rebuild();
             }
@@ -208,7 +212,8 @@ pub fn rolling_mean(xs: &[f64], window: usize) -> Vec<f64> {
     xs.iter()
         .map(|&x| {
             acc.push(x);
-            acc.mean().expect("window non-empty after push")
+            // Non-empty after a push; NaN marks the impossible case.
+            acc.mean().unwrap_or(f64::NAN)
         })
         .collect()
 }

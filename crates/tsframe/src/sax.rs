@@ -62,9 +62,10 @@ impl SaxEncoder {
             let hi = ((s + 1) * n / w).max(lo + 1);
             out.push(mean(&window[lo..hi]));
         }
-        // Degenerate: fewer samples than segments — repeat the last mean.
+        // Degenerate: fewer samples than segments — repeat the last mean
+        // (0.0, the z-space centre, if the window itself was empty).
         while out.len() < self.word_len {
-            let last = *out.last().expect("at least one segment");
+            let last = out.last().copied().unwrap_or(0.0);
             out.push(last);
         }
         out
@@ -122,8 +123,10 @@ mod tests {
         let e = SaxEncoder::new(4, 4);
         // Known 4-letter breakpoints: ±0.6745, 0.
         assert_eq!(e.alphabet(), 4);
-        assert!((e.symbol_of(-1.0), e.symbol_of(-0.3), e.symbol_of(0.3), e.symbol_of(1.0))
-            == (0, 1, 2, 3));
+        assert!(
+            (e.symbol_of(-1.0), e.symbol_of(-0.3), e.symbol_of(0.3), e.symbol_of(1.0))
+                == (0, 1, 2, 3)
+        );
     }
 
     #[test]

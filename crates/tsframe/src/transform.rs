@@ -12,7 +12,9 @@ use navarchos_stat::correlation::CorrelationPairs;
 /// `push` feeds one raw record and returns the transformed sample it
 /// completes, if any (windowed transformations emit every `stride` records
 /// once their buffer is full).
-pub trait Transform {
+/// `Debug` is a supertrait so boxed transforms stay inspectable inside the
+/// pipeline/runner structs (workspace lint: `missing_debug_implementations`).
+pub trait Transform: std::fmt::Debug {
     /// Number of output features.
     fn output_dim(&self) -> usize;
 
@@ -83,7 +85,12 @@ impl TransformKind {
 
     /// Builds the transformation with the given input schema and window
     /// parameters (`window`/`stride` are ignored by raw and delta).
-    pub fn build(&self, input_names: &[String], window: usize, stride: usize) -> Box<dyn Transform> {
+    pub fn build(
+        &self,
+        input_names: &[String],
+        window: usize,
+        stride: usize,
+    ) -> Box<dyn Transform> {
         match self {
             TransformKind::Raw => Box::new(RawTransform::new(input_names)),
             TransformKind::Delta => Box::new(DeltaTransform::new(input_names)),
@@ -331,12 +338,8 @@ impl Transform for MeanTransform {
     fn push(&mut self, timestamp: i64, row: &[f64]) -> Option<(i64, Vec<f64>)> {
         debug_assert_eq!(row.len(), self.names.len());
         if self.buffer.push_at(timestamp, row) {
-            let means = self
-                .buffer
-                .cols
-                .iter()
-                .map(|c| c.iter().sum::<f64>() / c.len() as f64)
-                .collect();
+            let means =
+                self.buffer.cols.iter().map(|c| c.iter().sum::<f64>() / c.len() as f64).collect();
             Some((timestamp, means))
         } else {
             None
@@ -415,7 +418,9 @@ impl Transform for CorrelationTransform {
         self.pairs.names()
     }
 
-#[allow(clippy::needless_range_loop)]
+    // needless_range_loop: the pair index addresses both rolling-correlation
+    // state and the output slot; enumerate() would hide that coupling.
+    #[allow(clippy::needless_range_loop)]
     fn push(&mut self, timestamp: i64, row: &[f64]) -> Option<(i64, Vec<f64>)> {
         debug_assert_eq!(row.len(), self.pairs.n_signals());
         if self.buffer.push_at(timestamp, row) {

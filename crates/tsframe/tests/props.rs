@@ -2,8 +2,8 @@
 
 use navarchos_tsframe::aggregate::{daily_aggregate, SECONDS_PER_DAY};
 use navarchos_tsframe::{
-    resample, CorrelationTransform, DeltaTransform, FillMethod, Frame, MeanTransform,
-    RawTransform, ResampleSpec, RollingExtrema, RollingStats, Transform,
+    resample, CorrelationTransform, DeltaTransform, FillMethod, Frame, MeanTransform, RawTransform,
+    ResampleSpec, RollingExtrema, RollingStats, Transform,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,436 @@
+//! A small hand-rolled Rust lexer: strips comments and string/char literals,
+//! and produces a line-numbered token stream the lints scan for patterns.
+//!
+//! This is *not* a full Rust front-end — no keywords table, no operator
+//! precedence — just enough faithful tokenisation that a lint looking for
+//! `.unwrap()` can never be fooled by `"a string containing .unwrap()"` or
+//! `// a comment mentioning panic!`. Handled: line and (nested) block
+//! comments, string/byte-string/raw-string literals with arbitrary `#`
+//! fences, char literals vs. lifetimes, numeric literals with underscores,
+//! exponents and type suffixes, raw identifiers, and multi-char operators.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `f64`, ...).
+    Ident,
+    /// Integer literal (including hex/octal/binary).
+    Int,
+    /// Float literal (`1.0`, `1e-6`, `2.5f64`, ...).
+    Float,
+    /// String or byte-string literal (content discarded).
+    Str,
+    /// Char literal (content discarded).
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Operator or delimiter; multi-char operators are one token (`==`).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text for idents/numbers/puncts; empty for str/char literals.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Lexing output: the token stream plus the stripped comments (kept for the
+/// `#[allow]` justification audit).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order.
+    pub toks: Vec<Tok>,
+    /// `(line, text)` of every comment, `//`/`/* */` markers removed.
+    pub comments: Vec<(u32, String)>,
+}
+
+/// Multi-char operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "..=", "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Tokenises `src`. Never fails: unterminated constructs are closed at EOF,
+/// which is good enough for linting (the compiler rejects such files long
+/// before xtask sees them in practice).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Byte-index helpers; the lexer treats non-ASCII bytes as opaque ident
+    // continuation characters, which is sound for all the lints' patterns.
+    let at = |i: usize| -> u8 {
+        if i < b.len() {
+            b[i]
+        } else {
+            0
+        }
+    };
+    let is_ident_start = |c: u8| c == b'_' || c.is_ascii_alphabetic() || c >= 0x80;
+    let is_ident_cont = |c: u8| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80;
+
+    while i < b.len() {
+        let c = b[i];
+
+        // Newlines & whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment.
+        if c == b'/' && at(i + 1) == b'/' {
+            let start = i + 2;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            out.comments.push((line, src[start..i].trim().to_string()));
+            continue;
+        }
+
+        // Block comment (nested).
+        if c == b'/' && at(i + 1) == b'*' {
+            let comment_line = line;
+            let start = i + 2;
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && at(i + 1) == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && at(i + 1) == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            let end = i.saturating_sub(2).max(start);
+            out.comments.push((comment_line, src[start..end].trim().to_string()));
+            continue;
+        }
+
+        // Identifier-leading constructs: plain idents, raw idents (`r#type`),
+        // and string prefixes (`r"..."`, `b"..."`, `br#"..."#`).
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            let word = &src[start..i];
+
+            // Raw identifier r#name.
+            if word == "r" && at(i) == b'#' && is_ident_start(at(i + 1)) {
+                i += 1; // consume '#'
+                let id_start = i;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[id_start..i].to_string(),
+                    line,
+                });
+                continue;
+            }
+
+            // String prefixes.
+            let raw = matches!(word, "r" | "br" | "rb");
+            let stringy = matches!(word, "r" | "b" | "br" | "rb");
+            if stringy && (at(i) == b'"' || (raw && at(i) == b'#')) {
+                let tok_line = line;
+                if raw {
+                    // r#*"..."#* — count the fence.
+                    let mut hashes = 0;
+                    while at(i) == b'#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if at(i) != b'"' {
+                        // `b#` etc. — not a string after all; emit the ident.
+                        out.toks.push(Tok { kind: TokKind::Ident, text: word.to_string(), line });
+                        continue;
+                    }
+                    i += 1; // opening quote
+                    'raw: while i < b.len() {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        if b[i] == b'"' {
+                            let mut j = 0;
+                            while j < hashes && at(i + 1 + j) == b'#' {
+                                j += 1;
+                            }
+                            if j == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                } else {
+                    // b"..." with escapes.
+                    i += 1; // opening quote
+                    while i < b.len() {
+                        if b[i] == b'\\' {
+                            i += 2;
+                            continue;
+                        }
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        if b[i] == b'"' {
+                            i += 1;
+                            break;
+                        }
+                        i += 1;
+                    }
+                }
+                out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line: tok_line });
+                continue;
+            }
+
+            out.toks.push(Tok { kind: TokKind::Ident, text: word.to_string(), line });
+            continue;
+        }
+
+        // Plain string literal.
+        if c == b'"' {
+            let tok_line = line;
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'\n' {
+                    line += 1;
+                }
+                if b[i] == b'"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line: tok_line });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let n1 = at(i + 1);
+            if n1 == b'\\' {
+                // Escaped char literal '\n', '\u{..}' ...
+                i += 2;
+                while i < b.len() && b[i] != b'\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                continue;
+            }
+            if is_ident_start(n1) {
+                // 'a → lifetime unless a closing quote follows immediately
+                // after the ident ('x' is a char).
+                let mut j = i + 1;
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                if at(j) == b'\'' {
+                    i = j + 1;
+                    out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                } else {
+                    let text = src[i + 1..j].to_string();
+                    i = j;
+                    out.toks.push(Tok { kind: TokKind::Lifetime, text, line });
+                }
+                continue;
+            }
+            // '0', '(', ... — a one-char literal.
+            i += 2;
+            if at(i) == b'\'' {
+                i += 1;
+            }
+            out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+            continue;
+        }
+
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == b'0' && matches!(at(i + 1), b'x' | b'o' | b'b') {
+                i += 2;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+            } else {
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                    i += 1;
+                }
+                // Fractional part: a '.' followed by a digit (so `1..n` and
+                // `x.method()` stay punctuation/idents).
+                if at(i) == b'.' && at(i + 1).is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                // Trailing '.' float (`1.` not followed by ident/digit/'.').
+                if !is_float && at(i) == b'.' && !is_ident_start(at(i + 1)) && at(i + 1) != b'.' {
+                    is_float = true;
+                    i += 1;
+                }
+                // Exponent.
+                if matches!(at(i), b'e' | b'E')
+                    && (at(i + 1).is_ascii_digit()
+                        || (matches!(at(i + 1), b'+' | b'-') && at(i + 2).is_ascii_digit()))
+                {
+                    is_float = true;
+                    i += 1;
+                    if matches!(at(i), b'+' | b'-') {
+                        i += 1;
+                    }
+                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+            }
+            // Type suffix (f64 → float; u32 → int).
+            if is_ident_start(at(i)) {
+                let suffix_start = i;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                if matches!(&src[suffix_start..i], "f32" | "f64") {
+                    is_float = true;
+                }
+            }
+            out.toks.push(Tok {
+                kind: if is_float { TokKind::Float } else { TokKind::Int },
+                text: src[start..i].to_string(),
+                line,
+            });
+            continue;
+        }
+
+        // Operators, longest first.
+        let rest = &src[i..];
+        if let Some(op) = OPERATORS.iter().find(|op| rest.starts_with(**op)) {
+            out.toks.push(Tok { kind: TokKind::Punct, text: (*op).to_string(), line });
+            i += op.len();
+            continue;
+        }
+        out.toks.push(Tok { kind: TokKind::Punct, text: (c as char).to_string(), line });
+        i += 1;
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let lexed = lex(r##"
+            // a comment mentioning .unwrap()
+            /* block with panic!("x") /* nested */ still comment */
+            let s = "string with .unwrap() inside";
+            let r = r#"raw with panic!"#;
+        "##);
+        let idents: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "let", "r"]);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].1.contains("unwrap"));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks = lex("1.0 2 1e-6 0x1f 1..n 2.5f64 7f64 3u32").toks;
+        let kinds: Vec<TokKind> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                TokKind::Float,
+                TokKind::Int,
+                TokKind::Float,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Punct, // ..
+                TokKind::Ident, // n
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Int,
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("&'a str 'x' '\\n' fn f<'b>()").toks;
+        let lifetimes: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.as_str()).collect();
+        assert_eq!(lifetimes, ["a", "b"]);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        assert!(texts("a == b != c ..= d :: e").contains(&"==".to_string()));
+        let t = texts("x..=y");
+        assert_eq!(t, ["x", "..=", "y"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let toks = lex("a\n\"two\nline string\"\nb").toks;
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // string starts on line 2
+        assert_eq!(toks[2].line, 4); // b after the 2-line string
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let t = texts("let r#type = 1;");
+        assert_eq!(t, ["let", "type", "=", "1", ";"]);
+    }
+}

@@ -1,0 +1,188 @@
+//! `xtask` — the workspace's static-analysis gate.
+//!
+//! Run as `cargo run -p xtask -- lint`. Zero external dependencies by
+//! design: the build environment is offline, and the gate must never be the
+//! thing that fails to build.
+//!
+//! Lints:
+//!
+//! | id | scope | rule |
+//! |----|-------|------|
+//! | L1 | all crate `src/` | NaN-unsafe `==`/`!=` against float literals/consts; `partial_cmp(..).unwrap()` |
+//! | L2 | numeric crates' `src/` | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` outside tests |
+//! | L3 | `hot_kernels` files | narrowing `as` casts |
+//! | L4 | detector/experiment registries | factory, proptest, bench, reproduce-all completeness |
+//! | L5 | all scanned files | stale or unjustified `#[allow]` attributes |
+//! | L6 | `hot_kernels` files | unchecked slice indexing |
+//!
+//! Findings are suppressed only by per-site entries in
+//! `crates/xtask/lint-waivers.toml`; unused waivers are themselves errors,
+//! so the debt ratchets down.
+
+pub mod lexer;
+pub mod lints;
+pub mod registry;
+pub mod waivers;
+
+use std::path::{Path, PathBuf};
+
+use lints::Finding;
+
+/// Crates whose library code must hold the no-panic policy (L2): they run
+/// inside long fleet-scoring loops where one poisoned sample must not abort
+/// the whole experiment.
+pub const NUMERIC_CRATES: &[&str] =
+    &["stat", "tsframe", "neighbors", "core", "dsp", "gbdt", "nnet", "iforest"];
+
+/// Outcome of a full lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by a waiver, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Number of findings silenced by waivers.
+    pub waived: usize,
+    /// Errors about the waiver file itself (stale entries, parse problems).
+    pub waiver_errors: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the gate passes.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.waiver_errors.is_empty()
+    }
+}
+
+/// Collects every `.rs` file under `dir`, recursively, sorted for
+/// deterministic output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = rd.flatten().collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "target" {
+                rust_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace-relative `/`-separated path.
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The crate a `crates/<name>/...` path belongs to, if any.
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/").and_then(|r| r.split('/').next())
+}
+
+/// Runs every lint over the workspace rooted at `root`, applying the waiver
+/// file at `waiver_path`.
+pub fn run_lint(root: &Path, waiver_path: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+
+    let waiver_text = std::fs::read_to_string(waiver_path)
+        .map_err(|e| format!("{}: {e}", waiver_path.display()))?;
+    let waiver_file = waivers::parse(&waiver_text).map_err(|e| e.to_string())?;
+    let hot: Vec<&str> = waiver_file.config.hot_kernels.iter().map(String::as_str).collect();
+    for h in &hot {
+        if !root.join(h).is_file() {
+            report
+                .waiver_errors
+                .push(format!("[config] hot_kernels lists `{h}` which does not exist"));
+        }
+    }
+
+    let mut files = Vec::new();
+    rust_files(&root.join("crates"), &mut files);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    for path in &files {
+        let rel_path = rel(root, path);
+        let Some(krate) = crate_of(&rel_path) else {
+            continue;
+        };
+        let in_src = rel_path.contains("/src/");
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{rel_path}: {e}"))?;
+        let lexed = lexer::lex(&src);
+        let lib_toks = lints::strip_test_code(&lexed.toks);
+        report.files_scanned += 1;
+
+        let mut file_findings: Vec<Finding> = Vec::new();
+        let mut scoped: Vec<&str> = Vec::new();
+        if in_src {
+            scoped.push("L1");
+            file_findings.extend(lints::lint_float_cmp(&rel_path, &lib_toks));
+        }
+        if in_src && NUMERIC_CRATES.contains(&krate) {
+            scoped.push("L2");
+            file_findings.extend(lints::lint_panic_family(&rel_path, &lib_toks));
+        }
+        if hot.contains(&rel_path.as_str()) {
+            scoped.push("L3");
+            scoped.push("L6");
+            file_findings.extend(lints::lint_lossy_casts(&rel_path, &lib_toks));
+            file_findings.extend(lints::lint_unchecked_index(&rel_path, &lib_toks));
+        }
+        // L5 last: staleness is judged against this file's other findings.
+        file_findings.extend(lints::lint_allow_audit(&rel_path, &lexed, &file_findings, &scoped));
+        raw.extend(file_findings);
+    }
+
+    raw.extend(registry::check(root));
+
+    // Apply waivers: exact (lint, file, line) match.
+    for f in raw {
+        let waiver = waiver_file
+            .waivers
+            .iter()
+            .find(|w| w.lint == f.lint && w.file == f.file && w.line == f.line);
+        match waiver {
+            Some(w) => {
+                w.used.set(true);
+                report.waived += 1;
+            }
+            None => report.findings.push(f),
+        }
+    }
+    for w in &waiver_file.waivers {
+        if !w.used.get() {
+            report.waiver_errors.push(format!(
+                "stale waiver at lint-waivers.toml:{} ({} {}:{}) — the finding no longer \
+                 fires; delete the entry",
+                w.at_line, w.lint, w.file, w.line
+            ));
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_parses_paths() {
+        assert_eq!(crate_of("crates/stat/src/lib.rs"), Some("stat"));
+        assert_eq!(crate_of("examples/src/main.rs"), None);
+    }
+}

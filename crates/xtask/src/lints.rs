@@ -1,0 +1,589 @@
+//! The domain-specific token lints (L1–L3, L5, L6). Registry-completeness
+//! (L4) lives in [`crate::registry`] because it cross-references files
+//! rather than scanning tokens.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One diagnostic produced by a lint.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Lint id (`"L1"`...).
+    pub lint: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Explanation with a suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    fn new(lint: &'static str, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Finding { lint, file: file.to_string(), line, message: message.into() }
+    }
+}
+
+/// Returns the token stream with `#[cfg(test)]`/`#[test]` items removed, so
+/// the panic-policy lints only see code that ships in the library.
+pub fn strip_test_code(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            let (attr_end, is_test) = scan_attribute(toks, i + 1);
+            if is_test {
+                // Skip this attribute, any further attributes, then the item.
+                i = attr_end;
+                while i < toks.len() && toks[i].is_punct("#") {
+                    let (end, _) = scan_attribute(toks, i + 1);
+                    i = end;
+                }
+                i = skip_item(toks, i);
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Scans the attribute starting at its `[` token; returns (index past the
+/// closing `]`, whether it marks test-only code).
+fn scan_attribute(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_cfg = false;
+    let mut has_test = false;
+    let mut only_test = false;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                i += 1;
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            if t.text == "cfg" {
+                has_cfg = true;
+            } else if t.text == "test" {
+                has_test = true;
+                // `#[test]` alone: the ident directly inside the brackets.
+                only_test = i == open + 1;
+            }
+        }
+        i += 1;
+    }
+    (i, (has_cfg && has_test) || only_test)
+}
+
+/// Skips one item (fn/mod/impl/struct/... or statement): consumes balanced
+/// `{}` if a brace opens before a top-level `;`, else stops after the `;`.
+fn skip_item(toks: &[Tok], start: usize) -> usize {
+    let mut i = start;
+    let mut paren = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") {
+            paren += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            paren -= 1;
+        } else if t.is_punct(";") && paren == 0 {
+            return i + 1;
+        } else if t.is_punct("{") && paren == 0 {
+            let mut depth = 0i32;
+            while i < toks.len() {
+                if toks[i].is_punct("{") {
+                    depth += 1;
+                } else if toks[i].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                i += 1;
+            }
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// True when the token can be the tail of a float-valued expression.
+fn floatish(toks: &[Tok], i: usize) -> bool {
+    let t = &toks[i];
+    if t.kind == TokKind::Float {
+        return true;
+    }
+    // f64::NAN / f32::INFINITY / f64::EPSILON ...
+    if t.kind == TokKind::Ident
+        && matches!(
+            t.text.as_str(),
+            "NAN" | "INFINITY" | "NEG_INFINITY" | "EPSILON" | "MIN_POSITIVE"
+        )
+        && i >= 2
+        && toks[i - 1].is_punct("::")
+        && (toks[i - 2].is_ident("f64") || toks[i - 2].is_ident("f32"))
+    {
+        return true;
+    }
+    false
+}
+
+/// L1 — NaN-unsafe float comparison: `==`/`!=` with a float literal or float
+/// constant operand, and `partial_cmp(..).unwrap()/.expect(..)` chains.
+pub fn lint_float_cmp(file: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct("==") || t.is_punct("!=") {
+            // Operand window: the token just before, and up to 3 ahead
+            // (covers `x == -1.0` where `-` precedes the literal).
+            let before = i > 0 && floatish(toks, i - 1);
+            let mut after = false;
+            for j in i + 1..toks.len().min(i + 4) {
+                // Stop the lookahead at expression boundaries.
+                if toks[j].is_punct(";") || toks[j].is_punct("{") || toks[j].is_punct(",") {
+                    break;
+                }
+                if floatish(toks, j) {
+                    after = true;
+                    break;
+                }
+            }
+            if before || after {
+                out.push(Finding::new(
+                    "L1",
+                    file,
+                    t.line,
+                    format!(
+                        "raw float `{}` comparison — NaN-unsafe; use `total_cmp`, an epsilon \
+                         band, or an explicit `is_nan()` guard",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        // partial_cmp(..).unwrap() / .expect(..) within the same chain.
+        if t.is_ident("partial_cmp") {
+            let window = &toks[i..toks.len().min(i + 10)];
+            if window.iter().any(|w| w.is_ident("unwrap") || w.is_ident("expect")) {
+                out.push(Finding::new(
+                    "L1",
+                    file,
+                    t.line,
+                    "`partial_cmp(..).unwrap()` panics on NaN — use `total_cmp` for sorting \
+                     floats",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// L2 — panic family in non-test library code: `.unwrap()`, `.expect(..)`,
+/// `panic!`, `unreachable!`, `todo!`, `unimplemented!`.
+pub fn lint_panic_family(file: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct(".");
+        let next_bang = i + 1 < toks.len() && toks[i + 1].is_punct("!");
+        let next_paren = i + 1 < toks.len() && toks[i + 1].is_punct("(");
+        let hit: Option<&str> = match t.text.as_str() {
+            "unwrap" | "expect" if prev_dot && next_paren => {
+                Some("return Result or a documented default")
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" if next_bang => {
+                Some("make the invariant a checked error path (or debug_assert! if truly internal)")
+            }
+            _ => None,
+        };
+        if let Some(suggestion) = hit {
+            out.push(Finding::new(
+                "L2",
+                file,
+                t.line,
+                format!(
+                    "`{}{}` in library code can abort a whole fleet run — {}",
+                    t.text,
+                    if next_bang { "!" } else { "()" },
+                    suggestion
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Numeric types a cast *to* which loses range or precision from the common
+/// f64/usize sources in these kernels (`f64` excluded: widening).
+const NARROW_TARGETS: &[&str] =
+    &["u8", "u16", "u32", "usize", "u64", "i8", "i16", "i32", "i64", "isize", "f32"];
+
+/// L3 — lossy `as` casts in hot kernels: any `expr as <narrow numeric>`.
+pub fn lint_lossy_casts(file: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("as") || i + 1 >= toks.len() {
+            continue;
+        }
+        // `use x as y;` renames, it does not cast: the token before a cast's
+        // `as` is an expression tail, never the `use`-path context.
+        if i >= 1 && toks[i - 1].kind == TokKind::Ident {
+            // Walk back through the `::`-separated path; a leading `use`
+            // keyword means this is an import rename.
+            let mut j = i - 1;
+            while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokKind::Ident {
+                j -= 2;
+            }
+            if j >= 1 && toks[j - 1].is_ident("use") {
+                continue;
+            }
+        }
+        let target = &toks[i + 1];
+        if target.kind == TokKind::Ident && NARROW_TARGETS.contains(&target.text.as_str()) {
+            out.push(Finding::new(
+                "L3",
+                file,
+                t.line,
+                format!(
+                    "narrowing `as {}` in a hot kernel silently truncates/saturates — use \
+                     `try_from`, or `floor()` + an explicit bounds check",
+                    target.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// L6 — unchecked indexing in hot kernels: `recv[...]` where `recv` is an
+/// identifier, `)` or `]` (so array *types* `[f64; 4]` and slice patterns
+/// stay silent).
+pub fn lint_unchecked_index(file: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_punct("[") || i == 0 {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let indexes_value = prev.kind == TokKind::Ident && !is_keyword(&prev.text)
+            || prev.is_punct(")")
+            || prev.is_punct("]");
+        if indexes_value {
+            out.push(Finding::new(
+                "L6",
+                file,
+                t.line,
+                "unchecked slice indexing in a hot kernel panics on out-of-bounds — use \
+                 `get`/`get_mut`, iterators, or prove the bound with a slice re-borrow",
+            ));
+        }
+    }
+    out
+}
+
+/// Keywords that can directly precede `[` without being an indexed value.
+fn is_keyword(s: &str) -> bool {
+    matches!(s, "return" | "break" | "in" | "if" | "else" | "match" | "mut" | "ref" | "as" | "box")
+}
+
+/// Lint names whose `#[allow]` xtask can adjudicate directly: if the mapped
+/// xtask lint produces no finding in the file, the allow is stale. Only
+/// lints at least as broad as their clippy counterpart belong here
+/// (`clippy::float_cmp` is deliberately absent: it is type-aware and fires
+/// where the literal-based L1 cannot, so its allows take the
+/// justification-comment route instead).
+const ALLOW_TO_XTASK: &[(&str, &str)] = &[
+    ("clippy::unwrap_used", "L2"),
+    ("clippy::expect_used", "L2"),
+    ("clippy::panic", "L2"),
+    ("clippy::cast_possible_truncation", "L3"),
+    ("clippy::indexing_slicing", "L6"),
+];
+
+/// One `#[allow(...)]` occurrence.
+#[derive(Debug)]
+pub struct AllowSite {
+    /// 1-based line of the attribute.
+    pub line: u32,
+    /// Fully-qualified allowed lint names (`clippy::ptr_arg`, ...).
+    pub lints: Vec<String>,
+}
+
+/// Collects `#[allow(...)]` / `#![allow(...)]` attributes from a token
+/// stream.
+pub fn collect_allows(toks: &[Tok]) -> Vec<AllowSite> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let open = if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            i + 1
+        } else if toks[i].is_punct("#")
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct("!")
+            && toks[i + 2].is_punct("[")
+        {
+            i + 2
+        } else {
+            i += 1;
+            continue;
+        };
+        if !(open + 1 < toks.len() && toks[open + 1].is_ident("allow")) {
+            i = open + 1;
+            continue;
+        }
+        let line = toks[i].line;
+        let mut lints = Vec::new();
+        let mut depth = 0usize;
+        let mut j = open;
+        let mut path = String::new();
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            } else if t.kind == TokKind::Ident && t.text != "allow" {
+                if !path.is_empty() {
+                    path.push_str("::");
+                }
+                path.push_str(&t.text);
+            } else if t.is_punct(",") && !path.is_empty() {
+                lints.push(std::mem::take(&mut path));
+            }
+            j += 1;
+        }
+        if !path.is_empty() {
+            lints.push(path);
+        }
+        if !lints.is_empty() {
+            out.push(AllowSite { line, lints });
+        }
+        i = j;
+    }
+    out
+}
+
+/// L5 — `#[allow]` audit. An allow of an xtask-mapped lint with no
+/// corresponding finding in the file is stale (judged only when the mapped
+/// lint is in `scoped` — the xtask lints active for this file); every other
+/// allow must carry a one-line `//` justification on its own line or the
+/// line above.
+pub fn lint_allow_audit(
+    file: &str,
+    lexed: &Lexed,
+    file_findings: &[Finding],
+    scoped: &[&str],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Plain `//` comments only — doc comments are API documentation, not
+    // lint justifications.
+    let comment_lines: std::collections::HashSet<u32> = lexed
+        .comments
+        .iter()
+        .filter(|(_, text)| !text.starts_with('/') && !text.starts_with('!') && !text.is_empty())
+        .map(|&(line, _)| line)
+        .collect();
+
+    for site in collect_allows(&lexed.toks) {
+        for lint_name in &site.lints {
+            if let Some((_, xtask_lint)) =
+                ALLOW_TO_XTASK.iter().find(|(allow, xt)| allow == lint_name && scoped.contains(xt))
+            {
+                let fires = file_findings.iter().any(|f| &f.lint == xtask_lint);
+                if !fires {
+                    out.push(Finding::new(
+                        "L5",
+                        file,
+                        site.line,
+                        format!(
+                            "stale `#[allow({lint_name})]`: removing it would not fire any \
+                             {xtask_lint} finding in this file — delete the attribute"
+                        ),
+                    ));
+                }
+                continue;
+            }
+            let justified =
+                comment_lines.contains(&site.line) || comment_lines.contains(&(site.line - 1));
+            if !justified {
+                out.push(Finding::new(
+                    "L5",
+                    file,
+                    site.line,
+                    format!(
+                        "`#[allow({lint_name})]` without a one-line `//` justification on the \
+                         attribute's line or the line above — say why the lint is wrong here"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(lint: fn(&str, &[Tok]) -> Vec<Finding>, src: &str) -> Vec<Finding> {
+        lint("test.rs", &strip_test_code(&lex(src).toks))
+    }
+
+    // ---- L1 -------------------------------------------------------------
+
+    #[test]
+    fn l1_fires_on_float_literal_comparison() {
+        assert_eq!(run(lint_float_cmp, "if x == 0.0 { }").len(), 1);
+        assert_eq!(run(lint_float_cmp, "if 1.5 != y { }").len(), 1);
+        assert_eq!(run(lint_float_cmp, "if x == -1.0 { }").len(), 1);
+        assert_eq!(run(lint_float_cmp, "if x == f64::INFINITY { }").len(), 1);
+    }
+
+    #[test]
+    fn l1_fires_on_partial_cmp_unwrap() {
+        let src = "v.sort_by(|a, b| a.partial_cmp(b).unwrap());";
+        assert_eq!(run(lint_float_cmp, src).len(), 1);
+    }
+
+    #[test]
+    fn l1_silent_on_safe_patterns() {
+        assert!(run(lint_float_cmp, "if n == 0 { }").is_empty());
+        assert!(run(lint_float_cmp, "v.sort_by(|a, b| a.total_cmp(b));").is_empty());
+        assert!(run(lint_float_cmp, "let s = \"x == 0.0\";").is_empty());
+        assert!(run(lint_float_cmp, "// x == 0.0").is_empty());
+        assert!(run(lint_float_cmp, "if (a - b).abs() < 1e-9 { }").is_empty());
+        // Integer comparison whose branch body starts with a float literal.
+        assert!(run(lint_float_cmp, "if n == 0 { 0.0 } else { x }").is_empty());
+    }
+
+    // ---- L2 -------------------------------------------------------------
+
+    #[test]
+    fn l2_fires_on_panic_family() {
+        assert_eq!(run(lint_panic_family, "let x = opt.unwrap();").len(), 1);
+        assert_eq!(run(lint_panic_family, "let x = opt.expect(\"m\");").len(), 1);
+        assert_eq!(run(lint_panic_family, "panic!(\"boom\");").len(), 1);
+        assert_eq!(run(lint_panic_family, "unreachable!()").len(), 1);
+        assert_eq!(run(lint_panic_family, "todo!()").len(), 1);
+    }
+
+    #[test]
+    fn l2_silent_on_non_panicking_kin_and_test_code() {
+        assert!(run(lint_panic_family, "let x = opt.unwrap_or(0.0);").is_empty());
+        assert!(run(lint_panic_family, "let x = opt.unwrap_or_else(f);").is_empty());
+        assert!(run(lint_panic_family, "let s = \"panic!\";").is_empty());
+        assert!(run(lint_panic_family, "// .unwrap() here would be bad").is_empty());
+        let test_mod = r#"
+            #[cfg(test)]
+            mod tests {
+                fn helper() { opt.unwrap(); panic!("fine in tests"); }
+            }
+        "#;
+        assert!(run(lint_panic_family, test_mod).is_empty());
+        let test_fn = "#[test]\nfn t() { x.unwrap(); }";
+        assert!(run(lint_panic_family, test_fn).is_empty());
+    }
+
+    #[test]
+    fn l2_sees_code_after_a_test_mod() {
+        let src = "#[cfg(test)]\nmod tests { }\nfn lib() { x.unwrap(); }";
+        assert_eq!(run(lint_panic_family, src).len(), 1);
+    }
+
+    // ---- L3 -------------------------------------------------------------
+
+    #[test]
+    fn l3_fires_on_narrowing_casts() {
+        assert_eq!(run(lint_lossy_casts, "let i = x as usize;").len(), 1);
+        assert_eq!(run(lint_lossy_casts, "let i = n as i32;").len(), 1);
+        assert_eq!(run(lint_lossy_casts, "let f = x as f32;").len(), 1);
+    }
+
+    #[test]
+    fn l3_silent_on_widening_and_renames() {
+        assert!(run(lint_lossy_casts, "let f = n as f64;").is_empty());
+        assert!(run(lint_lossy_casts, "use std::cmp::Ordering as Ord2;").is_empty());
+        assert!(run(lint_lossy_casts, "use a::b::c as d;").is_empty());
+    }
+
+    // ---- L6 -------------------------------------------------------------
+
+    #[test]
+    fn l6_fires_on_indexing() {
+        assert_eq!(run(lint_unchecked_index, "let y = xs[i];").len(), 1);
+        assert_eq!(run(lint_unchecked_index, "let y = f(a)[0];").len(), 1);
+        assert_eq!(run(lint_unchecked_index, "let y = m[i][j];").len(), 2);
+    }
+
+    #[test]
+    fn l6_silent_on_types_and_literals() {
+        assert!(run(lint_unchecked_index, "let a: [f64; 4] = [0.0; 4];").is_empty());
+        assert!(run(lint_unchecked_index, "let v = vec![1, 2];").is_empty());
+        assert!(run(lint_unchecked_index, "for x in [1, 2] { }").is_empty());
+        assert!(run(lint_unchecked_index, "#[allow(dead_code)]").is_empty());
+    }
+
+    // ---- L5 -------------------------------------------------------------
+
+    fn audit(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        lint_allow_audit("test.rs", &lexed, &[], &["L1", "L2"])
+    }
+
+    #[test]
+    fn l5_requires_justification_for_unmapped_allows() {
+        let unjustified = "#[allow(clippy::ptr_arg)]\nfn f() {}";
+        assert_eq!(audit(unjustified).len(), 1);
+        let justified = "// callers own the Vec; &Vec keeps the API stable\n#[allow(clippy::ptr_arg)]\nfn f() {}";
+        assert!(audit(justified).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_stale_mapped_allows() {
+        let stale = "#[allow(clippy::unwrap_used)]\nfn f(a: f64) -> f64 { a }";
+        let lexed = lex(stale);
+        let findings = lint_allow_audit("test.rs", &lexed, &[], &["L2"]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("stale"));
+
+        // Same allow, but L2 genuinely fires in the file → not stale.
+        let fires = vec![Finding::new("L2", "test.rs", 2, "x")];
+        assert!(lint_allow_audit("test.rs", &lexed, &fires, &["L2"]).is_empty());
+
+        // Out of L2's scope → the justification rule applies instead, and
+        // this allow has no justification comment.
+        let out_of_scope = lint_allow_audit("test.rs", &lexed, &[], &["L1"]);
+        assert_eq!(out_of_scope.len(), 1);
+        assert!(out_of_scope[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn l5_doc_comments_are_not_justifications() {
+        let src = "/// Public API docs.\n#[allow(clippy::ptr_arg)]\nfn f() {}";
+        assert_eq!(audit(src).len(), 1);
+    }
+
+    // ---- strip_test_code ------------------------------------------------
+
+    #[test]
+    fn strip_handles_cfg_attr_combinations() {
+        let toks =
+            lex("#[cfg(all(test, feature = \"x\"))]\nmod t { bad.unwrap(); }\nfn ok() {}").toks;
+        let lib = strip_test_code(&toks);
+        assert!(lib.iter().any(|t| t.is_ident("ok")));
+        assert!(!lib.iter().any(|t| t.is_ident("unwrap")));
+    }
+}

@@ -1,0 +1,82 @@
+//! CLI entry point: `cargo run -p xtask -- lint [--root DIR] [--waivers FILE]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo run -p xtask -- lint [--root DIR] [--waivers FILE]
+
+Runs the workspace's domain lints (L1-L6). Exit codes:
+  0  clean
+  1  findings or stale waivers
+  2  usage / configuration error";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    if it.next().map(String::as_str) != Some("lint") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    // Default root: the workspace this xtask is compiled inside.
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut waiver_path: Option<PathBuf> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => {
+                    eprintln!("--root needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--waivers" => match it.next() {
+                Some(v) => waiver_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--waivers needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.canonicalize() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot resolve workspace root {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let waiver_path = waiver_path.unwrap_or_else(|| root.join("crates/xtask/lint-waivers.toml"));
+
+    let report = match xtask::run_lint(&root, &waiver_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.lint, f.message);
+    }
+    for e in &report.waiver_errors {
+        println!("{e}");
+    }
+    println!(
+        "xtask lint: {} file(s) scanned, {} finding(s), {} waived, {} waiver error(s)",
+        report.files_scanned,
+        report.findings.len(),
+        report.waived,
+        report.waiver_errors.len()
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,301 @@
+//! L4 — registry completeness. Cross-references the filesystem against the
+//! detector factory, the property-test suite, the benchmark suite, and the
+//! experiment reproduction driver, so a new detector or experiment cannot
+//! quietly ship half-wired.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::lints::Finding;
+
+const DETECTOR_DIR: &str = "crates/core/src/detectors";
+const DETECTOR_MOD: &str = "crates/core/src/detectors/mod.rs";
+const PROPS: &str = "crates/core/tests/props.rs";
+const BENCHES: &str = "crates/bench/benches/detectors.rs";
+const BIN_DIR: &str = "crates/bench/src/bin";
+const REPRODUCE: &str = "crates/bench/src/bin/reproduce_all.rs";
+
+fn finding(file: &str, line: u32, message: impl Into<String>) -> Finding {
+    Finding { lint: "L4", file: file.to_string(), line, message: message.into() }
+}
+
+fn read(root: &Path, rel: &str) -> Result<String, Finding> {
+    std::fs::read_to_string(root.join(rel))
+        .map_err(|e| finding(rel, 1, format!("cannot read required file: {e}")))
+}
+
+/// All identifier texts in a token stream.
+fn idents(toks: &[Tok]) -> BTreeSet<String> {
+    toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone()).collect()
+}
+
+/// `mod name;` declarations with their lines.
+fn mod_decls(toks: &[Tok]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for w in toks.windows(3) {
+        if w[0].is_ident("mod") && w[1].kind == TokKind::Ident && w[2].is_punct(";") {
+            out.push((w[1].text.clone(), w[0].line));
+        }
+    }
+    out
+}
+
+/// `pub struct <X>Detector` declarations with their lines.
+fn detector_structs(toks: &[Tok]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for w in toks.windows(3) {
+        if w[0].is_ident("pub")
+            && w[1].is_ident("struct")
+            && w[2].kind == TokKind::Ident
+            && w[2].text.ends_with("Detector")
+        {
+            out.push((w[2].text.clone(), w[2].line));
+        }
+    }
+    out
+}
+
+/// The token range of `fn build`'s body in `mod.rs` (factory match).
+fn build_body(toks: &[Tok]) -> Option<&[Tok]> {
+    let start = toks.windows(2).position(|w| w[0].is_ident("fn") && w[1].is_ident("build"))?;
+    let open = (start..toks.len()).find(|&i| toks[i].is_punct("{"))?;
+    let mut depth = 0i32;
+    for i in open..toks.len() {
+        if toks[i].is_punct("{") {
+            depth += 1;
+        } else if toks[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(&toks[open..=i]);
+            }
+        }
+    }
+    None
+}
+
+/// Experiment functions an `exp_*.rs` bin pulls from the shared
+/// `experiments` module: `use navarchos_bench::experiments::{a, b};` or the
+/// single-ident form.
+fn imported_experiments(toks: &[Tok]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_ident("use")
+            && toks[i + 1..].first().is_some_and(|t| t.kind == TokKind::Ident))
+        {
+            i += 1;
+            continue;
+        }
+        // Walk the path; only harvest when it goes through `experiments`.
+        let mut through_experiments = false;
+        let mut j = i + 1;
+        while j + 1 < toks.len() && toks[j].kind == TokKind::Ident && toks[j + 1].is_punct("::") {
+            if toks[j].text == "experiments" {
+                through_experiments = true;
+            }
+            j += 2;
+        }
+        if through_experiments {
+            if toks[j].is_punct("{") {
+                let mut k = j + 1;
+                while k < toks.len() && !toks[k].is_punct("}") {
+                    if toks[k].kind == TokKind::Ident {
+                        out.push((toks[k].text.clone(), toks[k].line));
+                    }
+                    k += 1;
+                }
+                j = k;
+            } else if toks[j].kind == TokKind::Ident {
+                out.push((toks[j].text.clone(), toks[j].line));
+            }
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Runs the registry-completeness checks from the workspace root.
+pub fn check(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    let mod_src = match read(root, DETECTOR_MOD) {
+        Ok(s) => s,
+        Err(f) => return vec![f],
+    };
+    let mod_toks = lex(&mod_src).toks;
+    let declared: Vec<(String, u32)> = mod_decls(&mod_toks);
+
+    // 1. Filesystem <-> `mod` declarations, both directions.
+    let mut files = BTreeSet::new();
+    match std::fs::read_dir(root.join(DETECTOR_DIR)) {
+        Ok(rd) => {
+            for entry in rd.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if let Some(stem) = name.strip_suffix(".rs") {
+                    if stem != "mod" {
+                        files.insert(stem.to_string());
+                    }
+                }
+            }
+        }
+        Err(e) => return vec![finding(DETECTOR_DIR, 1, format!("cannot list: {e}"))],
+    }
+    for stem in &files {
+        if !declared.iter().any(|(m, _)| m == stem) {
+            out.push(finding(
+                DETECTOR_MOD,
+                1,
+                format!("detector module `{stem}.rs` exists on disk but is not declared — add `mod {stem};`"),
+            ));
+        }
+    }
+    for (m, line) in &declared {
+        if !files.contains(m) {
+            out.push(finding(
+                DETECTOR_MOD,
+                *line,
+                format!("`mod {m};` declared but `{m}.rs` is missing from {DETECTOR_DIR}"),
+            ));
+        }
+    }
+
+    // 2. Every detector type must be constructible from the factory and
+    //    covered by the proptest + benchmark suites.
+    let mut types: Vec<(String, String, u32)> = Vec::new(); // (type, decl file, line)
+    for stem in &files {
+        let rel = format!("{DETECTOR_DIR}/{stem}.rs");
+        let src = match read(root, &rel) {
+            Ok(s) => s,
+            Err(f) => {
+                out.push(f);
+                continue;
+            }
+        };
+        let found = detector_structs(&lex(&src).toks);
+        if found.is_empty() {
+            out.push(finding(
+                &rel,
+                1,
+                "detector module defines no `pub struct *Detector` — either add one or move \
+                 the helpers into the module that uses them",
+            ));
+        }
+        for (name, line) in found {
+            types.push((name, rel.clone(), line));
+        }
+    }
+
+    let factory = build_body(&mod_toks).map(idents).unwrap_or_default();
+    if factory.is_empty() {
+        out.push(finding(DETECTOR_MOD, 1, "no `fn build` factory found"));
+    }
+    let props = read(root, PROPS).map(|s| idents(&lex(&s).toks)).unwrap_or_default();
+    let benches = read(root, BENCHES).map(|s| idents(&lex(&s).toks)).unwrap_or_default();
+
+    for (ty, rel, line) in &types {
+        if !factory.is_empty() && !factory.contains(ty) {
+            out.push(finding(
+                rel,
+                *line,
+                format!("`{ty}` is not constructed by `DetectorKind::build` in {DETECTOR_MOD} — every detector must be reachable from the factory"),
+            ));
+        }
+        if !props.contains(ty) {
+            out.push(finding(
+                rel,
+                *line,
+                format!("`{ty}` has no property-test coverage in {PROPS}"),
+            ));
+        }
+        if !benches.contains(ty) {
+            out.push(finding(rel, *line, format!("`{ty}` is not benchmarked in {BENCHES}")));
+        }
+    }
+
+    // 3. Every `exp_*.rs` bin's experiment functions must be invoked by the
+    //    reproduction driver.
+    let reproduce = read(root, REPRODUCE).map(|s| idents(&lex(&s).toks)).unwrap_or_default();
+    if reproduce.is_empty() {
+        out.push(finding(REPRODUCE, 1, "reproduction driver missing or empty"));
+        return out;
+    }
+    let mut bins: Vec<String> = Vec::new();
+    if let Ok(rd) = std::fs::read_dir(root.join(BIN_DIR)) {
+        for entry in rd.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("exp_") && name.ends_with(".rs") {
+                bins.push(name);
+            }
+        }
+    }
+    bins.sort();
+    for name in bins {
+        let rel = format!("{BIN_DIR}/{name}");
+        let src = match read(root, &rel) {
+            Ok(s) => s,
+            Err(f) => {
+                out.push(f);
+                continue;
+            }
+        };
+        for (func, line) in imported_experiments(&lex(&src).toks) {
+            if !reproduce.contains(&func) {
+                out.push(finding(
+                    &rel,
+                    line,
+                    format!("experiment `{func}` is run by this bin but never by {REPRODUCE} — the one-shot driver must cover every figure/table"),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_mod_decls_and_detector_structs() {
+        let toks = lex("mod kde;\npub mod x;\npub struct KdeDetector { }\nstruct Private;").toks;
+        let mods: Vec<String> = mod_decls(&toks).into_iter().map(|(m, _)| m).collect();
+        assert_eq!(mods, ["kde", "x"]);
+        let structs: Vec<String> = detector_structs(&toks).into_iter().map(|(s, _)| s).collect();
+        assert_eq!(structs, ["KdeDetector"]);
+    }
+
+    #[test]
+    fn finds_build_body_only() {
+        let src = "fn other() { A } impl K { pub fn build(&self) -> B { Box::new(KdeDetector::new()) } } fn after() { C }";
+        let body = idents(build_body(&lex(src).toks).expect("has build"));
+        assert!(body.contains("KdeDetector"));
+        assert!(!body.contains("A"));
+        assert!(!body.contains("C"));
+    }
+
+    #[test]
+    fn harvests_experiment_imports() {
+        let src = "use navarchos_bench::experiments::{figure1, paper_fleet};\nuse navarchos_bench::report::emit;\nuse navarchos_bench::experiments::table1;";
+        let got: Vec<String> =
+            imported_experiments(&lex(src).toks).into_iter().map(|(f, _)| f).collect();
+        assert_eq!(got, ["figure1", "paper_fleet", "table1"]);
+    }
+
+    #[test]
+    fn live_tree_passes() {
+        // The repo this xtask ships in must itself satisfy L4.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = check(&root);
+        assert!(
+            findings.is_empty(),
+            "registry drift:\n{}",
+            findings
+                .iter()
+                .map(|f| format!("  {}:{} {}", f.file, f.line, f.message))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Waiver-file handling: a hand-rolled parser for the TOML subset used by
+//! `crates/xtask/lint-waivers.toml` (no registry access, so no `toml` crate).
+//!
+//! Supported syntax — deliberately small, rejected loudly otherwise:
+//!
+//! ```toml
+//! [config]
+//! hot_kernels = ["crates/stat/src/correlation.rs"]   # string arrays (may span lines)
+//!
+//! [[waiver]]
+//! lint = "L2"
+//! file = "crates/stat/src/drift.rs"
+//! line = 288
+//! reason = "sentinel checked two lines above"
+//! ```
+//!
+//! Every waiver is per-site (`file` + `line` + `lint`): directory or
+//! whole-file waivers are intentionally unrepresentable, so existing debt
+//! stays enumerated and ratchets down instead of being grandfathered.
+
+use std::fmt;
+
+/// One per-site waiver entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Lint id (`"L1"`, `"L2"`, ...).
+    pub lint: String,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based source line of the waived finding.
+    pub line: u32,
+    /// Mandatory human explanation.
+    pub reason: String,
+    /// Line of the waiver entry itself (for diagnostics).
+    pub at_line: u32,
+    /// Set when a finding consumed this waiver (stale-waiver detection).
+    pub used: std::cell::Cell<bool>,
+}
+
+/// The `[config]` table.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Files where the cast (L3) and indexing (L6) lints apply.
+    pub hot_kernels: Vec<String>,
+}
+
+/// Parsed waiver file.
+#[derive(Debug, Default)]
+pub struct WaiverFile {
+    /// Global knobs.
+    pub config: Config,
+    /// All per-site waivers.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Parse failure with a 1-based line number.
+#[derive(Debug)]
+pub struct ParseError {
+    /// Line of the offending entry.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint-waivers.toml:{}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: u32, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Strips a trailing `#` comment that is not inside a double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// A scalar or string-array value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    StrArray(Vec<String>),
+}
+
+fn parse_value(raw: &str, line_no: u32) -> Result<Value, ParseError> {
+    let raw = raw.trim();
+    if let Some(rest) = raw.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return Err(err(line_no, "unterminated string (multi-line strings unsupported)"));
+        };
+        if inner.contains('"') {
+            return Err(err(line_no, "embedded quotes unsupported in this TOML subset"));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(rest) = raw.strip_prefix('[') {
+        let Some(inner) = rest.strip_suffix(']') else {
+            return Err(err(line_no, "unterminated array"));
+        };
+        let mut items = Vec::new();
+        for piece in inner.split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue; // trailing comma
+            }
+            match parse_value(piece, line_no)? {
+                Value::Str(s) => items.push(s),
+                _ => return Err(err(line_no, "only string arrays are supported")),
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Ok(n) = raw.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Err(err(line_no, format!("unsupported value syntax: `{raw}`")))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    Config,
+    Waiver,
+}
+
+/// Parses the waiver file contents.
+pub fn parse(text: &str) -> Result<WaiverFile, ParseError> {
+    let mut out = WaiverFile::default();
+    let mut section = Section::None;
+    // The waiver entry currently being assembled.
+    struct Pending {
+        at_line: u32,
+        lint: Option<String>,
+        file: Option<String>,
+        line: Option<u32>,
+        reason: Option<String>,
+    }
+    let mut cur: Option<Pending> = None;
+
+    fn flush(cur: &mut Option<Pending>, out: &mut WaiverFile) -> Result<(), ParseError> {
+        if let Some(p) = cur.take() {
+            let missing = |what: &str| err(p.at_line, format!("[[waiver]] missing `{what}`"));
+            let reason = p.reason.ok_or_else(|| missing("reason"))?;
+            if reason.trim().len() < 8 {
+                return Err(err(
+                    p.at_line,
+                    "waiver `reason` must be a real explanation (≥ 8 characters)",
+                ));
+            }
+            out.waivers.push(Waiver {
+                lint: p.lint.ok_or_else(|| missing("lint"))?,
+                file: p.file.ok_or_else(|| missing("file"))?,
+                line: p.line.ok_or_else(|| missing("line"))?,
+                reason,
+                at_line: p.at_line,
+                used: std::cell::Cell::new(false),
+            });
+        }
+        Ok(())
+    }
+
+    let lines: Vec<&str> = text.lines().collect();
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        let line_no = (idx + 1) as u32;
+        let mut line = strip_comment(lines[idx]).trim().to_string();
+        idx += 1;
+        if line.is_empty() {
+            continue;
+        }
+        // A `key = [` opening without its `]` continues on following lines.
+        if line.contains('=') && line.contains('[') && !line.contains(']') {
+            while idx < lines.len() {
+                let cont = strip_comment(lines[idx]).trim().to_string();
+                idx += 1;
+                line.push(' ');
+                line.push_str(&cont);
+                if cont.contains(']') {
+                    break;
+                }
+            }
+            if !line.contains(']') {
+                return Err(err(line_no, "unterminated array"));
+            }
+        }
+        let line = line.as_str();
+
+        if line == "[config]" {
+            flush(&mut cur, &mut out)?;
+            section = Section::Config;
+            continue;
+        }
+        if line == "[[waiver]]" {
+            flush(&mut cur, &mut out)?;
+            section = Section::Waiver;
+            cur = Some(Pending {
+                at_line: line_no,
+                lint: None,
+                file: None,
+                line: None,
+                reason: None,
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(line_no, format!("unknown section `{line}`")));
+        }
+
+        let Some((key, raw_value)) = line.split_once('=') else {
+            return Err(err(line_no, format!("expected `key = value`, got `{line}`")));
+        };
+        let key = key.trim();
+        let value = parse_value(raw_value, line_no)?;
+
+        match section {
+            Section::None => {
+                return Err(err(line_no, "key outside any section"));
+            }
+            Section::Config => match (key, value) {
+                ("hot_kernels", Value::StrArray(v)) => out.config.hot_kernels = v,
+                ("hot_kernels", _) => {
+                    return Err(err(line_no, "`hot_kernels` must be a string array"))
+                }
+                _ => return Err(err(line_no, format!("unknown [config] key `{key}`"))),
+            },
+            Section::Waiver => {
+                let Some(entry) = cur.as_mut() else {
+                    return Err(err(line_no, "waiver key outside [[waiver]]"));
+                };
+                match (key, value) {
+                    ("lint", Value::Str(s)) => entry.lint = Some(s),
+                    ("file", Value::Str(s)) => entry.file = Some(s),
+                    ("line", Value::Int(n)) if n > 0 => entry.line = Some(n as u32),
+                    ("reason", Value::Str(s)) => entry.reason = Some(s),
+                    _ => {
+                        return Err(err(
+                            line_no,
+                            format!("unknown or mistyped [[waiver]] key `{key}`"),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    flush(&mut cur, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_config_and_waivers() {
+        let f = parse(
+            r#"
+# header comment
+[config]
+hot_kernels = ["a.rs", "b.rs"]  # inline comment
+
+[[waiver]]
+lint = "L2"
+file = "crates/stat/src/drift.rs"
+line = 288
+reason = "sentinel checked above"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(f.config.hot_kernels, ["a.rs", "b.rs"]);
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.waivers[0].lint, "L2");
+        assert_eq!(f.waivers[0].line, 288);
+    }
+
+    #[test]
+    fn rejects_blanket_waivers_missing_fields() {
+        let e = parse(
+            "[[waiver]]\nlint = \"L2\"\nfile = \"crates/stat\"\nreason = \"whole dir please\"\n",
+        )
+        .expect_err("line is mandatory");
+        assert!(e.message.contains("missing `line`"), "{e}");
+    }
+
+    #[test]
+    fn rejects_empty_reasons() {
+        let e = parse("[[waiver]]\nlint = \"L1\"\nfile = \"x.rs\"\nline = 1\nreason = \"ok\"\n")
+            .expect_err("reason too short");
+        assert!(e.message.contains("real explanation"), "{e}");
+    }
+
+    #[test]
+    fn comment_stripping_respects_strings() {
+        let f = parse("[config]\nhot_kernels = [\"a#b.rs\"] # real comment\n").expect("parses");
+        assert_eq!(f.config.hot_kernels, ["a#b.rs"]);
+    }
+
+    #[test]
+    fn multi_line_arrays_parse() {
+        let f = parse("[config]\nhot_kernels = [\n  \"a.rs\",  # why\n  \"b.rs\",\n]\n")
+            .expect("parses");
+        assert_eq!(f.config.hot_kernels, ["a.rs", "b.rs"]);
+    }
+
+    #[test]
+    fn unknown_sections_and_keys_fail() {
+        assert!(parse("[tools]\n").is_err());
+        assert!(parse("[config]\nallow_all = true\n").is_err());
+    }
+}

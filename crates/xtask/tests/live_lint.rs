@@ -1,0 +1,31 @@
+//! The tree-level gate: the checked-in workspace must lint clean with the
+//! checked-in waiver file. A failure here means a change introduced a new
+//! finding (fix it or add a per-site waiver with a reason) or fixed a
+//! waived site without deleting its now-stale waiver entry.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_with_checked_in_waivers() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let waivers = root.join("crates/xtask/lint-waivers.toml");
+    let report = xtask::run_lint(&root, &waivers).expect("lint run must not error");
+
+    assert!(
+        report.waiver_errors.is_empty(),
+        "waiver file problems:\n{}",
+        report.waiver_errors.join("\n")
+    );
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.lint, f.message))
+        .collect();
+    assert!(
+        rendered.is_empty(),
+        "xtask lint found {} unwaived finding(s) on the current tree:\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+    assert!(report.files_scanned > 50, "walker saw only {} files", report.files_scanned);
+}

@@ -70,8 +70,7 @@ fn main() {
             let mut counts = EvalCounts::default();
             for (vd, vs) in fleet.vehicles.iter().zip(&traces) {
                 let instances = vs.alarm_instances(param, &eval);
-                counts
-                    .merge(&evaluate_vehicle_instances(&instances, &vd.recorded_repairs(), eval));
+                counts.merge(&evaluate_vehicle_instances(&instances, &vd.recorded_repairs(), eval));
             }
             if counts.f05() > best.2 {
                 best = (param, counts, counts.f05());

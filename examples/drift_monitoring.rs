@@ -32,8 +32,7 @@ fn day(t: i64) -> i64 {
 /// one value per day (the worst channel — faults touch a few correlation
 /// pairs, so a mean across all channels would dilute them).
 fn daily_worst_scores(vd: &VehicleData) -> Vec<(i64, f64)> {
-    let params =
-        RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
+    let params = RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
     let maintenance: Vec<(i64, bool)> = vd
         .events
         .iter()
@@ -106,7 +105,9 @@ fn main() {
     // stream *within* a maintenance segment; the drift monitor watches it
     // *across* segments, where slow degradation and unrecorded services
     // show up as persistent level shifts.
-    println!("vehicle      | fault                  | window (days) | alerts | in-window | score in/out");
+    println!(
+        "vehicle      | fault                  | window (days) | alerts | in-window | score in/out"
+    );
     let mut corroborated = 0;
     for FaultWindow { vehicle, start, repair, kind } in &fleet.faults {
         let vd = &fleet.vehicles[*vehicle];
@@ -116,8 +117,7 @@ fn main() {
             continue;
         }
         let alerts = shift_alerts(&series);
-        let in_window =
-            alerts.iter().filter(|&&(t, _)| t >= *start && t <= *repair).count();
+        let in_window = alerts.iter().filter(|&&(t, _)| t >= *start && t <= *repair).count();
         if in_window > 0 {
             corroborated += 1;
         }

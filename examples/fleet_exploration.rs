@@ -47,10 +47,7 @@ fn main() {
         let mut vehicles = members.clone();
         vehicles.sort_unstable();
         vehicles.dedup();
-        let usage = vehicles
-            .first()
-            .map(|&v| fleet.vehicles[v].usage.name)
-            .unwrap_or("-");
+        let usage = vehicles.first().map(|&v| fleet.vehicles[v].usage.name).unwrap_or("-");
         println!(
             "cluster {c}: {:4} days across {:2} vehicles (e.g. {usage})",
             members.len(),
@@ -66,11 +63,8 @@ fn main() {
     let mut related = 0;
     for &i in &top {
         let (v, day_start) = owners[i];
-        let next_failure = fleet.vehicles[v]
-            .recorded_repairs()
-            .into_iter()
-            .filter(|&r| r > day_start)
-            .min();
+        let next_failure =
+            fleet.vehicles[v].recorded_repairs().into_iter().filter(|&r| r > day_start).min();
         let relation = match next_failure {
             Some(r) if r - day_start <= 30 * 86_400 => {
                 related += 1;

@@ -9,9 +9,7 @@
 //! ```
 
 use navarchos_core::detectors::DetectorKind;
-use navarchos_core::evaluation::{
-    evaluate_vehicle_instances, factor_grid, EvalCounts, EvalParams,
-};
+use navarchos_core::evaluation::{evaluate_vehicle_instances, factor_grid, EvalCounts, EvalParams};
 use navarchos_core::runner::{run_vehicle, RunnerParams};
 use navarchos_core::TransformKind;
 use navarchos_fleetsim::{EventKind, FleetConfig, START_EPOCH};

@@ -26,11 +26,7 @@ fn main() {
     // 2. Pick a vehicle that actually fails, so there is something to find.
     // Prefer a sensor-type fault (MAF drift / intake leak) for the demo —
     // they carry the crispest correlation signature.
-    let fault = fleet
-        .faults
-        .iter()
-        .max_by_key(|w| w.repair)
-        .expect("small fleet plans failures");
+    let fault = fleet.faults.iter().max_by_key(|w| w.repair).expect("small fleet plans failures");
     let vehicle = &fleet.vehicles[fault.vehicle];
     println!(
         "monitoring {} — developing fault: {} (repair on day {})",
@@ -92,8 +88,10 @@ fn main() {
             }
         }
     }
-    println!("
-total threshold violations: {alarms}");
+    println!(
+        "
+total threshold violations: {alarms}"
+    );
     println!("violations per week ('F' marks weeks inside the fault ramp):");
     let fault_start_week = (fault.start - START_EPOCH) / (7 * 86_400);
     let repair_week = (fault.repair - START_EPOCH) / (7 * 86_400);

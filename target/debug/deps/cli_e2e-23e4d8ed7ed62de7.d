@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_e2e-23e4d8ed7ed62de7.d: crates/cli/tests/cli_e2e.rs
+
+/root/repo/target/debug/deps/cli_e2e-23e4d8ed7ed62de7: crates/cli/tests/cli_e2e.rs
+
+crates/cli/tests/cli_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_navarchos=/root/repo/target/debug/navarchos

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cli_roundtrip-29246900907ca205.d: tests/tests/cli_roundtrip.rs
+
+/root/repo/target/debug/deps/cli_roundtrip-29246900907ca205: tests/tests/cli_roundtrip.rs
+
+tests/tests/cli_roundtrip.rs:

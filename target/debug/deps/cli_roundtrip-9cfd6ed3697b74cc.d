@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cli_roundtrip-9cfd6ed3697b74cc.d: tests/tests/cli_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_roundtrip-9cfd6ed3697b74cc.rmeta: tests/tests/cli_roundtrip.rs Cargo.toml
+
+tests/tests/cli_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

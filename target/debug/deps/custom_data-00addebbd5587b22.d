@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/custom_data-00addebbd5587b22.d: examples/custom_data.rs
+
+/root/repo/target/debug/deps/custom_data-00addebbd5587b22: examples/custom_data.rs
+
+examples/custom_data.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/custom_data-199737cc16190413.d: examples/custom_data.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcustom_data-199737cc16190413.rmeta: examples/custom_data.rs Cargo.toml
+
+examples/custom_data.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/custom_data-9e0dc381da6a6c70.d: examples/custom_data.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcustom_data-9e0dc381da6a6c70.rmeta: examples/custom_data.rs Cargo.toml
+
+examples/custom_data.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detector_comparison-4d082f03261dccd7.d: examples/detector_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetector_comparison-4d082f03261dccd7.rmeta: examples/detector_comparison.rs Cargo.toml
+
+examples/detector_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

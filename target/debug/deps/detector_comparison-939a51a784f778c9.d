@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detector_comparison-939a51a784f778c9.d: examples/detector_comparison.rs
+
+/root/repo/target/debug/deps/detector_comparison-939a51a784f778c9: examples/detector_comparison.rs
+
+examples/detector_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detector_comparison-b202b6dd68859778.d: examples/detector_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetector_comparison-b202b6dd68859778.rmeta: examples/detector_comparison.rs Cargo.toml
+
+examples/detector_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

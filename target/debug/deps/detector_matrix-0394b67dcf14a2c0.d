@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detector_matrix-0394b67dcf14a2c0.d: tests/tests/detector_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetector_matrix-0394b67dcf14a2c0.rmeta: tests/tests/detector_matrix.rs Cargo.toml
+
+tests/tests/detector_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detector_matrix-a605e94cc7905645.d: tests/tests/detector_matrix.rs
+
+/root/repo/target/debug/deps/detector_matrix-a605e94cc7905645: tests/tests/detector_matrix.rs
+
+tests/tests/detector_matrix.rs:

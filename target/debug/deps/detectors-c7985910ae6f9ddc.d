@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detectors-c7985910ae6f9ddc.d: crates/bench/benches/detectors.rs
+
+/root/repo/target/debug/deps/detectors-c7985910ae6f9ddc: crates/bench/benches/detectors.rs
+
+crates/bench/benches/detectors.rs:

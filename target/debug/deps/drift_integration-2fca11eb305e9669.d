@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drift_integration-2fca11eb305e9669.d: tests/tests/drift_integration.rs
+
+/root/repo/target/debug/deps/drift_integration-2fca11eb305e9669: tests/tests/drift_integration.rs
+
+tests/tests/drift_integration.rs:

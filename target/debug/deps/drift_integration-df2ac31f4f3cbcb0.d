@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drift_integration-df2ac31f4f3cbcb0.d: tests/tests/drift_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrift_integration-df2ac31f4f3cbcb0.rmeta: tests/tests/drift_integration.rs Cargo.toml
+
+tests/tests/drift_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drift_monitoring-14253ff8b5806cf6.d: examples/drift_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrift_monitoring-14253ff8b5806cf6.rmeta: examples/drift_monitoring.rs Cargo.toml
+
+examples/drift_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drift_monitoring-8b836c1bda611eb9.d: examples/drift_monitoring.rs
+
+/root/repo/target/debug/deps/drift_monitoring-8b836c1bda611eb9: examples/drift_monitoring.rs
+
+examples/drift_monitoring.rs:

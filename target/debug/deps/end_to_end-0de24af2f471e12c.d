@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-0de24af2f471e12c.d: tests/tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-0de24af2f471e12c.rmeta: tests/tests/end_to_end.rs Cargo.toml
+
+tests/tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-bbb130573f54b706.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-bbb130573f54b706: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablations-59a9716a1a99ee23.d: crates/bench/src/bin/exp_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablations-59a9716a1a99ee23.rmeta: crates/bench/src/bin/exp_ablations.rs Cargo.toml
+
+crates/bench/src/bin/exp_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

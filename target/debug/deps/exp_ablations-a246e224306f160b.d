@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablations-a246e224306f160b.d: crates/bench/src/bin/exp_ablations.rs
+
+/root/repo/target/debug/deps/exp_ablations-a246e224306f160b: crates/bench/src/bin/exp_ablations.rs
+
+crates/bench/src/bin/exp_ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablations-d68f48510ae5e750.d: crates/bench/src/bin/exp_ablations.rs
+
+/root/repo/target/debug/deps/exp_ablations-d68f48510ae5e750: crates/bench/src/bin/exp_ablations.rs
+
+crates/bench/src/bin/exp_ablations.rs:

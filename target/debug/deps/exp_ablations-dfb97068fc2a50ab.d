@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablations-dfb97068fc2a50ab.d: crates/bench/src/bin/exp_ablations.rs
+
+/root/repo/target/debug/deps/exp_ablations-dfb97068fc2a50ab: crates/bench/src/bin/exp_ablations.rs
+
+crates/bench/src/bin/exp_ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablations-f2f2cec2512dddf5.d: crates/bench/src/bin/exp_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablations-f2f2cec2512dddf5.rmeta: crates/bench/src/bin/exp_ablations.rs Cargo.toml
+
+crates/bench/src/bin/exp_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

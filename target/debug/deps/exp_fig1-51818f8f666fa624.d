@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig1-51818f8f666fa624.d: crates/bench/src/bin/exp_fig1.rs
+
+/root/repo/target/debug/deps/exp_fig1-51818f8f666fa624: crates/bench/src/bin/exp_fig1.rs
+
+crates/bench/src/bin/exp_fig1.rs:

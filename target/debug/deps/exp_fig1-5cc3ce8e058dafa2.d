@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig1-5cc3ce8e058dafa2.d: crates/bench/src/bin/exp_fig1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig1-5cc3ce8e058dafa2.rmeta: crates/bench/src/bin/exp_fig1.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

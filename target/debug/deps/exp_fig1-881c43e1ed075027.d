@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig1-881c43e1ed075027.d: crates/bench/src/bin/exp_fig1.rs
+
+/root/repo/target/debug/deps/exp_fig1-881c43e1ed075027: crates/bench/src/bin/exp_fig1.rs
+
+crates/bench/src/bin/exp_fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig1-ec3068084f6ecb65.d: crates/bench/src/bin/exp_fig1.rs
+
+/root/repo/target/debug/deps/exp_fig1-ec3068084f6ecb65: crates/bench/src/bin/exp_fig1.rs
+
+crates/bench/src/bin/exp_fig1.rs:

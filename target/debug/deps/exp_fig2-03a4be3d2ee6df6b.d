@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2-03a4be3d2ee6df6b.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/debug/deps/exp_fig2-03a4be3d2ee6df6b: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

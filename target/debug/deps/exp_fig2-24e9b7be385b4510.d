@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig2-24e9b7be385b4510.d: crates/bench/src/bin/exp_fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig2-24e9b7be385b4510.rmeta: crates/bench/src/bin/exp_fig2.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

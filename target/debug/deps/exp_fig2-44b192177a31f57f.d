@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig2-44b192177a31f57f.d: crates/bench/src/bin/exp_fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig2-44b192177a31f57f.rmeta: crates/bench/src/bin/exp_fig2.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2-6545f245700dccd6.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/debug/deps/exp_fig2-6545f245700dccd6: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

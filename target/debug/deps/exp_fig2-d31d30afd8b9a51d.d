@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2-d31d30afd8b9a51d.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/debug/deps/exp_fig2-d31d30afd8b9a51d: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

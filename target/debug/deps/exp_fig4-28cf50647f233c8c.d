@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4-28cf50647f233c8c.d: crates/bench/src/bin/exp_fig4.rs
+
+/root/repo/target/debug/deps/exp_fig4-28cf50647f233c8c: crates/bench/src/bin/exp_fig4.rs
+
+crates/bench/src/bin/exp_fig4.rs:

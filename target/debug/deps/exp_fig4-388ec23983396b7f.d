@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig4-388ec23983396b7f.d: crates/bench/src/bin/exp_fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig4-388ec23983396b7f.rmeta: crates/bench/src/bin/exp_fig4.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

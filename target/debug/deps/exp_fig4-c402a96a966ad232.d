@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4-c402a96a966ad232.d: crates/bench/src/bin/exp_fig4.rs
+
+/root/repo/target/debug/deps/exp_fig4-c402a96a966ad232: crates/bench/src/bin/exp_fig4.rs
+
+crates/bench/src/bin/exp_fig4.rs:

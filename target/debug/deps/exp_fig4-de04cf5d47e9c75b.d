@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4-de04cf5d47e9c75b.d: crates/bench/src/bin/exp_fig4.rs
+
+/root/repo/target/debug/deps/exp_fig4-de04cf5d47e9c75b: crates/bench/src/bin/exp_fig4.rs
+
+crates/bench/src/bin/exp_fig4.rs:

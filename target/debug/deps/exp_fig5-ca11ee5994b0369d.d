@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig5-ca11ee5994b0369d.d: crates/bench/src/bin/exp_fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig5-ca11ee5994b0369d.rmeta: crates/bench/src/bin/exp_fig5.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5-f381caf6ccb48a76.d: crates/bench/src/bin/exp_fig5.rs
+
+/root/repo/target/debug/deps/exp_fig5-f381caf6ccb48a76: crates/bench/src/bin/exp_fig5.rs
+
+crates/bench/src/bin/exp_fig5.rs:

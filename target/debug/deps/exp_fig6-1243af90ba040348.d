@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6-1243af90ba040348.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/debug/deps/exp_fig6-1243af90ba040348: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

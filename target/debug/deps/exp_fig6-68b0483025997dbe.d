@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig6-68b0483025997dbe.d: crates/bench/src/bin/exp_fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig6-68b0483025997dbe.rmeta: crates/bench/src/bin/exp_fig6.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

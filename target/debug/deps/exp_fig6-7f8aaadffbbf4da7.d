@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig6-7f8aaadffbbf4da7.d: crates/bench/src/bin/exp_fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig6-7f8aaadffbbf4da7.rmeta: crates/bench/src/bin/exp_fig6.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

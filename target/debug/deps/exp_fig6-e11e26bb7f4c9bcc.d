@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6-e11e26bb7f4c9bcc.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/debug/deps/exp_fig6-e11e26bb7f4c9bcc: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

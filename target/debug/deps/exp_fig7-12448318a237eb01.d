@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig7-12448318a237eb01.d: crates/bench/src/bin/exp_fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig7-12448318a237eb01.rmeta: crates/bench/src/bin/exp_fig7.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig7-8518084c977ef764.d: crates/bench/src/bin/exp_fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig7-8518084c977ef764.rmeta: crates/bench/src/bin/exp_fig7.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

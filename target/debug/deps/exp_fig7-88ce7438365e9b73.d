@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7-88ce7438365e9b73.d: crates/bench/src/bin/exp_fig7.rs
+
+/root/repo/target/debug/deps/exp_fig7-88ce7438365e9b73: crates/bench/src/bin/exp_fig7.rs
+
+crates/bench/src/bin/exp_fig7.rs:

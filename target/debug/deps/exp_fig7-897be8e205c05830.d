@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7-897be8e205c05830.d: crates/bench/src/bin/exp_fig7.rs
+
+/root/repo/target/debug/deps/exp_fig7-897be8e205c05830: crates/bench/src/bin/exp_fig7.rs
+
+crates/bench/src/bin/exp_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7-a3ee61dc0537f84d.d: crates/bench/src/bin/exp_fig7.rs
+
+/root/repo/target/debug/deps/exp_fig7-a3ee61dc0537f84d: crates/bench/src/bin/exp_fig7.rs
+
+crates/bench/src/bin/exp_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8-453ab0fa83210395.d: crates/bench/src/bin/exp_fig8.rs
+
+/root/repo/target/debug/deps/exp_fig8-453ab0fa83210395: crates/bench/src/bin/exp_fig8.rs
+
+crates/bench/src/bin/exp_fig8.rs:

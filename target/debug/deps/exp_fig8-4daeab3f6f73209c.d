@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8-4daeab3f6f73209c.d: crates/bench/src/bin/exp_fig8.rs
+
+/root/repo/target/debug/deps/exp_fig8-4daeab3f6f73209c: crates/bench/src/bin/exp_fig8.rs
+
+crates/bench/src/bin/exp_fig8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig8-786edc7a2198abb6.d: crates/bench/src/bin/exp_fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig8-786edc7a2198abb6.rmeta: crates/bench/src/bin/exp_fig8.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig8-aa998256bea4355f.d: crates/bench/src/bin/exp_fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig8-aa998256bea4355f.rmeta: crates/bench/src/bin/exp_fig8.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

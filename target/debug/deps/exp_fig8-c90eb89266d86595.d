@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8-c90eb89266d86595.d: crates/bench/src/bin/exp_fig8.rs
+
+/root/repo/target/debug/deps/exp_fig8-c90eb89266d86595: crates/bench/src/bin/exp_fig8.rs
+
+crates/bench/src/bin/exp_fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scenarios-6be1e11b6ce45726.d: crates/bench/src/bin/exp_scenarios.rs
+
+/root/repo/target/debug/deps/exp_scenarios-6be1e11b6ce45726: crates/bench/src/bin/exp_scenarios.rs
+
+crates/bench/src/bin/exp_scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_scenarios-87b970221ee77e52.d: crates/bench/src/bin/exp_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_scenarios-87b970221ee77e52.rmeta: crates/bench/src/bin/exp_scenarios.rs Cargo.toml
+
+crates/bench/src/bin/exp_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

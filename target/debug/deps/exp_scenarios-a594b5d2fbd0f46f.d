@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scenarios-a594b5d2fbd0f46f.d: crates/bench/src/bin/exp_scenarios.rs
+
+/root/repo/target/debug/deps/exp_scenarios-a594b5d2fbd0f46f: crates/bench/src/bin/exp_scenarios.rs
+
+crates/bench/src/bin/exp_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scenarios-a84325fddf49f10d.d: crates/bench/src/bin/exp_scenarios.rs
+
+/root/repo/target/debug/deps/exp_scenarios-a84325fddf49f10d: crates/bench/src/bin/exp_scenarios.rs
+
+crates/bench/src/bin/exp_scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_scenarios-b60dbcdf7a5bb5e7.d: crates/bench/src/bin/exp_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_scenarios-b60dbcdf7a5bb5e7.rmeta: crates/bench/src/bin/exp_scenarios.rs Cargo.toml
+
+crates/bench/src/bin/exp_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-64ee86fdc64a02fa.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-64ee86fdc64a02fa: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-7cdd919e3f8a5e79.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-7cdd919e3f8a5e79: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-c23c95625d7f9146.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-c23c95625d7f9146: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

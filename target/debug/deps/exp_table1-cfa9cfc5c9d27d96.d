@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table1-cfa9cfc5c9d27d96.d: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table1-cfa9cfc5c9d27d96.rmeta: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+crates/bench/src/bin/exp_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

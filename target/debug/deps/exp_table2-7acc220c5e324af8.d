@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-7acc220c5e324af8.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-7acc220c5e324af8: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-a285617968ee1def.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-a285617968ee1def: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-b1688a0d90d0a62a.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-b1688a0d90d0a62a: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

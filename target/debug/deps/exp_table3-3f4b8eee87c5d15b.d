@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table3-3f4b8eee87c5d15b.d: crates/bench/src/bin/exp_table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table3-3f4b8eee87c5d15b.rmeta: crates/bench/src/bin/exp_table3.rs Cargo.toml
+
+crates/bench/src/bin/exp_table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table3-8cd454f21b3f9ea2.d: crates/bench/src/bin/exp_table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table3-8cd454f21b3f9ea2.rmeta: crates/bench/src/bin/exp_table3.rs Cargo.toml
+
+crates/bench/src/bin/exp_table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

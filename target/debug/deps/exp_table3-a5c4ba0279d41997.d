@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table3-a5c4ba0279d41997.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/debug/deps/exp_table3-a5c4ba0279d41997: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table3-f19edb5c31b5f855.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/debug/deps/exp_table3-f19edb5c31b5f855: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table3-f778deaa13f2f0d7.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/debug/deps/exp_table3-f778deaa13f2f0d7: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exploration-2e3f66f97c985fc0.d: tests/tests/exploration.rs
+
+/root/repo/target/debug/deps/exploration-2e3f66f97c985fc0: tests/tests/exploration.rs
+
+tests/tests/exploration.rs:

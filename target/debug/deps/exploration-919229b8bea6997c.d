@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exploration-919229b8bea6997c.d: tests/tests/exploration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexploration-919229b8bea6997c.rmeta: tests/tests/exploration.rs Cargo.toml
+
+tests/tests/exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_exploration-95f3c507bde2062b.d: examples/fleet_exploration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_exploration-95f3c507bde2062b.rmeta: examples/fleet_exploration.rs Cargo.toml
+
+examples/fleet_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

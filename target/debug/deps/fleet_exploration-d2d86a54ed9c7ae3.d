@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_exploration-d2d86a54ed9c7ae3.d: examples/fleet_exploration.rs
+
+/root/repo/target/debug/deps/fleet_exploration-d2d86a54ed9c7ae3: examples/fleet_exploration.rs
+
+examples/fleet_exploration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_exploration-e03fdd6581aadafd.d: examples/fleet_exploration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_exploration-e03fdd6581aadafd.rmeta: examples/fleet_exploration.rs Cargo.toml
+
+examples/fleet_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

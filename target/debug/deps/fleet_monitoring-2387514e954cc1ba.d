@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_monitoring-2387514e954cc1ba.d: examples/fleet_monitoring.rs
+
+/root/repo/target/debug/deps/fleet_monitoring-2387514e954cc1ba: examples/fleet_monitoring.rs
+
+examples/fleet_monitoring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_monitoring-2bfb6556f50b977f.d: examples/fleet_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_monitoring-2bfb6556f50b977f.rmeta: examples/fleet_monitoring.rs Cargo.toml
+
+examples/fleet_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

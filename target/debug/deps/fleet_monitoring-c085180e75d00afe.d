@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_monitoring-c085180e75d00afe.d: examples/fleet_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_monitoring-c085180e75d00afe.rmeta: examples/fleet_monitoring.rs Cargo.toml
+
+examples/fleet_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/live_lint-959c00e9bad0334f.d: crates/xtask/tests/live_lint.rs
+
+/root/repo/target/debug/deps/live_lint-959c00e9bad0334f: crates/xtask/tests/live_lint.rs
+
+crates/xtask/tests/live_lint.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/live_lint-a8b27d0ec0a8a48a.d: crates/xtask/tests/live_lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblive_lint-a8b27d0ec0a8a48a.rmeta: crates/xtask/tests/live_lint.rs Cargo.toml
+
+crates/xtask/tests/live_lint.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

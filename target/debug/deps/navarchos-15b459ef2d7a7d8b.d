@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/navarchos-15b459ef2d7a7d8b.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/navarchos-15b459ef2d7a7d8b: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navarchos-17787b989807059f.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos-17787b989807059f.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

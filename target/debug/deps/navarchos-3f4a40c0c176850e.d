@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navarchos-3f4a40c0c176850e.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos-3f4a40c0c176850e.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

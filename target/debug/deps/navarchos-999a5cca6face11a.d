@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/navarchos-999a5cca6face11a.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/navarchos-999a5cca6face11a: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

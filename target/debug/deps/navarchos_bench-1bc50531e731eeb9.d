@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/navarchos_bench-1bc50531e731eeb9.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/exploration.rs crates/bench/src/grid.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libnavarchos_bench-1bc50531e731eeb9.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/exploration.rs crates/bench/src/grid.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libnavarchos_bench-1bc50531e731eeb9.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/exploration.rs crates/bench/src/grid.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/exploration.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

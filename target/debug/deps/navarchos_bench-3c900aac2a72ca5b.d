@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/navarchos_bench-3c900aac2a72ca5b.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/exploration.rs crates/bench/src/grid.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_bench-3c900aac2a72ca5b.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/exploration.rs crates/bench/src/grid.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/exploration.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/navarchos_bench-859ab7598aae19cb.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/exploration.rs crates/bench/src/grid.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/navarchos_bench-859ab7598aae19cb: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/exploration.rs crates/bench/src/grid.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/exploration.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

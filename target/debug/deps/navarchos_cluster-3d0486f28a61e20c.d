@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/navarchos_cluster-3d0486f28a61e20c.d: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libnavarchos_cluster-3d0486f28a61e20c.rlib: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libnavarchos_cluster-3d0486f28a61e20c.rmeta: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/hierarchy.rs:

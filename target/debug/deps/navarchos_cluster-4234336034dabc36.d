@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/navarchos_cluster-4234336034dabc36.d: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_cluster-4234336034dabc36.rmeta: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/navarchos_cluster-b19e8203d0533f8f.d: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libnavarchos_cluster-b19e8203d0533f8f.rlib: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libnavarchos_cluster-b19e8203d0533f8f.rmeta: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/hierarchy.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/navarchos_cluster-b8d042a485eaf3cb.d: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs
+
+/root/repo/target/debug/deps/navarchos_cluster-b8d042a485eaf3cb: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/hierarchy.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/navarchos_core-8af3919876f72a97.d: crates/core/src/lib.rs crates/core/src/aggregator.rs crates/core/src/detectors/mod.rs crates/core/src/detectors/closest_pair.rs crates/core/src/detectors/extensions.rs crates/core/src/detectors/grand.rs crates/core/src/detectors/kde.rs crates/core/src/detectors/pca.rs crates/core/src/detectors/sax_novelty.rs crates/core/src/detectors/tranad.rs crates/core/src/detectors/xgboost.rs crates/core/src/evaluation.rs crates/core/src/fleet_grand.rs crates/core/src/pipeline.rs crates/core/src/prelude.rs crates/core/src/reference.rs crates/core/src/runner.rs crates/core/src/threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_core-8af3919876f72a97.rmeta: crates/core/src/lib.rs crates/core/src/aggregator.rs crates/core/src/detectors/mod.rs crates/core/src/detectors/closest_pair.rs crates/core/src/detectors/extensions.rs crates/core/src/detectors/grand.rs crates/core/src/detectors/kde.rs crates/core/src/detectors/pca.rs crates/core/src/detectors/sax_novelty.rs crates/core/src/detectors/tranad.rs crates/core/src/detectors/xgboost.rs crates/core/src/evaluation.rs crates/core/src/fleet_grand.rs crates/core/src/pipeline.rs crates/core/src/prelude.rs crates/core/src/reference.rs crates/core/src/runner.rs crates/core/src/threshold.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/aggregator.rs:
+crates/core/src/detectors/mod.rs:
+crates/core/src/detectors/closest_pair.rs:
+crates/core/src/detectors/extensions.rs:
+crates/core/src/detectors/grand.rs:
+crates/core/src/detectors/kde.rs:
+crates/core/src/detectors/pca.rs:
+crates/core/src/detectors/sax_novelty.rs:
+crates/core/src/detectors/tranad.rs:
+crates/core/src/detectors/xgboost.rs:
+crates/core/src/evaluation.rs:
+crates/core/src/fleet_grand.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/prelude.rs:
+crates/core/src/reference.rs:
+crates/core/src/runner.rs:
+crates/core/src/threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

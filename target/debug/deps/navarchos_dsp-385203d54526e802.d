@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/navarchos_dsp-385203d54526e802.d: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_dsp-385203d54526e802.rmeta: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs Cargo.toml
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/histogram.rs:
+crates/dsp/src/spectral.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/navarchos_dsp-3ad8cf137fbc18d8.d: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs
+
+/root/repo/target/debug/deps/libnavarchos_dsp-3ad8cf137fbc18d8.rlib: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs
+
+/root/repo/target/debug/deps/libnavarchos_dsp-3ad8cf137fbc18d8.rmeta: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/histogram.rs:
+crates/dsp/src/spectral.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/navarchos_dsp-8c8ebcfb96fcae16.d: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs
+
+/root/repo/target/debug/deps/navarchos_dsp-8c8ebcfb96fcae16: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/histogram.rs:
+crates/dsp/src/spectral.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/navarchos_dsp-c9f7f65677bf2efd.d: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs
+
+/root/repo/target/debug/deps/libnavarchos_dsp-c9f7f65677bf2efd.rlib: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs
+
+/root/repo/target/debug/deps/libnavarchos_dsp-c9f7f65677bf2efd.rmeta: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/histogram.rs:
+crates/dsp/src/spectral.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/navarchos_dsp-ce393f2bc4dc724a.d: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_dsp-ce393f2bc4dc724a.rmeta: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs Cargo.toml
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/histogram.rs:
+crates/dsp/src/spectral.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/navarchos_fleetsim-51ec83db49e9e509.d: crates/fleetsim/src/lib.rs crates/fleetsim/src/events.rs crates/fleetsim/src/faults.rs crates/fleetsim/src/fleet.rs crates/fleetsim/src/physics.rs crates/fleetsim/src/types.rs crates/fleetsim/src/usage.rs crates/fleetsim/src/vehicle.rs
+
+/root/repo/target/debug/deps/libnavarchos_fleetsim-51ec83db49e9e509.rlib: crates/fleetsim/src/lib.rs crates/fleetsim/src/events.rs crates/fleetsim/src/faults.rs crates/fleetsim/src/fleet.rs crates/fleetsim/src/physics.rs crates/fleetsim/src/types.rs crates/fleetsim/src/usage.rs crates/fleetsim/src/vehicle.rs
+
+/root/repo/target/debug/deps/libnavarchos_fleetsim-51ec83db49e9e509.rmeta: crates/fleetsim/src/lib.rs crates/fleetsim/src/events.rs crates/fleetsim/src/faults.rs crates/fleetsim/src/fleet.rs crates/fleetsim/src/physics.rs crates/fleetsim/src/types.rs crates/fleetsim/src/usage.rs crates/fleetsim/src/vehicle.rs
+
+crates/fleetsim/src/lib.rs:
+crates/fleetsim/src/events.rs:
+crates/fleetsim/src/faults.rs:
+crates/fleetsim/src/fleet.rs:
+crates/fleetsim/src/physics.rs:
+crates/fleetsim/src/types.rs:
+crates/fleetsim/src/usage.rs:
+crates/fleetsim/src/vehicle.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/navarchos_fleetsim-ad85e9acaf1e49d6.d: crates/fleetsim/src/lib.rs crates/fleetsim/src/events.rs crates/fleetsim/src/faults.rs crates/fleetsim/src/fleet.rs crates/fleetsim/src/physics.rs crates/fleetsim/src/types.rs crates/fleetsim/src/usage.rs crates/fleetsim/src/vehicle.rs
+
+/root/repo/target/debug/deps/navarchos_fleetsim-ad85e9acaf1e49d6: crates/fleetsim/src/lib.rs crates/fleetsim/src/events.rs crates/fleetsim/src/faults.rs crates/fleetsim/src/fleet.rs crates/fleetsim/src/physics.rs crates/fleetsim/src/types.rs crates/fleetsim/src/usage.rs crates/fleetsim/src/vehicle.rs
+
+crates/fleetsim/src/lib.rs:
+crates/fleetsim/src/events.rs:
+crates/fleetsim/src/faults.rs:
+crates/fleetsim/src/fleet.rs:
+crates/fleetsim/src/physics.rs:
+crates/fleetsim/src/types.rs:
+crates/fleetsim/src/usage.rs:
+crates/fleetsim/src/vehicle.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/navarchos_fleetsim-ccc66e0390b6ae1b.d: crates/fleetsim/src/lib.rs crates/fleetsim/src/events.rs crates/fleetsim/src/faults.rs crates/fleetsim/src/fleet.rs crates/fleetsim/src/physics.rs crates/fleetsim/src/types.rs crates/fleetsim/src/usage.rs crates/fleetsim/src/vehicle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_fleetsim-ccc66e0390b6ae1b.rmeta: crates/fleetsim/src/lib.rs crates/fleetsim/src/events.rs crates/fleetsim/src/faults.rs crates/fleetsim/src/fleet.rs crates/fleetsim/src/physics.rs crates/fleetsim/src/types.rs crates/fleetsim/src/usage.rs crates/fleetsim/src/vehicle.rs Cargo.toml
+
+crates/fleetsim/src/lib.rs:
+crates/fleetsim/src/events.rs:
+crates/fleetsim/src/faults.rs:
+crates/fleetsim/src/fleet.rs:
+crates/fleetsim/src/physics.rs:
+crates/fleetsim/src/types.rs:
+crates/fleetsim/src/usage.rs:
+crates/fleetsim/src/vehicle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

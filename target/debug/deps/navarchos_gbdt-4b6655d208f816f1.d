@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navarchos_gbdt-4b6655d208f816f1.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/debug/deps/libnavarchos_gbdt-4b6655d208f816f1.rlib: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/debug/deps/libnavarchos_gbdt-4b6655d208f816f1.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/tree.rs:

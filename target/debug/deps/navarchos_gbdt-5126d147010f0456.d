@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navarchos_gbdt-5126d147010f0456.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/debug/deps/libnavarchos_gbdt-5126d147010f0456.rlib: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/debug/deps/libnavarchos_gbdt-5126d147010f0456.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/tree.rs:

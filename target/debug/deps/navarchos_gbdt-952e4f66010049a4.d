@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/navarchos_gbdt-952e4f66010049a4.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/debug/deps/navarchos_gbdt-952e4f66010049a4: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/tree.rs:

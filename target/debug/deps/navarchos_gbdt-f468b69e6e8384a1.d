@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/navarchos_gbdt-f468b69e6e8384a1.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_gbdt-f468b69e6e8384a1.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs Cargo.toml
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/navarchos_iforest-4c5f59d323692c84.d: crates/iforest/src/lib.rs
+
+/root/repo/target/debug/deps/libnavarchos_iforest-4c5f59d323692c84.rlib: crates/iforest/src/lib.rs
+
+/root/repo/target/debug/deps/libnavarchos_iforest-4c5f59d323692c84.rmeta: crates/iforest/src/lib.rs
+
+crates/iforest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/navarchos_iforest-5ca41d4d4f0a1532.d: crates/iforest/src/lib.rs
+
+/root/repo/target/debug/deps/navarchos_iforest-5ca41d4d4f0a1532: crates/iforest/src/lib.rs
+
+crates/iforest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navarchos_iforest-82c92e313a5a2a2b.d: crates/iforest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_iforest-82c92e313a5a2a2b.rmeta: crates/iforest/src/lib.rs Cargo.toml
+
+crates/iforest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

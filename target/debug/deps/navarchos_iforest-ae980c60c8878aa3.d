@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navarchos_iforest-ae980c60c8878aa3.d: crates/iforest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_iforest-ae980c60c8878aa3.rmeta: crates/iforest/src/lib.rs Cargo.toml
+
+crates/iforest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

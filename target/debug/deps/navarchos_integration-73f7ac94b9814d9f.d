@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navarchos_integration-73f7ac94b9814d9f.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_integration-73f7ac94b9814d9f.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

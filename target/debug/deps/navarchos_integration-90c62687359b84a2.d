@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navarchos_integration-90c62687359b84a2.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_integration-90c62687359b84a2.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

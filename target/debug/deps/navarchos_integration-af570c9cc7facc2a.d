@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/navarchos_integration-af570c9cc7facc2a.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/navarchos_integration-af570c9cc7facc2a: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/navarchos_integration-c679330e57f2ab08.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libnavarchos_integration-c679330e57f2ab08.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libnavarchos_integration-c679330e57f2ab08.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

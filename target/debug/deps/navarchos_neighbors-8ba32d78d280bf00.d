@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/navarchos_neighbors-8ba32d78d280bf00.d: crates/neighbors/src/lib.rs crates/neighbors/src/distance.rs crates/neighbors/src/kdtree.rs crates/neighbors/src/knn.rs crates/neighbors/src/lof.rs crates/neighbors/src/sorted1d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_neighbors-8ba32d78d280bf00.rmeta: crates/neighbors/src/lib.rs crates/neighbors/src/distance.rs crates/neighbors/src/kdtree.rs crates/neighbors/src/knn.rs crates/neighbors/src/lof.rs crates/neighbors/src/sorted1d.rs Cargo.toml
+
+crates/neighbors/src/lib.rs:
+crates/neighbors/src/distance.rs:
+crates/neighbors/src/kdtree.rs:
+crates/neighbors/src/knn.rs:
+crates/neighbors/src/lof.rs:
+crates/neighbors/src/sorted1d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

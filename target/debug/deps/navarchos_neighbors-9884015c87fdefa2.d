@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/navarchos_neighbors-9884015c87fdefa2.d: crates/neighbors/src/lib.rs crates/neighbors/src/distance.rs crates/neighbors/src/kdtree.rs crates/neighbors/src/knn.rs crates/neighbors/src/lof.rs crates/neighbors/src/sorted1d.rs
+
+/root/repo/target/debug/deps/navarchos_neighbors-9884015c87fdefa2: crates/neighbors/src/lib.rs crates/neighbors/src/distance.rs crates/neighbors/src/kdtree.rs crates/neighbors/src/knn.rs crates/neighbors/src/lof.rs crates/neighbors/src/sorted1d.rs
+
+crates/neighbors/src/lib.rs:
+crates/neighbors/src/distance.rs:
+crates/neighbors/src/kdtree.rs:
+crates/neighbors/src/knn.rs:
+crates/neighbors/src/lof.rs:
+crates/neighbors/src/sorted1d.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/navarchos_neighbors-d9c9dd803a7498f3.d: crates/neighbors/src/lib.rs crates/neighbors/src/distance.rs crates/neighbors/src/kdtree.rs crates/neighbors/src/knn.rs crates/neighbors/src/lof.rs crates/neighbors/src/sorted1d.rs
+
+/root/repo/target/debug/deps/libnavarchos_neighbors-d9c9dd803a7498f3.rlib: crates/neighbors/src/lib.rs crates/neighbors/src/distance.rs crates/neighbors/src/kdtree.rs crates/neighbors/src/knn.rs crates/neighbors/src/lof.rs crates/neighbors/src/sorted1d.rs
+
+/root/repo/target/debug/deps/libnavarchos_neighbors-d9c9dd803a7498f3.rmeta: crates/neighbors/src/lib.rs crates/neighbors/src/distance.rs crates/neighbors/src/kdtree.rs crates/neighbors/src/knn.rs crates/neighbors/src/lof.rs crates/neighbors/src/sorted1d.rs
+
+crates/neighbors/src/lib.rs:
+crates/neighbors/src/distance.rs:
+crates/neighbors/src/kdtree.rs:
+crates/neighbors/src/knn.rs:
+crates/neighbors/src/lof.rs:
+crates/neighbors/src/sorted1d.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/navarchos_nnet-383f60d15f134795.d: crates/nnet/src/lib.rs crates/nnet/src/attention.rs crates/nnet/src/encoder.rs crates/nnet/src/layers.rs crates/nnet/src/matrix.rs crates/nnet/src/mlp.rs crates/nnet/src/tranad.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_nnet-383f60d15f134795.rmeta: crates/nnet/src/lib.rs crates/nnet/src/attention.rs crates/nnet/src/encoder.rs crates/nnet/src/layers.rs crates/nnet/src/matrix.rs crates/nnet/src/mlp.rs crates/nnet/src/tranad.rs Cargo.toml
+
+crates/nnet/src/lib.rs:
+crates/nnet/src/attention.rs:
+crates/nnet/src/encoder.rs:
+crates/nnet/src/layers.rs:
+crates/nnet/src/matrix.rs:
+crates/nnet/src/mlp.rs:
+crates/nnet/src/tranad.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

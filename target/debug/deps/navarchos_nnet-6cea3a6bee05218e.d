@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/navarchos_nnet-6cea3a6bee05218e.d: crates/nnet/src/lib.rs crates/nnet/src/attention.rs crates/nnet/src/encoder.rs crates/nnet/src/layers.rs crates/nnet/src/matrix.rs crates/nnet/src/mlp.rs crates/nnet/src/tranad.rs
+
+/root/repo/target/debug/deps/libnavarchos_nnet-6cea3a6bee05218e.rlib: crates/nnet/src/lib.rs crates/nnet/src/attention.rs crates/nnet/src/encoder.rs crates/nnet/src/layers.rs crates/nnet/src/matrix.rs crates/nnet/src/mlp.rs crates/nnet/src/tranad.rs
+
+/root/repo/target/debug/deps/libnavarchos_nnet-6cea3a6bee05218e.rmeta: crates/nnet/src/lib.rs crates/nnet/src/attention.rs crates/nnet/src/encoder.rs crates/nnet/src/layers.rs crates/nnet/src/matrix.rs crates/nnet/src/mlp.rs crates/nnet/src/tranad.rs
+
+crates/nnet/src/lib.rs:
+crates/nnet/src/attention.rs:
+crates/nnet/src/encoder.rs:
+crates/nnet/src/layers.rs:
+crates/nnet/src/matrix.rs:
+crates/nnet/src/mlp.rs:
+crates/nnet/src/tranad.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/navarchos_nnet-9f0ee841f10667df.d: crates/nnet/src/lib.rs crates/nnet/src/attention.rs crates/nnet/src/encoder.rs crates/nnet/src/layers.rs crates/nnet/src/matrix.rs crates/nnet/src/mlp.rs crates/nnet/src/tranad.rs
+
+/root/repo/target/debug/deps/libnavarchos_nnet-9f0ee841f10667df.rlib: crates/nnet/src/lib.rs crates/nnet/src/attention.rs crates/nnet/src/encoder.rs crates/nnet/src/layers.rs crates/nnet/src/matrix.rs crates/nnet/src/mlp.rs crates/nnet/src/tranad.rs
+
+/root/repo/target/debug/deps/libnavarchos_nnet-9f0ee841f10667df.rmeta: crates/nnet/src/lib.rs crates/nnet/src/attention.rs crates/nnet/src/encoder.rs crates/nnet/src/layers.rs crates/nnet/src/matrix.rs crates/nnet/src/mlp.rs crates/nnet/src/tranad.rs
+
+crates/nnet/src/lib.rs:
+crates/nnet/src/attention.rs:
+crates/nnet/src/encoder.rs:
+crates/nnet/src/layers.rs:
+crates/nnet/src/matrix.rs:
+crates/nnet/src/mlp.rs:
+crates/nnet/src/tranad.rs:

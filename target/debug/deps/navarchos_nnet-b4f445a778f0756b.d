@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/navarchos_nnet-b4f445a778f0756b.d: crates/nnet/src/lib.rs crates/nnet/src/attention.rs crates/nnet/src/encoder.rs crates/nnet/src/layers.rs crates/nnet/src/matrix.rs crates/nnet/src/mlp.rs crates/nnet/src/tranad.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_nnet-b4f445a778f0756b.rmeta: crates/nnet/src/lib.rs crates/nnet/src/attention.rs crates/nnet/src/encoder.rs crates/nnet/src/layers.rs crates/nnet/src/matrix.rs crates/nnet/src/mlp.rs crates/nnet/src/tranad.rs Cargo.toml
+
+crates/nnet/src/lib.rs:
+crates/nnet/src/attention.rs:
+crates/nnet/src/encoder.rs:
+crates/nnet/src/layers.rs:
+crates/nnet/src/matrix.rs:
+crates/nnet/src/mlp.rs:
+crates/nnet/src/tranad.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

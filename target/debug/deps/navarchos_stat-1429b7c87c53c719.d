@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/navarchos_stat-1429b7c87c53c719.d: crates/stat/src/lib.rs crates/stat/src/correlation.rs crates/stat/src/descriptive.rs crates/stat/src/dist.rs crates/stat/src/drift.rs crates/stat/src/martingale.rs crates/stat/src/ranking.rs crates/stat/src/special.rs
+
+/root/repo/target/debug/deps/libnavarchos_stat-1429b7c87c53c719.rlib: crates/stat/src/lib.rs crates/stat/src/correlation.rs crates/stat/src/descriptive.rs crates/stat/src/dist.rs crates/stat/src/drift.rs crates/stat/src/martingale.rs crates/stat/src/ranking.rs crates/stat/src/special.rs
+
+/root/repo/target/debug/deps/libnavarchos_stat-1429b7c87c53c719.rmeta: crates/stat/src/lib.rs crates/stat/src/correlation.rs crates/stat/src/descriptive.rs crates/stat/src/dist.rs crates/stat/src/drift.rs crates/stat/src/martingale.rs crates/stat/src/ranking.rs crates/stat/src/special.rs
+
+crates/stat/src/lib.rs:
+crates/stat/src/correlation.rs:
+crates/stat/src/descriptive.rs:
+crates/stat/src/dist.rs:
+crates/stat/src/drift.rs:
+crates/stat/src/martingale.rs:
+crates/stat/src/ranking.rs:
+crates/stat/src/special.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/navarchos_stat-28f9a81f8ef27b96.d: crates/stat/src/lib.rs crates/stat/src/correlation.rs crates/stat/src/descriptive.rs crates/stat/src/dist.rs crates/stat/src/drift.rs crates/stat/src/martingale.rs crates/stat/src/ranking.rs crates/stat/src/special.rs
+
+/root/repo/target/debug/deps/libnavarchos_stat-28f9a81f8ef27b96.rlib: crates/stat/src/lib.rs crates/stat/src/correlation.rs crates/stat/src/descriptive.rs crates/stat/src/dist.rs crates/stat/src/drift.rs crates/stat/src/martingale.rs crates/stat/src/ranking.rs crates/stat/src/special.rs
+
+/root/repo/target/debug/deps/libnavarchos_stat-28f9a81f8ef27b96.rmeta: crates/stat/src/lib.rs crates/stat/src/correlation.rs crates/stat/src/descriptive.rs crates/stat/src/dist.rs crates/stat/src/drift.rs crates/stat/src/martingale.rs crates/stat/src/ranking.rs crates/stat/src/special.rs
+
+crates/stat/src/lib.rs:
+crates/stat/src/correlation.rs:
+crates/stat/src/descriptive.rs:
+crates/stat/src/dist.rs:
+crates/stat/src/drift.rs:
+crates/stat/src/martingale.rs:
+crates/stat/src/ranking.rs:
+crates/stat/src/special.rs:

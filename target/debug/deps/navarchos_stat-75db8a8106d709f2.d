@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/navarchos_stat-75db8a8106d709f2.d: crates/stat/src/lib.rs crates/stat/src/correlation.rs crates/stat/src/descriptive.rs crates/stat/src/dist.rs crates/stat/src/drift.rs crates/stat/src/martingale.rs crates/stat/src/ranking.rs crates/stat/src/special.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_stat-75db8a8106d709f2.rmeta: crates/stat/src/lib.rs crates/stat/src/correlation.rs crates/stat/src/descriptive.rs crates/stat/src/dist.rs crates/stat/src/drift.rs crates/stat/src/martingale.rs crates/stat/src/ranking.rs crates/stat/src/special.rs Cargo.toml
+
+crates/stat/src/lib.rs:
+crates/stat/src/correlation.rs:
+crates/stat/src/descriptive.rs:
+crates/stat/src/dist.rs:
+crates/stat/src/drift.rs:
+crates/stat/src/martingale.rs:
+crates/stat/src/ranking.rs:
+crates/stat/src/special.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

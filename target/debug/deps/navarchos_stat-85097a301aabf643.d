@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/navarchos_stat-85097a301aabf643.d: crates/stat/src/lib.rs crates/stat/src/correlation.rs crates/stat/src/descriptive.rs crates/stat/src/dist.rs crates/stat/src/drift.rs crates/stat/src/martingale.rs crates/stat/src/ranking.rs crates/stat/src/special.rs
+
+/root/repo/target/debug/deps/navarchos_stat-85097a301aabf643: crates/stat/src/lib.rs crates/stat/src/correlation.rs crates/stat/src/descriptive.rs crates/stat/src/dist.rs crates/stat/src/drift.rs crates/stat/src/martingale.rs crates/stat/src/ranking.rs crates/stat/src/special.rs
+
+crates/stat/src/lib.rs:
+crates/stat/src/correlation.rs:
+crates/stat/src/descriptive.rs:
+crates/stat/src/dist.rs:
+crates/stat/src/drift.rs:
+crates/stat/src/martingale.rs:
+crates/stat/src/ranking.rs:
+crates/stat/src/special.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/navarchos_tsframe-7528f587c586f4c5.d: crates/tsframe/src/lib.rs crates/tsframe/src/aggregate.rs crates/tsframe/src/csv.rs crates/tsframe/src/extended.rs crates/tsframe/src/filter.rs crates/tsframe/src/frame.rs crates/tsframe/src/resample.rs crates/tsframe/src/rolling.rs crates/tsframe/src/sax.rs crates/tsframe/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavarchos_tsframe-7528f587c586f4c5.rmeta: crates/tsframe/src/lib.rs crates/tsframe/src/aggregate.rs crates/tsframe/src/csv.rs crates/tsframe/src/extended.rs crates/tsframe/src/filter.rs crates/tsframe/src/frame.rs crates/tsframe/src/resample.rs crates/tsframe/src/rolling.rs crates/tsframe/src/sax.rs crates/tsframe/src/transform.rs Cargo.toml
+
+crates/tsframe/src/lib.rs:
+crates/tsframe/src/aggregate.rs:
+crates/tsframe/src/csv.rs:
+crates/tsframe/src/extended.rs:
+crates/tsframe/src/filter.rs:
+crates/tsframe/src/frame.rs:
+crates/tsframe/src/resample.rs:
+crates/tsframe/src/rolling.rs:
+crates/tsframe/src/sax.rs:
+crates/tsframe/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/navarchos_tsframe-81dc93e7679e9000.d: crates/tsframe/src/lib.rs crates/tsframe/src/aggregate.rs crates/tsframe/src/csv.rs crates/tsframe/src/extended.rs crates/tsframe/src/filter.rs crates/tsframe/src/frame.rs crates/tsframe/src/resample.rs crates/tsframe/src/rolling.rs crates/tsframe/src/sax.rs crates/tsframe/src/transform.rs
+
+/root/repo/target/debug/deps/libnavarchos_tsframe-81dc93e7679e9000.rlib: crates/tsframe/src/lib.rs crates/tsframe/src/aggregate.rs crates/tsframe/src/csv.rs crates/tsframe/src/extended.rs crates/tsframe/src/filter.rs crates/tsframe/src/frame.rs crates/tsframe/src/resample.rs crates/tsframe/src/rolling.rs crates/tsframe/src/sax.rs crates/tsframe/src/transform.rs
+
+/root/repo/target/debug/deps/libnavarchos_tsframe-81dc93e7679e9000.rmeta: crates/tsframe/src/lib.rs crates/tsframe/src/aggregate.rs crates/tsframe/src/csv.rs crates/tsframe/src/extended.rs crates/tsframe/src/filter.rs crates/tsframe/src/frame.rs crates/tsframe/src/resample.rs crates/tsframe/src/rolling.rs crates/tsframe/src/sax.rs crates/tsframe/src/transform.rs
+
+crates/tsframe/src/lib.rs:
+crates/tsframe/src/aggregate.rs:
+crates/tsframe/src/csv.rs:
+crates/tsframe/src/extended.rs:
+crates/tsframe/src/filter.rs:
+crates/tsframe/src/frame.rs:
+crates/tsframe/src/resample.rs:
+crates/tsframe/src/rolling.rs:
+crates/tsframe/src/sax.rs:
+crates/tsframe/src/transform.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/navarchos_tsframe-9baac895a42ba3c5.d: crates/tsframe/src/lib.rs crates/tsframe/src/aggregate.rs crates/tsframe/src/csv.rs crates/tsframe/src/extended.rs crates/tsframe/src/filter.rs crates/tsframe/src/frame.rs crates/tsframe/src/resample.rs crates/tsframe/src/rolling.rs crates/tsframe/src/sax.rs crates/tsframe/src/transform.rs
+
+/root/repo/target/debug/deps/navarchos_tsframe-9baac895a42ba3c5: crates/tsframe/src/lib.rs crates/tsframe/src/aggregate.rs crates/tsframe/src/csv.rs crates/tsframe/src/extended.rs crates/tsframe/src/filter.rs crates/tsframe/src/frame.rs crates/tsframe/src/resample.rs crates/tsframe/src/rolling.rs crates/tsframe/src/sax.rs crates/tsframe/src/transform.rs
+
+crates/tsframe/src/lib.rs:
+crates/tsframe/src/aggregate.rs:
+crates/tsframe/src/csv.rs:
+crates/tsframe/src/extended.rs:
+crates/tsframe/src/filter.rs:
+crates/tsframe/src/frame.rs:
+crates/tsframe/src/resample.rs:
+crates/tsframe/src/rolling.rs:
+crates/tsframe/src/sax.rs:
+crates/tsframe/src/transform.rs:

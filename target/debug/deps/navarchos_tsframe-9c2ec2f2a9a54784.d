@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/navarchos_tsframe-9c2ec2f2a9a54784.d: crates/tsframe/src/lib.rs crates/tsframe/src/aggregate.rs crates/tsframe/src/csv.rs crates/tsframe/src/extended.rs crates/tsframe/src/filter.rs crates/tsframe/src/frame.rs crates/tsframe/src/resample.rs crates/tsframe/src/rolling.rs crates/tsframe/src/sax.rs crates/tsframe/src/transform.rs
+
+/root/repo/target/debug/deps/libnavarchos_tsframe-9c2ec2f2a9a54784.rlib: crates/tsframe/src/lib.rs crates/tsframe/src/aggregate.rs crates/tsframe/src/csv.rs crates/tsframe/src/extended.rs crates/tsframe/src/filter.rs crates/tsframe/src/frame.rs crates/tsframe/src/resample.rs crates/tsframe/src/rolling.rs crates/tsframe/src/sax.rs crates/tsframe/src/transform.rs
+
+/root/repo/target/debug/deps/libnavarchos_tsframe-9c2ec2f2a9a54784.rmeta: crates/tsframe/src/lib.rs crates/tsframe/src/aggregate.rs crates/tsframe/src/csv.rs crates/tsframe/src/extended.rs crates/tsframe/src/filter.rs crates/tsframe/src/frame.rs crates/tsframe/src/resample.rs crates/tsframe/src/rolling.rs crates/tsframe/src/sax.rs crates/tsframe/src/transform.rs
+
+crates/tsframe/src/lib.rs:
+crates/tsframe/src/aggregate.rs:
+crates/tsframe/src/csv.rs:
+crates/tsframe/src/extended.rs:
+crates/tsframe/src/filter.rs:
+crates/tsframe/src/frame.rs:
+crates/tsframe/src/resample.rs:
+crates/tsframe/src/rolling.rs:
+crates/tsframe/src/sax.rs:
+crates/tsframe/src/transform.rs:

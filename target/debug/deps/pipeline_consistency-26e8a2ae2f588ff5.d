@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_consistency-26e8a2ae2f588ff5.d: tests/tests/pipeline_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_consistency-26e8a2ae2f588ff5.rmeta: tests/tests/pipeline_consistency.rs Cargo.toml
+
+tests/tests/pipeline_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

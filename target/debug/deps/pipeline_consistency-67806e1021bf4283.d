@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_consistency-67806e1021bf4283.d: tests/tests/pipeline_consistency.rs
+
+/root/repo/target/debug/deps/pipeline_consistency-67806e1021bf4283: tests/tests/pipeline_consistency.rs
+
+tests/tests/pipeline_consistency.rs:

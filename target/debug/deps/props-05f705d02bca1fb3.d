@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-05f705d02bca1fb3.d: crates/tsframe/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-05f705d02bca1fb3.rmeta: crates/tsframe/tests/props.rs Cargo.toml
+
+crates/tsframe/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

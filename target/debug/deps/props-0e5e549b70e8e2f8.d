@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-0e5e549b70e8e2f8.d: crates/stat/tests/props.rs
+
+/root/repo/target/debug/deps/props-0e5e549b70e8e2f8: crates/stat/tests/props.rs
+
+crates/stat/tests/props.rs:

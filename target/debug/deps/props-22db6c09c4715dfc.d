@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-22db6c09c4715dfc.d: crates/fleetsim/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-22db6c09c4715dfc.rmeta: crates/fleetsim/tests/props.rs Cargo.toml
+
+crates/fleetsim/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-23c7500ff2ea48b2.d: crates/neighbors/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-23c7500ff2ea48b2.rmeta: crates/neighbors/tests/props.rs Cargo.toml
+
+crates/neighbors/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-264515295f1ed3fb.d: crates/iforest/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-264515295f1ed3fb.rmeta: crates/iforest/tests/props.rs Cargo.toml
+
+crates/iforest/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

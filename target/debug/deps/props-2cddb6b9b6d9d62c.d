@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-2cddb6b9b6d9d62c.d: crates/fleetsim/tests/props.rs
+
+/root/repo/target/debug/deps/props-2cddb6b9b6d9d62c: crates/fleetsim/tests/props.rs
+
+crates/fleetsim/tests/props.rs:

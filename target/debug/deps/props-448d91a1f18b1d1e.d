@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-448d91a1f18b1d1e.d: crates/iforest/tests/props.rs
+
+/root/repo/target/debug/deps/props-448d91a1f18b1d1e: crates/iforest/tests/props.rs
+
+crates/iforest/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-54446ec9e1bdcac0.d: crates/stat/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-54446ec9e1bdcac0.rmeta: crates/stat/tests/props.rs Cargo.toml
+
+crates/stat/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

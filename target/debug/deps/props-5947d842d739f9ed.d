@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-5947d842d739f9ed.d: crates/core/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-5947d842d739f9ed.rmeta: crates/core/tests/props.rs Cargo.toml
+
+crates/core/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-62773d17befd687f.d: crates/gbdt/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-62773d17befd687f.rmeta: crates/gbdt/tests/props.rs Cargo.toml
+
+crates/gbdt/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-688f499c283affcc.d: crates/cluster/tests/props.rs
+
+/root/repo/target/debug/deps/props-688f499c283affcc: crates/cluster/tests/props.rs
+
+crates/cluster/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-698df051b0c29d2d.d: crates/cluster/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-698df051b0c29d2d.rmeta: crates/cluster/tests/props.rs Cargo.toml
+
+crates/cluster/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

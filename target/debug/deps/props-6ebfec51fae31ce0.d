@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-6ebfec51fae31ce0.d: crates/nnet/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-6ebfec51fae31ce0.rmeta: crates/nnet/tests/props.rs Cargo.toml
+
+crates/nnet/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

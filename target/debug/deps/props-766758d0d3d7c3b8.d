@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-766758d0d3d7c3b8.d: crates/nnet/tests/props.rs
+
+/root/repo/target/debug/deps/props-766758d0d3d7c3b8: crates/nnet/tests/props.rs
+
+crates/nnet/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-782c5d6775ada38b.d: crates/tsframe/tests/props.rs
+
+/root/repo/target/debug/deps/props-782c5d6775ada38b: crates/tsframe/tests/props.rs
+
+crates/tsframe/tests/props.rs:

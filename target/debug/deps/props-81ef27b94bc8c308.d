@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-81ef27b94bc8c308.d: crates/neighbors/tests/props.rs
+
+/root/repo/target/debug/deps/props-81ef27b94bc8c308: crates/neighbors/tests/props.rs
+
+crates/neighbors/tests/props.rs:

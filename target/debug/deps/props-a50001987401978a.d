@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-a50001987401978a.d: crates/gbdt/tests/props.rs
+
+/root/repo/target/debug/deps/props-a50001987401978a: crates/gbdt/tests/props.rs
+
+crates/gbdt/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-a75280d6a3800303.d: crates/dsp/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-a75280d6a3800303.rmeta: crates/dsp/tests/props.rs Cargo.toml
+
+crates/dsp/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

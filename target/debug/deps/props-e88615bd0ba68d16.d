@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-e88615bd0ba68d16.d: crates/dsp/tests/props.rs
+
+/root/repo/target/debug/deps/props-e88615bd0ba68d16: crates/dsp/tests/props.rs
+
+crates/dsp/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-fc83904a234dee9c.d: crates/core/tests/props.rs
+
+/root/repo/target/debug/deps/props-fc83904a234dee9c: crates/core/tests/props.rs
+
+crates/core/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-73d418db88d33a92.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-73d418db88d33a92.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-ef278d15bef3e170.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-ef278d15bef3e170: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-7fd460f4203fa3fd.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/reproduce_all-7fd460f4203fa3fd: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-9aad7236e6597d6c.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/reproduce_all-9aad7236e6597d6c: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

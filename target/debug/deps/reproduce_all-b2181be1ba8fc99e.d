@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-b2181be1ba8fc99e.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/reproduce_all-b2181be1ba8fc99e: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

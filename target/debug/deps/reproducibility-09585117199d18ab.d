@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproducibility-09585117199d18ab.d: tests/tests/reproducibility.rs
+
+/root/repo/target/debug/deps/reproducibility-09585117199d18ab: tests/tests/reproducibility.rs
+
+tests/tests/reproducibility.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproducibility-87cea4b0cc7e961f.d: tests/tests/reproducibility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproducibility-87cea4b0cc7e961f.rmeta: tests/tests/reproducibility.rs Cargo.toml
+
+tests/tests/reproducibility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seed_probe-f5126d57aacd8eaf.d: tests/tests/seed_probe.rs
+
+/root/repo/target/debug/deps/seed_probe-f5126d57aacd8eaf: tests/tests/seed_probe.rs
+
+tests/tests/seed_probe.rs:

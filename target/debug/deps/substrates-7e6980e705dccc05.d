@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-7e6980e705dccc05.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/substrates-7e6980e705dccc05: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

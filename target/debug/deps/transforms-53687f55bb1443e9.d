@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transforms-53687f55bb1443e9.d: crates/bench/benches/transforms.rs
+
+/root/repo/target/debug/deps/transforms-53687f55bb1443e9: crates/bench/benches/transforms.rs
+
+crates/bench/benches/transforms.rs:

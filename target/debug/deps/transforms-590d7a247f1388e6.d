@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transforms-590d7a247f1388e6.d: crates/bench/benches/transforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransforms-590d7a247f1388e6.rmeta: crates/bench/benches/transforms.rs Cargo.toml
+
+crates/bench/benches/transforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xtask-77ef6a3f4f13ac97.d: crates/xtask/src/lib.rs crates/xtask/src/lexer.rs crates/xtask/src/lints.rs crates/xtask/src/registry.rs crates/xtask/src/waivers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-77ef6a3f4f13ac97.rmeta: crates/xtask/src/lib.rs crates/xtask/src/lexer.rs crates/xtask/src/lints.rs crates/xtask/src/registry.rs crates/xtask/src/waivers.rs Cargo.toml
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/lints.rs:
+crates/xtask/src/registry.rs:
+crates/xtask/src/waivers.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xtask-9101417f1f446fef.d: crates/xtask/src/lib.rs crates/xtask/src/lexer.rs crates/xtask/src/lints.rs crates/xtask/src/registry.rs crates/xtask/src/waivers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-9101417f1f446fef.rmeta: crates/xtask/src/lib.rs crates/xtask/src/lexer.rs crates/xtask/src/lints.rs crates/xtask/src/registry.rs crates/xtask/src/waivers.rs Cargo.toml
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/lints.rs:
+crates/xtask/src/registry.rs:
+crates/xtask/src/waivers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

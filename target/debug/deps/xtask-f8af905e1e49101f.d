@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtask-f8af905e1e49101f.d: crates/xtask/src/lib.rs crates/xtask/src/lexer.rs crates/xtask/src/lints.rs crates/xtask/src/registry.rs crates/xtask/src/waivers.rs
+
+/root/repo/target/debug/deps/xtask-f8af905e1e49101f: crates/xtask/src/lib.rs crates/xtask/src/lexer.rs crates/xtask/src/lints.rs crates/xtask/src/registry.rs crates/xtask/src/waivers.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/lints.rs:
+crates/xtask/src/registry.rs:
+crates/xtask/src/waivers.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

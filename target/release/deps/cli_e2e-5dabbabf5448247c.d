@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli_e2e-5dabbabf5448247c.d: crates/cli/tests/cli_e2e.rs
+
+/root/repo/target/release/deps/cli_e2e-5dabbabf5448247c: crates/cli/tests/cli_e2e.rs
+
+crates/cli/tests/cli_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_navarchos=/root/repo/target/release/navarchos

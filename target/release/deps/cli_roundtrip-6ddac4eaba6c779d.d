@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cli_roundtrip-6ddac4eaba6c779d.d: tests/tests/cli_roundtrip.rs
+
+/root/repo/target/release/deps/cli_roundtrip-6ddac4eaba6c779d: tests/tests/cli_roundtrip.rs
+
+tests/tests/cli_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/custom_data-6aa0f412e2e84679.d: examples/custom_data.rs
+
+/root/repo/target/release/deps/custom_data-6aa0f412e2e84679: examples/custom_data.rs
+
+examples/custom_data.rs:

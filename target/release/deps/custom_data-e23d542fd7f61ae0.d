@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/custom_data-e23d542fd7f61ae0.d: examples/custom_data.rs
+
+/root/repo/target/release/deps/custom_data-e23d542fd7f61ae0: examples/custom_data.rs
+
+examples/custom_data.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detector_comparison-109f78ab52179025.d: examples/detector_comparison.rs
+
+/root/repo/target/release/deps/detector_comparison-109f78ab52179025: examples/detector_comparison.rs
+
+examples/detector_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detector_comparison-dee6a31a83f8e827.d: examples/detector_comparison.rs
+
+/root/repo/target/release/deps/detector_comparison-dee6a31a83f8e827: examples/detector_comparison.rs
+
+examples/detector_comparison.rs:

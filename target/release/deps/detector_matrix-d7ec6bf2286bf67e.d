@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detector_matrix-d7ec6bf2286bf67e.d: tests/tests/detector_matrix.rs
+
+/root/repo/target/release/deps/detector_matrix-d7ec6bf2286bf67e: tests/tests/detector_matrix.rs
+
+tests/tests/detector_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detectors-0ac8880601674b33.d: crates/bench/benches/detectors.rs
+
+/root/repo/target/release/deps/detectors-0ac8880601674b33: crates/bench/benches/detectors.rs
+
+crates/bench/benches/detectors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/drift_integration-24d4a69589263323.d: tests/tests/drift_integration.rs
+
+/root/repo/target/release/deps/drift_integration-24d4a69589263323: tests/tests/drift_integration.rs
+
+tests/tests/drift_integration.rs:

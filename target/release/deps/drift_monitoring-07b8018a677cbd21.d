@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/drift_monitoring-07b8018a677cbd21.d: examples/drift_monitoring.rs
+
+/root/repo/target/release/deps/drift_monitoring-07b8018a677cbd21: examples/drift_monitoring.rs
+
+examples/drift_monitoring.rs:

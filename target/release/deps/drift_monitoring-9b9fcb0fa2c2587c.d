@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/drift_monitoring-9b9fcb0fa2c2587c.d: examples/drift_monitoring.rs
+
+/root/repo/target/release/deps/drift_monitoring-9b9fcb0fa2c2587c: examples/drift_monitoring.rs
+
+examples/drift_monitoring.rs:

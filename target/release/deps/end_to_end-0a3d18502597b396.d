@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-0a3d18502597b396.d: tests/tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-0a3d18502597b396: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

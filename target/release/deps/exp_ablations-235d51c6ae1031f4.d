@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablations-235d51c6ae1031f4.d: crates/bench/src/bin/exp_ablations.rs
+
+/root/repo/target/release/deps/exp_ablations-235d51c6ae1031f4: crates/bench/src/bin/exp_ablations.rs
+
+crates/bench/src/bin/exp_ablations.rs:

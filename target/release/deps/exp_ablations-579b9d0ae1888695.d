@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablations-579b9d0ae1888695.d: crates/bench/src/bin/exp_ablations.rs
+
+/root/repo/target/release/deps/exp_ablations-579b9d0ae1888695: crates/bench/src/bin/exp_ablations.rs
+
+crates/bench/src/bin/exp_ablations.rs:

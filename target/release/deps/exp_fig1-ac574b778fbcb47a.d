@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig1-ac574b778fbcb47a.d: crates/bench/src/bin/exp_fig1.rs
+
+/root/repo/target/release/deps/exp_fig1-ac574b778fbcb47a: crates/bench/src/bin/exp_fig1.rs
+
+crates/bench/src/bin/exp_fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig1-c812210310727964.d: crates/bench/src/bin/exp_fig1.rs
+
+/root/repo/target/release/deps/exp_fig1-c812210310727964: crates/bench/src/bin/exp_fig1.rs
+
+crates/bench/src/bin/exp_fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig2-60d7683fe2126c62.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/release/deps/exp_fig2-60d7683fe2126c62: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig2-f04c5bc606359bf5.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/release/deps/exp_fig2-f04c5bc606359bf5: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

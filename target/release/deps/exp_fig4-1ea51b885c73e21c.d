@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig4-1ea51b885c73e21c.d: crates/bench/src/bin/exp_fig4.rs
+
+/root/repo/target/release/deps/exp_fig4-1ea51b885c73e21c: crates/bench/src/bin/exp_fig4.rs
+
+crates/bench/src/bin/exp_fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig4-78d9df77ea95a15a.d: crates/bench/src/bin/exp_fig4.rs
+
+/root/repo/target/release/deps/exp_fig4-78d9df77ea95a15a: crates/bench/src/bin/exp_fig4.rs
+
+crates/bench/src/bin/exp_fig4.rs:

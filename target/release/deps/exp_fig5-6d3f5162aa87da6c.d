@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5-6d3f5162aa87da6c.d: crates/bench/src/bin/exp_fig5.rs
+
+/root/repo/target/release/deps/exp_fig5-6d3f5162aa87da6c: crates/bench/src/bin/exp_fig5.rs
+
+crates/bench/src/bin/exp_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5-cafa7776fe9c5988.d: crates/bench/src/bin/exp_fig5.rs
+
+/root/repo/target/release/deps/exp_fig5-cafa7776fe9c5988: crates/bench/src/bin/exp_fig5.rs
+
+crates/bench/src/bin/exp_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig6-4e552afb917dba5c.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/release/deps/exp_fig6-4e552afb917dba5c: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig6-f3b62e4209721b91.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/release/deps/exp_fig6-f3b62e4209721b91: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7-09c979ad82cdca8e.d: crates/bench/src/bin/exp_fig7.rs
+
+/root/repo/target/release/deps/exp_fig7-09c979ad82cdca8e: crates/bench/src/bin/exp_fig7.rs
+
+crates/bench/src/bin/exp_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7-2cc3b62a52a6414a.d: crates/bench/src/bin/exp_fig7.rs
+
+/root/repo/target/release/deps/exp_fig7-2cc3b62a52a6414a: crates/bench/src/bin/exp_fig7.rs
+
+crates/bench/src/bin/exp_fig7.rs:

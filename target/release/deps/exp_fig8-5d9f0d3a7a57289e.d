@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8-5d9f0d3a7a57289e.d: crates/bench/src/bin/exp_fig8.rs
+
+/root/repo/target/release/deps/exp_fig8-5d9f0d3a7a57289e: crates/bench/src/bin/exp_fig8.rs
+
+crates/bench/src/bin/exp_fig8.rs:

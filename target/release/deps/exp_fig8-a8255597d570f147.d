@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8-a8255597d570f147.d: crates/bench/src/bin/exp_fig8.rs
+
+/root/repo/target/release/deps/exp_fig8-a8255597d570f147: crates/bench/src/bin/exp_fig8.rs
+
+crates/bench/src/bin/exp_fig8.rs:

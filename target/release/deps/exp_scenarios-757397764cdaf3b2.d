@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scenarios-757397764cdaf3b2.d: crates/bench/src/bin/exp_scenarios.rs
+
+/root/repo/target/release/deps/exp_scenarios-757397764cdaf3b2: crates/bench/src/bin/exp_scenarios.rs
+
+crates/bench/src/bin/exp_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scenarios-c2bff6b27b2a95c5.d: crates/bench/src/bin/exp_scenarios.rs
+
+/root/repo/target/release/deps/exp_scenarios-c2bff6b27b2a95c5: crates/bench/src/bin/exp_scenarios.rs
+
+crates/bench/src/bin/exp_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-3d6f0ea639b34c82.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-3d6f0ea639b34c82: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-aca4659ba4c5dd78.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-aca4659ba4c5dd78: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table2-24e755c7ecdacbf3.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/release/deps/exp_table2-24e755c7ecdacbf3: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table2-b7503701ebd4b5fb.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/release/deps/exp_table2-b7503701ebd4b5fb: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

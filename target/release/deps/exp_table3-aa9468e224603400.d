@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table3-aa9468e224603400.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/release/deps/exp_table3-aa9468e224603400: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table3-af69883b47b1b35d.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/release/deps/exp_table3-af69883b47b1b35d: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

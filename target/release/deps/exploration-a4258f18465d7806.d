@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exploration-a4258f18465d7806.d: tests/tests/exploration.rs
+
+/root/repo/target/release/deps/exploration-a4258f18465d7806: tests/tests/exploration.rs
+
+tests/tests/exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_exploration-5f80d70db95729c1.d: examples/fleet_exploration.rs
+
+/root/repo/target/release/deps/fleet_exploration-5f80d70db95729c1: examples/fleet_exploration.rs
+
+examples/fleet_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_exploration-b3deb7ea01be1c94.d: examples/fleet_exploration.rs
+
+/root/repo/target/release/deps/fleet_exploration-b3deb7ea01be1c94: examples/fleet_exploration.rs
+
+examples/fleet_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_monitoring-0e9febe0d63fc2ed.d: examples/fleet_monitoring.rs
+
+/root/repo/target/release/deps/fleet_monitoring-0e9febe0d63fc2ed: examples/fleet_monitoring.rs
+
+examples/fleet_monitoring.rs:

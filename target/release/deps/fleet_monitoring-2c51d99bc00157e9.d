@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_monitoring-2c51d99bc00157e9.d: examples/fleet_monitoring.rs
+
+/root/repo/target/release/deps/fleet_monitoring-2c51d99bc00157e9: examples/fleet_monitoring.rs
+
+examples/fleet_monitoring.rs:

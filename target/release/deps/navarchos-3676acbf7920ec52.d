@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/navarchos-3676acbf7920ec52.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/navarchos-3676acbf7920ec52: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

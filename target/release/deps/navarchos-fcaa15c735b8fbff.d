@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/navarchos-fcaa15c735b8fbff.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/navarchos-fcaa15c735b8fbff: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

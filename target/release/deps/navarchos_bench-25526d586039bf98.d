@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/navarchos_bench-25526d586039bf98.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/exploration.rs crates/bench/src/grid.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libnavarchos_bench-25526d586039bf98.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/exploration.rs crates/bench/src/grid.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libnavarchos_bench-25526d586039bf98.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/exploration.rs crates/bench/src/grid.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/exploration.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

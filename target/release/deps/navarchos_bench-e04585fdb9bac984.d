@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/navarchos_bench-e04585fdb9bac984.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/exploration.rs crates/bench/src/grid.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/navarchos_bench-e04585fdb9bac984: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/exploration.rs crates/bench/src/grid.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/exploration.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/navarchos_cluster-8117936f837ff339.d: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs
+
+/root/repo/target/release/deps/navarchos_cluster-8117936f837ff339: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/hierarchy.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/navarchos_cluster-c192b082c09d7518.d: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs
+
+/root/repo/target/release/deps/libnavarchos_cluster-c192b082c09d7518.rlib: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs
+
+/root/repo/target/release/deps/libnavarchos_cluster-c192b082c09d7518.rmeta: crates/cluster/src/lib.rs crates/cluster/src/hierarchy.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/hierarchy.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/navarchos_core-6e7cd5bc5d31d8c2.d: crates/core/src/lib.rs crates/core/src/aggregator.rs crates/core/src/detectors/mod.rs crates/core/src/detectors/closest_pair.rs crates/core/src/detectors/extensions.rs crates/core/src/detectors/grand.rs crates/core/src/detectors/kde.rs crates/core/src/detectors/pca.rs crates/core/src/detectors/sax_novelty.rs crates/core/src/detectors/tranad.rs crates/core/src/detectors/xgboost.rs crates/core/src/prelude.rs crates/core/src/evaluation.rs crates/core/src/fleet_grand.rs crates/core/src/pipeline.rs crates/core/src/reference.rs crates/core/src/runner.rs crates/core/src/threshold.rs
+
+/root/repo/target/release/deps/navarchos_core-6e7cd5bc5d31d8c2: crates/core/src/lib.rs crates/core/src/aggregator.rs crates/core/src/detectors/mod.rs crates/core/src/detectors/closest_pair.rs crates/core/src/detectors/extensions.rs crates/core/src/detectors/grand.rs crates/core/src/detectors/kde.rs crates/core/src/detectors/pca.rs crates/core/src/detectors/sax_novelty.rs crates/core/src/detectors/tranad.rs crates/core/src/detectors/xgboost.rs crates/core/src/prelude.rs crates/core/src/evaluation.rs crates/core/src/fleet_grand.rs crates/core/src/pipeline.rs crates/core/src/reference.rs crates/core/src/runner.rs crates/core/src/threshold.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregator.rs:
+crates/core/src/detectors/mod.rs:
+crates/core/src/detectors/closest_pair.rs:
+crates/core/src/detectors/extensions.rs:
+crates/core/src/detectors/grand.rs:
+crates/core/src/detectors/kde.rs:
+crates/core/src/detectors/pca.rs:
+crates/core/src/detectors/sax_novelty.rs:
+crates/core/src/detectors/tranad.rs:
+crates/core/src/detectors/xgboost.rs:
+crates/core/src/prelude.rs:
+crates/core/src/evaluation.rs:
+crates/core/src/fleet_grand.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/reference.rs:
+crates/core/src/runner.rs:
+crates/core/src/threshold.rs:

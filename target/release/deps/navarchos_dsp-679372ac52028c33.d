@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/navarchos_dsp-679372ac52028c33.d: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs
+
+/root/repo/target/release/deps/libnavarchos_dsp-679372ac52028c33.rlib: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs
+
+/root/repo/target/release/deps/libnavarchos_dsp-679372ac52028c33.rmeta: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/histogram.rs:
+crates/dsp/src/spectral.rs:

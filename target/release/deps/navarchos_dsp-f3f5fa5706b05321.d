@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/navarchos_dsp-f3f5fa5706b05321.d: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs
+
+/root/repo/target/release/deps/navarchos_dsp-f3f5fa5706b05321: crates/dsp/src/lib.rs crates/dsp/src/fft.rs crates/dsp/src/histogram.rs crates/dsp/src/spectral.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/histogram.rs:
+crates/dsp/src/spectral.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/navarchos_fleetsim-eaeec94c3cc9f894.d: crates/fleetsim/src/lib.rs crates/fleetsim/src/events.rs crates/fleetsim/src/faults.rs crates/fleetsim/src/fleet.rs crates/fleetsim/src/physics.rs crates/fleetsim/src/types.rs crates/fleetsim/src/usage.rs crates/fleetsim/src/vehicle.rs
+
+/root/repo/target/release/deps/navarchos_fleetsim-eaeec94c3cc9f894: crates/fleetsim/src/lib.rs crates/fleetsim/src/events.rs crates/fleetsim/src/faults.rs crates/fleetsim/src/fleet.rs crates/fleetsim/src/physics.rs crates/fleetsim/src/types.rs crates/fleetsim/src/usage.rs crates/fleetsim/src/vehicle.rs
+
+crates/fleetsim/src/lib.rs:
+crates/fleetsim/src/events.rs:
+crates/fleetsim/src/faults.rs:
+crates/fleetsim/src/fleet.rs:
+crates/fleetsim/src/physics.rs:
+crates/fleetsim/src/types.rs:
+crates/fleetsim/src/usage.rs:
+crates/fleetsim/src/vehicle.rs:

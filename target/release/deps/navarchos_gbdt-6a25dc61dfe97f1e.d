@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/navarchos_gbdt-6a25dc61dfe97f1e.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/release/deps/navarchos_gbdt-6a25dc61dfe97f1e: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/tree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/navarchos_gbdt-c6d66adaf3970bc8.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/release/deps/libnavarchos_gbdt-c6d66adaf3970bc8.rlib: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/release/deps/libnavarchos_gbdt-c6d66adaf3970bc8.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/tree.rs:

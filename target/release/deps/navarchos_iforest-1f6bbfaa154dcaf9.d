@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/navarchos_iforest-1f6bbfaa154dcaf9.d: crates/iforest/src/lib.rs
+
+/root/repo/target/release/deps/navarchos_iforest-1f6bbfaa154dcaf9: crates/iforest/src/lib.rs
+
+crates/iforest/src/lib.rs:

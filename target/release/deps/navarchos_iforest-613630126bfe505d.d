@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/navarchos_iforest-613630126bfe505d.d: crates/iforest/src/lib.rs
+
+/root/repo/target/release/deps/libnavarchos_iforest-613630126bfe505d.rlib: crates/iforest/src/lib.rs
+
+/root/repo/target/release/deps/libnavarchos_iforest-613630126bfe505d.rmeta: crates/iforest/src/lib.rs
+
+crates/iforest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/navarchos_integration-4146f440237c3163.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libnavarchos_integration-4146f440237c3163.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libnavarchos_integration-4146f440237c3163.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/navarchos_integration-9de6a39311862ecb.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/navarchos_integration-9de6a39311862ecb: tests/src/lib.rs
+
+tests/src/lib.rs:

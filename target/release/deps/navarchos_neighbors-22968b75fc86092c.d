@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/navarchos_neighbors-22968b75fc86092c.d: crates/neighbors/src/lib.rs crates/neighbors/src/distance.rs crates/neighbors/src/kdtree.rs crates/neighbors/src/knn.rs crates/neighbors/src/lof.rs crates/neighbors/src/sorted1d.rs
+
+/root/repo/target/release/deps/libnavarchos_neighbors-22968b75fc86092c.rlib: crates/neighbors/src/lib.rs crates/neighbors/src/distance.rs crates/neighbors/src/kdtree.rs crates/neighbors/src/knn.rs crates/neighbors/src/lof.rs crates/neighbors/src/sorted1d.rs
+
+/root/repo/target/release/deps/libnavarchos_neighbors-22968b75fc86092c.rmeta: crates/neighbors/src/lib.rs crates/neighbors/src/distance.rs crates/neighbors/src/kdtree.rs crates/neighbors/src/knn.rs crates/neighbors/src/lof.rs crates/neighbors/src/sorted1d.rs
+
+crates/neighbors/src/lib.rs:
+crates/neighbors/src/distance.rs:
+crates/neighbors/src/kdtree.rs:
+crates/neighbors/src/knn.rs:
+crates/neighbors/src/lof.rs:
+crates/neighbors/src/sorted1d.rs:

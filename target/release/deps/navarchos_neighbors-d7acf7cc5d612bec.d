@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/navarchos_neighbors-d7acf7cc5d612bec.d: crates/neighbors/src/lib.rs crates/neighbors/src/distance.rs crates/neighbors/src/kdtree.rs crates/neighbors/src/knn.rs crates/neighbors/src/lof.rs crates/neighbors/src/sorted1d.rs
+
+/root/repo/target/release/deps/navarchos_neighbors-d7acf7cc5d612bec: crates/neighbors/src/lib.rs crates/neighbors/src/distance.rs crates/neighbors/src/kdtree.rs crates/neighbors/src/knn.rs crates/neighbors/src/lof.rs crates/neighbors/src/sorted1d.rs
+
+crates/neighbors/src/lib.rs:
+crates/neighbors/src/distance.rs:
+crates/neighbors/src/kdtree.rs:
+crates/neighbors/src/knn.rs:
+crates/neighbors/src/lof.rs:
+crates/neighbors/src/sorted1d.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/navarchos_nnet-6de187f8bce89ae4.d: crates/nnet/src/lib.rs crates/nnet/src/attention.rs crates/nnet/src/encoder.rs crates/nnet/src/layers.rs crates/nnet/src/matrix.rs crates/nnet/src/mlp.rs crates/nnet/src/tranad.rs
+
+/root/repo/target/release/deps/libnavarchos_nnet-6de187f8bce89ae4.rlib: crates/nnet/src/lib.rs crates/nnet/src/attention.rs crates/nnet/src/encoder.rs crates/nnet/src/layers.rs crates/nnet/src/matrix.rs crates/nnet/src/mlp.rs crates/nnet/src/tranad.rs
+
+/root/repo/target/release/deps/libnavarchos_nnet-6de187f8bce89ae4.rmeta: crates/nnet/src/lib.rs crates/nnet/src/attention.rs crates/nnet/src/encoder.rs crates/nnet/src/layers.rs crates/nnet/src/matrix.rs crates/nnet/src/mlp.rs crates/nnet/src/tranad.rs
+
+crates/nnet/src/lib.rs:
+crates/nnet/src/attention.rs:
+crates/nnet/src/encoder.rs:
+crates/nnet/src/layers.rs:
+crates/nnet/src/matrix.rs:
+crates/nnet/src/mlp.rs:
+crates/nnet/src/tranad.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/navarchos_stat-611c65173dda75b4.d: crates/stat/src/lib.rs crates/stat/src/correlation.rs crates/stat/src/descriptive.rs crates/stat/src/dist.rs crates/stat/src/drift.rs crates/stat/src/martingale.rs crates/stat/src/ranking.rs crates/stat/src/special.rs
+
+/root/repo/target/release/deps/libnavarchos_stat-611c65173dda75b4.rlib: crates/stat/src/lib.rs crates/stat/src/correlation.rs crates/stat/src/descriptive.rs crates/stat/src/dist.rs crates/stat/src/drift.rs crates/stat/src/martingale.rs crates/stat/src/ranking.rs crates/stat/src/special.rs
+
+/root/repo/target/release/deps/libnavarchos_stat-611c65173dda75b4.rmeta: crates/stat/src/lib.rs crates/stat/src/correlation.rs crates/stat/src/descriptive.rs crates/stat/src/dist.rs crates/stat/src/drift.rs crates/stat/src/martingale.rs crates/stat/src/ranking.rs crates/stat/src/special.rs
+
+crates/stat/src/lib.rs:
+crates/stat/src/correlation.rs:
+crates/stat/src/descriptive.rs:
+crates/stat/src/dist.rs:
+crates/stat/src/drift.rs:
+crates/stat/src/martingale.rs:
+crates/stat/src/ranking.rs:
+crates/stat/src/special.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/navarchos_tsframe-aa3a3bbe8fe140af.d: crates/tsframe/src/lib.rs crates/tsframe/src/aggregate.rs crates/tsframe/src/csv.rs crates/tsframe/src/extended.rs crates/tsframe/src/filter.rs crates/tsframe/src/frame.rs crates/tsframe/src/resample.rs crates/tsframe/src/rolling.rs crates/tsframe/src/sax.rs crates/tsframe/src/transform.rs
+
+/root/repo/target/release/deps/navarchos_tsframe-aa3a3bbe8fe140af: crates/tsframe/src/lib.rs crates/tsframe/src/aggregate.rs crates/tsframe/src/csv.rs crates/tsframe/src/extended.rs crates/tsframe/src/filter.rs crates/tsframe/src/frame.rs crates/tsframe/src/resample.rs crates/tsframe/src/rolling.rs crates/tsframe/src/sax.rs crates/tsframe/src/transform.rs
+
+crates/tsframe/src/lib.rs:
+crates/tsframe/src/aggregate.rs:
+crates/tsframe/src/csv.rs:
+crates/tsframe/src/extended.rs:
+crates/tsframe/src/filter.rs:
+crates/tsframe/src/frame.rs:
+crates/tsframe/src/resample.rs:
+crates/tsframe/src/rolling.rs:
+crates/tsframe/src/sax.rs:
+crates/tsframe/src/transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_consistency-018dc617486f7968.d: tests/tests/pipeline_consistency.rs
+
+/root/repo/target/release/deps/pipeline_consistency-018dc617486f7968: tests/tests/pipeline_consistency.rs
+
+tests/tests/pipeline_consistency.rs:

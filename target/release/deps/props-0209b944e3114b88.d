@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-0209b944e3114b88.d: crates/dsp/tests/props.rs
+
+/root/repo/target/release/deps/props-0209b944e3114b88: crates/dsp/tests/props.rs
+
+crates/dsp/tests/props.rs:

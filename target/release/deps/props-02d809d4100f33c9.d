@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-02d809d4100f33c9.d: crates/tsframe/tests/props.rs
+
+/root/repo/target/release/deps/props-02d809d4100f33c9: crates/tsframe/tests/props.rs
+
+crates/tsframe/tests/props.rs:

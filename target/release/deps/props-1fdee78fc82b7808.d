@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-1fdee78fc82b7808.d: crates/stat/tests/props.rs
+
+/root/repo/target/release/deps/props-1fdee78fc82b7808: crates/stat/tests/props.rs
+
+crates/stat/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-23ead15b05261e8b.d: crates/cluster/tests/props.rs
+
+/root/repo/target/release/deps/props-23ead15b05261e8b: crates/cluster/tests/props.rs
+
+crates/cluster/tests/props.rs:

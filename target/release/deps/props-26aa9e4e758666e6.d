@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-26aa9e4e758666e6.d: crates/gbdt/tests/props.rs
+
+/root/repo/target/release/deps/props-26aa9e4e758666e6: crates/gbdt/tests/props.rs
+
+crates/gbdt/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-ce860669fee69787.d: crates/iforest/tests/props.rs
+
+/root/repo/target/release/deps/props-ce860669fee69787: crates/iforest/tests/props.rs
+
+crates/iforest/tests/props.rs:

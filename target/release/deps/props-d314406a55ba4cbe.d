@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-d314406a55ba4cbe.d: crates/nnet/tests/props.rs
+
+/root/repo/target/release/deps/props-d314406a55ba4cbe: crates/nnet/tests/props.rs
+
+crates/nnet/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-d4768f83e8d0a15c.d: crates/neighbors/tests/props.rs
+
+/root/repo/target/release/deps/props-d4768f83e8d0a15c: crates/neighbors/tests/props.rs
+
+crates/neighbors/tests/props.rs:

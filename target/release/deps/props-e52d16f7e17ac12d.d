@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-e52d16f7e17ac12d.d: crates/core/tests/props.rs
+
+/root/repo/target/release/deps/props-e52d16f7e17ac12d: crates/core/tests/props.rs
+
+crates/core/tests/props.rs:

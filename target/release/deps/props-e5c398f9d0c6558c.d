@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-e5c398f9d0c6558c.d: crates/fleetsim/tests/props.rs
+
+/root/repo/target/release/deps/props-e5c398f9d0c6558c: crates/fleetsim/tests/props.rs
+
+crates/fleetsim/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-398f561f6fb8c199.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-398f561f6fb8c199: examples/quickstart.rs
+
+examples/quickstart.rs:

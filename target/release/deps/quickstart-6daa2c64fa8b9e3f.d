@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-6daa2c64fa8b9e3f.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-6daa2c64fa8b9e3f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_all-06fb619a0eb286d2.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/release/deps/reproduce_all-06fb619a0eb286d2: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_all-220a511ab93b2eb1.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/release/deps/reproduce_all-220a511ab93b2eb1: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

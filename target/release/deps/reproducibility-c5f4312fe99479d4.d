@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproducibility-c5f4312fe99479d4.d: tests/tests/reproducibility.rs
+
+/root/repo/target/release/deps/reproducibility-c5f4312fe99479d4: tests/tests/reproducibility.rs
+
+tests/tests/reproducibility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seed_probe-28f9bb6ab111df22.d: tests/tests/seed_probe.rs
+
+/root/repo/target/release/deps/seed_probe-28f9bb6ab111df22: tests/tests/seed_probe.rs
+
+tests/tests/seed_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrates-fa25f038b4009c4f.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/release/deps/substrates-fa25f038b4009c4f: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transforms-550dafb2008dc114.d: crates/bench/benches/transforms.rs
+
+/root/repo/target/release/deps/transforms-550dafb2008dc114: crates/bench/benches/transforms.rs
+
+crates/bench/benches/transforms.rs:

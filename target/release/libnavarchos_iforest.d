@@ -1,0 +1,1 @@
+/root/repo/target/release/libnavarchos_iforest.rlib: /root/repo/crates/iforest/src/lib.rs /root/repo/vendor/rand/src/lib.rs

@@ -33,8 +33,7 @@ fn csv_frames_feed_the_pipeline() {
     write_csv(&vd.frame, &mut buf).expect("write");
     let frame = read_csv(buf.as_slice()).expect("read");
 
-    let params =
-        RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
+    let params = RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
     let direct = run_vehicle(&vd.frame, &[], &params);
     let via_csv = run_vehicle(&frame, &[], &params);
     assert_eq!(direct.timestamps, via_csv.timestamps);

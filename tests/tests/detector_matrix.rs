@@ -13,11 +13,7 @@ fn every_detector_scores_the_simulator() {
     cfg.n_days = 60;
     let fleet = cfg.generate();
     // A vehicle with enough data.
-    let vd = fleet
-        .vehicles
-        .iter()
-        .max_by_key(|v| v.frame.len())
-        .expect("non-empty fleet");
+    let vd = fleet.vehicles.iter().max_by_key(|v| v.frame.len()).expect("non-empty fleet");
 
     for detector in [
         DetectorKind::ClosestPair,
@@ -34,18 +30,10 @@ fn every_detector_scores_the_simulator() {
         // Keep learned detectors quick.
         params.detector_params.xgb_rounds = 10;
         let vs = run_vehicle(&vd.frame, &[], &params);
-        assert!(
-            !vs.timestamps.is_empty(),
-            "{} produced no scored samples",
-            detector.label()
-        );
+        assert!(!vs.timestamps.is_empty(), "{} produced no scored samples", detector.label());
         assert_eq!(vs.scores.len(), vs.timestamps.len() * vs.n_channels);
         let finite = vs.scores.iter().filter(|s| s.is_finite()).count();
-        assert!(
-            finite * 2 >= vs.scores.len(),
-            "{}: most scores must be finite",
-            detector.label()
-        );
+        assert!(finite * 2 >= vs.scores.len(), "{}: most scores must be finite", detector.label());
         // Alarm extraction runs for an arbitrary parameter.
         let _ = vs.alarms(4.0);
     }
@@ -56,11 +44,7 @@ fn every_transform_feeds_closest_pair() {
     let mut cfg = FleetConfig::small(9);
     cfg.n_days = 60;
     let fleet = cfg.generate();
-    let vd = fleet
-        .vehicles
-        .iter()
-        .max_by_key(|v| v.frame.len())
-        .expect("non-empty fleet");
+    let vd = fleet.vehicles.iter().max_by_key(|v| v.frame.len()).expect("non-empty fleet");
 
     for transform in [
         TransformKind::Raw,
@@ -72,11 +56,7 @@ fn every_transform_feeds_closest_pair() {
     ] {
         let params = RunnerParams::paper_default(transform, DetectorKind::ClosestPair);
         let vs = run_vehicle(&vd.frame, &[], &params);
-        assert!(
-            !vs.timestamps.is_empty(),
-            "{} produced no scored samples",
-            transform.label()
-        );
+        assert!(!vs.timestamps.is_empty(), "{} produced no scored samples", transform.label());
         assert!(vs.n_channels > 0);
     }
 }

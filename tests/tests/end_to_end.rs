@@ -1,9 +1,7 @@
 //! End-to-end integration: simulated fleet → framework → evaluation.
 
 use navarchos_core::detectors::DetectorKind;
-use navarchos_core::evaluation::{
-    evaluate_vehicle_instances, factor_grid, EvalCounts, EvalParams,
-};
+use navarchos_core::evaluation::{evaluate_vehicle_instances, factor_grid, EvalCounts, EvalParams};
 use navarchos_core::runner::{run_vehicle, RunnerParams, VehicleScores};
 use navarchos_core::TransformKind;
 use navarchos_fleetsim::{EventKind, FleetConfig, FleetData};
@@ -51,8 +49,7 @@ fn complete_solution_detects_failures_with_high_precision() {
     let fleet = demo_fleet();
     assert_eq!(fleet.recorded_repair_count(), 9);
 
-    let params =
-        RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
+    let params = RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
     let traces = score_fleet(&fleet, &params);
     let (_, counts) = best_f05(&fleet, &traces);
 

@@ -79,10 +79,7 @@ fn streaming_pipeline_matches_batch_runner() {
     // streaming pipeline uses streaming Welford statistics while the batch
     // path recomputes from stored scores, so tiny borderline differences
     // are tolerated (≤ 2 % of alarms).
-    let diff = stream_alarms
-        .iter()
-        .filter(|t| !batch_dedup.contains(t))
-        .count()
+    let diff = stream_alarms.iter().filter(|t| !batch_dedup.contains(t)).count()
         + batch_dedup.iter().filter(|t| !stream_alarms.contains(t)).count();
     let total = stream_alarms.len().max(batch_dedup.len()).max(1);
     assert!(

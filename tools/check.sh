@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, release build, tests, domain lints.
+# Offline-safe — nothing here touches the network. CI runs this same
+# script, so a clean local run means a clean pipeline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+step "cargo build --workspace --release"
+cargo build --workspace --release
+
+step "cargo test --workspace -q"
+cargo test --workspace -q
+
+step "cargo run -p xtask -- lint"
+cargo run -p xtask -- lint
+
+step "all checks passed"

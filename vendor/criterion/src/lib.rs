@@ -1,0 +1,281 @@
+//! Vendored, zero-dependency stand-in for the subset of `criterion` 0.5 this
+//! workspace uses (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `Throughput`, `BenchmarkId`,
+//! `black_box`).
+//!
+//! It performs real wall-clock measurement (warm-up, then a timed batch of
+//! iterations sized to a per-benchmark time budget) and prints a one-line
+//! summary per benchmark. No statistics, plotting, or comparison against
+//! saved baselines — the offline environment has no registry access, and the
+//! workspace only needs order-of-magnitude numbers (paper Table 1 context).
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-rate label attached to a group, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Identifier consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Measurement settings shared by a group of benchmarks.
+#[derive(Debug, Clone)]
+struct Settings {
+    /// Wall-clock budget for the timed phase of one benchmark.
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(60),
+            throughput: None,
+        }
+    }
+}
+
+fn run_benchmark(name: &str, settings: &Settings, mut routine: impl FnMut(&mut Bencher)) {
+    // Warm-up: discover the per-iteration cost.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let warm_up_start = Instant::now();
+    let mut per_iter = Duration::ZERO;
+    while warm_up_start.elapsed() < settings.warm_up_time {
+        routine(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1)) / (b.iters as u32).max(1);
+        // Grow geometrically towards iteration counts that fill the budget.
+        let target = settings.warm_up_time.as_nanos() / 4 / per_iter.as_nanos().max(1);
+        b.iters = (b.iters * 2).min((target as u64).max(1));
+    }
+
+    // Timed phase: one batch sized to the measurement budget.
+    let iters =
+        (settings.measurement_time.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000);
+    b.iters = iters as u64;
+    routine(&mut b);
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+
+    let rate = match settings.throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / (ns * 1e-9) / 1.0)
+        }
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 / (ns * 1e-9)),
+        None => String::new(),
+    };
+    println!("bench: {name:<48} {ns:>14.1} ns/iter ({} iters){rate}", b.iters);
+}
+
+/// A named set of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut (),
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work rate used for the throughput column.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.settings.throughput = Some(throughput);
+        self
+    }
+
+    /// Upstream tunes statistical sample count; the shim's single-batch
+    /// measurement has no equivalent, so this only trims the time budget so
+    /// "fast" groups and "slow, few samples" groups stay proportionate.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if n <= 10 {
+            self.settings.measurement_time = Duration::from_millis(100);
+            self.settings.warm_up_time = Duration::from_millis(20);
+        }
+        self
+    }
+
+    /// Overrides the timed-phase budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&name, &self.settings, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&name, &self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    unit: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: Settings::default(),
+            _criterion: &mut self.unit,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, &Settings::default(), f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 3), &3u64, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_renders_both_forms() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}
