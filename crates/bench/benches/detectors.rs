@@ -4,11 +4,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use navarchos_core::detectors::{
-    ClosestPairDetector, Detector, DetectorParams, GrandDetector, GrandNcm,
+    ClosestPairDetector, Detector, DetectorKind, DetectorParams, GrandDetector, GrandNcm,
     IsolationForestDetector, KdeDetector, MlpDetector, PcaDetector, SaxNoveltyDetector,
     TranAdDetector, XgboostDetector,
 };
 use navarchos_core::reference::ReferenceProfile;
+use navarchos_core::runner::{run_vehicle, RunnerParams};
+use navarchos_core::TransformKind;
+use navarchos_fleetsim::FleetConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -160,5 +163,27 @@ fn bench_score(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fit, bench_score);
+/// End-to-end scoring path of the paper's best cell (correlation ×
+/// closest-pair) over one vehicle's telemetry — the per-vehicle unit of
+/// work that Table 1's correlation column sums across the fleet.
+fn bench_scoring_path(c: &mut Criterion) {
+    let mut cfg = FleetConfig::small(1);
+    cfg.n_vehicles = 1;
+    cfg.n_recorded = 1;
+    cfg.n_failures = 0;
+    cfg.n_days = 60;
+    let fleet = cfg.generate();
+    let frame = &fleet.vehicles[0].frame;
+    let params = RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
+
+    let mut group = c.benchmark_group("scoring_path");
+    group.throughput(Throughput::Elements(frame.len() as u64));
+    group.sample_size(10);
+    group.bench_function("correlation_closest_pair_w45_s3", |b| {
+        b.iter(|| run_vehicle(frame, &[], &params).timestamps.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_score, bench_scoring_path);
 criterion_main!(benches);

@@ -120,6 +120,27 @@ fn bench_extensions(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scoped fork-join helper against the serial loop it replaces — mostly a
+/// smoke check that `par_map`'s spawn/join overhead stays proportionate
+/// (on a single-core host the two are expected to be comparable).
+fn bench_par(c: &mut Criterion) {
+    let items: Vec<Vec<f64>> = (0..64)
+        .map(|i| (0..4096).map(|j| ((i * 4096 + j) as f64 * 1e-3).sin()).collect())
+        .collect();
+    let mut group = c.benchmark_group("par_map_64x4096");
+    group.bench_function("par_map", |b| {
+        b.iter(|| {
+            navarchos_core::par_map(&items, |_, v: &Vec<f64>| v.iter().sum::<f64>())
+                .iter()
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("serial", |b| {
+        b.iter(|| items.iter().map(|v| v.iter().sum::<f64>()).sum::<f64>())
+    });
+    group.finish();
+}
+
 fn bench_fleetsim(c: &mut Criterion) {
     let model = VehicleModel::compact();
     let mut group = c.benchmark_group("simulate_ride");
@@ -153,6 +174,7 @@ criterion_group!(
     bench_cluster,
     bench_stat,
     bench_extensions,
+    bench_par,
     bench_fleetsim
 );
 criterion_main!(benches);

@@ -4,6 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use navarchos_fleetsim::{FleetConfig, PID_NAMES};
+use navarchos_stat::correlation::CorrelationPairs;
+use navarchos_stat::{IncrementalMean, IncrementalPearson};
 use navarchos_tsframe::{
     CorrelationTransform, DeltaTransform, Frame, MeanTransform, RawTransform, Transform,
 };
@@ -56,5 +58,117 @@ fn bench_transforms(c: &mut Criterion) {
     let _ = PID_NAMES;
 }
 
-criterion_group!(benches, bench_transforms);
+/// Incremental condensed-pair kernel against the per-emission batch
+/// recompute it replaced — the core of the PR-2 speedup, at the paper's
+/// window/stride.
+fn bench_correlation_kernel(c: &mut Criterion) {
+    let frame = telemetry();
+    let names = frame.names().to_vec();
+    let width = frame.width();
+    let pairs = CorrelationPairs::new(&names);
+    let n = frame.len().min(4096);
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut buf = Vec::new();
+    for i in 0..n {
+        frame.row_into(i, &mut buf);
+        rows.push(buf.clone());
+    }
+
+    let mut group = c.benchmark_group("correlation_kernel_w45_s3");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut kernel = IncrementalPearson::new(width);
+            let mut out = vec![0.0; pairs.n_pairs()];
+            let mut acc = 0.0;
+            for (i, row) in rows.iter().enumerate() {
+                if kernel.len() == 45 {
+                    kernel.pop_front();
+                }
+                kernel.push(row);
+                if kernel.len() == 45 && i % 3 == 0 {
+                    kernel.corr_into(&mut out);
+                    acc += out[0];
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("batch_recompute", |b| {
+        b.iter(|| {
+            let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(46); width];
+            let mut acc = 0.0;
+            for (i, row) in rows.iter().enumerate() {
+                for (col, &v) in cols.iter_mut().zip(row) {
+                    col.push(v);
+                    if col.len() > 45 {
+                        col.remove(0);
+                    }
+                }
+                if cols[0].len() == 45 && i % 3 == 0 {
+                    let views: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+                    acc += pairs.condensed_pearson(&views)[0];
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// Incremental windowed-mean kernel against the naive per-emission
+/// window sum, at the paper's window/stride.
+fn bench_mean_kernel(c: &mut Criterion) {
+    let frame = telemetry();
+    let width = frame.width();
+    let n = frame.len().min(4096);
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut buf = Vec::new();
+    for i in 0..n {
+        frame.row_into(i, &mut buf);
+        rows.push(buf.clone());
+    }
+
+    let mut group = c.benchmark_group("mean_kernel_w45_s3");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut kernel = IncrementalMean::new(width);
+            let mut out = vec![0.0; width];
+            let mut acc = 0.0;
+            for (i, row) in rows.iter().enumerate() {
+                if kernel.len() == 45 {
+                    kernel.pop_front();
+                }
+                kernel.push(row);
+                if kernel.len() == 45 && i % 3 == 0 {
+                    kernel.means_into(&mut out);
+                    acc += out[0];
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("batch_recompute", |b| {
+        b.iter(|| {
+            let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(46); width];
+            let mut acc = 0.0;
+            for (i, row) in rows.iter().enumerate() {
+                for (col, &v) in cols.iter_mut().zip(row) {
+                    col.push(v);
+                    if col.len() > 45 {
+                        col.remove(0);
+                    }
+                }
+                if cols[0].len() == 45 && i % 3 == 0 {
+                    acc += cols[0].iter().sum::<f64>() / 45.0;
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms, bench_correlation_kernel, bench_mean_kernel);
 criterion_main!(benches);

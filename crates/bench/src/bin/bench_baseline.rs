@@ -1,0 +1,265 @@
+//! Measures the correlation-transform scoring path before and after the
+//! incremental-kernel rewrite and emits `BENCH_PR2.json` at the repo root.
+//!
+//! "Before" is the pre-rewrite algorithm kept here verbatim: per-signal
+//! ring buffers plus a full O(window · f²) recompute (differences,
+//! means, Pearson sums) on every emission. "After" is the shipping
+//! [`CorrelationTransform`] running on the incremental condensed-pair
+//! kernels. Both stream the same paper-configuration fleet (window 45,
+//! stride 3, differencing + dynamics floors), and their outputs are
+//! cross-checked to ≤ 1e-9 before any timing is reported.
+
+use navarchos_bench::grid::{fleet_scores, Cell};
+use navarchos_core::detectors::DetectorKind;
+use navarchos_core::ResetPolicy;
+use navarchos_fleetsim::FleetConfig;
+use navarchos_stat::correlation::CorrelationPairs;
+use navarchos_tsframe::transform::navarchos_corr_floors;
+use navarchos_tsframe::{CorrelationTransform, FilterSpec, Frame, Transform, TransformKind};
+use std::time::Instant;
+
+const WINDOW: usize = 45;
+const STRIDE: usize = 3;
+/// Timing repetitions per variant (the equivalence check runs once).
+const REPS: usize = 5;
+
+/// The pre-rewrite correlation transformation, preserved as the timing
+/// baseline. Semantics are identical to [`CorrelationTransform`] with
+/// differencing and floors enabled; only the cost model differs.
+struct BatchCorrelation {
+    pairs: CorrelationPairs,
+    window: usize,
+    stride: usize,
+    max_gap: i64,
+    last_t: Option<i64>,
+    cols: Vec<Vec<f64>>,
+    times: Vec<i64>,
+    since_emit: usize,
+    full_once: bool,
+    min_std: Vec<f64>,
+}
+
+impl BatchCorrelation {
+    fn new(input_names: &[String], window: usize, stride: usize, floors: Vec<f64>) -> Self {
+        BatchCorrelation {
+            pairs: CorrelationPairs::new(input_names),
+            window,
+            stride,
+            max_gap: 6 * 3600,
+            last_t: None,
+            cols: vec![Vec::with_capacity(window + 1); input_names.len()],
+            times: Vec::with_capacity(window + 1),
+            since_emit: 0,
+            full_once: false,
+            min_std: floors,
+        }
+    }
+
+    fn reset(&mut self) {
+        for c in &mut self.cols {
+            c.clear();
+        }
+        self.times.clear();
+        self.since_emit = 0;
+        self.full_once = false;
+        self.last_t = None;
+    }
+
+    fn push(&mut self, t: i64, row: &[f64]) -> Option<Vec<f64>> {
+        if let Some(last) = self.last_t {
+            if t - last > self.max_gap {
+                self.reset();
+            }
+        }
+        self.last_t = Some(t);
+        self.times.push(t);
+        if self.times.len() > self.window {
+            self.times.remove(0);
+        }
+        for (c, &v) in self.cols.iter_mut().zip(row) {
+            c.push(v);
+            if c.len() > self.window {
+                c.remove(0);
+            }
+        }
+        if self.cols[0].len() < self.window {
+            return None;
+        }
+        let emit = if !self.full_once {
+            self.full_once = true;
+            self.since_emit = 0;
+            true
+        } else {
+            self.since_emit += 1;
+            if self.since_emit >= self.stride {
+                self.since_emit = 0;
+                true
+            } else {
+                false
+            }
+        };
+        if !emit {
+            return None;
+        }
+        // Full recompute over the window: differences, then every pair's
+        // Pearson correlation from scratch.
+        let times = &self.times;
+        let diff_storage: Vec<Vec<f64>> = self
+            .cols
+            .iter()
+            .map(|col| {
+                let mut d = Vec::with_capacity(col.len().saturating_sub(1));
+                for i in 1..col.len() {
+                    if times[i] - times[i - 1] <= 120 {
+                        d.push(col[i] - col[i - 1]);
+                    }
+                }
+                d
+            })
+            .collect();
+        if diff_storage[0].len() < (self.window / 2).max(4) {
+            return None;
+        }
+        let views: Vec<&[f64]> = diff_storage.iter().map(|c| c.as_slice()).collect();
+        let mut out = self.pairs.condensed_pearson(&views);
+        let weights: Vec<f64> = views
+            .iter()
+            .zip(&self.min_std)
+            .map(|(col, &scale)| {
+                let var = navarchos_stat::descriptive::sample_var(col);
+                if var.is_finite() {
+                    var / (var + scale * scale)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        for (k, v) in out.iter_mut().enumerate() {
+            let (i, j) = self.pairs.pair_indices(k);
+            *v *= weights[i] * weights[j];
+        }
+        Some(out)
+    }
+}
+
+/// Filtered `(timestamp, row)` stream of one vehicle, as the runner sees it.
+fn filtered_stream(frame: &Frame, names: &[String], filter: &FilterSpec) -> Vec<(i64, Vec<f64>)> {
+    let mut buf = Vec::with_capacity(frame.width());
+    let mut out = Vec::with_capacity(frame.len());
+    for i in 0..frame.len() {
+        frame.row_into(i, &mut buf);
+        if filter.keep_row(names, &buf) {
+            out.push((frame.timestamps()[i], buf.clone()));
+        }
+    }
+    out
+}
+
+fn main() {
+    eprintln!("[bench_baseline] generating the paper fleet...");
+    let fleet = FleetConfig::navarchos().generate();
+    let filter = FilterSpec::navarchos_default();
+    let floors = navarchos_corr_floors();
+
+    let streams: Vec<(Vec<String>, Vec<(i64, Vec<f64>)>)> = fleet
+        .vehicles
+        .iter()
+        .map(|vd| {
+            let names = vd.frame.names().to_vec();
+            let stream = filtered_stream(&vd.frame, &names, &filter);
+            (names, stream)
+        })
+        .collect();
+    let records: usize = streams.iter().map(|(_, s)| s.len()).sum();
+
+    // Equivalence pass: the incremental transform must reproduce the batch
+    // recompute to 1e-9 on every emission of every vehicle.
+    let mut emissions = 0usize;
+    let mut max_diff = 0.0f64;
+    for (names, stream) in &streams {
+        let mut batch = BatchCorrelation::new(names, WINDOW, STRIDE, floors.clone());
+        let mut incr = CorrelationTransform::new(names, WINDOW, STRIDE)
+            .with_differencing()
+            .with_min_std(floors.clone());
+        let mut out = vec![0.0; incr.output_dim()];
+        for &(t, ref row) in stream {
+            let a = batch.push(t, row);
+            let b = incr.push_into(t, row, &mut out);
+            assert_eq!(a.is_some(), b.is_some(), "emission cadence diverged at t={t}");
+            if let Some(av) = a {
+                emissions += 1;
+                for (p, q) in av.iter().zip(&out) {
+                    let d = (p - q).abs();
+                    assert!(d <= 1e-9, "output diverged at t={t}: {p} vs {q}");
+                    max_diff = max_diff.max(d);
+                }
+            }
+        }
+    }
+    eprintln!(
+        "[bench_baseline] equivalence: {emissions} emissions over {records} records, \
+         max |Δ| = {max_diff:.3e}"
+    );
+
+    // Timing passes: identical streams, checksummed so nothing folds away.
+    let mut checksum = 0.0f64;
+    let started = Instant::now();
+    for _ in 0..REPS {
+        for (names, stream) in &streams {
+            let mut batch = BatchCorrelation::new(names, WINDOW, STRIDE, floors.clone());
+            for &(t, ref row) in stream {
+                if let Some(v) = batch.push(t, row) {
+                    checksum += v[0];
+                }
+            }
+        }
+    }
+    let batch_seconds = started.elapsed().as_secs_f64() / REPS as f64;
+
+    let started = Instant::now();
+    for _ in 0..REPS {
+        for (names, stream) in &streams {
+            let mut incr = CorrelationTransform::new(names, WINDOW, STRIDE)
+                .with_differencing()
+                .with_min_std(floors.clone());
+            let mut out = vec![0.0; incr.output_dim()];
+            for &(t, ref row) in stream {
+                if incr.push_into(t, row, &mut out).is_some() {
+                    checksum -= out[0];
+                }
+            }
+        }
+    }
+    let incremental_seconds = started.elapsed().as_secs_f64() / REPS as f64;
+    let speedup = batch_seconds / incremental_seconds;
+    eprintln!(
+        "[bench_baseline] transform: batch {batch_seconds:.3}s, incremental \
+         {incremental_seconds:.3}s ({speedup:.1}x, residual {checksum:.3e})"
+    );
+
+    // End-to-end fleet scoring at the paper's best cell (correlation ×
+    // closest-pair), on the shipping incremental path.
+    let outcome = fleet_scores(
+        &fleet,
+        Cell { transform: TransformKind::Correlation, detector: DetectorKind::ClosestPair },
+        ResetPolicy::OnServiceOrRepair,
+    );
+    eprintln!(
+        "[bench_baseline] fleet scoring: {:.3}s (single-thread CPU sum)",
+        outcome.scoring_seconds
+    );
+
+    let json = format!(
+        "{{\n  \"window\": {WINDOW},\n  \"stride\": {STRIDE},\n  \"records\": {records},\n  \
+         \"emissions\": {emissions},\n  \"reps\": {REPS},\n  \"max_abs_output_diff\": {max_diff:e},\n  \
+         \"batch_transform_seconds\": {batch_seconds:.6},\n  \
+         \"incremental_transform_seconds\": {incremental_seconds:.6},\n  \
+         \"transform_speedup\": {speedup:.3},\n  \
+         \"fleet_scoring_seconds_closest_pair\": {:.6}\n}}\n",
+        outcome.scoring_seconds
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
+    std::fs::write(path, &json).expect("write BENCH_PR2.json");
+    println!("{json}");
+    println!("[written to {path}]");
+}

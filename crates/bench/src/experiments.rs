@@ -800,37 +800,34 @@ pub fn fleet_grand_ablation(fleet: &FleetData) -> String {
     use navarchos_core::{fleet_grand_scores, FleetGrandParams, VehicleSeries};
     use navarchos_tsframe::{CorrelationTransform, FilterSpec, Transform};
 
-    // Build per-vehicle daily feature series.
+    // Build per-vehicle daily feature series (one parallel task each —
+    // transform + daily medians dominate this experiment's wall-clock).
     let filter = FilterSpec::navarchos_default();
-    let series: Vec<VehicleSeries> = fleet
-        .vehicles
-        .iter()
-        .map(|vd| {
-            let filtered = filter.apply(&vd.frame);
-            let mut tr = CorrelationTransform::new(filtered.names(), 45, 3).with_differencing();
-            let feats = tr.apply(&filtered);
-            // Daily medians.
-            let dim = feats.width();
-            let mut timestamps = Vec::new();
-            let mut features = Vec::new();
-            let mut i = 0;
-            while i < feats.len() {
-                let day = feats.timestamps()[i].div_euclid(86_400);
-                let mut j = i;
-                while j < feats.len() && feats.timestamps()[j].div_euclid(86_400) == day {
-                    j += 1;
-                }
-                timestamps.push(day * 86_400);
-                for c in 0..dim {
-                    let mut col: Vec<f64> = (i..j).map(|r| feats.column(c)[r]).collect();
-                    col.sort_by(|a, b| a.total_cmp(b));
-                    features.push(navarchos_stat::descriptive::quantile_sorted(&col, 0.5));
-                }
-                i = j;
+    let series: Vec<VehicleSeries> = navarchos_core::par_map(&fleet.vehicles, |_, vd| {
+        let filtered = filter.apply(&vd.frame);
+        let mut tr = CorrelationTransform::new(filtered.names(), 45, 3).with_differencing();
+        let feats = tr.apply(&filtered);
+        // Daily medians.
+        let dim = feats.width();
+        let mut timestamps = Vec::new();
+        let mut features = Vec::new();
+        let mut i = 0;
+        while i < feats.len() {
+            let day = feats.timestamps()[i].div_euclid(86_400);
+            let mut j = i;
+            while j < feats.len() && feats.timestamps()[j].div_euclid(86_400) == day {
+                j += 1;
             }
-            VehicleSeries { timestamps, features, dim }
-        })
-        .collect();
+            timestamps.push(day * 86_400);
+            for c in 0..dim {
+                let mut col: Vec<f64> = (i..j).map(|r| feats.column(c)[r]).collect();
+                col.sort_by(|a, b| a.total_cmp(b));
+                features.push(navarchos_stat::descriptive::quantile_sorted(&col, 0.5));
+            }
+            i = j;
+        }
+        VehicleSeries { timestamps, features, dim }
+    });
 
     let scores = fleet_grand_scores(&series, &FleetGrandParams::default());
 

@@ -61,33 +61,17 @@ pub fn fleet_scores(fleet: &FleetData, cell: Cell, policy: ResetPolicy) -> GridO
 pub fn fleet_scores_with(fleet: &FleetData, params: RunnerParams) -> GridOutcome {
     let cell = Cell { transform: params.transform, detector: params.detector };
 
-    let n = fleet.vehicles.len();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
-
-    // Round-robin vehicle partition; each worker returns (vehicle, trace,
-    // seconds) triples that are reassembled in fleet order.
-    let mut results: Vec<(usize, VehicleScores, f64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let params = &params;
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    for v in (t..n).step_by(threads) {
-                        let started = Instant::now();
-                        let maint = maintenance_of(fleet, v);
-                        let trace = run_vehicle(&fleet.vehicles[v].frame, &maint, params);
-                        out.push((v, trace, started.elapsed().as_secs_f64()));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("scoring worker panicked")).collect()
+    // One task per vehicle, fanned out over scoped threads; results come
+    // back in fleet order with their per-vehicle CPU seconds.
+    let results: Vec<(VehicleScores, f64)> = navarchos_core::par_map(&fleet.vehicles, |v, vd| {
+        let started = Instant::now();
+        let maint = maintenance_of(fleet, v);
+        let trace = run_vehicle(&vd.frame, &maint, &params);
+        (trace, started.elapsed().as_secs_f64())
     });
-    results.sort_by_key(|&(v, _, _)| v);
 
-    let scoring_seconds = results.iter().map(|&(_, _, s)| s).sum();
-    GridOutcome { cell, scores: results.into_iter().map(|(_, t, _)| t).collect(), scoring_seconds }
+    let scoring_seconds = results.iter().map(|&(_, s)| s).sum();
+    GridOutcome { cell, scores: results.into_iter().map(|(t, _)| t).collect(), scoring_seconds }
 }
 
 impl GridOutcome {

@@ -68,8 +68,9 @@ pub fn fleet_grand_scores(series: &[VehicleSeries], params: &FleetGrandParams) -
     let dim = series.iter().find(|s| !s.is_empty()).map(|s| s.dim).unwrap_or(0);
     assert!(series.iter().all(|s| s.is_empty() || s.dim == dim), "mixed feature dims");
 
-    let mut out = Vec::with_capacity(series.len());
-    for (v, own) in series.iter().enumerate() {
+    // Each vehicle carries its own martingale and only reads its peers'
+    // series, so the fleet fans out over scoped threads.
+    crate::par::par_map(series, |v, own| {
         let mut martingale = PowerMartingale::default().with_window(params.martingale_window);
         let mut scores = Vec::with_capacity(own.len());
         for i in 0..own.len() {
@@ -103,9 +104,8 @@ pub fn fleet_grand_scores(series: &[VehicleSeries], params: &FleetGrandParams) -
             let p = conformal_pvalue(&calibration, s_own, 0.5);
             scores.push(martingale.update(p));
         }
-        out.push(scores);
-    }
-    out
+        scores
+    })
 }
 
 #[cfg(test)]

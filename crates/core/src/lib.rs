@@ -16,12 +16,14 @@
 //! [`threshold`] implements the self-tuning threshold (mean + factor·std
 //! on held-out healthy scores), [`pipeline`] the streaming loop of the
 //! paper's Algorithm 1, [`runner`] the batch scorer used by experiments,
-//! and [`evaluation`] the PH-based precision/recall/F-score protocol.
+//! [`evaluation`] the PH-based precision/recall/F-score protocol, and
+//! [`par`] the scoped fork-join helper behind every fleet-parallel loop.
 
 pub mod aggregator;
 pub mod detectors;
 pub mod evaluation;
 pub mod fleet_grand;
+pub mod par;
 pub mod pipeline;
 pub mod prelude;
 pub mod reference;
@@ -32,6 +34,7 @@ pub use aggregator::{AlarmAggregator, AlarmInstance};
 pub use detectors::{Detector, DetectorKind};
 pub use evaluation::{evaluate, sweep_best, EvalCounts, EvalParams};
 pub use fleet_grand::{fleet_grand_scores, FleetGrandParams, VehicleSeries};
+pub use par::par_map;
 pub use pipeline::{Alarm, PipelineConfig, StreamingPipeline};
 pub use reference::ResetPolicy;
 pub use runner::{run_vehicle, RunnerParams, VehicleScores};

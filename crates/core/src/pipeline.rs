@@ -109,6 +109,8 @@ pub struct StreamingPipeline {
     threshold: SelfTuningThreshold,
     channel_names: Vec<String>,
     phase: Phase,
+    /// Reused output buffer for the transform's allocation-free fast path.
+    feat: Vec<f64>,
 }
 
 impl StreamingPipeline {
@@ -136,6 +138,7 @@ impl StreamingPipeline {
             input_names,
             channel_names,
             phase: Phase::FillingReference,
+            feat: vec![0.0; dim],
         }
     }
 
@@ -165,19 +168,19 @@ impl StreamingPipeline {
         if !self.cfg.filter.keep_row(&self.input_names, row) {
             return Vec::new();
         }
-        let Some((t, x)) = self.transform.push(timestamp, row) else {
+        let Some(t) = self.transform.push_into(timestamp, row, &mut self.feat) else {
             return Vec::new();
         };
         match self.phase {
             Phase::FillingReference => {
-                if self.profile.push(&x) {
+                if self.profile.push(&self.feat) {
                     self.detector.fit(&self.profile);
                     self.phase = Phase::Holdout(0);
                 }
                 Vec::new()
             }
             Phase::Holdout(seen) => {
-                let scores = self.detector.score(&x);
+                let scores = self.detector.score(&self.feat);
                 self.threshold.observe(&scores);
                 let seen = seen + 1;
                 if seen >= self.cfg.holdout {
@@ -189,7 +192,7 @@ impl StreamingPipeline {
                 Vec::new()
             }
             Phase::Detecting => {
-                let scores = self.detector.score(&x);
+                let scores = self.detector.score(&self.feat);
                 let violations: Vec<usize> = if self.detector.uses_constant_threshold() {
                     scores
                         .iter()

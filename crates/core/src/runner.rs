@@ -265,6 +265,8 @@ pub fn run_vehicle(
 
     let mut reset_iter = maintenance.iter().peekable();
     let mut row_buf = Vec::with_capacity(frame.width());
+    // Reused output buffer for the transform's allocation-free fast path.
+    let mut feat = vec![0.0; dim];
 
     let close_segment = |open: &mut Option<(usize, Option<usize>)>,
                          segments: &mut Vec<Segment>,
@@ -335,12 +337,12 @@ pub fn run_vehicle(
         if !params.filter.keep_row(&input_names, &row_buf) {
             continue;
         }
-        let Some((ts, x)) = transform.push(t, &row_buf) else {
+        let Some(ts) = transform.push_into(t, &row_buf, &mut feat) else {
             continue;
         };
 
         if !fitted {
-            if profile.push(&x) {
+            if profile.push(&feat) {
                 detector.fit(&profile);
                 pending_context = SegmentContext { std_floors: spread_floors(&profile) };
                 fitted = true;
@@ -350,7 +352,7 @@ pub fn run_vehicle(
         }
 
         // Score the sample and record it.
-        let s = detector.score(&x);
+        let s = detector.score(&feat);
         timestamps.push(ts);
         scores.extend_from_slice(&s);
         if let Some((start, detect_from @ None)) = &mut open {

@@ -319,3 +319,17 @@ mod detector_props {
         }
     }
 }
+
+proptest! {
+    #[test]
+    fn par_map_equals_serial_map(
+        items in prop::collection::vec(prop::collection::vec(-1e3f64..1e3, 0..32), 0..48),
+    ) {
+        // The scoped fork-join helper must be a drop-in for the serial
+        // loop: same results, original order, every index visited once.
+        let par = navarchos_core::par_map(&items, |i, v: &Vec<f64>| (i, v.iter().sum::<f64>()));
+        let serial: Vec<(usize, f64)> =
+            items.iter().enumerate().map(|(i, v)| (i, v.iter().sum::<f64>())).collect();
+        prop_assert_eq!(par, serial);
+    }
+}

@@ -7,6 +7,9 @@
 //!   (Welford) accumulators used by thresholding and aggregation.
 //! * [`correlation`] — Pearson / Spearman correlation and condensed pairwise
 //!   correlation vectors (the paper's *correlation transformation*).
+//! * [`incremental`] — incremental sliding-window kernels (condensed-pair
+//!   Pearson, windowed mean) with O(f²)/O(f) push-evict, behind the
+//!   streaming transformations' hot path.
 //! * [`special`] — log-gamma, error function and regularised incomplete gamma
 //!   used by the distributions.
 //! * [`dist`] — normal and chi-squared distributions for hypothesis tests.
@@ -24,6 +27,7 @@ pub mod correlation;
 pub mod descriptive;
 pub mod dist;
 pub mod drift;
+pub mod incremental;
 pub mod martingale;
 pub mod ranking;
 pub mod special;
@@ -32,6 +36,7 @@ pub use correlation::{pearson, spearman, CorrelationPairs};
 pub use descriptive::{mean, median, quantile, sample_std, sample_var, RunningStats};
 pub use dist::{chi_squared_sf, normal_cdf, normal_quantile, normal_sf};
 pub use drift::{Cusum, EwmaChart, PageHinkley, ShiftDirection, TwoSidedCusum};
+pub use incremental::{IncrementalMean, IncrementalPearson};
 pub use martingale::{conformal_pvalue, PowerMartingale};
 pub use ranking::{
     average_ranks, friedman_test, holm_correction, wilcoxon_signed_rank, RankAnalysis,

@@ -1,11 +1,12 @@
 //! Property-based tests for the statistical foundation.
 
 use navarchos_stat::correlation::{pearson, CorrelationPairs};
-use navarchos_stat::descriptive::{mean, quantile, sample_std, RunningStats};
+use navarchos_stat::descriptive::{mean, quantile, sample_std, sample_var, RunningStats};
 use navarchos_stat::dist::{chi_squared_cdf, normal_cdf, normal_quantile};
 use navarchos_stat::drift::{Cusum, EwmaChart, PageHinkley};
 use navarchos_stat::martingale::{conformal_pvalue, PowerMartingale};
 use navarchos_stat::ranking::{average_ranks, holm_correction, wilcoxon_signed_rank};
+use navarchos_stat::{IncrementalMean, IncrementalPearson};
 use proptest::prelude::*;
 
 fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
@@ -143,6 +144,144 @@ proptest! {
             }
         }
         prop_assert!(seen.iter().all(|&b| b));
+    }
+}
+
+/// Random multi-signal stream: `width` signals, rows in ±1e3, with signal 0
+/// optionally pinned to a constant from `const_from` onward (exercising the
+/// degenerate-signal contract once the sliding window fills with it).
+fn row_stream() -> impl Strategy<Value = (Vec<Vec<f64>>, usize, usize)> {
+    (2usize..5).prop_flat_map(|width| {
+        (
+            prop::collection::vec(prop::collection::vec(-1e3f64..1e3, width), 8..80),
+            2usize..16,
+            // `const_from ≥ rows.len()` (common, since rows are 8..80) means
+            // no pinning — the strategy mixes varying and degenerate cases.
+            0usize..120,
+        )
+            .prop_map(move |(mut rows, window, const_from)| {
+                let pin = rows.first().map_or(0.0, |r| r[0]);
+                for row in rows.iter_mut().skip(const_from.max(1)) {
+                    row[0] = pin;
+                }
+                (rows, width, window)
+            })
+    })
+}
+
+/// Column-major view of the last `window` rows ending at `end` (exclusive).
+fn columns_of(rows: &[Vec<f64>], end: usize, window: usize) -> Vec<Vec<f64>> {
+    let lo = end.saturating_sub(window);
+    let width = rows[0].len();
+    (0..width).map(|c| rows[lo..end].iter().map(|r| r[c]).collect()).collect()
+}
+
+proptest! {
+    #[test]
+    fn incremental_pearson_matches_batch_on_every_slide(
+        (rows, width, window) in row_stream(),
+    ) {
+        let names: Vec<String> = (0..width).map(|i| format!("s{i}")).collect();
+        let pairs = CorrelationPairs::new(&names);
+        let mut acc = IncrementalPearson::new(width);
+        let mut out = vec![0.0; pairs.n_pairs()];
+        for (i, row) in rows.iter().enumerate() {
+            if acc.len() == window {
+                acc.pop_front();
+            }
+            acc.push(row);
+            acc.corr_into(&mut out);
+            let cols = columns_of(&rows, i + 1, window);
+            let views: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+            let reference = pairs.condensed_pearson(&views);
+            for (k, (&got, &want)) in out.iter().zip(&reference).enumerate() {
+                if want.is_nan() {
+                    prop_assert!(got.is_nan(), "pair {k} at {i}: {got} vs NaN");
+                } else {
+                    prop_assert!((got - want).abs() <= 1e-9, "pair {k} at {i}: {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_pearson_reset_equals_fresh(
+        (rows, width, window) in row_stream(),
+        cut in 1usize..79,
+    ) {
+        // Streaming with a mid-stream reset must agree with a kernel that
+        // only ever saw the post-reset suffix — the transform relies on
+        // this for its long-gap resets.
+        let cut = cut.min(rows.len() - 1);
+        let mut resumed = IncrementalPearson::new(width);
+        for row in &rows[..cut] {
+            if resumed.len() == window {
+                resumed.pop_front();
+            }
+            resumed.push(row);
+        }
+        resumed.reset();
+        let mut fresh = IncrementalPearson::new(width);
+        let mut a = vec![0.0; resumed.n_pairs()];
+        let mut b = vec![0.0; fresh.n_pairs()];
+        for row in &rows[cut..] {
+            if resumed.len() == window {
+                resumed.pop_front();
+            }
+            resumed.push(row);
+            if fresh.len() == window {
+                fresh.pop_front();
+            }
+            fresh.push(row);
+            resumed.corr_into(&mut a);
+            fresh.corr_into(&mut b);
+            for (&x, &y) in a.iter().zip(&b) {
+                prop_assert!(x.is_nan() && y.is_nan() || (x - y).abs() <= 1e-12, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_sample_vars_match_descriptive(
+        (rows, _width, window) in row_stream(),
+    ) {
+        let width = rows[0].len();
+        let mut acc = IncrementalPearson::new(width);
+        for (i, row) in rows.iter().enumerate() {
+            if acc.len() == window {
+                acc.pop_front();
+            }
+            acc.push(row);
+            if acc.len() < 2 {
+                continue;
+            }
+            let cols = columns_of(&rows, i + 1, window);
+            for (c, got) in acc.sample_vars().enumerate() {
+                let want = sample_var(&cols[c]);
+                let tol = 1e-9 * (1.0 + want.abs());
+                prop_assert!((got - want).abs() <= tol, "signal {c} at {i}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_mean_matches_batch_on_every_slide(
+        (rows, width, window) in row_stream(),
+    ) {
+        let mut acc = IncrementalMean::new(width);
+        let mut out = vec![0.0; width];
+        for (i, row) in rows.iter().enumerate() {
+            if acc.len() == window {
+                acc.pop_front();
+            }
+            acc.push(row);
+            acc.means_into(&mut out);
+            let cols = columns_of(&rows, i + 1, window);
+            for (c, (&got, col)) in out.iter().zip(&cols).enumerate() {
+                let want = mean(col);
+                prop_assert!((got - want).abs() <= 1e-9, "signal {c} at {i}: {got} vs {want}");
+            }
+        }
     }
 }
 

@@ -3,15 +3,26 @@
 //! Algorithm 1's `collect` / `ready` / `transform` protocol: raw samples go
 //! in one at a time, transformed feature vectors come out whenever the
 //! transformation's internal buffer allows.
+//!
+//! The windowed transformations (mean, correlation) run on the incremental
+//! sliding-window kernels from [`navarchos_stat::incremental`]: instead of
+//! recomputing O(window · f²) sums on every emission, each record updates
+//! condensed-pair accumulators in O(f²) on push and evict, which is what
+//! makes the paper-scale grid (window 45, stride 3, six signals, hundreds
+//! of thousands of records per vehicle) cheap to score.
 
 use crate::frame::Frame;
 use navarchos_stat::correlation::CorrelationPairs;
+use navarchos_stat::{IncrementalMean, IncrementalPearson};
+use std::collections::VecDeque;
 
 /// A streaming data transformation.
 ///
 /// `push` feeds one raw record and returns the transformed sample it
 /// completes, if any (windowed transformations emit every `stride` records
-/// once their buffer is full).
+/// once their buffer is full). `push_into` is the allocation-free variant
+/// used by the scoring hot loops; the two defaults are defined in terms of
+/// each other, so an implementor must override at least one.
 /// `Debug` is a supertrait so boxed transforms stay inspectable inside the
 /// pipeline/runner structs (workspace lint: `missing_debug_implementations`).
 pub trait Transform: std::fmt::Debug {
@@ -23,7 +34,21 @@ pub trait Transform: std::fmt::Debug {
 
     /// Feeds one raw record; returns a transformed `(timestamp, features)`
     /// sample when one is completed.
-    fn push(&mut self, timestamp: i64, row: &[f64]) -> Option<(i64, Vec<f64>)>;
+    fn push(&mut self, timestamp: i64, row: &[f64]) -> Option<(i64, Vec<f64>)> {
+        let mut out = vec![0.0; self.output_dim()];
+        let t = self.push_into(timestamp, row, &mut out)?;
+        Some((t, out))
+    }
+
+    /// Allocation-free variant of [`Transform::push`]: writes the completed
+    /// sample into `out` (which must have length [`Transform::output_dim`])
+    /// and returns its timestamp. When no sample is completed, `out` is
+    /// left in an unspecified state.
+    fn push_into(&mut self, timestamp: i64, row: &[f64], out: &mut [f64]) -> Option<i64> {
+        let (t, x) = self.push(timestamp, row)?;
+        out.copy_from_slice(&x);
+        Some(t)
+    }
 
     /// Clears all buffered state (used when the reference profile resets).
     fn reset(&mut self);
@@ -38,10 +63,11 @@ pub trait Transform: std::fmt::Debug {
         let names = self.output_names();
         let mut out = Frame::new(&names);
         let mut buf = Vec::with_capacity(frame.width());
+        let mut feat = vec![0.0; self.output_dim()];
         for i in 0..frame.len() {
             frame.row_into(i, &mut buf);
-            if let Some((t, x)) = self.push(frame.timestamps()[i], &buf) {
-                out.push_row(t, &x);
+            if let Some(t) = self.push_into(frame.timestamps()[i], &buf, &mut feat) {
+                out.push_row(t, &feat);
             }
         }
         self.reset();
@@ -160,9 +186,10 @@ impl Transform for RawTransform {
         self.names.clone()
     }
 
-    fn push(&mut self, timestamp: i64, row: &[f64]) -> Option<(i64, Vec<f64>)> {
+    fn push_into(&mut self, timestamp: i64, row: &[f64], out: &mut [f64]) -> Option<i64> {
         debug_assert_eq!(row.len(), self.names.len());
-        Some((timestamp, row.to_vec()))
+        out.copy_from_slice(row);
+        Some(timestamp)
     }
 
     fn reset(&mut self) {}
@@ -174,7 +201,8 @@ impl Transform for RawTransform {
 #[derive(Debug, Clone)]
 pub struct DeltaTransform {
     names: Vec<String>,
-    prev: Option<(i64, Vec<f64>)>,
+    prev_t: Option<i64>,
+    prev: Vec<f64>,
     /// Records further apart than this (seconds) are not differenced —
     /// a delta across a parked gap is not a derivative.
     max_gap: i64,
@@ -183,7 +211,12 @@ pub struct DeltaTransform {
 impl DeltaTransform {
     /// Creates the transformation for the given input schema.
     pub fn new(input_names: &[String]) -> Self {
-        DeltaTransform { names: input_names.to_vec(), prev: None, max_gap: 30 * 60 }
+        DeltaTransform {
+            names: input_names.to_vec(),
+            prev_t: None,
+            prev: Vec::with_capacity(input_names.len()),
+            max_gap: 30 * 60,
+        }
     }
 }
 
@@ -196,89 +229,94 @@ impl Transform for DeltaTransform {
         self.names.iter().map(|n| format!("d_{n}")).collect()
     }
 
-    fn push(&mut self, timestamp: i64, row: &[f64]) -> Option<(i64, Vec<f64>)> {
+    fn push_into(&mut self, timestamp: i64, row: &[f64], out: &mut [f64]) -> Option<i64> {
         debug_assert_eq!(row.len(), self.names.len());
-        let out = match &self.prev {
-            Some((pt, p)) if timestamp - pt <= self.max_gap => {
-                Some((timestamp, row.iter().zip(p).map(|(&a, &b)| a - b).collect()))
+        let emit = match self.prev_t {
+            Some(pt) if timestamp - pt <= self.max_gap => {
+                for ((o, &a), &b) in out.iter_mut().zip(row).zip(&self.prev) {
+                    *o = a - b;
+                }
+                true
             }
-            _ => None,
+            _ => false,
         };
-        self.prev = Some((timestamp, row.to_vec()));
-        out
+        self.prev_t = Some(timestamp);
+        self.prev.clear();
+        self.prev.extend_from_slice(row);
+        emit.then_some(timestamp)
     }
 
     fn reset(&mut self) {
-        self.prev = None;
+        self.prev_t = None;
+        self.prev.clear();
     }
 }
 
-/// Ring buffer shared by the windowed transformations: keeps the last
-/// `window` records per signal.
+/// Emission cadence shared by the windowed transformations: tracks how
+/// many records are buffered, when the window first fills, and the stride
+/// between emissions. Holds no sample storage — the incremental kernels
+/// own the window contents.
 #[derive(Debug, Clone)]
-struct WindowBuffer {
+struct WindowCadence {
     window: usize,
     stride: usize,
     /// Maximum gap between consecutive records (seconds); a larger gap
-    /// (the vehicle was parked) clears the buffer so windows never span
-    /// ride boundaries, where cross-signal co-movement is meaningless.
+    /// (the vehicle was parked) clears the window so it never spans ride
+    /// boundaries, where cross-signal co-movement is meaningless.
     max_gap: i64,
     last_t: Option<i64>,
-    /// Per-signal ring storage, logically ordered; physically a rolling
-    /// Vec with drain — windows are small (≤ a few hundred), so the drain
-    /// cost is negligible against the per-window math.
-    cols: Vec<Vec<f64>>,
-    /// Timestamps parallel to the ring storage.
-    times: Vec<i64>,
+    /// Records currently buffered (saturates at `window`).
+    len: usize,
     since_emit: usize,
     full_once: bool,
 }
 
-impl WindowBuffer {
+impl WindowCadence {
     /// Default operational-gap limit: windows may span parking gaps within
     /// a day (mixing ride regimes inside one window covers the vehicle's
     /// full dynamic range and *stabilises* the correlation estimates), but
     /// an overnight gap starts a fresh window.
     const DEFAULT_MAX_GAP: i64 = 6 * 3600;
 
-    fn new(width: usize, window: usize, stride: usize) -> Self {
+    fn new(window: usize, stride: usize) -> Self {
         assert!(window >= 2, "window must hold at least 2 records");
         assert!(stride >= 1, "stride must be at least 1");
-        WindowBuffer {
+        WindowCadence {
             window,
             stride,
             max_gap: Self::DEFAULT_MAX_GAP,
             last_t: None,
-            cols: vec![Vec::with_capacity(window + 1); width],
-            times: Vec::with_capacity(window + 1),
+            len: 0,
             since_emit: 0,
             full_once: false,
         }
     }
 
-    /// Pushes one record; returns true when a window should be emitted.
-    fn push_at(&mut self, t: i64, row: &[f64]) -> bool {
-        if let Some(last) = self.last_t {
-            if t - last > self.max_gap {
-                self.reset();
-            }
-        }
-        self.last_t = Some(t);
-        self.times.push(t);
-        if self.times.len() > self.window {
-            self.times.remove(0);
-        }
-        self.push(row)
+    /// Whether the window is at capacity (the caller must evict one
+    /// record before pushing the next).
+    fn full(&self) -> bool {
+        self.len == self.window
     }
 
-    fn push(&mut self, row: &[f64]) -> bool {
-        for (c, &v) in self.cols.iter_mut().zip(row) {
-            c.push(v);
-            if c.len() > self.window {
-                c.remove(0);
-            }
+    /// Registers a record at time `t`. Returns true when the gap since the
+    /// previous record exceeds `max_gap`, in which case the cadence has
+    /// been reset and the caller must clear its kernel state too.
+    fn gap_reset(&mut self, t: i64) -> bool {
+        let stale = matches!(self.last_t, Some(last) if t - last > self.max_gap);
+        if stale {
+            self.reset();
         }
-        if self.cols[0].len() < self.window {
+        self.last_t = Some(t);
+        stale
+    }
+
+    /// Notes that one record entered the window (after any eviction);
+    /// returns true when a transformed sample should be emitted.
+    fn note_push(&mut self) -> bool {
+        if self.len < self.window {
+            self.len += 1;
+        }
+        if self.len < self.window {
             return false;
         }
         if !self.full_once {
@@ -297,22 +335,22 @@ impl WindowBuffer {
     }
 
     fn reset(&mut self) {
-        for c in &mut self.cols {
-            c.clear();
-        }
-        self.times.clear();
+        self.last_t = None;
+        self.len = 0;
         self.since_emit = 0;
         self.full_once = false;
-        self.last_t = None;
     }
 }
 
 /// Windowed mean transformation: every `stride` records (once `window`
 /// records are buffered) emits the mean of each signal over the window.
+/// Backed by [`IncrementalMean`], so each record costs O(f) regardless of
+/// the window length.
 #[derive(Debug, Clone)]
 pub struct MeanTransform {
     names: Vec<String>,
-    buffer: WindowBuffer,
+    cadence: WindowCadence,
+    kernel: IncrementalMean,
 }
 
 impl MeanTransform {
@@ -321,7 +359,8 @@ impl MeanTransform {
     pub fn new(input_names: &[String], window: usize, stride: usize) -> Self {
         MeanTransform {
             names: input_names.to_vec(),
-            buffer: WindowBuffer::new(input_names.len(), window, stride),
+            cadence: WindowCadence::new(window, stride),
+            kernel: IncrementalMean::new(input_names.len()),
         }
     }
 }
@@ -335,30 +374,39 @@ impl Transform for MeanTransform {
         self.names.iter().map(|n| format!("mean_{n}")).collect()
     }
 
-    fn push(&mut self, timestamp: i64, row: &[f64]) -> Option<(i64, Vec<f64>)> {
+    fn push_into(&mut self, timestamp: i64, row: &[f64], out: &mut [f64]) -> Option<i64> {
         debug_assert_eq!(row.len(), self.names.len());
-        if self.buffer.push_at(timestamp, row) {
-            let means =
-                self.buffer.cols.iter().map(|c| c.iter().sum::<f64>() / c.len() as f64).collect();
-            Some((timestamp, means))
-        } else {
-            None
+        if self.cadence.gap_reset(timestamp) {
+            self.kernel.reset();
         }
+        if self.cadence.full() {
+            self.kernel.pop_front();
+        }
+        self.kernel.push(row);
+        if !self.cadence.note_push() {
+            return None;
+        }
+        self.kernel.means_into(out);
+        Some(timestamp)
     }
 
     fn reset(&mut self) {
-        self.buffer.reset();
+        self.cadence.reset();
+        self.kernel.reset();
     }
 }
 
 /// Correlation transformation — the paper's best-performing choice: every
 /// `stride` records (once `window` records are buffered) emits the
 /// pairwise Pearson correlation of all signals over the window, condensed
-/// to f·(f−1)/2 features.
+/// to f·(f−1)/2 features. Backed by [`IncrementalPearson`], so each
+/// record costs O(f²) on push and evict instead of O(window · f²) per
+/// emission.
 #[derive(Debug, Clone)]
 pub struct CorrelationTransform {
     pairs: CorrelationPairs,
-    buffer: WindowBuffer,
+    cadence: WindowCadence,
+    kernel: IncrementalPearson,
     /// Per-signal dynamics scales. A quasi-constant signal (cruising at
     /// fixed speed, coolant pinned at the thermostat point) makes its
     /// pairwise correlations noise-dominated, so each pair's correlation
@@ -375,17 +423,38 @@ pub struct CorrelationTransform {
     /// regimes and exactly what a developing fault perturbs. Differences
     /// are only taken between records ≤ 2 minutes apart.
     difference: bool,
+    /// Previous record (timestamp + values) for the differencing path.
+    prev_t: Option<i64>,
+    prev_row: Vec<f64>,
+    /// One flag per record in the window: true iff the difference between
+    /// the record and its predecessor entered the kernel. The kernel's
+    /// window is *derived* — evicting the oldest record removes at most
+    /// one difference (the one to the new front), so the front flag is
+    /// always false.
+    diff_flags: VecDeque<bool>,
+    diff_scratch: Vec<f64>,
+    weights: Vec<f64>,
 }
 
 impl CorrelationTransform {
+    /// Differences are only taken between records at most this many
+    /// seconds apart; a larger gap breaks the derivative interpretation.
+    const MAX_DIFF_GAP: i64 = 120;
+
     /// Creates the transformation with the given window length and stride
     /// (both in records).
     pub fn new(input_names: &[String], window: usize, stride: usize) -> Self {
         CorrelationTransform {
             pairs: CorrelationPairs::new(input_names),
-            buffer: WindowBuffer::new(input_names.len(), window, stride),
+            cadence: WindowCadence::new(window, stride),
+            kernel: IncrementalPearson::new(input_names.len()),
             min_std: None,
             difference: false,
+            prev_t: None,
+            prev_row: Vec::with_capacity(input_names.len()),
+            diff_flags: VecDeque::with_capacity(window + 1),
+            diff_scratch: Vec::with_capacity(input_names.len()),
+            weights: Vec::with_capacity(input_names.len()),
         }
     }
 
@@ -407,6 +476,12 @@ impl CorrelationTransform {
     pub fn pairs(&self) -> &CorrelationPairs {
         &self.pairs
     }
+
+    /// Minimum number of differences required before a window may emit;
+    /// fewer contiguous pairs cannot estimate anything.
+    fn min_diffs(&self) -> usize {
+        (self.cadence.window / 2).max(4)
+    }
 }
 
 impl Transform for CorrelationTransform {
@@ -418,64 +493,77 @@ impl Transform for CorrelationTransform {
         self.pairs.names()
     }
 
-    // needless_range_loop: the pair index addresses both rolling-correlation
-    // state and the output slot; enumerate() would hide that coupling.
-    #[allow(clippy::needless_range_loop)]
-    fn push(&mut self, timestamp: i64, row: &[f64]) -> Option<(i64, Vec<f64>)> {
+    fn push_into(&mut self, timestamp: i64, row: &[f64], out: &mut [f64]) -> Option<i64> {
         debug_assert_eq!(row.len(), self.pairs.n_signals());
-        if self.buffer.push_at(timestamp, row) {
-            let diff_storage: Vec<Vec<f64>>;
-            let views: Vec<&[f64]> = if self.difference {
-                let times = &self.buffer.times;
-                diff_storage = self
-                    .buffer
-                    .cols
-                    .iter()
-                    .map(|col| {
-                        let mut d = Vec::with_capacity(col.len().saturating_sub(1));
-                        for i in 1..col.len() {
-                            if times[i] - times[i - 1] <= 120 {
-                                d.push(col[i] - col[i - 1]);
-                            }
-                        }
-                        d
-                    })
-                    .collect();
-                if diff_storage[0].len() < (self.buffer.window / 2).max(4) {
-                    // Too few contiguous pairs to estimate anything.
-                    return None;
-                }
-                diff_storage.iter().map(|c| c.as_slice()).collect()
-            } else {
-                self.buffer.cols.iter().map(|c| c.as_slice()).collect()
-            };
-            let mut out = self.pairs.condensed_pearson(&views);
-            if let Some(scales) = &self.min_std {
-                let weights: Vec<f64> = views
-                    .iter()
-                    .zip(scales)
-                    .map(|(col, &scale)| {
-                        let var = navarchos_stat::descriptive::sample_var(col);
-                        if var.is_finite() {
-                            var / (var + scale * scale)
-                        } else {
-                            0.0
-                        }
-                    })
-                    .collect();
-                for k in 0..out.len() {
-                    let (i, j) = self.pairs.pair_indices(k);
-                    out[k] *= weights[i] * weights[j];
+        debug_assert_eq!(out.len(), self.pairs.n_pairs());
+        if self.cadence.gap_reset(timestamp) {
+            self.kernel.reset();
+            self.diff_flags.clear();
+            self.prev_t = None;
+            self.prev_row.clear();
+        }
+        if self.difference {
+            if self.cadence.full() {
+                // Evict the oldest record; with it goes the difference to
+                // the record that now becomes the front (if it was taken).
+                self.diff_flags.pop_front();
+                if let Some(f) = self.diff_flags.front_mut() {
+                    if *f {
+                        self.kernel.pop_front();
+                        *f = false;
+                    }
                 }
             }
-            Some((timestamp, out))
+            let has_diff = match self.prev_t {
+                Some(pt) if timestamp - pt <= Self::MAX_DIFF_GAP => {
+                    self.diff_scratch.clear();
+                    self.diff_scratch.extend(row.iter().zip(&self.prev_row).map(|(&a, &b)| a - b));
+                    self.kernel.push(&self.diff_scratch);
+                    true
+                }
+                _ => false,
+            };
+            self.diff_flags.push_back(has_diff);
+            self.prev_t = Some(timestamp);
+            self.prev_row.clear();
+            self.prev_row.extend_from_slice(row);
         } else {
-            None
+            if self.cadence.full() {
+                self.kernel.pop_front();
+            }
+            self.kernel.push(row);
         }
+        if !self.cadence.note_push() {
+            return None;
+        }
+        if self.difference && self.kernel.len() < self.min_diffs() {
+            // Too few contiguous pairs to estimate anything.
+            return None;
+        }
+        self.kernel.corr_into(out);
+        if let Some(scales) = &self.min_std {
+            self.weights.clear();
+            self.weights.extend(self.kernel.sample_vars().zip(scales).map(|(var, &scale)| {
+                if var.is_finite() {
+                    var / (var + scale * scale)
+                } else {
+                    0.0
+                }
+            }));
+            for (k, v) in out.iter_mut().enumerate() {
+                let (i, j) = self.pairs.pair_indices(k);
+                *v *= self.weights[i] * self.weights[j];
+            }
+        }
+        Some(timestamp)
     }
 
     fn reset(&mut self) {
-        self.buffer.reset();
+        self.cadence.reset();
+        self.kernel.reset();
+        self.diff_flags.clear();
+        self.prev_t = None;
+        self.prev_row.clear();
     }
 }
 
@@ -594,6 +682,46 @@ mod tests {
         assert_eq!(emitted[0], 2, "first emit when the window fills");
         assert_eq!(emitted[1], 7, "then every `stride` records");
         assert_eq!(emitted[2], 12);
+    }
+
+    #[test]
+    fn push_into_matches_push() {
+        let n = names(&["a", "b", "c"]);
+        let mut by_push = CorrelationTransform::new(&n, 6, 2)
+            .with_differencing()
+            .with_min_std(vec![1.0, 2.0, 0.5]);
+        let mut by_into = CorrelationTransform::new(&n, 6, 2)
+            .with_differencing()
+            .with_min_std(vec![1.0, 2.0, 0.5]);
+        let mut out = vec![0.0; by_into.output_dim()];
+        for i in 0..200i64 {
+            // A parked gap every 37 records exercises the reset path; a
+            // slow drift plus harmonics keeps the signals non-degenerate.
+            let t = i * 60 + (i / 37) * 8 * 3600;
+            let x = (i as f64 * 0.37).sin() * 4.0 + i as f64 * 0.01;
+            let row = [x, 2.0 * x - (i as f64 * 0.11).cos(), x * x * 0.05];
+            let a = by_push.push(t, &row);
+            let b = by_into.push_into(t, &row, &mut out);
+            assert_eq!(a.as_ref().map(|(at, _)| *at), b, "emission cadence must agree at i={i}");
+            if let Some((_, av)) = a {
+                for (p, q) in av.iter().zip(&out) {
+                    assert!((p - q).abs() < 1e-12, "values must agree at i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_gap_starts_fresh_window() {
+        let n = names(&["x", "y"]);
+        let mut t = CorrelationTransform::new(&n, 3, 1);
+        assert!(t.push(0, &[1.0, 2.0]).is_none());
+        assert!(t.push(60, &[2.0, 1.0]).is_none());
+        assert!(t.push(120, &[3.0, 5.0]).is_some(), "window full");
+        // An overnight gap clears the buffer: three more records needed.
+        assert!(t.push(120 + 12 * 3600, &[1.0, 2.0]).is_none());
+        assert!(t.push(120 + 12 * 3600 + 60, &[2.0, 1.0]).is_none());
+        assert!(t.push(120 + 12 * 3600 + 120, &[3.0, 5.0]).is_some());
     }
 
     #[test]

@@ -16,6 +16,31 @@ const BENCHES: &str = "crates/bench/benches/detectors.rs";
 const BIN_DIR: &str = "crates/bench/src/bin";
 const REPRODUCE: &str = "crates/bench/src/bin/reproduce_all.rs";
 
+/// Performance-critical kernels that must stay covered by both a
+/// property-test suite (equivalence with their batch reference) and a
+/// criterion benchmark: `(identifier, declaring file, props file, bench
+/// file)`. Presence is checked at the token level in all three files.
+const KERNELS: &[(&str, &str, &str, &str)] = &[
+    (
+        "IncrementalPearson",
+        "crates/stat/src/incremental.rs",
+        "crates/stat/tests/props.rs",
+        "crates/bench/benches/transforms.rs",
+    ),
+    (
+        "IncrementalMean",
+        "crates/stat/src/incremental.rs",
+        "crates/stat/tests/props.rs",
+        "crates/bench/benches/transforms.rs",
+    ),
+    (
+        "par_map",
+        "crates/core/src/par.rs",
+        "crates/core/tests/props.rs",
+        "crates/bench/benches/substrates.rs",
+    ),
+];
+
 fn finding(file: &str, line: u32, message: impl Into<String>) -> Finding {
     Finding { lint: "L4", file: file.to_string(), line, message: message.into() }
 }
@@ -213,7 +238,33 @@ pub fn check(root: &Path) -> Vec<Finding> {
         }
     }
 
-    // 3. Every `exp_*.rs` bin's experiment functions must be invoked by the
+    // 3. Every registered hot kernel must exist where declared and be
+    //    referenced by its property-test and benchmark suites.
+    for &(ident, decl, props_file, bench_file) in KERNELS {
+        let declared_here =
+            read(root, decl).map(|s| idents(&lex(&s).toks).contains(ident)).unwrap_or(false);
+        if !declared_here {
+            out.push(finding(
+                decl,
+                1,
+                format!("registered kernel `{ident}` not found in {decl} — update the KERNELS registry in xtask"),
+            ));
+            continue;
+        }
+        for (rel, role) in [(props_file, "property-test"), (bench_file, "benchmark")] {
+            let covered =
+                read(root, rel).map(|s| idents(&lex(&s).toks).contains(ident)).unwrap_or(false);
+            if !covered {
+                out.push(finding(
+                    decl,
+                    1,
+                    format!("kernel `{ident}` has no {role} coverage in {rel}"),
+                ));
+            }
+        }
+    }
+
+    // 4. Every `exp_*.rs` bin's experiment functions must be invoked by the
     //    reproduction driver.
     let reproduce = read(root, REPRODUCE).map(|s| idents(&lex(&s).toks)).unwrap_or_default();
     if reproduce.is_empty() {

@@ -7,6 +7,14 @@ cd "$(dirname "$0")/.."
 
 step() { printf '\n==> %s\n' "$*"; }
 
+step "no tracked target/ artifacts"
+if git ls-files -- 'target/*' | grep -q .; then
+  echo "error: build artifacts under target/ are tracked by git:" >&2
+  git ls-files -- 'target/*' | head >&2
+  echo "fix: git rm -r --cached target  (target/ is covered by .gitignore)" >&2
+  exit 1
+fi
+
 step "cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
