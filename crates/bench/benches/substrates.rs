@@ -141,6 +141,31 @@ fn bench_par(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability substrate: sharded log-linear `Histogram` recording
+/// (the per-task probe `par_map` pays when metrics are on) and NDJSON
+/// event encoding via `encode_ndjson` (the per-event sink cost).
+fn bench_obs(c: &mut Criterion) {
+    use navarchos_obs::{encode_ndjson, Event, Histogram};
+
+    let mut group = c.benchmark_group("obs_kernels");
+    let h = Histogram::new();
+    let mut v = 1u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            // A spread of magnitudes so bucketing, min and max all move.
+            v = v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            h.record(v >> 40);
+        })
+    });
+    group.bench_function("histogram_snapshot", |b| b.iter(|| h.snapshot().count));
+    let e = Event::new("bench.encode")
+        .field("vehicle", 17u64)
+        .field("feature", "coolant~rpm")
+        .field("score", 0.734_f64);
+    group.bench_function("encode_ndjson", |b| b.iter(|| encode_ndjson(&e).len()));
+    group.finish();
+}
+
 fn bench_fleetsim(c: &mut Criterion) {
     let model = VehicleModel::compact();
     let mut group = c.benchmark_group("simulate_ride");
@@ -175,6 +200,7 @@ criterion_group!(
     bench_stat,
     bench_extensions,
     bench_par,
+    bench_obs,
     bench_fleetsim
 );
 criterion_main!(benches);

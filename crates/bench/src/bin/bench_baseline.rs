@@ -1,5 +1,8 @@
-//! Measures the correlation-transform scoring path before and after the
-//! incremental-kernel rewrite and emits `BENCH_PR2.json` at the repo root.
+//! Measures the correlation-transform scoring path with the PR 3
+//! observability layer compiled in (null sink, everything off — the
+//! default) and emits `BENCH_PR3.json` at the repo root **via the
+//! run-manifest path** (`navarchos-obs::Manifest`), so the trajectory file
+//! is generated, never hand-edited.
 //!
 //! "Before" is the pre-rewrite algorithm kept here verbatim: per-signal
 //! ring buffers plus a full O(window · f²) recompute (differences,
@@ -8,11 +11,18 @@
 //! kernels. Both stream the same paper-configuration fleet (window 45,
 //! stride 3, differencing + dynamics floors), and their outputs are
 //! cross-checked to ≤ 1e-9 before any timing is reported.
+//!
+//! The same measurements exist in `BENCH_PR2.json` from before the
+//! instrumentation landed; the manifest reports the relative drift as
+//! `null_sink_overhead_pct_*` (required < 1 %). A final metrics-enabled
+//! scoring pass quantifies the *enabled* cost and populates the
+//! manifest's counter/histogram sections.
 
 use navarchos_bench::grid::{fleet_scores, Cell};
 use navarchos_core::detectors::DetectorKind;
 use navarchos_core::ResetPolicy;
 use navarchos_fleetsim::FleetConfig;
+use navarchos_obs as obs;
 use navarchos_stat::correlation::CorrelationPairs;
 use navarchos_tsframe::transform::navarchos_corr_floors;
 use navarchos_tsframe::{CorrelationTransform, FilterSpec, Frame, Transform, TransformKind};
@@ -155,8 +165,21 @@ fn filtered_stream(frame: &Frame, names: &[String], filter: &FilterSpec) -> Vec<
     out
 }
 
+/// Pulls one numeric field out of the PR 2 baseline document.
+fn baseline_num(doc: Option<&obs::Json>, key: &str) -> Option<f64> {
+    doc.and_then(|d| d.get(key)).and_then(obs::Json::as_num)
+}
+
 fn main() {
+    navarchos_bench::init_obs();
+    let mut manifest = obs::Manifest::new("bench_baseline");
+    manifest.config("window", WINDOW);
+    manifest.config("stride", STRIDE);
+    manifest.config("reps", REPS);
+    manifest.config("timing_statistic", "mean over reps (matches BENCH_PR2)");
+
     eprintln!("[bench_baseline] generating the paper fleet...");
+    let clock = obs::stage_clock();
     let fleet = FleetConfig::navarchos().generate();
     let filter = FilterSpec::navarchos_default();
     let floors = navarchos_corr_floors();
@@ -171,9 +194,11 @@ fn main() {
         })
         .collect();
     let records: usize = streams.iter().map(|(_, s)| s.len()).sum();
+    manifest.end_stage("generate_fleet", clock);
 
     // Equivalence pass: the incremental transform must reproduce the batch
     // recompute to 1e-9 on every emission of every vehicle.
+    let clock = obs::stage_clock();
     let mut emissions = 0usize;
     let mut max_diff = 0.0f64;
     for (names, stream) in &streams {
@@ -196,12 +221,16 @@ fn main() {
             }
         }
     }
+    manifest.end_stage("equivalence_check", clock);
+    manifest.config("records", records);
+    manifest.config("emissions", emissions);
     eprintln!(
         "[bench_baseline] equivalence: {emissions} emissions over {records} records, \
          max |Δ| = {max_diff:.3e}"
     );
 
     // Timing passes: identical streams, checksummed so nothing folds away.
+    let clock = obs::stage_clock();
     let mut checksum = 0.0f64;
     let started = Instant::now();
     for _ in 0..REPS {
@@ -215,7 +244,9 @@ fn main() {
         }
     }
     let batch_seconds = started.elapsed().as_secs_f64() / REPS as f64;
+    manifest.end_stage("batch_transform", clock);
 
+    let clock = obs::stage_clock();
     let started = Instant::now();
     for _ in 0..REPS {
         for (names, stream) in &streams {
@@ -231,6 +262,7 @@ fn main() {
         }
     }
     let incremental_seconds = started.elapsed().as_secs_f64() / REPS as f64;
+    manifest.end_stage("incremental_transform", clock);
     let speedup = batch_seconds / incremental_seconds;
     eprintln!(
         "[bench_baseline] transform: batch {batch_seconds:.3}s, incremental \
@@ -238,28 +270,84 @@ fn main() {
     );
 
     // End-to-end fleet scoring at the paper's best cell (correlation ×
-    // closest-pair), on the shipping incremental path.
+    // closest-pair), on the shipping incremental path. The probes must be
+    // off for this pass — it measures the instrumented code at its
+    // disabled (null-sink) cost — so any env-enabled switches are forced
+    // down here and restored by the metrics-on pass below.
+    obs::set_metrics_enabled(false);
+    obs::set_events_enabled(false);
+    let clock = obs::stage_clock();
     let outcome = fleet_scores(
         &fleet,
         Cell { transform: TransformKind::Correlation, detector: DetectorKind::ClosestPair },
         ResetPolicy::OnServiceOrRepair,
     );
+    manifest.end_stage("fleet_scoring_null_sink", clock);
     eprintln!(
-        "[bench_baseline] fleet scoring: {:.3}s (single-thread CPU sum)",
+        "[bench_baseline] fleet scoring (null sink): {:.3}s (single-thread CPU sum)",
         outcome.scoring_seconds
     );
 
-    let json = format!(
-        "{{\n  \"window\": {WINDOW},\n  \"stride\": {STRIDE},\n  \"records\": {records},\n  \
-         \"emissions\": {emissions},\n  \"reps\": {REPS},\n  \"max_abs_output_diff\": {max_diff:e},\n  \
-         \"batch_transform_seconds\": {batch_seconds:.6},\n  \
-         \"incremental_transform_seconds\": {incremental_seconds:.6},\n  \
-         \"transform_speedup\": {speedup:.3},\n  \
-         \"fleet_scoring_seconds_closest_pair\": {:.6}\n}}\n",
-        outcome.scoring_seconds
+    // Same pass with metrics recording on: quantifies the *enabled* probe
+    // cost and fills the manifest's counters/histograms sections.
+    obs::set_metrics_enabled(true);
+    let clock = obs::stage_clock();
+    let outcome_on = fleet_scores(
+        &fleet,
+        Cell { transform: TransformKind::Correlation, detector: DetectorKind::ClosestPair },
+        ResetPolicy::OnServiceOrRepair,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
-    std::fs::write(path, &json).expect("write BENCH_PR2.json");
-    println!("{json}");
+    manifest.end_stage("fleet_scoring_metrics_on", clock);
+    obs::set_metrics_enabled(false);
+    eprintln!("[bench_baseline] fleet scoring (metrics on): {:.3}s", outcome_on.scoring_seconds);
+
+    // PR 2 baselines (measured before the observability layer existed):
+    // the drift on the identical workloads is the null-sink overhead.
+    let pr2_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
+    let pr2 = std::fs::read_to_string(pr2_path).ok().and_then(|s| obs::json::parse(&s).ok());
+    if pr2.is_none() {
+        eprintln!("[bench_baseline] warning: no readable {pr2_path}; overhead not computed");
+    }
+    manifest.config("baseline_file", "BENCH_PR2.json");
+
+    manifest.metric("max_abs_output_diff", max_diff);
+    manifest.metric("batch_transform_seconds", batch_seconds);
+    manifest.metric("incremental_transform_seconds", incremental_seconds);
+    manifest.metric("transform_speedup", speedup);
+    manifest.metric("fleet_scoring_seconds_closest_pair", outcome.scoring_seconds);
+    manifest.metric("fleet_scoring_seconds_metrics_on", outcome_on.scoring_seconds);
+    manifest.metric(
+        "metrics_on_overhead_pct_fleet_scoring",
+        100.0 * (outcome_on.scoring_seconds / outcome.scoring_seconds - 1.0),
+    );
+    for (baseline_key, now, metric) in [
+        (
+            "incremental_transform_seconds",
+            incremental_seconds,
+            "null_sink_overhead_pct_incremental_transform",
+        ),
+        (
+            "fleet_scoring_seconds_closest_pair",
+            outcome.scoring_seconds,
+            "null_sink_overhead_pct_fleet_scoring",
+        ),
+    ] {
+        match baseline_num(pr2.as_ref(), baseline_key) {
+            Some(base) if base > 0.0 => {
+                let pct = 100.0 * (now / base - 1.0);
+                manifest.metric(&format!("baseline_{baseline_key}"), base);
+                manifest.metric(metric, pct);
+                eprintln!("[bench_baseline] {metric}: {pct:+.2}%");
+            }
+            _ => manifest.metric(metric, obs::Json::Null),
+        }
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
+    let doc = manifest.finish();
+    obs::manifest::validate(&doc).expect("bench manifest must satisfy its own schema");
+    let rendered = doc.to_pretty_string();
+    std::fs::write(path, &rendered).expect("write BENCH_PR3.json");
+    println!("{rendered}");
     println!("[written to {path}]");
 }

@@ -5,6 +5,7 @@ use navarchos_bench::experiments::*;
 use navarchos_bench::report::emit;
 
 fn main() {
+    navarchos_bench::init_obs();
     let started = std::time::Instant::now();
     let fleet = paper_fleet();
     eprintln!("{}", dataset_summary(&fleet));

@@ -201,12 +201,29 @@ pub fn run_grid(fleet: &FleetData) -> Vec<CellResult> {
                     evals.push((name, ph, param, counts));
                 }
             }
-            eprintln!(
-                "[grid] {} + {} done ({:.1}s scoring)",
-                transform.label(),
-                detector.label(),
-                outcome.scoring_seconds
-            );
+            // Progress goes to an explicitly locked stderr (L7: no print
+            // macros in library code); the same fact is emitted as a
+            // structured event for trace consumers.
+            {
+                use std::io::Write;
+                let stderr = std::io::stderr();
+                let mut err = stderr.lock();
+                let _ = writeln!(
+                    err,
+                    "[grid] {} + {} done ({:.1}s scoring)",
+                    transform.label(),
+                    detector.label(),
+                    outcome.scoring_seconds
+                );
+            }
+            if navarchos_obs::events_enabled() {
+                navarchos_obs::emit(
+                    &navarchos_obs::Event::new("grid.cell")
+                        .field("transform", transform.label())
+                        .field("detector", detector.label())
+                        .field("scoring_seconds", outcome.scoring_seconds),
+                );
+            }
             out.push(CellResult { cell: outcome.cell, evals, seconds: outcome.scoring_seconds });
         }
     }

@@ -18,8 +18,21 @@ pub fn emit(name: &str, content: &str) {
     let path = results_dir().join(name);
     let mut f = fs::File::create(&path).expect("create result file");
     f.write_all(content.as_bytes()).expect("write result file");
-    println!("{content}");
-    println!("[written to {}]", path.display());
+    // Echo through one explicitly locked handle (L7: library code never
+    // uses the print macros) so the report stays contiguous even when a
+    // trace sink is interleaving stderr lines.
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(out, "{content}");
+    let _ = writeln!(out, "[written to {}]", path.display());
+    if navarchos_obs::events_enabled() {
+        navarchos_obs::emit(
+            &navarchos_obs::Event::new("report.emit")
+                .field("name", name)
+                .field("bytes", content.len())
+                .field("path", path.display().to_string()),
+        );
+    }
 }
 
 /// Formats a markdown-style table: a header row plus data rows.

@@ -16,10 +16,20 @@
 //! navarchos resample --telemetry FILE --out FILE [--period SECONDS]
 //!     Put irregular CSV telemetry on a regular time grid (gap-aware:
 //!     parking time is never interpolated across).
+//!
+//! navarchos check-manifest --path FILE
+//!     Validate a run manifest against the navarchos-run-manifest/v1
+//!     schema (the machine check CI runs over emitted manifests).
 //! ```
 //!
 //! Argument parsing is by hand (the workspace's sanctioned dependency set
-//! has no CLI crate); every flag takes the form `--name value`.
+//! has no CLI crate); every flag takes the form `--name value`, except
+//! the boolean switches in [`BOOL_FLAGS`] (`--trace`, `--metrics`).
+//!
+//! Observability: `NAVARCHOS_LOG` / `NAVARCHOS_METRICS` are honoured
+//! first, then `--trace` (events to stderr) and `--metrics` (record
+//! counters/histograms; `evaluate`/`explore` additionally write a run
+//! manifest plus an NDJSON trace next to it).
 
 use navarchos_core::detectors::DetectorKind;
 use navarchos_core::evaluation::{evaluate_vehicle_instances, factor_grid, EvalCounts, EvalParams};
@@ -27,10 +37,12 @@ use navarchos_core::runner::{run_vehicle, RunnerParams};
 use navarchos_core::AlarmAggregator;
 use navarchos_core::{PipelineConfig, StreamingPipeline, TransformKind};
 use navarchos_fleetsim::FleetConfig;
+use navarchos_obs as obs;
 use navarchos_tsframe::csv::{read_csv_file, write_csv_file};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,12 +57,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Environment first, then per-invocation switches override.
+    if let Some(enabled) = obs::init_from_env() {
+        eprintln!("[obs] {enabled}");
+    }
+    if flags.contains_key("trace") {
+        obs::set_sink(Arc::new(obs::StderrSink));
+    }
+    if flags.contains_key("metrics") {
+        obs::set_metrics_enabled(true);
+    }
     let result = match command.as_str() {
         "simulate" => cmd_simulate(&flags),
         "monitor" => cmd_monitor(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "explore" => cmd_explore(&flags),
         "resample" => cmd_resample(&flags),
+        "check-manifest" => cmd_check_manifest(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -71,11 +94,20 @@ navarchos — unsupervised vehicle predictive maintenance (EDBT 2024 reproductio
 
 USAGE:
   navarchos simulate --out DIR [--vehicles N] [--days N] [--seed N] [--failures N]
-  navarchos monitor  --telemetry FILE [--events FILE] [--factor F]
-  navarchos evaluate --dir DIR [--ph DAYS]
-  navarchos explore  --dir DIR [--clusters K]
+  navarchos monitor  --telemetry FILE [--events FILE] [--factor F] [--trace]
+  navarchos evaluate --dir DIR [--ph DAYS] [--metrics] [--manifest FILE] [--trace]
+  navarchos explore  --dir DIR [--clusters K] [--metrics] [--manifest FILE]
   navarchos resample --telemetry FILE --out FILE [--period SECONDS] [--max-gap SECONDS] [--method linear|previous]
-  navarchos help";
+  navarchos check-manifest --path FILE
+  navarchos help
+
+OBSERVABILITY:
+  --trace           structured events to stderr (or NAVARCHOS_LOG=stderr|ndjson[:path])
+  --metrics         record counters/histograms (or NAVARCHOS_METRICS=1); evaluate and
+                    explore also write a run manifest + NDJSON trace next to it";
+
+/// Switches that take no value; everything else is `--name value`.
+const BOOL_FLAGS: &[&str] = &["trace", "metrics"];
 
 fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
     let mut flags = BTreeMap::new();
@@ -84,6 +116,10 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("expected a --flag, got '{arg}'"));
         };
+        if BOOL_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "1".to_string());
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_string(), value.clone());
     }
@@ -183,6 +219,9 @@ fn cmd_monitor(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let mut row = Vec::new();
     let mut alarms = 0usize;
     let mut instances = 0usize;
+    // Day offsets are relative to the vehicle's first record, matching the
+    // per-day framing of the evaluation protocol and the fleet simulator.
+    let t0 = frame.timestamps().first().copied().unwrap_or(0);
     for i in 0..frame.len() {
         let t = frame.timestamps()[i];
         while let Some(&&(mt, is_repair)) = events.peek() {
@@ -198,12 +237,21 @@ fn cmd_monitor(flags: &BTreeMap<String, String>) -> Result<(), String> {
             alarms += 1;
             if let Some(instance) = aggregator.push(&alarm) {
                 instances += 1;
+                // Attribute the violating channels by name (the same
+                // attribution the structured `pipeline.alarm` events carry),
+                // not by bare index.
+                let names: Vec<&str> = instance
+                    .channels
+                    .iter()
+                    .map(|&c| pipeline.channel_names().get(c).map(String::as_str).unwrap_or("?"))
+                    .collect();
                 println!(
-                    "t={} OPERATOR ALARM: {} violations on {} features (latest: {})",
+                    "day {:6.2} (t={}) OPERATOR ALARM: {} violations on {} features: {}",
+                    (instance.start - t0) as f64 / 86_400.0,
                     instance.start,
                     instance.violations,
-                    instance.channels.len(),
-                    alarm.channel_name
+                    names.len(),
+                    names.join(", ")
                 );
             }
         }
@@ -245,16 +293,53 @@ fn cmd_evaluate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let params = RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
     let eval = EvalParams::days(ph);
 
-    let mut traces = Vec::new();
+    // With --metrics the run writes a manifest (and, unless a sink is
+    // already installed, an NDJSON trace next to it) so files like
+    // BENCH_PR3.json are generated, never hand-edited.
+    let mut manifest = flags.contains_key("metrics").then(|| obs::Manifest::new("evaluate"));
+    let manifest_path = match flags.get("manifest") {
+        Some(p) => PathBuf::from(p),
+        None => dir.join("run-manifest.json"),
+    };
+    if let Some(m) = manifest.as_mut() {
+        m.config("dir", dir.display().to_string());
+        m.config("ph_days", ph);
+        m.config("vehicles", vehicle_files.len());
+        m.config("transform", "correlation");
+        m.config("detector", "closest_pair");
+        if !obs::events_enabled() {
+            let trace_path = manifest_path.with_extension("trace.ndjson");
+            match obs::NdjsonSink::create(&trace_path) {
+                Ok(sink) => obs::set_sink(Arc::new(sink)),
+                Err(e) => eprintln!("[obs] no trace file ({}: {e})", trace_path.display()),
+            }
+        }
+    }
+
+    let clock = obs::stage_clock();
+    let mut frames = Vec::new();
     let mut repairs_per_vehicle = Vec::new();
     for (v, path) in &vehicle_files {
         let frame = read_csv_file(path).map_err(|e| e.to_string())?;
         let maintenance = load_events(&events_path, Some(*v))?;
         let repairs: Vec<i64> = maintenance.iter().filter(|&&(_, r)| r).map(|&(t, _)| t).collect();
-        traces.push(run_vehicle(&frame, &maintenance, &params));
+        frames.push((frame, maintenance));
         repairs_per_vehicle.push(repairs);
     }
+    if let Some(m) = manifest.as_mut() {
+        m.end_stage("load", clock);
+    }
 
+    let clock = obs::stage_clock();
+    let traces: Vec<_> = frames
+        .iter()
+        .map(|(frame, maintenance)| run_vehicle(frame, maintenance, &params))
+        .collect();
+    if let Some(m) = manifest.as_mut() {
+        m.end_stage("score_vehicles", clock);
+    }
+
+    let clock = obs::stage_clock();
     println!("threshold-factor sweep (PH = {ph} days):");
     let mut best: Option<(f64, EvalCounts)> = None;
     for factor in factor_grid() {
@@ -276,6 +361,9 @@ fn cmd_evaluate(flags: &BTreeMap<String, String>) -> Result<(), String> {
             best = Some((factor, counts));
         }
     }
+    if let Some(m) = manifest.as_mut() {
+        m.end_stage("factor_sweep", clock);
+    }
     if let Some((factor, counts)) = best {
         println!(
             "\nbest: factor {factor} → F0.5 {:.2} (precision {:.2}, recall {:.2})",
@@ -283,6 +371,20 @@ fn cmd_evaluate(flags: &BTreeMap<String, String>) -> Result<(), String> {
             counts.precision(),
             counts.recall()
         );
+        if let Some(m) = manifest.as_mut() {
+            m.metric("best_factor", factor);
+            m.metric("tp", counts.tp);
+            m.metric("fp", counts.fp);
+            m.metric("fn", counts.fn_);
+            m.metric("precision", counts.precision());
+            m.metric("recall", counts.recall());
+            m.metric("f05", counts.f05());
+        }
+    }
+    if let Some(m) = manifest {
+        m.write(&manifest_path)
+            .map_err(|e| format!("write manifest {}: {e}", manifest_path.display()))?;
+        println!("run manifest written to {}", manifest_path.display());
     }
     Ok(())
 }
@@ -316,8 +418,20 @@ fn cmd_explore(flags: &BTreeMap<String, String>) -> Result<(), String> {
         return Err(format!("no vehicle-XX.csv files in {}", dir.display()));
     }
 
+    let mut manifest = flags.contains_key("metrics").then(|| obs::Manifest::new("explore"));
+    let manifest_path = match flags.get("manifest") {
+        Some(p) => PathBuf::from(p),
+        None => dir.join("explore-manifest.json"),
+    };
+    if let Some(m) = manifest.as_mut() {
+        m.config("dir", dir.display().to_string());
+        m.config("clusters", k);
+        m.config("vehicles", vehicle_files.len());
+    }
+
     // Day-level aggregation of the filtered telemetry, as in the paper's
     // Section 2 exploration.
+    let clock = obs::stage_clock();
     let filter = FilterSpec::navarchos_default();
     let mut points = Vec::new();
     let mut owners = Vec::new();
@@ -348,8 +462,17 @@ fn cmd_explore(flags: &BTreeMap<String, String>) -> Result<(), String> {
         points = kept_points;
         owners = kept_owners;
     }
+    if let Some(m) = manifest.as_mut() {
+        m.end_stage("aggregate", clock);
+        m.metric("vehicle_days", owners.len());
+    }
+
+    let clock = obs::stage_clock();
     znormalize_columns(&mut points, dim);
     let labels = linkage(&points, dim, Linkage::Average).cut_k(k);
+    if let Some(m) = manifest.as_mut() {
+        m.end_stage("cluster", clock);
+    }
 
     println!("{} vehicle-days clustered into {k} groups:", owners.len());
     for c in 0..k {
@@ -368,6 +491,26 @@ fn cmd_explore(flags: &BTreeMap<String, String>) -> Result<(), String> {
             }
         );
     }
+    if let Some(m) = manifest {
+        m.write(&manifest_path)
+            .map_err(|e| format!("write manifest {}: {e}", manifest_path.display()))?;
+        println!("run manifest written to {}", manifest_path.display());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// check-manifest
+// ---------------------------------------------------------------------------
+
+/// Parses a run manifest and checks it against the v1 schema; the CI smoke
+/// job runs this over the manifest an `evaluate --metrics` run emits.
+fn cmd_check_manifest(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let path: PathBuf = flags.get("path").ok_or("--path FILE is required")?.into();
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = obs::json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    obs::manifest::validate(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("{}: valid {}", path.display(), obs::manifest::SCHEMA);
     Ok(())
 }
 
@@ -463,6 +606,16 @@ mod tests {
     fn parse_flags_rejects_missing_value() {
         let args: Vec<String> = ["--out"].iter().map(|s| s.to_string()).collect();
         assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn parse_flags_boolean_switches_take_no_value() {
+        let args: Vec<String> =
+            ["--metrics", "--dir", "/tmp/x", "--trace"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.get("metrics").map(String::as_str), Some("1"));
+        assert_eq!(f.get("trace").map(String::as_str), Some("1"));
+        assert_eq!(f.get("dir").map(String::as_str), Some("/tmp/x"));
     }
 
     #[test]

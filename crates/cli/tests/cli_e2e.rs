@@ -58,6 +58,110 @@ fn simulate_then_evaluate_and_explore() {
 }
 
 #[test]
+fn evaluate_metrics_writes_valid_manifest_and_trace() {
+    let dir = temp_dir("manifest");
+    let out = navarchos()
+        .args(["simulate", "--out", dir.to_str().unwrap()])
+        .args(["--vehicles", "5", "--days", "60", "--failures", "1", "--seed", "9"])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let manifest = dir.join("run-manifest.json");
+    let out = navarchos()
+        .args(["evaluate", "--dir", dir.to_str().unwrap(), "--metrics"])
+        .args(["--manifest", manifest.to_str().unwrap()])
+        .output()
+        .expect("run evaluate --metrics");
+    assert!(out.status.success(), "evaluate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(manifest.exists(), "manifest written");
+
+    // The manifest parses, validates and carries per-stage timings plus the
+    // pipeline's counters.
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    let doc = navarchos_obs::json::parse(&text).expect("manifest is valid JSON");
+    navarchos_obs::manifest::validate(&doc).expect("manifest matches schema");
+    let stages = match doc.get("stages") {
+        Some(navarchos_obs::Json::Arr(s)) => s,
+        other => panic!("stages: {other:?}"),
+    };
+    let names: Vec<_> =
+        stages.iter().filter_map(|s| s.get("name").and_then(navarchos_obs::Json::as_str)).collect();
+    assert_eq!(names, ["load", "score_vehicles", "factor_sweep"]);
+    let records = doc
+        .get("counters")
+        .and_then(|c| c.get("runner.records"))
+        .and_then(navarchos_obs::Json::as_num)
+        .expect("runner.records counter present");
+    assert!(records > 0.0, "vehicles streamed records: {records}");
+    assert!(doc.get("metrics").and_then(|m| m.get("f05")).is_some(), "detection metrics recorded");
+
+    // An NDJSON trace was written next to it, and every line round-trips
+    // through the hand-rolled parser.
+    let trace = manifest.with_extension("trace.ndjson");
+    assert!(trace.exists(), "trace written");
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    let mut events = 0;
+    for line in trace_text.lines() {
+        navarchos_obs::parse_line(line).expect("trace line parses");
+        events += 1;
+    }
+    assert!(events > 0, "trace is not empty");
+
+    // check-manifest accepts the real manifest and rejects garbage.
+    let out = navarchos()
+        .args(["check-manifest", "--path", manifest.to_str().unwrap()])
+        .output()
+        .expect("run check-manifest");
+    assert!(out.status.success(), "check failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("valid"));
+
+    let bogus = dir.join("bogus.json");
+    std::fs::write(&bogus, "{\"schema\": \"navarchos-run-manifest/v1\"}").unwrap();
+    let out =
+        navarchos().args(["check-manifest", "--path", bogus.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success(), "incomplete manifest must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing required key"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn monitor_attributes_alarms_by_day_and_feature_name() {
+    let dir = temp_dir("monitor");
+    let out = navarchos()
+        .args(["simulate", "--out", dir.to_str().unwrap()])
+        .args(["--vehicles", "4", "--days", "80", "--failures", "2", "--seed", "3"])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // A tight factor makes alarms near-certain on a failing vehicle; accept
+    // either outcome but require the new format whenever one fires.
+    let out = navarchos()
+        .args(["monitor", "--telemetry"])
+        .arg(dir.join("vehicle-00.csv"))
+        .args(["--events"])
+        .arg(dir.join("events.csv"))
+        .args(["--factor", "2"])
+        .output()
+        .expect("run monitor");
+    assert!(out.status.success(), "monitor failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for line in text.lines().filter(|l| l.contains("OPERATOR ALARM")) {
+        assert!(line.starts_with("day "), "alarm line carries a day offset: {line}");
+        assert!(line.contains("features: "), "alarm line names features: {line}");
+        let names = line.split("features: ").nth(1).unwrap_or("");
+        assert!(
+            names.chars().any(|c| c.is_alphabetic()),
+            "feature attribution is by name, not index: {line}"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = navarchos().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());

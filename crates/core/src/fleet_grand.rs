@@ -65,12 +65,14 @@ impl Default for FleetGrandParams {
 /// few peers existed).
 pub fn fleet_grand_scores(series: &[VehicleSeries], params: &FleetGrandParams) -> Vec<Vec<f64>> {
     assert!(!series.is_empty(), "empty fleet");
+    let span = navarchos_obs::span("fleet_grand");
+    let obs_on = navarchos_obs::metrics_enabled();
     let dim = series.iter().find(|s| !s.is_empty()).map(|s| s.dim).unwrap_or(0);
     assert!(series.iter().all(|s| s.is_empty() || s.dim == dim), "mixed feature dims");
 
     // Each vehicle carries its own martingale and only reads its peers'
     // series, so the fleet fans out over scoped threads.
-    crate::par::par_map(series, |v, own| {
+    let out = crate::par::par_map(series, |v, own| {
         let mut martingale = PowerMartingale::default().with_window(params.martingale_window);
         let mut scores = Vec::with_capacity(own.len());
         for i in 0..own.len() {
@@ -104,8 +106,16 @@ pub fn fleet_grand_scores(series: &[VehicleSeries], params: &FleetGrandParams) -
             let p = conformal_pvalue(&calibration, s_own, 0.5);
             scores.push(martingale.update(p));
         }
+        if obs_on {
+            // One registry touch per vehicle, after its whole series.
+            let scored = scores.iter().filter(|s| s.is_finite()).count();
+            navarchos_obs::counter("fleet_grand.scored_days").add(scored as u64);
+            navarchos_obs::counter("fleet_grand.skipped_days").add((scores.len() - scored) as u64);
+        }
         scores
-    })
+    });
+    drop(span);
+    out
 }
 
 #[cfg(test)]

@@ -32,14 +32,31 @@ where
     }
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).clamp(1, n);
 
+    // Task timing is resolved once per call, not per item; workers bump a
+    // shard of the histogram with relaxed atomics, so the probe scales with
+    // the worker count. Disabled, `task_ns` is `None` and each item pays
+    // one branch.
+    let span = navarchos_obs::span("par_map");
+    let task_ns =
+        navarchos_obs::metrics_enabled().then(|| navarchos_obs::histogram("par_map.task_ns"));
+
     let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
         let f = &f;
+        let task_ns = &task_ns;
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 scope.spawn(move || {
                     let mut out = Vec::new();
                     for (i, item) in items.iter().enumerate().skip(t).step_by(threads) {
-                        out.push((i, f(i, item)));
+                        match task_ns {
+                            Some(h) => {
+                                let t0 = std::time::Instant::now();
+                                let r = f(i, item);
+                                h.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(0));
+                                out.push((i, r));
+                            }
+                            None => out.push((i, f(i, item))),
+                        }
                     }
                     out
                 })
@@ -54,6 +71,7 @@ where
             .collect()
     });
     indexed.sort_by_key(|&(i, _)| i);
+    drop(span);
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 

@@ -4,9 +4,13 @@
 //! a healthy holdout that tunes the threshold, and alarms with feature
 //! attribution.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use crate::detectors::{Detector, DetectorKind, DetectorParams};
 use crate::reference::{ReferenceProfile, ResetPolicy};
 use crate::threshold::SelfTuningThreshold;
+use navarchos_obs as obs;
 use navarchos_tsframe::{FilterSpec, Transform, TransformKind};
 
 /// Pipeline configuration (one vehicle's instantiation of the framework).
@@ -98,6 +102,40 @@ enum Phase {
     Detecting,
 }
 
+/// Cached metric handles for the pipeline's hot path: resolved once at
+/// construction so `process_record` never touches the registry mutex.
+#[derive(Debug)]
+struct PipelineStats {
+    records: Arc<obs::Counter>,
+    emissions: Arc<obs::Counter>,
+    resets: Arc<obs::Counter>,
+    refits: Arc<obs::Counter>,
+    alarms: Arc<obs::Counter>,
+    filter_ns: Arc<obs::Histogram>,
+    transform_ns: Arc<obs::Histogram>,
+    score_ns: Arc<obs::Histogram>,
+}
+
+impl PipelineStats {
+    fn new() -> PipelineStats {
+        PipelineStats {
+            records: obs::counter("pipeline.records"),
+            emissions: obs::counter("pipeline.emissions"),
+            resets: obs::counter("pipeline.resets"),
+            refits: obs::counter("pipeline.refits"),
+            alarms: obs::counter("pipeline.alarms"),
+            filter_ns: obs::histogram("pipeline.stage.filter_ns"),
+            transform_ns: obs::histogram("pipeline.stage.transform_ns"),
+            score_ns: obs::histogram("pipeline.stage.score_ns"),
+        }
+    }
+}
+
+/// Nanoseconds since `t`, saturating.
+fn ns_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// The streaming pipeline of Algorithm 1 for a single vehicle.
 #[derive(Debug)]
 pub struct StreamingPipeline {
@@ -111,6 +149,7 @@ pub struct StreamingPipeline {
     phase: Phase,
     /// Reused output buffer for the transform's allocation-free fast path.
     feat: Vec<f64>,
+    stats: PipelineStats,
 }
 
 impl StreamingPipeline {
@@ -139,6 +178,7 @@ impl StreamingPipeline {
             channel_names,
             phase: Phase::FillingReference,
             feat: vec![0.0; dim],
+            stats: PipelineStats::new(),
         }
     }
 
@@ -151,6 +191,12 @@ impl StreamingPipeline {
         }
     }
 
+    /// Score-channel names (feature or feature-pair labels), aligned with
+    /// [`Alarm::channel`].
+    pub fn channel_names(&self) -> &[String] {
+        &self.channel_names
+    }
+
     /// Handles a maintenance event; resets the reference profile when the
     /// policy says so.
     pub fn process_event(&mut self, is_repair: bool) {
@@ -160,22 +206,62 @@ impl StreamingPipeline {
             self.threshold.reset();
             self.transform.reset();
             self.phase = Phase::FillingReference;
+            if obs::metrics_enabled() {
+                self.stats.resets.incr();
+            }
+            if obs::events_enabled() {
+                obs::emit(&obs::Event::new("pipeline.reset").field("is_repair", is_repair));
+            }
         }
     }
 
     /// Handles one raw record; returns any alarms raised.
+    ///
+    /// With metrics enabled, the filter → transform → score stages are
+    /// timed into `pipeline.stage.*_ns` histograms; disabled, the probe
+    /// cost is one relaxed atomic load.
     pub fn process_record(&mut self, timestamp: i64, row: &[f64]) -> Vec<Alarm> {
-        if !self.cfg.filter.keep_row(&self.input_names, row) {
+        let on = obs::metrics_enabled();
+        let mut clock = if on {
+            self.stats.records.incr();
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let kept = self.cfg.filter.keep_row(&self.input_names, row);
+        if let Some(t0) = clock {
+            self.stats.filter_ns.record(ns_since(t0));
+            clock = Some(Instant::now());
+        }
+        if !kept {
             return Vec::new();
         }
-        let Some(t) = self.transform.push_into(timestamp, row, &mut self.feat) else {
+        let emitted = self.transform.push_into(timestamp, row, &mut self.feat);
+        if let Some(t0) = clock {
+            self.stats.transform_ns.record(ns_since(t0));
+            clock = Some(Instant::now());
+        }
+        let Some(t) = emitted else {
             return Vec::new();
         };
-        match self.phase {
+        if on {
+            self.stats.emissions.incr();
+        }
+        let alarms = match self.phase {
             Phase::FillingReference => {
                 if self.profile.push(&self.feat) {
                     self.detector.fit(&self.profile);
                     self.phase = Phase::Holdout(0);
+                    if on {
+                        self.stats.refits.incr();
+                    }
+                    if obs::events_enabled() {
+                        obs::emit(
+                            &obs::Event::new("pipeline.refit")
+                                .field("timestamp", t)
+                                .field("profile_len", self.profile.len()),
+                        );
+                    }
                 }
                 Vec::new()
             }
@@ -218,7 +304,28 @@ impl StreamingPipeline {
                     })
                     .collect()
             }
+        };
+        if let Some(t0) = clock {
+            self.stats.score_ns.record(ns_since(t0));
         }
+        if !alarms.is_empty() {
+            if on {
+                self.stats.alarms.add(alarms.len() as u64);
+            }
+            if obs::events_enabled() {
+                for a in &alarms {
+                    obs::emit(
+                        &obs::Event::new("pipeline.alarm")
+                            .field("timestamp", a.timestamp)
+                            .field("channel", a.channel)
+                            .field("feature", a.channel_name.as_str())
+                            .field("score", a.score)
+                            .field("threshold", a.threshold),
+                    );
+                }
+            }
+        }
+        alarms
     }
 }
 

@@ -74,11 +74,22 @@ impl ReferenceProfile {
             return false;
         }
         self.data.extend_from_slice(x);
-        self.is_full()
+        let completed = self.is_full();
+        if completed && navarchos_obs::metrics_enabled() {
+            static FILLS: std::sync::OnceLock<std::sync::Arc<navarchos_obs::Counter>> =
+                std::sync::OnceLock::new();
+            FILLS.get_or_init(|| navarchos_obs::counter("reference.fills")).incr();
+        }
+        completed
     }
 
     /// Discards everything (a maintenance reset).
     pub fn clear(&mut self) {
+        if !self.data.is_empty() && navarchos_obs::metrics_enabled() {
+            static RESETS: std::sync::OnceLock<std::sync::Arc<navarchos_obs::Counter>> =
+                std::sync::OnceLock::new();
+            RESETS.get_or_init(|| navarchos_obs::counter("reference.resets")).incr();
+        }
         self.data.clear();
     }
 

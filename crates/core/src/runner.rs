@@ -3,9 +3,12 @@
 //! segment structure, so that threshold sweeps (the paper evaluates
 //! "multiple factors") never require re-scoring.
 
+use std::time::Instant;
+
 use crate::detectors::{DetectorKind, DetectorParams};
 use crate::reference::{ReferenceProfile, ResetPolicy};
 use crate::threshold::batch_thresholds;
+use navarchos_obs as obs;
 use navarchos_tsframe::{FilterSpec, Frame, TransformKind};
 
 /// Parameters of a batch run (mirrors
@@ -233,11 +236,42 @@ impl VehicleScores {
 /// (time-sorted; already filtered to the reset policy's event kinds by
 /// the caller via [`ResetPolicy`] is *not* required — the policy in
 /// `params` is applied here given `(time, is_repair)` pairs).
+/// Per-vehicle observability accumulators: cheap locals bumped inside the
+/// scoring loop (no atomics), flushed to the global registry once per
+/// vehicle. With metrics disabled the loop pays one branch per record.
+#[derive(Debug, Default, Clone, Copy)]
+struct VehicleObs {
+    records: u64,
+    emissions: u64,
+    resets: u64,
+    refits: u64,
+    filter_ns: u64,
+    transform_ns: u64,
+    score_ns: u64,
+}
+
+impl VehicleObs {
+    fn flush(self, wall_ns: u64) {
+        obs::counter("runner.records").add(self.records);
+        obs::counter("runner.emissions").add(self.emissions);
+        obs::counter("runner.resets").add(self.resets);
+        obs::counter("runner.refits").add(self.refits);
+        obs::histogram("runner.vehicle_ns").record(wall_ns);
+        obs::histogram("runner.stage.filter_ns").record(self.filter_ns);
+        obs::histogram("runner.stage.transform_ns").record(self.transform_ns);
+        obs::histogram("runner.stage.score_ns").record(self.score_ns);
+    }
+}
+
 pub fn run_vehicle(
     frame: &Frame,
     maintenance: &[(i64, bool)],
     params: &RunnerParams,
 ) -> VehicleScores {
+    let _span = obs::span("run_vehicle");
+    let obs_on = obs::metrics_enabled();
+    let started = obs_on.then(Instant::now);
+    let mut vobs = VehicleObs::default();
     let input_names: Vec<String> = frame.names().to_vec();
     let mut transform = build_transform(
         params.transform,
@@ -330,16 +364,41 @@ pub fn run_vehicle(
                 detector.reset();
                 transform.reset();
                 fitted = false;
+                vobs.resets += 1;
+                if obs::events_enabled() {
+                    obs::emit(
+                        &obs::Event::new("runner.reset")
+                            .field("timestamp", mt)
+                            .field("is_repair", is_repair),
+                    );
+                }
             }
         }
 
+        let mut clock = if obs_on {
+            vobs.records += 1;
+            Some(Instant::now())
+        } else {
+            None
+        };
         frame.row_into(i, &mut row_buf);
-        if !params.filter.keep_row(&input_names, &row_buf) {
+        let kept = params.filter.keep_row(&input_names, &row_buf);
+        if let Some(t0) = clock {
+            vobs.filter_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(0);
+            clock = Some(Instant::now());
+        }
+        if !kept {
             continue;
         }
-        let Some(ts) = transform.push_into(t, &row_buf, &mut feat) else {
+        let emitted = transform.push_into(t, &row_buf, &mut feat);
+        if let Some(t0) = clock {
+            vobs.transform_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(0);
+            clock = Some(Instant::now());
+        }
+        let Some(ts) = emitted else {
             continue;
         };
+        vobs.emissions += 1;
 
         if !fitted {
             if profile.push(&feat) {
@@ -347,12 +406,16 @@ pub fn run_vehicle(
                 pending_context = SegmentContext { std_floors: spread_floors(&profile) };
                 fitted = true;
                 open = Some((timestamps.len(), None));
+                vobs.refits += 1;
             }
             continue;
         }
 
         // Score the sample and record it.
         let s = detector.score(&feat);
+        if let Some(t0) = clock {
+            vobs.score_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(0);
+        }
         timestamps.push(ts);
         scores.extend_from_slice(&s);
         if let Some((start, detect_from @ None)) = &mut open {
@@ -362,6 +425,21 @@ pub fn run_vehicle(
         }
     }
     close_segment(&mut open, &mut segments, &mut contexts, &pending_context, timestamps.len());
+
+    if obs_on {
+        let wall_ns = started.map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(0));
+        vobs.flush(wall_ns.unwrap_or(0));
+    }
+    if obs::events_enabled() {
+        obs::emit(
+            &obs::Event::new("runner.vehicle")
+                .field("records", vobs.records)
+                .field("emissions", vobs.emissions)
+                .field("resets", vobs.resets)
+                .field("refits", vobs.refits)
+                .field("segments", segments.len()),
+        );
+    }
 
     let vs = VehicleScores {
         timestamps,

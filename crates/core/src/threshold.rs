@@ -57,6 +57,20 @@ impl SelfTuningThreshold {
             };
         }
         self.fitted = true;
+        // Retune telemetry: rare (once per reference rebuild), so the
+        // registry lookup is fine here; sweep paths use `with_factor` /
+        // `batch_thresholds`, which stay untouched.
+        if navarchos_obs::metrics_enabled() {
+            navarchos_obs::counter("threshold.retunes").incr();
+        }
+        if navarchos_obs::events_enabled() {
+            navarchos_obs::emit(
+                &navarchos_obs::Event::new("threshold.retune")
+                    .field("factor", self.factor)
+                    .field("channels", self.stats.len())
+                    .field("observed", self.observed()),
+            );
+        }
     }
 
     /// Whether `fit` has been called.

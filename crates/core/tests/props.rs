@@ -333,3 +333,35 @@ proptest! {
         prop_assert_eq!(par, serial);
     }
 }
+
+/// Spans opened inside `par_map` workers nest per worker thread: every
+/// task-level span parents onto nothing from another thread (the workers
+/// have no enclosing frame), ids stay unique, and the caller's own span
+/// stack is untouched by the fan-out — no interleaving corruption.
+#[test]
+fn par_map_span_nesting_is_isolated() {
+    navarchos_obs::set_metrics_enabled(true);
+    let caller_span = navarchos_obs::span("props.caller");
+    let caller_id = caller_span.id().expect("enabled span has an id");
+    let items: Vec<usize> = (0..64).collect();
+    let spans: Vec<(Option<u64>, Option<u64>, usize)> = navarchos_core::par_map(&items, |_, _| {
+        let outer = navarchos_obs::span("props.task");
+        let inner = navarchos_obs::span("props.task.inner");
+        let triple = (outer.id(), outer.parent(), navarchos_obs::span::current_depth());
+        assert_eq!(inner.parent(), outer.id(), "inner nests under this worker's outer");
+        triple
+    });
+    // The caller's stack is still intact after the scope joins.
+    assert_eq!(navarchos_obs::current_span_id(), Some(caller_id));
+    let mut ids = Vec::new();
+    for (id, parent, depth) in spans {
+        let id = id.expect("worker spans are live while metrics are on");
+        assert_ne!(Some(id), Some(caller_id));
+        assert_ne!(parent, Some(caller_id), "worker spans must not adopt the caller's frame");
+        assert_eq!(depth, 2, "outer + inner on the worker's own stack");
+        ids.push(id);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), items.len(), "span ids are globally unique across workers");
+}

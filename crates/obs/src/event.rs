@@ -1,0 +1,146 @@
+//! Structured events and their NDJSON wire form.
+//!
+//! An [`Event`] is a named bag of JSON fields stamped with the process
+//! monotonic clock and the current span. [`encode_ndjson`] renders one
+//! event per line (escaping guarantees no embedded newline) and
+//! [`parse_line`] is the matching hand-rolled decoder, so traces written by
+//! one run can be read back by tooling — and the pair is property-tested
+//! for round-trip fidelity in `tests/props.rs`.
+
+use crate::json::{self, Json};
+
+/// Keys reserved for the envelope; field names must avoid them.
+pub const RESERVED_KEYS: &[&str] = &["event", "t_ns", "span"];
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event name, dot-separated by convention (`pipeline.reset`).
+    pub name: String,
+    /// Nanoseconds since the process obs epoch (monotonic).
+    pub t_ns: u64,
+    /// Innermost active span on the emitting thread, if any.
+    pub span: Option<u64>,
+    /// Payload fields in insertion order.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl Event {
+    /// Creates an event stamped with the monotonic clock and the current
+    /// thread's innermost span.
+    pub fn new(name: &str) -> Event {
+        Event {
+            name: name.to_string(),
+            t_ns: crate::elapsed_ns(),
+            span: crate::span::current_span_id(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Event {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Looks up a field value by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Encodes one event as a single NDJSON line (no trailing newline). The
+/// envelope keys come first so lines stay scannable: `{"event":...,
+/// "t_ns":..., "span":..., <fields...>}`.
+pub fn encode_ndjson(e: &Event) -> String {
+    let mut pairs: Vec<(String, Json)> = Vec::with_capacity(e.fields.len() + 3);
+    pairs.push(("event".to_string(), Json::Str(e.name.clone())));
+    pairs.push(("t_ns".to_string(), Json::from(e.t_ns)));
+    if let Some(id) = e.span {
+        pairs.push(("span".to_string(), Json::from(id)));
+    }
+    for (k, v) in &e.fields {
+        pairs.push((k.clone(), v.clone()));
+    }
+    Json::Obj(pairs).to_compact_string()
+}
+
+/// Decodes one NDJSON line back into an [`Event`]. Inverse of
+/// [`encode_ndjson`] for events whose field names avoid [`RESERVED_KEYS`]
+/// and whose integer envelope values fit f64 exactly (true for any
+/// realistic run: `t_ns` stays below 2^53 for ~104 days).
+pub fn parse_line(line: &str) -> Result<Event, String> {
+    let doc = json::parse(line).map_err(|e| e.to_string())?;
+    let Json::Obj(pairs) = doc else {
+        return Err("NDJSON line is not an object".to_string());
+    };
+    let mut name: Option<String> = None;
+    let mut t_ns: u64 = 0;
+    let mut span: Option<u64> = None;
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    for (k, v) in pairs {
+        match k.as_str() {
+            "event" => match v {
+                Json::Str(s) => name = Some(s),
+                _ => return Err("`event` must be a string".to_string()),
+            },
+            "t_ns" => match v {
+                Json::Num(n) if n >= 0.0 => t_ns = n as u64,
+                _ => return Err("`t_ns` must be a non-negative number".to_string()),
+            },
+            "span" => match v {
+                Json::Num(n) if n >= 0.0 => span = Some(n as u64),
+                _ => return Err("`span` must be a non-negative number".to_string()),
+            },
+            _ => fields.push((k, v)),
+        }
+    }
+    match name {
+        Some(name) => Ok(Event { name, t_ns, span, fields }),
+        None => Err("missing `event` key".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_one_line() {
+        let e = Event::new("test.multi").field("msg", "two\nlines");
+        let line = encode_ndjson(&e);
+        assert!(!line.contains('\n'), "newlines must be escaped: {line}");
+    }
+
+    #[test]
+    fn roundtrip_with_span_and_fields() {
+        let e = Event {
+            name: "alarm".to_string(),
+            t_ns: 123456789,
+            span: Some(7),
+            fields: vec![
+                ("vehicle".to_string(), Json::Str("v01".to_string())),
+                ("score".to_string(), Json::Num(0.75)),
+                ("channels".to_string(), Json::Arr(vec![Json::Num(1.0), Json::Num(3.0)])),
+            ],
+        };
+        let back = parse_line(&encode_ndjson(&e)).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("[1,2]").is_err());
+        assert!(parse_line("{\"t_ns\": 1}").is_err(), "missing event name");
+        assert!(parse_line("{\"event\": 3}").is_err(), "event must be a string");
+        assert!(parse_line("{\"event\": \"x\", \"t_ns\": -1}").is_err());
+    }
+
+    #[test]
+    fn get_finds_fields() {
+        let e = Event::new("x").field("a", 1u64).field("b", "s");
+        assert_eq!(e.get("a"), Some(&Json::Num(1.0)));
+        assert_eq!(e.get("missing"), None);
+    }
+}

@@ -1,0 +1,179 @@
+//! `navarchos-obs` — the workspace observability layer: spans, counters,
+//! log-linear histograms, structured-event sinks and run manifests.
+//!
+//! Hand-rolled and dependency-free (the build is offline; this crate must
+//! never be the reason a fleet run fails to build), mirroring the vendored
+//! shims' philosophy. The design optimises for the *disabled* case: with
+//! tracing and metrics off — the default — instrumented code pays one
+//! relaxed atomic load per probe, which is how the scoring kernels keep
+//! their PR 2 benchmark numbers (see `BENCH_PR3.json` for the measured
+//! overhead).
+//!
+//! # Switches
+//!
+//! | control | effect |
+//! |---------|--------|
+//! | `NAVARCHOS_LOG=stderr` | human-readable event lines on stderr |
+//! | `NAVARCHOS_LOG=ndjson[:path]` | NDJSON trace file (default `navarchos-trace.ndjson`) |
+//! | `NAVARCHOS_LOG=off` / unset | null sink, events disabled |
+//! | `NAVARCHOS_METRICS=1` | counters + histograms recorded |
+//! | CLI `--trace` / `--metrics` | same switches, per invocation |
+//!
+//! # Layers
+//!
+//! [`json`] (value/writer/parser) → [`event`] (NDJSON encode/decode) →
+//! [`sink`] (null / stderr / NDJSON file) → [`metrics`] (registry) →
+//! [`span`] (RAII timing) → [`manifest`] (per-run JSON document).
+
+pub mod event;
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use event::{encode_ndjson, parse_line, Event};
+pub use json::Json;
+pub use manifest::{stage_clock, Manifest, StageClock};
+pub use metrics::{counter, histogram, Counter, Histogram};
+pub use sink::{NdjsonSink, NullSink, Sink, StderrSink};
+pub use span::{current_span_id, span, Span};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+static EVENTS_ON: AtomicBool = AtomicBool::new(false);
+static METRICS_ON: AtomicBool = AtomicBool::new(false);
+
+/// True when a real sink is installed and events should be built and
+/// emitted. One relaxed load: cheap enough for per-record call sites.
+#[inline]
+pub fn events_enabled() -> bool {
+    EVENTS_ON.load(Ordering::Relaxed)
+}
+
+/// True when counters/histograms should record.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ON.load(Ordering::Relaxed)
+}
+
+/// Turns event emission on or off.
+pub fn set_events_enabled(on: bool) {
+    EVENTS_ON.store(on, Ordering::Relaxed);
+}
+
+/// Turns metric recording on or off.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS_ON.store(on, Ordering::Relaxed);
+}
+
+fn sink_slot() -> &'static RwLock<Arc<dyn Sink>> {
+    static SLOT: OnceLock<RwLock<Arc<dyn Sink>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(Arc::new(NullSink)))
+}
+
+/// Installs `sink` as the event destination and enables emission. Pass a
+/// [`NullSink`] (or call [`set_events_enabled`]`(false)`) to silence.
+pub fn set_sink(sink: Arc<dyn Sink>) {
+    let slot = sink_slot();
+    // Poisoning here means a reader panicked while holding the lock; the
+    // Arc slot itself is always a valid value, so recover and proceed.
+    match slot.write() {
+        Ok(mut guard) => *guard = sink,
+        Err(poisoned) => *poisoned.into_inner() = sink,
+    }
+    set_events_enabled(true);
+}
+
+/// Nanoseconds since the first obs call in this process (monotonic).
+pub fn elapsed_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Emits an event to the installed sink. Call sites on hot paths should
+/// guard with [`events_enabled`] before *building* the event.
+pub fn emit(e: &Event) {
+    if !events_enabled() {
+        return;
+    }
+    static EMITTED: OnceLock<Arc<Counter>> = OnceLock::new();
+    EMITTED.get_or_init(|| counter("events.emitted")).incr();
+    let sink = {
+        let slot = sink_slot();
+        match slot.read() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    };
+    sink.event(e);
+}
+
+/// Configures sinks and flags from `NAVARCHOS_LOG` / `NAVARCHOS_METRICS`
+/// (see the crate docs for values). Call once at process start; CLI flags
+/// may still override afterwards. Returns a description of what was
+/// enabled, for surfacing in `--help`-style diagnostics, or `None` when
+/// everything stayed off.
+pub fn init_from_env() -> Option<String> {
+    // Pin the epoch so event timestamps measure from process start.
+    let _ = elapsed_ns();
+    let mut enabled = None;
+    if let Ok(spec) = std::env::var("NAVARCHOS_LOG") {
+        let spec = spec.trim();
+        if spec == "stderr" {
+            set_sink(Arc::new(StderrSink));
+            enabled = Some("events -> stderr".to_string());
+        } else if spec == "ndjson" || spec.starts_with("ndjson:") {
+            let path = spec.strip_prefix("ndjson:").filter(|p| !p.is_empty());
+            let path = std::path::Path::new(path.unwrap_or("navarchos-trace.ndjson"));
+            match NdjsonSink::create(path) {
+                Ok(sink) => {
+                    set_sink(Arc::new(sink));
+                    enabled = Some(format!("events -> {}", path.display()));
+                }
+                Err(e) => {
+                    // Fall back to stderr rather than silently losing the
+                    // trace the user asked for.
+                    set_sink(Arc::new(StderrSink));
+                    enabled = Some(format!(
+                        "events -> stderr (could not create {}: {e})",
+                        path.display()
+                    ));
+                }
+            }
+        }
+    }
+    if std::env::var("NAVARCHOS_METRICS").is_ok_and(|v| v == "1" || v == "true") {
+        set_metrics_enabled(true);
+        enabled = Some(match enabled {
+            Some(s) => format!("{s}; metrics on"),
+            None => "metrics on".to_string(),
+        });
+    }
+    enabled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_emit_is_gated() {
+        // Flag state is global; this test only asserts the gating logic
+        // around its own toggles.
+        set_events_enabled(false);
+        let before = metrics::counter("events.emitted").get();
+        emit(&Event::new("dropped"));
+        assert_eq!(metrics::counter("events.emitted").get(), before);
+    }
+
+    #[test]
+    fn elapsed_ns_is_monotone() {
+        let a = elapsed_ns();
+        let b = elapsed_ns();
+        assert!(b >= a);
+    }
+}

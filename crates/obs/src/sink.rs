@@ -1,0 +1,113 @@
+//! Event sinks: where emitted events go.
+//!
+//! Three implementations cover the deployment matrix: [`NullSink`] (the
+//! default — near-zero cost, events are dropped before formatting because
+//! the global enable flag is off), [`StderrSink`] (human-readable lines for
+//! interactive `--trace` runs) and [`NdjsonSink`] (one JSON object per line
+//! for machine consumption, crash-safe because every line is written
+//! through immediately).
+//!
+//! Sink IO is best-effort by design: telemetry must never abort a fleet
+//! run, so write errors are swallowed.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::{encode_ndjson, Event};
+use crate::json::Json;
+
+/// A destination for structured events. Implementations must be cheap
+/// enough to call from scoring loops (they only see events when tracing is
+/// enabled) and tolerate concurrent callers.
+pub trait Sink: Send + Sync + std::fmt::Debug {
+    /// Delivers one event.
+    fn event(&self, e: &Event);
+}
+
+/// Discards everything. Installed by default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn event(&self, _e: &Event) {}
+}
+
+/// Human-readable lines on stderr: `[   1.234s] name key=value …`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn event(&self, e: &Event) {
+        let mut line = String::with_capacity(64);
+        let secs = e.t_ns as f64 / 1e9;
+        line.push_str(&format!("[{secs:9.3}s] {}", e.name));
+        for (k, v) in &e.fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            match v {
+                Json::Str(s) => line.push_str(s),
+                other => line.push_str(&other.to_compact_string()),
+            }
+        }
+        if let Some(id) = e.span {
+            line.push_str(&format!(" (span {id})"));
+        }
+        // Not eprintln!: one locked write keeps concurrent workers' lines
+        // whole, and the workspace routes all diagnostics through sinks.
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{line}");
+    }
+}
+
+/// One NDJSON line per event, appended to a file.
+#[derive(Debug)]
+pub struct NdjsonSink {
+    file: Mutex<File>,
+}
+
+impl NdjsonSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<NdjsonSink> {
+        Ok(NdjsonSink { file: Mutex::new(File::create(path)?) })
+    }
+}
+
+impl Sink for NdjsonSink {
+    fn event(&self, e: &Event) {
+        let line = encode_ndjson(e);
+        // A poisoned lock only means another writer panicked mid-write; the
+        // file handle itself is still usable for appending lines.
+        let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = writeln!(file, "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_line;
+
+    #[test]
+    fn ndjson_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("navarchos-obs-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.ndjson");
+        let sink = NdjsonSink::create(&path).unwrap();
+        sink.event(&Event::new("a").field("k", 1u64));
+        sink.event(&Event::new("b").field("s", "x y"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(parse_line(lines[0]).unwrap().name, "a");
+        assert_eq!(parse_line(lines[1]).unwrap().get("s").unwrap(), &Json::Str("x y".into()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn null_sink_is_a_noop() {
+        NullSink.event(&Event::new("ignored"));
+    }
+}

@@ -1,0 +1,112 @@
+//! RAII spans: monotonic timing with thread-safe nesting.
+//!
+//! Each thread keeps its own span stack (`thread_local`), so `par_map`
+//! workers nest independently — a worker's spans parent onto whatever was
+//! open on *that* thread, never onto another worker's frame. Ids come from
+//! one global counter so they are unique across threads, which is what the
+//! NDJSON trace needs to reconstruct the forest.
+//!
+//! When both tracing and metrics are disabled, [`span`] returns an inert
+//! guard: no clock read, no allocation, no stack push.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::event::Event;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost active span id on this thread, if any.
+pub fn current_span_id() -> Option<u64> {
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Depth of the span stack on this thread (used by the nesting tests).
+pub fn current_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+}
+
+/// An RAII span guard. Dropping it closes the span: the duration is
+/// recorded into the `span.<name>` histogram (when metrics are on) and a
+/// `span` event is emitted (when tracing is on).
+///
+/// Deliberately `!Send`: a span must close on the thread that opened it,
+/// otherwise the per-thread stacks would corrupt.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanInner>,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a span named `name`. Inert (and free) when both tracing and
+/// metrics are disabled.
+pub fn span(name: &'static str) -> Span {
+    if !crate::events_enabled() && !crate::metrics_enabled() {
+        return Span { inner: None, _not_send: PhantomData };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = current_span_id();
+    STACK.with(|s| s.borrow_mut().push(id));
+    Span {
+        inner: Some(SpanInner { name, id, parent, start: Instant::now() }),
+        _not_send: PhantomData,
+    }
+}
+
+impl Span {
+    /// This span's id (`None` for an inert guard).
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.id)
+    }
+
+    /// The id of the span this one nests under.
+    pub fn parent(&self) -> Option<u64> {
+        self.inner.as_ref().and_then(|i| i.parent)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_ns = u64::try_from(inner.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Well-nested drops pop the top; a guard dropped out of order
+            // (e.g. stored in a struct) is removed wherever it sits.
+            if stack.last() == Some(&inner.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&x| x != inner.id);
+            }
+        });
+        if crate::metrics_enabled() {
+            crate::metrics::histogram(&format!("span.{}", inner.name)).record(dur_ns);
+        }
+        if crate::events_enabled() {
+            let mut e = Event::new("span")
+                .field("name", inner.name)
+                .field("id", inner.id)
+                .field("dur_ns", dur_ns);
+            if let Some(p) = inner.parent {
+                e = e.field("parent", p);
+            }
+            crate::emit(&e);
+        }
+    }
+}

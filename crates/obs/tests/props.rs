@@ -1,0 +1,194 @@
+//! Property and concurrency tests for the observability layer: the
+//! log-linear `Histogram` bucket contract, snapshot merging, span nesting
+//! across real threads, and NDJSON event round-trips through the
+//! hand-rolled parser (`encode_ndjson` / `parse_line`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use navarchos_obs::event::{encode_ndjson, parse_line, Event};
+use navarchos_obs::json::Json;
+use navarchos_obs::metrics::{
+    bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS,
+};
+use navarchos_obs::span::{current_depth, current_span_id, span};
+use proptest::prelude::*;
+
+// ---- histogram bucket contract -----------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in a bucket whose lower bound does not exceed it,
+    /// and the next bucket's lower bound (if any) strictly exceeds it.
+    #[test]
+    fn bucket_contains_its_value(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_lower_bound(i) <= v, "lb({i}) > {v}");
+        if i + 1 < BUCKETS {
+            prop_assert!(bucket_lower_bound(i + 1) > v, "next lb({}) <= {v}", i + 1);
+        }
+    }
+
+    /// Bucket relative error stays within the 12.5% design bound above the
+    /// linear range (exact below it).
+    #[test]
+    fn bucket_relative_error_bounded(v in 16u64..(1u64 << 60)) {
+        let lb = bucket_lower_bound(bucket_index(v));
+        let err = (v - lb) as f64 / v as f64;
+        prop_assert!(err < 0.125, "relative error {err} for {v} (lb {lb})");
+    }
+
+    /// Merging per-part snapshots equals one histogram fed everything:
+    /// counts, sum, min and max are all exact under merge.
+    #[test]
+    fn snapshot_merge_is_exact(
+        xs in prop::collection::vec(0u64..1_000_000, 1..64),
+        ys in prop::collection::vec(0u64..1_000_000, 1..64),
+    ) {
+        let (ha, hb, hall) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &x in &xs {
+            ha.record(x);
+            hall.record(x);
+        }
+        for &y in &ys {
+            hb.record(y);
+            hall.record(y);
+        }
+        let mut merged = HistogramSnapshot::empty();
+        merged.merge(&ha.snapshot());
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(merged, hall.snapshot());
+    }
+}
+
+// ---- NDJSON round-trip --------------------------------------------------
+
+/// Characters that exercise every escape path in the encoder.
+const CHARS: &[char] =
+    &['a', 'Z', '0', ' ', '.', '_', '"', '\\', '\n', '\t', '\r', '\u{1}', 'é', '✓', '🚗'];
+
+fn arb_string(max_len: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..CHARS.len(), 0..max_len)
+        .prop_map(|ixs| ixs.into_iter().map(|i| CHARS[i]).collect())
+}
+
+/// Field keys must avoid the reserved envelope keys; prefixing guarantees
+/// that without rejecting cases.
+fn arb_key() -> impl Strategy<Value = String> {
+    arb_string(6).prop_map(|s| format!("k{s}"))
+}
+
+fn arb_value() -> impl Strategy<Value = Json> {
+    (0usize..5, -1.0e12f64..1.0e12, 0usize..CHARS.len(), 0u64..100).prop_flat_map(
+        |(kind, num, ci, n)| {
+            let leaf = match kind {
+                0 => Json::Null,
+                1 => Json::Bool(n % 2 == 0),
+                2 => Json::Num(num),
+                3 => Json::Str(CHARS[ci].to_string()),
+                _ => Json::Arr((0..n % 4).map(|i| Json::Num(i as f64)).collect()),
+            };
+            Just(leaf)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse_line` is a left inverse of `encode_ndjson` for events with
+    /// non-reserved field keys and exactly-representable envelope ints.
+    #[test]
+    fn ndjson_roundtrip(
+        name in arb_string(12),
+        t_ns in 0u64..(1u64 << 52),
+        span_id in 0u64..1_000_000,
+        has_span in 0u64..2,
+        keys in prop::collection::vec(arb_key(), 0..5),
+        values in prop::collection::vec(arb_value(), 0..5),
+    ) {
+        let fields: Vec<(String, Json)> = keys
+            .into_iter()
+            .enumerate()
+            // Deduplicate keys by position suffix so lookups stay unambiguous.
+            .map(|(i, k)| (format!("{k}{i}"), values.get(i).cloned().unwrap_or(Json::Null)))
+            .collect();
+        let e = Event { name: format!("n{name}"), t_ns, span: (has_span == 1).then_some(span_id), fields };
+        let line = encode_ndjson(&e);
+        prop_assert!(!line.contains('\n'), "embedded newline in {line:?}");
+        let back = parse_line(&line);
+        prop_assert!(back.is_ok(), "{line:?} -> {back:?}");
+        prop_assert_eq!(back.unwrap_or_else(|_| Event::new("unreachable")), e);
+    }
+}
+
+// ---- span nesting under threads ----------------------------------------
+
+/// Worker threads (the same substrate `par_map` runs on) each keep an
+/// independent, well-nested span stack: ids are globally unique, parents
+/// always point at the same thread's enclosing span, and depth returns to
+/// zero — no cross-thread interleaving corruption.
+#[test]
+fn span_nesting_is_per_thread() {
+    navarchos_obs::set_metrics_enabled(true);
+    let collisions = Arc::new(AtomicUsize::new(0));
+    let ids: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut seen = Vec::new();
+                    for _ in 0..50 {
+                        assert_eq!(current_depth(), 0);
+                        let outer = span("props.outer");
+                        let outer_id = outer.id().expect("enabled span has an id");
+                        assert_eq!(current_span_id(), Some(outer_id));
+                        assert_eq!(
+                            outer.parent(),
+                            None,
+                            "outer span must not adopt another thread's frame"
+                        );
+                        {
+                            let inner = span("props.inner");
+                            assert_eq!(inner.parent(), Some(outer_id));
+                            assert_eq!(current_depth(), 2);
+                            seen.push(inner.id().expect("id"));
+                        }
+                        assert_eq!(current_depth(), 1);
+                        assert_eq!(current_span_id(), Some(outer_id));
+                        seen.push(outer_id);
+                        drop(outer);
+                        assert_eq!(current_depth(), 0);
+                        assert_eq!(current_span_id(), None);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+    let mut all: Vec<u64> = ids.into_iter().flatten().collect();
+    let n = all.len();
+    all.sort_unstable();
+    all.dedup();
+    if all.len() != n {
+        collisions.fetch_add(1, Ordering::Relaxed);
+    }
+    assert_eq!(collisions.load(Ordering::Relaxed), 0, "span ids must be globally unique");
+    assert_eq!(n, 8 * 50 * 2);
+}
+
+/// Out-of-order drops (a guard stored past its scope) must not corrupt the
+/// stack for later spans.
+#[test]
+fn out_of_order_drop_keeps_stack_sound() {
+    navarchos_obs::set_metrics_enabled(true);
+    let base = current_depth();
+    let a = span("props.a");
+    let b = span("props.b");
+    drop(a); // dropped before its child
+    assert_eq!(current_span_id(), b.id());
+    drop(b);
+    assert_eq!(current_depth(), base);
+}

@@ -14,6 +14,7 @@
 //! | L4 | detector/experiment registries | factory, proptest, bench, reproduce-all completeness |
 //! | L5 | all scanned files | stale or unjustified `#[allow]` attributes |
 //! | L6 | `hot_kernels` files | unchecked slice indexing |
+//! | L7 | library `src/` (not cli/xtask/obs or `src/bin/`) | raw `print!`/`println!`/`eprint!`/`eprintln!` — route through `navarchos-obs` |
 //!
 //! Findings are suppressed only by per-site entries in
 //! `crates/xtask/lint-waivers.toml`; unused waivers are themselves errors,
@@ -30,9 +31,10 @@ use lints::Finding;
 
 /// Crates whose library code must hold the no-panic policy (L2): they run
 /// inside long fleet-scoring loops where one poisoned sample must not abort
-/// the whole experiment.
+/// the whole experiment. `obs` is instrumentation on those same loops, so a
+/// panic there would be just as fatal.
 pub const NUMERIC_CRATES: &[&str] =
-    &["stat", "tsframe", "neighbors", "core", "dsp", "gbdt", "nnet", "iforest"];
+    &["stat", "tsframe", "neighbors", "core", "dsp", "gbdt", "nnet", "iforest", "obs"];
 
 /// Outcome of a full lint run.
 #[derive(Debug, Default)]
@@ -138,6 +140,13 @@ pub fn run_lint(root: &Path, waiver_path: &Path) -> Result<Report, String> {
             scoped.push("L6");
             file_findings.extend(lints::lint_lossy_casts(&rel_path, &lib_toks));
             file_findings.extend(lints::lint_unchecked_index(&rel_path, &lib_toks));
+        }
+        // L7: library code must not print; the user-facing binaries (cli,
+        // per-crate `src/bin/` tools, xtask itself) and the obs sinks are
+        // the only sanctioned writers of stdout/stderr.
+        if in_src && !matches!(krate, "cli" | "xtask" | "obs") && !rel_path.contains("/src/bin/") {
+            scoped.push("L7");
+            file_findings.extend(lints::lint_print_macros(&rel_path, &lib_toks));
         }
         // L5 last: staleness is judged against this file's other findings.
         file_findings.extend(lints::lint_allow_audit(&rel_path, &lexed, &file_findings, &scoped));

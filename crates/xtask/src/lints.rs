@@ -294,6 +294,35 @@ fn is_keyword(s: &str) -> bool {
     matches!(s, "return" | "break" | "in" | "if" | "else" | "match" | "mut" | "ref" | "as" | "box")
 }
 
+/// L7 — raw print macros in library code: `print!`/`println!`/`eprint!`/
+/// `eprintln!` anywhere but the user-facing binaries (cli, `src/bin/`,
+/// xtask) write around the observability layer — they cannot be silenced,
+/// redirected to a trace file, or counted. Emit a `navarchos-obs` event or
+/// write to a caller-supplied `impl io::Write` instead.
+pub fn lint_print_macros(file: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_bang = i + 1 < toks.len() && toks[i + 1].is_punct("!");
+        if next_bang && matches!(t.text.as_str(), "print" | "println" | "eprint" | "eprintln") {
+            out.push(Finding::new(
+                "L7",
+                file,
+                t.line,
+                format!(
+                    "raw `{}!` in library code bypasses the observability layer — emit a \
+                     structured `navarchos_obs` event or write to a caller-supplied \
+                     `impl io::Write`",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// Lint names whose `#[allow]` xtask can adjudicate directly: if the mapped
 /// xtask lint produces no finding in the file, the allow is stale. Only
 /// lints at least as broad as their clippy counterpart belong here
@@ -574,6 +603,25 @@ mod tests {
     fn l5_doc_comments_are_not_justifications() {
         let src = "/// Public API docs.\n#[allow(clippy::ptr_arg)]\nfn f() {}";
         assert_eq!(audit(src).len(), 1);
+    }
+
+    // ---- L7 -------------------------------------------------------------
+
+    #[test]
+    fn l7_fires_on_print_macros() {
+        assert_eq!(run(lint_print_macros, "println!(\"x\");").len(), 1);
+        assert_eq!(run(lint_print_macros, "eprintln!(\"warn\");").len(), 1);
+        assert_eq!(run(lint_print_macros, "print!(\"a\"); eprint!(\"b\");").len(), 2);
+    }
+
+    #[test]
+    fn l7_silent_on_writers_strings_and_tests() {
+        assert!(run(lint_print_macros, "writeln!(out, \"x\")?;").is_empty());
+        assert!(run(lint_print_macros, "let s = \"println!\";").is_empty());
+        assert!(run(lint_print_macros, "// println! would be wrong here").is_empty());
+        assert!(run(lint_print_macros, "#[test]\nfn t() { println!(\"dbg\"); }").is_empty());
+        // `println` without `!` is just an identifier (e.g. a closure name).
+        assert!(run(lint_print_macros, "let println = 3; f(println);").is_empty());
     }
 
     // ---- strip_test_code ------------------------------------------------

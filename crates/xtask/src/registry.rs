@@ -39,6 +39,18 @@ const KERNELS: &[(&str, &str, &str, &str)] = &[
         "crates/core/tests/props.rs",
         "crates/bench/benches/substrates.rs",
     ),
+    (
+        "Histogram",
+        "crates/obs/src/metrics.rs",
+        "crates/obs/tests/props.rs",
+        "crates/bench/benches/substrates.rs",
+    ),
+    (
+        "encode_ndjson",
+        "crates/obs/src/event.rs",
+        "crates/obs/tests/props.rs",
+        "crates/bench/benches/substrates.rs",
+    ),
 ];
 
 fn finding(file: &str, line: u32, message: impl Into<String>) -> Finding {
