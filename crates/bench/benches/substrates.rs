@@ -142,10 +142,13 @@ fn bench_par(c: &mut Criterion) {
 }
 
 /// The observability substrate: sharded log-linear `Histogram` recording
-/// (the per-task probe `par_map` pays when metrics are on) and NDJSON
-/// event encoding via `encode_ndjson` (the per-event sink cost).
+/// (the per-task probe `par_map` pays when metrics are on), the
+/// `BatchedRecorder` that hot loops batch into it, NDJSON event encoding
+/// via `encode_ndjson` (the per-event sink cost), and the `fold_spans`
+/// trace-to-flamegraph converter.
 fn bench_obs(c: &mut Criterion) {
-    use navarchos_obs::{encode_ndjson, Event, Histogram};
+    use navarchos_obs::{encode_ndjson, BatchedRecorder, Event, Histogram, SpanClose};
+    use std::sync::Arc;
 
     let mut group = c.benchmark_group("obs_kernels");
     let h = Histogram::new();
@@ -158,11 +161,42 @@ fn bench_obs(c: &mut Criterion) {
         })
     });
     group.bench_function("histogram_snapshot", |b| b.iter(|| h.snapshot().count));
+    let target = Arc::new(Histogram::new());
+    let mut rec = BatchedRecorder::new(Arc::clone(&target));
+    group.bench_function("batched_recorder_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            rec.record(v >> 40);
+        })
+    });
     let e = Event::new("bench.encode")
         .field("vehicle", 17u64)
         .field("feature", "coolant~rpm")
         .field("score", 0.734_f64);
     group.bench_function("encode_ndjson", |b| b.iter(|| encode_ndjson(&e).len()));
+
+    // A fleet-shaped span forest: 40 vehicle spans under one scoring root,
+    // each with a filter/transform/score triple — the shape `xtask
+    // flamegraph` folds from a real trace.
+    let mut spans = vec![SpanClose { id: 1, parent: None, name: "score".into(), dur_ns: 1 << 30 }];
+    for vehicle in 0..40u64 {
+        let vid = 2 + vehicle * 4;
+        spans.push(SpanClose {
+            id: vid,
+            parent: Some(1),
+            name: "run_vehicle".into(),
+            dur_ns: 1 << 24,
+        });
+        for (k, stage) in ["filter", "transform", "score"].iter().enumerate() {
+            spans.push(SpanClose {
+                id: vid + 1 + k as u64,
+                parent: Some(vid),
+                name: (*stage).into(),
+                dur_ns: 1 << 22,
+            });
+        }
+    }
+    group.bench_function("fold_spans_161", |b| b.iter(|| navarchos_obs::fold_spans(&spans).len()));
     group.finish();
 }
 

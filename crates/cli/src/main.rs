@@ -17,9 +17,13 @@
 //!     Put irregular CSV telemetry on a regular time grid (gap-aware:
 //!     parking time is never interpolated across).
 //!
-//! navarchos check-manifest --path FILE
-//!     Validate a run manifest against the navarchos-run-manifest/v1
-//!     schema (the machine check CI runs over emitted manifests).
+//! navarchos check-manifest --path FILE [--against BASELINE] [--slo-p99-ms N]
+//!     Validate a run manifest against the navarchos-run-manifest schema
+//!     (v2, or v1 for committed baselines), optionally gate the
+//!     `alarm.latency_ns` p99 against an SLO, and optionally diff the
+//!     manifest structurally against a committed baseline with relative
+//!     tolerances (nonzero exit on regression) — the machine checks CI
+//!     runs over emitted manifests.
 //! ```
 //!
 //! Argument parsing is by hand (the workspace's sanctioned dependency set
@@ -98,13 +102,20 @@ USAGE:
   navarchos evaluate --dir DIR [--ph DAYS] [--metrics] [--manifest FILE] [--trace]
   navarchos explore  --dir DIR [--clusters K] [--metrics] [--manifest FILE]
   navarchos resample --telemetry FILE --out FILE [--period SECONDS] [--max-gap SECONDS] [--method linear|previous]
-  navarchos check-manifest --path FILE
+  navarchos check-manifest --path FILE [--against BASELINE] [--tol-pct N] [--time-tol-pct N]
+                           [--ignore k1,k2] [--slo-p99-ms N]
   navarchos help
 
 OBSERVABILITY:
   --trace           structured events to stderr (or NAVARCHOS_LOG=stderr|ndjson[:path])
-  --metrics         record counters/histograms (or NAVARCHOS_METRICS=1); evaluate and
-                    explore also write a run manifest + NDJSON trace next to it";
+  --metrics         record counters/histograms (or NAVARCHOS_METRICS=1; any non-empty
+                    value except 0/false/off enables); evaluate and explore also write
+                    a run manifest + NDJSON trace next to it
+  --against FILE    diff the checked manifest against a committed baseline manifest;
+                    regressions beyond tolerance exit nonzero (--tol-pct two-sided,
+                    --time-tol-pct for timings, --ignore to skip exact keys)
+  --slo-p99-ms N    fail check-manifest when the manifest's alarm.latency_ns p99
+                    exceeds N milliseconds";
 
 /// Switches that take no value; everything else is `--name value`.
 const BOOL_FLAGS: &[&str] = &["trace", "metrics"];
@@ -331,10 +342,9 @@ fn cmd_evaluate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     }
 
     let clock = obs::stage_clock();
-    let traces: Vec<_> = frames
-        .iter()
-        .map(|(frame, maintenance)| run_vehicle(frame, maintenance, &params))
-        .collect();
+    let traces = navarchos_core::par_map(&frames, |_, (frame, maintenance)| {
+        run_vehicle(frame, maintenance, &params)
+    });
     if let Some(m) = manifest.as_mut() {
         m.end_stage("score_vehicles", clock);
     }
@@ -379,6 +389,26 @@ fn cmd_evaluate(flags: &BTreeMap<String, String>) -> Result<(), String> {
             m.metric("precision", counts.precision());
             m.metric("recall", counts.recall());
             m.metric("f05", counts.f05());
+        }
+        // Alarm-latency measurement pass: replay the fleet through the
+        // streaming pipeline at the chosen factor so the manifest reports
+        // `alarm.latency_ns` (arrival-to-emission wall clock per alarm) —
+        // the batch scorer above never raises runtime alarms.
+        if let Some(m) = manifest.as_mut() {
+            let clock = obs::stage_clock();
+            let mut cfg = PipelineConfig::paper_default(
+                TransformKind::Correlation,
+                DetectorKind::ClosestPair,
+            );
+            cfg.threshold_factor = factor;
+            let replay_alarms: usize = frames
+                .iter()
+                .map(|(frame, maintenance)| {
+                    navarchos_core::replay_stream(frame, maintenance, cfg.clone()).len()
+                })
+                .sum();
+            m.end_stage("alarm_replay", clock);
+            m.metric("replay_alarms", replay_alarms);
         }
     }
     if let Some(m) = manifest {
@@ -503,14 +533,91 @@ fn cmd_explore(flags: &BTreeMap<String, String>) -> Result<(), String> {
 // check-manifest
 // ---------------------------------------------------------------------------
 
-/// Parses a run manifest and checks it against the v1 schema; the CI smoke
-/// job runs this over the manifest an `evaluate --metrics` run emits.
-fn cmd_check_manifest(flags: &BTreeMap<String, String>) -> Result<(), String> {
-    let path: PathBuf = flags.get("path").ok_or("--path FILE is required")?.into();
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+/// Reads and schema-validates one manifest file.
+fn read_manifest(path: &Path) -> Result<obs::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let doc = obs::json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     obs::manifest::validate(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
-    println!("{}: valid {}", path.display(), obs::manifest::SCHEMA);
+    Ok(doc)
+}
+
+/// One-line identity of a validated manifest: which code produced it and
+/// under what configuration — so CI logs say *what* was checked, not just
+/// that something passed.
+fn manifest_identity(doc: &obs::Json) -> String {
+    let schema = doc.get("schema").and_then(obs::Json::as_str).unwrap_or("?");
+    let command = doc.get("command").and_then(obs::Json::as_str).unwrap_or("?");
+    let git = doc.get("git").and_then(obs::Json::as_str).unwrap_or("unknown");
+    let config = match doc.get("config") {
+        Some(obs::Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, v)| {
+                let v = match v {
+                    obs::Json::Str(s) => s.clone(),
+                    other => other.to_compact_string(),
+                };
+                format!("{k}={v}")
+            })
+            .collect::<Vec<_>>()
+            .join(" "),
+        _ => String::new(),
+    };
+    format!("{schema} · {command} @ {git} · {config}")
+}
+
+/// Parses a run manifest and checks it against the schema (v2, or v1 for
+/// committed baselines); the CI smoke job runs this over the manifest an
+/// `evaluate --metrics` run emits. `--slo-p99-ms` additionally gates the
+/// `alarm.latency_ns` p99, and `--against` diffs the manifest against a
+/// committed baseline with relative tolerances, exiting nonzero on any
+/// regression.
+fn cmd_check_manifest(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let path: PathBuf = flags.get("path").ok_or("--path FILE is required")?.into();
+    let doc = read_manifest(&path)?;
+    println!("{}: valid — {}", path.display(), manifest_identity(&doc));
+
+    if flags.contains_key("slo-p99-ms") {
+        let slo_ms: f64 = get_num(flags, "slo-p99-ms", 0.0)?;
+        let p99_ns = doc
+            .get("histograms")
+            .and_then(|h| h.get("alarm.latency_ns"))
+            .and_then(|h| h.get("p99"))
+            .and_then(obs::Json::as_num)
+            .ok_or_else(|| {
+                "--slo-p99-ms: manifest has no alarm.latency_ns histogram; produce one with a \
+                 metrics-enabled run that replays alarms (evaluate --metrics or bench_baseline)"
+                    .to_string()
+            })?;
+        let p99_ms = p99_ns / 1.0e6;
+        if p99_ms > slo_ms {
+            return Err(format!("alarm latency SLO exceeded: p99 {p99_ms:.3} ms > {slo_ms} ms"));
+        }
+        println!("alarm latency SLO ok: p99 {p99_ms:.3} ms <= {slo_ms} ms");
+    }
+
+    if let Some(baseline_path) = flags.get("against") {
+        let baseline = read_manifest(Path::new(baseline_path))?;
+        let cfg = obs::DiffConfig {
+            tol_pct: get_num(flags, "tol-pct", 25.0)?,
+            time_tol_pct: get_num(flags, "time-tol-pct", 50.0)?,
+            ignore: flags
+                .get("ignore")
+                .map(|s| {
+                    s.split(',').map(|x| x.trim().to_string()).filter(|x| !x.is_empty()).collect()
+                })
+                .unwrap_or_default(),
+            eps: 1e-6,
+        };
+        let report = obs::diff_manifests(&doc, &baseline, &cfg);
+        print!("{}", report.render());
+        if !report.ok() {
+            return Err(format!(
+                "{} regression(s) against {baseline_path}",
+                report.regressions.len()
+            ));
+        }
+        println!("no regressions against {baseline_path}");
+    }
     Ok(())
 }
 

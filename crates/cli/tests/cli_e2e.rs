@@ -87,7 +87,7 @@ fn evaluate_metrics_writes_valid_manifest_and_trace() {
     };
     let names: Vec<_> =
         stages.iter().filter_map(|s| s.get("name").and_then(navarchos_obs::Json::as_str)).collect();
-    assert_eq!(names, ["load", "score_vehicles", "factor_sweep"]);
+    assert_eq!(names, ["load", "score_vehicles", "factor_sweep", "alarm_replay"]);
     let records = doc
         .get("counters")
         .and_then(|c| c.get("runner.records"))
@@ -108,13 +108,47 @@ fn evaluate_metrics_writes_valid_manifest_and_trace() {
     }
     assert!(events > 0, "trace is not empty");
 
-    // check-manifest accepts the real manifest and rejects garbage.
+    // The alarm-replay pass recorded emission latencies.
+    let latency = doc.get("histograms").and_then(|h| h.get("alarm.latency_ns"));
+    let p99 = latency.and_then(|h| h.get("p99")).and_then(navarchos_obs::Json::as_num);
+    assert!(p99.is_some(), "alarm.latency_ns p99 present: {latency:?}");
+
+    // check-manifest accepts the real manifest (and says what it checked),
+    // gates the latency SLO in both directions, diffs the manifest against
+    // itself cleanly, and rejects garbage.
     let out = navarchos()
         .args(["check-manifest", "--path", manifest.to_str().unwrap()])
         .output()
         .expect("run check-manifest");
     assert!(out.status.success(), "check failed: {}", String::from_utf8_lossy(&out.stderr));
-    assert!(String::from_utf8_lossy(&out.stdout).contains("valid"));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("valid"));
+    assert!(text.contains("evaluate @"), "identity line names the command: {text}");
+    assert!(text.contains("vehicles=5"), "identity line summarises config: {text}");
+
+    let out = navarchos()
+        .args(["check-manifest", "--path", manifest.to_str().unwrap()])
+        .args(["--slo-p99-ms", "60000"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "lenient SLO failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("SLO ok"));
+
+    let out = navarchos()
+        .args(["check-manifest", "--path", manifest.to_str().unwrap()])
+        .args(["--slo-p99-ms", "0.000001"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "impossible SLO must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("SLO exceeded"));
+
+    let out = navarchos()
+        .args(["check-manifest", "--path", manifest.to_str().unwrap()])
+        .args(["--against", manifest.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "self-diff failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no regressions"));
 
     let bogus = dir.join("bogus.json");
     std::fs::write(&bogus, "{\"schema\": \"navarchos-run-manifest/v1\"}").unwrap();
@@ -122,6 +156,84 @@ fn evaluate_metrics_writes_valid_manifest_and_trace() {
         navarchos().args(["check-manifest", "--path", bogus.to_str().unwrap()]).output().unwrap();
     assert!(!out.status.success(), "incomplete manifest must fail");
     assert!(String::from_utf8_lossy(&out.stderr).contains("missing required key"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A baseline with an artificially inflated stage time must make
+/// `check-manifest --against` exit nonzero and name the offending metric:
+/// the other direction of the regression gate (current slower than
+/// baseline).
+#[test]
+fn check_manifest_against_flags_inflated_stage_time() {
+    let dir = temp_dir("diff");
+    let out = navarchos()
+        .args(["simulate", "--out", dir.to_str().unwrap()])
+        .args(["--vehicles", "4", "--days", "50", "--failures", "1", "--seed", "11"])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let manifest = dir.join("run-manifest.json");
+    let out = navarchos()
+        .args(["evaluate", "--dir", dir.to_str().unwrap(), "--metrics"])
+        .args(["--manifest", manifest.to_str().unwrap()])
+        .output()
+        .expect("run evaluate --metrics");
+    assert!(out.status.success(), "evaluate failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Shrink the baseline's score_vehicles wall time to a tenth: the real
+    // manifest now looks 10x slower than "before".
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    let doc = navarchos_obs::json::parse(&text).unwrap();
+    let wall = doc
+        .get("stages")
+        .and_then(|s| match s {
+            navarchos_obs::Json::Arr(items) => items
+                .iter()
+                .find(|st| {
+                    st.get("name").and_then(navarchos_obs::Json::as_str) == Some("score_vehicles")
+                })
+                .and_then(|st| st.get("wall_seconds"))
+                .and_then(navarchos_obs::Json::as_num),
+            _ => None,
+        })
+        .expect("score_vehicles wall time");
+    let baseline = dir.join("baseline.json");
+    let shrunk = text.replacen(
+        &format!("\"wall_seconds\": {wall}"),
+        &format!("\"wall_seconds\": {}", wall / 10.0),
+        1,
+    );
+    assert_ne!(shrunk, text, "surgery must hit the stage time");
+    std::fs::write(&baseline, shrunk).unwrap();
+
+    let out = navarchos()
+        .args(["check-manifest", "--path", manifest.to_str().unwrap()])
+        .args(["--against", baseline.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "10x stage inflation must regress");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("stages.score_vehicles.wall_seconds"),
+        "offending metric named: {stdout}"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regression"), "{stdout}");
+
+    // The same diff passes once the offending key is ignored (the knob CI
+    // uses for known-noisy stages).
+    let out = navarchos()
+        .args(["check-manifest", "--path", manifest.to_str().unwrap()])
+        .args(["--against", baseline.to_str().unwrap()])
+        .args(["--ignore", "stages.score_vehicles.wall_seconds,stages.score_vehicles.cpu_seconds"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "--ignore must clear the gate: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

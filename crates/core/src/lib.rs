@@ -35,7 +35,7 @@ pub use detectors::{Detector, DetectorKind};
 pub use evaluation::{evaluate, sweep_best, EvalCounts, EvalParams};
 pub use fleet_grand::{fleet_grand_scores, FleetGrandParams, VehicleSeries};
 pub use par::par_map;
-pub use pipeline::{Alarm, PipelineConfig, StreamingPipeline};
+pub use pipeline::{replay_stream, Alarm, PipelineConfig, StreamingPipeline};
 pub use reference::ResetPolicy;
 pub use runner::{run_vehicle, RunnerParams, VehicleScores};
 pub use threshold::SelfTuningThreshold;

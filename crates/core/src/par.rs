@@ -20,6 +20,18 @@
 ///
 /// On a single-core host the scope degenerates to one worker thread, so
 /// the overhead over a serial loop is one spawn/join per call.
+/// Sampling mask for per-item task timing: coarse fan-outs (fleets of
+/// vehicles) time every item so the `par_map.task_ns` histogram keeps its
+/// one-entry-per-task semantics; fine-grained fan-outs over many cheap
+/// items time 1 in 8 so the clock reads cannot dominate the work.
+fn task_sample_mask(n: usize) -> usize {
+    if n > 256 {
+        7
+    } else {
+        0
+    }
+}
+
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -32,13 +44,16 @@ where
     }
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).clamp(1, n);
 
-    // Task timing is resolved once per call, not per item; workers bump a
-    // shard of the histogram with relaxed atomics, so the probe scales with
-    // the worker count. Disabled, `task_ns` is `None` and each item pays
-    // one branch.
+    // Task timing is resolved once per call, not per item; each worker
+    // accumulates into a thread-local `BatchedRecorder` (plain locals, no
+    // atomics) flushed once when the worker finishes. Coarse fan-outs
+    // (fleets of vehicles) time every item; fine-grained fan-outs over
+    // many cheap items sample 1 in 8 so the probe cannot dominate the
+    // work. Disabled, `task_ns` is `None` and each item pays one branch.
     let span = navarchos_obs::span("par_map");
     let task_ns =
         navarchos_obs::metrics_enabled().then(|| navarchos_obs::histogram("par_map.task_ns"));
+    let item_mask = task_sample_mask(n);
 
     let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
         let f = &f;
@@ -46,17 +61,24 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 scope.spawn(move || {
+                    let mut recorder = task_ns
+                        .as_ref()
+                        .map(|h| navarchos_obs::BatchedRecorder::new(std::sync::Arc::clone(h)));
                     let mut out = Vec::new();
                     for (i, item) in items.iter().enumerate().skip(t).step_by(threads) {
-                        match task_ns {
-                            Some(h) => {
+                        match &mut recorder {
+                            Some(rec) if i & item_mask == 0 => {
                                 let t0 = std::time::Instant::now();
                                 let r = f(i, item);
-                                h.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(0));
+                                rec.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(0));
                                 out.push((i, r));
                             }
-                            None => out.push((i, f(i, item))),
+                            _ => out.push((i, f(i, item))),
                         }
+                    }
+                    // Recorder drop also flushes; explicit for clarity.
+                    if let Some(mut rec) = recorder {
+                        rec.flush();
                     }
                     out
                 })
@@ -111,6 +133,28 @@ mod tests {
             })
         });
         assert!(result.is_err(), "panic must cross the scope");
+    }
+
+    #[test]
+    fn sample_mask_spares_small_fanouts() {
+        assert_eq!(task_sample_mask(1), 0);
+        assert_eq!(task_sample_mask(40), 0);
+        assert_eq!(task_sample_mask(256), 0);
+        assert_eq!(task_sample_mask(257), 7);
+        assert_eq!(task_sample_mask(100_000), 7);
+    }
+
+    #[test]
+    fn small_fanouts_record_one_timing_per_task() {
+        navarchos_obs::set_metrics_enabled(true);
+        let h = navarchos_obs::histogram("par_map.task_ns");
+        let before = h.snapshot().count;
+        let items: Vec<usize> = (0..40).collect();
+        let _ = par_map(&items, |_, &x| x);
+        let after = h.snapshot().count;
+        // >= because other tests in this binary may also record; the
+        // batched recorders must have flushed all 40 samples by return.
+        assert!(after >= before + 40, "{before} -> {after}");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::detectors::{Detector, DetectorKind, DetectorParams};
 use crate::reference::{ReferenceProfile, ResetPolicy};
 use crate::threshold::SelfTuningThreshold;
 use navarchos_obs as obs;
-use navarchos_tsframe::{FilterSpec, Transform, TransformKind};
+use navarchos_tsframe::{FilterSpec, Frame, Transform, TransformKind};
 
 /// Pipeline configuration (one vehicle's instantiation of the framework).
 #[derive(Debug, Clone)]
@@ -104,6 +104,9 @@ enum Phase {
 
 /// Cached metric handles for the pipeline's hot path: resolved once at
 /// construction so `process_record` never touches the registry mutex.
+/// Stage timings go through [`obs::BatchedRecorder`]s — plain local
+/// buffers, no atomics per record — flushed into the shared histograms on
+/// drop or via [`StreamingPipeline::flush_obs`].
 #[derive(Debug)]
 struct PipelineStats {
     records: Arc<obs::Counter>,
@@ -111,9 +114,10 @@ struct PipelineStats {
     resets: Arc<obs::Counter>,
     refits: Arc<obs::Counter>,
     alarms: Arc<obs::Counter>,
-    filter_ns: Arc<obs::Histogram>,
-    transform_ns: Arc<obs::Histogram>,
-    score_ns: Arc<obs::Histogram>,
+    filter_ns: obs::BatchedRecorder,
+    transform_ns: obs::BatchedRecorder,
+    score_ns: obs::BatchedRecorder,
+    alarm_latency_ns: obs::BatchedRecorder,
 }
 
 impl PipelineStats {
@@ -124,10 +128,18 @@ impl PipelineStats {
             resets: obs::counter("pipeline.resets"),
             refits: obs::counter("pipeline.refits"),
             alarms: obs::counter("pipeline.alarms"),
-            filter_ns: obs::histogram("pipeline.stage.filter_ns"),
-            transform_ns: obs::histogram("pipeline.stage.transform_ns"),
-            score_ns: obs::histogram("pipeline.stage.score_ns"),
+            filter_ns: obs::BatchedRecorder::new(obs::histogram("pipeline.stage.filter_ns")),
+            transform_ns: obs::BatchedRecorder::new(obs::histogram("pipeline.stage.transform_ns")),
+            score_ns: obs::BatchedRecorder::new(obs::histogram("pipeline.stage.score_ns")),
+            alarm_latency_ns: obs::BatchedRecorder::new(obs::histogram("alarm.latency_ns")),
         }
+    }
+
+    fn flush(&mut self) {
+        self.filter_ns.flush();
+        self.transform_ns.flush();
+        self.score_ns.flush();
+        self.alarm_latency_ns.flush();
     }
 }
 
@@ -215,13 +227,27 @@ impl StreamingPipeline {
         }
     }
 
+    /// Flushes the batched stage/latency recorders into the shared
+    /// histograms. Runs automatically when the pipeline drops; call it
+    /// explicitly before snapshotting metrics from a still-live pipeline
+    /// (the `monitor` loop, dashboards).
+    pub fn flush_obs(&mut self) {
+        self.stats.flush();
+    }
+
     /// Handles one raw record; returns any alarms raised.
     ///
     /// With metrics enabled, the filter → transform → score stages are
-    /// timed into `pipeline.stage.*_ns` histograms; disabled, the probe
-    /// cost is one relaxed atomic load.
+    /// timed into `pipeline.stage.*_ns` histograms and every raised alarm
+    /// records `alarm.latency_ns` — the wall-clock delay from this
+    /// record's arrival (entry into this call) to the alarm's emission,
+    /// i.e. how long the triggering observation took to become an alarm.
+    /// Disabled, the probe cost is one relaxed atomic load.
     pub fn process_record(&mut self, timestamp: i64, row: &[f64]) -> Vec<Alarm> {
         let on = obs::metrics_enabled();
+        let events_on = obs::events_enabled();
+        // Arrival timestamp of the triggering record, for alarm latency.
+        let arrival = (on || events_on).then(Instant::now);
         let mut clock = if on {
             self.stats.records.incr();
             Some(Instant::now())
@@ -309,24 +335,66 @@ impl StreamingPipeline {
             self.stats.score_ns.record(ns_since(t0));
         }
         if !alarms.is_empty() {
+            let latency_ns = arrival.map(ns_since);
             if on {
                 self.stats.alarms.add(alarms.len() as u64);
+                if let Some(l) = latency_ns {
+                    // One latency sample per alarm, so the histogram count
+                    // stays aligned with the `pipeline.alarms` counter.
+                    for _ in 0..alarms.len() {
+                        self.stats.alarm_latency_ns.record(l);
+                    }
+                }
             }
-            if obs::events_enabled() {
+            if events_on {
                 for a in &alarms {
-                    obs::emit(
-                        &obs::Event::new("pipeline.alarm")
-                            .field("timestamp", a.timestamp)
-                            .field("channel", a.channel)
-                            .field("feature", a.channel_name.as_str())
-                            .field("score", a.score)
-                            .field("threshold", a.threshold),
-                    );
+                    let mut e = obs::Event::new("pipeline.alarm")
+                        .field("timestamp", a.timestamp)
+                        .field("channel", a.channel)
+                        .field("feature", a.channel_name.as_str())
+                        .field("score", a.score)
+                        .field("threshold", a.threshold);
+                    if let Some(l) = latency_ns {
+                        e = e.field("latency_ns", l);
+                    }
+                    obs::emit(&e);
                 }
             }
         }
         alarms
     }
+}
+
+/// Streams one vehicle's full history through a fresh
+/// [`StreamingPipeline`], interleaving maintenance events at their
+/// recorded times — the measurement pass behind `alarm.latency_ns`: the
+/// batch runner scores retrospectively and never raises runtime alarms,
+/// so `evaluate --metrics` and `bench_baseline` replay the stream through
+/// the online path to observe real emission latencies. Returns every
+/// alarm raised.
+pub fn replay_stream(
+    frame: &Frame,
+    maintenance: &[(i64, bool)],
+    cfg: PipelineConfig,
+) -> Vec<Alarm> {
+    let _span = obs::span("replay_stream");
+    let mut pipeline = StreamingPipeline::new(frame.names(), cfg);
+    let mut events = maintenance.iter().peekable();
+    let mut row = Vec::with_capacity(frame.width());
+    let mut alarms = Vec::new();
+    for i in 0..frame.len() {
+        let t = frame.timestamps()[i];
+        while let Some(&&(mt, is_repair)) = events.peek() {
+            if mt > t {
+                break;
+            }
+            events.next();
+            pipeline.process_event(is_repair);
+        }
+        frame.row_into(i, &mut row);
+        alarms.extend(pipeline.process_record(t, &row));
+    }
+    alarms
 }
 
 #[cfg(test)]
@@ -451,6 +519,61 @@ mod tests {
             }
         }
         assert!(fired, "Grand never alarmed on a persistent anomaly");
+    }
+
+    /// Feeds a healthy stream then a flipped one through `cfg`'s pipeline
+    /// shape, returning the alarms from the flipped phase.
+    fn flip_alarms(p: &mut StreamingPipeline) -> Vec<Alarm> {
+        feed_healthy(p, 0, 200);
+        let mut alarms = Vec::new();
+        for i in 0..60 {
+            let t = 200 * 60 + i as i64 * 60;
+            let a = (i as f64 * 0.7).sin() * 10.0 + 20.0;
+            alarms.extend(p.process_record(t, &[a, -2.0 * a + 90.0]));
+        }
+        alarms
+    }
+
+    #[test]
+    fn alarm_latency_histogram_records_when_metrics_on() {
+        obs::set_metrics_enabled(true);
+        let before = obs::histogram("alarm.latency_ns").snapshot().count;
+        let mut p = tiny_pipeline();
+        let alarms = flip_alarms(&mut p);
+        assert!(!alarms.is_empty());
+        p.flush_obs();
+        let after = obs::histogram("alarm.latency_ns").snapshot().count;
+        assert!(
+            after >= before + alarms.len() as u64,
+            "latency samples {before} -> {after} for {} alarms",
+            alarms.len()
+        );
+        // Deliberately not restoring the global flag: concurrent tests in
+        // this binary also enable metrics, and a mid-test disable from
+        // here would race their histogram-count assertions.
+    }
+
+    #[test]
+    fn replay_stream_matches_streaming_pipeline() {
+        // Same records fed directly and via replay must raise identical
+        // alarms (replay is just the loop, not a different pipeline).
+        let mut frame = Frame::new(&["a", "b"]);
+        for i in 0..260 {
+            let a = (i as f64 * 0.7).sin() * 10.0 + 20.0;
+            let b = if i < 200 { 2.0 * a + 1.0 } else { -2.0 * a + 90.0 };
+            frame.push_row(i as i64 * 60, &[a, b]);
+        }
+        let mut direct = tiny_pipeline();
+        let mut expected = Vec::new();
+        for i in 0..frame.len() {
+            let mut row = Vec::new();
+            frame.row_into(i, &mut row);
+            expected.extend(direct.process_record(frame.timestamps()[i], &row));
+        }
+        let cfg = tiny_pipeline().cfg;
+        let replayed = replay_stream(&frame, &[], cfg);
+        assert_eq!(replayed, expected);
+        assert!(!replayed.is_empty(), "flip must alarm through replay too");
     }
 
     #[test]

@@ -1,0 +1,555 @@
+//! Structural manifest diffing: compares a freshly generated run manifest
+//! against a committed baseline (`BENCH_PR3.json` and successors) and
+//! classifies every numeric drift as a regression, an improvement or a
+//! note — so bench trajectories are enforced by CI instead of eyeballed.
+//!
+//! Directionality is inferred from what each section measures:
+//!
+//! * stage `wall_seconds`/`cpu_seconds`, top-level clocks and any metric
+//!   whose name mentions time (`seconds`, `overhead`, `_ns`, `_ms`,
+//!   `latency`) are **one-sided, lower is better** — getting faster never
+//!   fails the gate;
+//! * metrics mentioning `speedup` are one-sided, **higher** is better;
+//! * counters and the remaining metrics (detection scores, ...) are
+//!   **two-sided** — an unexplained move in either direction is flagged,
+//!   because a "better" F-score from a changed workload is still a
+//!   changed workload;
+//! * histogram `count` drift is reported as a note, not a regression:
+//!   sampling-policy changes legitimately alter how many probes record,
+//!   while the timing quantiles (`p50`/`p99`/`mean`) stay comparable and
+//!   are held to the one-sided time rule.
+//!
+//! Keys present in the baseline but missing from the current manifest are
+//! regressions (instrumentation was lost); new keys are notes.
+
+use crate::json::Json;
+
+/// Tolerances and exclusions for a diff run.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Relative tolerance (percent) for two-sided comparisons.
+    pub tol_pct: f64,
+    /// Relative tolerance (percent) for one-sided timing comparisons —
+    /// wall clocks are noisy, so this defaults far looser.
+    pub time_tol_pct: f64,
+    /// Exact diff keys (as rendered in the report, e.g.
+    /// `stages.generate_fleet.wall_seconds`) to skip entirely.
+    pub ignore: Vec<String>,
+    /// Values whose magnitudes both sit at or below this floor compare as
+    /// equal: relative drift on numbers like a 1e-13 equivalence residual
+    /// is noise, not signal.
+    pub eps: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig { tol_pct: 25.0, time_tol_pct: 50.0, ignore: Vec::new(), eps: 1e-6 }
+    }
+}
+
+/// Outcome of one comparison or observation, rendered one per line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffLine {
+    /// Dotted key path (`metrics.transform_speedup`, ...).
+    pub key: String,
+    /// Human-readable description of what moved and by how much.
+    pub detail: String,
+}
+
+/// Result of diffing a current manifest against a baseline.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Drifts beyond tolerance in the harmful direction (or structural
+    /// losses). Any entry here means the gate fails.
+    pub regressions: Vec<DiffLine>,
+    /// Drifts beyond tolerance in the beneficial direction.
+    pub improvements: Vec<DiffLine>,
+    /// Informational: new keys, count changes, skipped keys.
+    pub notes: Vec<DiffLine>,
+    /// Number of numeric comparisons performed.
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// True when no regression was found.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the report as the multi-line text the CLI prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut section = |title: &str, lines: &[DiffLine]| {
+            if lines.is_empty() {
+                return;
+            }
+            out.push_str(title);
+            out.push('\n');
+            for l in lines {
+                out.push_str("  ");
+                out.push_str(&l.key);
+                out.push_str(": ");
+                out.push_str(&l.detail);
+                out.push('\n');
+            }
+        };
+        section("REGRESSIONS", &self.regressions);
+        section("improvements", &self.improvements);
+        section("notes", &self.notes);
+        out.push_str(&format!(
+            "{} comparisons: {} regression(s), {} improvement(s), {} note(s)\n",
+            self.compared,
+            self.regressions.len(),
+            self.improvements.len(),
+            self.notes.len()
+        ));
+        out
+    }
+}
+
+/// Which drift direction (if any) fails the gate for a given key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Lower is better: only an increase beyond tolerance regresses.
+    LowerBetter,
+    /// Higher is better: only a decrease beyond tolerance regresses.
+    HigherBetter,
+    /// Any move beyond tolerance regresses.
+    TwoSided,
+    /// Changes are reported as notes only.
+    NoteOnly,
+}
+
+/// Infers the comparison rule for a metric-section key from its name.
+fn metric_direction(key: &str) -> Direction {
+    if key.contains("speedup") {
+        return Direction::HigherBetter;
+    }
+    let timey = ["seconds", "overhead", "_ns", "_ms", "latency"];
+    if timey.iter().any(|t| key.contains(t)) {
+        Direction::LowerBetter
+    } else {
+        Direction::TwoSided
+    }
+}
+
+/// One comparison to run: the key path, both values, the rule and the
+/// tolerance (percent) to apply.
+struct Probe {
+    key: String,
+    current: Option<f64>,
+    baseline: Option<f64>,
+    direction: Direction,
+    tol_pct: f64,
+}
+
+/// Collects `(name, numeric value)` pairs from a flat object section.
+fn numeric_entries(doc: &Json, section: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(Json::Obj(pairs)) = doc.get(section) {
+        for (k, v) in pairs {
+            if let Some(n) = v.as_num() {
+                out.push((k.clone(), n));
+            }
+        }
+    }
+    out
+}
+
+/// Looks up `stages[] -> {name, field}` as a map entry.
+fn stage_value(doc: &Json, name: &str, field: &str) -> Option<f64> {
+    let Some(Json::Arr(stages)) = doc.get("stages") else {
+        return None;
+    };
+    stages
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+        .and_then(|s| s.get(field))
+        .and_then(Json::as_num)
+}
+
+/// Names of all stages in a manifest, in order.
+fn stage_names(doc: &Json) -> Vec<String> {
+    let Some(Json::Arr(stages)) = doc.get("stages") else {
+        return Vec::new();
+    };
+    stages.iter().filter_map(|s| s.get("name").and_then(Json::as_str).map(str::to_string)).collect()
+}
+
+/// Histogram summary field, e.g. `histograms.par_map.task_ns -> p99`.
+fn hist_value(doc: &Json, name: &str, field: &str) -> Option<f64> {
+    doc.get("histograms")?.get(name)?.get(field).and_then(Json::as_num)
+}
+
+fn hist_names(doc: &Json) -> Vec<String> {
+    let Some(Json::Obj(pairs)) = doc.get("histograms") else {
+        return Vec::new();
+    };
+    pairs.iter().map(|(k, _)| k.clone()).collect()
+}
+
+/// Diffs `current` against `baseline` under `cfg`. Both documents are
+/// parsed manifests (v1 or v2 — the diff only touches shared structure).
+pub fn diff_manifests(current: &Json, baseline: &Json, cfg: &DiffConfig) -> DiffReport {
+    let mut probes: Vec<Probe> = Vec::new();
+
+    // Stage clocks: one-sided timing, keyed per stage name.
+    let base_stages = stage_names(baseline);
+    for name in &base_stages {
+        for field in ["wall_seconds", "cpu_seconds"] {
+            probes.push(Probe {
+                key: format!("stages.{name}.{field}"),
+                current: stage_value(current, name, field),
+                baseline: stage_value(baseline, name, field),
+                direction: Direction::LowerBetter,
+                tol_pct: cfg.time_tol_pct,
+            });
+        }
+    }
+    for name in stage_names(current) {
+        if !base_stages.contains(&name) {
+            probes.push(Probe {
+                key: format!("stages.{name}"),
+                current: stage_value(current, &name, "wall_seconds"),
+                baseline: None,
+                direction: Direction::NoteOnly,
+                tol_pct: cfg.tol_pct,
+            });
+        }
+    }
+
+    // Counters: two-sided — the workload itself must not drift.
+    let base_counters = numeric_entries(baseline, "counters");
+    let cur_counters = numeric_entries(current, "counters");
+    for (k, b) in &base_counters {
+        probes.push(Probe {
+            key: format!("counters.{k}"),
+            current: cur_counters.iter().find(|(ck, _)| ck == k).map(|(_, v)| *v),
+            baseline: Some(*b),
+            direction: Direction::TwoSided,
+            tol_pct: cfg.tol_pct,
+        });
+    }
+    for (k, v) in &cur_counters {
+        if !base_counters.iter().any(|(bk, _)| bk == k) {
+            probes.push(Probe {
+                key: format!("counters.{k}"),
+                current: Some(*v),
+                baseline: None,
+                direction: Direction::NoteOnly,
+                tol_pct: cfg.tol_pct,
+            });
+        }
+    }
+
+    // Histograms: quantiles held to the timing rule, counts informational.
+    let base_hists = hist_names(baseline);
+    for name in &base_hists {
+        for (field, direction, tol) in [
+            ("count", Direction::NoteOnly, cfg.tol_pct),
+            ("mean", Direction::LowerBetter, cfg.time_tol_pct),
+            ("p50", Direction::LowerBetter, cfg.time_tol_pct),
+            ("p99", Direction::LowerBetter, cfg.time_tol_pct),
+        ] {
+            probes.push(Probe {
+                key: format!("histograms.{name}.{field}"),
+                current: hist_value(current, name, field),
+                baseline: hist_value(baseline, name, field),
+                direction,
+                tol_pct: tol,
+            });
+        }
+    }
+    for name in hist_names(current) {
+        if !base_hists.contains(&name) {
+            probes.push(Probe {
+                key: format!("histograms.{name}"),
+                current: hist_value(current, &name, "count"),
+                baseline: None,
+                direction: Direction::NoteOnly,
+                tol_pct: cfg.tol_pct,
+            });
+        }
+    }
+
+    // Metrics: direction inferred per key name.
+    let base_metrics = numeric_entries(baseline, "metrics");
+    let cur_metrics = numeric_entries(current, "metrics");
+    for (k, b) in &base_metrics {
+        let direction = metric_direction(k);
+        probes.push(Probe {
+            key: format!("metrics.{k}"),
+            current: cur_metrics.iter().find(|(ck, _)| ck == k).map(|(_, v)| *v),
+            baseline: Some(*b),
+            direction,
+            tol_pct: if direction == Direction::LowerBetter {
+                cfg.time_tol_pct
+            } else {
+                cfg.tol_pct
+            },
+        });
+    }
+    for (k, v) in &cur_metrics {
+        if !base_metrics.iter().any(|(bk, _)| bk == k) {
+            probes.push(Probe {
+                key: format!("metrics.{k}"),
+                current: Some(*v),
+                baseline: None,
+                direction: Direction::NoteOnly,
+                tol_pct: cfg.tol_pct,
+            });
+        }
+    }
+
+    // Whole-run clocks.
+    for field in ["wall_seconds", "cpu_seconds"] {
+        probes.push(Probe {
+            key: field.to_string(),
+            current: current.get(field).and_then(Json::as_num),
+            baseline: baseline.get(field).and_then(Json::as_num),
+            direction: Direction::LowerBetter,
+            tol_pct: cfg.time_tol_pct,
+        });
+    }
+
+    let mut report = DiffReport::default();
+    for probe in probes {
+        if cfg.ignore.iter().any(|ig| ig == &probe.key) {
+            report
+                .notes
+                .push(DiffLine { key: probe.key, detail: "ignored by --ignore".to_string() });
+            continue;
+        }
+        evaluate(&probe, cfg, &mut report);
+    }
+    report
+}
+
+/// Applies one probe's rule and files the outcome into the report.
+fn evaluate(probe: &Probe, cfg: &DiffConfig, report: &mut DiffReport) {
+    let (cur, base) = match (probe.current, probe.baseline) {
+        (Some(c), Some(b)) => (c, b),
+        (Some(c), None) => {
+            report.notes.push(DiffLine {
+                key: probe.key.clone(),
+                detail: format!("new in current manifest (value {c})"),
+            });
+            return;
+        }
+        (None, Some(b)) => {
+            report.regressions.push(DiffLine {
+                key: probe.key.clone(),
+                detail: format!("present in baseline ({b}) but missing from current manifest"),
+            });
+            return;
+        }
+        // Neither side has it (e.g. cpu_seconds off-platform): nothing to say.
+        (None, None) => return,
+    };
+    report.compared += 1;
+    if cur.abs() <= cfg.eps && base.abs() <= cfg.eps {
+        return;
+    }
+    // Relative drift versus the baseline magnitude (floored so a near-zero
+    // baseline cannot turn noise into an unbounded percentage).
+    let denom = base.abs().max(cfg.eps);
+    let drift_pct = 100.0 * (cur - base) / denom;
+    let within = drift_pct.abs() <= probe.tol_pct;
+    let describe = |label: &str| {
+        format!("{label}: {base} -> {cur} ({drift_pct:+.1}%, tolerance {}%)", probe.tol_pct)
+    };
+    match probe.direction {
+        Direction::NoteOnly => {
+            if !within {
+                report.notes.push(DiffLine { key: probe.key.clone(), detail: describe("changed") });
+            }
+        }
+        Direction::TwoSided => {
+            if !within {
+                report
+                    .regressions
+                    .push(DiffLine { key: probe.key.clone(), detail: describe("drifted") });
+            }
+        }
+        Direction::LowerBetter => {
+            if drift_pct > probe.tol_pct {
+                report
+                    .regressions
+                    .push(DiffLine { key: probe.key.clone(), detail: describe("slower") });
+            } else if drift_pct < -probe.tol_pct {
+                report
+                    .improvements
+                    .push(DiffLine { key: probe.key.clone(), detail: describe("faster") });
+            }
+        }
+        Direction::HigherBetter => {
+            if drift_pct < -probe.tol_pct {
+                report
+                    .regressions
+                    .push(DiffLine { key: probe.key.clone(), detail: describe("dropped") });
+            } else if drift_pct > probe.tol_pct {
+                report
+                    .improvements
+                    .push(DiffLine { key: probe.key.clone(), detail: describe("raised") });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn manifest(stage_wall: f64, records: f64, p99: f64, score: f64) -> Json {
+        parse(&format!(
+            r#"{{
+              "schema": "navarchos-run-manifest/v1",
+              "command": "bench", "git": "test", "config": {{}},
+              "stages": [{{"name": "fleet_scoring", "wall_seconds": {stage_wall},
+                           "cpu_seconds": {stage_wall}}}],
+              "counters": {{"runner.records": {records}}},
+              "histograms": {{"par_map.task_ns": {{"count": 40, "mean": {p99},
+                              "p50": {p99}, "p99": {p99}, "min": 0, "max": {p99}}}}},
+              "metrics": {{"f05": {score}, "fleet_scoring_seconds": {stage_wall},
+                           "transform_speedup": 4.0}},
+              "wall_seconds": {stage_wall}, "cpu_seconds": {stage_wall}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_manifests_pass() {
+        let m = manifest(0.5, 1000.0, 1e6, 0.68);
+        let report = diff_manifests(&m, &m, &DiffConfig::default());
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.compared > 0);
+        assert!(report.improvements.is_empty());
+    }
+
+    #[test]
+    fn inflated_stage_time_fails_and_names_the_stage() {
+        let base = manifest(0.5, 1000.0, 1e6, 0.68);
+        let slow = manifest(1.2, 1000.0, 1e6, 0.68);
+        let report = diff_manifests(&slow, &base, &DiffConfig::default());
+        assert!(!report.ok());
+        let keys: Vec<&str> = report.regressions.iter().map(|l| l.key.as_str()).collect();
+        assert!(keys.contains(&"stages.fleet_scoring.wall_seconds"), "{keys:?}");
+        assert!(report.render().contains("slower"), "{}", report.render());
+    }
+
+    #[test]
+    fn faster_stage_is_an_improvement_not_a_regression() {
+        let base = manifest(1.0, 1000.0, 1e6, 0.68);
+        let fast = manifest(0.4, 1000.0, 1e6, 0.68);
+        let report = diff_manifests(&fast, &base, &DiffConfig::default());
+        assert!(report.ok(), "{}", report.render());
+        assert!(!report.improvements.is_empty());
+    }
+
+    #[test]
+    fn counter_drift_is_two_sided() {
+        let base = manifest(0.5, 1000.0, 1e6, 0.68);
+        let fewer = manifest(0.5, 100.0, 1e6, 0.68);
+        let report = diff_manifests(&fewer, &base, &DiffConfig::default());
+        let keys: Vec<&str> = report.regressions.iter().map(|l| l.key.as_str()).collect();
+        assert!(keys.contains(&"counters.runner.records"), "{keys:?}");
+    }
+
+    #[test]
+    fn speedup_drop_regresses_and_rise_improves() {
+        let base = manifest(0.5, 1000.0, 1e6, 0.68);
+        let mut worse = manifest(0.5, 1000.0, 1e6, 0.68);
+        if let Json::Obj(pairs) = &mut worse {
+            for (k, v) in pairs.iter_mut() {
+                if k == "metrics" {
+                    if let Json::Obj(ms) = v {
+                        for (mk, mv) in ms.iter_mut() {
+                            if mk == "transform_speedup" {
+                                *mv = Json::Num(1.5);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let report = diff_manifests(&worse, &base, &DiffConfig::default());
+        let keys: Vec<&str> = report.regressions.iter().map(|l| l.key.as_str()).collect();
+        assert!(keys.contains(&"metrics.transform_speedup"), "{keys:?}");
+        // And the reverse direction is an improvement.
+        let report = diff_manifests(&base, &worse, &DiffConfig::default());
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.improvements.iter().any(|l| l.key == "metrics.transform_speedup"));
+    }
+
+    #[test]
+    fn missing_key_regresses_new_key_notes() {
+        let base = manifest(0.5, 1000.0, 1e6, 0.68);
+        let mut cur = manifest(0.5, 1000.0, 1e6, 0.68);
+        if let Json::Obj(pairs) = &mut cur {
+            for (k, v) in pairs.iter_mut() {
+                if k == "counters" {
+                    *v = Json::Obj(vec![("runner.other".to_string(), Json::Num(7.0))]);
+                }
+            }
+        }
+        let report = diff_manifests(&cur, &base, &DiffConfig::default());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|l| l.key == "counters.runner.records" && l.detail.contains("missing")));
+        assert!(report.notes.iter().any(|l| l.key == "counters.runner.other"));
+    }
+
+    #[test]
+    fn ignore_list_and_eps_floor_suppress_probes() {
+        let base = manifest(0.5, 1000.0, 1e6, 0.68);
+        let slow = manifest(1.2, 1000.0, 1e6, 0.68);
+        let cfg = DiffConfig {
+            ignore: vec![
+                "stages.fleet_scoring.wall_seconds".to_string(),
+                "stages.fleet_scoring.cpu_seconds".to_string(),
+                "metrics.fleet_scoring_seconds".to_string(),
+                "wall_seconds".to_string(),
+                "cpu_seconds".to_string(),
+            ],
+            ..DiffConfig::default()
+        };
+        let report = diff_manifests(&slow, &base, &cfg);
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.notes.iter().any(|l| l.detail.contains("ignored")));
+
+        // eps floor: a 1e-13 -> 1e-12 "10x regression" is noise.
+        let mut tiny_base = manifest(0.5, 1000.0, 1e6, 0.68);
+        let mut tiny_cur = manifest(0.5, 1000.0, 1e6, 0.68);
+        for (doc, val) in [(&mut tiny_base, 1e-13), (&mut tiny_cur, 1e-12)] {
+            if let Json::Obj(pairs) = doc {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "metrics" {
+                        if let Json::Obj(ms) = v {
+                            ms.push(("max_abs_output_diff".to_string(), Json::Num(val)));
+                        }
+                    }
+                }
+            }
+        }
+        let report = diff_manifests(&tiny_cur, &tiny_base, &DiffConfig::default());
+        assert!(report.ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn histogram_count_change_is_a_note() {
+        let base = manifest(0.5, 1000.0, 1e6, 0.68);
+        // Rebuild with a different count via string surgery.
+        let cur = parse(
+            &manifest(0.5, 1000.0, 1e6, 0.68)
+                .to_pretty_string()
+                .replace("\"count\": 40", "\"count\": 2"),
+        )
+        .unwrap();
+        let report = diff_manifests(&cur, &base, &DiffConfig::default());
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.notes.iter().any(|l| l.key == "histograms.par_map.task_ns.count"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Trace → folded-stacks conversion: turns the NDJSON span stream written
+//! by an instrumented run into the `folded` format that `inferno` /
+//! `flamegraph.pl`-style viewers consume (`frame;frame;frame <count>`, one
+//! line per unique stack, counts in nanoseconds of *self* time).
+//!
+//! Span close events already carry everything needed to rebuild the
+//! forest: a process-unique `id`, the `parent` id captured from the
+//! emitting thread's span stack at open time, the static `name` and the
+//! measured `dur_ns`. Because ids are global and parents are per-thread,
+//! reconstruction needs no thread ids — each worker's spans link into that
+//! worker's own frames, and every thread's outermost span becomes a root
+//! of the forest.
+//!
+//! Self time is `dur_ns` minus the sum of the direct children's `dur_ns`,
+//! clamped at zero (children measured on the same monotonic clock can
+//! slightly overlap the parent's tail when a guard drops late). Identical
+//! paths aggregate, so one folded line per distinct stack.
+
+use crate::event::{parse_line, Event};
+use crate::json::Json;
+
+/// One closed span pulled out of a trace: the unit [`fold_spans`]
+/// operates on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanClose {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Id of the enclosing span on the opening thread, if any.
+    pub parent: Option<u64>,
+    /// Static span name (`run_vehicle`, `par_map`, ...).
+    pub name: String,
+    /// Measured duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl SpanClose {
+    /// Extracts a span close from a parsed event; `None` for anything that
+    /// is not a well-formed `span` event.
+    pub fn from_event(e: &Event) -> Option<SpanClose> {
+        if e.name != "span" {
+            return None;
+        }
+        let num = |key: &str| e.get(key).and_then(Json::as_num).filter(|n| *n >= 0.0);
+        Some(SpanClose {
+            id: num("id")? as u64,
+            parent: num("parent").map(|p| p as u64),
+            name: e.get("name").and_then(Json::as_str)?.to_string(),
+            dur_ns: num("dur_ns")? as u64,
+        })
+    }
+}
+
+/// Replaces the characters the folded format reserves (`;` separates
+/// frames, whitespace separates the count) so arbitrary span names cannot
+/// corrupt a line.
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c == ';' || c.is_whitespace() { '_' } else { c }).collect()
+}
+
+/// Folds a set of closed spans into `(stack, self_ns)` lines, sorted by
+/// stack for deterministic output. Stacks are `;`-joined root-to-leaf
+/// name paths; weights are self nanoseconds (duration minus direct
+/// children), aggregated over spans sharing a path. Spans whose parent id
+/// never closed in the trace (truncated file, crashed run) are treated as
+/// roots rather than dropped.
+pub fn fold_spans(spans: &[SpanClose]) -> Vec<(String, u64)> {
+    use std::collections::BTreeMap;
+
+    // id → index, then children grouped per parent.
+    let mut index: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        index.insert(s.id, i); // duplicate ids: last close wins
+    }
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match s.parent.and_then(|p| index.get(&p)).copied().filter(|&pi| pi != i) {
+            Some(pi) => {
+                if let Some(slot) = children.get_mut(pi) {
+                    slot.push(i);
+                }
+            }
+            None => roots.push(i),
+        }
+    }
+
+    // Iterative DFS, accumulating the path and the per-path self weight.
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    let mut stack: Vec<(usize, usize)> = roots.iter().map(|&r| (r, 0)).collect();
+    let mut path: Vec<String> = Vec::new();
+    stack.reverse();
+    while let Some((i, depth)) = stack.pop() {
+        path.truncate(depth);
+        let Some(span) = spans.get(i) else {
+            continue;
+        };
+        path.push(sanitize(&span.name));
+        let kids = children.get(i).cloned().unwrap_or_default();
+        let child_ns: u64 = kids.iter().filter_map(|&c| spans.get(c)).map(|c| c.dur_ns).sum();
+        let self_ns = span.dur_ns.saturating_sub(child_ns);
+        if self_ns > 0 {
+            *folded.entry(path.join(";")).or_insert(0) += self_ns;
+        }
+        for &c in kids.iter().rev() {
+            stack.push((c, depth + 1));
+        }
+    }
+    folded.into_iter().collect()
+}
+
+/// Converts a whole NDJSON trace into folded lines. Non-span events are
+/// skipped; a line that fails to parse is an error (a trace that decodes
+/// only partially should not silently produce a misleading graph).
+/// Returns the folded `(stack, self_ns)` pairs plus the number of span
+/// events consumed.
+pub fn fold_trace(ndjson: &str) -> Result<(Vec<(String, u64)>, usize), String> {
+    let mut spans = Vec::new();
+    for (i, line) in ndjson.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if let Some(s) = SpanClose::from_event(&event) {
+            spans.push(s);
+        }
+    }
+    let n = spans.len();
+    Ok((fold_spans(&spans), n))
+}
+
+/// Renders folded lines in the wire format viewers consume.
+pub fn render_folded(folded: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (stack, ns) in folded {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses one folded line back into `(frames, weight)` — the inverse of
+/// [`render_folded`] per line, used by the round-trip tests and available
+/// to tooling that post-processes folded files.
+pub fn parse_folded_line(line: &str) -> Result<(Vec<String>, u64), String> {
+    let (stack, count) =
+        line.rsplit_once(' ').ok_or_else(|| format!("no count in folded line `{line}`"))?;
+    let weight: u64 = count.trim().parse().map_err(|e| format!("bad count in `{line}`: {e}"))?;
+    if stack.is_empty() {
+        return Err(format!("empty stack in folded line `{line}`"));
+    }
+    Ok((stack.split(';').map(str::to_string).collect(), weight))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(id: u64, parent: Option<u64>, name: &str, dur_ns: u64) -> SpanClose {
+        SpanClose { id, parent, name: name.to_string(), dur_ns }
+    }
+
+    #[test]
+    fn folds_a_two_level_tree_with_self_time() {
+        // root (100) with children a (30) and b (20): root self = 50.
+        let spans =
+            [close(2, Some(1), "a", 30), close(3, Some(1), "b", 20), close(1, None, "root", 100)];
+        let folded = fold_spans(&spans);
+        assert_eq!(
+            folded,
+            vec![("root".to_string(), 50), ("root;a".to_string(), 30), ("root;b".to_string(), 20),]
+        );
+    }
+
+    #[test]
+    fn aggregates_identical_paths_and_skips_zero_self() {
+        // Two `work` children under root; root fully covered by children.
+        let spans = [
+            close(2, Some(1), "work", 40),
+            close(3, Some(1), "work", 60),
+            close(1, None, "root", 100),
+        ];
+        let folded = fold_spans(&spans);
+        assert_eq!(folded, vec![("root;work".to_string(), 100)]);
+    }
+
+    #[test]
+    fn orphaned_parent_becomes_a_root() {
+        // Parent id 99 never closed (truncated trace).
+        let spans = [close(5, Some(99), "lost", 10)];
+        assert_eq!(fold_spans(&spans), vec![("lost".to_string(), 10)]);
+    }
+
+    #[test]
+    fn sanitizes_reserved_characters() {
+        let spans = [close(1, None, "a b;c", 7)];
+        let folded = fold_spans(&spans);
+        assert_eq!(folded[0].0, "a_b_c");
+        let rendered = render_folded(&folded);
+        let (frames, w) = parse_folded_line(rendered.trim_end()).unwrap();
+        assert_eq!((frames, w), (vec!["a_b_c".to_string()], 7));
+    }
+
+    #[test]
+    fn fold_trace_reads_ndjson_and_skips_non_spans() {
+        let trace = concat!(
+            "{\"event\":\"runner.reset\",\"t_ns\":5,\"timestamp\":12}\n",
+            "{\"event\":\"span\",\"t_ns\":10,\"name\":\"child\",\"id\":2,\"dur_ns\":4,\"parent\":1}\n",
+            "\n",
+            "{\"event\":\"span\",\"t_ns\":20,\"name\":\"top\",\"id\":1,\"dur_ns\":9}\n",
+        );
+        let (folded, n_spans) = fold_trace(trace).unwrap();
+        assert_eq!(n_spans, 2);
+        assert_eq!(folded, vec![("top".to_string(), 5), ("top;child".to_string(), 4)]);
+    }
+
+    #[test]
+    fn fold_trace_rejects_malformed_lines() {
+        let err = fold_trace("{\"event\":\"span\"}\nnot json\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn parse_folded_line_rejects_garbage() {
+        assert!(parse_folded_line("no-count-here").is_err());
+        assert!(parse_folded_line("stack notanumber").is_err());
+        assert!(parse_folded_line(" 12").is_err());
+    }
+}

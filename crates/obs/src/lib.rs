@@ -15,27 +15,43 @@
 //! |---------|--------|
 //! | `NAVARCHOS_LOG=stderr` | human-readable event lines on stderr |
 //! | `NAVARCHOS_LOG=ndjson[:path]` | NDJSON trace file (default `navarchos-trace.ndjson`) |
-//! | `NAVARCHOS_LOG=off` / unset | null sink, events disabled |
-//! | `NAVARCHOS_METRICS=1` | counters + histograms recorded |
+//! | `NAVARCHOS_LOG=` / `0` / `false` / `off` / unset | null sink, events disabled |
+//! | `NAVARCHOS_LOG=<anything else non-empty>` | treated as on → stderr sink |
+//! | `NAVARCHOS_METRICS=<non-empty, not `0`/`false`/`off`>` | counters + histograms recorded |
+//! | `NAVARCHOS_METRICS=` / `0` / `false` / `off` / unset | metrics disabled |
 //! | CLI `--trace` / `--metrics` | same switches, per invocation |
+//!
+//! Truthiness is permissive on purpose: `NAVARCHOS_METRICS=yes`, `=on` and
+//! `=2` all enable metrics; only the empty string and the explicit
+//! off-words (`0`, `false`, `off`, case-insensitive) disable. An
+//! unrecognised non-empty `NAVARCHOS_LOG` value falls back to the stderr
+//! sink rather than silently discarding the trace the user asked for.
 //!
 //! # Layers
 //!
 //! [`json`] (value/writer/parser) → [`event`] (NDJSON encode/decode) →
 //! [`sink`] (null / stderr / NDJSON file) → [`metrics`] (registry) →
-//! [`span`] (RAII timing) → [`manifest`] (per-run JSON document).
+//! [`span`] (RAII timing) → [`manifest`] (per-run JSON document) →
+//! [`flame`] (trace → folded stacks) → [`diff`] (manifest regression diff).
 
+pub mod diff;
 pub mod event;
+pub mod flame;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 
+pub use diff::{diff_manifests, DiffConfig, DiffReport};
 pub use event::{encode_ndjson, parse_line, Event};
+pub use flame::{fold_spans, fold_trace, render_folded, SpanClose};
 pub use json::Json;
 pub use manifest::{stage_clock, Manifest, StageClock};
-pub use metrics::{counter, histogram, Counter, Histogram};
+pub use metrics::{
+    counter, histogram, probe_sample_mask, set_probe_sample_shift, BatchedRecorder, Counter,
+    Histogram,
+};
 pub use sink::{NdjsonSink, NullSink, Sink, StderrSink};
 pub use span::{current_span_id, span, Span};
 
@@ -112,9 +128,54 @@ pub fn emit(e: &Event) {
     sink.event(e);
 }
 
+/// True when a switch value means "off": empty after trimming, or one of
+/// the explicit off-words `0` / `false` / `off` (case-insensitive). Every
+/// other non-empty value counts as on, so `NAVARCHOS_METRICS=yes` behaves
+/// like `=1` instead of silently no-oping.
+pub fn env_value_is_off(value: &str) -> bool {
+    let v = value.trim();
+    v.is_empty()
+        || v.eq_ignore_ascii_case("0")
+        || v.eq_ignore_ascii_case("false")
+        || v.eq_ignore_ascii_case("off")
+}
+
+/// What a `NAVARCHOS_LOG` value asks for, resolved before any sink is
+/// touched so the policy is unit-testable without mutating process env.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogSpec {
+    /// Null sink, events stay disabled.
+    Off,
+    /// Human-readable lines on stderr. Carries a note when the value was
+    /// unrecognised and stderr is the fallback.
+    Stderr(Option<String>),
+    /// NDJSON trace file at the given path.
+    Ndjson(String),
+}
+
+/// Parses a `NAVARCHOS_LOG` value into a [`LogSpec`]. Off-values (see
+/// [`env_value_is_off`]) disable; `stderr` and `ndjson[:path]` select
+/// sinks; any other non-empty value enables the stderr sink with a note,
+/// because a user who set the variable wanted *some* trace.
+pub fn parse_log_spec(value: &str) -> LogSpec {
+    let spec = value.trim();
+    if env_value_is_off(spec) {
+        return LogSpec::Off;
+    }
+    if spec == "stderr" {
+        return LogSpec::Stderr(None);
+    }
+    if spec == "ndjson" || spec.starts_with("ndjson:") {
+        let path = spec.strip_prefix("ndjson:").filter(|p| !p.is_empty());
+        return LogSpec::Ndjson(path.unwrap_or("navarchos-trace.ndjson").to_string());
+    }
+    LogSpec::Stderr(Some(format!("unrecognised NAVARCHOS_LOG value `{spec}`")))
+}
+
 /// Configures sinks and flags from `NAVARCHOS_LOG` / `NAVARCHOS_METRICS`
-/// (see the crate docs for values). Call once at process start; CLI flags
-/// may still override afterwards. Returns a description of what was
+/// (see the crate docs for accepted values: any non-empty value other
+/// than `0`/`false`/`off` counts as on). Call once at process start; CLI
+/// flags may still override afterwards. Returns a description of what was
 /// enabled, for surfacing in `--help`-style diagnostics, or `None` when
 /// everything stayed off.
 pub fn init_from_env() -> Option<String> {
@@ -122,31 +183,36 @@ pub fn init_from_env() -> Option<String> {
     let _ = elapsed_ns();
     let mut enabled = None;
     if let Ok(spec) = std::env::var("NAVARCHOS_LOG") {
-        let spec = spec.trim();
-        if spec == "stderr" {
-            set_sink(Arc::new(StderrSink));
-            enabled = Some("events -> stderr".to_string());
-        } else if spec == "ndjson" || spec.starts_with("ndjson:") {
-            let path = spec.strip_prefix("ndjson:").filter(|p| !p.is_empty());
-            let path = std::path::Path::new(path.unwrap_or("navarchos-trace.ndjson"));
-            match NdjsonSink::create(path) {
-                Ok(sink) => {
-                    set_sink(Arc::new(sink));
-                    enabled = Some(format!("events -> {}", path.display()));
-                }
-                Err(e) => {
-                    // Fall back to stderr rather than silently losing the
-                    // trace the user asked for.
-                    set_sink(Arc::new(StderrSink));
-                    enabled = Some(format!(
-                        "events -> stderr (could not create {}: {e})",
-                        path.display()
-                    ));
+        match parse_log_spec(&spec) {
+            LogSpec::Off => {}
+            LogSpec::Stderr(note) => {
+                set_sink(Arc::new(StderrSink));
+                enabled = Some(match note {
+                    Some(n) => format!("events -> stderr ({n})"),
+                    None => "events -> stderr".to_string(),
+                });
+            }
+            LogSpec::Ndjson(path) => {
+                let path = std::path::Path::new(&path);
+                match NdjsonSink::create(path) {
+                    Ok(sink) => {
+                        set_sink(Arc::new(sink));
+                        enabled = Some(format!("events -> {}", path.display()));
+                    }
+                    Err(e) => {
+                        // Fall back to stderr rather than silently losing
+                        // the trace the user asked for.
+                        set_sink(Arc::new(StderrSink));
+                        enabled = Some(format!(
+                            "events -> stderr (could not create {}: {e})",
+                            path.display()
+                        ));
+                    }
                 }
             }
         }
     }
-    if std::env::var("NAVARCHOS_METRICS").is_ok_and(|v| v == "1" || v == "true") {
+    if std::env::var("NAVARCHOS_METRICS").is_ok_and(|v| !env_value_is_off(&v)) {
         set_metrics_enabled(true);
         enabled = Some(match enabled {
             Some(s) => format!("{s}; metrics on"),
@@ -168,6 +234,31 @@ mod tests {
         let before = metrics::counter("events.emitted").get();
         emit(&Event::new("dropped"));
         assert_eq!(metrics::counter("events.emitted").get(), before);
+    }
+
+    #[test]
+    fn env_truthiness_is_permissive() {
+        for off in ["", " ", "0", "false", "FALSE", "off", "Off", " 0 "] {
+            assert!(env_value_is_off(off), "`{off}` should read as off");
+        }
+        for on in ["1", "true", "yes", "on", "2", "anything"] {
+            assert!(!env_value_is_off(on), "`{on}` should read as on");
+        }
+    }
+
+    #[test]
+    fn log_spec_parses_sinks_and_falls_back() {
+        assert_eq!(parse_log_spec("off"), LogSpec::Off);
+        assert_eq!(parse_log_spec("0"), LogSpec::Off);
+        assert_eq!(parse_log_spec(""), LogSpec::Off);
+        assert_eq!(parse_log_spec("stderr"), LogSpec::Stderr(None));
+        assert_eq!(parse_log_spec("ndjson"), LogSpec::Ndjson("navarchos-trace.ndjson".to_string()));
+        assert_eq!(parse_log_spec("ndjson:/tmp/t.ndjson"), LogSpec::Ndjson("/tmp/t.ndjson".into()));
+        // Unknown non-empty values enable the stderr sink with a note.
+        match parse_log_spec("yes") {
+            LogSpec::Stderr(Some(note)) => assert!(note.contains("yes"), "{note}"),
+            other => panic!("expected stderr fallback, got {other:?}"),
+        }
     }
 
     #[test]

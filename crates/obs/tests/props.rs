@@ -7,9 +7,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use navarchos_obs::event::{encode_ndjson, parse_line, Event};
+use navarchos_obs::flame::{fold_spans, fold_trace, parse_folded_line, render_folded, SpanClose};
 use navarchos_obs::json::Json;
 use navarchos_obs::metrics::{
-    bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS,
+    bucket_index, bucket_lower_bound, BatchedRecorder, Histogram, HistogramSnapshot, BUCKETS,
 };
 use navarchos_obs::span::{current_depth, current_span_id, span};
 use proptest::prelude::*;
@@ -121,6 +122,151 @@ proptest! {
         let back = parse_line(&line);
         prop_assert!(back.is_ok(), "{line:?} -> {back:?}");
         prop_assert_eq!(back.unwrap_or_else(|_| Event::new("unreachable")), e);
+    }
+}
+
+// ---- batched recording vs direct recording ------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A `BatchedRecorder` funnelling into a target histogram produces a
+    /// snapshot identical to recording every value directly, regardless of
+    /// how flushes interleave with records (the `Drop` flush covers the
+    /// tail).
+    #[test]
+    fn batched_recorder_matches_direct_recording(
+        xs in prop::collection::vec(0u64..1_000_000_000, 0..200),
+        flush_every in 1usize..17,
+    ) {
+        let direct = Histogram::new();
+        let target = Arc::new(Histogram::new());
+        {
+            let mut rec = BatchedRecorder::new(Arc::clone(&target));
+            for (i, &x) in xs.iter().enumerate() {
+                direct.record(x);
+                rec.record(x);
+                if (i + 1) % flush_every == 0 {
+                    rec.flush();
+                    prop_assert_eq!(rec.pending(), 0);
+                }
+            }
+        } // dropping the recorder flushes whatever is still pending
+        prop_assert_eq!(target.snapshot(), direct.snapshot());
+    }
+}
+
+// ---- folded-stacks converter round-trip ---------------------------------
+
+/// Span names covering the sanitizer's reserved characters.
+const SPAN_NAMES: &[&str] = &["load", "score_vehicles", "par map", "a;b", "run\tvehicle"];
+
+/// A random span forest where every `dur_ns` is constructed bottom-up as
+/// own self time plus the children's durations, so the folded output's
+/// total weight is exactly the total self time. Parent links always point
+/// at an earlier node, mirroring how a real trace can only close a child
+/// before its parent's enclosing frame closes.
+fn arb_forest() -> impl Strategy<Value = Vec<SpanClose>> {
+    prop::collection::vec((0usize..1000, 0usize..SPAN_NAMES.len(), 1u64..10_000), 1..40).prop_map(
+        |nodes| {
+            let n = nodes.len();
+            let mut durs: Vec<u64> = nodes.iter().map(|&(_, _, own)| own).collect();
+            // Children sit strictly after their parent, so a reverse sweep
+            // accumulates child durations before the parent is read.
+            let parent = |i: usize, sel: usize| if i == 0 { None } else { Some(sel % i) };
+            for i in (1..n).rev() {
+                if let Some(p) = parent(i, nodes[i].0) {
+                    durs[p] += durs[i];
+                }
+            }
+            nodes
+                .iter()
+                .enumerate()
+                .map(|(i, &(sel, name, _))| SpanClose {
+                    id: i as u64 + 1,
+                    parent: parent(i, sel).map(|p| p as u64 + 1),
+                    name: SPAN_NAMES[name].to_string(),
+                    dur_ns: durs[i],
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `render_folded` and `parse_folded_line` are inverses, and the folded
+    /// weights conserve the forest's total self time exactly.
+    #[test]
+    fn folded_render_parse_roundtrip(spans in arb_forest()) {
+        let folded = fold_spans(&spans);
+        let total_self: u64 = folded.iter().map(|&(_, w)| w).sum();
+        let own_total: u64 = {
+            // Own time of node i = dur minus direct children's durations.
+            let child_sum: Vec<u64> = spans.iter().fold(vec![0u64; spans.len()], |mut acc, s| {
+                if let Some(p) = s.parent {
+                    acc[p as usize - 1] += s.dur_ns;
+                }
+                acc
+            });
+            spans.iter().zip(&child_sum).map(|(s, &c)| s.dur_ns - c).sum()
+        };
+        prop_assert_eq!(total_self, own_total, "folded weights must conserve self time");
+
+        let mut back = Vec::new();
+        for line in render_folded(&folded).lines() {
+            let (frames, w) = parse_folded_line(line)
+                .map_err(|e| TestCaseError::Fail(format!("unparsable folded line: {e}")))?;
+            prop_assert!(frames.iter().all(|f| !f.is_empty()));
+            back.push((frames.join(";"), w));
+        }
+        prop_assert_eq!(back, folded);
+    }
+
+    /// Encoding the forest as NDJSON span events and running the whole
+    /// `fold_trace` path gives the same folded lines as folding directly.
+    #[test]
+    fn fold_trace_matches_fold_spans(spans in arb_forest()) {
+        let mut ndjson = String::new();
+        for (i, s) in spans.iter().enumerate() {
+            let mut e = Event::new("span");
+            e.t_ns = i as u64;
+            e.fields = vec![
+                ("name".to_string(), Json::Str(s.name.clone())),
+                ("id".to_string(), Json::Num(s.id as f64)),
+                ("dur_ns".to_string(), Json::Num(s.dur_ns as f64)),
+            ];
+            if let Some(p) = s.parent {
+                e.fields.push(("parent".to_string(), Json::Num(p as f64)));
+            }
+            ndjson.push_str(&encode_ndjson(&e));
+            ndjson.push('\n');
+        }
+        let (folded, n) = fold_trace(&ndjson)
+            .map_err(|e| TestCaseError::Fail(format!("fold_trace: {e}")))?;
+        prop_assert_eq!(n, spans.len());
+        prop_assert_eq!(folded, fold_spans(&spans));
+    }
+}
+
+/// The committed obs-smoke trace (a real `simulate` + `evaluate --metrics`
+/// run with `NAVARCHOS_LOG=ndjson:...`) must keep converting cleanly: every
+/// line parses, the fold finds the pipeline's top-level spans, and the
+/// rendered output survives a line-by-line re-parse.
+#[test]
+fn fixture_trace_folds_into_known_stacks() {
+    let ndjson = include_str!("fixtures/obs-smoke.trace.ndjson");
+    let (folded, n_spans) = fold_trace(ndjson).expect("fixture trace must stay parseable");
+    assert!(n_spans > 0, "fixture contains no span events");
+    assert!(!folded.is_empty());
+    let stacks: Vec<&str> = folded.iter().map(|(s, _)| s.as_str()).collect();
+    assert!(
+        stacks.iter().any(|s| s.split(';').any(|f| f == "par_map")),
+        "expected a par_map frame in {stacks:?}"
+    );
+    for line in render_folded(&folded).lines() {
+        parse_folded_line(line).expect("rendered folded line must re-parse");
     }
 }
 

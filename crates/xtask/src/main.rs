@@ -1,27 +1,40 @@
-//! CLI entry point: `cargo run -p xtask -- lint [--root DIR] [--waivers FILE]`.
+//! CLI entry point: `cargo run -p xtask -- lint [--root DIR] [--waivers FILE]`
+//! or `cargo run -p xtask -- flamegraph --trace FILE [--out FILE]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: cargo run -p xtask -- lint [--root DIR] [--waivers FILE]
+       cargo run -p xtask -- flamegraph --trace FILE [--out FILE]
 
-Runs the workspace's domain lints (L1-L6). Exit codes:
-  0  clean
+lint        runs the workspace's domain lints (L1-L7)
+flamegraph  converts a NAVARCHOS_LOG=ndjson:FILE trace into inferno-style
+            folded stacks (`frames;joined;by;semicolon <self_ns>`), written
+            to --out or stdout
+
+Exit codes:
+  0  clean / converted
   1  findings or stale waivers
   2  usage / configuration error";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut it = args.iter();
-    if it.next().map(String::as_str) != Some("lint") {
-        eprintln!("{USAGE}");
-        return ExitCode::from(2);
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("flamegraph") => cmd_flamegraph(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
     }
+}
 
+fn cmd_lint(args: &[String]) -> ExitCode {
     // Default root: the workspace this xtask is compiled inside.
     let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let mut waiver_path: Option<PathBuf> = None;
+    let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => match it.next() {
@@ -79,4 +92,69 @@ fn main() -> ExitCode {
     } else {
         ExitCode::from(1)
     }
+}
+
+fn cmd_flamegraph(args: &[String]) -> ExitCode {
+    let mut trace: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => match it.next() {
+                Some(v) => trace = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--trace needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--out needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(trace) = trace else {
+        eprintln!("flamegraph needs --trace FILE\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let ndjson = match std::fs::read_to_string(&trace) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read trace {}: {e}", trace.display());
+            return ExitCode::from(2);
+        }
+    };
+    let (folded, spans) = match navarchos_obs::fold_trace(&ndjson) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("malformed trace {}: {e}", trace.display());
+            return ExitCode::from(1);
+        }
+    };
+    let rendered = navarchos_obs::render_folded(&folded);
+    match &out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, &rendered) {
+                eprintln!("cannot write {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+            eprintln!(
+                "flamegraph: {spans} span(s) -> {} folded stack(s) -> {}",
+                folded.len(),
+                p.display()
+            );
+        }
+        None => {
+            print!("{rendered}");
+            eprintln!("flamegraph: {spans} span(s) -> {} folded stack(s)", folded.len());
+        }
+    }
+    ExitCode::SUCCESS
 }

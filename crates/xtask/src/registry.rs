@@ -51,6 +51,18 @@ const KERNELS: &[(&str, &str, &str, &str)] = &[
         "crates/obs/tests/props.rs",
         "crates/bench/benches/substrates.rs",
     ),
+    (
+        "BatchedRecorder",
+        "crates/obs/src/metrics.rs",
+        "crates/obs/tests/props.rs",
+        "crates/bench/benches/substrates.rs",
+    ),
+    (
+        "fold_spans",
+        "crates/obs/src/flame.rs",
+        "crates/obs/tests/props.rs",
+        "crates/bench/benches/substrates.rs",
+    ),
 ];
 
 fn finding(file: &str, line: u32, message: impl Into<String>) -> Finding {
