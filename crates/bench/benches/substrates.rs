@@ -200,6 +200,58 @@ fn bench_obs(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ingest substrate: `ReorderBuffer` re-sequencing a within-horizon
+/// jittered stream (the per-record cost of dirty-stream tolerance,
+/// binary-search insert + watermark drain) against the pass-through cost
+/// on an already-sorted stream, and `ShardRouter`'s hash route.
+fn bench_ingest(c: &mut Criterion) {
+    use navarchos_fleetsim::{StreamBody, StreamItem};
+    use navarchos_ingest::{ReorderBuffer, ShardRouter};
+
+    const HORIZON: i64 = 1800;
+    let mut rng = StdRng::seed_from_u64(6);
+    let clean: Vec<StreamItem> = (0..10_000)
+        .map(|i| StreamItem {
+            vehicle: 7,
+            timestamp: i as i64 * 60,
+            body: StreamBody::Record(vec![rng.gen_range(-1.0..1.0); 6]),
+        })
+        .collect();
+    let mut keyed: Vec<(i64, usize, StreamItem)> = clean
+        .iter()
+        .enumerate()
+        .map(|(seq, it)| (it.timestamp + rng.gen_range(0..HORIZON), seq, it.clone()))
+        .collect();
+    keyed.sort_by_key(|&(k, s, _)| (k, s));
+    let jittered: Vec<StreamItem> = keyed.into_iter().map(|(_, _, it)| it).collect();
+
+    let mut group = c.benchmark_group("reorder_buffer_10k");
+    group.throughput(Throughput::Elements(clean.len() as u64));
+    for (label, stream) in [("sorted", &clean), ("jittered", &jittered)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut buf = ReorderBuffer::new(HORIZON, 256);
+                let mut out = Vec::with_capacity(stream.len());
+                for it in stream {
+                    buf.push(it.clone(), &mut out);
+                }
+                buf.flush_into(&mut out);
+                out.len()
+            })
+        });
+    }
+    group.finish();
+
+    let router = ShardRouter::new(8);
+    let vehicles: Vec<u32> = (0..1024).map(|_| rng.gen_range(0..5000)).collect();
+    let mut group = c.benchmark_group("shard_router");
+    group.throughput(Throughput::Elements(vehicles.len() as u64));
+    group.bench_function("route_1024", |b| {
+        b.iter(|| vehicles.iter().map(|&v| router.route(v)).sum::<usize>())
+    });
+    group.finish();
+}
+
 fn bench_fleetsim(c: &mut Criterion) {
     let model = VehicleModel::compact();
     let mut group = c.benchmark_group("simulate_ride");
@@ -235,6 +287,7 @@ criterion_group!(
     bench_extensions,
     bench_par,
     bench_obs,
+    bench_ingest,
     bench_fleetsim
 );
 criterion_main!(benches);

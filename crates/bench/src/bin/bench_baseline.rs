@@ -1,414 +1,20 @@
-//! Measures the correlation-transform scoring path with the PR 3
-//! observability layer compiled in (null sink, everything off — the
-//! default) and emits `BENCH_PR3.json` at the repo root **via the
-//! run-manifest path** (`navarchos-obs::Manifest`), so the trajectory file
-//! is generated, never hand-edited.
-//!
-//! "Before" is the pre-rewrite algorithm kept here verbatim: per-signal
-//! ring buffers plus a full O(window · f²) recompute (differences,
-//! means, Pearson sums) on every emission. "After" is the shipping
-//! [`CorrelationTransform`] running on the incremental condensed-pair
-//! kernels. Both stream the same paper-configuration fleet (window 45,
-//! stride 3, differencing + dynamics floors), and their outputs are
-//! cross-checked to ≤ 1e-9 before any timing is reported.
-//!
-//! The same measurements exist in `BENCH_PR2.json` from before the
-//! instrumentation landed; the manifest reports the relative drift as
-//! `null_sink_overhead_pct_*` (required < 1 %). Two metrics-enabled
-//! scoring passes quantify the *enabled* cost — once with every
-//! per-record clock probe taken (`set_probe_sample_shift(0)`, the PR 3
-//! behaviour) and once at the shipping 1-in-64 sampling default — and
-//! populate the manifest's counter/histogram sections. A final replay
-//! pass streams each vehicle through the `StreamingPipeline` so the
-//! manifest also carries the `alarm.latency_ns` histogram the
-//! `check-manifest --slo-p99-ms` gate reads.
-//!
-//! Output goes to `BENCH_PR4.json`; the committed `BENCH_PR3.json` stays
-//! as the regression baseline for `check-manifest --against`.
+//! Thin CLI wrapper over [`navarchos_bench::baseline`]: runs the full-scale
+//! measurement pass (paper fleet, 5 reps, ingest at 1 and 4 shards) and
+//! writes the manifest to `BENCH_PR5.json` at the repo root — the
+//! trajectory file is generated, never hand-edited. Progress lines go to
+//! stderr; the committed `BENCH_PR3.json` stays as the regression baseline
+//! for `check-manifest --against` (and for the tier-1 guard in
+//! `crates/bench/tests/manifest_guard.rs`, which runs the same pass at
+//! smoke scale).
 
-use navarchos_bench::grid::{fleet_scores, Cell};
-use navarchos_core::detectors::DetectorKind;
-use navarchos_core::ResetPolicy;
-use navarchos_fleetsim::FleetConfig;
-use navarchos_obs as obs;
-use navarchos_stat::correlation::CorrelationPairs;
-use navarchos_tsframe::transform::navarchos_corr_floors;
-use navarchos_tsframe::{CorrelationTransform, FilterSpec, Frame, Transform, TransformKind};
-use std::time::Instant;
-
-const WINDOW: usize = 45;
-const STRIDE: usize = 3;
-/// Timing repetitions per variant (the equivalence check runs once).
-const REPS: usize = 5;
-
-/// The pre-rewrite correlation transformation, preserved as the timing
-/// baseline. Semantics are identical to [`CorrelationTransform`] with
-/// differencing and floors enabled; only the cost model differs.
-struct BatchCorrelation {
-    pairs: CorrelationPairs,
-    window: usize,
-    stride: usize,
-    max_gap: i64,
-    last_t: Option<i64>,
-    cols: Vec<Vec<f64>>,
-    times: Vec<i64>,
-    since_emit: usize,
-    full_once: bool,
-    min_std: Vec<f64>,
-}
-
-impl BatchCorrelation {
-    fn new(input_names: &[String], window: usize, stride: usize, floors: Vec<f64>) -> Self {
-        BatchCorrelation {
-            pairs: CorrelationPairs::new(input_names),
-            window,
-            stride,
-            max_gap: 6 * 3600,
-            last_t: None,
-            cols: vec![Vec::with_capacity(window + 1); input_names.len()],
-            times: Vec::with_capacity(window + 1),
-            since_emit: 0,
-            full_once: false,
-            min_std: floors,
-        }
-    }
-
-    fn reset(&mut self) {
-        for c in &mut self.cols {
-            c.clear();
-        }
-        self.times.clear();
-        self.since_emit = 0;
-        self.full_once = false;
-        self.last_t = None;
-    }
-
-    fn push(&mut self, t: i64, row: &[f64]) -> Option<Vec<f64>> {
-        if let Some(last) = self.last_t {
-            if t - last > self.max_gap {
-                self.reset();
-            }
-        }
-        self.last_t = Some(t);
-        self.times.push(t);
-        if self.times.len() > self.window {
-            self.times.remove(0);
-        }
-        for (c, &v) in self.cols.iter_mut().zip(row) {
-            c.push(v);
-            if c.len() > self.window {
-                c.remove(0);
-            }
-        }
-        if self.cols[0].len() < self.window {
-            return None;
-        }
-        let emit = if !self.full_once {
-            self.full_once = true;
-            self.since_emit = 0;
-            true
-        } else {
-            self.since_emit += 1;
-            if self.since_emit >= self.stride {
-                self.since_emit = 0;
-                true
-            } else {
-                false
-            }
-        };
-        if !emit {
-            return None;
-        }
-        // Full recompute over the window: differences, then every pair's
-        // Pearson correlation from scratch.
-        let times = &self.times;
-        let diff_storage: Vec<Vec<f64>> = self
-            .cols
-            .iter()
-            .map(|col| {
-                let mut d = Vec::with_capacity(col.len().saturating_sub(1));
-                for i in 1..col.len() {
-                    if times[i] - times[i - 1] <= 120 {
-                        d.push(col[i] - col[i - 1]);
-                    }
-                }
-                d
-            })
-            .collect();
-        if diff_storage[0].len() < (self.window / 2).max(4) {
-            return None;
-        }
-        let views: Vec<&[f64]> = diff_storage.iter().map(|c| c.as_slice()).collect();
-        let mut out = self.pairs.condensed_pearson(&views);
-        let weights: Vec<f64> = views
-            .iter()
-            .zip(&self.min_std)
-            .map(|(col, &scale)| {
-                let var = navarchos_stat::descriptive::sample_var(col);
-                if var.is_finite() {
-                    var / (var + scale * scale)
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        for (k, v) in out.iter_mut().enumerate() {
-            let (i, j) = self.pairs.pair_indices(k);
-            *v *= weights[i] * weights[j];
-        }
-        Some(out)
-    }
-}
-
-/// Filtered `(timestamp, row)` stream of one vehicle, as the runner sees it.
-fn filtered_stream(frame: &Frame, names: &[String], filter: &FilterSpec) -> Vec<(i64, Vec<f64>)> {
-    let mut buf = Vec::with_capacity(frame.width());
-    let mut out = Vec::with_capacity(frame.len());
-    for i in 0..frame.len() {
-        frame.row_into(i, &mut buf);
-        if filter.keep_row(names, &buf) {
-            out.push((frame.timestamps()[i], buf.clone()));
-        }
-    }
-    out
-}
-
-/// Pulls one numeric field out of the PR 2 baseline document.
-fn baseline_num(doc: Option<&obs::Json>, key: &str) -> Option<f64> {
-    doc.and_then(|d| d.get(key)).and_then(obs::Json::as_num)
-}
+use navarchos_bench::baseline::{run, BaselineScale};
 
 fn main() {
     navarchos_bench::init_obs();
-    let mut manifest = obs::Manifest::new("bench_baseline");
-    manifest.config("window", WINDOW);
-    manifest.config("stride", STRIDE);
-    manifest.config("reps", REPS);
-    manifest.config("timing_statistic", "mean over reps (matches BENCH_PR2)");
-
-    eprintln!("[bench_baseline] generating the paper fleet...");
-    let clock = obs::stage_clock();
-    let fleet = FleetConfig::navarchos().generate();
-    let filter = FilterSpec::navarchos_default();
-    let floors = navarchos_corr_floors();
-
-    let streams: Vec<(Vec<String>, Vec<(i64, Vec<f64>)>)> = fleet
-        .vehicles
-        .iter()
-        .map(|vd| {
-            let names = vd.frame.names().to_vec();
-            let stream = filtered_stream(&vd.frame, &names, &filter);
-            (names, stream)
-        })
-        .collect();
-    let records: usize = streams.iter().map(|(_, s)| s.len()).sum();
-    manifest.end_stage("generate_fleet", clock);
-
-    // Equivalence pass: the incremental transform must reproduce the batch
-    // recompute to 1e-9 on every emission of every vehicle.
-    let clock = obs::stage_clock();
-    let mut emissions = 0usize;
-    let mut max_diff = 0.0f64;
-    for (names, stream) in &streams {
-        let mut batch = BatchCorrelation::new(names, WINDOW, STRIDE, floors.clone());
-        let mut incr = CorrelationTransform::new(names, WINDOW, STRIDE)
-            .with_differencing()
-            .with_min_std(floors.clone());
-        let mut out = vec![0.0; incr.output_dim()];
-        for &(t, ref row) in stream {
-            let a = batch.push(t, row);
-            let b = incr.push_into(t, row, &mut out);
-            assert_eq!(a.is_some(), b.is_some(), "emission cadence diverged at t={t}");
-            if let Some(av) = a {
-                emissions += 1;
-                for (p, q) in av.iter().zip(&out) {
-                    let d = (p - q).abs();
-                    assert!(d <= 1e-9, "output diverged at t={t}: {p} vs {q}");
-                    max_diff = max_diff.max(d);
-                }
-            }
-        }
-    }
-    manifest.end_stage("equivalence_check", clock);
-    manifest.config("records", records);
-    manifest.config("emissions", emissions);
-    eprintln!(
-        "[bench_baseline] equivalence: {emissions} emissions over {records} records, \
-         max |Δ| = {max_diff:.3e}"
-    );
-
-    // Timing passes: identical streams, checksummed so nothing folds away.
-    let clock = obs::stage_clock();
-    let mut checksum = 0.0f64;
-    let started = Instant::now();
-    for _ in 0..REPS {
-        for (names, stream) in &streams {
-            let mut batch = BatchCorrelation::new(names, WINDOW, STRIDE, floors.clone());
-            for &(t, ref row) in stream {
-                if let Some(v) = batch.push(t, row) {
-                    checksum += v[0];
-                }
-            }
-        }
-    }
-    let batch_seconds = started.elapsed().as_secs_f64() / REPS as f64;
-    manifest.end_stage("batch_transform", clock);
-
-    let clock = obs::stage_clock();
-    let started = Instant::now();
-    for _ in 0..REPS {
-        for (names, stream) in &streams {
-            let mut incr = CorrelationTransform::new(names, WINDOW, STRIDE)
-                .with_differencing()
-                .with_min_std(floors.clone());
-            let mut out = vec![0.0; incr.output_dim()];
-            for &(t, ref row) in stream {
-                if incr.push_into(t, row, &mut out).is_some() {
-                    checksum -= out[0];
-                }
-            }
-        }
-    }
-    let incremental_seconds = started.elapsed().as_secs_f64() / REPS as f64;
-    manifest.end_stage("incremental_transform", clock);
-    let speedup = batch_seconds / incremental_seconds;
-    eprintln!(
-        "[bench_baseline] transform: batch {batch_seconds:.3}s, incremental \
-         {incremental_seconds:.3}s ({speedup:.1}x, residual {checksum:.3e})"
-    );
-
-    // End-to-end fleet scoring at the paper's best cell (correlation ×
-    // closest-pair), on the shipping incremental path. The probes must be
-    // off for this pass — it measures the instrumented code at its
-    // disabled (null-sink) cost — so any env-enabled switches are forced
-    // down here and restored by the metrics-on pass below.
-    obs::set_metrics_enabled(false);
-    obs::set_events_enabled(false);
-    let clock = obs::stage_clock();
-    let outcome = fleet_scores(
-        &fleet,
-        Cell { transform: TransformKind::Correlation, detector: DetectorKind::ClosestPair },
-        ResetPolicy::OnServiceOrRepair,
-    );
-    manifest.end_stage("fleet_scoring_null_sink", clock);
-    eprintln!(
-        "[bench_baseline] fleet scoring (null sink): {:.3}s (single-thread CPU sum)",
-        outcome.scoring_seconds
-    );
-
-    // Same pass with metrics recording on and the per-record clock probes
-    // unsampled (every record timed — the PR 3 behaviour): the "before"
-    // side of the cheap-metrics comparison.
-    obs::set_metrics_enabled(true);
-    obs::set_probe_sample_shift(0);
-    let clock = obs::stage_clock();
-    let outcome_unsampled = fleet_scores(
-        &fleet,
-        Cell { transform: TransformKind::Correlation, detector: DetectorKind::ClosestPair },
-        ResetPolicy::OnServiceOrRepair,
-    );
-    manifest.end_stage("fleet_scoring_metrics_on_unsampled", clock);
-    eprintln!(
-        "[bench_baseline] fleet scoring (metrics on, unsampled probes): {:.3}s",
-        outcome_unsampled.scoring_seconds
-    );
-
-    // And at the shipping default (1-in-64 probe sampling + batched
-    // histogram recording): the "after" side, keeping the PR 3 metric
-    // names so `check-manifest --against BENCH_PR3.json` compares them.
-    obs::set_probe_sample_shift(6);
-    let clock = obs::stage_clock();
-    let outcome_on = fleet_scores(
-        &fleet,
-        Cell { transform: TransformKind::Correlation, detector: DetectorKind::ClosestPair },
-        ResetPolicy::OnServiceOrRepair,
-    );
-    manifest.end_stage("fleet_scoring_metrics_on", clock);
-    eprintln!(
-        "[bench_baseline] fleet scoring (metrics on, sampled probes): {:.3}s",
-        outcome_on.scoring_seconds
-    );
-
-    // Replay every vehicle through the streaming pipeline at the paper's
-    // best cell so the per-alarm arrival-to-emission latency histogram
-    // (`alarm.latency_ns`) lands in the manifest — the batch scorer above
-    // never raises runtime alarms.
-    let clock = obs::stage_clock();
-    let cfg = navarchos_core::PipelineConfig::paper_default(
-        TransformKind::Correlation,
-        DetectorKind::ClosestPair,
-    );
-    let replay_alarms: usize = fleet
-        .vehicles
-        .iter()
-        .map(|vd| {
-            let maintenance: Vec<(i64, bool)> = vd
-                .events
-                .iter()
-                .filter(|e| e.recorded && e.kind.is_maintenance())
-                .map(|e| (e.timestamp, e.kind == navarchos_fleetsim::EventKind::Repair))
-                .collect();
-            navarchos_core::replay_stream(&vd.frame, &maintenance, cfg.clone()).len()
-        })
-        .sum();
-    manifest.end_stage("alarm_replay", clock);
-    obs::set_metrics_enabled(false);
-    eprintln!("[bench_baseline] alarm replay: {replay_alarms} alarms");
-
-    // PR 2 baselines (measured before the observability layer existed):
-    // the drift on the identical workloads is the null-sink overhead.
-    let pr2_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
-    let pr2 = std::fs::read_to_string(pr2_path).ok().and_then(|s| obs::json::parse(&s).ok());
-    if pr2.is_none() {
-        eprintln!("[bench_baseline] warning: no readable {pr2_path}; overhead not computed");
-    }
-    manifest.config("baseline_file", "BENCH_PR2.json");
-
-    manifest.metric("max_abs_output_diff", max_diff);
-    manifest.metric("batch_transform_seconds", batch_seconds);
-    manifest.metric("incremental_transform_seconds", incremental_seconds);
-    manifest.metric("transform_speedup", speedup);
-    manifest.metric("fleet_scoring_seconds_closest_pair", outcome.scoring_seconds);
-    manifest.metric("fleet_scoring_seconds_metrics_on", outcome_on.scoring_seconds);
-    manifest.metric(
-        "metrics_on_overhead_pct_fleet_scoring",
-        100.0 * (outcome_on.scoring_seconds / outcome.scoring_seconds - 1.0),
-    );
-    manifest
-        .metric("fleet_scoring_seconds_metrics_on_unsampled", outcome_unsampled.scoring_seconds);
-    manifest.metric(
-        "metrics_on_overhead_pct_fleet_scoring_unsampled",
-        100.0 * (outcome_unsampled.scoring_seconds / outcome.scoring_seconds - 1.0),
-    );
-    manifest.metric("replay_alarms", replay_alarms);
-    for (baseline_key, now, metric) in [
-        (
-            "incremental_transform_seconds",
-            incremental_seconds,
-            "null_sink_overhead_pct_incremental_transform",
-        ),
-        (
-            "fleet_scoring_seconds_closest_pair",
-            outcome.scoring_seconds,
-            "null_sink_overhead_pct_fleet_scoring",
-        ),
-    ] {
-        match baseline_num(pr2.as_ref(), baseline_key) {
-            Some(base) if base > 0.0 => {
-                let pct = 100.0 * (now / base - 1.0);
-                manifest.metric(&format!("baseline_{baseline_key}"), base);
-                manifest.metric(metric, pct);
-                eprintln!("[bench_baseline] {metric}: {pct:+.2}%");
-            }
-            _ => manifest.metric(metric, obs::Json::Null),
-        }
-    }
-
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
-    let doc = manifest.finish();
-    obs::manifest::validate(&doc).expect("bench manifest must satisfy its own schema");
+    let doc = run(&BaselineScale::full(), &mut std::io::stderr());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
     let rendered = doc.to_pretty_string();
-    std::fs::write(path, &rendered).expect("write BENCH_PR4.json");
+    std::fs::write(path, &rendered).expect("write BENCH_PR5.json");
     println!("{rendered}");
     println!("[written to {path}]");
 }

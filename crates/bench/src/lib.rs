@@ -2,6 +2,7 @@
 //! every table and figure of the paper (see DESIGN.md's per-experiment
 //! index), and for the Criterion micro-benchmarks.
 
+pub mod baseline;
 pub mod experiments;
 pub mod exploration;
 pub mod grid;

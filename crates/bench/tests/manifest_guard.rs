@@ -1,0 +1,58 @@
+//! Tier-1 manifest regression guard (promoted from CI-only): runs the
+//! bench_baseline measurement pass at smoke scale and diffs the freshly
+//! generated manifest against the committed `BENCH_PR3.json` — so a lost
+//! counter, stage, histogram or metric key fails `cargo test` locally,
+//! not just the CI `manifest-diff` job.
+//!
+//! Numbers are *not* compared here (the smoke fleet is a fraction of the
+//! paper fleet, so every timing differs by construction): the tolerances
+//! are set astronomically wide and only *structural* losses — keys present
+//! in the baseline but missing from the current manifest — can regress.
+//! The CI job still performs the real numeric comparison on the
+//! full-scale run.
+
+use navarchos_bench::baseline::{run, BaselineScale};
+use navarchos_obs as obs;
+
+#[test]
+fn smoke_manifest_keeps_every_baseline_key() {
+    let doc = run(&BaselineScale::smoke(), &mut std::io::sink());
+
+    // Self-consistency first: the schema the check-manifest CLI enforces.
+    obs::manifest::validate(&doc).expect("smoke manifest must satisfy the manifest schema");
+
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
+    let baseline_text =
+        std::fs::read_to_string(baseline_path).expect("committed BENCH_PR3.json must be readable");
+    let baseline = obs::json::parse(&baseline_text).expect("BENCH_PR3.json must parse");
+
+    // Structure-only diff: tolerances wide enough that no finite numeric
+    // drift can trip them, leaving missing-key regressions as the only
+    // failure mode.
+    let cfg = obs::DiffConfig { tol_pct: 1e12, time_tol_pct: 1e12, ..Default::default() };
+    let report = obs::diff_manifests(&doc, &baseline, &cfg);
+    assert!(
+        report.ok(),
+        "smoke manifest lost keys the BENCH_PR3.json baseline carries:\n{}",
+        report.render()
+    );
+    assert!(report.compared > 0, "the diff must actually compare something");
+
+    // And the PR 5 additions: ingest throughput must be recorded for at
+    // least two shard counts, measured with metrics on.
+    let metrics = doc.get("metrics").expect("manifest has a metrics section");
+    let shard_metrics: Vec<&str> = ["ingest_records_per_s_shards1", "ingest_records_per_s_shards2"]
+        .into_iter()
+        .filter(|k| metrics.get(k).and_then(obs::Json::as_num).is_some_and(|v| v > 0.0))
+        .collect();
+    assert_eq!(
+        shard_metrics.len(),
+        2,
+        "ingest throughput must be present and positive for two shard counts"
+    );
+    let counters = doc.get("counters").expect("manifest has a counters section");
+    assert!(
+        counters.get("ingest.records").and_then(obs::Json::as_num).is_some_and(|v| v > 0.0),
+        "metrics-on ingest must populate the global ingest.* counters"
+    );
+}

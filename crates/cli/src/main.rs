@@ -17,6 +17,14 @@
 //!     Put irregular CSV telemetry on a regular time grid (gap-aware:
 //!     parking time is never interpolated across).
 //!
+//! navarchos serve-replay [--dir DIR | --vehicles N --days N --seed N] [--shards N]
+//!     Interleave a fleet's telemetry into one arrival-ordered stream and
+//!     serve it through the sharded ingest engine (per-vehicle reorder
+//!     buffers, duplicate drop, dead-letter sink). `--dirty SEED` salts
+//!     the stream with within-horizon reordering and duplicates first;
+//!     `--verify` replays each vehicle sorted and exits nonzero unless the
+//!     engine's alarms are identical.
+//!
 //! navarchos check-manifest --path FILE [--against BASELINE] [--slo-p99-ms N]
 //!     Validate a run manifest against the navarchos-run-manifest schema
 //!     (v2, or v1 for committed baselines), optionally gate the
@@ -77,6 +85,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&flags),
         "explore" => cmd_explore(&flags),
         "resample" => cmd_resample(&flags),
+        "serve-replay" => cmd_serve_replay(&flags),
         "check-manifest" => cmd_check_manifest(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -102,6 +111,9 @@ USAGE:
   navarchos evaluate --dir DIR [--ph DAYS] [--metrics] [--manifest FILE] [--trace]
   navarchos explore  --dir DIR [--clusters K] [--metrics] [--manifest FILE]
   navarchos resample --telemetry FILE --out FILE [--period SECONDS] [--max-gap SECONDS] [--method linear|previous]
+  navarchos serve-replay [--dir DIR | --vehicles N --days N --seed N] [--shards N] [--horizon-s S]
+                         [--dirty SEED [--reorder-prob F] [--dup-prob F] [--drop-prob F] [--corrupt-prob F]]
+                         [--verify] [--metrics] [--manifest FILE]
   navarchos check-manifest --path FILE [--against BASELINE] [--tol-pct N] [--time-tol-pct N]
                            [--ignore k1,k2] [--slo-p99-ms N]
   navarchos help
@@ -118,7 +130,7 @@ OBSERVABILITY:
                     exceeds N milliseconds";
 
 /// Switches that take no value; everything else is `--name value`.
-const BOOL_FLAGS: &[&str] = &["trace", "metrics"];
+const BOOL_FLAGS: &[&str] = &["trace", "metrics", "verify"];
 
 fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
     let mut flags = BTreeMap::new();
@@ -527,6 +539,247 @@ fn cmd_explore(flags: &BTreeMap<String, String>) -> Result<(), String> {
         println!("run manifest written to {}", manifest_path.display());
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// serve-replay
+// ---------------------------------------------------------------------------
+
+/// Loads the fleet for `serve-replay`: `--dir` reads a `simulate` output
+/// directory (vehicle-XX.csv + events.csv); otherwise the fleet is
+/// generated in-process from `--vehicles/--days/--seed`.
+fn load_replay_fleet(
+    flags: &BTreeMap<String, String>,
+) -> Result<Vec<(u32, navarchos_tsframe::Frame, Vec<(i64, bool)>)>, String> {
+    if let Some(dir) = flags.get("dir") {
+        let dir = Path::new(dir);
+        let events_path = dir.join("events.csv");
+        let mut vehicle_files: Vec<(usize, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(dir).map_err(|e| e.to_string())? {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Some(num) = name.strip_prefix("vehicle-").and_then(|s| s.strip_suffix(".csv")) {
+                if let Ok(v) = num.parse::<usize>() {
+                    vehicle_files.push((v, path));
+                }
+            }
+        }
+        vehicle_files.sort();
+        if vehicle_files.is_empty() {
+            return Err(format!("no vehicle-XX.csv files in {}", dir.display()));
+        }
+        let mut out = Vec::new();
+        for (v, path) in vehicle_files {
+            let frame = read_csv_file(&path).map_err(|e| e.to_string())?;
+            let maintenance = load_events(&events_path, Some(v))?;
+            out.push((v as u32, frame, maintenance));
+        }
+        Ok(out)
+    } else {
+        let mut cfg = FleetConfig::navarchos();
+        cfg.n_vehicles = get_num(flags, "vehicles", cfg.n_vehicles)?;
+        cfg.n_days = get_num(flags, "days", cfg.n_days)?;
+        cfg.seed = get_num(flags, "seed", cfg.seed)?;
+        cfg.n_recorded = cfg.n_recorded.min(cfg.n_vehicles);
+        cfg.n_failures = cfg.n_failures.min(cfg.n_recorded);
+        let fleet = cfg.generate();
+        Ok(fleet
+            .vehicles
+            .into_iter()
+            .map(|vd| {
+                let maintenance: Vec<(i64, bool)> = vd
+                    .events
+                    .iter()
+                    .filter(|e| e.recorded && e.kind.is_maintenance())
+                    .map(|e| (e.timestamp, e.kind == navarchos_fleetsim::EventKind::Repair))
+                    .collect();
+                (vd.id.0, vd.frame, maintenance)
+            })
+            .collect())
+    }
+}
+
+/// Serves a fleet's interleaved (optionally dirtied) event stream through
+/// the sharded ingest engine and reports what the engine did with it;
+/// `--verify` additionally replays every vehicle sorted and fails unless
+/// the engine's alarms are byte-identical.
+fn cmd_serve_replay(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    use navarchos_ingest::{IngestConfig, ShardedIngest};
+
+    let shards: usize = get_num(flags, "shards", 4)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let mut cfg = IngestConfig::paper_default(shards);
+    cfg.horizon_s = get_num(flags, "horizon-s", cfg.horizon_s)?;
+    if cfg.horizon_s < 0 {
+        return Err("--horizon-s must be non-negative".to_string());
+    }
+
+    let mut manifest = flags.contains_key("metrics").then(|| obs::Manifest::new("serve-replay"));
+    let manifest_path: PathBuf =
+        flags.get("manifest").map(PathBuf::from).unwrap_or_else(|| "serve-manifest.json".into());
+
+    let clock = obs::stage_clock();
+    let vehicles = load_replay_fleet(flags)?;
+    let names = vehicles[0].1.names().to_vec();
+    for (v, frame, _) in &vehicles {
+        if frame.names() != names.as_slice() {
+            return Err(format!(
+                "vehicle {v}: signal set differs from vehicle {} — one engine serves one schema",
+                vehicles[0].0
+            ));
+        }
+    }
+    let refs: Vec<(u32, &navarchos_tsframe::Frame, &[(i64, bool)])> =
+        vehicles.iter().map(|(v, f, m)| (*v, f, m.as_slice())).collect();
+    let mut stream = navarchos_fleetsim::interleave_streams(&refs);
+    let clean_len = stream.len();
+
+    let mut lossy = false;
+    if let Some(seed) = flags.get("dirty") {
+        let seed: u64 = seed.parse().map_err(|e| format!("--dirty: {e}"))?;
+        let mut dirt = navarchos_fleetsim::DirtyConfig::reorder_and_dup(seed);
+        // Keep the dirt inside the engine's tolerance unless overridden:
+        // equivalence is only promised for delays strictly under the horizon.
+        dirt.reorder_horizon_s = cfg.horizon_s.max(1);
+        dirt.reorder_prob = get_num(flags, "reorder-prob", dirt.reorder_prob)?;
+        dirt.dup_prob = get_num(flags, "dup-prob", dirt.dup_prob)?;
+        dirt.drop_prob = get_num(flags, "drop-prob", dirt.drop_prob)?;
+        dirt.corrupt_prob = get_num(flags, "corrupt-prob", dirt.corrupt_prob)?;
+        lossy = dirt.drop_prob > 0.0 || dirt.corrupt_prob > 0.0;
+        stream = navarchos_fleetsim::dirty_stream(&stream, &dirt);
+        if let Some(m) = manifest.as_mut() {
+            m.config("dirty_seed", seed);
+            m.config("reorder_prob", dirt.reorder_prob);
+            m.config("dup_prob", dirt.dup_prob);
+            m.config("drop_prob", dirt.drop_prob);
+            m.config("corrupt_prob", dirt.corrupt_prob);
+        }
+    }
+    if let Some(m) = manifest.as_mut() {
+        m.config("shards", shards);
+        m.config("horizon_s", cfg.horizon_s);
+        m.config("vehicles", vehicles.len());
+        m.config("clean_stream_items", clean_len);
+        m.config("stream_items", stream.len());
+        m.end_stage("load", clock);
+    }
+    println!(
+        "serving {} stream items from {} vehicles through {shards} shard(s) \
+         (lateness horizon {} s)",
+        stream.len(),
+        vehicles.len(),
+        cfg.horizon_s
+    );
+
+    let clock = obs::stage_clock();
+    let started = std::time::Instant::now();
+    let mut engine = ShardedIngest::new(&names, cfg.clone());
+    let mut alarms = engine.ingest_batch(stream);
+    alarms.extend(engine.finish());
+    let wall = started.elapsed().as_secs_f64();
+    if let Some(m) = manifest.as_mut() {
+        m.end_stage("ingest", clock);
+    }
+
+    let stats = engine.stats();
+    for (i, (s, v)) in engine.shard_stats().iter().zip(engine.vehicles_per_shard()).enumerate() {
+        println!(
+            "  shard {i}: {v:3} vehicles, {:7} records, {:5} reordered, peak queue depth {}",
+            s.records, s.reordered, s.peak_queue_depth
+        );
+    }
+    println!(
+        "ingested {} records + {} maintenance markers in {wall:.3}s ({:.0} records/s)",
+        stats.records,
+        stats.maintenance,
+        stats.records as f64 / wall.max(1e-9)
+    );
+    println!(
+        "  reordered {}, duplicates {}, late-dropped {}, dead-lettered {}, forced releases {}",
+        stats.reordered,
+        stats.duplicates,
+        stats.late_dropped,
+        stats.dead_letter,
+        stats.forced_releases
+    );
+    println!("  {} alarms across {} vehicles", stats.alarms, vehicles.len());
+    for dl in engine.dead_letters().iter().take(5) {
+        println!("  dead letter: vehicle {} t={} {:?}", dl.vehicle, dl.timestamp, dl.reason);
+    }
+    if let Some(m) = manifest.as_mut() {
+        m.metric("ingest_wall_seconds", wall);
+        m.metric("ingest_records_per_s", stats.records as f64 / wall.max(1e-9));
+        m.metric("records", stats.records);
+        m.metric("released", stats.released);
+        m.metric("reordered", stats.reordered);
+        m.metric("duplicates", stats.duplicates);
+        m.metric("late_dropped", stats.late_dropped);
+        m.metric("dead_letter", stats.dead_letter);
+        m.metric("forced_releases", stats.forced_releases);
+        m.metric("alarms", stats.alarms);
+        m.metric("peak_queue_depth", stats.peak_queue_depth);
+    }
+
+    let mut verify_failure = None;
+    if flags.contains_key("verify") {
+        if lossy {
+            eprintln!(
+                "warning: --verify with dropping/corrupting dirt — equivalence with the \
+                 sorted replay is not expected to hold"
+            );
+        }
+        let clock = obs::stage_clock();
+        let frames: Vec<(navarchos_tsframe::Frame, Vec<(i64, bool)>)> =
+            vehicles.iter().map(|(_, f, m)| (f.clone(), m.clone())).collect();
+        let per_vehicle = navarchos_core::replay_interleaved(&frames, &cfg.pipeline);
+        let expected: BTreeMap<u32, Vec<navarchos_core::Alarm>> = vehicles
+            .iter()
+            .map(|(v, _, _)| *v)
+            .zip(per_vehicle)
+            .filter(|(_, a)| !a.is_empty())
+            .collect();
+        let mut got: BTreeMap<u32, Vec<navarchos_core::Alarm>> = BTreeMap::new();
+        for fa in &alarms {
+            got.entry(fa.vehicle).or_default().push(fa.alarm.clone());
+        }
+        let ok = got == expected;
+        if let Some(m) = manifest.as_mut() {
+            m.end_stage("verify", clock);
+            m.metric("verified", usize::from(ok));
+        }
+        if ok {
+            println!(
+                "verify: engine alarms byte-identical to sorted per-vehicle replay \
+                 ({} alarmed vehicles)",
+                expected.len()
+            );
+        } else {
+            let diverged: Vec<u32> = expected
+                .keys()
+                .chain(got.keys())
+                .filter(|v| expected.get(v) != got.get(v))
+                .copied()
+                .collect();
+            verify_failure = Some(format!(
+                "serve-replay --verify: engine alarms differ from sorted replay on \
+                 vehicle(s) {diverged:?}"
+            ));
+        }
+    }
+
+    if let Some(m) = manifest {
+        m.write(&manifest_path)
+            .map_err(|e| format!("write manifest {}: {e}", manifest_path.display()))?;
+        println!("run manifest written to {}", manifest_path.display());
+    }
+    match verify_failure {
+        Some(msg) => Err(msg),
+        None => Ok(()),
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -30,7 +30,9 @@ use crate::reference::ReferenceProfile;
 ///
 /// `Debug` is a supertrait so boxed detectors stay inspectable inside the
 /// pipeline/runner structs (workspace lint: `missing_debug_implementations`).
-pub trait Detector: std::fmt::Debug {
+/// `Send` is a supertrait so a boxed detector — and any pipeline holding
+/// one — can move to a shard worker thread in the fleet ingest engine.
+pub trait Detector: std::fmt::Debug + Send {
     /// Number of score channels emitted per sample (per-feature detectors
     /// emit one channel per input feature; Grand and TranAD emit one).
     fn n_channels(&self) -> usize;

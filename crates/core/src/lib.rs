@@ -34,8 +34,8 @@ pub use aggregator::{AlarmAggregator, AlarmInstance};
 pub use detectors::{Detector, DetectorKind};
 pub use evaluation::{evaluate, sweep_best, EvalCounts, EvalParams};
 pub use fleet_grand::{fleet_grand_scores, FleetGrandParams, VehicleSeries};
-pub use par::par_map;
-pub use pipeline::{replay_stream, Alarm, PipelineConfig, StreamingPipeline};
+pub use par::{par_map, par_map_mut};
+pub use pipeline::{replay_interleaved, replay_stream, Alarm, PipelineConfig, StreamingPipeline};
 pub use reference::ResetPolicy;
 pub use runner::{run_vehicle, RunnerParams, VehicleScores};
 pub use threshold::SelfTuningThreshold;

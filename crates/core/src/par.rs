@@ -51,6 +51,10 @@ where
     // many cheap items sample 1 in 8 so the probe cannot dominate the
     // work. Disabled, `task_ns` is `None` and each item pays one branch.
     let span = navarchos_obs::span("par_map");
+    // Workers inherit this id so their spans parent onto the `par_map`
+    // frame: a traced evaluate folds into one tree, not a forest with one
+    // root per worker thread (ROADMAP: per-thread span parenting).
+    let parent_id = span.id();
     let task_ns =
         navarchos_obs::metrics_enabled().then(|| navarchos_obs::histogram("par_map.task_ns"));
     let item_mask = task_sample_mask(n);
@@ -61,6 +65,7 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 scope.spawn(move || {
+                    let _worker = navarchos_obs::span_child_of("par_map.worker", parent_id);
                     let mut recorder = task_ns
                         .as_ref()
                         .map(|h| navarchos_obs::BatchedRecorder::new(std::sync::Arc::clone(h)));
@@ -95,6 +100,65 @@ where
     indexed.sort_by_key(|&(i, _)| i);
     drop(span);
     indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Maps `f` over `items` in parallel with exclusive (`&mut`) access to
+/// each item, returning the results in input order.
+///
+/// The companion to [`par_map`] for fan-outs over *stateful* workers — the
+/// ingest engine's shards each own per-vehicle pipelines that must be
+/// mutated in place. Items are partitioned into contiguous chunks via
+/// `split_at_mut`, one scoped thread per chunk, so the borrow checker can
+/// prove the `&mut` slices are disjoint. `f` receives `(index, &mut item)`
+/// with `index` relative to `items`; a panic in any worker is resumed on
+/// the caller's thread after the scope joins. Worker spans parent onto the
+/// `par_map_mut` span, same as [`par_map`].
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).clamp(1, n);
+    let span = navarchos_obs::span("par_map_mut");
+    let parent_id = span.id();
+
+    // Contiguous chunking (ceil(n / threads) per chunk) instead of
+    // round-robin: disjoint `&mut` sub-slices are free; an index shuffle
+    // would need unsafe or per-item locks.
+    let chunk_len = n.div_ceil(threads);
+    let results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = items;
+        let mut offset = 0;
+        let mut handles = Vec::with_capacity(threads);
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = offset;
+            offset += take;
+            handles.push(scope.spawn(move || {
+                let _worker = navarchos_obs::span_child_of("par_map.worker", parent_id);
+                chunk.iter_mut().enumerate().map(|(i, item)| f(base + i, item)).collect()
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    drop(span);
+    // Chunks are contiguous and collected in spawn order, so flattening
+    // restores input order without an index sort.
+    results.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -155,6 +219,39 @@ mod tests {
         // >= because other tests in this binary may also record; the
         // batched recorders must have flushed all 40 samples by return.
         assert!(after >= before + 40, "{before} -> {after}");
+    }
+
+    #[test]
+    fn par_map_mut_mutates_in_place_and_preserves_order() {
+        let mut items: Vec<u64> = (0..137).collect();
+        let out = par_map_mut(&mut items, |i, x| {
+            assert_eq!(i as u64, *x);
+            *x += 1;
+            *x * 10
+        });
+        assert_eq!(items, (1..138).collect::<Vec<u64>>());
+        assert_eq!(out, (1..138).map(|x| x * 10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_map_mut_empty_and_single() {
+        let mut empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = par_map_mut(&mut empty, |_, &mut x| x);
+        assert!(out.is_empty());
+        let mut one = vec![41u8];
+        assert_eq!(par_map_mut(&mut one, |_, x| *x + 1), vec![42]);
+    }
+
+    #[test]
+    fn par_map_mut_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let mut items = vec![1, 2, 3];
+            par_map_mut(&mut items, |_, x| {
+                assert!(*x != 2, "boom");
+                *x
+            })
+        });
+        assert!(result.is_err(), "panic must cross the scope");
     }
 
     #[test]

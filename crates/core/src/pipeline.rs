@@ -397,6 +397,25 @@ pub fn replay_stream(
     alarms
 }
 
+/// Replays a whole fleet per-vehicle through [`replay_stream`], one fresh
+/// pipeline per vehicle, in parallel. Returns one alarm vector per input
+/// vehicle, in input order.
+///
+/// This is the equivalence oracle for the sharded ingest engine: an
+/// interleaved fleet stream is correct exactly when the engine's
+/// per-vehicle alarms match this sorted single-vehicle replay. Each entry
+/// pairs the vehicle's frame with its maintenance log as `(timestamp,
+/// is_repair)` tuples sorted ascending.
+pub fn replay_interleaved(
+    vehicles: &[(Frame, Vec<(i64, bool)>)],
+    cfg: &PipelineConfig,
+) -> Vec<Vec<Alarm>> {
+    let _span = obs::span("replay_interleaved");
+    crate::par::par_map(vehicles, |_, (frame, maintenance)| {
+        replay_stream(frame, maintenance, cfg.clone())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

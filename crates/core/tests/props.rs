@@ -345,11 +345,15 @@ fn par_map_span_nesting_is_isolated() {
     let caller_id = caller_span.id().expect("enabled span has an id");
     let items: Vec<usize> = (0..64).collect();
     let spans: Vec<(Option<u64>, Option<u64>, usize)> = navarchos_core::par_map(&items, |_, _| {
+        // The worker's own `par_map.worker` span is already on this
+        // thread's stack; task spans nest under it, never under the
+        // caller's frame or another worker's.
+        let worker_id = navarchos_obs::current_span_id();
         let outer = navarchos_obs::span("props.task");
         let inner = navarchos_obs::span("props.task.inner");
-        let triple = (outer.id(), outer.parent(), navarchos_obs::span::current_depth());
+        assert_eq!(outer.parent(), worker_id, "outer nests under this worker's span");
         assert_eq!(inner.parent(), outer.id(), "inner nests under this worker's outer");
-        triple
+        (outer.id(), outer.parent(), navarchos_obs::span::current_depth())
     });
     // The caller's stack is still intact after the scope joins.
     assert_eq!(navarchos_obs::current_span_id(), Some(caller_id));
@@ -358,7 +362,7 @@ fn par_map_span_nesting_is_isolated() {
         let id = id.expect("worker spans are live while metrics are on");
         assert_ne!(Some(id), Some(caller_id));
         assert_ne!(parent, Some(caller_id), "worker spans must not adopt the caller's frame");
-        assert_eq!(depth, 2, "outer + inner on the worker's own stack");
+        assert_eq!(depth, 3, "worker + outer + inner on the worker's own stack");
         ids.push(id);
     }
     ids.sort_unstable();

@@ -24,6 +24,7 @@ pub mod events;
 pub mod faults;
 pub mod fleet;
 pub mod physics;
+pub mod stream;
 pub mod types;
 pub mod usage;
 pub mod vehicle;
@@ -31,6 +32,9 @@ pub mod vehicle;
 pub use events::{Event, EventKind};
 pub use faults::{FaultKind, FaultWindow};
 pub use fleet::{FleetConfig, FleetData, VehicleData};
+pub use stream::{
+    dirty_stream, interleave_fleet, interleave_streams, DirtyConfig, StreamBody, StreamItem,
+};
 pub use types::{VehicleId, PID_NAMES, RECORD_INTERVAL_SECONDS, START_EPOCH};
 pub use usage::{RideKind, UsageProfile};
 pub use vehicle::VehicleModel;

@@ -1,0 +1,559 @@
+//! The sharded fleet ingest engine.
+//!
+//! One engine owns N [`Shard`]s; a [`ShardRouter`] fans the interleaved
+//! fleet stream out by vehicle hash, so each vehicle's state — a bounded
+//! [`ReorderBuffer`] plus a [`StreamingPipeline`] — lives on exactly one
+//! shard and batches can be processed with one worker per shard
+//! ([`ShardedIngest::ingest_batch`] via `par_map_mut`). Malformed records
+//! (wrong arity, non-finite values) and same-timestamp conflicts go to a
+//! counted dead-letter sink; arrivals beyond the lateness horizon are
+//! counted and skipped. Nothing panics on dirty input and no path grows
+//! without bound.
+//!
+//! # Observability
+//!
+//! Each shard keeps plain `u64` stats that are always on (they cost an
+//! increment) and mirrors them into the global `ingest.*` counters when
+//! metrics are enabled, resolving the `Arc` handles once at construction
+//! — the same discipline as `PipelineStats`. Queue depth is sampled into
+//! a per-shard `ingest.shardNN.queue_depth` histogram through a
+//! `BatchedRecorder`, flushed on [`ShardedIngest::finish`].
+
+use navarchos_core::pipeline::{Alarm, PipelineConfig, StreamingPipeline};
+use navarchos_core::{par_map_mut, DetectorKind, TransformKind};
+use navarchos_fleetsim::{StreamBody, StreamItem};
+use navarchos_obs as obs;
+
+use crate::reorder::{PushOutcome, ReorderBuffer, SeqKey, Sequenced};
+use crate::router::ShardRouter;
+
+impl Sequenced for StreamItem {
+    fn key(&self) -> SeqKey {
+        SeqKey { timestamp: self.timestamp, rank: self.body.rank() }
+    }
+
+    fn identical(&self, other: &Self) -> bool {
+        if self.vehicle != other.vehicle || self.timestamp != other.timestamp {
+            return false;
+        }
+        match (&self.body, &other.body) {
+            (StreamBody::Record(a), StreamBody::Record(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (
+                StreamBody::Maintenance { is_repair: a },
+                StreamBody::Maintenance { is_repair: b },
+            ) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Number of shards (≥ 1).
+    pub n_shards: usize,
+    /// Lateness horizon in seconds: an arrival is re-sequenced as long as
+    /// it is delayed by strictly less than this. Must be at least the
+    /// feed's worst-case delay for the equivalence guarantee to hold.
+    pub horizon_s: i64,
+    /// Per-vehicle reorder-buffer capacity (items).
+    pub reorder_capacity: usize,
+    /// Dead letters retained for inspection (the count is unbounded, the
+    /// stored samples are capped).
+    pub max_dead_letters_kept: usize,
+    /// Per-vehicle pipeline instantiation.
+    pub pipeline: PipelineConfig,
+}
+
+impl IngestConfig {
+    /// The paper's main pipeline (correlation transformation + closest
+    /// pair) behind an ingest front with a 30-minute lateness horizon.
+    pub fn paper_default(n_shards: usize) -> Self {
+        IngestConfig {
+            n_shards,
+            horizon_s: 1800,
+            reorder_capacity: 256,
+            max_dead_letters_kept: 32,
+            pipeline: PipelineConfig::paper_default(
+                TransformKind::Correlation,
+                DetectorKind::ClosestPair,
+            ),
+        }
+    }
+}
+
+/// An alarm raised by some vehicle's pipeline, tagged with the vehicle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAlarm {
+    /// The vehicle whose pipeline raised the alarm.
+    pub vehicle: u32,
+    /// The alarm itself.
+    pub alarm: Alarm,
+}
+
+/// Why an item was dead-lettered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadLetterReason {
+    /// Record row had the wrong number of values.
+    WrongArity {
+        /// Values present on the wire.
+        got: usize,
+        /// Values the pipeline expects.
+        expected: usize,
+    },
+    /// Record row contained a NaN or infinity.
+    NonFinite,
+    /// Same canonical key as a buffered item, different payload.
+    Conflict,
+}
+
+/// A rejected item, kept (up to a cap) for post-mortem inspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetter {
+    /// Source vehicle.
+    pub vehicle: u32,
+    /// Event timestamp of the rejected item.
+    pub timestamp: i64,
+    /// Classification.
+    pub reason: DeadLetterReason,
+}
+
+/// Aggregated engine counters (always on; cheap `u64` increments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Telemetry records offered to the engine.
+    pub records: u64,
+    /// Maintenance markers offered to the engine.
+    pub maintenance: u64,
+    /// Items released through reorder buffers into pipelines.
+    pub released: u64,
+    /// Accepted arrivals that were out of order.
+    pub reordered: u64,
+    /// Exact duplicates dropped.
+    pub duplicates: u64,
+    /// Arrivals beyond the lateness horizon, counted and skipped.
+    pub late_dropped: u64,
+    /// Malformed or conflicting items routed to the dead-letter sink.
+    pub dead_letter: u64,
+    /// Early releases forced by reorder-buffer capacity.
+    pub forced_releases: u64,
+    /// Alarms raised across all vehicles.
+    pub alarms: u64,
+    /// Highest reorder-buffer depth observed on any vehicle.
+    pub peak_queue_depth: u64,
+}
+
+impl IngestStats {
+    fn merge(&mut self, other: &IngestStats) {
+        self.records += other.records;
+        self.maintenance += other.maintenance;
+        self.released += other.released;
+        self.reordered += other.reordered;
+        self.duplicates += other.duplicates;
+        self.late_dropped += other.late_dropped;
+        self.dead_letter += other.dead_letter;
+        self.forced_releases += other.forced_releases;
+        self.alarms += other.alarms;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+    }
+}
+
+/// Global-counter handles, resolved once per shard.
+#[derive(Debug)]
+struct ShardObs {
+    records: std::sync::Arc<obs::Counter>,
+    reordered: std::sync::Arc<obs::Counter>,
+    duplicates: std::sync::Arc<obs::Counter>,
+    late_dropped: std::sync::Arc<obs::Counter>,
+    dead_letter: std::sync::Arc<obs::Counter>,
+    alarms: std::sync::Arc<obs::Counter>,
+    queue_depth: obs::BatchedRecorder,
+}
+
+impl ShardObs {
+    fn new(shard: usize) -> Self {
+        ShardObs {
+            records: obs::counter("ingest.records"),
+            reordered: obs::counter("ingest.reordered"),
+            duplicates: obs::counter("ingest.duplicates"),
+            late_dropped: obs::counter("ingest.late_dropped"),
+            dead_letter: obs::counter("ingest.dead_letter"),
+            alarms: obs::counter("ingest.alarms"),
+            queue_depth: obs::BatchedRecorder::new(obs::histogram(&format!(
+                "ingest.shard{shard:02}.queue_depth"
+            ))),
+        }
+    }
+}
+
+/// One vehicle's state on its owning shard.
+#[derive(Debug)]
+struct Lane {
+    vehicle: u32,
+    buffer: ReorderBuffer<StreamItem>,
+    pipeline: StreamingPipeline,
+}
+
+/// One shard: the lanes of the vehicles that hash to it.
+#[derive(Debug)]
+struct Shard {
+    names: Vec<String>,
+    cfg: IngestConfig,
+    /// Lanes sorted by vehicle id for binary-search lookup.
+    lanes: Vec<Lane>,
+    stats: IngestStats,
+    dead: Vec<DeadLetter>,
+    obs: ShardObs,
+    /// Scratch for reorder-buffer releases, reused across items.
+    released: Vec<StreamItem>,
+}
+
+impl Shard {
+    fn new(index: usize, names: Vec<String>, cfg: IngestConfig) -> Self {
+        Shard {
+            names,
+            cfg,
+            lanes: Vec::new(),
+            stats: IngestStats::default(),
+            dead: Vec::new(),
+            obs: ShardObs::new(index),
+            released: Vec::new(),
+        }
+    }
+
+    fn lane_index(&mut self, vehicle: u32) -> usize {
+        match self.lanes.binary_search_by_key(&vehicle, |l| l.vehicle) {
+            Ok(i) => i,
+            Err(i) => {
+                self.lanes.insert(
+                    i,
+                    Lane {
+                        vehicle,
+                        buffer: ReorderBuffer::new(self.cfg.horizon_s, self.cfg.reorder_capacity),
+                        pipeline: StreamingPipeline::new(&self.names, self.cfg.pipeline.clone()),
+                    },
+                );
+                i
+            }
+        }
+    }
+
+    fn dead_letter(&mut self, vehicle: u32, timestamp: i64, reason: DeadLetterReason) {
+        self.stats.dead_letter += 1;
+        if obs::metrics_enabled() {
+            self.obs.dead_letter.incr();
+        }
+        if self.dead.len() < self.cfg.max_dead_letters_kept {
+            self.dead.push(DeadLetter { vehicle, timestamp, reason });
+        }
+    }
+
+    fn process(&mut self, item: StreamItem, alarms: &mut Vec<FleetAlarm>) {
+        let metrics_on = obs::metrics_enabled();
+        match &item.body {
+            StreamBody::Record(row) => {
+                self.stats.records += 1;
+                if metrics_on {
+                    self.obs.records.incr();
+                }
+                let expected = self.names.len();
+                if row.len() != expected {
+                    self.dead_letter(
+                        item.vehicle,
+                        item.timestamp,
+                        DeadLetterReason::WrongArity { got: row.len(), expected },
+                    );
+                    return;
+                }
+                if row.iter().any(|v| !v.is_finite()) {
+                    self.dead_letter(item.vehicle, item.timestamp, DeadLetterReason::NonFinite);
+                    return;
+                }
+            }
+            StreamBody::Maintenance { .. } => {
+                self.stats.maintenance += 1;
+            }
+        }
+        let (vehicle, timestamp) = (item.vehicle, item.timestamp);
+        let lane_i = self.lane_index(vehicle);
+        self.released.clear();
+        let outcome = {
+            let lane = &mut self.lanes[lane_i];
+            lane.buffer.push(item, &mut self.released)
+        };
+        match outcome {
+            PushOutcome::Accepted { reordered } => {
+                if reordered {
+                    self.stats.reordered += 1;
+                    if metrics_on {
+                        self.obs.reordered.incr();
+                    }
+                }
+            }
+            PushOutcome::Duplicate => {
+                self.stats.duplicates += 1;
+                if metrics_on {
+                    self.obs.duplicates.incr();
+                }
+            }
+            PushOutcome::LateDropped => {
+                self.stats.late_dropped += 1;
+                if metrics_on {
+                    self.obs.late_dropped.incr();
+                }
+            }
+            PushOutcome::Conflict => {
+                self.dead_letter(vehicle, timestamp, DeadLetterReason::Conflict);
+            }
+        }
+        let depth = self.lanes[lane_i].buffer.len() as u64;
+        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(depth);
+        if metrics_on {
+            self.obs.queue_depth.record(depth);
+        }
+        // Feed whatever the watermark released, in canonical order.
+        let released = std::mem::take(&mut self.released);
+        for rel in &released {
+            self.feed(lane_i, rel, alarms);
+        }
+        self.released = released;
+    }
+
+    fn feed(&mut self, lane_i: usize, item: &StreamItem, alarms: &mut Vec<FleetAlarm>) {
+        let lane = &mut self.lanes[lane_i];
+        self.stats.released += 1;
+        match &item.body {
+            StreamBody::Maintenance { is_repair } => lane.pipeline.process_event(*is_repair),
+            StreamBody::Record(row) => {
+                let raised = lane.pipeline.process_record(item.timestamp, row);
+                if !raised.is_empty() {
+                    self.stats.alarms += raised.len() as u64;
+                    if obs::metrics_enabled() {
+                        self.obs.alarms.add(raised.len() as u64);
+                    }
+                    alarms.extend(
+                        raised.into_iter().map(|alarm| FleetAlarm { vehicle: lane.vehicle, alarm }),
+                    );
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, alarms: &mut Vec<FleetAlarm>) {
+        for lane_i in 0..self.lanes.len() {
+            self.released.clear();
+            self.lanes[lane_i].buffer.flush_into(&mut self.released);
+            let released = std::mem::take(&mut self.released);
+            for rel in &released {
+                self.feed(lane_i, rel, alarms);
+            }
+            self.released = released;
+        }
+        for lane in &mut self.lanes {
+            let b = lane.buffer.stats();
+            self.stats.forced_releases += b.forced_releases;
+            lane.pipeline.flush_obs();
+        }
+        self.obs.queue_depth.flush();
+    }
+}
+
+/// The engine: router + shards. See the module docs.
+#[derive(Debug)]
+pub struct ShardedIngest {
+    router: ShardRouter,
+    shards: Vec<Shard>,
+    finished: bool,
+}
+
+impl ShardedIngest {
+    /// Creates an engine whose per-vehicle pipelines read records with the
+    /// given signal `names` (arity validation uses their count).
+    pub fn new<S: AsRef<str>>(names: &[S], cfg: IngestConfig) -> Self {
+        let names: Vec<String> = names.iter().map(|s| s.as_ref().to_string()).collect();
+        let router = ShardRouter::new(cfg.n_shards);
+        let shards = (0..cfg.n_shards).map(|i| Shard::new(i, names.clone(), cfg.clone())).collect();
+        ShardedIngest { router, shards, finished: false }
+    }
+
+    /// Ingests one item inline (no fan-out). Returns any alarms raised by
+    /// records this arrival released.
+    pub fn ingest(&mut self, item: StreamItem) -> Vec<FleetAlarm> {
+        let mut alarms = Vec::new();
+        let shard = self.router.route(item.vehicle);
+        self.shards[shard].process(item, &mut alarms);
+        alarms
+    }
+
+    /// Ingests a batch: items are bucketed per shard in arrival order,
+    /// then the shards run in parallel (one worker per shard). Returned
+    /// alarms are grouped by shard, per-vehicle order preserved.
+    pub fn ingest_batch(&mut self, items: Vec<StreamItem>) -> Vec<FleetAlarm> {
+        let _span = obs::span("ingest_batch");
+        let n = self.shards.len();
+        let mut buckets: Vec<Vec<StreamItem>> = (0..n).map(|_| Vec::new()).collect();
+        for item in items {
+            buckets[self.router.route(item.vehicle)].push(item);
+        }
+        let mut tasks: Vec<(&mut Shard, Vec<StreamItem>)> =
+            self.shards.iter_mut().zip(buckets).collect();
+        let per_shard = par_map_mut(&mut tasks, |_, (shard, bucket)| {
+            let mut alarms = Vec::new();
+            for item in std::mem::take(bucket) {
+                shard.process(item, &mut alarms);
+            }
+            alarms
+        });
+        per_shard.into_iter().flatten().collect()
+    }
+
+    /// Ends the stream: flushes every reorder buffer through its pipeline
+    /// and flushes batched observability. Idempotent.
+    pub fn finish(&mut self) -> Vec<FleetAlarm> {
+        let mut alarms = Vec::new();
+        if !self.finished {
+            self.finished = true;
+            for shard in &mut self.shards {
+                shard.finish(&mut alarms);
+            }
+        }
+        alarms
+    }
+
+    /// Aggregated counters across all shards.
+    pub fn stats(&self) -> IngestStats {
+        let mut total = IngestStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.stats);
+        }
+        total
+    }
+
+    /// Per-shard counters, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<IngestStats> {
+        self.shards.iter().map(|s| s.stats).collect()
+    }
+
+    /// Retained dead letters across all shards (counts are in
+    /// [`IngestStats::dead_letter`]; retention is capped per shard).
+    pub fn dead_letters(&self) -> Vec<&DeadLetter> {
+        self.shards.iter().flat_map(|s| &s.dead).collect()
+    }
+
+    /// Number of vehicles with live state, per shard.
+    pub fn vehicles_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lanes.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_items(n: usize) -> Vec<StreamItem> {
+        // Two correlated signals; enough records to pass reference +
+        // holdout so the pipeline reaches Detecting.
+        (0..n)
+            .map(|i| {
+                let x = (i as f64 * 0.37).sin() * 3.0 + 10.0;
+                StreamItem {
+                    vehicle: 1,
+                    timestamp: i as i64 * 60,
+                    body: StreamBody::Record(vec![x, 2.0 * x + 1.0]),
+                }
+            })
+            .collect()
+    }
+
+    fn tiny_config(n_shards: usize) -> IngestConfig {
+        let mut cfg = IngestConfig::paper_default(n_shards);
+        cfg.pipeline.window = 8;
+        cfg.pipeline.stride = 2;
+        cfg.pipeline.profile_length = 6;
+        cfg.pipeline.holdout = 4;
+        cfg.pipeline.filter = navarchos_tsframe::FilterSpec::default();
+        cfg.pipeline.corr_floors = None;
+        cfg.horizon_s = 300;
+        cfg
+    }
+
+    #[test]
+    fn clean_stream_counts_and_no_dead_letters() {
+        let mut engine = ShardedIngest::new(&["a", "b"], tiny_config(2));
+        let items = synthetic_items(200);
+        let _ = engine.ingest_batch(items);
+        let _ = engine.finish();
+        let stats = engine.stats();
+        assert_eq!(stats.records, 200);
+        assert_eq!(stats.dead_letter, 0);
+        assert_eq!(stats.duplicates, 0);
+        assert_eq!(stats.late_dropped, 0);
+        assert_eq!(stats.released, 200);
+    }
+
+    #[test]
+    fn malformed_records_go_to_dead_letter_not_panic() {
+        let mut engine = ShardedIngest::new(&["a", "b"], tiny_config(1));
+        let mut items = synthetic_items(50);
+        items[10].body = StreamBody::Record(vec![1.0]); // wrong arity
+        items[20].body = StreamBody::Record(vec![f64::NAN, 1.0]); // non-finite
+        items[30].body = StreamBody::Record(vec![]); // empty row
+        let _ = engine.ingest_batch(items);
+        let _ = engine.finish();
+        let stats = engine.stats();
+        assert_eq!(stats.dead_letter, 3);
+        assert_eq!(stats.released, 47, "malformed items never reach the pipeline");
+        let reasons: Vec<DeadLetterReason> =
+            engine.dead_letters().iter().map(|d| d.reason).collect();
+        assert!(reasons.contains(&DeadLetterReason::NonFinite));
+        assert!(reasons
+            .iter()
+            .any(|r| matches!(r, DeadLetterReason::WrongArity { got: 1, expected: 2 })));
+    }
+
+    #[test]
+    fn single_item_ingest_matches_batch() {
+        let items = synthetic_items(200);
+        let mut batch = ShardedIngest::new(&["a", "b"], tiny_config(2));
+        let mut one = ShardedIngest::new(&["a", "b"], tiny_config(2));
+        let mut a1 = batch.ingest_batch(items.clone());
+        a1.extend(batch.finish());
+        let mut a2 = Vec::new();
+        for item in items {
+            a2.extend(one.ingest(item));
+        }
+        a2.extend(one.finish());
+        assert_eq!(a1, a2);
+        assert_eq!(batch.stats(), one.stats());
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut engine = ShardedIngest::new(&["a", "b"], tiny_config(1));
+        let _ = engine.ingest_batch(synthetic_items(30));
+        let first = engine.finish();
+        let second = engine.finish();
+        assert!(second.is_empty(), "second finish must be a no-op, got {first:?}{second:?}");
+    }
+
+    #[test]
+    fn vehicles_land_on_their_routed_shard_only() {
+        let cfg = tiny_config(3);
+        let mut engine = ShardedIngest::new(&["a", "b"], cfg);
+        let mut items = Vec::new();
+        for v in 0..9u32 {
+            for i in 0..5usize {
+                items.push(StreamItem {
+                    vehicle: v,
+                    timestamp: i as i64 * 60,
+                    body: StreamBody::Record(vec![1.0, 2.0]),
+                });
+            }
+        }
+        let _ = engine.ingest_batch(items);
+        let per_shard = engine.vehicles_per_shard();
+        assert_eq!(per_shard.iter().sum::<usize>(), 9, "every vehicle exactly once");
+    }
+}

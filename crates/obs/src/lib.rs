@@ -53,7 +53,7 @@ pub use metrics::{
     Histogram,
 };
 pub use sink::{NdjsonSink, NullSink, Sink, StderrSink};
-pub use span::{current_span_id, span, Span};
+pub use span::{current_span_id, span, span_child_of, Span};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};

@@ -4,7 +4,10 @@
 //! workers nest independently — a worker's spans parent onto whatever was
 //! open on *that* thread, never onto another worker's frame. Ids come from
 //! one global counter so they are unique across threads, which is what the
-//! NDJSON trace needs to reconstruct the forest.
+//! NDJSON trace needs to reconstruct the forest. Fork-join helpers use
+//! [`span_child_of`] to hand the forking thread's span id across the
+//! thread boundary, so a full trace folds into one tree instead of one
+//! rooted frame per worker.
 //!
 //! When both tracing and metrics are disabled, [`span`] returns an inert
 //! guard: no clock read, no allocation, no stack push.
@@ -55,11 +58,21 @@ pub struct Span {
 /// Opens a span named `name`. Inert (and free) when both tracing and
 /// metrics are disabled.
 pub fn span(name: &'static str) -> Span {
+    span_child_of(name, None)
+}
+
+/// Opens a span that falls back to `inherited_parent` when this thread has
+/// no open span of its own. This is the fork-join seam: a worker thread
+/// spawned inside a traced region has an empty local stack, so without the
+/// inherited id its spans would root a fresh tree per worker. An open span
+/// on the current thread still wins — nesting inside the worker stays
+/// local once the worker has opened its first frame.
+pub fn span_child_of(name: &'static str, inherited_parent: Option<u64>) -> Span {
     if !crate::events_enabled() && !crate::metrics_enabled() {
         return Span { inner: None, _not_send: PhantomData };
     }
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
-    let parent = current_span_id();
+    let parent = current_span_id().or(inherited_parent);
     STACK.with(|s| s.borrow_mut().push(id));
     Span {
         inner: Some(SpanInner { name, id, parent, start: Instant::now() }),

@@ -25,7 +25,9 @@ use std::collections::VecDeque;
 /// each other, so an implementor must override at least one.
 /// `Debug` is a supertrait so boxed transforms stay inspectable inside the
 /// pipeline/runner structs (workspace lint: `missing_debug_implementations`).
-pub trait Transform: std::fmt::Debug {
+/// `Send` is a supertrait so a boxed transform — and any pipeline holding
+/// one — can move to a shard worker thread in the fleet ingest engine.
+pub trait Transform: std::fmt::Debug + Send {
     /// Number of output features.
     fn output_dim(&self) -> usize;
 

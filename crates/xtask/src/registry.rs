@@ -63,6 +63,18 @@ const KERNELS: &[(&str, &str, &str, &str)] = &[
         "crates/obs/tests/props.rs",
         "crates/bench/benches/substrates.rs",
     ),
+    (
+        "ReorderBuffer",
+        "crates/ingest/src/reorder.rs",
+        "crates/ingest/tests/props.rs",
+        "crates/bench/benches/substrates.rs",
+    ),
+    (
+        "ShardRouter",
+        "crates/ingest/src/router.rs",
+        "crates/ingest/tests/props.rs",
+        "crates/bench/benches/substrates.rs",
+    ),
 ];
 
 fn finding(file: &str, line: u32, message: impl Into<String>) -> Finding {
