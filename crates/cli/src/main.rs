@@ -116,6 +116,7 @@ USAGE:
                          [--verify] [--metrics] [--manifest FILE]
   navarchos check-manifest --path FILE [--against BASELINE] [--tol-pct N] [--time-tol-pct N]
                            [--ignore k1,k2] [--slo-p99-ms N]
+  navarchos check-manifest --trend DIR [--time-tol-pct N] [--ignore k1,k2]
   navarchos help
 
 OBSERVABILITY:
@@ -127,7 +128,11 @@ OBSERVABILITY:
                     regressions beyond tolerance exit nonzero (--tol-pct two-sided,
                     --time-tol-pct for timings, --ignore to skip exact keys)
   --slo-p99-ms N    fail check-manifest when the manifest's alarm.latency_ns p99
-                    exceeds N milliseconds";
+                    exceeds N milliseconds
+  --trend DIR       walk the committed BENCH_PR*.json history in PR order and fail
+                    on any consecutive timing regression beyond --time-tol-pct
+                    (timing keys shared by both manifests only; files that are not
+                    run manifests are reported and skipped)";
 
 /// Switches that take no value; everything else is `--name value`.
 const BOOL_FLAGS: &[&str] = &["trace", "metrics", "verify"];
@@ -825,7 +830,10 @@ fn manifest_identity(doc: &obs::Json) -> String {
 /// committed baseline with relative tolerances, exiting nonzero on any
 /// regression.
 fn cmd_check_manifest(flags: &BTreeMap<String, String>) -> Result<(), String> {
-    let path: PathBuf = flags.get("path").ok_or("--path FILE is required")?.into();
+    if let Some(dir) = flags.get("trend") {
+        return check_manifest_trend(Path::new(dir), flags);
+    }
+    let path: PathBuf = flags.get("path").ok_or("--path FILE or --trend DIR is required")?.into();
     let doc = read_manifest(&path)?;
     println!("{}: valid — {}", path.display(), manifest_identity(&doc));
 
@@ -871,6 +879,79 @@ fn cmd_check_manifest(flags: &BTreeMap<String, String>) -> Result<(), String> {
         }
         println!("no regressions against {baseline_path}");
     }
+    Ok(())
+}
+
+/// The PR number of a committed `BENCH_PR<k>.json` benchmark record.
+fn bench_pr_number(name: &str) -> Option<u32> {
+    name.strip_prefix("BENCH_PR")?.strip_suffix(".json")?.parse().ok()
+}
+
+/// `check-manifest --trend DIR`: walks every `BENCH_PR<k>.json` in `DIR` in
+/// PR order and holds each consecutive pair of *run manifests* to the
+/// timing-only trend rule ([`obs::diff_timings`]) — committed history must
+/// not get monotonically slower past tolerance. Files in the series that
+/// are not run manifests (the pre-manifest bench records) are reported and
+/// skipped rather than failing the walk.
+fn check_manifest_trend(dir: &Path, flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut series: Vec<(u32, String)> = rd
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            bench_pr_number(&name).map(|k| (k, name))
+        })
+        .collect();
+    series.sort();
+    if series.len() < 2 {
+        return Err(format!(
+            "--trend: found {} BENCH_PR*.json file(s) in {} — need at least 2 to walk",
+            series.len(),
+            dir.display()
+        ));
+    }
+
+    let cfg = obs::DiffConfig {
+        tol_pct: get_num(flags, "tol-pct", 25.0)?,
+        time_tol_pct: get_num(flags, "time-tol-pct", 50.0)?,
+        ignore: flags
+            .get("ignore")
+            .map(|s| s.split(',').map(|x| x.trim().to_string()).filter(|x| !x.is_empty()).collect())
+            .unwrap_or_default(),
+        eps: 1e-6,
+    };
+
+    let mut prev: Option<(String, obs::Json)> = None;
+    let mut steps = 0usize;
+    let mut regressions = 0usize;
+    for (_, name) in &series {
+        let doc = match read_manifest(&dir.join(name)) {
+            Ok(doc) => doc,
+            Err(e) => {
+                println!("{name}: not a run manifest, skipped ({e})");
+                continue;
+            }
+        };
+        println!("{name}: {}", manifest_identity(&doc));
+        if let Some((prev_name, prev_doc)) = &prev {
+            let report = obs::diff_timings(&doc, prev_doc, &cfg);
+            steps += 1;
+            if report.ok() {
+                println!("  {prev_name} -> {name}: ok ({} timing comparison(s))", report.compared);
+            } else {
+                print!("{}", report.render());
+                regressions += report.regressions.len();
+            }
+        }
+        prev = Some((name.clone(), doc));
+    }
+    if steps == 0 {
+        return Err("--trend: fewer than 2 valid run manifests in the series".to_string());
+    }
+    if regressions > 0 {
+        return Err(format!("{regressions} timing regression(s) across {steps} trend step(s)"));
+    }
+    println!("trend ok: {steps} step(s), no timing regressions beyond {}%", cfg.time_tol_pct);
     Ok(())
 }
 
@@ -945,6 +1026,15 @@ mod tests {
 
     fn flags(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
         pairs.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn bench_pr_numbers_parse_numerically() {
+        assert_eq!(bench_pr_number("BENCH_PR3.json"), Some(3));
+        assert_eq!(bench_pr_number("BENCH_PR12.json"), Some(12));
+        assert_eq!(bench_pr_number("BENCH.json"), None);
+        assert_eq!(bench_pr_number("BENCH_PRx.json"), None);
+        assert_eq!(bench_pr_number("BENCH_PR3.json.bak"), None);
     }
 
     #[test]

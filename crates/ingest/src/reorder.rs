@@ -144,7 +144,7 @@ impl<T: Sequenced> ReorderBuffer<T> {
         }
         match self.buf.binary_search_by(|x| x.key().cmp(&key)) {
             Ok(pos) => {
-                if self.buf[pos].identical(&item) {
+                if self.buf.get(pos).is_some_and(|held| held.identical(&item)) {
                     self.stats.duplicates += 1;
                     PushOutcome::Duplicate
                 } else {
@@ -192,13 +192,13 @@ impl<T: Sequenced> ReorderBuffer<T> {
         let watermark = self.max_ts.map(|m| m - self.horizon);
         if let Some(w) = watermark {
             while self.buf.front().is_some_and(|f| f.key().timestamp <= w) {
-                let item = self.buf.pop_front().expect("front checked above");
+                let Some(item) = self.buf.pop_front() else { break };
                 self.release(item, out);
             }
         }
         while self.buf.len() > self.capacity {
+            let Some(item) = self.buf.pop_front() else { break };
             self.stats.forced_releases += 1;
-            let item = self.buf.pop_front().expect("len > capacity > 0");
             self.release(item, out);
         }
     }

@@ -325,6 +325,116 @@ pub fn diff_manifests(current: &Json, baseline: &Json, cfg: &DiffConfig) -> Diff
     report
 }
 
+/// Timing-only diff for trend walks over committed manifest history
+/// (`check-manifest --trend`): compares just the one-sided, lower-is-better
+/// clocks — stage wall/cpu, histogram quantiles, timing metrics and the
+/// whole-run clocks — and only for keys present on *both* sides. Across PR
+/// history the workload legitimately changes (new counters, new stages,
+/// schema v1 -> v2), so two-sided probes and missing-key regressions would
+/// be pure noise here; what must stay monotone is the time we spend on the
+/// work both manifests share.
+pub fn diff_timings(current: &Json, baseline: &Json, cfg: &DiffConfig) -> DiffReport {
+    let mut probes: Vec<Probe> = Vec::new();
+    let mut report_note_skipped: Vec<String> = Vec::new();
+    let both = |c: Option<f64>, b: Option<f64>| c.is_some() && b.is_some();
+
+    let cur_stages = stage_names(current);
+    for name in stage_names(baseline) {
+        if !cur_stages.contains(&name) {
+            continue;
+        }
+        for field in ["wall_seconds", "cpu_seconds"] {
+            let (c, b) = (stage_value(current, &name, field), stage_value(baseline, &name, field));
+            if both(c, b) {
+                probes.push(Probe {
+                    key: format!("stages.{name}.{field}"),
+                    current: c,
+                    baseline: b,
+                    direction: Direction::LowerBetter,
+                    tol_pct: cfg.time_tol_pct,
+                });
+            }
+        }
+    }
+
+    let cur_hists = hist_names(current);
+    for name in hist_names(baseline) {
+        if !cur_hists.contains(&name) {
+            continue;
+        }
+        for field in ["mean", "p50", "p99"] {
+            let (c, b) = (hist_value(current, &name, field), hist_value(baseline, &name, field));
+            if both(c, b) {
+                probes.push(Probe {
+                    key: format!("histograms.{name}.{field}"),
+                    current: c,
+                    baseline: b,
+                    direction: Direction::LowerBetter,
+                    tol_pct: cfg.time_tol_pct,
+                });
+            }
+        }
+    }
+
+    let cur_metrics = numeric_entries(current, "metrics");
+    for (k, b) in numeric_entries(baseline, "metrics") {
+        if metric_direction(&k) != Direction::LowerBetter {
+            continue;
+        }
+        // Ratio metrics (overhead percentages) hover around zero, so
+        // *relative* drift on them is noise amplification — a -5.9% -> -2.4%
+        // overhead is a 3.5-point move reported as +59%. The trend gate
+        // walks absolute clocks; the per-PR `--against` diff still holds
+        // ratios to the ordinary rule with a meaningful baseline.
+        if k.contains("pct") || k.contains("percent") || k.contains("ratio") {
+            report_note_skipped.push(k.clone());
+            continue;
+        }
+        let Some((_, c)) = cur_metrics.iter().find(|(ck, _)| ck == &k) else {
+            continue;
+        };
+        probes.push(Probe {
+            key: format!("metrics.{k}"),
+            current: Some(*c),
+            baseline: Some(b),
+            direction: Direction::LowerBetter,
+            tol_pct: cfg.time_tol_pct,
+        });
+    }
+
+    for field in ["wall_seconds", "cpu_seconds"] {
+        let (c, b) =
+            (current.get(field).and_then(Json::as_num), baseline.get(field).and_then(Json::as_num));
+        if both(c, b) {
+            probes.push(Probe {
+                key: field.to_string(),
+                current: c,
+                baseline: b,
+                direction: Direction::LowerBetter,
+                tol_pct: cfg.time_tol_pct,
+            });
+        }
+    }
+
+    let mut report = DiffReport::default();
+    for k in report_note_skipped {
+        report.notes.push(DiffLine {
+            key: format!("metrics.{k}"),
+            detail: "ratio metric, excluded from the trend walk".to_string(),
+        });
+    }
+    for probe in probes {
+        if cfg.ignore.iter().any(|ig| ig == &probe.key) {
+            report
+                .notes
+                .push(DiffLine { key: probe.key, detail: "ignored by --ignore".to_string() });
+            continue;
+        }
+        evaluate(&probe, cfg, &mut report);
+    }
+    report
+}
+
 /// Applies one probe's rule and files the outcome into the report.
 fn evaluate(probe: &Probe, cfg: &DiffConfig, report: &mut DiffReport) {
     let (cur, base) = match (probe.current, probe.baseline) {
@@ -536,6 +646,36 @@ mod tests {
         }
         let report = diff_manifests(&tiny_cur, &tiny_base, &DiffConfig::default());
         assert!(report.ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn timing_trend_ignores_workload_drift_but_catches_slowdowns() {
+        let base = manifest(0.5, 1000.0, 1e6, 0.68);
+        // Wildly different counters and scores, same clocks: trend is clean.
+        let changed = manifest(0.5, 50.0, 1e6, 0.1);
+        let report = diff_timings(&changed, &base, &DiffConfig::default());
+        assert!(report.ok(), "{}", report.render());
+
+        // A slower stage clock still fails the trend gate.
+        let slow = manifest(1.2, 1000.0, 1e6, 0.68);
+        let report = diff_timings(&slow, &base, &DiffConfig::default());
+        assert!(!report.ok());
+        let keys: Vec<&str> = report.regressions.iter().map(|l| l.key.as_str()).collect();
+        assert!(keys.contains(&"stages.fleet_scoring.wall_seconds"), "{keys:?}");
+    }
+
+    #[test]
+    fn timing_trend_skips_keys_missing_on_either_side() {
+        let base = manifest(0.5, 1000.0, 1e6, 0.68);
+        // Drop the histograms section entirely (schema evolution): no
+        // regression for the vanished quantiles, no comparison either.
+        let mut cur = manifest(0.5, 1000.0, 1e6, 0.68);
+        if let Json::Obj(pairs) = &mut cur {
+            pairs.retain(|(k, _)| k != "histograms");
+        }
+        let report = diff_timings(&cur, &base, &DiffConfig::default());
+        assert!(report.ok(), "{}", report.render());
+        assert!(!report.regressions.iter().any(|l| l.key.starts_with("histograms.")));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod metrics;
 pub mod sink;
 pub mod span;
 
-pub use diff::{diff_manifests, DiffConfig, DiffReport};
+pub use diff::{diff_manifests, diff_timings, DiffConfig, DiffReport};
 pub use event::{encode_ndjson, parse_line, Event};
 pub use flame::{fold_spans, fold_trace, render_folded, SpanClose};
 pub use json::Json;
@@ -66,22 +66,29 @@ static METRICS_ON: AtomicBool = AtomicBool::new(false);
 /// emitted. One relaxed load: cheap enough for per-record call sites.
 #[inline]
 pub fn events_enabled() -> bool {
+    // Relaxed: a standalone on/off flag with no data published alongside
+    // it; a stale read only delays when a thread notices the toggle.
     EVENTS_ON.load(Ordering::Relaxed)
 }
 
 /// True when counters/histograms should record.
 #[inline]
 pub fn metrics_enabled() -> bool {
+    // Relaxed: same contract as events_enabled — no dependent data.
     METRICS_ON.load(Ordering::Relaxed)
 }
 
 /// Turns event emission on or off.
 pub fn set_events_enabled(on: bool) {
+    // Relaxed: the flag orders nothing; sink installation synchronises
+    // separately through the RwLock in sink_slot.
     EVENTS_ON.store(on, Ordering::Relaxed);
 }
 
 /// Turns metric recording on or off.
 pub fn set_metrics_enabled(on: bool) {
+    // Relaxed: the flag orders nothing; registry access synchronises
+    // through its own Mutex.
     METRICS_ON.store(on, Ordering::Relaxed);
 }
 

@@ -38,6 +38,8 @@ static PROBE_SAMPLE_SHIFT: AtomicU32 = AtomicU32::new(6);
 /// Sets the probe sampling shift (clamped to `0..=20`); 0 clocks every
 /// record.
 pub fn set_probe_sample_shift(shift: u32) {
+    // Relaxed: a tuning knob read independently per record; no other data
+    // is published through it.
     PROBE_SAMPLE_SHIFT.store(shift.min(20), Ordering::Relaxed);
 }
 
@@ -45,6 +47,8 @@ pub fn set_probe_sample_shift(shift: u32) {
 /// `i & mask == 0`, so a mask of 0 samples everything.
 #[inline]
 pub fn probe_sample_mask() -> u64 {
+    // Relaxed: a stale shift only mis-samples a few records around a
+    // retune; every value in 0..=20 is valid.
     (1u64 << PROBE_SAMPLE_SHIFT.load(Ordering::Relaxed)) - 1
 }
 
@@ -93,6 +97,8 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // Relaxed: a point-in-time read of a monotone count; readers make
+        // no cross-counter consistency claim.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -189,6 +195,8 @@ impl Histogram {
         for shard in &self.shards {
             let mut shard_snap = HistogramSnapshot::empty();
             for (i, slot) in shard.counts.iter().enumerate() {
+                // Relaxed: the snapshot is documented as tolerant of
+                // mid-flight recorders; each cell is read exactly once.
                 let c = slot.load(Ordering::Relaxed);
                 if c > 0 {
                     if let Some(b) = shard_snap.counts.get_mut(i) {
@@ -197,9 +205,9 @@ impl Histogram {
                     shard_snap.count += c;
                 }
             }
-            shard_snap.sum = shard.sum.load(Ordering::Relaxed);
-            shard_snap.min = shard.min.load(Ordering::Relaxed);
-            shard_snap.max = shard.max.load(Ordering::Relaxed);
+            shard_snap.sum = shard.sum.load(Ordering::Relaxed); // Relaxed: same single-read snapshot contract
+            shard_snap.min = shard.min.load(Ordering::Relaxed); // Relaxed: same single-read snapshot contract
+            shard_snap.max = shard.max.load(Ordering::Relaxed); // Relaxed: same single-read snapshot contract
             snap.merge(&shard_snap);
         }
         snap

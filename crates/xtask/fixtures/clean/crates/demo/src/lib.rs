@@ -1,0 +1,45 @@
+//! Clean demo crate: registered metric, justified atomics, and a kernel
+//! whose call graph neither allocates nor panics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static STEPS: AtomicU64 = AtomicU64::new(0);
+
+/// Stand-in for the obs counter handle.
+pub fn counter(name: &str) -> usize {
+    name.len()
+}
+
+pub struct Kern {
+    acc: f64,
+}
+
+impl Kern {
+    pub fn new() -> Kern {
+        Kern { acc: 0.0 }
+    }
+
+    /// The registered kernel root: everything reachable from here must be
+    /// allocation- and panic-free.
+    pub fn step(&mut self, v: f64) -> f64 {
+        self.acc += v;
+        self.note();
+        scaled(self.acc)
+    }
+
+    fn note(&self) {
+        counter("demo.records");
+        // Relaxed: a freestanding statistic, no data published through it.
+        STEPS.store(1, Ordering::Relaxed);
+    }
+}
+
+impl Default for Kern {
+    fn default() -> Kern {
+        Kern::new()
+    }
+}
+
+fn scaled(x: f64) -> f64 {
+    x * 0.5
+}

@@ -1,0 +1,22 @@
+//! Seeded L10 violation: `Kern::step` → `relay` → `describe`, and
+//! `describe` builds a fresh `String` with `format!`.
+
+pub struct Kern {
+    acc: f64,
+}
+
+impl Kern {
+    pub fn step(&mut self, v: f64) -> f64 {
+        self.acc += v;
+        relay(self.acc);
+        self.acc
+    }
+}
+
+fn relay(x: f64) -> usize {
+    describe(x).len()
+}
+
+fn describe(x: f64) -> String {
+    format!("acc={x}")
+}

@@ -1,0 +1,21 @@
+//! Seeded L11 violation: `Kern::step` → `relay` → `pick`, and `pick`
+//! unwraps an Option.
+
+pub struct Kern {
+    acc: f64,
+}
+
+impl Kern {
+    pub fn step(&mut self, vs: &[f64]) -> f64 {
+        self.acc += relay(vs);
+        self.acc
+    }
+}
+
+fn relay(vs: &[f64]) -> f64 {
+    pick(vs)
+}
+
+fn pick(vs: &[f64]) -> f64 {
+    vs.first().copied().unwrap()
+}

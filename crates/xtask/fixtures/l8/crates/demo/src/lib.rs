@@ -1,0 +1,10 @@
+//! Seeded L8 violation: `demo.recrods` is a typo'd mint, so it is
+//! unregistered and the registry's `demo.records` entry goes unused.
+
+pub fn counter(name: &str) -> usize {
+    name.len()
+}
+
+pub fn tally() -> usize {
+    counter("demo.recrods")
+}

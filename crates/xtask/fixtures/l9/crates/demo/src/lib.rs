@@ -1,0 +1,10 @@
+//! Seeded L9 violation: a `fetch_add` with `Ordering::Relaxed` and no
+//! per-site waiver arguing merge correctness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+pub fn next_id() -> u64 {
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,654 @@
+//! The second-generation analyses (L8–L11) built on the parser, symbol
+//! index and call graph — run by `cargo run -p xtask -- analyze`.
+//!
+//! | id  | rule |
+//! |-----|------|
+//! | L8  | every `counter`/`histogram`/`span` name used in `crates/*/src` must be declared in the metric registry file, and vice versa |
+//! | L9  | every `Ordering::*` use carries a `//` justification (same line or line above); read-modify-write with `Relaxed` is waiver-only |
+//! | L10 | registered kernel roots must not reach an allocation (`Vec::new`, `vec!`, `to_vec`, `clone`, `format!`, `Box::new`, `collect`, …) through any call path |
+//! | L11 | registered kernel roots must not reach `unwrap`/`expect`/`panic!`-family macros or unchecked indexing through any call path |
+//!
+//! L10/L11 diagnostics print the full call path from the kernel root to the
+//! violation site, so the fix target is unambiguous.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::callgraph::{self, CallGraph};
+use crate::lexer::TokKind;
+use crate::lints::{self, Finding};
+use crate::parser::{CallKind, FnItem};
+use crate::symbols::SymbolIndex;
+use crate::SourceFile;
+
+// ---------------------------------------------------------------- L8 ------
+
+/// One `[[metric]]` entry in the registry file. `name` may contain `*`
+/// wildcards for families minted through a `format!` template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricEntry {
+    /// `counter`, `histogram` or `span`.
+    pub kind: String,
+    /// Declared name or wildcard pattern.
+    pub name: String,
+    /// Line of the entry (for diagnostics).
+    pub at_line: u32,
+}
+
+/// Parses the metric-registry file (same TOML subset as the waiver file):
+/// repeated `[[metric]]` sections with `kind`, `name` and an optional `doc`.
+pub fn parse_registry(text: &str) -> Result<Vec<MetricEntry>, String> {
+    let mut out: Vec<MetricEntry> = Vec::new();
+    let mut cur: Option<(u32, Option<String>, Option<String>)> = None; // (line, kind, name)
+    let flush = |cur: &mut Option<(u32, Option<String>, Option<String>)>,
+                 out: &mut Vec<MetricEntry>|
+     -> Result<(), String> {
+        if let Some((at_line, kind, name)) = cur.take() {
+            let kind = kind.ok_or(format!("registry entry at line {at_line} missing `kind`"))?;
+            if !matches!(kind.as_str(), "counter" | "histogram" | "span") {
+                return Err(format!(
+                    "registry entry at line {at_line}: kind `{kind}` is not counter/histogram/span"
+                ));
+            }
+            let name = name.ok_or(format!("registry entry at line {at_line} missing `name`"))?;
+            out.push(MetricEntry { kind, name, at_line });
+        }
+        Ok(())
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = crate::waivers::strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[metric]]" {
+            flush(&mut cur, &mut out)?;
+            cur = Some((line_no, None, None));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("registry line {line_no}: expected `key = value`"));
+        };
+        let value = value.trim();
+        let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err(format!("registry line {line_no}: values must be quoted strings"));
+        };
+        let Some(entry) = cur.as_mut() else {
+            return Err(format!("registry line {line_no}: key outside [[metric]]"));
+        };
+        match key.trim() {
+            "kind" => entry.1 = Some(value.to_string()),
+            "name" => entry.2 = Some(value.to_string()),
+            "doc" => {}
+            other => return Err(format!("registry line {line_no}: unknown key `{other}`")),
+        }
+    }
+    flush(&mut cur, &mut out)?;
+    Ok(out)
+}
+
+/// `*`-wildcard match (each `*` spans any run of characters).
+fn glob_match(pat: &str, s: &str) -> bool {
+    if !pat.contains('*') {
+        return pat == s;
+    }
+    let parts: Vec<&str> = pat.split('*').collect();
+    let (first, last) = (parts[0], parts[parts.len() - 1]);
+    if !s.starts_with(first) {
+        return false;
+    }
+    let mut rest = &s[first.len()..];
+    for mid in &parts[1..parts.len() - 1] {
+        if mid.is_empty() {
+            continue;
+        }
+        match rest.find(mid) {
+            Some(i) => rest = &rest[i + mid.len()..],
+            None => return false,
+        }
+    }
+    rest.len() >= last.len() && rest.ends_with(last)
+}
+
+/// Rewrites a `format!` template to a registry wildcard:
+/// `"ingest.shard{shard:02}.queue_depth"` → `"ingest.shard*.queue_depth"`.
+fn template_to_wildcard(template: &str) -> String {
+    let mut out = String::with_capacity(template.len());
+    let mut chars = template.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' if chars.peek() == Some(&'{') => {
+                chars.next();
+                out.push('{');
+            }
+            '{' => {
+                for c2 in chars.by_ref() {
+                    if c2 == '}' {
+                        break;
+                    }
+                }
+                out.push('*');
+            }
+            '}' if chars.peek() == Some(&'}') => {
+                chars.next();
+                out.push('}');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One metric-creation site found in source.
+#[derive(Debug)]
+struct MetricUse {
+    kind: &'static str,
+    /// Literal name, or wildcarded template; `None` when the argument is
+    /// not a literal or `format!` template (flagged as dynamic).
+    name: Option<String>,
+    file: String,
+    line: u32,
+}
+
+/// Collects `counter("..")` / `histogram("..")` / `span("..")` /
+/// `span_child_of("..")` sites from one file's test-stripped tokens.
+fn metric_uses(f: &SourceFile) -> Vec<MetricUse> {
+    let toks = &f.lib_toks;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let kind = match t.text.as_str() {
+            "counter" => "counter",
+            "histogram" => "histogram",
+            "span" | "span_child_of" => "span",
+            _ => continue,
+        };
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        // Skip the definitions themselves (`pub fn counter(..)`) and method
+        // calls on foreign receivers (`x.span(..)`).
+        if i > 0 && (toks[i - 1].is_ident("fn") || toks[i - 1].is_punct(".")) {
+            continue;
+        }
+        // First argument: a string literal, or a `format!` template
+        // (optionally behind `&`).
+        let mut j = i + 2;
+        if toks.get(j).is_some_and(|t| t.is_punct("&")) {
+            j += 1;
+        }
+        let name = if toks.get(j).is_some_and(|t| t.kind == TokKind::Str) {
+            Some(toks[j].text.clone())
+        } else if toks.get(j).is_some_and(|t| t.is_ident("format"))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct("!"))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct("("))
+            && toks.get(j + 3).is_some_and(|t| t.kind == TokKind::Str)
+        {
+            Some(template_to_wildcard(&toks[j + 3].text))
+        } else {
+            None
+        };
+        out.push(MetricUse { kind, name, file: f.rel.clone(), line: t.line });
+    }
+    out
+}
+
+/// L8 — metric-name registry, both directions.
+pub fn check_metric_registry(
+    files: &[SourceFile],
+    registry_rel: &str,
+    entries: &[MetricEntry],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seen: BTreeMap<(&str, &str), u32> = BTreeMap::new();
+    for e in entries {
+        if let Some(first) = seen.insert((e.kind.as_str(), e.name.as_str()), e.at_line) {
+            out.push(Finding {
+                lint: "L8",
+                file: registry_rel.to_string(),
+                line: e.at_line,
+                message: format!(
+                    "duplicate registry entry for {} `{}` (first declared at line {first})",
+                    e.kind, e.name
+                ),
+            });
+        }
+    }
+
+    let uses: Vec<MetricUse> =
+        files.iter().filter(|f| crate::in_src(&f.rel)).flat_map(metric_uses).collect();
+
+    for u in &uses {
+        let Some(name) = &u.name else {
+            out.push(Finding {
+                lint: "L8",
+                file: u.file.clone(),
+                line: u.line,
+                message: format!(
+                    "dynamic {} name — pass a string literal or an inline `format!` template \
+                     so the name is statically checkable against {registry_rel}",
+                    u.kind
+                ),
+            });
+            continue;
+        };
+        let registered = entries.iter().any(|e| {
+            e.kind == u.kind
+                && if name.contains('*') { e.name == *name } else { glob_match(&e.name, name) }
+        });
+        if !registered {
+            out.push(Finding {
+                lint: "L8",
+                file: u.file.clone(),
+                line: u.line,
+                message: format!(
+                    "{} `{name}` is not declared in {registry_rel} — add a [[metric]] entry \
+                     (typo'd names silently corrupt manifest diffs)",
+                    u.kind
+                ),
+            });
+        }
+    }
+
+    for e in entries {
+        let used = uses.iter().any(|u| {
+            u.name.as_ref().is_some_and(|n| {
+                e.kind == u.kind
+                    && if n.contains('*') { e.name == *n } else { glob_match(&e.name, n) }
+            })
+        });
+        if !used {
+            out.push(Finding {
+                lint: "L8",
+                file: registry_rel.to_string(),
+                line: e.at_line,
+                message: format!(
+                    "registry entry {} `{}` is never created in crates/*/src — delete the \
+                     entry or wire the metric",
+                    e.kind, e.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- L9 ------
+
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Read-modify-write atomics: with `Relaxed` these still serialize the
+/// individual operation but order nothing around it — exactly the subtle
+/// case that needs an explicit waiver, not a drive-by comment.
+const RMW_METHODS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "swap",
+];
+
+/// L9 — atomic-ordering audit over one file's test-stripped tokens.
+pub fn check_atomic_orderings(f: &SourceFile) -> Vec<Finding> {
+    let toks = &f.lib_toks;
+    let comment_lines: HashSet<u32> = f
+        .lexed
+        .comments
+        .iter()
+        .filter(|(_, text)| !text.starts_with('/') && !text.starts_with('!') && !text.is_empty())
+        .map(|&(line, _)| line)
+        .collect();
+    let mut out = Vec::new();
+    let mut flagged: HashSet<(u32, bool)> = HashSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("Ordering")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| {
+                n.kind == TokKind::Ident && ATOMIC_ORDERINGS.contains(&n.text.as_str())
+            }))
+        {
+            continue;
+        }
+        let variant = toks[i + 2].text.as_str();
+        // Look back within the statement for the atomic method being
+        // parameterised by this ordering.
+        let mut rmw = None;
+        for j in (i.saturating_sub(16)..i).rev() {
+            if toks[j].is_punct(";") || toks[j].is_punct("{") {
+                break;
+            }
+            if toks[j].kind == TokKind::Ident && RMW_METHODS.contains(&toks[j].text.as_str()) {
+                rmw = Some(toks[j].text.clone());
+                break;
+            }
+        }
+        let line = t.line;
+        if let (Some(method), "Relaxed") = (&rmw, variant) {
+            if flagged.insert((line, true)) {
+                out.push(Finding {
+                    lint: "L9",
+                    file: f.rel.clone(),
+                    line,
+                    message: format!(
+                        "`{method}(.., Ordering::Relaxed)` is a read-modify-write with no \
+                         ordering guarantees — use a stronger ordering, or waive the site \
+                         with the merge-correctness argument"
+                    ),
+                });
+            }
+            continue;
+        }
+        let justified = comment_lines.contains(&line) || comment_lines.contains(&(line - 1));
+        if !justified && flagged.insert((line, false)) {
+            out.push(Finding {
+                lint: "L9",
+                file: f.rel.clone(),
+                line,
+                message: format!(
+                    "`Ordering::{variant}` without a justification — state the \
+                     happens-before reasoning in a `//` comment on this line or the line \
+                     above"
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------- L10/L11 ------
+
+/// Allocation evidence inside a function body: `(what, line)`.
+fn allocation_sites(f: &FnItem) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for m in &f.macros {
+        if matches!(m.name.as_str(), "vec" | "format") {
+            out.push((format!("{}!", m.name), m.line));
+        }
+    }
+    for c in &f.calls {
+        match &c.kind {
+            CallKind::Method { .. }
+                if matches!(
+                    c.name.as_str(),
+                    "clone" | "to_vec" | "to_owned" | "to_string" | "collect"
+                ) =>
+            {
+                out.push((format!(".{}()", c.name), c.line));
+            }
+            CallKind::Qualified { qualifier }
+                if matches!(qualifier.as_str(), "Vec" | "String" | "Box" | "VecDeque")
+                    && matches!(c.name.as_str(), "new" | "with_capacity" | "from" | "leak") =>
+            {
+                out.push((format!("{qualifier}::{}", c.name), c.line));
+            }
+            _ => {}
+        }
+    }
+    out.sort_by_key(|&(_, line)| line);
+    out
+}
+
+/// Panic evidence inside a function body (unchecked indexing is detected by
+/// a token re-scan of the body range, reusing the L6 matcher).
+fn panic_sites(f: &FnItem, file: &SourceFile) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for m in &f.macros {
+        if matches!(m.name.as_str(), "panic" | "unreachable" | "todo" | "unimplemented") {
+            out.push((format!("{}!", m.name), m.line));
+        }
+    }
+    for c in &f.calls {
+        if matches!(&c.kind, CallKind::Method { .. })
+            && matches!(c.name.as_str(), "unwrap" | "expect")
+        {
+            out.push((format!(".{}()", c.name), c.line));
+        }
+    }
+    if let Some((open, close)) = f.body {
+        let body = &file.lexed.toks[open + 1..close.min(file.lexed.toks.len())];
+        for finding in lints::lint_unchecked_index(&file.rel, body) {
+            out.push(("unchecked indexing `[..]`".to_string(), finding.line));
+        }
+    }
+    out.sort_by_key(|&(_, line)| line);
+    out.dedup();
+    out
+}
+
+/// L10 + L11 — walks the call graph from the configured kernel roots and
+/// reports every allocation/panic site reachable from them, with the full
+/// root → … → site call path. Returns `(findings, config_errors)`.
+pub fn check_kernel_paths(
+    files: &[SourceFile],
+    parsed: &[Vec<FnItem>],
+    idx: &SymbolIndex,
+    graph: &CallGraph,
+    roots: &[String],
+) -> (Vec<Finding>, Vec<String>) {
+    let mut errors = Vec::new();
+    let mut root_slots = Vec::new();
+    for r in roots {
+        let slots = idx.resolve_root(r);
+        if slots.is_empty() {
+            errors.push(format!(
+                "[config] kernel_roots entry `{r}` does not resolve to any function — fix the \
+                 name or remove the entry"
+            ));
+        }
+        root_slots.extend(slots);
+    }
+    let pred = callgraph::reach(graph, &root_slots);
+
+    let mut out = Vec::new();
+    for (slot, p) in pred.iter().enumerate() {
+        if p.is_none() {
+            continue;
+        }
+        let id = idx.fns[slot];
+        let f = &parsed[id.file][id.item];
+        let file = &files[id.file];
+        let path = callgraph::path_labels(idx, parsed, &pred, slot).join(" → ");
+        for (what, line) in allocation_sites(f) {
+            out.push(Finding {
+                lint: "L10",
+                file: file.rel.clone(),
+                line,
+                message: format!(
+                    "hot path allocates: `{what}` reached via {path} — kernels must stay \
+                     allocation-free; preallocate in the constructor or take a caller buffer"
+                ),
+            });
+        }
+        for (what, line) in panic_sites(f, file) {
+            out.push(Finding {
+                lint: "L11",
+                file: file.rel.clone(),
+                line,
+                message: format!(
+                    "hot path can panic: {what} reached via {path} — return an error or prove \
+                     the bound with `get`/pattern matching (asserts on API misuse are the \
+                     sanctioned exception)"
+                ),
+            });
+        }
+    }
+    (out, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn source(rel: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let lib_toks = lints::strip_test_code(&lexed.toks);
+        SourceFile { rel: rel.to_string(), lexed, lib_toks }
+    }
+
+    // ---- registry parsing / matching ------------------------------------
+
+    #[test]
+    fn registry_parses_and_rejects() {
+        let entries = parse_registry(
+            "# header\n[[metric]]\nkind = \"counter\"\nname = \"a.b\"\ndoc = \"x\"\n\n\
+             [[metric]]\nkind = \"span\"\nname = \"s\"\n",
+        )
+        .expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].kind, "counter");
+        assert!(parse_registry("[[metric]]\nkind = \"gauge\"\nname = \"x\"\n").is_err());
+        assert!(parse_registry("[[metric]]\nname = \"x\"\n").is_err());
+        assert!(parse_registry("kind = \"counter\"\n").is_err());
+    }
+
+    #[test]
+    fn glob_and_template() {
+        assert!(glob_match("ingest.shard*.queue_depth", "ingest.shard03.queue_depth"));
+        assert!(!glob_match("ingest.shard*.queue_depth", "ingest.shard03.depth"));
+        assert!(glob_match("exact", "exact"));
+        assert!(!glob_match("exact", "exact2"));
+        assert_eq!(
+            template_to_wildcard("ingest.shard{shard:02}.queue_depth"),
+            "ingest.shard*.queue_depth"
+        );
+        assert_eq!(template_to_wildcard("a{{b}}c"), "a{b}c");
+    }
+
+    // ---- L8 -------------------------------------------------------------
+
+    fn entry(kind: &str, name: &str) -> MetricEntry {
+        MetricEntry { kind: kind.to_string(), name: name.to_string(), at_line: 1 }
+    }
+
+    #[test]
+    fn l8_fires_on_unregistered_and_unused() {
+        let files = [source("crates/a/src/lib.rs", "fn f() { obs::counter(\"a.typo\"); }")];
+        let entries = [entry("counter", "a.real")];
+        let findings = check_metric_registry(&files, "reg.toml", &entries);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("not declared"));
+        assert!(findings[1].message.contains("never created"));
+    }
+
+    #[test]
+    fn l8_quiet_on_registered_wildcards_and_templates() {
+        let files = [source(
+            "crates/a/src/lib.rs",
+            "fn f(i: usize) { counter(\"a.hits\"); histogram(&format!(\"a.s{i:02}.d\")); \
+             let g = span(\"a.work\"); }",
+        )];
+        let entries =
+            [entry("counter", "a.hits"), entry("histogram", "a.s*.d"), entry("span", "a.work")];
+        let findings = check_metric_registry(&files, "reg.toml", &entries);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn l8_flags_dynamic_names_and_skips_defs_tests_and_methods() {
+        let files = [source(
+            "crates/a/src/lib.rs",
+            "pub fn counter(name: &str) {}\nfn f(n: &str) { counter(n); x.span(1); }\n\
+             #[cfg(test)] mod t { fn g() { counter(\"test.only\"); } }",
+        )];
+        let findings = check_metric_registry(&files, "reg.toml", &[]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("dynamic counter name"));
+    }
+
+    // ---- L9 -------------------------------------------------------------
+
+    #[test]
+    fn l9_requires_justification_and_flags_relaxed_rmw() {
+        let f = source(
+            "crates/a/src/lib.rs",
+            "fn f(a: &AtomicU64) {\n\
+             a.load(Ordering::Relaxed);\n\
+             // monotone counter, no ordering needed\n\
+             a.load(Ordering::Acquire);\n\
+             a.fetch_add(1, Ordering::Relaxed);\n\
+             a.fetch_add(1, Ordering::AcqRel); // pairs with the release store in flush\n\
+             }",
+        );
+        let findings = check_atomic_orderings(&f);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("without a justification"));
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[1].message.contains("read-modify-write"));
+        assert_eq!(findings[1].line, 5);
+    }
+
+    #[test]
+    fn l9_skips_test_code_and_cmp_ordering() {
+        let f = source(
+            "crates/a/src/lib.rs",
+            "fn f(a: f64, b: f64) -> Ordering { a.total_cmp(&b) }\n\
+             #[cfg(test)] mod t { fn g(a: &AtomicU64) { a.store(1, Ordering::SeqCst); } }",
+        );
+        assert!(check_atomic_orderings(&f).is_empty());
+    }
+
+    // ---- L10 / L11 ------------------------------------------------------
+
+    fn kernel_setup(src: &str) -> (Vec<SourceFile>, Vec<Vec<FnItem>>, SymbolIndex, CallGraph) {
+        let files = vec![source("crates/a/src/lib.rs", src)];
+        let parsed: Vec<Vec<FnItem>> = files.iter().map(|f| parse_file(&f.lexed.toks)).collect();
+        let idx = SymbolIndex::build(&parsed);
+        let g = callgraph::build(&idx, &parsed);
+        (files, parsed, idx, g)
+    }
+
+    #[test]
+    fn l10_l11_report_transitive_paths() {
+        let (files, parsed, idx, g) = kernel_setup(
+            "impl Kern { pub fn push(&mut self) { self.helper(); } \
+             fn helper(&self) { stage(); } }\n\
+             fn stage() { let v = Vec::new(); x.unwrap(); }",
+        );
+        let (findings, errors) =
+            check_kernel_paths(&files, &parsed, &idx, &g, &["Kern::push".to_string()]);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        let l10 = findings.iter().find(|f| f.lint == "L10").expect("alloc finding");
+        assert!(l10.message.contains("Kern::push → Kern::helper → stage"), "{}", l10.message);
+        let l11 = findings.iter().find(|f| f.lint == "L11").expect("panic finding");
+        assert!(l11.message.contains("Kern::push → Kern::helper → stage"), "{}", l11.message);
+    }
+
+    #[test]
+    fn l11_flags_indexing_but_not_asserts() {
+        let (files, parsed, idx, g) = kernel_setup(
+            "impl Kern { pub fn push(&mut self, xs: &[f64], i: usize) -> f64 { \
+             assert!(i < xs.len()); xs[i] } }",
+        );
+        let (findings, _) =
+            check_kernel_paths(&files, &parsed, &idx, &g, &["Kern::push".to_string()]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("unchecked indexing"));
+    }
+
+    #[test]
+    fn unreachable_violations_stay_silent_and_bad_roots_error() {
+        let (files, parsed, idx, g) =
+            kernel_setup("impl Kern { pub fn push(&mut self) {} }\nfn island() { x.unwrap(); }");
+        let (findings, errors) = check_kernel_paths(
+            &files,
+            &parsed,
+            &idx,
+            &g,
+            &["Kern::push".to_string(), "Kern::missing".to_string()],
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("Kern::missing"));
+    }
+}

@@ -1,0 +1,355 @@
+//! Workspace call graph over the [`crate::symbols`] index.
+//!
+//! Edges are resolved conservatively — a dropped edge can only cause a
+//! missed finding, never a false one, so ambiguity always resolves to "no
+//! edge". Resolution order for a call site in function `f` (file `F`):
+//!
+//! 1. `self.m(..)` → methods `m` on `f`'s impl type.
+//! 2. `Type::m(..)` / `Self::m(..)` → methods `m` on that type, when the
+//!    workspace knows the type (so `Vec::new` never resolves).
+//! 3. `recv.m(..)` / `m(..)`: names on the std-method stoplist drop; the
+//!    remaining candidates named `m` keep only the matching shape (method
+//!    call → methods, free call → free fns); among those the ones in `F`
+//!    win, else a workspace-unique `m` wins, else the edge drops as
+//!    ambiguous.
+
+use crate::parser::{CallKind, FnItem};
+use crate::symbols::SymbolIndex;
+
+/// Method names that belong to std/vendored types in this codebase; a
+/// method call with one of these names is assumed *not* to target workspace
+/// code (collisions would create false paths through e.g. every `push`).
+/// Workspace methods sharing a name here are reachable via `self.`/`Type::`
+/// calls, which bypass the stoplist.
+const STD_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "any",
+    "as_bytes",
+    "as_deref",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "borrow",
+    "borrow_mut",
+    "ceil",
+    "chain",
+    "chars",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "dedup",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "exp",
+    "expect",
+    "extend",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fold",
+    "for_each",
+    "fract",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hypot",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "is_finite",
+    "is_nan",
+    "is_none",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "ln",
+    "log2",
+    "map",
+    "map_err",
+    "map_while",
+    "max",
+    "max_by",
+    "min",
+    "min_by",
+    "mul_add",
+    "next",
+    "nth",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_else",
+    "parse",
+    "partial_cmp",
+    "peekable",
+    "pop",
+    "pop_front",
+    "position",
+    "powf",
+    "powi",
+    "product",
+    "push",
+    "push_back",
+    "push_front",
+    "push_str",
+    "range",
+    "remove",
+    "replace",
+    "resize",
+    "rev",
+    "rotate_left",
+    "round",
+    "skip",
+    "skip_while",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "split",
+    "split_at",
+    "split_whitespace",
+    "sqrt",
+    "starts_with",
+    "step_by",
+    "strip_prefix",
+    "strip_suffix",
+    "sum",
+    "swap",
+    "swap_remove",
+    "take",
+    "take_while",
+    "then",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "total_cmp",
+    "trim",
+    "truncate",
+    "try_into",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "zip",
+];
+
+/// The resolved call graph: `edges[slot]` lists callee slots.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Adjacency list indexed by symbol slot.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Builds the graph. `parsed` is the per-file parse output the index was
+/// built from (parallel to the workspace file list).
+pub fn build(idx: &SymbolIndex, parsed: &[Vec<FnItem>]) -> CallGraph {
+    let mut g = CallGraph { edges: vec![Vec::new(); idx.fns.len()] };
+    for (slot, id) in idx.fns.iter().enumerate() {
+        let f = &parsed[id.file][id.item];
+        for call in &f.calls {
+            let targets: Vec<usize> = match &call.kind {
+                CallKind::Method { recv_self: true } => match &f.self_ty {
+                    Some(ty) => idx.by_type_method(ty, &call.name).to_vec(),
+                    None => Vec::new(),
+                },
+                CallKind::Qualified { qualifier } => {
+                    let ty = if qualifier == "Self" {
+                        f.self_ty.as_deref().unwrap_or("")
+                    } else {
+                        qualifier.as_str()
+                    };
+                    if idx.knows_type(ty) {
+                        idx.by_type_method(ty, &call.name).to_vec()
+                    } else {
+                        Vec::new()
+                    }
+                }
+                CallKind::Method { recv_self: false } | CallKind::Free => {
+                    if STD_METHODS.contains(&call.name.as_str()) {
+                        Vec::new()
+                    } else {
+                        // A method call can only land on a method, a free
+                        // call only on a free fn — `buf.expect(..)` must
+                        // never edge to a free `fn expect` elsewhere.
+                        let want_method = matches!(call.kind, CallKind::Method { .. });
+                        let candidates: Vec<usize> = idx
+                            .by_name(&call.name)
+                            .iter()
+                            .copied()
+                            .filter(|&s| {
+                                let t = idx.fns[s];
+                                parsed[t.file][t.item].self_ty.is_some() == want_method
+                            })
+                            .collect();
+                        let same_file: Vec<usize> = candidates
+                            .iter()
+                            .copied()
+                            .filter(|&s| idx.fns[s].file == id.file)
+                            .collect();
+                        if !same_file.is_empty() {
+                            same_file
+                        } else if candidates.len() == 1 {
+                            candidates
+                        } else {
+                            Vec::new() // ambiguous or external — drop
+                        }
+                    }
+                }
+            };
+            for t in targets {
+                if !g.edges[slot].contains(&t) {
+                    g.edges[slot].push(t);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// BFS from `roots`; returns `pred[slot] = Some(parent)` for every reached
+/// slot (roots map to themselves). Unreached slots stay `None`.
+pub fn reach(g: &CallGraph, roots: &[usize]) -> Vec<Option<usize>> {
+    let mut pred: Vec<Option<usize>> = vec![None; g.edges.len()];
+    let mut queue = std::collections::VecDeque::new();
+    for &r in roots {
+        if r < pred.len() && pred[r].is_none() {
+            pred[r] = Some(r);
+            queue.push_back(r);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &g.edges[u] {
+            if pred[v].is_none() {
+                pred[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    pred
+}
+
+/// The call path root → … → `slot` as `Type::fn` labels, from a `reach`
+/// predecessor map.
+pub fn path_labels(
+    idx: &SymbolIndex,
+    parsed: &[Vec<FnItem>],
+    pred: &[Option<usize>],
+    slot: usize,
+) -> Vec<String> {
+    let mut rev = Vec::new();
+    let mut cur = slot;
+    loop {
+        let id = idx.fns[cur];
+        rev.push(parsed[id.file][id.item].label());
+        match pred[cur] {
+            Some(p) if p != cur && rev.len() <= pred.len() => cur = p,
+            _ => break,
+        }
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn setup(srcs: &[&str]) -> (SymbolIndex, Vec<Vec<FnItem>>, CallGraph) {
+        let parsed: Vec<_> = srcs.iter().map(|s| parse_file(&lex(s).toks)).collect();
+        let idx = SymbolIndex::build(&parsed);
+        let g = build(&idx, &parsed);
+        (idx, parsed, g)
+    }
+
+    fn slot(idx: &SymbolIndex, label: &str) -> usize {
+        idx.resolve_root(label)[0]
+    }
+
+    #[test]
+    fn self_and_qualified_calls_resolve() {
+        let (idx, _, g) =
+            setup(&["impl K { pub fn a(&self) { self.b(); K::c(); } fn b(&self) {} fn c() {} }"]);
+        let a = slot(&idx, "K::a");
+        assert_eq!(g.edges[a], vec![slot(&idx, "K::b"), slot(&idx, "K::c")]);
+    }
+
+    #[test]
+    fn std_methods_and_unknown_types_drop() {
+        let (idx, _, g) = setup(&[
+            "impl K { pub fn a(&self, v: &mut Vec<f64>) { v.push(1.0); Vec::new(); HashMap::new(); } }",
+        ]);
+        assert!(g.edges[slot(&idx, "K::a")].is_empty());
+    }
+
+    #[test]
+    fn cross_file_unique_names_resolve_same_file_wins() {
+        let (idx, _, g) = setup(&[
+            "fn caller() { unique_helper(); shared(); } fn shared() {}",
+            "fn unique_helper() {} fn shared() {}",
+        ]);
+        let c = slot(&idx, "caller");
+        // unique_helper: workspace-unique, cross-file edge. shared: two
+        // candidates, the same-file one wins.
+        let labels: Vec<usize> = g.edges[c].clone();
+        assert!(labels.contains(&slot(&idx, "unique_helper")));
+        let shared_same_file = idx
+            .by_name("shared")
+            .iter()
+            .copied()
+            .find(|&s| idx.fns[s].file == 0)
+            .expect("same-file shared");
+        assert!(labels.contains(&shared_same_file));
+        assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
+    fn call_shape_must_match_target_shape() {
+        // `fn expect` exists as a free helper, but `.expect(..)` is a
+        // method call — the edge must drop, not land on the helper.
+        let (idx, _, g) = setup(&["fn caller(v: Option<u32>) { v.fancy_take(); fancy_make(); }\n\
+             fn fancy_take() {}\nimpl K { fn fancy_make(&self) {} }"]);
+        assert!(g.edges[slot(&idx, "caller")].is_empty());
+    }
+
+    #[test]
+    fn reachability_and_paths() {
+        let (idx, parsed, g) =
+            setup(&["impl K { pub fn root(&self) { self.mid(); } fn mid(&self) { leaf(); } }\n\
+             fn leaf() {}\nfn island() {}"]);
+        let pred = reach(&g, &idx.resolve_root("K::root"));
+        let leaf = slot(&idx, "leaf");
+        assert!(pred[leaf].is_some());
+        assert!(pred[slot(&idx, "island")].is_none());
+        assert_eq!(path_labels(&idx, &parsed, &pred, leaf), ["K::root", "K::mid", "leaf"]);
+    }
+}

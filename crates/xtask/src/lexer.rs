@@ -1,5 +1,7 @@
-//! A small hand-rolled Rust lexer: strips comments and string/char literals,
-//! and produces a line-numbered token stream the lints scan for patterns.
+//! A small hand-rolled Rust lexer: strips comments, tokenises string/char
+//! literals (string *content* is retained so the metric-registry analysis
+//! can read literal metric names), and produces a line-numbered token
+//! stream the lints scan for patterns.
 //!
 //! This is *not* a full Rust front-end — no keywords table, no operator
 //! precedence — just enough faithful tokenisation that a lint looking for
@@ -18,7 +20,7 @@ pub enum TokKind {
     Int,
     /// Float literal (`1.0`, `1e-6`, `2.5f64`, ...).
     Float,
-    /// String or byte-string literal (content discarded).
+    /// String or byte-string literal (content retained, escapes unprocessed).
     Str,
     /// Char literal (content discarded).
     Char,
@@ -33,7 +35,9 @@ pub enum TokKind {
 pub struct Tok {
     /// Classification.
     pub kind: TokKind,
-    /// Source text for idents/numbers/puncts; empty for str/char literals.
+    /// Source text for idents/numbers/puncts and the *content* (between the
+    /// quotes, escape sequences left raw) for string literals; empty for
+    /// char literals.
     pub text: String,
     /// 1-based line of the token's first character.
     pub line: u32,
@@ -166,6 +170,8 @@ pub fn lex(src: &str) -> Lexed {
             let stringy = matches!(word, "r" | "b" | "br" | "rb");
             if stringy && (at(i) == b'"' || (raw && at(i) == b'#')) {
                 let tok_line = line;
+                let content_start;
+                let mut content_end;
                 if raw {
                     // r#*"..."#* — count the fence.
                     let mut hashes = 0;
@@ -179,6 +185,8 @@ pub fn lex(src: &str) -> Lexed {
                         continue;
                     }
                     i += 1; // opening quote
+                    content_start = i;
+                    content_end = b.len();
                     'raw: while i < b.len() {
                         if b[i] == b'\n' {
                             line += 1;
@@ -189,6 +197,7 @@ pub fn lex(src: &str) -> Lexed {
                                 j += 1;
                             }
                             if j == hashes {
+                                content_end = i;
                                 i += 1 + hashes;
                                 break 'raw;
                             }
@@ -198,6 +207,8 @@ pub fn lex(src: &str) -> Lexed {
                 } else {
                     // b"..." with escapes.
                     i += 1; // opening quote
+                    content_start = i;
+                    content_end = b.len();
                     while i < b.len() {
                         if b[i] == b'\\' {
                             i += 2;
@@ -207,13 +218,16 @@ pub fn lex(src: &str) -> Lexed {
                             line += 1;
                         }
                         if b[i] == b'"' {
+                            content_end = i;
                             i += 1;
                             break;
                         }
                         i += 1;
                     }
                 }
-                out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line: tok_line });
+                let text =
+                    src.get(content_start..content_end.min(b.len())).unwrap_or("").to_string();
+                out.toks.push(Tok { kind: TokKind::Str, text, line: tok_line });
                 continue;
             }
 
@@ -225,6 +239,8 @@ pub fn lex(src: &str) -> Lexed {
         if c == b'"' {
             let tok_line = line;
             i += 1;
+            let content_start = i;
+            let mut content_end = b.len();
             while i < b.len() {
                 if b[i] == b'\\' {
                     i += 2;
@@ -234,12 +250,14 @@ pub fn lex(src: &str) -> Lexed {
                     line += 1;
                 }
                 if b[i] == b'"' {
+                    content_end = i;
                     i += 1;
                     break;
                 }
                 i += 1;
             }
-            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line: tok_line });
+            let text = src.get(content_start..content_end.min(b.len())).unwrap_or("").to_string();
+            out.toks.push(Tok { kind: TokKind::Str, text, line: tok_line });
             continue;
         }
 
@@ -426,6 +444,15 @@ mod tests {
         assert_eq!(toks[0].line, 1);
         assert_eq!(toks[1].line, 2); // string starts on line 2
         assert_eq!(toks[2].line, 4); // b after the 2-line string
+    }
+
+    #[test]
+    fn string_content_is_retained() {
+        let toks =
+            lex(r##"let a = "ingest.records"; let b = r#"raw.name"#; let c = "es\"c";"##).toks;
+        let strs: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Str).map(|t| t.text.as_str()).collect();
+        assert_eq!(strs, ["ingest.records", "raw.name", "es\\\"c"]);
     }
 
     #[test]

@@ -291,7 +291,10 @@ pub fn lint_unchecked_index(file: &str, toks: &[Tok]) -> Vec<Finding> {
 
 /// Keywords that can directly precede `[` without being an indexed value.
 fn is_keyword(s: &str) -> bool {
-    matches!(s, "return" | "break" | "in" | "if" | "else" | "match" | "mut" | "ref" | "as" | "box")
+    matches!(
+        s,
+        "return" | "break" | "in" | "if" | "else" | "match" | "mut" | "ref" | "as" | "box" | "let"
+    )
 }
 
 /// L7 — raw print macros in library code: `print!`/`println!`/`eprint!`/

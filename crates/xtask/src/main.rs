@@ -1,14 +1,19 @@
-//! CLI entry point: `cargo run -p xtask -- lint [--root DIR] [--waivers FILE]`
-//! or `cargo run -p xtask -- flamegraph --trace FILE [--out FILE]`.
+//! CLI entry point: `cargo run -p xtask -- lint [--root DIR] [--waivers FILE]`,
+//! `cargo run -p xtask -- analyze [--root DIR] [--waivers FILE]`, or
+//! `cargo run -p xtask -- flamegraph --trace FILE [--out FILE]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: cargo run -p xtask -- lint [--root DIR] [--waivers FILE]
+       cargo run -p xtask -- analyze [--root DIR] [--waivers FILE]
        cargo run -p xtask -- flamegraph --trace FILE [--out FILE]
 
-lint        runs the workspace's domain lints (L1-L7)
+lint        runs the workspace's token-level domain lints (L1-L7)
+analyze     runs the cross-function analyses (L8-L11): metric-name
+            registry, atomic-ordering audit, and call-graph allocation /
+            panic-freedom for the registered kernel roots
 flamegraph  converts a NAVARCHOS_LOG=ndjson:FILE trace into inferno-style
             folded stacks (`frames;joined;by;semicolon <self_ns>`), written
             to --out or stdout
@@ -21,7 +26,8 @@ Exit codes:
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => cmd_lint(&args[1..]),
+        Some("lint") => cmd_check("lint", xtask::run_lint, &args[1..]),
+        Some("analyze") => cmd_check("analyze", xtask::run_analyze, &args[1..]),
         Some("flamegraph") => cmd_flamegraph(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
@@ -30,7 +36,11 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_lint(args: &[String]) -> ExitCode {
+fn cmd_check(
+    name: &str,
+    run: fn(&std::path::Path, &std::path::Path) -> Result<xtask::Report, String>,
+    args: &[String],
+) -> ExitCode {
     // Default root: the workspace this xtask is compiled inside.
     let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let mut waiver_path: Option<PathBuf> = None;
@@ -66,10 +76,10 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     };
     let waiver_path = waiver_path.unwrap_or_else(|| root.join("crates/xtask/lint-waivers.toml"));
 
-    let report = match xtask::run_lint(&root, &waiver_path) {
+    let report = match run(&root, &waiver_path) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("xtask lint: {e}");
+            eprintln!("xtask {name}: {e}");
             return ExitCode::from(2);
         }
     };
@@ -81,7 +91,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         println!("{e}");
     }
     println!(
-        "xtask lint: {} file(s) scanned, {} finding(s), {} waived, {} waiver error(s)",
+        "xtask {name}: {} file(s) scanned, {} finding(s), {} waived, {} waiver error(s)",
         report.files_scanned,
         report.findings.len(),
         report.waived,

@@ -1,0 +1,570 @@
+//! A recursive-descent item parser over the [`crate::lexer`] token stream.
+//!
+//! This is the substrate for the cross-function analyses (L8–L11): it
+//! produces, per file, the list of `fn` items with their enclosing impl
+//! type, body token range, call sites and macro invocations. Like the
+//! lexer it is *not* a Rust front-end — it understands just enough item
+//! structure (attributes, `impl`/`trait`/`mod` nesting, generic-parameter
+//! skipping, brace matching) that a call graph built on it is trustworthy
+//! for code the compiler already accepted.
+//!
+//! Error philosophy: never panic, never reject. Malformed input produces a
+//! best-effort (possibly empty) item list; the proptests in
+//! `tests/parser_props.rs` hold the no-panic and span-sanity invariants on
+//! arbitrary token soup.
+
+use crate::lexer::{Tok, TokKind};
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(..)` — a free function (or tuple-struct constructor).
+    Free,
+    /// `recv.name(..)`; `recv_self` distinguishes `self.name(..)`.
+    Method {
+        /// True for a direct `self.name(..)` receiver.
+        recv_self: bool,
+    },
+    /// `Qualifier::name(..)` with the immediately preceding path segment.
+    Qualified {
+        /// The path segment before the final `::` (`Vec` in `Vec::new`).
+        qualifier: String,
+    },
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Final path segment of the callee.
+    pub name: String,
+    /// Shape of the call expression.
+    pub kind: CallKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One `name!(..)` macro invocation inside a function body.
+#[derive(Debug, Clone)]
+pub struct MacroUse {
+    /// Macro name without the `!`.
+    pub name: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, if any (`IncrementalPearson`).
+    pub self_ty: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Body token range `[open_brace, close_brace]`, inclusive; `None` for
+    /// bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// True when the item sits under `#[cfg(test)]` / `#[test]`.
+    pub is_test: bool,
+    /// Call sites in the body (excluding nested `fn` bodies).
+    pub calls: Vec<Call>,
+    /// Macro invocations in the body (excluding nested `fn` bodies).
+    pub macros: Vec<MacroUse>,
+}
+
+impl FnItem {
+    /// `Type::name` or bare `name` — the label used in diagnostics and
+    /// `kernel_roots` entries.
+    pub fn label(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Keywords that look like calls when followed by `(` but are not.
+fn is_expr_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "match"
+            | "for"
+            | "loop"
+            | "return"
+            | "fn"
+            | "move"
+            | "break"
+            | "continue"
+            | "else"
+            | "in"
+            | "let"
+            | "unsafe"
+            | "as"
+    )
+}
+
+/// Index just past a balanced `<...>` generic-parameter list starting at the
+/// `<` in `toks[i]`; `>>`/`<<` count as two closes/opens, `->`/`=>` are
+/// ignored. Returns `i` unchanged when `toks[i]` is not `<`.
+fn skip_generics(toks: &[Tok], mut i: usize) -> usize {
+    if i >= toks.len() || !toks[i].is_punct("<") {
+        return i;
+    }
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "<" if toks[i].kind == TokKind::Punct => depth += 1,
+            "<<" if toks[i].kind == TokKind::Punct => depth += 2,
+            ">" if toks[i].kind == TokKind::Punct => depth -= 1,
+            ">>" if toks[i].kind == TokKind::Punct => depth -= 2,
+            _ => {}
+        }
+        i += 1;
+        if depth <= 0 {
+            break;
+        }
+    }
+    i
+}
+
+/// Parses the type after `impl` (or after `for` in `impl Trait for Type`):
+/// skips `&`/`mut`/leading path segments and generic arguments, returning
+/// `(last_path_segment, index past the type)`.
+fn parse_type_path(toks: &[Tok], mut i: usize) -> (Option<String>, usize) {
+    // References and mutability do not change the nominal type.
+    while i < toks.len() && (toks[i].is_punct("&") || toks[i].is_ident("mut")) {
+        if toks[i].is_punct("&") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Lifetime {
+            i += 1;
+        }
+        i += 1;
+    }
+    if i >= toks.len() || toks[i].kind != TokKind::Ident || toks[i].text == "dyn" {
+        return (None, i);
+    }
+    let mut last = toks[i].text.clone();
+    i += 1;
+    loop {
+        i = skip_generics(toks, i);
+        if i + 1 < toks.len() && toks[i].is_punct("::") && toks[i + 1].kind == TokKind::Ident {
+            last = toks[i + 1].text.clone();
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    (Some(last), i)
+}
+
+/// Index of the matching `}` for the `{` at `open`, or the last token when
+/// unbalanced (EOF-closed, mirroring the lexer's philosophy).
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct("{") {
+            depth += 1;
+        } else if toks[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1).max(open)
+}
+
+/// Scans the attribute whose `[` is at `open`; returns (index past `]`,
+/// whether it marks test-only code). Mirrors `lints::scan_attribute`.
+fn scan_attribute(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut has_cfg = false;
+    let mut has_test = false;
+    let mut only_test = false;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth <= 0 {
+                i += 1;
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            if t.text == "cfg" {
+                has_cfg = true;
+            } else if t.text == "test" {
+                has_test = true;
+                only_test = i == open + 1;
+            }
+        }
+        i += 1;
+    }
+    (i, (has_cfg && has_test) || only_test)
+}
+
+/// Parses one file's token stream into its `fn` items, in source order
+/// (outer functions before the nested functions found inside them).
+pub fn parse_file(toks: &[Tok]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    parse_items(toks, 0, toks.len(), None, false, &mut out);
+    out
+}
+
+/// Parses items in `toks[start..end]` under the given impl type / test
+/// context, appending found functions to `out`.
+fn parse_items(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    self_ty: Option<&str>,
+    in_test: bool,
+    out: &mut Vec<FnItem>,
+) {
+    let end = end.min(toks.len());
+    let mut i = start;
+    let mut pending_test = false;
+    while i < end {
+        let t = &toks[i];
+
+        // Attributes: remember whether they mark test code, then continue to
+        // the item they decorate.
+        if t.is_punct("#") && i + 1 < end {
+            let open = if toks[i + 1].is_punct("[") {
+                i + 1
+            } else if i + 2 < end && toks[i + 1].is_punct("!") && toks[i + 2].is_punct("[") {
+                i + 2
+            } else {
+                i += 1;
+                continue;
+            };
+            let (past, is_test) = scan_attribute(toks, open);
+            pending_test |= is_test;
+            i = past.max(i + 1);
+            continue;
+        }
+
+        if t.is_ident("fn") && i + 1 < end && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            let fn_tok = i;
+            let line = t.line;
+            // Find the body `{` (or a `;` ending a bodiless declaration),
+            // skipping the parameter list, return type and where clause.
+            // Braces cannot appear before the body in a valid signature.
+            let mut j = i + 2;
+            let mut body = None;
+            while j < end {
+                if toks[j].is_punct("{") {
+                    let close = match_brace(toks, j).min(end.saturating_sub(1)).max(j);
+                    body = Some((j, close));
+                    break;
+                }
+                if toks[j].is_punct(";") {
+                    break;
+                }
+                j += 1;
+            }
+            let is_test = in_test || pending_test;
+            pending_test = false;
+            let mut item = FnItem {
+                name,
+                self_ty: self_ty.map(str::to_string),
+                line,
+                fn_tok,
+                body,
+                is_test,
+                calls: Vec::new(),
+                macros: Vec::new(),
+            };
+            if let Some((open, close)) = body {
+                scan_body(toks, open + 1, close, &mut item);
+                out.push(item);
+                // Nested functions become their own items.
+                parse_nested_fns(toks, open + 1, close, is_test, out);
+                i = close + 1;
+            } else {
+                i = (j + 1).max(i + 2);
+                out.push(item);
+            }
+            continue;
+        }
+
+        if t.is_ident("impl") || t.is_ident("trait") {
+            let is_impl = t.is_ident("impl");
+            let mut j = skip_generics(toks, i + 1);
+            let (mut ty, after) = parse_type_path(toks, j);
+            j = after;
+            if is_impl {
+                // `impl Trait for Type { .. }` — the type after `for` wins.
+                if j < end && toks[j].is_ident("for") {
+                    let (for_ty, after) = parse_type_path(toks, j + 1);
+                    ty = for_ty;
+                    j = after;
+                }
+            }
+            // Skip the where clause to the opening brace (or a `;` for
+            // `impl Trait for Type;`-style malformed input).
+            while j < end && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            if j < end && toks[j].is_punct("{") {
+                let close = match_brace(toks, j).min(end.saturating_sub(1)).max(j);
+                parse_items(toks, j + 1, close, ty.as_deref(), in_test || pending_test, out);
+                pending_test = false;
+                i = close + 1;
+                continue;
+            }
+            pending_test = false;
+            i = j.max(i + 1);
+            continue;
+        }
+
+        if t.is_ident("mod") && i + 1 < end && toks[i + 1].kind == TokKind::Ident {
+            // Inline module: recurse; `mod name;` declarations just skip.
+            if i + 2 < end && toks[i + 2].is_punct("{") {
+                let close = match_brace(toks, i + 2).min(end.saturating_sub(1)).max(i + 2);
+                parse_items(toks, i + 3, close, None, in_test || pending_test, out);
+                pending_test = false;
+                i = close + 1;
+                continue;
+            }
+            pending_test = false;
+            i += 2;
+            continue;
+        }
+
+        // Any other token: a brace opens an item body we don't model
+        // (struct/enum/union/extern block) — recurse so impls nested in
+        // them are still found; everything else advances one token.
+        if t.is_punct("{") {
+            let close = match_brace(toks, i).min(end.saturating_sub(1)).max(i);
+            parse_items(toks, i + 1, close, self_ty, in_test || pending_test, out);
+            pending_test = false;
+            i = close + 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident || t.is_punct(";") {
+            pending_test = false;
+        }
+        i += 1;
+    }
+}
+
+/// Finds nested `fn` items inside a body range and parses them (their calls
+/// are attributed to themselves, not the enclosing function).
+fn parse_nested_fns(toks: &[Tok], start: usize, end: usize, in_test: bool, out: &mut Vec<FnItem>) {
+    let end = end.min(toks.len());
+    let mut i = start;
+    while i < end {
+        if toks[i].is_ident("fn") && i + 1 < end && toks[i + 1].kind == TokKind::Ident {
+            let before = out.len();
+            parse_items(toks, i, end, None, in_test, out);
+            // parse_items consumed from `i` to `end`; we are done.
+            let _ = before;
+            return;
+        }
+        i += 1;
+    }
+}
+
+/// True when the body token at `i` starts a nested `fn` item (whose range
+/// should be skipped by the enclosing function's call scan).
+fn nested_fn_at(toks: &[Tok], i: usize, end: usize) -> Option<usize> {
+    if !(toks[i].is_ident("fn") && i + 1 < end && toks[i + 1].kind == TokKind::Ident) {
+        return None;
+    }
+    let mut j = i + 2;
+    while j < end {
+        if toks[j].is_punct("{") {
+            return Some(match_brace(toks, j).min(end));
+        }
+        if toks[j].is_punct(";") {
+            return Some(j);
+        }
+        j += 1;
+    }
+    Some(end)
+}
+
+/// Extracts calls and macro invocations from `toks[start..end]` into `item`.
+fn scan_body(toks: &[Tok], start: usize, end: usize, item: &mut FnItem) {
+    let end = end.min(toks.len());
+    let mut i = start;
+    while i < end {
+        // Skip nested fn items — their calls belong to them.
+        if let Some(past) = nested_fn_at(toks, i, end) {
+            i = past + 1;
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || is_expr_keyword(&t.text) {
+            i += 1;
+            continue;
+        }
+        let next = toks.get(i + 1);
+        // `name!(..)` / `name![..]` / `name!{..}` — macro invocation.
+        if next.is_some_and(|n| n.is_punct("!")) {
+            let delim_open = toks.get(i + 2).map(|d| d.text.as_str());
+            if matches!(delim_open, Some("(") | Some("[") | Some("{")) {
+                item.macros.push(MacroUse { name: t.text.clone(), line: t.line });
+            }
+            i += 2;
+            continue;
+        }
+        // `name(..)` possibly with a turbofish: `name::<T>(..)`.
+        let mut call_paren = next.is_some_and(|n| n.is_punct("("));
+        if !call_paren && next.is_some_and(|n| n.is_punct("::")) {
+            let past = skip_generics(toks, i + 2);
+            if past > i + 2 && toks.get(past).is_some_and(|n| n.is_punct("(")) {
+                call_paren = true;
+            }
+        }
+        if call_paren {
+            let kind = call_shape(toks, i);
+            item.calls.push(Call { name: t.text.clone(), kind, line: t.line });
+        }
+        i += 1;
+    }
+}
+
+/// Classifies the call whose callee ident is at `i`.
+fn call_shape(toks: &[Tok], i: usize) -> CallKind {
+    if i == 0 {
+        return CallKind::Free;
+    }
+    let prev = &toks[i - 1];
+    if prev.is_punct(".") {
+        let recv_self = i >= 2 && toks[i - 2].is_ident("self");
+        return CallKind::Method { recv_self };
+    }
+    if prev.is_punct("::") {
+        // Walk back over a generic argument list to the qualifying ident:
+        // `Vec::<f64>::new(..)` qualifies `new` with `Vec`.
+        let mut j = i - 1; // at `::`
+        if j >= 1 && (toks[j - 1].is_punct(">") || toks[j - 1].is_punct(">>")) {
+            let mut depth = 0i32;
+            let mut k = j - 1;
+            loop {
+                match toks[k].text.as_str() {
+                    ">" if toks[k].kind == TokKind::Punct => depth += 1,
+                    ">>" if toks[k].kind == TokKind::Punct => depth += 2,
+                    "<" if toks[k].kind == TokKind::Punct => depth -= 1,
+                    "<<" if toks[k].kind == TokKind::Punct => depth -= 2,
+                    _ => {}
+                }
+                if depth <= 0 || k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            // `k` is at the `<`; the qualifier ident precedes it (possibly
+            // through another `::`).
+            j = k;
+            if j >= 1 && toks[j - 1].is_punct("::") {
+                j -= 1;
+            }
+        }
+        if j >= 1 && toks[j - 1].kind == TokKind::Ident {
+            return CallKind::Qualified { qualifier: toks[j - 1].text.clone() };
+        }
+    }
+    CallKind::Free
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        parse_file(&lex(src).toks)
+    }
+
+    #[test]
+    fn finds_free_and_impl_fns() {
+        let items = parse(
+            "fn free() { helper(); }\n\
+             impl Foo { pub fn method(&self) { self.go(); other.run(); } }\n\
+             impl Trait for Bar { fn t(&self) {} }",
+        );
+        let labels: Vec<String> = items.iter().map(FnItem::label).collect();
+        assert_eq!(labels, ["free", "Foo::method", "Bar::t"]);
+        assert_eq!(items[0].calls.len(), 1);
+        assert_eq!(items[0].calls[0].name, "helper");
+        assert_eq!(items[0].calls[0].kind, CallKind::Free);
+        let m = &items[1].calls;
+        assert_eq!(m[0].kind, CallKind::Method { recv_self: true });
+        assert_eq!(m[1].kind, CallKind::Method { recv_self: false });
+    }
+
+    #[test]
+    fn qualified_calls_and_turbofish() {
+        let items = parse("fn f() { Vec::new(); Vec::<f64>::with_capacity(4); s.parse::<u32>(); }");
+        let calls = &items[0].calls;
+        assert_eq!(calls[0].kind, CallKind::Qualified { qualifier: "Vec".into() });
+        assert_eq!(calls[1].name, "with_capacity");
+        assert_eq!(calls[1].kind, CallKind::Qualified { qualifier: "Vec".into() });
+        assert_eq!(calls[2].name, "parse");
+        assert_eq!(calls[2].kind, CallKind::Method { recv_self: false });
+    }
+
+    #[test]
+    fn generic_impls_resolve_to_the_type() {
+        let items = parse("impl<T: Clone> Wrapper<T> { fn get(&self) -> &T { self.inner() } }");
+        assert_eq!(items[0].label(), "Wrapper::get");
+        let items = parse("impl<'a> Iterator for Iter<'a> { fn next(&mut self) {} }");
+        assert_eq!(items[0].label(), "Iter::next");
+    }
+
+    #[test]
+    fn macros_are_recorded_not_called() {
+        let items = parse("fn f() { vec![1]; format!(\"x{}\", 1); assert!(ok); }");
+        let macros: Vec<&str> = items[0].macros.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(macros, ["vec", "format", "assert"]);
+        assert!(items[0].calls.is_empty());
+    }
+
+    #[test]
+    fn test_items_are_marked() {
+        let items =
+            parse("#[cfg(test)]\nmod tests { fn helper() {} #[test] fn t() {} }\nfn lib() {}");
+        let flags: Vec<(String, bool)> =
+            items.iter().map(|f| (f.name.clone(), f.is_test)).collect();
+        assert_eq!(flags, [("helper".into(), true), ("t".into(), true), ("lib".into(), false)]);
+    }
+
+    #[test]
+    fn nested_fns_own_their_calls() {
+        let items = parse("fn outer() { fn inner() { deep(); } inner(); }");
+        let outer = items.iter().find(|f| f.name == "outer").expect("outer parsed");
+        let inner = items.iter().find(|f| f.name == "inner").expect("inner parsed");
+        assert_eq!(outer.calls.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(), ["inner"]);
+        assert_eq!(inner.calls.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(), ["deep"]);
+    }
+
+    #[test]
+    fn bodiless_trait_methods_have_no_body() {
+        let items = parse("trait T { fn decl(&self); fn dflt(&self) { self.decl(); } }");
+        assert_eq!(items[0].body, None);
+        assert!(items[1].body.is_some());
+        assert_eq!(items[1].calls[0].name, "decl");
+    }
+
+    #[test]
+    fn keywords_are_not_calls() {
+        let items = parse("fn f(x: bool) { if (x) { return (1); } match (x) { _ => {} } }");
+        assert!(items[0].calls.is_empty());
+    }
+
+    #[test]
+    fn shift_operators_inside_generics() {
+        let items = parse("fn f() { let x: Foo<Bar<u8>> = make(); g(1 << 2); }");
+        let names: Vec<&str> = items[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["make", "g"]);
+    }
+}

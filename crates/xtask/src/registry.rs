@@ -4,10 +4,10 @@
 //! quietly ship half-wired.
 
 use std::collections::BTreeSet;
-use std::path::Path;
 
-use crate::lexer::{lex, Tok, TokKind};
+use crate::lexer::{Tok, TokKind};
 use crate::lints::Finding;
+use crate::Workspace;
 
 const DETECTOR_DIR: &str = "crates/core/src/detectors";
 const DETECTOR_MOD: &str = "crates/core/src/detectors/mod.rs";
@@ -81,9 +81,24 @@ fn finding(file: &str, line: u32, message: impl Into<String>) -> Finding {
     Finding { lint: "L4", file: file.to_string(), line, message: message.into() }
 }
 
-fn read(root: &Path, rel: &str) -> Result<String, Finding> {
-    std::fs::read_to_string(root.join(rel))
-        .map_err(|e| finding(rel, 1, format!("cannot read required file: {e}")))
+/// The (already lexed) tokens of a required workspace file.
+fn toks<'a>(ws: &'a Workspace, rel: &str) -> Result<&'a [Tok], Finding> {
+    ws.get(rel)
+        .map(|f| f.lexed.toks.as_slice())
+        .ok_or_else(|| finding(rel, 1, "required file is missing from the workspace"))
+}
+
+/// Stems of the `.rs` files directly inside `dir` (no recursion), from the
+/// already-walked workspace file list.
+fn dir_stems(ws: &Workspace, dir: &str) -> BTreeSet<String> {
+    let prefix = format!("{dir}/");
+    ws.files
+        .iter()
+        .filter_map(|f| f.rel.strip_prefix(&prefix))
+        .filter(|rest| !rest.contains('/'))
+        .filter_map(|name| name.strip_suffix(".rs"))
+        .map(str::to_string)
+        .collect()
 }
 
 /// All identifier texts in a token stream.
@@ -176,31 +191,21 @@ fn imported_experiments(toks: &[Tok]) -> Vec<(String, u32)> {
     out
 }
 
-/// Runs the registry-completeness checks from the workspace root.
-pub fn check(root: &Path) -> Vec<Finding> {
+/// Runs the registry-completeness checks over the loaded workspace.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
     let mut out = Vec::new();
 
-    let mod_src = match read(root, DETECTOR_MOD) {
-        Ok(s) => s,
+    let mod_toks = match toks(ws, DETECTOR_MOD) {
+        Ok(t) => t,
         Err(f) => return vec![f],
     };
-    let mod_toks = lex(&mod_src).toks;
-    let declared: Vec<(String, u32)> = mod_decls(&mod_toks);
+    let declared: Vec<(String, u32)> = mod_decls(mod_toks);
 
     // 1. Filesystem <-> `mod` declarations, both directions.
-    let mut files = BTreeSet::new();
-    match std::fs::read_dir(root.join(DETECTOR_DIR)) {
-        Ok(rd) => {
-            for entry in rd.flatten() {
-                let name = entry.file_name().to_string_lossy().into_owned();
-                if let Some(stem) = name.strip_suffix(".rs") {
-                    if stem != "mod" {
-                        files.insert(stem.to_string());
-                    }
-                }
-            }
-        }
-        Err(e) => return vec![finding(DETECTOR_DIR, 1, format!("cannot list: {e}"))],
+    let mut files = dir_stems(ws, DETECTOR_DIR);
+    files.remove("mod");
+    if files.is_empty() {
+        return vec![finding(DETECTOR_DIR, 1, "no detector modules found")];
     }
     for stem in &files {
         if !declared.iter().any(|(m, _)| m == stem) {
@@ -226,14 +231,14 @@ pub fn check(root: &Path) -> Vec<Finding> {
     let mut types: Vec<(String, String, u32)> = Vec::new(); // (type, decl file, line)
     for stem in &files {
         let rel = format!("{DETECTOR_DIR}/{stem}.rs");
-        let src = match read(root, &rel) {
-            Ok(s) => s,
+        let file_toks = match toks(ws, &rel) {
+            Ok(t) => t,
             Err(f) => {
                 out.push(f);
                 continue;
             }
         };
-        let found = detector_structs(&lex(&src).toks);
+        let found = detector_structs(file_toks);
         if found.is_empty() {
             out.push(finding(
                 &rel,
@@ -247,12 +252,12 @@ pub fn check(root: &Path) -> Vec<Finding> {
         }
     }
 
-    let factory = build_body(&mod_toks).map(idents).unwrap_or_default();
+    let factory = build_body(mod_toks).map(idents).unwrap_or_default();
     if factory.is_empty() {
         out.push(finding(DETECTOR_MOD, 1, "no `fn build` factory found"));
     }
-    let props = read(root, PROPS).map(|s| idents(&lex(&s).toks)).unwrap_or_default();
-    let benches = read(root, BENCHES).map(|s| idents(&lex(&s).toks)).unwrap_or_default();
+    let props = toks(ws, PROPS).map(idents).unwrap_or_default();
+    let benches = toks(ws, BENCHES).map(idents).unwrap_or_default();
 
     for (ty, rel, line) in &types {
         if !factory.is_empty() && !factory.contains(ty) {
@@ -277,8 +282,7 @@ pub fn check(root: &Path) -> Vec<Finding> {
     // 3. Every registered hot kernel must exist where declared and be
     //    referenced by its property-test and benchmark suites.
     for &(ident, decl, props_file, bench_file) in KERNELS {
-        let declared_here =
-            read(root, decl).map(|s| idents(&lex(&s).toks).contains(ident)).unwrap_or(false);
+        let declared_here = toks(ws, decl).map(|t| idents(t).contains(ident)).unwrap_or(false);
         if !declared_here {
             out.push(finding(
                 decl,
@@ -288,8 +292,7 @@ pub fn check(root: &Path) -> Vec<Finding> {
             continue;
         }
         for (rel, role) in [(props_file, "property-test"), (bench_file, "benchmark")] {
-            let covered =
-                read(root, rel).map(|s| idents(&lex(&s).toks).contains(ident)).unwrap_or(false);
+            let covered = toks(ws, rel).map(|t| idents(t).contains(ident)).unwrap_or(false);
             if !covered {
                 out.push(finding(
                     decl,
@@ -302,31 +305,23 @@ pub fn check(root: &Path) -> Vec<Finding> {
 
     // 4. Every `exp_*.rs` bin's experiment functions must be invoked by the
     //    reproduction driver.
-    let reproduce = read(root, REPRODUCE).map(|s| idents(&lex(&s).toks)).unwrap_or_default();
+    let reproduce = toks(ws, REPRODUCE).map(idents).unwrap_or_default();
     if reproduce.is_empty() {
         out.push(finding(REPRODUCE, 1, "reproduction driver missing or empty"));
         return out;
     }
-    let mut bins: Vec<String> = Vec::new();
-    if let Ok(rd) = std::fs::read_dir(root.join(BIN_DIR)) {
-        for entry in rd.flatten() {
-            let name = entry.file_name().to_string_lossy().into_owned();
-            if name.starts_with("exp_") && name.ends_with(".rs") {
-                bins.push(name);
-            }
-        }
-    }
-    bins.sort();
-    for name in bins {
-        let rel = format!("{BIN_DIR}/{name}");
-        let src = match read(root, &rel) {
-            Ok(s) => s,
+    let bins: Vec<String> =
+        dir_stems(ws, BIN_DIR).into_iter().filter(|s| s.starts_with("exp_")).collect();
+    for stem in bins {
+        let rel = format!("{BIN_DIR}/{stem}.rs");
+        let bin_toks = match toks(ws, &rel) {
+            Ok(t) => t,
             Err(f) => {
                 out.push(f);
                 continue;
             }
         };
-        for (func, line) in imported_experiments(&lex(&src).toks) {
+        for (func, line) in imported_experiments(bin_toks) {
             if !reproduce.contains(&func) {
                 out.push(finding(
                     &rel,
@@ -343,6 +338,7 @@ pub fn check(root: &Path) -> Vec<Finding> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
 
     #[test]
     fn extracts_mod_decls_and_detector_structs() {
@@ -373,8 +369,9 @@ mod tests {
     #[test]
     fn live_tree_passes() {
         // The repo this xtask ships in must itself satisfy L4.
-        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-        let findings = check(&root);
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let ws = Workspace::load(&root).expect("workspace loads");
+        let findings = check(&ws);
         assert!(
             findings.is_empty(),
             "registry drift:\n{}",

@@ -1,0 +1,111 @@
+//! Cross-crate symbol index over the parsed workspace: every non-test
+//! function, addressable by bare name and by `(type, method)` pair. The
+//! call-graph builder resolves call sites against this index.
+
+use std::collections::HashMap;
+
+use crate::parser::FnItem;
+
+/// One indexed function: which file it lives in and which parse slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnId {
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// Index into that file's `Vec<FnItem>`.
+    pub item: usize,
+}
+
+/// The workspace-wide function index.
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    /// All indexed (non-test, bodied) functions in deterministic order.
+    pub fns: Vec<FnId>,
+    by_name: HashMap<String, Vec<usize>>,
+    by_type_method: HashMap<(String, String), Vec<usize>>,
+}
+
+impl SymbolIndex {
+    /// Builds the index from per-file parse results (parallel to the
+    /// workspace file list). Test functions and bodiless declarations are
+    /// not call-graph nodes: tests may panic freely, and a declaration has
+    /// nothing to analyze.
+    pub fn build(parsed: &[Vec<FnItem>]) -> SymbolIndex {
+        let mut idx = SymbolIndex::default();
+        for (file, items) in parsed.iter().enumerate() {
+            for (item, f) in items.iter().enumerate() {
+                if f.is_test || f.body.is_none() {
+                    continue;
+                }
+                let slot = idx.fns.len();
+                idx.fns.push(FnId { file, item });
+                idx.by_name.entry(f.name.clone()).or_default().push(slot);
+                if let Some(ty) = &f.self_ty {
+                    idx.by_type_method.entry((ty.clone(), f.name.clone())).or_default().push(slot);
+                }
+            }
+        }
+        idx
+    }
+
+    /// Slots of every function named `name`, any type.
+    pub fn by_name(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Slots of every `ty::name` method (multiple impl blocks possible).
+    pub fn by_type_method(&self, ty: &str, name: &str) -> &[usize] {
+        self.by_type_method
+            .get(&(ty.to_string(), name.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// True when `ty` has at least one indexed method.
+    pub fn knows_type(&self, ty: &str) -> bool {
+        self.by_type_method.keys().any(|(t, _)| t == ty)
+    }
+
+    /// Resolves a `kernel_roots` entry (`"Type::method"` or `"free_fn"`)
+    /// to its slots; empty when nothing matches.
+    pub fn resolve_root(&self, root: &str) -> Vec<usize> {
+        match root.split_once("::") {
+            Some((ty, name)) => self.by_type_method(ty, name).to_vec(),
+            None => self.by_name(root).iter().copied().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn index(srcs: &[&str]) -> SymbolIndex {
+        let parsed: Vec<_> = srcs.iter().map(|s| parse_file(&lex(s).toks)).collect();
+        SymbolIndex::build(&parsed)
+    }
+
+    #[test]
+    fn indexes_methods_and_free_fns_across_files() {
+        let idx = index(&[
+            "impl Kern { pub fn push(&mut self) {} } fn helper() {}",
+            "impl Kern { pub fn pop(&mut self) {} }",
+        ]);
+        assert_eq!(idx.by_type_method("Kern", "push").len(), 1);
+        assert_eq!(idx.by_type_method("Kern", "pop").len(), 1);
+        assert_eq!(idx.by_name("helper").len(), 1);
+        assert_eq!(idx.resolve_root("Kern::push").len(), 1);
+        assert_eq!(idx.resolve_root("helper").len(), 1);
+        assert!(idx.resolve_root("Kern::missing").is_empty());
+        assert!(idx.knows_type("Kern"));
+        assert!(!idx.knows_type("Vec"));
+    }
+
+    #[test]
+    fn test_fns_are_not_indexed() {
+        let idx = index(&["#[cfg(test)] mod t { fn helper() {} } trait T { fn decl(&self); }"]);
+        assert!(idx.by_name("helper").is_empty());
+        assert!(idx.by_name("decl").is_empty());
+    }
+}

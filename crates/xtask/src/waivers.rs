@@ -6,12 +6,18 @@
 //! ```toml
 //! [config]
 //! hot_kernels = ["crates/stat/src/correlation.rs"]   # string arrays (may span lines)
+//! kernel_roots = ["IncrementalPearson::push"]        # L10/L11 call-graph roots
+//! metric_registry = "crates/obs/metrics-registry.toml"
 //!
 //! [[waiver]]
 //! lint = "L2"
 //! file = "crates/stat/src/drift.rs"
 //! line = 288
 //! reason = "sentinel checked two lines above"
+//!
+//! [[budget]]
+//! total = 1
+//! reason = "seeded debt from the drift detector port"
 //! ```
 //!
 //! Every waiver is per-site (`file` + `line` + `lint`): directory or
@@ -42,6 +48,25 @@ pub struct Waiver {
 pub struct Config {
     /// Files where the cast (L3) and indexing (L6) lints apply.
     pub hot_kernels: Vec<String>,
+    /// Call-graph roots for the transitive allocation (L10) and
+    /// panic-freedom (L11) analyses: `"Type::method"` or `"free_fn"`.
+    pub kernel_roots: Vec<String>,
+    /// Workspace-relative path of the metric-name registry consumed by L8.
+    pub metric_registry: Option<String>,
+}
+
+/// One `[[budget]]` entry: an append-only audit record of the total waiver
+/// count. The *last* entry must equal the current number of `[[waiver]]`
+/// entries, so any change to the waiver population demands a justified
+/// budget line — the ratchet cannot move silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Budget {
+    /// The waiver count being justified.
+    pub total: u32,
+    /// Why the count changed (mandatory, like waiver reasons).
+    pub reason: String,
+    /// Line of the budget entry itself (for diagnostics).
+    pub at_line: u32,
 }
 
 /// Parsed waiver file.
@@ -51,6 +76,8 @@ pub struct WaiverFile {
     pub config: Config,
     /// All per-site waivers.
     pub waivers: Vec<Waiver>,
+    /// Append-only waiver-count audit trail.
+    pub budgets: Vec<Budget>,
 }
 
 /// Parse failure with a 1-based line number.
@@ -73,7 +100,7 @@ fn err(line: u32, message: impl Into<String>) -> ParseError {
 }
 
 /// Strips a trailing `#` comment that is not inside a double-quoted string.
-fn strip_comment(line: &str) -> &str {
+pub(crate) fn strip_comment(line: &str) -> &str {
     let mut in_str = false;
     let mut escaped = false;
     for (i, c) in line.char_indices() {
@@ -141,6 +168,7 @@ enum Section {
     None,
     Config,
     Waiver,
+    Budget,
 }
 
 /// Parses the waiver file contents.
@@ -156,6 +184,13 @@ pub fn parse(text: &str) -> Result<WaiverFile, ParseError> {
         reason: Option<String>,
     }
     let mut cur: Option<Pending> = None;
+    // The budget entry currently being assembled.
+    struct PendingBudget {
+        at_line: u32,
+        total: Option<u32>,
+        reason: Option<String>,
+    }
+    let mut cur_budget: Option<PendingBudget> = None;
 
     fn flush(cur: &mut Option<Pending>, out: &mut WaiverFile) -> Result<(), ParseError> {
         if let Some(p) = cur.take() {
@@ -174,6 +209,28 @@ pub fn parse(text: &str) -> Result<WaiverFile, ParseError> {
                 reason,
                 at_line: p.at_line,
                 used: std::cell::Cell::new(false),
+            });
+        }
+        Ok(())
+    }
+
+    fn flush_budget(
+        cur: &mut Option<PendingBudget>,
+        out: &mut WaiverFile,
+    ) -> Result<(), ParseError> {
+        if let Some(p) = cur.take() {
+            let missing = |what: &str| err(p.at_line, format!("[[budget]] missing `{what}`"));
+            let reason = p.reason.ok_or_else(|| missing("reason"))?;
+            if reason.trim().len() < 8 {
+                return Err(err(
+                    p.at_line,
+                    "budget `reason` must be a real explanation (≥ 8 characters)",
+                ));
+            }
+            out.budgets.push(Budget {
+                total: p.total.ok_or_else(|| missing("total"))?,
+                reason,
+                at_line: p.at_line,
             });
         }
         Ok(())
@@ -207,11 +264,13 @@ pub fn parse(text: &str) -> Result<WaiverFile, ParseError> {
 
         if line == "[config]" {
             flush(&mut cur, &mut out)?;
+            flush_budget(&mut cur_budget, &mut out)?;
             section = Section::Config;
             continue;
         }
         if line == "[[waiver]]" {
             flush(&mut cur, &mut out)?;
+            flush_budget(&mut cur_budget, &mut out)?;
             section = Section::Waiver;
             cur = Some(Pending {
                 at_line: line_no,
@@ -220,6 +279,13 @@ pub fn parse(text: &str) -> Result<WaiverFile, ParseError> {
                 line: None,
                 reason: None,
             });
+            continue;
+        }
+        if line == "[[budget]]" {
+            flush(&mut cur, &mut out)?;
+            flush_budget(&mut cur_budget, &mut out)?;
+            section = Section::Budget;
+            cur_budget = Some(PendingBudget { at_line: line_no, total: None, reason: None });
             continue;
         }
         if line.starts_with('[') {
@@ -241,6 +307,14 @@ pub fn parse(text: &str) -> Result<WaiverFile, ParseError> {
                 ("hot_kernels", _) => {
                     return Err(err(line_no, "`hot_kernels` must be a string array"))
                 }
+                ("kernel_roots", Value::StrArray(v)) => out.config.kernel_roots = v,
+                ("kernel_roots", _) => {
+                    return Err(err(line_no, "`kernel_roots` must be a string array"))
+                }
+                ("metric_registry", Value::Str(s)) => out.config.metric_registry = Some(s),
+                ("metric_registry", _) => {
+                    return Err(err(line_no, "`metric_registry` must be a string path"))
+                }
                 _ => return Err(err(line_no, format!("unknown [config] key `{key}`"))),
             },
             Section::Waiver => {
@@ -260,9 +334,25 @@ pub fn parse(text: &str) -> Result<WaiverFile, ParseError> {
                     }
                 }
             }
+            Section::Budget => {
+                let Some(entry) = cur_budget.as_mut() else {
+                    return Err(err(line_no, "budget key outside [[budget]]"));
+                };
+                match (key, value) {
+                    ("total", Value::Int(n)) if n >= 0 => entry.total = Some(n as u32),
+                    ("reason", Value::Str(s)) => entry.reason = Some(s),
+                    _ => {
+                        return Err(err(
+                            line_no,
+                            format!("unknown or mistyped [[budget]] key `{key}`"),
+                        ))
+                    }
+                }
+            }
         }
     }
     flush(&mut cur, &mut out)?;
+    flush_budget(&mut cur_budget, &mut out)?;
     Ok(out)
 }
 
@@ -325,5 +415,33 @@ reason = "sentinel checked above"
     fn unknown_sections_and_keys_fail() {
         assert!(parse("[tools]\n").is_err());
         assert!(parse("[config]\nallow_all = true\n").is_err());
+    }
+
+    #[test]
+    fn parses_analyze_config_and_budgets() {
+        let f = parse(
+            r#"
+[config]
+kernel_roots = ["IncrementalPearson::push", "free_fn"]
+metric_registry = "crates/obs/metrics-registry.toml"
+
+[[budget]]
+total = 5
+reason = "seeded debt enumerated at L8-L11 introduction"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(f.config.kernel_roots, ["IncrementalPearson::push", "free_fn"]);
+        assert_eq!(f.config.metric_registry.as_deref(), Some("crates/obs/metrics-registry.toml"));
+        assert_eq!(f.budgets.len(), 1);
+        assert_eq!(f.budgets[0].total, 5);
+    }
+
+    #[test]
+    fn budget_requires_total_and_real_reason() {
+        let e = parse("[[budget]]\nreason = \"long enough reason\"\n").expect_err("no total");
+        assert!(e.message.contains("missing `total`"), "{e}");
+        let e = parse("[[budget]]\ntotal = 3\nreason = \"meh\"\n").expect_err("short reason");
+        assert!(e.message.contains("real explanation"), "{e}");
     }
 }

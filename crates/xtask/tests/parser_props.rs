@@ -1,0 +1,149 @@
+//! Property tests for the analyzer front end: the lexer + parser must
+//! never panic, whatever bytes they are fed, and on well-formed input the
+//! item spans must round-trip (every generated function is found, in
+//! order, with a body range that really brackets its tokens).
+
+use proptest::prelude::*;
+use xtask::lexer::{lex, TokKind};
+use xtask::parser::parse_file;
+
+/// Fragments biased toward the constructs the parser special-cases:
+/// generics, turbofish, attributes, nesting, strings, and stray closers.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "impl",
+    "trait",
+    "mod",
+    "for",
+    "self",
+    "Self",
+    "let",
+    "match",
+    "{",
+    "}",
+    "(",
+    ")",
+    "<",
+    ">",
+    ">>",
+    "->",
+    "=>",
+    "::",
+    "::<",
+    ";",
+    ",",
+    "!",
+    "#",
+    "[",
+    "]",
+    "&",
+    "'a",
+    "'static",
+    "#[test]",
+    "#[cfg(test)]",
+    "ident",
+    "Type",
+    "x7",
+    "_",
+    "1",
+    "1.5e3",
+    "0xff",
+    "\"s\"",
+    "\"a{b}c\"",
+    "r#\"raw\"#",
+    "b\"bytes\"",
+    "'c'",
+    "//line\n",
+    "/*block*/",
+    "where",
+    "pub",
+    "unsafe",
+    "dyn",
+    "async",
+];
+
+fn fragment() -> impl Strategy<Value = &'static str> {
+    (0usize..FRAGMENTS.len()).prop_map(|i| FRAGMENTS[i])
+}
+
+/// Arbitrary (possibly garbage) unicode text, surrogates skipped.
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x110000, 0..200)
+        .prop_map(|cs| cs.into_iter().filter_map(char::from_u32).collect())
+}
+
+const NAME_POOL: &[&str] =
+    &["alpha", "beta", "gamma", "push", "drain", "step_impl", "fn_like", "x9", "record"];
+
+proptest! {
+    /// Arbitrary unicode never panics the front end.
+    #[test]
+    fn lex_parse_total_on_arbitrary_strings(src in arb_text()) {
+        let lexed = lex(&src);
+        let _ = parse_file(&lexed.toks);
+    }
+
+    /// Rust-shaped token soup — unbalanced braces, orphan generics, raw
+    /// strings — never panics, and every reported span stays in bounds.
+    #[test]
+    fn parse_spans_in_bounds_on_token_soup(frags in prop::collection::vec(fragment(), 0..60)) {
+        let src = frags.join(" ");
+        let lexed = lex(&src);
+        let items = parse_file(&lexed.toks);
+        for item in &items {
+            prop_assert!(item.fn_tok < lexed.toks.len(), "fn_tok out of bounds in {src:?}");
+            prop_assert_eq!(lexed.toks[item.fn_tok].text.as_str(), "fn");
+            prop_assert_eq!(lexed.toks[item.fn_tok].kind, TokKind::Ident);
+            if let Some((open, close)) = item.body {
+                prop_assert!(open <= close, "inverted body range in {src:?}");
+                prop_assert!(close < lexed.toks.len(), "body past EOF in {src:?}");
+                prop_assert_eq!(lexed.toks[open].text.as_str(), "{");
+                // An unbalanced `{` is EOF-closed by design (the parser
+                // mirrors the lexer's truncated-input philosophy), so the
+                // close is either a real `}` or the very last token.
+                prop_assert!(
+                    lexed.toks[close].is_punct("}") || close == lexed.toks.len() - 1,
+                    "close neither brace nor EOF in {src:?}"
+                );
+                for call in &item.calls {
+                    prop_assert!(call.line >= lexed.toks[open].line);
+                    prop_assert!(call.line <= lexed.toks[close].line);
+                }
+            }
+        }
+    }
+
+    /// Item spans round-trip: a generated file of free fns and methods
+    /// parses back to exactly those items, in source order, with the
+    /// methods carrying their impl type.
+    #[test]
+    fn item_names_round_trip(
+        specs in prop::collection::vec(
+            (0usize..NAME_POOL.len(), 0u8..2, 0u8..3),
+            1..8,
+        ),
+    ) {
+        let mut src = String::new();
+        let mut want: Vec<(String, Option<String>)> = Vec::new();
+        for (i, &(name_ix, method, filler)) in specs.iter().enumerate() {
+            let name = NAME_POOL[name_ix];
+            let body = match filler {
+                0 => "let x = 1;".to_string(),
+                1 => format!("helper({i});"),
+                _ => format!("if x < {i} {{ inner::<u32>(); }}"),
+            };
+            if method == 1 {
+                src.push_str(&format!("impl T{i} {{ pub fn {name}(&self) {{ {body} }} }}\n"));
+                want.push((name.to_string(), Some(format!("T{i}"))));
+            } else {
+                src.push_str(&format!("fn {name}() {{ {body} }}\n"));
+                want.push((name.to_string(), None));
+            }
+        }
+        let lexed = lex(&src);
+        let items = parse_file(&lexed.toks);
+        let got: Vec<(String, Option<String>)> =
+            items.iter().map(|f| (f.name.clone(), f.self_ty.clone())).collect();
+        prop_assert_eq!(got, want, "parse of:\n{}", src);
+    }
+}

@@ -27,4 +27,7 @@ cargo test --workspace -q
 step "cargo run -p xtask -- lint"
 cargo run -p xtask -- lint
 
+step "cargo run -p xtask -- analyze"
+cargo run -p xtask -- analyze
+
 step "all checks passed"
