@@ -370,6 +370,36 @@ pub fn run(scale: &BaselineScale, progress: &mut dyn Write) -> obs::Json {
         outcome_on.scoring_seconds
     );
 
+    // PR 8 ops plane: the identical metrics-on pass with the background
+    // snapshot sampler running, at the shipping 1 s cadence and at an
+    // aggressive 100 ms cadence. Snapshots walk the whole registry under
+    // its locks, so this is the one observability feature that *could*
+    // contend with the hot path — the 1 s number must stay within
+    // cross-run noise of the plain metrics-on pass above.
+    let mut sampler_passes: Vec<(&str, f64, usize)> = Vec::new();
+    for (tag, period_ms) in [("1000ms", 1000u64), ("100ms", 100)] {
+        let ring = std::sync::Arc::new(obs::SnapshotRing::new(64));
+        let sampler = obs::start_sampler(
+            std::time::Duration::from_millis(period_ms),
+            std::sync::Arc::clone(&ring),
+        );
+        let clock = obs::stage_clock();
+        let outcome_sampled = fleet_scores(
+            &fleet,
+            Cell { transform: TransformKind::Correlation, detector: DetectorKind::ClosestPair },
+            ResetPolicy::OnServiceOrRepair,
+        );
+        manifest.end_stage(&format!("fleet_scoring_sampler_{tag}"), clock);
+        drop(sampler);
+        sampler_passes.push((tag, outcome_sampled.scoring_seconds, ring.len()));
+        let _ = writeln!(
+            progress,
+            "[bench_baseline] fleet scoring (sampler @ {tag}): {:.3}s ({} snapshot(s))",
+            outcome_sampled.scoring_seconds,
+            ring.len()
+        );
+    }
+
     // Replay every vehicle through the streaming pipeline at the paper's
     // best cell so the per-alarm arrival-to-emission latency histogram
     // (`alarm.latency_ns`) lands in the manifest — the batch scorer above
@@ -452,6 +482,14 @@ pub fn run(scale: &BaselineScale, progress: &mut dyn Write) -> obs::Json {
         "metrics_on_overhead_pct_fleet_scoring_unsampled",
         100.0 * (outcome_unsampled.scoring_seconds / outcome.scoring_seconds - 1.0),
     );
+    for &(tag, secs, snapshots) in &sampler_passes {
+        manifest.metric(&format!("fleet_scoring_seconds_sampler_{tag}"), secs);
+        manifest.metric(
+            &format!("sampler_overhead_pct_{tag}"),
+            100.0 * (secs / outcome_on.scoring_seconds - 1.0),
+        );
+        manifest.metric(&format!("sampler_snapshots_{tag}"), snapshots);
+    }
     manifest.metric("replay_alarms", replay_alarms);
     for (baseline_key, now, metric) in [
         (

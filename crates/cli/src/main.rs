@@ -32,6 +32,11 @@
 //!     manifest structurally against a committed baseline with relative
 //!     tolerances (nonzero exit on regression) — the machine checks CI
 //!     runs over emitted manifests.
+//!
+//! navarchos top --addr HOST:PORT [--interval-ms N] [--iterations N]
+//!     Poll a live `--metrics-addr` scrape endpoint and render a refreshing
+//!     per-shard table (records/s, queue depth, health, alarm p99) from
+//!     consecutive snapshot deltas.
 //! ```
 //!
 //! Argument parsing is by hand (the workspace's sanctioned dependency set
@@ -41,7 +46,10 @@
 //! Observability: `NAVARCHOS_LOG` / `NAVARCHOS_METRICS` are honoured
 //! first, then `--trace` (events to stderr) and `--metrics` (record
 //! counters/histograms; `evaluate`/`explore` additionally write a run
-//! manifest plus an NDJSON trace next to it).
+//! manifest plus an NDJSON trace next to it). `--metrics-addr HOST:PORT`
+//! on `serve-replay`/`evaluate` additionally starts the ops plane: a
+//! background snapshot sampler (`--snapshot-ms`, default 1000) plus a
+//! Prometheus-text scrape endpoint serving the latest snapshot.
 
 use navarchos_core::detectors::DetectorKind;
 use navarchos_core::evaluation::{evaluate_vehicle_instances, factor_grid, EvalCounts, EvalParams};
@@ -87,6 +95,7 @@ fn main() -> ExitCode {
         "resample" => cmd_resample(&flags),
         "serve-replay" => cmd_serve_replay(&flags),
         "check-manifest" => cmd_check_manifest(&flags),
+        "top" => cmd_top(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -109,14 +118,17 @@ USAGE:
   navarchos simulate --out DIR [--vehicles N] [--days N] [--seed N] [--failures N]
   navarchos monitor  --telemetry FILE [--events FILE] [--factor F] [--trace]
   navarchos evaluate --dir DIR [--ph DAYS] [--metrics] [--manifest FILE] [--trace]
+                     [--metrics-addr HOST:PORT [--snapshot-ms N]]
   navarchos explore  --dir DIR [--clusters K] [--metrics] [--manifest FILE]
   navarchos resample --telemetry FILE --out FILE [--period SECONDS] [--max-gap SECONDS] [--method linear|previous]
   navarchos serve-replay [--dir DIR | --vehicles N --days N --seed N] [--shards N] [--horizon-s S]
                          [--dirty SEED [--reorder-prob F] [--dup-prob F] [--drop-prob F] [--corrupt-prob F]]
-                         [--verify] [--metrics] [--manifest FILE]
+                         [--verify] [--metrics] [--manifest FILE] [--batch-size N] [--journal FILE]
+                         [--metrics-addr HOST:PORT [--snapshot-ms N] [--hold-s N]]
   navarchos check-manifest --path FILE [--against BASELINE] [--tol-pct N] [--time-tol-pct N]
                            [--ignore k1,k2] [--slo-p99-ms N]
   navarchos check-manifest --trend DIR [--time-tol-pct N] [--ignore k1,k2]
+  navarchos top --addr HOST:PORT [--interval-ms N] [--iterations N]
   navarchos help
 
 OBSERVABILITY:
@@ -129,6 +141,15 @@ OBSERVABILITY:
                     --time-tol-pct for timings, --ignore to skip exact keys)
   --slo-p99-ms N    fail check-manifest when the manifest's alarm.latency_ns p99
                     exceeds N milliseconds
+  --metrics-addr A  serve the latest metric snapshot as Prometheus text on A
+                    (HOST:PORT; implies --metrics); --snapshot-ms sets the
+                    sampler cadence, serve-replay's --hold-s keeps the endpoint
+                    up N seconds after the run so scrapers can catch it
+  --journal FILE    serve-replay: append every alarm's provenance (arrival,
+                    release watermark, per-stage timings) as NDJSON; summarise
+                    with `cargo run -p xtask -- alarm-latency --journal FILE`
+  --batch-size N    serve-replay: feed the engine in N-item batches and observe
+                    per-shard health between batches (0 = one batch)
   --trend DIR       walk the committed BENCH_PR*.json history in PR order and fail
                     on any consecutive timing regression beyond --time-tol-pct
                     (timing keys shared by both manifests only; files that are not
@@ -152,6 +173,36 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
         flags.insert(name.to_string(), value.clone());
     }
     Ok(flags)
+}
+
+/// The live ops plane behind `--metrics-addr`: a background snapshot
+/// sampler feeding a bounded ring, and a scrape endpoint serving the ring's
+/// latest snapshot as Prometheus text. Both shut down when this is dropped.
+struct OpsPlane {
+    _sampler: obs::SamplerGuard,
+    _server: obs::MetricsServer,
+}
+
+/// Starts the ops plane when `--metrics-addr HOST:PORT` is present (a live
+/// scrape endpoint is meaningless without metrics, so the flag implies
+/// `--metrics`). `--snapshot-ms` sets the sampler cadence (default 1 s).
+fn start_ops_plane(flags: &BTreeMap<String, String>) -> Result<Option<OpsPlane>, String> {
+    let Some(addr) = flags.get("metrics-addr") else {
+        return Ok(None);
+    };
+    obs::set_metrics_enabled(true);
+    let snapshot_ms: u64 = get_num(flags, "snapshot-ms", 1000)?;
+    let ring = Arc::new(obs::SnapshotRing::new(64));
+    let period = std::time::Duration::from_millis(snapshot_ms.max(1));
+    let sampler = obs::start_sampler(period, Arc::clone(&ring));
+    let server =
+        obs::serve_metrics(addr, ring).map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+    eprintln!(
+        "[obs] metrics endpoint on {} (snapshot every {} ms)",
+        server.addr(),
+        snapshot_ms.max(1)
+    );
+    Ok(Some(OpsPlane { _sampler: sampler, _server: server }))
 }
 
 fn get_num<T: std::str::FromStr>(
@@ -320,6 +371,7 @@ fn cmd_evaluate(flags: &BTreeMap<String, String>) -> Result<(), String> {
 
     let params = RunnerParams::paper_default(TransformKind::Correlation, DetectorKind::ClosestPair);
     let eval = EvalParams::days(ph);
+    let _ops = start_ops_plane(flags)?;
 
     // With --metrics the run writes a manifest (and, unless a sink is
     // already installed, an NDJSON trace next to it) so files like
@@ -626,6 +678,7 @@ fn cmd_serve_replay(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let mut manifest = flags.contains_key("metrics").then(|| obs::Manifest::new("serve-replay"));
     let manifest_path: PathBuf =
         flags.get("manifest").map(PathBuf::from).unwrap_or_else(|| "serve-manifest.json".into());
+    let _ops = start_ops_plane(flags)?;
 
     let clock = obs::stage_clock();
     let vehicles = load_replay_fleet(flags)?;
@@ -680,21 +733,47 @@ fn cmd_serve_replay(flags: &BTreeMap<String, String>) -> Result<(), String> {
         cfg.horizon_s
     );
 
+    // `--batch-size N` feeds the engine in N-item slices with a health
+    // observation between slices — the cadence that drives the per-shard
+    // health FSM (0, the default, ingests everything as one batch and
+    // health is only observed once, at the end).
+    let batch_size: usize = get_num(flags, "batch-size", 0)?;
     let clock = obs::stage_clock();
     let started = std::time::Instant::now();
     let mut engine = ShardedIngest::new(&names, cfg.clone());
-    let mut alarms = engine.ingest_batch(stream);
+    let mut alarms = Vec::new();
+    let mut transitions = Vec::new();
+    if batch_size == 0 {
+        alarms = engine.ingest_batch(stream);
+    } else {
+        let mut chunk = stream;
+        while !chunk.is_empty() {
+            let rest = chunk.split_off(batch_size.min(chunk.len()));
+            alarms.extend(engine.ingest_batch(chunk));
+            transitions.extend(engine.observe_health());
+            chunk = rest;
+        }
+    }
     alarms.extend(engine.finish());
+    transitions.extend(engine.observe_health());
     let wall = started.elapsed().as_secs_f64();
     if let Some(m) = manifest.as_mut() {
         m.end_stage("ingest", clock);
     }
+    for t in &transitions {
+        println!("  health: shard {} {} -> {}", t.shard, t.from.as_str(), t.to.as_str());
+    }
 
     let stats = engine.stats();
+    let health = engine.health_states();
     for (i, (s, v)) in engine.shard_stats().iter().zip(engine.vehicles_per_shard()).enumerate() {
         println!(
-            "  shard {i}: {v:3} vehicles, {:7} records, {:5} reordered, peak queue depth {}",
-            s.records, s.reordered, s.peak_queue_depth
+            "  shard {i}: {v:3} vehicles, {:7} records, {:5} reordered, peak queue depth {}, \
+             health {}",
+            s.records,
+            s.reordered,
+            s.peak_queue_depth,
+            health.get(i).map(|h| h.as_str()).unwrap_or("?")
         );
     }
     println!(
@@ -727,6 +806,37 @@ fn cmd_serve_replay(flags: &BTreeMap<String, String>) -> Result<(), String> {
         m.metric("forced_releases", stats.forced_releases);
         m.metric("alarms", stats.alarms);
         m.metric("peak_queue_depth", stats.peak_queue_depth);
+        m.metric("health_transitions", transitions.len());
+        m.metric(
+            "health_worst",
+            health.iter().map(|h| h.gauge_value()).max().unwrap_or(0) as usize,
+        );
+    }
+
+    // `--journal FILE` — the alarm provenance journal: one NDJSON object
+    // per alarm with the arrival timestamp, the watermark that released it,
+    // and the per-stage wall-clock split. `xtask alarm-latency` summarises.
+    if let Some(journal_path) = flags.get("journal") {
+        let prov = engine.drain_provenance();
+        let mut out = String::new();
+        for p in &prov {
+            let line = obs::Json::Obj(vec![
+                ("vehicle".to_string(), obs::Json::from(u64::from(p.vehicle))),
+                ("shard".to_string(), obs::Json::from(p.shard)),
+                ("alarm_timestamp".to_string(), obs::Json::from(p.alarm_timestamp)),
+                ("channel".to_string(), obs::Json::from(p.channel_name.as_str())),
+                ("watermark_ts".to_string(), obs::Json::from(p.watermark_ts)),
+                ("arrival_ns".to_string(), obs::Json::from(p.arrival_ns)),
+                ("release_ns".to_string(), obs::Json::from(p.release_ns)),
+                ("emit_ns".to_string(), obs::Json::from(p.emit_ns)),
+                ("buffer_wait_ns".to_string(), obs::Json::from(p.buffer_wait_ns())),
+                ("pipeline_ns".to_string(), obs::Json::from(p.pipeline_ns())),
+            ]);
+            out.push_str(&line.to_compact_string());
+            out.push('\n');
+        }
+        std::fs::write(journal_path, out).map_err(|e| format!("write {journal_path}: {e}"))?;
+        println!("alarm provenance journal ({} alarm(s)) written to {journal_path}", prov.len());
     }
 
     let mut verify_failure = None;
@@ -763,17 +873,58 @@ fn cmd_serve_replay(flags: &BTreeMap<String, String>) -> Result<(), String> {
                 expected.len()
             );
         } else {
-            let diverged: Vec<u32> = expected
+            let mut diverged: Vec<u32> = expected
                 .keys()
                 .chain(got.keys())
                 .filter(|v| expected.get(v) != got.get(v))
                 .copied()
                 .collect();
+            diverged.sort_unstable();
+            diverged.dedup();
+            // Print the first mismatching alarm of each diverged vehicle,
+            // both sides, so the failure is debuggable from the CI log
+            // alone (a bare vehicle list forces a local repro).
+            let fmt_alarm = |a: Option<&navarchos_core::Alarm>| match a {
+                Some(a) => format!(
+                    "t={} channel {} ({}) score {:.6} threshold {:.6}",
+                    a.timestamp, a.channel, a.channel_name, a.score, a.threshold
+                ),
+                None => "<no alarm at this index>".to_string(),
+            };
+            for v in diverged.iter().take(5) {
+                let e = expected.get(v).map(Vec::as_slice).unwrap_or(&[]);
+                let g = got.get(v).map(Vec::as_slice).unwrap_or(&[]);
+                let i = e
+                    .iter()
+                    .zip(g.iter())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| e.len().min(g.len()));
+                println!(
+                    "verify: vehicle {v} diverges at alarm {i} (sorted replay raised {}, \
+                     engine raised {}):",
+                    e.len(),
+                    g.len()
+                );
+                println!("  expected: {}", fmt_alarm(e.get(i)));
+                println!("  got:      {}", fmt_alarm(g.get(i)));
+            }
+            if diverged.len() > 5 {
+                println!("verify: ... and {} more diverged vehicle(s)", diverged.len() - 5);
+            }
             verify_failure = Some(format!(
                 "serve-replay --verify: engine alarms differ from sorted replay on \
                  vehicle(s) {diverged:?}"
             ));
         }
+    }
+
+    // `--hold-s N` keeps the process (and with it the `--metrics-addr`
+    // endpoint) alive N seconds after the run so external scrapers get a
+    // window to observe the final counters and health gauges.
+    let hold_s: u64 = get_num(flags, "hold-s", 0)?;
+    if hold_s > 0 {
+        eprintln!("[obs] holding for {hold_s} s before exit");
+        std::thread::sleep(std::time::Duration::from_secs(hold_s));
     }
 
     if let Some(m) = manifest {
@@ -952,6 +1103,134 @@ fn check_manifest_trend(dir: &Path, flags: &BTreeMap<String, String>) -> Result<
         return Err(format!("{regressions} timing regression(s) across {steps} trend step(s)"));
     }
     println!("trend ok: {steps} step(s), no timing regressions beyond {}%", cfg.time_tol_pct);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// top
+// ---------------------------------------------------------------------------
+
+/// One parsed scrape of a `--metrics-addr` endpoint: the snapshot rebuilt
+/// into [`obs::MetricsSnapshot`] form (so [`obs::delta`] computes rates the
+/// same way the in-process ops plane does) plus the raw summary samples for
+/// quantile display.
+struct ScrapedSnapshot {
+    snap: obs::MetricsSnapshot,
+    summaries: Vec<obs::Sample>,
+}
+
+/// Rebuilds a metrics snapshot from Prometheus exposition text: the
+/// snapshot timestamp comes from the `# navarchos ops-plane snapshot at
+/// t_ns=N` header, counters/gauges are classified by their `# TYPE` lines,
+/// and everything else (summary quantiles, `_sum`/`_count`) is kept as raw
+/// samples.
+fn parse_scrape(text: &str) -> Result<ScrapedSnapshot, String> {
+    let mut t_ns = 0u64;
+    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# navarchos ops-plane snapshot at t_ns=") {
+            t_ns = rest.trim().parse().unwrap_or(0);
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            if let (Some(name), Some(kind)) = (it.next(), it.next()) {
+                kinds.insert(name.to_string(), kind.to_string());
+            }
+        }
+    }
+    let mut snap = obs::MetricsSnapshot {
+        t_ns,
+        counters: BTreeMap::new(),
+        gauges: BTreeMap::new(),
+        histograms: BTreeMap::new(),
+    };
+    let mut summaries = Vec::new();
+    for s in obs::parse_exposition(text)? {
+        match kinds.get(&s.name).map(String::as_str) {
+            Some("counter") => {
+                snap.counters.insert(s.name, s.value.max(0.0) as u64);
+            }
+            Some("gauge") => {
+                snap.gauges.insert(s.name, s.value.max(0.0) as u64);
+            }
+            _ => summaries.push(s),
+        }
+    }
+    Ok(ScrapedSnapshot { snap, summaries })
+}
+
+/// Renders one refresh of the per-shard ops table from the current scrape
+/// and (when available) the previous one. Rates print as `-` until two
+/// distinct snapshots have been seen — a rate needs an interval.
+fn render_top(addr: &str, scraped: &ScrapedSnapshot, prev: Option<&obs::MetricsSnapshot>) {
+    let snap = &scraped.snap;
+    let d = prev.map(|p| obs::delta(p, snap));
+    let fresh = d.as_ref().is_some_and(|d| d.dt_ns > 0);
+    let rate = |name: &str| -> String {
+        match &d {
+            Some(d) if fresh => format!("{:.0}", d.counter_rate(name)),
+            _ => "-".to_string(),
+        }
+    };
+    let quantile = |metric: &str, q: &str| -> Option<f64> {
+        scraped
+            .summaries
+            .iter()
+            .find(|s| s.name == metric && s.labels.iter().any(|(k, v)| k == "quantile" && v == q))
+            .map(|s| s.value)
+    };
+    let alarm_p99 = quantile("alarm_latency_ns", "0.99")
+        .map(|v| format!("{:.2} ms", v / 1.0e6))
+        .unwrap_or_else(|| "-".to_string());
+    println!(
+        "navarchos top @ {addr}  t={:.1}s  ingest {} rec/s  alarm p99 {alarm_p99}",
+        snap.t_ns as f64 / 1.0e9,
+        rate("ingest_records"),
+    );
+    println!("  {:>5}  {:<9} {:>10} {:>11}", "shard", "health", "rec/s", "queue p90");
+    for (name, &hv) in &snap.gauges {
+        let Some(id) = name.strip_prefix("ingest_shard").and_then(|r| r.strip_suffix("_health"))
+        else {
+            continue;
+        };
+        let health = match hv {
+            0 => "ok",
+            1 => "degraded",
+            2 => "stalled",
+            _ => "?",
+        };
+        let depth = quantile(&format!("ingest_shard{id}_queue_depth"), "0.9")
+            .map(|v| format!("{v:.0}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "  {:>5}  {:<9} {:>10} {:>11}",
+            id,
+            health,
+            rate(&format!("ingest_shard{id}_records")),
+            depth
+        );
+    }
+}
+
+/// `top --addr HOST:PORT` — polls a live scrape endpoint and renders the
+/// per-shard table every `--interval-ms` (default 1000). `--iterations N`
+/// stops after N refreshes (0, the default, polls until interrupted).
+fn cmd_top(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let addr = flags.get("addr").ok_or("--addr HOST:PORT is required")?;
+    let interval_ms: u64 = get_num(flags, "interval-ms", 1000)?;
+    let iterations: u64 = get_num(flags, "iterations", 0)?;
+    let mut prev: Option<obs::MetricsSnapshot> = None;
+    let mut round = 0u64;
+    loop {
+        let text = obs::scrape(addr).map_err(|e| format!("scrape {addr}: {e}"))?;
+        let scraped = parse_scrape(&text)?;
+        render_top(addr, &scraped, prev.as_ref());
+        prev = Some(scraped.snap);
+        round += 1;
+        if iterations != 0 && round >= iterations {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
     Ok(())
 }
 

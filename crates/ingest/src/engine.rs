@@ -18,14 +18,44 @@
 //! — the same discipline as `PipelineStats`. Queue depth is sampled into
 //! a per-shard `ingest.shardNN.queue_depth` histogram through a
 //! `BatchedRecorder`, flushed on [`ShardedIngest::finish`].
+//!
+//! The live ops plane adds three always-available facets: a per-shard
+//! `ingest.shardNN.records` counter (so scrape deltas yield per-shard
+//! throughput), a per-shard `ingest.shardNN.health` gauge driven by the
+//! [`crate::health`] state machine via [`ShardedIngest::observe_health`],
+//! and an [`AlarmProvenance`] entry per emitted alarm (arrival/release/
+//! emission stamps + release watermark) drained through
+//! [`ShardedIngest::drain_provenance`] into the CLI's NDJSON journal.
 
 use navarchos_core::pipeline::{Alarm, PipelineConfig, StreamingPipeline};
 use navarchos_core::{par_map_mut, DetectorKind, TransformKind};
 use navarchos_fleetsim::{StreamBody, StreamItem};
 use navarchos_obs as obs;
 
+use crate::health::{HealthPolicy, HealthSample, HealthState, HealthTransition, ShardHealth};
 use crate::reorder::{PushOutcome, ReorderBuffer, SeqKey, Sequenced};
 use crate::router::ShardRouter;
+
+/// A stream item plus the wall-clock (monotonic) moment the engine first
+/// saw it. The arrival stamp rides through the reorder buffer so alarm
+/// provenance can attribute latency to buffering vs. pipeline work; it is
+/// deliberately ignored by [`Sequenced::identical`] — a duplicate is a
+/// duplicate no matter when its copies arrived.
+#[derive(Debug, Clone)]
+struct Arrival {
+    item: StreamItem,
+    arrival_ns: u64,
+}
+
+impl Sequenced for Arrival {
+    fn key(&self) -> SeqKey {
+        self.item.key()
+    }
+
+    fn identical(&self, other: &Self) -> bool {
+        self.item.identical(&other.item)
+    }
+}
 
 impl Sequenced for StreamItem {
     fn key(&self) -> SeqKey {
@@ -65,6 +95,8 @@ pub struct IngestConfig {
     pub max_dead_letters_kept: usize,
     /// Per-vehicle pipeline instantiation.
     pub pipeline: PipelineConfig,
+    /// Per-shard health thresholds and hysteresis (see [`crate::health`]).
+    pub health: HealthPolicy,
 }
 
 impl IngestConfig {
@@ -80,7 +112,52 @@ impl IngestConfig {
                 TransformKind::Correlation,
                 DetectorKind::ClosestPair,
             ),
+            health: HealthPolicy::default(),
         }
+    }
+}
+
+/// Where an alarm's latency went: one journal entry per alarm emitted by
+/// the engine, linking event time (the alarm's timestamp and the release
+/// watermark, both epoch seconds) with processing time (monotonic
+/// nanoseconds at arrival, release and emission). Collected always-on —
+/// alarms are rare, so the cost is a few stores per alarm — and drained
+/// via [`ShardedIngest::drain_provenance`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlarmProvenance {
+    /// Vehicle whose pipeline raised the alarm.
+    pub vehicle: u32,
+    /// Shard the vehicle is routed to.
+    pub shard: usize,
+    /// The alarm's event timestamp (epoch seconds).
+    pub alarm_timestamp: i64,
+    /// Violating channel name, as on the alarm.
+    pub channel_name: String,
+    /// The release watermark (epoch seconds) when the triggering record
+    /// left the reorder buffer.
+    pub watermark_ts: i64,
+    /// Monotonic ns when the triggering record arrived at the engine.
+    pub arrival_ns: u64,
+    /// Monotonic ns when the reorder buffer released it to the pipeline.
+    pub release_ns: u64,
+    /// Monotonic ns when the pipeline returned the alarm.
+    pub emit_ns: u64,
+}
+
+impl AlarmProvenance {
+    /// Time the triggering record sat in the reorder buffer.
+    pub fn buffer_wait_ns(&self) -> u64 {
+        self.release_ns.saturating_sub(self.arrival_ns)
+    }
+
+    /// Time the pipeline spent on the record that raised the alarm.
+    pub fn pipeline_ns(&self) -> u64 {
+        self.emit_ns.saturating_sub(self.release_ns)
+    }
+
+    /// Arrival-to-emission latency.
+    pub fn total_ns(&self) -> u64 {
+        self.emit_ns.saturating_sub(self.arrival_ns)
     }
 }
 
@@ -169,6 +246,11 @@ struct ShardObs {
     late_dropped: std::sync::Arc<obs::Counter>,
     dead_letter: std::sync::Arc<obs::Counter>,
     alarms: std::sync::Arc<obs::Counter>,
+    /// Per-shard record count — the `top` client derives records/s per
+    /// shard from scrape deltas of this family.
+    shard_records: std::sync::Arc<obs::Counter>,
+    /// Live health state (0 = Ok, 1 = Degraded, 2 = Stalled).
+    health: std::sync::Arc<obs::Gauge>,
     queue_depth: obs::BatchedRecorder,
 }
 
@@ -181,6 +263,8 @@ impl ShardObs {
             late_dropped: obs::counter("ingest.late_dropped"),
             dead_letter: obs::counter("ingest.dead_letter"),
             alarms: obs::counter("ingest.alarms"),
+            shard_records: obs::counter(&format!("ingest.shard{shard:02}.records")),
+            health: obs::gauge(&format!("ingest.shard{shard:02}.health")),
             queue_depth: obs::BatchedRecorder::new(obs::histogram(&format!(
                 "ingest.shard{shard:02}.queue_depth"
             ))),
@@ -192,13 +276,14 @@ impl ShardObs {
 #[derive(Debug)]
 struct Lane {
     vehicle: u32,
-    buffer: ReorderBuffer<StreamItem>,
+    buffer: ReorderBuffer<Arrival>,
     pipeline: StreamingPipeline,
 }
 
 /// One shard: the lanes of the vehicles that hash to it.
 #[derive(Debug)]
 struct Shard {
+    index: usize,
     names: Vec<String>,
     cfg: IngestConfig,
     /// Lanes sorted by vehicle id for binary-search lookup.
@@ -206,19 +291,23 @@ struct Shard {
     stats: IngestStats,
     dead: Vec<DeadLetter>,
     obs: ShardObs,
+    /// Provenance of every alarm this shard emitted, pending drain.
+    provenance: Vec<AlarmProvenance>,
     /// Scratch for reorder-buffer releases, reused across items.
-    released: Vec<StreamItem>,
+    released: Vec<Arrival>,
 }
 
 impl Shard {
     fn new(index: usize, names: Vec<String>, cfg: IngestConfig) -> Self {
         Shard {
+            index,
             names,
             cfg,
             lanes: Vec::new(),
             stats: IngestStats::default(),
             dead: Vec::new(),
             obs: ShardObs::new(index),
+            provenance: Vec::new(),
             released: Vec::new(),
         }
     }
@@ -252,11 +341,13 @@ impl Shard {
 
     fn process(&mut self, item: StreamItem, alarms: &mut Vec<FleetAlarm>) {
         let metrics_on = obs::metrics_enabled();
+        let arrival_ns = obs::elapsed_ns();
         match &item.body {
             StreamBody::Record(row) => {
                 self.stats.records += 1;
                 if metrics_on {
                     self.obs.records.incr();
+                    self.obs.shard_records.incr();
                 }
                 let expected = self.names.len();
                 if row.len() != expected {
@@ -281,7 +372,7 @@ impl Shard {
         self.released.clear();
         let outcome = {
             let lane = &mut self.lanes[lane_i];
-            lane.buffer.push(item, &mut self.released)
+            lane.buffer.push(Arrival { item, arrival_ns }, &mut self.released)
         };
         match outcome {
             PushOutcome::Accepted { reordered } => {
@@ -321,17 +412,33 @@ impl Shard {
         self.released = released;
     }
 
-    fn feed(&mut self, lane_i: usize, item: &StreamItem, alarms: &mut Vec<FleetAlarm>) {
+    fn feed(&mut self, lane_i: usize, arrival: &Arrival, alarms: &mut Vec<FleetAlarm>) {
         let lane = &mut self.lanes[lane_i];
         self.stats.released += 1;
+        let item = &arrival.item;
         match &item.body {
             StreamBody::Maintenance { is_repair } => lane.pipeline.process_event(*is_repair),
             StreamBody::Record(row) => {
+                let release_ns = obs::elapsed_ns();
                 let raised = lane.pipeline.process_record(item.timestamp, row);
                 if !raised.is_empty() {
                     self.stats.alarms += raised.len() as u64;
                     if obs::metrics_enabled() {
                         self.obs.alarms.add(raised.len() as u64);
+                    }
+                    let emit_ns = obs::elapsed_ns();
+                    let watermark_ts = lane.buffer.watermark().unwrap_or(item.timestamp);
+                    for alarm in &raised {
+                        self.provenance.push(AlarmProvenance {
+                            vehicle: lane.vehicle,
+                            shard: self.index,
+                            alarm_timestamp: alarm.timestamp,
+                            channel_name: alarm.channel_name.clone(),
+                            watermark_ts,
+                            arrival_ns: arrival.arrival_ns,
+                            release_ns,
+                            emit_ns,
+                        });
                     }
                     alarms.extend(
                         raised.into_iter().map(|alarm| FleetAlarm { vehicle: lane.vehicle, alarm }),
@@ -365,6 +472,7 @@ impl Shard {
 pub struct ShardedIngest {
     router: ShardRouter,
     shards: Vec<Shard>,
+    health: Vec<ShardHealth>,
     finished: bool,
 }
 
@@ -374,8 +482,9 @@ impl ShardedIngest {
     pub fn new<S: AsRef<str>>(names: &[S], cfg: IngestConfig) -> Self {
         let names: Vec<String> = names.iter().map(|s| s.as_ref().to_string()).collect();
         let router = ShardRouter::new(cfg.n_shards);
+        let health = (0..cfg.n_shards).map(|_| ShardHealth::new(cfg.health)).collect();
         let shards = (0..cfg.n_shards).map(|i| Shard::new(i, names.clone(), cfg.clone())).collect();
-        ShardedIngest { router, shards, finished: false }
+        ShardedIngest { router, shards, health, finished: false }
     }
 
     /// Ingests one item inline (no fan-out). Returns any alarms raised by
@@ -445,6 +554,61 @@ impl ShardedIngest {
     /// Number of vehicles with live state, per shard.
     pub fn vehicles_per_shard(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.lanes.len()).collect()
+    }
+
+    /// Ticks every shard's health state machine against its current queue
+    /// depth and cumulative drop counters (the tracker deltas internally —
+    /// see [`crate::health`]). Call between batches at the snapshot
+    /// cadence. Updates the `ingest.shardNN.health` gauges when metrics
+    /// are on, emits one structured `ingest.health` event per transition
+    /// when events are on, and returns the transitions.
+    pub fn observe_health(&mut self) -> Vec<HealthTransition> {
+        let t_ns = obs::elapsed_ns();
+        let metrics_on = obs::metrics_enabled();
+        let mut transitions = Vec::new();
+        for (shard, tracker) in self.shards.iter_mut().zip(self.health.iter_mut()) {
+            let queue_depth: u64 = shard.lanes.iter().map(|l| l.buffer.len() as u64).sum();
+            let sample = HealthSample {
+                t_ns,
+                queue_depth,
+                records: shard.stats.records,
+                late_dropped: shard.stats.late_dropped,
+                dead_letter: shard.stats.dead_letter,
+            };
+            if let Some((from, to)) = tracker.observe(sample) {
+                transitions.push(HealthTransition { shard: shard.index, from, to });
+            }
+            if metrics_on {
+                shard.obs.health.set(tracker.state().gauge_value());
+            }
+        }
+        if obs::events_enabled() {
+            for tr in &transitions {
+                obs::emit(
+                    &obs::Event::new("ingest.health")
+                        .field("shard", tr.shard as u64)
+                        .field("from", tr.from.as_str())
+                        .field("to", tr.to.as_str()),
+                );
+            }
+        }
+        transitions
+    }
+
+    /// Current health state per shard (what the gauges show).
+    pub fn health_states(&self) -> Vec<HealthState> {
+        self.health.iter().map(|h| h.state()).collect()
+    }
+
+    /// Takes the provenance of every alarm emitted since the last drain
+    /// (arrival order within each shard, shards concatenated in index
+    /// order).
+    pub fn drain_provenance(&mut self) -> Vec<AlarmProvenance> {
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            out.append(&mut shard.provenance);
+        }
+        out
     }
 }
 
@@ -536,6 +700,139 @@ mod tests {
         let first = engine.finish();
         let second = engine.finish();
         assert!(second.is_empty(), "second finish must be a no-op, got {first:?}{second:?}");
+    }
+
+    /// One vehicle, two signals whose correlation breaks mid-stream so the
+    /// tiny pipeline must raise alarms.
+    fn breaking_items(n: usize) -> Vec<StreamItem> {
+        (0..n)
+            .map(|i| {
+                let x = (i as f64 * 0.31).sin() * 2.0 + 10.0;
+                let y = if i < 2 * n / 3 {
+                    2.0 * x + 1.0
+                } else {
+                    21.0 - (i as f64 * 0.77).cos() * 2.0
+                };
+                StreamItem {
+                    vehicle: 1,
+                    timestamp: i as i64 * 60,
+                    body: StreamBody::Record(vec![x, y]),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_alarm_carries_provenance() {
+        let mut engine = ShardedIngest::new(&["a", "b"], tiny_config(1));
+        let mut alarms = engine.ingest_batch(breaking_items(240));
+        alarms.extend(engine.finish());
+        assert!(!alarms.is_empty(), "the correlation break must alarm");
+        let prov = engine.drain_provenance();
+        assert_eq!(prov.len(), alarms.len(), "one provenance entry per alarm");
+        for (p, fa) in prov.iter().zip(&alarms) {
+            assert_eq!(p.vehicle, fa.vehicle);
+            assert_eq!(p.alarm_timestamp, fa.alarm.timestamp);
+            assert_eq!(p.channel_name, fa.alarm.channel_name);
+            assert_eq!(p.shard, 0);
+            assert!(p.release_ns >= p.arrival_ns, "buffer wait cannot be negative");
+            assert!(p.emit_ns >= p.release_ns, "pipeline time cannot be negative");
+            assert_eq!(p.total_ns(), p.buffer_wait_ns() + p.pipeline_ns());
+        }
+        assert!(engine.drain_provenance().is_empty(), "drain takes everything");
+    }
+
+    #[test]
+    fn provenance_is_identical_with_metrics_off_and_on() {
+        // Provenance is always-on; flipping metrics must not change what
+        // the journal sees (timestamps differ, shape and counts do not).
+        let was = obs::metrics_enabled();
+        obs::set_metrics_enabled(false);
+        let mut off = ShardedIngest::new(&["a", "b"], tiny_config(1));
+        let _ = off.ingest_batch(breaking_items(240));
+        let _ = off.finish();
+        obs::set_metrics_enabled(true);
+        let mut on = ShardedIngest::new(&["a", "b"], tiny_config(1));
+        let _ = on.ingest_batch(breaking_items(240));
+        let _ = on.finish();
+        obs::set_metrics_enabled(was);
+        let (a, b) = (off.drain_provenance(), on.drain_provenance());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.vehicle, x.alarm_timestamp), (y.vehicle, y.alarm_timestamp));
+        }
+    }
+
+    #[test]
+    fn clean_stream_health_stays_ok() {
+        let mut engine = ShardedIngest::new(&["a", "b"], tiny_config(2));
+        assert!(engine.observe_health().is_empty(), "arming tick");
+        let _ = engine.ingest_batch(synthetic_items(200));
+        assert!(engine.observe_health().is_empty());
+        let _ = engine.finish();
+        assert!(engine.observe_health().is_empty());
+        assert!(engine.health_states().iter().all(|s| *s == HealthState::Ok));
+    }
+
+    #[test]
+    fn late_drop_flood_escalates_one_level_at_a_time() {
+        let mut cfg = tiny_config(1);
+        cfg.health.worsen_ticks = 1;
+        cfg.health.improve_ticks = 1;
+        let mut engine = ShardedIngest::new(&["a", "b"], cfg);
+        // Drive the watermark far enough that t=400000 is *released* (the
+        // flood below must arrive behind the last released key), then arm
+        // the health tracker.
+        for t in [0i64, 400_000, 800_000] {
+            let _ = engine.ingest(StreamItem {
+                vehicle: 1,
+                timestamp: t,
+                body: StreamBody::Record(vec![1.0, 2.0]),
+            });
+        }
+        assert!(engine.observe_health().is_empty());
+        let flood = |engine: &mut ShardedIngest| {
+            for i in 0..200i64 {
+                // Far behind the watermark → every one is late-dropped at
+                // an enormous instantaneous rate.
+                let _ = engine.ingest(StreamItem {
+                    vehicle: 1,
+                    timestamp: 1 + i,
+                    body: StreamBody::Record(vec![1.0, 2.0]),
+                });
+            }
+        };
+        flood(&mut engine);
+        assert_eq!(
+            engine.observe_health(),
+            vec![HealthTransition { shard: 0, from: HealthState::Ok, to: HealthState::Degraded }],
+            "first escalation stops at Degraded even though the rate is stalled-level"
+        );
+        flood(&mut engine);
+        assert_eq!(
+            engine.observe_health(),
+            vec![HealthTransition {
+                shard: 0,
+                from: HealthState::Degraded,
+                to: HealthState::Stalled
+            }]
+        );
+        // Quiet interval → recovery, again one level per tick.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(
+            engine.observe_health(),
+            vec![HealthTransition {
+                shard: 0,
+                from: HealthState::Stalled,
+                to: HealthState::Degraded
+            }]
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(
+            engine.observe_health(),
+            vec![HealthTransition { shard: 0, from: HealthState::Degraded, to: HealthState::Ok }]
+        );
+        assert!(engine.stats().late_dropped >= 400, "the floods really were late-dropped");
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! Per-shard health state machine: `Ok / Degraded / Stalled` driven by
+//! rates computed over metric-snapshot-style deltas, with hysteresis.
+//!
+//! The inputs are the three signals that precede an ingest melt-down in
+//! practice: queue-depth growth (the shard is falling behind its feed),
+//! late-drop rate (the horizon is being blown, data is being lost) and
+//! dead-letter rate (the feed itself has gone bad). Each observation
+//! compares against the previous one — the same delta discipline as
+//! `obs::snapshot` — so the machine reasons about *rates*, not absolutes,
+//! and an old backlog that is draining reads as healthy.
+//!
+//! Rates are normalised **per record ingested**, not per wall-clock
+//! second: a replayed feed runs the same pipeline orders of magnitude
+//! faster than a live one, and per-second thresholds that are sane for a
+//! one-record-per-vehicle-per-minute deployment read every replay as an
+//! emergency. Fractions (late drops per arrival, net queue growth per
+//! accepted record) mean the same thing at both speeds.
+//!
+//! Two properties are load-bearing and proptested in `tests/props.rs`:
+//!
+//! * **No skips.** Transitions move one level at a time; `Ok → Stalled`
+//!   always passes through `Degraded`, so an operator watching the
+//!   transition log sees escalation, never teleportation.
+//! * **Hysteresis.** A state only changes after `worsen_ticks` (resp.
+//!   `improve_ticks`) *consecutive* observations pointing the same way, so
+//!   a single noisy sample cannot flap the gauge.
+
+/// Shard health, ordered by severity. The discriminants are the values
+/// exported on the `ingest.shardNN.health` gauge (0 = healthy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Keeping up: every rate below its degraded threshold.
+    Ok = 0,
+    /// Falling behind: some rate at or above its degraded threshold.
+    Degraded = 1,
+    /// Effectively not making progress: some rate at or above its stalled
+    /// threshold.
+    Stalled = 2,
+}
+
+impl HealthState {
+    /// Value exported on the health gauge.
+    pub fn gauge_value(self) -> u64 {
+        self as u64
+    }
+
+    /// Lowercase name for events and journals.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Ok => "ok",
+            HealthState::Degraded => "degraded",
+            HealthState::Stalled => "stalled",
+        }
+    }
+
+    fn one_step_toward(self, target: HealthState) -> HealthState {
+        use HealthState::*;
+        match (self, target) {
+            (Ok, Degraded) | (Ok, Stalled) => Degraded,
+            (Degraded, Stalled) => Stalled,
+            (Stalled, Degraded) | (Stalled, Ok) => Degraded,
+            (Degraded, Ok) => Ok,
+            (same, _) => same,
+        }
+    }
+}
+
+/// Per-record rate thresholds at which a shard *reaches* a level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthThresholds {
+    /// Net queue-depth growth per accepted record; 1.0 means everything
+    /// accepted in the interval is still sitting in the buffer. Negative
+    /// growth (draining) can never trip this.
+    pub queue_growth_per_record: f64,
+    /// Fraction of the interval's arrivals dropped as beyond-horizon.
+    pub late_drop_fraction: f64,
+    /// Fraction of the interval's arrivals dead-lettered.
+    pub dead_letter_fraction: f64,
+}
+
+impl HealthThresholds {
+    fn tripped(&self, r: &HealthRates) -> bool {
+        r.queue_growth_per_record >= self.queue_growth_per_record
+            || r.late_drop_fraction >= self.late_drop_fraction
+            || r.dead_letter_fraction >= self.dead_letter_fraction
+    }
+}
+
+/// Thresholds plus hysteresis for one shard's machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Rates at which the shard reads as degraded.
+    pub degraded: HealthThresholds,
+    /// Rates at which the shard reads as stalled.
+    pub stalled: HealthThresholds,
+    /// Consecutive worse-pointing observations before stepping up one
+    /// severity level (≥ 1).
+    pub worsen_ticks: u32,
+    /// Consecutive better-pointing observations before stepping down one
+    /// level (≥ 1). Larger than `worsen_ticks` by default: recovery should
+    /// be announced more cautiously than trouble.
+    pub improve_ticks: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> HealthPolicy {
+        HealthPolicy {
+            degraded: HealthThresholds {
+                queue_growth_per_record: 0.5,
+                late_drop_fraction: 0.05,
+                dead_letter_fraction: 0.05,
+            },
+            stalled: HealthThresholds {
+                queue_growth_per_record: 0.95,
+                late_drop_fraction: 0.5,
+                dead_letter_fraction: 0.5,
+            },
+            worsen_ticks: 2,
+            improve_ticks: 3,
+        }
+    }
+}
+
+/// Rates derived from two consecutive samples, normalised per record.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HealthRates {
+    /// Net queue growth per accepted record (negative while draining).
+    pub queue_growth_per_record: f64,
+    /// Late drops as a fraction of the interval's arrivals.
+    pub late_drop_fraction: f64,
+    /// Dead letters as a fraction of the interval's arrivals.
+    pub dead_letter_fraction: f64,
+}
+
+/// One observation of a shard: a monotonic timestamp, the instantaneous
+/// queue depth, and the *cumulative* progress/drop counters (the machine
+/// deltas them itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSample {
+    /// Monotonic nanoseconds (`obs::elapsed_ns` scale).
+    pub t_ns: u64,
+    /// Total items currently buffered across the shard's lanes.
+    pub queue_depth: u64,
+    /// Cumulative records accepted into the shard's lanes — the
+    /// normaliser that makes the rates replay-speed-independent.
+    pub records: u64,
+    /// Cumulative late-dropped count.
+    pub late_dropped: u64,
+    /// Cumulative dead-letter count.
+    pub dead_letter: u64,
+}
+
+/// The hysteresis core: folds a stream of *target* states (what the rates
+/// say right now) into actual single-step transitions.
+#[derive(Debug, Clone)]
+pub struct HealthFsm {
+    policy: HealthPolicy,
+    state: HealthState,
+    worse_streak: u32,
+    better_streak: u32,
+}
+
+impl HealthFsm {
+    /// A machine starting at [`HealthState::Ok`].
+    pub fn new(policy: HealthPolicy) -> HealthFsm {
+        HealthFsm { policy, state: HealthState::Ok, worse_streak: 0, better_streak: 0 }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Feeds one target state; returns `Some((from, to))` when the actual
+    /// state steps (always exactly one level).
+    pub fn observe(&mut self, target: HealthState) -> Option<(HealthState, HealthState)> {
+        use std::cmp::Ordering::*;
+        match target.cmp(&self.state) {
+            Equal => {
+                self.worse_streak = 0;
+                self.better_streak = 0;
+                None
+            }
+            Greater => {
+                self.worse_streak += 1;
+                self.better_streak = 0;
+                if self.worse_streak >= self.policy.worsen_ticks.max(1) {
+                    let from = self.state;
+                    self.state = self.state.one_step_toward(target);
+                    self.worse_streak = 0;
+                    Some((from, self.state))
+                } else {
+                    None
+                }
+            }
+            Less => {
+                self.better_streak += 1;
+                self.worse_streak = 0;
+                if self.better_streak >= self.policy.improve_ticks.max(1) {
+                    let from = self.state;
+                    self.state = self.state.one_step_toward(target);
+                    self.better_streak = 0;
+                    Some((from, self.state))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// One shard's health tracker: keeps the previous sample, derives rates,
+/// classifies them against the policy and runs them through the FSM.
+#[derive(Debug, Clone)]
+pub struct ShardHealth {
+    policy: HealthPolicy,
+    fsm: HealthFsm,
+    prev: Option<HealthSample>,
+    last_rates: HealthRates,
+}
+
+impl ShardHealth {
+    /// A tracker starting at `Ok` with no history.
+    pub fn new(policy: HealthPolicy) -> ShardHealth {
+        ShardHealth {
+            policy,
+            fsm: HealthFsm::new(policy),
+            prev: None,
+            last_rates: HealthRates::default(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.fsm.state()
+    }
+
+    /// Rates derived at the last observation (zeros before the second one).
+    pub fn last_rates(&self) -> HealthRates {
+        self.last_rates
+    }
+
+    /// What the given rates ask for under this tracker's policy, before
+    /// hysteresis.
+    pub fn classify(&self, rates: &HealthRates) -> HealthState {
+        if self.policy.stalled.tripped(rates) {
+            HealthState::Stalled
+        } else if self.policy.degraded.tripped(rates) {
+            HealthState::Degraded
+        } else {
+            HealthState::Ok
+        }
+    }
+
+    /// Feeds one sample. The first sample only arms the tracker; empty or
+    /// backwards intervals are ignored (monotonic clocks don't go back,
+    /// but a caller replaying journals might). Returns the transition, if
+    /// this observation caused one.
+    pub fn observe(&mut self, sample: HealthSample) -> Option<(HealthState, HealthState)> {
+        let Some(prev) = self.prev else {
+            self.prev = Some(sample);
+            return None;
+        };
+        let dt_ns = sample.t_ns.saturating_sub(prev.t_ns);
+        if dt_ns == 0 {
+            return None;
+        }
+        let d_records = sample.records.saturating_sub(prev.records) as f64;
+        let d_late = sample.late_dropped.saturating_sub(prev.late_dropped) as f64;
+        let d_dead = sample.dead_letter.saturating_sub(prev.dead_letter) as f64;
+        let rates = HealthRates {
+            queue_growth_per_record: (sample.queue_depth as f64 - prev.queue_depth as f64)
+                / d_records.max(1.0),
+            late_drop_fraction: d_late / (d_late + d_records).max(1.0),
+            dead_letter_fraction: d_dead / (d_dead + d_records).max(1.0),
+        };
+        self.prev = Some(sample);
+        self.last_rates = rates;
+        let target = self.classify(&rates);
+        self.fsm.observe(target)
+    }
+}
+
+/// A state change on one shard, as returned by
+/// `ShardedIngest::observe_health`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// Shard index.
+    pub shard: usize,
+    /// State before.
+    pub from: HealthState,
+    /// State after (always exactly one level away from `from`).
+    pub to: HealthState,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_policy() -> HealthPolicy {
+        HealthPolicy { worsen_ticks: 1, improve_ticks: 1, ..HealthPolicy::default() }
+    }
+
+    #[test]
+    fn fsm_never_skips_a_level() {
+        let mut fsm = HealthFsm::new(quick_policy());
+        let tr = fsm.observe(HealthState::Stalled).expect("one tick suffices here");
+        assert_eq!(tr, (HealthState::Ok, HealthState::Degraded), "Ok must pass through Degraded");
+        let tr = fsm.observe(HealthState::Stalled).expect("second step");
+        assert_eq!(tr, (HealthState::Degraded, HealthState::Stalled));
+        // And back down: Stalled → Degraded → Ok, one level per tick.
+        assert_eq!(
+            fsm.observe(HealthState::Ok),
+            Some((HealthState::Stalled, HealthState::Degraded))
+        );
+        assert_eq!(fsm.observe(HealthState::Ok), Some((HealthState::Degraded, HealthState::Ok)));
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_ticks() {
+        let policy = HealthPolicy { worsen_ticks: 2, improve_ticks: 3, ..HealthPolicy::default() };
+        let mut fsm = HealthFsm::new(policy);
+        assert_eq!(fsm.observe(HealthState::Degraded), None, "first worse tick arms only");
+        assert_eq!(fsm.observe(HealthState::Ok), None, "an Ok tick resets the streak");
+        assert_eq!(fsm.observe(HealthState::Degraded), None);
+        assert_eq!(
+            fsm.observe(HealthState::Degraded),
+            Some((HealthState::Ok, HealthState::Degraded)),
+            "two consecutive worse ticks step up"
+        );
+        // Recovery needs three consecutive better ticks.
+        assert_eq!(fsm.observe(HealthState::Ok), None);
+        assert_eq!(fsm.observe(HealthState::Ok), None);
+        assert_eq!(fsm.observe(HealthState::Degraded), None, "streak broken");
+        assert_eq!(fsm.observe(HealthState::Ok), None);
+        assert_eq!(fsm.observe(HealthState::Ok), None);
+        assert_eq!(fsm.observe(HealthState::Ok), Some((HealthState::Degraded, HealthState::Ok)));
+    }
+
+    #[test]
+    fn rates_are_deltas_not_absolutes() {
+        let mut h = ShardHealth::new(quick_policy());
+        // Arm with a big existing backlog and big cumulative counters.
+        assert_eq!(
+            h.observe(HealthSample {
+                t_ns: 0,
+                queue_depth: 10_000,
+                records: 50_000,
+                late_dropped: 9999,
+                dead_letter: 9999
+            }),
+            None
+        );
+        // One interval later everything is flat → all rates ≤ 0 → Ok stays.
+        let tr = h.observe(HealthSample {
+            t_ns: 1_000_000_000,
+            queue_depth: 9_000,
+            records: 51_000,
+            late_dropped: 9999,
+            dead_letter: 9999,
+        });
+        assert_eq!(tr, None);
+        assert_eq!(h.state(), HealthState::Ok);
+        assert!(h.last_rates().queue_growth_per_record < 0.0, "draining reads as negative growth");
+    }
+
+    #[test]
+    fn rates_are_replay_speed_independent() {
+        // The same interval (1000 records, 20 late drops, flat queue)
+        // classifies identically whether it took a second or a millisecond.
+        for dt_ns in [1_000_000_000u64, 1_000_000] {
+            let mut h = ShardHealth::new(quick_policy());
+            let arm = HealthSample {
+                t_ns: 1,
+                queue_depth: 30,
+                records: 0,
+                late_dropped: 0,
+                dead_letter: 0,
+            };
+            assert_eq!(h.observe(arm), None);
+            let tr = h.observe(HealthSample {
+                t_ns: 1 + dt_ns,
+                queue_depth: 30,
+                records: 1000,
+                late_dropped: 20,
+                dead_letter: 0,
+            });
+            assert_eq!(tr, None, "2% late drops is below the 5% degraded threshold");
+            assert_eq!(h.state(), HealthState::Ok);
+            assert!((h.last_rates().late_drop_fraction - 20.0 / 1020.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sustained_late_drops_degrade_then_recover() {
+        let mut h = ShardHealth::new(HealthPolicy {
+            worsen_ticks: 2,
+            improve_ticks: 2,
+            ..HealthPolicy::default()
+        });
+        let mut t = 0u64;
+        let mut late = 0u64;
+        let mut records = 0u64;
+        let mut step = |h: &mut ShardHealth, d_late: u64| {
+            t += 1_000_000_000;
+            late += d_late;
+            records += 100;
+            h.observe(HealthSample {
+                t_ns: t,
+                queue_depth: 0,
+                records,
+                late_dropped: late,
+                dead_letter: 0,
+            })
+        };
+        assert_eq!(step(&mut h, 0), None, "arming sample");
+        assert_eq!(step(&mut h, 50), None, "first bad tick arms the streak");
+        assert_eq!(
+            step(&mut h, 50),
+            Some((HealthState::Ok, HealthState::Degraded)),
+            "50 late of 150 arrivals = 33% ≥ degraded threshold of 5%"
+        );
+        assert_eq!(step(&mut h, 0), None);
+        assert_eq!(step(&mut h, 0), Some((HealthState::Degraded, HealthState::Ok)));
+    }
+
+    #[test]
+    fn zero_interval_is_ignored() {
+        let mut h = ShardHealth::new(quick_policy());
+        let s =
+            HealthSample { t_ns: 5, queue_depth: 0, records: 0, late_dropped: 0, dead_letter: 0 };
+        assert_eq!(h.observe(s), None);
+        assert_eq!(h.observe(s), None, "dt=0 cannot produce rates");
+        assert_eq!(h.state(), HealthState::Ok);
+    }
+
+    #[test]
+    fn gauge_values_are_severity_ordered() {
+        assert_eq!(HealthState::Ok.gauge_value(), 0);
+        assert_eq!(HealthState::Degraded.gauge_value(), 1);
+        assert_eq!(HealthState::Stalled.gauge_value(), 2);
+        assert!(HealthState::Ok < HealthState::Degraded);
+        assert!(HealthState::Degraded < HealthState::Stalled);
+        assert_eq!(HealthState::Stalled.as_str(), "stalled");
+    }
+}

@@ -24,11 +24,17 @@
 //! release-rule argument itself is in the [`reorder`] module docs.
 
 pub mod engine;
+pub mod health;
 pub mod reorder;
 pub mod router;
 
 pub use engine::{
-    DeadLetter, DeadLetterReason, FleetAlarm, IngestConfig, IngestStats, ShardedIngest,
+    AlarmProvenance, DeadLetter, DeadLetterReason, FleetAlarm, IngestConfig, IngestStats,
+    ShardedIngest,
+};
+pub use health::{
+    HealthFsm, HealthPolicy, HealthRates, HealthSample, HealthState, HealthThresholds,
+    HealthTransition, ShardHealth,
 };
 pub use reorder::{PushOutcome, ReorderBuffer, ReorderStats, SeqKey, Sequenced};
 pub use router::ShardRouter;

@@ -188,9 +188,15 @@ impl<T: Sequenced> ReorderBuffer<T> {
         self.stats
     }
 
+    /// The current release watermark in event-time seconds (maximum
+    /// observed timestamp minus the horizon); `None` before any arrival.
+    /// Items at or before the watermark are released by the next drain.
+    pub fn watermark(&self) -> Option<i64> {
+        self.max_ts.map(|m| m - self.horizon)
+    }
+
     fn drain_ready(&mut self, out: &mut Vec<T>) {
-        let watermark = self.max_ts.map(|m| m - self.horizon);
-        if let Some(w) = watermark {
+        if let Some(w) = self.watermark() {
             while self.buf.front().is_some_and(|f| f.key().timestamp <= w) {
                 let Some(item) = self.buf.pop_front() else { break };
                 self.release(item, out);

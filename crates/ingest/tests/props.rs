@@ -201,3 +201,60 @@ proptest! {
         prop_assert_eq!(engine.stats().dead_letter, 0);
     }
 }
+
+// ---- health state machine (ops plane) ----------------------------------
+
+proptest! {
+    /// Whatever target sequence the rates produce, the FSM only ever moves
+    /// one severity level per observation — `Ok` can never jump straight
+    /// to `Stalled` — and every reported transition matches the actual
+    /// state evolution.
+    #[test]
+    fn health_fsm_never_skips_levels(
+        targets in prop::collection::vec(0u8..3, 1..200),
+        worsen in 1u32..4,
+        improve in 1u32..4,
+    ) {
+        use navarchos_ingest::{HealthFsm, HealthPolicy, HealthState};
+        let to_state = |v: u8| match v {
+            0 => HealthState::Ok,
+            1 => HealthState::Degraded,
+            _ => HealthState::Stalled,
+        };
+        let policy = HealthPolicy { worsen_ticks: worsen, improve_ticks: improve, ..HealthPolicy::default() };
+        let mut fsm = HealthFsm::new(policy);
+        let mut prev = fsm.state();
+        prop_assert_eq!(prev, HealthState::Ok, "machines start healthy");
+        for &t in &targets {
+            let transition = fsm.observe(to_state(t));
+            let now = fsm.state();
+            if let Some((from, to)) = transition {
+                prop_assert_eq!(from, prev, "transition must start at the previous state");
+                prop_assert_eq!(to, now, "transition must land on the current state");
+                let gap = (from.gauge_value() as i64 - to.gauge_value() as i64).abs();
+                prop_assert_eq!(gap, 1, "exactly one severity level per step: {:?}->{:?}", from, to);
+            } else {
+                prop_assert_eq!(now, prev, "no transition reported, no state change allowed");
+            }
+            prev = now;
+        }
+    }
+
+    /// Hysteresis: fewer than `worsen_ticks` consecutive worse
+    /// observations never change the state, no matter how they are
+    /// interleaved with equal-state observations.
+    #[test]
+    fn health_fsm_hysteresis_holds(worsen in 2u32..5, bursts in prop::collection::vec(1u32..5, 1..20)) {
+        use navarchos_ingest::{HealthFsm, HealthPolicy, HealthState};
+        let policy = HealthPolicy { worsen_ticks: worsen, improve_ticks: 3, ..HealthPolicy::default() };
+        let mut fsm = HealthFsm::new(policy);
+        for &burst in &bursts {
+            // A burst shorter than the threshold, then a resetting Ok tick.
+            for _ in 0..burst.min(worsen - 1) {
+                prop_assert_eq!(fsm.observe(HealthState::Degraded), None);
+            }
+            prop_assert_eq!(fsm.observe(HealthState::Ok), None);
+            prop_assert_eq!(fsm.state(), HealthState::Ok, "sub-threshold bursts must not flip the state");
+        }
+    }
+}

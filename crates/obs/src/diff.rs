@@ -250,6 +250,9 @@ pub fn diff_manifests(current: &Json, baseline: &Json, cfg: &DiffConfig) -> Diff
             ("mean", Direction::LowerBetter, cfg.time_tol_pct),
             ("p50", Direction::LowerBetter, cfg.time_tol_pct),
             ("p99", Direction::LowerBetter, cfg.time_tol_pct),
+            // Additive in v2 manifests: absent from older baselines, where
+            // evaluate() downgrades the probe to a "new in current" note.
+            ("p999", Direction::LowerBetter, cfg.time_tol_pct),
         ] {
             probes.push(Probe {
                 key: format!("histograms.{name}.{field}"),
@@ -362,7 +365,7 @@ pub fn diff_timings(current: &Json, baseline: &Json, cfg: &DiffConfig) -> DiffRe
         if !cur_hists.contains(&name) {
             continue;
         }
-        for field in ["mean", "p50", "p99"] {
+        for field in ["mean", "p50", "p99", "p999"] {
             let (c, b) = (hist_value(current, &name, field), hist_value(baseline, &name, field));
             if both(c, b) {
                 probes.push(Probe {

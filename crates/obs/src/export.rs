@@ -1,0 +1,321 @@
+//! Prometheus-text-format exposition of metric snapshots, plus the tiny
+//! blocking scrape server behind `--metrics-addr` — the first wire into the
+//! process and the groundwork for the ROADMAP's network serving front.
+//!
+//! Deliberately minimal: one `std::net::TcpListener`, one accept thread,
+//! connections handled sequentially (concurrency is bounded at 1 by
+//! construction), HTTP/1.0-style close-delimited responses. Scrapers get
+//! the *latest ring snapshot* — rendering never walks the live registry, so
+//! a scrape storm cannot touch the hot path. [`parse_exposition`] is the
+//! inverse of [`render_prometheus`] for the `top` client and the loopback
+//! tests.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::{self, Counter};
+use crate::snapshot::{MetricsSnapshot, SnapshotRing};
+
+/// Quantiles exposed per histogram (as a Prometheus summary).
+pub const SUMMARY_QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Maps a registry metric name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and any other illegal byte become
+/// underscores, and a leading digit gets a `_` prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format (version
+/// 0.0.4): counters and gauges verbatim, histograms as summaries with
+/// [`SUMMARY_QUANTILES`] plus `_sum`/`_count`.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# navarchos ops-plane snapshot at t_ns={}\n", snap.t_ns));
+    for (name, value) in &snap.counters {
+        let n = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let n = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        for q in SUMMARY_QUANTILES {
+            out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", h.quantile(q)));
+        }
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+    }
+    out
+}
+
+/// One parsed exposition line: name, `{label="value"}` pairs, sample value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sanitized metric name as exposed.
+    pub name: String,
+    /// Label pairs, in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parses Prometheus text exposition back into samples. Comment (`#`) and
+/// blank lines are skipped; any other malformed line is an error carrying
+/// its 1-based line number, so the loopback test fails loudly on drift
+/// between renderer and parser.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, value) = line
+            .rsplit_once(|c: char| c.is_ascii_whitespace())
+            .ok_or(format!("line {line_no}: expected `name value`"))?;
+        let value: f64 =
+            value.parse().map_err(|e| format!("line {line_no}: bad value `{value}`: {e}"))?;
+        let head = head.trim();
+        let (name, labels) = match head.split_once('{') {
+            None => (head.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or(format!("line {line_no}: unterminated label set"))?;
+                let mut labels = Vec::new();
+                for pair in body.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) =
+                        pair.split_once('=').ok_or(format!("line {line_no}: label without `=`"))?;
+                    let v = v
+                        .trim()
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or(format!("line {line_no}: label value must be quoted"))?;
+                    labels.push((k.trim().to_string(), v.to_string()));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        if name.is_empty() {
+            return Err(format!("line {line_no}: empty metric name"));
+        }
+        out.push(Sample { name, labels, value });
+    }
+    Ok(out)
+}
+
+/// How long a single connection may take to send its request or accept the
+/// response before the server gives up on it.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Largest request the server will buffer before answering anyway.
+const MAX_REQUEST_BYTES: usize = 4096;
+
+/// The scrape server: a single accept thread serving the ring's latest
+/// snapshot. Created by [`serve_metrics`]; dropping it stops the thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address — useful when the caller asked for port 0.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        // Relaxed: standalone stop flag; the join below synchronises.
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn scrapes_counter() -> &'static Arc<Counter> {
+    static SCRAPES: OnceLock<Arc<Counter>> = OnceLock::new();
+    SCRAPES.get_or_init(|| metrics::counter("obs.scrapes"))
+}
+
+fn handle_connection(mut stream: TcpStream, ring: &SnapshotRing) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    // Drain the request line + headers (close-delimited HTTP/1.0 style);
+    // the path is ignored — everything is the metrics page.
+    let mut buf = [0u8; 512];
+    let mut req: Vec<u8> = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&buf[..n]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n")
+                    || req.windows(2).any(|w| w == b"\n\n")
+                    || req.len() >= MAX_REQUEST_BYTES
+                {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    scrapes_counter().incr();
+    let body = match ring.latest() {
+        Some(snap) => render_prometheus(&snap),
+        // A scrape before the first sampler tick still answers — with a
+        // fresh snapshot taken on the spot — so probes can't race the ring.
+        None => render_prometheus(&crate::snapshot::take_snapshot()),
+    };
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9464`; port 0 picks a free port) and
+/// serves the latest snapshot from `ring` to every connection until the
+/// returned [`MetricsServer`] is dropped. Binding errors surface to the
+/// caller — a requested-but-dead endpoint must be loud, not silent.
+pub fn serve_metrics(addr: &str, ring: Arc<SnapshotRing>) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle =
+        std::thread::Builder::new().name("obs-metrics-server".into()).spawn(move || {
+            // Relaxed: standalone stop flag; worst case one extra 10 ms nap.
+            while !thread_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        // Handled inline on this thread: one connection at a
+                        // time is the whole bounded-concurrency story.
+                        let _ = stream.set_nonblocking(false);
+                        handle_connection(stream, &ring);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        })?;
+    Ok(MetricsServer { addr: local, stop, handle: Some(handle) })
+}
+
+/// Scrapes `addr` once and returns the exposition body (status line and
+/// headers stripped). The client half of the loopback tests and `top`.
+pub fn scrape(addr: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .or_else(|| raw.split_once("\n\n"))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body split"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("scrape got non-200 status `{status}`"),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut counters = BTreeMap::new();
+        counters.insert("ingest.records".to_string(), 1234u64);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("ingest.shard00.health".to_string(), 1u64);
+        let mut histograms = BTreeMap::new();
+        let mut h = crate::metrics::HistogramSnapshot::empty();
+        for v in [5u64, 50, 500] {
+            if let Some(slot) = h.counts.get_mut(crate::metrics::bucket_index(v)) {
+                *slot += 1;
+            }
+            h.count += 1;
+            h.sum += v;
+            h.min = h.min.min(v);
+            h.max = h.max.max(v);
+        }
+        histograms.insert("alarm.latency_ns".to_string(), h);
+        MetricsSnapshot { t_ns: 42, counters, gauges, histograms }
+    }
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize_metric_name("ingest.shard00.health"), "ingest_shard00_health");
+        assert_eq!(sanitize_metric_name("span.scoring"), "span_scoring");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let snap = sample_snapshot();
+        let text = render_prometheus(&snap);
+        let samples = parse_exposition(&text).expect("own output must parse");
+        let by_name = |n: &str| samples.iter().filter(|s| s.name == n).collect::<Vec<_>>();
+        assert_eq!(by_name("ingest_records")[0].value, 1234.0);
+        assert_eq!(by_name("ingest_shard00_health")[0].value, 1.0);
+        let q = by_name("alarm_latency_ns");
+        assert_eq!(q.len(), SUMMARY_QUANTILES.len());
+        assert_eq!(q[0].labels, vec![("quantile".to_string(), "0.5".to_string())]);
+        assert_eq!(by_name("alarm_latency_ns_count")[0].value, 3.0);
+        assert_eq!(by_name("alarm_latency_ns_sum")[0].value, 555.0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_exposition("just_a_name\n").is_err());
+        assert!(parse_exposition("x{unterminated 1\n").is_err());
+        assert!(parse_exposition("x NaNope\n").is_err());
+        assert!(parse_exposition("# comment only\n\n").expect("comments ok").is_empty());
+    }
+
+    #[test]
+    fn loopback_scrape_serves_the_latest_ring_snapshot() {
+        let ring = Arc::new(SnapshotRing::new(4));
+        ring.push(sample_snapshot());
+        let server = serve_metrics("127.0.0.1:0", Arc::clone(&ring)).expect("bind loopback");
+        let addr = server.addr().to_string();
+        let body = scrape(&addr).expect("scrape own server");
+        assert_eq!(body, render_prometheus(&ring.latest().expect("pushed")));
+        // Every line parses back; the scrape counter moved.
+        let samples = parse_exposition(&body).expect("parseable");
+        assert!(samples.iter().any(|s| s.name == "ingest_records"));
+        drop(server);
+        assert!(scrape(&addr).is_err(), "dropped server must stop answering");
+    }
+}

@@ -32,27 +32,39 @@
 //! [`json`] (value/writer/parser) → [`event`] (NDJSON encode/decode) →
 //! [`sink`] (null / stderr / NDJSON file) → [`metrics`] (registry) →
 //! [`span`] (RAII timing) → [`manifest`] (per-run JSON document) →
-//! [`flame`] (trace → folded stacks) → [`diff`] (manifest regression diff).
+//! [`flame`] (trace → folded stacks) → [`diff`] (manifest regression diff) →
+//! [`snapshot`] (periodic registry snapshots + deltas) → [`export`]
+//! (Prometheus text exposition + scrape endpoint).
 
 pub mod diff;
 pub mod event;
+pub mod export;
 pub mod flame;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod sink;
+pub mod snapshot;
 pub mod span;
 
 pub use diff::{diff_manifests, diff_timings, DiffConfig, DiffReport};
 pub use event::{encode_ndjson, parse_line, Event};
+pub use export::{
+    parse_exposition, render_prometheus, sanitize_metric_name, scrape, serve_metrics,
+    MetricsServer, Sample,
+};
 pub use flame::{fold_spans, fold_trace, render_folded, SpanClose};
 pub use json::Json;
 pub use manifest::{stage_clock, Manifest, StageClock};
 pub use metrics::{
-    counter, histogram, probe_sample_mask, set_probe_sample_shift, BatchedRecorder, Counter,
-    Histogram,
+    counter, gauge, histogram, probe_sample_mask, set_probe_sample_shift, BatchedRecorder, Counter,
+    Gauge, Histogram,
 };
 pub use sink::{NdjsonSink, NullSink, Sink, StderrSink};
+pub use snapshot::{
+    delta, start_sampler, take_snapshot, CounterDelta, MetricsSnapshot, SamplerGuard,
+    SnapshotDelta, SnapshotRing,
+};
 pub use span::{current_span_id, span, span_child_of, Span};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -103,6 +103,30 @@ impl Counter {
     }
 }
 
+/// A last-value-wins instantaneous reading (health states, queue levels).
+/// Unlike a [`Counter`] the value may move in either direction, so deltas
+/// between snapshots of a gauge carry no monotonicity guarantee.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Replaces the reading.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        // Relaxed: a standalone last-value slot; nothing is published
+        // through it and readers tolerate a stale reading by design.
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current reading.
+    pub fn get(&self) -> u64 {
+        // Relaxed: point-in-time read of an independent slot.
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
 /// One shard of a histogram. `min` starts at `u64::MAX` so the first
 /// recorded value wins `fetch_min` unconditionally.
 #[derive(Debug)]
@@ -354,6 +378,7 @@ impl HistogramSnapshot {
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -375,6 +400,13 @@ pub fn counter(name: &str) -> Arc<Counter> {
     Arc::clone(map.entry(name.to_string()).or_default())
 }
 
+/// Returns (creating on first use) the gauge named `name`. Cache the
+/// handle at call sites on hot paths.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut map = recover(registry().gauges.lock());
+    Arc::clone(map.entry(name.to_string()).or_default())
+}
+
 /// Returns (creating on first use) the histogram named `name`. Cache the
 /// handle at call sites on hot paths.
 pub fn histogram(name: &str) -> Arc<Histogram> {
@@ -387,6 +419,8 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
 pub struct RegistrySnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge readings by name.
+    pub gauges: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -396,11 +430,13 @@ pub struct RegistrySnapshot {
 pub fn snapshot() -> RegistrySnapshot {
     let counters =
         recover(registry().counters.lock()).iter().map(|(k, v)| (k.clone(), v.get())).collect();
+    let gauges =
+        recover(registry().gauges.lock()).iter().map(|(k, v)| (k.clone(), v.get())).collect();
     let histograms = recover(registry().histograms.lock())
         .iter()
         .map(|(k, v)| (k.clone(), v.snapshot()))
         .collect();
-    RegistrySnapshot { counters, histograms }
+    RegistrySnapshot { counters, gauges, histograms }
 }
 
 #[cfg(test)]
@@ -530,5 +566,16 @@ mod tests {
         assert_eq!(snap.counters.get("test.metrics.snap_counter"), Some(&3));
         let h = snap.histograms.get("test.metrics.snap_hist").expect("registered");
         assert!(h.count >= 1);
+    }
+
+    #[test]
+    fn gauge_is_last_value_wins_and_snapshotted() {
+        let g = gauge("test.metrics.snap_gauge");
+        g.set(7);
+        g.set(2); // moves down, unlike a counter
+        assert_eq!(g.get(), 2);
+        let snap = snapshot();
+        assert_eq!(snap.gauges.get("test.metrics.snap_gauge"), Some(&2));
+        assert!(Arc::ptr_eq(&g, &gauge("test.metrics.snap_gauge")));
     }
 }

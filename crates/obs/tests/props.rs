@@ -338,3 +338,102 @@ fn out_of_order_drop_keeps_stack_sound() {
     drop(b);
     assert_eq!(current_depth(), base);
 }
+
+// ---- snapshot deltas (ops plane) ---------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Counter deltas between two snapshots are non-negative regardless of
+    /// the raw values on either side (monotone counters saturate at 0).
+    #[test]
+    fn snapshot_counter_deltas_are_non_negative(
+        pairs in prop::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 1..24),
+        dt in 0u64..10_000_000_000,
+    ) {
+        use navarchos_obs::snapshot::{delta, MetricsSnapshot};
+        let mut older = MetricsSnapshot { t_ns: 0, ..Default::default() };
+        let mut newer = MetricsSnapshot { t_ns: dt, ..Default::default() };
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            older.counters.insert(format!("c{i}"), *a);
+            newer.counters.insert(format!("c{i}"), *b);
+        }
+        let d = delta(&older, &newer);
+        for (name, cd) in &d.counters {
+            prop_assert!(cd.rate_per_s >= 0.0, "{name} rate went negative");
+            let (a, b) = (older.counters[name], newer.counters[name]);
+            prop_assert_eq!(cd.delta, b.saturating_sub(a), "{} delta mismatch", name);
+        }
+        // dt also saturates: reversing the snapshots still yields no
+        // negative interval and no negative deltas.
+        let r = delta(&newer, &older);
+        prop_assert!(r.counters.values().all(|cd| cd.rate_per_s >= 0.0));
+    }
+
+    /// A ring never exceeds its capacity and always keeps the most recent
+    /// snapshots in push order.
+    #[test]
+    fn snapshot_ring_is_bounded(cap in 2usize..16, n in 0usize..64) {
+        use navarchos_obs::snapshot::{MetricsSnapshot, SnapshotRing};
+        let ring = SnapshotRing::new(cap);
+        for t in 0..n as u64 {
+            ring.push(MetricsSnapshot { t_ns: t, ..Default::default() });
+        }
+        prop_assert!(ring.len() <= cap);
+        prop_assert_eq!(ring.len(), n.min(cap));
+        if n > 0 {
+            prop_assert_eq!(ring.latest().unwrap().t_ns, n as u64 - 1);
+        }
+        if n >= 2 {
+            let (older, newer) = ring.latest_pair().unwrap();
+            prop_assert_eq!(older.t_ns + 1, newer.t_ns);
+        }
+    }
+
+    /// render_prometheus output always parses back, and every counter and
+    /// gauge survives the round trip by sanitized name and exact value.
+    #[test]
+    fn exposition_round_trips(
+        counter_vals in prop::collection::vec(0u64..u64::MAX / 2, 0..12),
+        gauge_vals in prop::collection::vec(0u64..1_000_000, 0..8),
+        hist_vals in prop::collection::vec(0u64..1_000_000_000, 0..40),
+    ) {
+        use navarchos_obs::metrics::Histogram;
+        use navarchos_obs::snapshot::MetricsSnapshot;
+        use navarchos_obs::{parse_exposition, render_prometheus, sanitize_metric_name};
+        let mut snap = MetricsSnapshot { t_ns: 1, ..Default::default() };
+        for (i, v) in counter_vals.iter().enumerate() {
+            snap.counters.insert(format!("ops.test.counter{i:02}"), *v);
+        }
+        for (i, v) in gauge_vals.iter().enumerate() {
+            snap.gauges.insert(format!("ops.test.gauge{i:02}"), *v);
+        }
+        if !hist_vals.is_empty() {
+            let h = Histogram::new();
+            for v in &hist_vals {
+                h.record(*v);
+            }
+            snap.histograms.insert("ops.test.latency_ns".to_string(), h.snapshot());
+        }
+        let text = render_prometheus(&snap);
+        let samples = parse_exposition(&text).expect("renderer output must parse");
+        for (name, v) in snap.counters.iter().chain(snap.gauges.iter()) {
+            let sane = sanitize_metric_name(name);
+            prop_assert!(
+                samples.iter().any(|s| s.name == sane && s.value == *v as f64),
+                "{name} ({sane}) lost in round trip"
+            );
+        }
+        if !hist_vals.is_empty() {
+            let count = samples
+                .iter()
+                .find(|s| s.name == "ops_test_latency_ns_count")
+                .expect("summary count line");
+            prop_assert_eq!(count.value, hist_vals.len() as f64);
+            let quantiles: Vec<_> =
+                samples.iter().filter(|s| s.name == "ops_test_latency_ns").collect();
+            prop_assert_eq!(quantiles.len(), 3, "one line per summary quantile");
+            prop_assert!(quantiles.iter().all(|s| s.labels.len() == 1));
+        }
+    }
+}

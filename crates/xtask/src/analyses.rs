@@ -3,7 +3,7 @@
 //!
 //! | id  | rule |
 //! |-----|------|
-//! | L8  | every `counter`/`histogram`/`span` name used in `crates/*/src` must be declared in the metric registry file, and vice versa |
+//! | L8  | every `counter`/`gauge`/`histogram`/`span` name used in `crates/*/src` must be declared in the metric registry file, and vice versa |
 //! | L9  | every `Ordering::*` use carries a `//` justification (same line or line above); read-modify-write with `Relaxed` is waiver-only |
 //! | L10 | registered kernel roots must not reach an allocation (`Vec::new`, `vec!`, `to_vec`, `clone`, `format!`, `Box::new`, `collect`, …) through any call path |
 //! | L11 | registered kernel roots must not reach `unwrap`/`expect`/`panic!`-family macros or unchecked indexing through any call path |
@@ -26,7 +26,7 @@ use crate::SourceFile;
 /// wildcards for families minted through a `format!` template.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricEntry {
-    /// `counter`, `histogram` or `span`.
+    /// `counter`, `gauge`, `histogram` or `span`.
     pub kind: String,
     /// Declared name or wildcard pattern.
     pub name: String,
@@ -44,9 +44,10 @@ pub fn parse_registry(text: &str) -> Result<Vec<MetricEntry>, String> {
      -> Result<(), String> {
         if let Some((at_line, kind, name)) = cur.take() {
             let kind = kind.ok_or(format!("registry entry at line {at_line} missing `kind`"))?;
-            if !matches!(kind.as_str(), "counter" | "histogram" | "span") {
+            if !matches!(kind.as_str(), "counter" | "gauge" | "histogram" | "span") {
                 return Err(format!(
-                    "registry entry at line {at_line}: kind `{kind}` is not counter/histogram/span"
+                    "registry entry at line {at_line}: kind `{kind}` is not \
+                     counter/gauge/histogram/span"
                 ));
             }
             let name = name.ok_or(format!("registry entry at line {at_line} missing `name`"))?;
@@ -149,8 +150,9 @@ struct MetricUse {
     line: u32,
 }
 
-/// Collects `counter("..")` / `histogram("..")` / `span("..")` /
-/// `span_child_of("..")` sites from one file's test-stripped tokens.
+/// Collects `counter("..")` / `gauge("..")` / `histogram("..")` /
+/// `span("..")` / `span_child_of("..")` sites from one file's test-stripped
+/// tokens.
 fn metric_uses(f: &SourceFile) -> Vec<MetricUse> {
     let toks = &f.lib_toks;
     let mut out = Vec::new();
@@ -160,6 +162,7 @@ fn metric_uses(f: &SourceFile) -> Vec<MetricUse> {
         }
         let kind = match t.text.as_str() {
             "counter" => "counter",
+            "gauge" => "gauge",
             "histogram" => "histogram",
             "span" | "span_child_of" => "span",
             _ => continue,
@@ -506,7 +509,8 @@ mod tests {
         .expect("parses");
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].kind, "counter");
-        assert!(parse_registry("[[metric]]\nkind = \"gauge\"\nname = \"x\"\n").is_err());
+        assert!(parse_registry("[[metric]]\nkind = \"gauge\"\nname = \"x\"\n").is_ok());
+        assert!(parse_registry("[[metric]]\nkind = \"timer\"\nname = \"x\"\n").is_err());
         assert!(parse_registry("[[metric]]\nname = \"x\"\n").is_err());
         assert!(parse_registry("kind = \"counter\"\n").is_err());
     }

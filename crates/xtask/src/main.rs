@@ -1,6 +1,7 @@
 //! CLI entry point: `cargo run -p xtask -- lint [--root DIR] [--waivers FILE]`,
-//! `cargo run -p xtask -- analyze [--root DIR] [--waivers FILE]`, or
-//! `cargo run -p xtask -- flamegraph --trace FILE [--out FILE]`.
+//! `cargo run -p xtask -- analyze [--root DIR] [--waivers FILE]`,
+//! `cargo run -p xtask -- flamegraph --trace FILE [--out FILE]`, or
+//! `cargo run -p xtask -- alarm-latency --journal FILE`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -9,14 +10,19 @@ const USAGE: &str = "\
 usage: cargo run -p xtask -- lint [--root DIR] [--waivers FILE]
        cargo run -p xtask -- analyze [--root DIR] [--waivers FILE]
        cargo run -p xtask -- flamegraph --trace FILE [--out FILE]
+       cargo run -p xtask -- alarm-latency --journal FILE
 
-lint        runs the workspace's token-level domain lints (L1-L7)
-analyze     runs the cross-function analyses (L8-L11): metric-name
-            registry, atomic-ordering audit, and call-graph allocation /
-            panic-freedom for the registered kernel roots
-flamegraph  converts a NAVARCHOS_LOG=ndjson:FILE trace into inferno-style
-            folded stacks (`frames;joined;by;semicolon <self_ns>`), written
-            to --out or stdout
+lint           runs the workspace's token-level domain lints (L1-L7)
+analyze        runs the cross-function analyses (L8-L11): metric-name
+               registry, atomic-ordering audit, and call-graph allocation /
+               panic-freedom for the registered kernel roots
+flamegraph     converts a NAVARCHOS_LOG=ndjson:FILE trace into inferno-style
+               folded stacks (`frames;joined;by;semicolon <self_ns>`),
+               written to --out or stdout
+alarm-latency  summarises an alarm-provenance journal (NDJSON written by
+               `navarchos serve-replay --journal FILE`): per-stage
+               p50/p90/p99 of the arrival-to-emission latency, split into
+               reorder-buffer wait and pipeline time
 
 Exit codes:
   0  clean / converted
@@ -29,6 +35,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_check("lint", xtask::run_lint, &args[1..]),
         Some("analyze") => cmd_check("analyze", xtask::run_analyze, &args[1..]),
         Some("flamegraph") => cmd_flamegraph(&args[1..]),
+        Some("alarm-latency") => cmd_alarm_latency(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -165,6 +172,116 @@ fn cmd_flamegraph(args: &[String]) -> ExitCode {
             print!("{rendered}");
             eprintln!("flamegraph: {spans} span(s) -> {} folded stack(s)", folded.len());
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Exact nearest-rank quantile of a sorted sample (`q` in `[0, 1]`).
+fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Renders nanoseconds at a human scale (ns / µs / ms / s).
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.2} µs", ns as f64 / 1.0e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1.0e6),
+        _ => format!("{:.3} s", ns as f64 / 1.0e9),
+    }
+}
+
+/// `alarm-latency --journal FILE`: summarises the NDJSON alarm-provenance
+/// journal `navarchos serve-replay --journal` writes — one object per
+/// alarm with `arrival_ns` (record entered the engine), `release_ns`
+/// (reorder buffer released it to the pipeline) and `emit_ns` (alarm
+/// raised). Prints exact p50/p90/p99 per stage so an operator can see
+/// whether alarm latency is spent waiting out the lateness horizon or
+/// scoring.
+fn cmd_alarm_latency(args: &[String]) -> ExitCode {
+    let mut journal: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--journal" => match it.next() {
+                Some(v) => journal = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--journal needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(journal) = journal else {
+        eprintln!("alarm-latency needs --journal FILE\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&journal) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read journal {}: {e}", journal.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut buffer_wait: Vec<u64> = Vec::new();
+    let mut pipeline: Vec<u64> = Vec::new();
+    let mut total: Vec<u64> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = match navarchos_obs::json::parse(line) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{}:{}: malformed journal line: {e}", journal.display(), i + 1);
+                return ExitCode::from(1);
+            }
+        };
+        let field = |name: &str| -> Option<u64> {
+            doc.get(name).and_then(navarchos_obs::Json::as_num).map(|v| v.max(0.0) as u64)
+        };
+        let (Some(arrival), Some(release), Some(emit)) =
+            (field("arrival_ns"), field("release_ns"), field("emit_ns"))
+        else {
+            eprintln!(
+                "{}:{}: journal line lacks arrival_ns/release_ns/emit_ns",
+                journal.display(),
+                i + 1
+            );
+            return ExitCode::from(1);
+        };
+        buffer_wait.push(release.saturating_sub(arrival));
+        pipeline.push(emit.saturating_sub(release));
+        total.push(emit.saturating_sub(arrival));
+    }
+    if total.is_empty() {
+        println!("alarm-latency: no alarms in {}", journal.display());
+        return ExitCode::SUCCESS;
+    }
+    buffer_wait.sort_unstable();
+    pipeline.sort_unstable();
+    total.sort_unstable();
+
+    println!("alarm-latency: {} alarm(s) in {}", total.len(), journal.display());
+    println!("  {:<12} {:>12} {:>12} {:>12}", "stage", "p50", "p90", "p99");
+    for (name, stage) in [("buffer_wait", &buffer_wait), ("pipeline", &pipeline), ("total", &total)]
+    {
+        println!(
+            "  {:<12} {:>12} {:>12} {:>12}",
+            name,
+            fmt_ns(quantile_ns(stage, 0.50)),
+            fmt_ns(quantile_ns(stage, 0.90)),
+            fmt_ns(quantile_ns(stage, 0.99)),
+        );
     }
     ExitCode::SUCCESS
 }
