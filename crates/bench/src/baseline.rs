@@ -454,6 +454,89 @@ pub fn run(scale: &BaselineScale, progress: &mut dyn Write) -> obs::Json {
     }
     obs::set_metrics_enabled(false);
 
+    // PR 9 sketch substrate: the mergeable quantile sketch's record /
+    // query / merge costs on a deterministic value stream, reported per
+    // operation so the overhead of wiring sketches into hot paths is a
+    // committed number rather than folklore.
+    let clock = obs::stage_clock();
+    let n_values: usize = 100_000 * scale.reps.max(1);
+    let value = |i: usize| ((i.wrapping_mul(2_654_435_761)) % 1_000_003) as f64;
+    let started = Instant::now();
+    let mut sk = obs::QuantileSketch::default();
+    for i in 0..n_values {
+        sk.record(value(i));
+    }
+    let record_ns = started.elapsed().as_nanos() as f64 / n_values as f64;
+    let n_queries = 10_000usize;
+    let started = Instant::now();
+    let mut acc = 0.0f64;
+    for i in 0..n_queries {
+        acc += sk.quantile(i as f64 / n_queries as f64);
+    }
+    let quantile_ns = started.elapsed().as_nanos() as f64 / n_queries as f64;
+    assert!(acc.is_finite(), "quantile queries must stay finite");
+    let shards: Vec<obs::QuantileSketch> = (0..64)
+        .map(|s| {
+            let mut sk = obs::QuantileSketch::default();
+            for i in 0..n_values / 64 {
+                sk.record(value(s * (n_values / 64) + i));
+            }
+            sk
+        })
+        .collect();
+    let started = Instant::now();
+    let mut merged = obs::QuantileSketch::default();
+    for shard in &shards {
+        merged.merge(shard);
+    }
+    let merge_ns = started.elapsed().as_nanos() as f64 / shards.len() as f64;
+    manifest.end_stage("sketch_substrate", clock);
+    manifest.metric("sketch_record_ns_per_value", record_ns);
+    manifest.metric("sketch_quantile_ns_per_query", quantile_ns);
+    manifest.metric("sketch_merge_ns_per_merge", merge_ns);
+    manifest.metric("sketch_rank_error_bound", sk.rank_error_bound());
+    let _ = writeln!(
+        progress,
+        "[bench_baseline] sketch: record {record_ns:.0} ns, quantile {quantile_ns:.0} ns, \
+         merge {merge_ns:.0} ns (n = {n_values}, eps = {:.4})",
+        sk.rank_error_bound()
+    );
+
+    // PR 9 drift-detection latency: a vehicle's signals gain a constant
+    // bias mid-stream; the committed number is how many post-onset records
+    // the data-quality monitor needs before it flags. Deterministic — the
+    // clean rows come from the seeded fleet itself.
+    let clock = obs::stage_clock();
+    let frame = &fleet.vehicles[0].frame;
+    let onset = frame.len() / 2;
+    let mut monitor = navarchos_ingest::QualityMonitor::new(
+        frame.width(),
+        navarchos_ingest::QualityConfig::default(),
+    );
+    let mut row = Vec::with_capacity(frame.width());
+    let mut detect_records: Option<usize> = None;
+    for i in 0..frame.len() {
+        frame.row_into(i, &mut row);
+        if i >= onset {
+            for v in &mut row {
+                *v += 1.0e3;
+            }
+        }
+        let flagged = monitor.observe(frame.timestamps()[i], &row);
+        if i >= onset && flagged {
+            detect_records = Some(i - onset + 1);
+            break;
+        }
+    }
+    manifest.end_stage("quality_drift_latency", clock);
+    let detect = detect_records.map(|n| n as f64).unwrap_or(-1.0);
+    manifest.metric("quality_drift_detect_records", detect);
+    let _ = writeln!(
+        progress,
+        "[bench_baseline] drift latency: flagged {detect:.0} record(s) after onset \
+         (onset at record {onset})"
+    );
+
     // PR 2 baselines (measured before the observability layer existed):
     // the drift on the identical workloads is the null-sink overhead.
     let pr2_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");

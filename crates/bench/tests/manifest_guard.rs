@@ -55,4 +55,22 @@ fn smoke_manifest_keeps_every_baseline_key() {
         counters.get("ingest.records").and_then(obs::Json::as_num).is_some_and(|v| v > 0.0),
         "metrics-on ingest must populate the global ingest.* counters"
     );
+
+    // And the PR 9 additions: sketch-substrate costs and the quality
+    // monitor's drift-detection latency must land at every scale.
+    for key in
+        ["sketch_record_ns_per_value", "sketch_quantile_ns_per_query", "sketch_merge_ns_per_merge"]
+    {
+        assert!(
+            metrics.get(key).and_then(obs::Json::as_num).is_some_and(|v| v > 0.0),
+            "sketch substrate metric {key} must be present and positive"
+        );
+    }
+    assert!(
+        metrics
+            .get("quality_drift_detect_records")
+            .and_then(obs::Json::as_num)
+            .is_some_and(|v| v > 0.0),
+        "the drift monitor must flag the biased stream within the fleet's history"
+    );
 }

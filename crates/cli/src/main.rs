@@ -123,6 +123,7 @@ USAGE:
   navarchos resample --telemetry FILE --out FILE [--period SECONDS] [--max-gap SECONDS] [--method linear|previous]
   navarchos serve-replay [--dir DIR | --vehicles N --days N --seed N] [--shards N] [--horizon-s S]
                          [--dirty SEED [--reorder-prob F] [--dup-prob F] [--drop-prob F] [--corrupt-prob F]]
+                         [--corrupt-vehicle N [--corrupt-after FRAC] [--corrupt-mode nan|bias] [--corrupt-bias F]]
                          [--verify] [--metrics] [--manifest FILE] [--batch-size N] [--journal FILE]
                          [--metrics-addr HOST:PORT [--snapshot-ms N] [--hold-s N]]
   navarchos check-manifest --path FILE [--against BASELINE] [--tol-pct N] [--time-tol-pct N]
@@ -150,6 +151,13 @@ OBSERVABILITY:
                     with `cargo run -p xtask -- alarm-latency --journal FILE`
   --batch-size N    serve-replay: feed the engine in N-item batches and observe
                     per-shard health between batches (0 = one batch)
+  --corrupt-vehicle N  serve-replay: corrupt vehicle N's records from
+                    --corrupt-after (fraction of the stream, default 0.5)
+                    onward — NaN bursts by default, a finite additive shift
+                    with --corrupt-mode bias [--corrupt-bias F]; drives the
+                    ingest.quality.* monitors and the alert.* burn rates
+                    (with --metrics/--metrics-addr, burn-rate alerts are
+                    evaluated at each batch boundary and exported)
   --trend DIR       walk the committed BENCH_PR*.json history in PR order and fail
                     on any consecutive timing regression beyond --time-tol-pct
                     (timing keys shared by both manifests only; files that are not
@@ -658,6 +666,30 @@ fn load_replay_fleet(
     }
 }
 
+/// Pushes a fresh metrics snapshot into the alert ring and runs one
+/// burn-rate evaluation pass, printing (and accumulating) any transitions.
+/// No-op when alerting is off (no `--metrics`/`--metrics-addr`).
+fn observe_alerts(
+    alerting: &mut Option<(obs::BurnRateEvaluator, obs::SnapshotRing)>,
+    log: &mut Vec<obs::AlertTransition>,
+) {
+    let Some((eval, ring)) = alerting.as_mut() else {
+        return;
+    };
+    ring.push(obs::take_snapshot());
+    for t in eval.evaluate(ring) {
+        println!(
+            "  alert: {} {} -> {} (burn fast {:.1}x, slow {:.1}x)",
+            t.name,
+            t.from.name(),
+            t.to.name(),
+            t.burn_fast,
+            t.burn_slow
+        );
+        log.push(t);
+    }
+}
+
 /// Serves a fleet's interleaved (optionally dirtied) event stream through
 /// the sharded ingest engine and reports what the engine did with it;
 /// `--verify` additionally replays every vehicle sorted and fails unless
@@ -697,25 +729,65 @@ fn cmd_serve_replay(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let clean_len = stream.len();
 
     let mut lossy = false;
+    let mut dirt: Option<navarchos_fleetsim::DirtyConfig> = None;
     if let Some(seed) = flags.get("dirty") {
         let seed: u64 = seed.parse().map_err(|e| format!("--dirty: {e}"))?;
-        let mut dirt = navarchos_fleetsim::DirtyConfig::reorder_and_dup(seed);
+        let mut d = navarchos_fleetsim::DirtyConfig::reorder_and_dup(seed);
         // Keep the dirt inside the engine's tolerance unless overridden:
         // equivalence is only promised for delays strictly under the horizon.
-        dirt.reorder_horizon_s = cfg.horizon_s.max(1);
-        dirt.reorder_prob = get_num(flags, "reorder-prob", dirt.reorder_prob)?;
-        dirt.dup_prob = get_num(flags, "dup-prob", dirt.dup_prob)?;
-        dirt.drop_prob = get_num(flags, "drop-prob", dirt.drop_prob)?;
-        dirt.corrupt_prob = get_num(flags, "corrupt-prob", dirt.corrupt_prob)?;
-        lossy = dirt.drop_prob > 0.0 || dirt.corrupt_prob > 0.0;
-        stream = navarchos_fleetsim::dirty_stream(&stream, &dirt);
+        d.reorder_horizon_s = cfg.horizon_s.max(1);
+        d.reorder_prob = get_num(flags, "reorder-prob", d.reorder_prob)?;
+        d.dup_prob = get_num(flags, "dup-prob", d.dup_prob)?;
+        d.drop_prob = get_num(flags, "drop-prob", d.drop_prob)?;
+        d.corrupt_prob = get_num(flags, "corrupt-prob", d.corrupt_prob)?;
+        lossy = d.drop_prob > 0.0 || d.corrupt_prob > 0.0;
         if let Some(m) = manifest.as_mut() {
             m.config("dirty_seed", seed);
-            m.config("reorder_prob", dirt.reorder_prob);
-            m.config("dup_prob", dirt.dup_prob);
-            m.config("drop_prob", dirt.drop_prob);
-            m.config("corrupt_prob", dirt.corrupt_prob);
+            m.config("reorder_prob", d.reorder_prob);
+            m.config("dup_prob", d.dup_prob);
+            m.config("drop_prob", d.drop_prob);
+            m.config("corrupt_prob", d.corrupt_prob);
         }
+        dirt = Some(d);
+    }
+    // `--corrupt-vehicle N` switches on a targeted corruption campaign:
+    // that vehicle's records are corrupted from `--corrupt-after FRAC`
+    // (default 0.5) of the stream onward — NaN bursts by default, a finite
+    // additive drift with `--corrupt-mode bias [--corrupt-bias F]`. Works
+    // with or without `--dirty` (targeting never perturbs background dirt).
+    if let Some(v) = flags.get("corrupt-vehicle") {
+        let vehicle: u32 = v.parse().map_err(|e| format!("--corrupt-vehicle: {e}"))?;
+        let onset: f64 = get_num(flags, "corrupt-after", 0.5)?;
+        if !(0.0..=1.0).contains(&onset) {
+            return Err("--corrupt-after must be in [0, 1]".to_string());
+        }
+        let mode = match flags.get("corrupt-mode").map(String::as_str) {
+            None | Some("nan") => navarchos_fleetsim::CorruptionMode::NanBurst,
+            Some("bias") => {
+                navarchos_fleetsim::CorruptionMode::Bias(get_num(flags, "corrupt-bias", 1.0e3)?)
+            }
+            Some(other) => {
+                return Err(format!("--corrupt-mode must be nan or bias, got '{other}'"))
+            }
+        };
+        if let Some(m) = manifest.as_mut() {
+            m.config("corrupt_vehicle", vehicle as usize);
+            m.config("corrupt_after", onset);
+        }
+        let base = dirt.take().unwrap_or(navarchos_fleetsim::DirtyConfig {
+            seed: 0,
+            reorder_prob: 0.0,
+            reorder_horizon_s: 0,
+            dup_prob: 0.0,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            targeted: None,
+        });
+        dirt = Some(base.with_target(vehicle, onset, mode));
+        lossy = true;
+    }
+    if let Some(d) = &dirt {
+        stream = navarchos_fleetsim::dirty_stream(&stream, d);
     }
     if let Some(m) = manifest.as_mut() {
         m.config("shards", shards);
@@ -738,11 +810,20 @@ fn cmd_serve_replay(flags: &BTreeMap<String, String>) -> Result<(), String> {
     // health FSM (0, the default, ingests everything as one batch and
     // health is only observed once, at the end).
     let batch_size: usize = get_num(flags, "batch-size", 0)?;
+    // Burn-rate alerting rides on metrics: its own snapshot ring is fed at
+    // batch boundaries (not the ops-plane sampler cadence) so a replay
+    // that outruns wall-clock still accumulates evaluable deltas.
+    let mut alerting =
+        (flags.contains_key("metrics") || flags.contains_key("metrics-addr")).then(|| {
+            (obs::BurnRateEvaluator::new(obs::default_policies()), obs::SnapshotRing::new(64))
+        });
+    let mut alert_log: Vec<obs::AlertTransition> = Vec::new();
     let clock = obs::stage_clock();
     let started = std::time::Instant::now();
     let mut engine = ShardedIngest::new(&names, cfg.clone());
     let mut alarms = Vec::new();
     let mut transitions = Vec::new();
+    observe_alerts(&mut alerting, &mut alert_log); // baseline snapshot
     if batch_size == 0 {
         alarms = engine.ingest_batch(stream);
     } else {
@@ -751,17 +832,24 @@ fn cmd_serve_replay(flags: &BTreeMap<String, String>) -> Result<(), String> {
             let rest = chunk.split_off(batch_size.min(chunk.len()));
             alarms.extend(engine.ingest_batch(chunk));
             transitions.extend(engine.observe_health());
+            observe_alerts(&mut alerting, &mut alert_log);
             chunk = rest;
         }
     }
     alarms.extend(engine.finish());
     transitions.extend(engine.observe_health());
+    observe_alerts(&mut alerting, &mut alert_log);
     let wall = started.elapsed().as_secs_f64();
     if let Some(m) = manifest.as_mut() {
         m.end_stage("ingest", clock);
     }
     for t in &transitions {
         println!("  health: shard {} {} -> {}", t.shard, t.from.as_str(), t.to.as_str());
+    }
+    if let Some((eval, _)) = &alerting {
+        let summary: Vec<String> =
+            eval.states().iter().map(|(n, s)| format!("{n}={}", s.name())).collect();
+        println!("  alerts: {} ({} transition(s))", summary.join(" "), alert_log.len());
     }
 
     let stats = engine.stats();
@@ -811,6 +899,13 @@ fn cmd_serve_replay(flags: &BTreeMap<String, String>) -> Result<(), String> {
             "health_worst",
             health.iter().map(|h| h.gauge_value()).max().unwrap_or(0) as usize,
         );
+        if let Some((eval, _)) = &alerting {
+            m.metric("alert_transitions", alert_log.len());
+            m.metric(
+                "alert_worst",
+                eval.states().iter().map(|(_, s)| s.as_u64()).max().unwrap_or(0) as usize,
+            );
+        }
     }
 
     // `--journal FILE` — the alarm provenance journal: one NDJSON object
@@ -1142,6 +1237,7 @@ fn parse_scrape(text: &str) -> Result<ScrapedSnapshot, String> {
         counters: BTreeMap::new(),
         gauges: BTreeMap::new(),
         histograms: BTreeMap::new(),
+        sketches: BTreeMap::new(),
     };
     let mut summaries = Vec::new();
     for s in obs::parse_exposition(text)? {
@@ -1158,9 +1254,14 @@ fn parse_scrape(text: &str) -> Result<ScrapedSnapshot, String> {
     Ok(ScrapedSnapshot { snap, summaries })
 }
 
-/// Renders one refresh of the per-shard ops table from the current scrape
-/// and (when available) the previous one. Rates print as `-` until two
-/// distinct snapshots have been seen — a rate needs an interval.
+/// Renders one refresh of the ops tables from the current scrape and (when
+/// available) the previous one. Rates print as `-` until two distinct
+/// snapshots have been seen — a rate needs an interval.
+///
+/// Layout: a per-shard health table, then burn-rate alert states, then
+/// `ingest.quality.*` monitor gauges, then every remaining gauge, then the
+/// summary (histogram/sketch) quantiles. Each table's name column is sized
+/// to its longest entry, so metric names are never truncated.
 fn render_top(addr: &str, scraped: &ScrapedSnapshot, prev: Option<&obs::MetricsSnapshot>) {
     let snap = &scraped.snap;
     let d = prev.map(|p| obs::delta(p, snap));
@@ -1208,6 +1309,94 @@ fn render_top(addr: &str, scraped: &ScrapedSnapshot, prev: Option<&obs::MetricsS
             rate(&format!("ingest_shard{id}_records")),
             depth
         );
+    }
+
+    // Burn-rate alert states: one row per `alert.<name>.state` gauge, with
+    // the burn gauges (exported as milli-multiples) and transition count.
+    let alerts: Vec<(&str, u64)> = snap
+        .gauges
+        .iter()
+        .filter_map(|(n, &v)| {
+            n.strip_prefix("alert_").and_then(|r| r.strip_suffix("_state")).map(|a| (a, v))
+        })
+        .collect();
+    if !alerts.is_empty() {
+        let w = alerts.iter().map(|(n, _)| n.len()).max().unwrap_or(0).max("alert".len());
+        println!(
+            "  {:<w$}  {:<8} {:>10} {:>10} {:>12}",
+            "alert", "state", "burn fast", "burn slow", "transitions"
+        );
+        for (name, v) in &alerts {
+            let state = match v {
+                0 => "ok",
+                1 => "warning",
+                2 => "firing",
+                _ => "?",
+            };
+            let burn = |kind: &str| -> String {
+                snap.gauges
+                    .get(&format!("alert_{name}_burn_{kind}_m"))
+                    .map(|&m| format!("{:.1}x", m as f64 / 1000.0))
+                    .unwrap_or_else(|| "-".to_string())
+            };
+            let transitions = snap
+                .counters
+                .get(&format!("alert_{name}_transitions"))
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "  {:<w$}  {:<8} {:>10} {:>10} {:>12}",
+                name,
+                state,
+                burn("fast"),
+                burn("slow"),
+                transitions
+            );
+        }
+    }
+
+    // Remaining gauges in two groups: data-quality monitors first, then
+    // everything not already rendered above.
+    let rendered_above = |n: &str| {
+        n.starts_with("alert_") || (n.starts_with("ingest_shard") && n.ends_with("_health"))
+    };
+    let group = |title: &str, rows: &[(&String, &u64)]| {
+        if rows.is_empty() {
+            return;
+        }
+        let w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0).max(title.len());
+        println!("  {:<w$} {:>12}", title, "value");
+        for (name, value) in rows {
+            println!("  {:<w$} {:>12}", name, value);
+        }
+    };
+    let (quality, other): (Vec<_>, Vec<_>) = snap
+        .gauges
+        .iter()
+        .filter(|(n, _)| !rendered_above(n))
+        .partition(|(n, _)| n.starts_with("ingest_quality_"));
+    group("quality", &quality);
+    group("gauge", &other);
+
+    // Summary quantiles (histograms and quantile sketches): one row per
+    // exported summary family.
+    let mut summary_names: Vec<&str> = scraped
+        .summaries
+        .iter()
+        .filter(|s| s.labels.iter().any(|(k, _)| k == "quantile"))
+        .map(|s| s.name.as_str())
+        .collect();
+    summary_names.sort_unstable();
+    summary_names.dedup();
+    if !summary_names.is_empty() {
+        let w = summary_names.iter().map(|n| n.len()).max().unwrap_or(0).max("summary".len());
+        println!("  {:<w$} {:>14} {:>14} {:>14}", "summary", "p50", "p90", "p99");
+        for name in summary_names {
+            let q = |q: &str| {
+                quantile(name, q).map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".to_string())
+            };
+            println!("  {:<w$} {:>14} {:>14} {:>14}", name, q("0.5"), q("0.9"), q("0.99"));
+        }
     }
 }
 

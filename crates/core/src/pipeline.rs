@@ -106,7 +106,10 @@ enum Phase {
 /// construction so `process_record` never touches the registry mutex.
 /// Stage timings go through [`obs::BatchedRecorder`]s — plain local
 /// buffers, no atomics per record — flushed into the shared histograms on
-/// drop or via [`StreamingPipeline::flush_obs`].
+/// drop or via [`StreamingPipeline::flush_obs`]. Score samples likewise
+/// buffer in a local [`obs::QuantileSketch`] and merge into the shared
+/// registry sketches on flush, so the hot path never takes the sketch
+/// mutex either.
 #[derive(Debug)]
 struct PipelineStats {
     records: Arc<obs::Counter>,
@@ -118,10 +121,49 @@ struct PipelineStats {
     transform_ns: obs::BatchedRecorder,
     score_ns: obs::BatchedRecorder,
     alarm_latency_ns: obs::BatchedRecorder,
+    /// Fleet-wide score distribution; every pipeline merges into it.
+    fleet_scores: Arc<obs::Sketch>,
+    /// Per-vehicle score distribution when the pipeline is scoped.
+    scoped_scores: Option<Arc<obs::Sketch>>,
+    /// Unsynchronised local buffer of per-emission max channel scores,
+    /// merged into the shared sketches on flush/drop.
+    pending_scores: obs::QuantileSketch,
+    /// This pipeline's own cumulative score distribution (what the
+    /// headroom gauge ranks the threshold against).
+    cumulative_scores: obs::QuantileSketch,
+    /// % of observed scores safely below the lowest active threshold.
+    threshold_headroom: Arc<obs::Gauge>,
+    /// Emissions since the detector last fit — reference staleness.
+    profile_age: Arc<obs::Gauge>,
+    /// |relative change| of the mean tuned threshold at the last refit,
+    /// in basis points — how much a retune actually moved the bar.
+    retune_delta: Arc<obs::Gauge>,
+    emissions_since_refit: u64,
+    last_threshold_mean: Option<f64>,
 }
 
 impl PipelineStats {
-    fn new() -> PipelineStats {
+    fn new(scope: Option<&str>) -> PipelineStats {
+        let (fleet_scores, scoped_scores, headroom, age, retune) = match scope {
+            // Scoped pipelines (one per vehicle in the ingest engine) keep
+            // per-vehicle gauges/sketches and still merge into the fleet
+            // sketch; unscoped ones (single-vehicle replay) own the plain
+            // names so gauges aren't clobbered across vehicles.
+            Some(scope) => (
+                obs::sketch("pipeline.score"),
+                Some(obs::sketch(&format!("pipeline.{scope}.score"))),
+                obs::gauge(&format!("pipeline.{scope}.threshold_headroom_pct")),
+                obs::gauge(&format!("pipeline.{scope}.profile_age_emissions")),
+                obs::gauge(&format!("pipeline.{scope}.retune_delta_bp")),
+            ),
+            None => (
+                obs::sketch("pipeline.score"),
+                None,
+                obs::gauge("pipeline.threshold_headroom_pct"),
+                obs::gauge("pipeline.profile_age_emissions"),
+                obs::gauge("pipeline.retune_delta_bp"),
+            ),
+        };
         PipelineStats {
             records: obs::counter("pipeline.records"),
             emissions: obs::counter("pipeline.emissions"),
@@ -132,7 +174,38 @@ impl PipelineStats {
             transform_ns: obs::BatchedRecorder::new(obs::histogram("pipeline.stage.transform_ns")),
             score_ns: obs::BatchedRecorder::new(obs::histogram("pipeline.stage.score_ns")),
             alarm_latency_ns: obs::BatchedRecorder::new(obs::histogram("alarm.latency_ns")),
+            fleet_scores,
+            scoped_scores,
+            pending_scores: obs::QuantileSketch::default(),
+            cumulative_scores: obs::QuantileSketch::default(),
+            threshold_headroom: headroom,
+            profile_age: age,
+            retune_delta: retune,
+            emissions_since_refit: 0,
+            last_threshold_mean: None,
         }
+    }
+
+    /// Buffers the emission's max finite channel score.
+    fn observe_scores(&mut self, scores: &[f64]) {
+        let max =
+            scores.iter().copied().filter(|s| s.is_finite()).fold(f64::NEG_INFINITY, f64::max);
+        if max.is_finite() {
+            self.pending_scores.record(max);
+        }
+    }
+
+    /// Merges buffered score samples into the shared registry sketches.
+    fn merge_scores(&mut self) {
+        if self.pending_scores.is_empty() {
+            return;
+        }
+        self.cumulative_scores.merge(&self.pending_scores);
+        self.fleet_scores.merge_from(&self.pending_scores);
+        if let Some(s) = &self.scoped_scores {
+            s.merge_from(&self.pending_scores);
+        }
+        self.pending_scores = obs::QuantileSketch::default();
     }
 
     fn flush(&mut self) {
@@ -140,6 +213,15 @@ impl PipelineStats {
         self.transform_ns.flush();
         self.score_ns.flush();
         self.alarm_latency_ns.flush();
+        self.merge_scores();
+    }
+}
+
+impl Drop for PipelineStats {
+    fn drop(&mut self) {
+        // The recorders flush themselves on drop; buffered score samples
+        // need the same courtesy or the tail of a run vanishes.
+        self.merge_scores();
     }
 }
 
@@ -167,6 +249,20 @@ pub struct StreamingPipeline {
 impl StreamingPipeline {
     /// Creates the pipeline for records with the given column names.
     pub fn new<S: AsRef<str>>(input_names: &[S], cfg: PipelineConfig) -> Self {
+        Self::new_scoped(input_names, cfg, None)
+    }
+
+    /// Like [`StreamingPipeline::new`], but telemetry that is meaningless
+    /// when aggregated across vehicles (score sketch, threshold-headroom /
+    /// profile-age / retune gauges) is minted under
+    /// `pipeline.<scope>.<metric>` instead of the plain names. The ingest
+    /// engine passes the vehicle label here so fleet dashboards get one
+    /// gauge family per vehicle.
+    pub fn new_scoped<S: AsRef<str>>(
+        input_names: &[S],
+        cfg: PipelineConfig,
+        scope: Option<&str>,
+    ) -> Self {
         let input_names: Vec<String> = input_names.iter().map(|s| s.as_ref().to_string()).collect();
         let transform = crate::runner::build_transform(
             cfg.transform,
@@ -190,7 +286,7 @@ impl StreamingPipeline {
             channel_names,
             phase: Phase::FillingReference,
             feat: vec![0.0; dim],
-            stats: PipelineStats::new(),
+            stats: PipelineStats::new(scope),
         }
     }
 
@@ -218,6 +314,10 @@ impl StreamingPipeline {
             self.threshold.reset();
             self.transform.reset();
             self.phase = Phase::FillingReference;
+            self.stats.emissions_since_refit = 0;
+            // A fresh reference means the next threshold fit is a first
+            // tune, not a retune — there is no previous bar to delta.
+            self.stats.last_threshold_mean = None;
             if obs::metrics_enabled() {
                 self.stats.resets.incr();
             }
@@ -228,11 +328,52 @@ impl StreamingPipeline {
     }
 
     /// Flushes the batched stage/latency recorders into the shared
-    /// histograms. Runs automatically when the pipeline drops; call it
-    /// explicitly before snapshotting metrics from a still-live pipeline
-    /// (the `monitor` loop, dashboards).
+    /// histograms and buffered score samples into the shared sketches,
+    /// then refreshes the model-quality gauges (threshold headroom,
+    /// reference-profile age). Runs automatically when the pipeline drops;
+    /// call it explicitly before snapshotting metrics from a still-live
+    /// pipeline (the `monitor` loop, dashboards).
     pub fn flush_obs(&mut self) {
         self.stats.flush();
+        if !obs::metrics_enabled() {
+            return;
+        }
+        self.stats.profile_age.set(self.stats.emissions_since_refit);
+        if self.phase == Phase::Detecting && !self.stats.cumulative_scores.is_empty() {
+            let thr = if self.detector.uses_constant_threshold() {
+                self.cfg.constant_threshold
+            } else {
+                self.threshold
+                    .thresholds()
+                    .iter()
+                    .copied()
+                    .filter(|t| t.is_finite())
+                    .fold(f64::INFINITY, f64::min)
+            };
+            if thr.is_finite() {
+                // 100 = every observed score sits below the lowest active
+                // threshold; eroding toward 0 as scores crowd past it.
+                let headroom = self.stats.cumulative_scores.rank(thr) * 100.0;
+                self.stats.threshold_headroom.set(headroom.round() as u64);
+            }
+        }
+    }
+
+    /// Records how far a threshold (re)tune moved the mean bar, in basis
+    /// points relative to the previous tune. The first tune after a reset
+    /// only seeds the baseline.
+    fn observe_retune(&mut self) {
+        let finite: Vec<f64> =
+            self.threshold.thresholds().iter().copied().filter(|t| t.is_finite()).collect();
+        if finite.is_empty() {
+            return;
+        }
+        let mean = finite.iter().sum::<f64>() / finite.len() as f64;
+        if let Some(prev) = self.stats.last_threshold_mean {
+            let delta_bp = ((mean - prev).abs() / prev.abs().max(1e-12)) * 10_000.0;
+            self.stats.retune_delta.set(delta_bp.min(u64::MAX as f64 / 2.0).round() as u64);
+        }
+        self.stats.last_threshold_mean = Some(mean);
     }
 
     /// Handles one raw record; returns any alarms raised.
@@ -272,6 +413,7 @@ impl StreamingPipeline {
         };
         if on {
             self.stats.emissions.incr();
+            self.stats.emissions_since_refit += 1;
         }
         let alarms = match self.phase {
             Phase::FillingReference => {
@@ -280,6 +422,7 @@ impl StreamingPipeline {
                     self.phase = Phase::Holdout(0);
                     if on {
                         self.stats.refits.incr();
+                        self.stats.emissions_since_refit = 0;
                     }
                     if obs::events_enabled() {
                         obs::emit(
@@ -293,11 +436,17 @@ impl StreamingPipeline {
             }
             Phase::Holdout(seen) => {
                 let scores = self.detector.score(&self.feat);
+                if on {
+                    self.stats.observe_scores(&scores);
+                }
                 self.threshold.observe(&scores);
                 let seen = seen + 1;
                 if seen >= self.cfg.holdout {
                     self.threshold.fit();
                     self.phase = Phase::Detecting;
+                    if on {
+                        self.observe_retune();
+                    }
                 } else {
                     self.phase = Phase::Holdout(seen);
                 }
@@ -305,6 +454,9 @@ impl StreamingPipeline {
             }
             Phase::Detecting => {
                 let scores = self.detector.score(&self.feat);
+                if on {
+                    self.stats.observe_scores(&scores);
+                }
                 let violations: Vec<usize> = if self.detector.uses_constant_threshold() {
                     scores
                         .iter()
@@ -570,6 +722,38 @@ mod tests {
         // Deliberately not restoring the global flag: concurrent tests in
         // this binary also enable metrics, and a mid-test disable from
         // here would race their histogram-count assertions.
+    }
+
+    #[test]
+    fn score_sketch_and_quality_gauges_populate() {
+        obs::set_metrics_enabled(true);
+        let before = obs::sketch("pipeline.score").snapshot().count();
+        let mut p = tiny_pipeline();
+        feed_healthy(&mut p, 0, 200);
+        p.flush_obs();
+        let after = obs::sketch("pipeline.score").snapshot().count();
+        assert!(after > before, "score sketch grew {before} -> {after}");
+        // Healthy stream in detection: scores sit below the tuned bar, so
+        // headroom reads high (shared gauge — another unscoped pipeline in
+        // this binary may also have written a plausible value; range only).
+        let headroom = obs::gauge("pipeline.threshold_headroom_pct").get();
+        assert!(headroom <= 100, "headroom is a percentage, got {headroom}");
+        // The reference fit recently; age counts emissions since then.
+        assert!(obs::gauge("pipeline.profile_age_emissions").get() > 0);
+    }
+
+    #[test]
+    fn scoped_pipeline_keeps_per_vehicle_sketch_and_gauges() {
+        obs::set_metrics_enabled(true);
+        let cfg = tiny_pipeline().cfg;
+        let mut p = StreamingPipeline::new_scoped(&["a", "b"], cfg, Some("v99"));
+        feed_healthy(&mut p, 0, 200);
+        p.flush_obs();
+        let scoped = obs::sketch("pipeline.v99.score").snapshot();
+        assert!(!scoped.is_empty(), "scoped sketch populated");
+        assert!(obs::gauge("pipeline.v99.profile_age_emissions").get() > 0);
+        // Scoped scores also fold into the fleet sketch.
+        assert!(obs::sketch("pipeline.score").snapshot().count() >= scoped.count());
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub use events::{Event, EventKind};
 pub use faults::{FaultKind, FaultWindow};
 pub use fleet::{FleetConfig, FleetData, VehicleData};
 pub use stream::{
-    dirty_stream, interleave_fleet, interleave_streams, DirtyConfig, StreamBody, StreamItem,
+    dirty_stream, interleave_fleet, interleave_streams, CorruptionMode, DirtyConfig, StreamBody,
+    StreamItem, TargetedCorruption,
 };
 pub use types::{VehicleId, PID_NAMES, RECORD_INTERVAL_SECONDS, START_EPOCH};
 pub use usage::{RideKind, UsageProfile};

@@ -131,6 +131,35 @@ pub struct DirtyConfig {
     /// Probability a record's payload is corrupted (non-finite value,
     /// truncated row, or emptied row — all malformed on the wire).
     pub corrupt_prob: f64,
+    /// Optional targeted fault: one chosen vehicle's records are
+    /// deterministically corrupted from an onset point onward, modelling a
+    /// single failing sensor head rather than fleet-wide wire noise. Does
+    /// not consume RNG draws, so enabling it never perturbs the background
+    /// dirt drawn from `seed`.
+    pub targeted: Option<TargetedCorruption>,
+}
+
+/// A deterministic per-vehicle corruption campaign for [`DirtyConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetedCorruption {
+    /// Vehicle whose records are corrupted.
+    pub vehicle: u32,
+    /// Fraction of the clean stream (by index, `0.0..=1.0`) after which
+    /// the corruption switches on; records before the onset pass clean.
+    pub onset: f64,
+    /// What the corruption does to each record past the onset.
+    pub mode: CorruptionMode,
+}
+
+/// Payload transform applied by [`TargetedCorruption`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorruptionMode {
+    /// Every signal value becomes NaN — the record is malformed on the
+    /// wire (dead-letters downstream) and drives NaN-fraction monitors.
+    NanBurst,
+    /// Every signal value gains a constant additive bias — records stay
+    /// finite and well-formed, so only distribution-drift monitors see it.
+    Bias(f64),
 }
 
 impl DirtyConfig {
@@ -145,6 +174,7 @@ impl DirtyConfig {
             dup_prob: 0.02,
             drop_prob: 0.0,
             corrupt_prob: 0.0,
+            targeted: None,
         }
     }
 
@@ -153,6 +183,13 @@ impl DirtyConfig {
     /// holds; this config exercises graceful degradation instead.
     pub fn lossy(seed: u64) -> Self {
         DirtyConfig { drop_prob: 0.01, corrupt_prob: 0.005, ..DirtyConfig::reorder_and_dup(seed) }
+    }
+
+    /// Adds a targeted corruption campaign on top of the existing dirt.
+    /// Background faults are unchanged (targeting spends no RNG draws).
+    pub fn with_target(mut self, vehicle: u32, onset: f64, mode: CorruptionMode) -> Self {
+        self.targeted = Some(TargetedCorruption { vehicle, onset, mode });
+        self
     }
 }
 
@@ -168,11 +205,18 @@ pub fn dirty_stream(clean: &[StreamItem], cfg: &DirtyConfig) -> Vec<StreamItem> 
         keyed.push((arrival, seq, item));
         seq += 1;
     };
-    for item in clean {
+    let onset_index =
+        cfg.targeted.as_ref().map(|t| (t.onset.clamp(0.0, 1.0) * clean.len() as f64) as usize);
+    for (index, item) in clean.iter().enumerate() {
         if cfg.drop_prob > 0.0 && rng.gen_bool(cfg.drop_prob) {
             continue;
         }
         let mut it = item.clone();
+        if let (Some(t), Some(onset)) = (cfg.targeted.as_ref(), onset_index) {
+            if it.vehicle == t.vehicle && index >= onset {
+                corrupt_targeted(&mut it, &t.mode);
+            }
+        }
         if cfg.corrupt_prob > 0.0 && rng.gen_bool(cfg.corrupt_prob) {
             corrupt(&mut it, &mut rng);
         }
@@ -202,6 +246,18 @@ pub fn dirty_stream(clean: &[StreamItem], cfg: &DirtyConfig) -> Vec<StreamItem> 
     }
     keyed.sort_by_key(|&(arrival, seq, _)| (arrival, seq));
     keyed.into_iter().map(|(_, _, item)| item).collect()
+}
+
+/// Applies a [`CorruptionMode`] to a record payload. Maintenance markers
+/// pass through untouched.
+fn corrupt_targeted(item: &mut StreamItem, mode: &CorruptionMode) {
+    let StreamBody::Record(row) = &mut item.body else {
+        return;
+    };
+    match mode {
+        CorruptionMode::NanBurst => row.iter_mut().for_each(|v| *v = f64::NAN),
+        CorruptionMode::Bias(b) => row.iter_mut().for_each(|v| *v += b),
+    }
 }
 
 /// Mangles a record payload in one of three wire-plausible ways. Leaves
@@ -321,5 +377,66 @@ mod tests {
             .count();
         assert!(malformed > 0, "corrupt_prob must produce malformed records");
         assert!(dirty.len() < clean.len() + clean.len() / 50, "drops offset dups");
+    }
+
+    #[test]
+    fn targeting_never_perturbs_the_background_dirt() {
+        let fleet = tiny_fleet();
+        let clean = interleave_fleet(&fleet);
+        let base = dirty_stream(&clean, &DirtyConfig::reorder_and_dup(99));
+        let targeted = dirty_stream(
+            &clean,
+            &DirtyConfig::reorder_and_dup(99).with_target(u32::MAX, 0.5, CorruptionMode::NanBurst),
+        );
+        // Target vehicle doesn't exist, so the streams must be identical:
+        // enabling targeting spends no RNG draws.
+        assert_eq!(base, targeted);
+    }
+
+    #[test]
+    fn nan_burst_corrupts_only_the_target_after_onset() {
+        let fleet = tiny_fleet();
+        let clean = interleave_fleet(&fleet);
+        let victim = fleet.vehicles[0].id.0;
+        let cfg =
+            DirtyConfig::reorder_and_dup(42).with_target(victim, 0.5, CorruptionMode::NanBurst);
+        let dirty = dirty_stream(&clean, &cfg);
+        let is_nan_row = |i: &StreamItem| match &i.body {
+            StreamBody::Record(row) => !row.is_empty() && row.iter().all(|v| v.is_nan()),
+            StreamBody::Maintenance { .. } => false,
+        };
+        assert!(dirty.iter().any(|i| i.vehicle == victim && is_nan_row(i)));
+        assert!(
+            dirty.iter().filter(|i| i.vehicle != victim).all(|i| !is_nan_row(i)),
+            "bystander vehicles must stay clean (corrupt_prob is 0 here)"
+        );
+        // Records before the onset index pass clean: the victim still has
+        // well-formed records somewhere in the dirty stream.
+        assert!(dirty.iter().any(|i| i.vehicle == victim
+            && matches!(&i.body, StreamBody::Record(row) if row.iter().all(|v| v.is_finite()))));
+    }
+
+    #[test]
+    fn bias_mode_keeps_rows_finite_but_shifted() {
+        let fleet = tiny_fleet();
+        let clean = interleave_fleet(&fleet);
+        let victim = fleet.vehicles[0].id.0;
+        let cfg =
+            DirtyConfig { reorder_prob: 0.0, dup_prob: 0.0, ..DirtyConfig::reorder_and_dup(7) }
+                .with_target(victim, 0.0, CorruptionMode::Bias(1e6));
+        let dirty = dirty_stream(&clean, &cfg);
+        let mut shifted = 0usize;
+        for (c, d) in clean.iter().zip(&dirty) {
+            if let (StreamBody::Record(a), StreamBody::Record(b)) = (&c.body, &d.body) {
+                assert!(b.iter().all(|v| v.is_finite()), "bias must keep rows finite");
+                if c.vehicle == victim {
+                    assert!(a.iter().zip(b).all(|(x, y)| (y - x - 1e6).abs() < 1e-6));
+                    shifted += 1;
+                } else {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+        assert!(shifted > 0, "onset 0.0 must shift every victim record");
     }
 }

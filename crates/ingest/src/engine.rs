@@ -33,6 +33,7 @@ use navarchos_fleetsim::{StreamBody, StreamItem};
 use navarchos_obs as obs;
 
 use crate::health::{HealthPolicy, HealthSample, HealthState, HealthTransition, ShardHealth};
+use crate::quality::{QualityConfig, QualityMonitor, QualitySnapshot};
 use crate::reorder::{PushOutcome, ReorderBuffer, SeqKey, Sequenced};
 use crate::router::ShardRouter;
 
@@ -97,6 +98,9 @@ pub struct IngestConfig {
     pub pipeline: PipelineConfig,
     /// Per-shard health thresholds and hysteresis (see [`crate::health`]).
     pub health: HealthPolicy,
+    /// Per-vehicle data-quality monitor thresholds (see
+    /// [`crate::quality`]).
+    pub quality: QualityConfig,
 }
 
 impl IngestConfig {
@@ -113,6 +117,7 @@ impl IngestConfig {
                 DetectorKind::ClosestPair,
             ),
             health: HealthPolicy::default(),
+            quality: QualityConfig::default(),
         }
     }
 }
@@ -220,6 +225,8 @@ pub struct IngestStats {
     pub alarms: u64,
     /// Highest reorder-buffer depth observed on any vehicle.
     pub peak_queue_depth: u64,
+    /// Records flagged by the per-vehicle data-quality monitors.
+    pub quality_flagged: u64,
 }
 
 impl IngestStats {
@@ -234,6 +241,7 @@ impl IngestStats {
         self.forced_releases += other.forced_releases;
         self.alarms += other.alarms;
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.quality_flagged += other.quality_flagged;
     }
 }
 
@@ -246,6 +254,9 @@ struct ShardObs {
     late_dropped: std::sync::Arc<obs::Counter>,
     dead_letter: std::sync::Arc<obs::Counter>,
     alarms: std::sync::Arc<obs::Counter>,
+    /// Fleet-wide count of quality-flagged records (the burn-rate
+    /// evaluator's `quality` policy numerator).
+    quality_flagged: std::sync::Arc<obs::Counter>,
     /// Per-shard record count — the `top` client derives records/s per
     /// shard from scrape deltas of this family.
     shard_records: std::sync::Arc<obs::Counter>,
@@ -263,6 +274,7 @@ impl ShardObs {
             late_dropped: obs::counter("ingest.late_dropped"),
             dead_letter: obs::counter("ingest.dead_letter"),
             alarms: obs::counter("ingest.alarms"),
+            quality_flagged: obs::counter("ingest.quality.flagged"),
             shard_records: obs::counter(&format!("ingest.shard{shard:02}.records")),
             health: obs::gauge(&format!("ingest.shard{shard:02}.health")),
             queue_depth: obs::BatchedRecorder::new(obs::histogram(&format!(
@@ -280,6 +292,49 @@ struct Lane {
     pipeline: StreamingPipeline,
 }
 
+/// One vehicle's data-quality monitor plus its cached gauge handles.
+/// Kept separate from [`Lane`]: monitors observe raw arrivals *before*
+/// validation, so a vehicle that only ever sends garbage (and therefore
+/// never grows a lane) is still watched.
+#[derive(Debug)]
+struct QualityLane {
+    vehicle: u32,
+    monitor: QualityMonitor,
+    nan_bp: std::sync::Arc<obs::Gauge>,
+    gap_bp: std::sync::Arc<obs::Gauge>,
+    drift_mz: std::sync::Arc<obs::Gauge>,
+}
+
+impl QualityLane {
+    fn new(vehicle: u32, n_channels: usize, cfg: QualityConfig) -> Self {
+        QualityLane {
+            vehicle,
+            monitor: QualityMonitor::new(n_channels, cfg),
+            nan_bp: obs::gauge(&format!("ingest.quality.v{vehicle:02}.nan_bp")),
+            gap_bp: obs::gauge(&format!("ingest.quality.v{vehicle:02}.gap_bp")),
+            drift_mz: obs::gauge(&format!("ingest.quality.v{vehicle:02}.drift_mz")),
+        }
+    }
+}
+
+/// Fraction (0..1) as basis points on a gauge, saturated at 10 000.
+fn fraction_to_bp(f: f64) -> u64 {
+    if !f.is_finite() || f <= 0.0 {
+        0
+    } else {
+        ((f * 10_000.0).round() as u64).min(10_000)
+    }
+}
+
+/// A z-score (or similar unbounded positive reading) in milli-units.
+fn to_milli(v: f64) -> u64 {
+    if !v.is_finite() || v <= 0.0 {
+        0
+    } else {
+        (v * 1000.0).min(u64::MAX as f64 / 2.0).round() as u64
+    }
+}
+
 /// One shard: the lanes of the vehicles that hash to it.
 #[derive(Debug)]
 struct Shard {
@@ -288,6 +343,8 @@ struct Shard {
     cfg: IngestConfig,
     /// Lanes sorted by vehicle id for binary-search lookup.
     lanes: Vec<Lane>,
+    /// Quality monitors, sorted by vehicle id like `lanes`.
+    quality: Vec<QualityLane>,
     stats: IngestStats,
     dead: Vec<DeadLetter>,
     obs: ShardObs,
@@ -304,6 +361,7 @@ impl Shard {
             names,
             cfg,
             lanes: Vec::new(),
+            quality: Vec::new(),
             stats: IngestStats::default(),
             dead: Vec::new(),
             obs: ShardObs::new(index),
@@ -321,12 +379,30 @@ impl Shard {
                     Lane {
                         vehicle,
                         buffer: ReorderBuffer::new(self.cfg.horizon_s, self.cfg.reorder_capacity),
-                        pipeline: StreamingPipeline::new(&self.names, self.cfg.pipeline.clone()),
+                        pipeline: StreamingPipeline::new_scoped(
+                            &self.names,
+                            self.cfg.pipeline.clone(),
+                            Some(&format!("v{vehicle:02}")),
+                        ),
                     },
                 );
                 i
             }
         }
+    }
+
+    /// Routes one raw record through the vehicle's quality monitor,
+    /// creating it on first sight. Returns true when the record flags.
+    fn quality_observe(&mut self, vehicle: u32, timestamp: i64, row: &[f64]) -> bool {
+        let i = match self.quality.binary_search_by_key(&vehicle, |q| q.vehicle) {
+            Ok(i) => i,
+            Err(i) => {
+                self.quality
+                    .insert(i, QualityLane::new(vehicle, self.names.len(), self.cfg.quality));
+                i
+            }
+        };
+        self.quality[i].monitor.observe(timestamp, row)
     }
 
     fn dead_letter(&mut self, vehicle: u32, timestamp: i64, reason: DeadLetterReason) {
@@ -348,6 +424,15 @@ impl Shard {
                 if metrics_on {
                     self.obs.records.incr();
                     self.obs.shard_records.incr();
+                }
+                // Quality monitors see the raw row *before* validation:
+                // the NaN bursts that dead-letter just below are exactly
+                // what they exist to measure.
+                if self.quality_observe(item.vehicle, item.timestamp, row) {
+                    self.stats.quality_flagged += 1;
+                    if metrics_on {
+                        self.obs.quality_flagged.incr();
+                    }
                 }
                 let expected = self.names.len();
                 if row.len() != expected {
@@ -473,6 +558,8 @@ pub struct ShardedIngest {
     router: ShardRouter,
     shards: Vec<Shard>,
     health: Vec<ShardHealth>,
+    /// Fleet-level worst per-vehicle drift, in milli-z.
+    worst_drift: std::sync::Arc<obs::Gauge>,
     finished: bool,
 }
 
@@ -484,7 +571,13 @@ impl ShardedIngest {
         let router = ShardRouter::new(cfg.n_shards);
         let health = (0..cfg.n_shards).map(|_| ShardHealth::new(cfg.health)).collect();
         let shards = (0..cfg.n_shards).map(|i| Shard::new(i, names.clone(), cfg.clone())).collect();
-        ShardedIngest { router, shards, health, finished: false }
+        ShardedIngest {
+            router,
+            shards,
+            health,
+            worst_drift: obs::gauge("ingest.quality.worst_drift_mz"),
+            finished: false,
+        }
     }
 
     /// Ingests one item inline (no fan-out). Returns any alarms raised by
@@ -557,15 +650,17 @@ impl ShardedIngest {
     }
 
     /// Ticks every shard's health state machine against its current queue
-    /// depth and cumulative drop counters (the tracker deltas internally —
-    /// see [`crate::health`]). Call between batches at the snapshot
-    /// cadence. Updates the `ingest.shardNN.health` gauges when metrics
-    /// are on, emits one structured `ingest.health` event per transition
-    /// when events are on, and returns the transitions.
+    /// depth and cumulative drop/quality counters (the tracker deltas
+    /// internally — see [`crate::health`]). Call between batches at the
+    /// snapshot cadence. Updates the `ingest.shardNN.health` and
+    /// `ingest.quality.*` gauges when metrics are on, emits one structured
+    /// `ingest.health` event per transition when events are on, and
+    /// returns the transitions.
     pub fn observe_health(&mut self) -> Vec<HealthTransition> {
         let t_ns = obs::elapsed_ns();
         let metrics_on = obs::metrics_enabled();
         let mut transitions = Vec::new();
+        let mut worst_drift = 0u64;
         for (shard, tracker) in self.shards.iter_mut().zip(self.health.iter_mut()) {
             let queue_depth: u64 = shard.lanes.iter().map(|l| l.buffer.len() as u64).sum();
             let sample = HealthSample {
@@ -574,6 +669,7 @@ impl ShardedIngest {
                 records: shard.stats.records,
                 late_dropped: shard.stats.late_dropped,
                 dead_letter: shard.stats.dead_letter,
+                quality_flagged: shard.stats.quality_flagged,
             };
             if let Some((from, to)) = tracker.observe(sample) {
                 transitions.push(HealthTransition { shard: shard.index, from, to });
@@ -581,6 +677,19 @@ impl ShardedIngest {
             if metrics_on {
                 shard.obs.health.set(tracker.state().gauge_value());
             }
+            for q in &shard.quality {
+                let snap = q.monitor.snapshot();
+                let drift = to_milli(snap.max_drift_z);
+                worst_drift = worst_drift.max(drift);
+                if metrics_on {
+                    q.nan_bp.set(fraction_to_bp(snap.nan_fraction));
+                    q.gap_bp.set(fraction_to_bp(snap.gap_fraction));
+                    q.drift_mz.set(drift);
+                }
+            }
+        }
+        if metrics_on {
+            self.worst_drift.set(worst_drift);
         }
         if obs::events_enabled() {
             for tr in &transitions {
@@ -598,6 +707,18 @@ impl ShardedIngest {
     /// Current health state per shard (what the gauges show).
     pub fn health_states(&self) -> Vec<HealthState> {
         self.health.iter().map(|h| h.state()).collect()
+    }
+
+    /// Current per-vehicle quality readings, sorted by vehicle id (what
+    /// the `ingest.quality.v*` gauges show after the next health tick).
+    pub fn quality_snapshots(&self) -> Vec<(u32, QualitySnapshot)> {
+        let mut out: Vec<(u32, QualitySnapshot)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.quality.iter().map(|q| (q.vehicle, q.monitor.snapshot())))
+            .collect();
+        out.sort_by_key(|(v, _)| *v);
+        out
     }
 
     /// Takes the provenance of every alarm emitted since the last drain
@@ -833,6 +954,65 @@ mod tests {
             vec![HealthTransition { shard: 0, from: HealthState::Degraded, to: HealthState::Ok }]
         );
         assert!(engine.stats().late_dropped >= 400, "the floods really were late-dropped");
+    }
+
+    #[test]
+    fn nan_burst_flags_quality_and_degrades_the_shard() {
+        let mut cfg = tiny_config(1);
+        cfg.health.worsen_ticks = 1;
+        cfg.quality.reference_len = 16;
+        cfg.quality.window = 8;
+        let mut engine = ShardedIngest::new(&["a", "b"], cfg);
+        let _ = engine.ingest_batch(synthetic_items(100));
+        assert!(engine.observe_health().is_empty(), "clean warm-up arms the tracker");
+        assert_eq!(engine.stats().quality_flagged, 0, "clean stream never flags");
+        // One vehicle's channels go NaN: dead-lettered by validation, but
+        // the quality monitor saw the raw rows and flags the stream.
+        let bad: Vec<StreamItem> = (100..160)
+            .map(|i| StreamItem {
+                vehicle: 1,
+                timestamp: i as i64 * 60,
+                body: StreamBody::Record(vec![f64::NAN, f64::NAN]),
+            })
+            .collect();
+        let _ = engine.ingest_batch(bad);
+        let stats = engine.stats();
+        assert!(stats.quality_flagged > 0, "NaN burst must flag");
+        let transitions = engine.observe_health();
+        assert_eq!(
+            transitions,
+            vec![HealthTransition { shard: 0, from: HealthState::Ok, to: HealthState::Degraded }],
+            "quality flags alone must move the shard off Ok"
+        );
+        let quality = engine.quality_snapshots();
+        assert_eq!(quality.len(), 1);
+        assert!(quality[0].1.nan_fraction > 0.9, "window is all NaN");
+    }
+
+    #[test]
+    fn drifting_channel_raises_drift_z_without_dead_letters() {
+        let mut cfg = tiny_config(1);
+        cfg.quality.reference_len = 32;
+        cfg.quality.window = 8;
+        let mut engine = ShardedIngest::new(&["a", "b"], cfg);
+        let _ = engine.ingest_batch(synthetic_items(100));
+        // Finite but wildly out-of-range values: validation accepts them,
+        // only the drift monitor complains.
+        let drifted: Vec<StreamItem> = (100..140)
+            .map(|i| {
+                let x = (i as f64 * 0.37).sin() * 3.0 + 500.0;
+                StreamItem {
+                    vehicle: 1,
+                    timestamp: i as i64 * 60,
+                    body: StreamBody::Record(vec![x, 2.0 * x + 1.0]),
+                }
+            })
+            .collect();
+        let _ = engine.ingest_batch(drifted);
+        assert_eq!(engine.stats().dead_letter, 0);
+        assert!(engine.stats().quality_flagged > 0, "drift must flag");
+        let (_, snap) = engine.quality_snapshots()[0];
+        assert!(snap.max_drift_z > 4.0, "drift z {}", snap.max_drift_z);
     }
 
     #[test]

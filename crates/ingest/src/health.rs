@@ -76,6 +76,9 @@ pub struct HealthThresholds {
     pub late_drop_fraction: f64,
     /// Fraction of the interval's arrivals dead-lettered.
     pub dead_letter_fraction: f64,
+    /// Fraction of the interval's records flagged by the data-quality
+    /// monitors (see [`crate::quality`]).
+    pub quality_fraction: f64,
 }
 
 impl HealthThresholds {
@@ -83,6 +86,7 @@ impl HealthThresholds {
         r.queue_growth_per_record >= self.queue_growth_per_record
             || r.late_drop_fraction >= self.late_drop_fraction
             || r.dead_letter_fraction >= self.dead_letter_fraction
+            || r.quality_fraction >= self.quality_fraction
     }
 }
 
@@ -109,11 +113,13 @@ impl Default for HealthPolicy {
                 queue_growth_per_record: 0.5,
                 late_drop_fraction: 0.05,
                 dead_letter_fraction: 0.05,
+                quality_fraction: 0.05,
             },
             stalled: HealthThresholds {
                 queue_growth_per_record: 0.95,
                 late_drop_fraction: 0.5,
                 dead_letter_fraction: 0.5,
+                quality_fraction: 0.5,
             },
             worsen_ticks: 2,
             improve_ticks: 3,
@@ -130,6 +136,8 @@ pub struct HealthRates {
     pub late_drop_fraction: f64,
     /// Dead letters as a fraction of the interval's arrivals.
     pub dead_letter_fraction: f64,
+    /// Quality-flagged records as a fraction of the interval's records.
+    pub quality_fraction: f64,
 }
 
 /// One observation of a shard: a monotonic timestamp, the instantaneous
@@ -148,6 +156,8 @@ pub struct HealthSample {
     pub late_dropped: u64,
     /// Cumulative dead-letter count.
     pub dead_letter: u64,
+    /// Cumulative count of records flagged by the data-quality monitors.
+    pub quality_flagged: u64,
 }
 
 /// The hysteresis core: folds a stream of *target* states (what the rates
@@ -268,11 +278,15 @@ impl ShardHealth {
         let d_records = sample.records.saturating_sub(prev.records) as f64;
         let d_late = sample.late_dropped.saturating_sub(prev.late_dropped) as f64;
         let d_dead = sample.dead_letter.saturating_sub(prev.dead_letter) as f64;
+        let d_quality = sample.quality_flagged.saturating_sub(prev.quality_flagged) as f64;
         let rates = HealthRates {
             queue_growth_per_record: (sample.queue_depth as f64 - prev.queue_depth as f64)
                 / d_records.max(1.0),
             late_drop_fraction: d_late / (d_late + d_records).max(1.0),
             dead_letter_fraction: d_dead / (d_dead + d_records).max(1.0),
+            // Flagged records are a subset of records, so the record count
+            // is the denominator directly.
+            quality_fraction: d_quality / d_records.max(1.0),
         };
         self.prev = Some(sample);
         self.last_rates = rates;
@@ -347,7 +361,8 @@ mod tests {
                 queue_depth: 10_000,
                 records: 50_000,
                 late_dropped: 9999,
-                dead_letter: 9999
+                dead_letter: 9999,
+                quality_flagged: 9999
             }),
             None
         );
@@ -358,6 +373,7 @@ mod tests {
             records: 51_000,
             late_dropped: 9999,
             dead_letter: 9999,
+            quality_flagged: 9999,
         });
         assert_eq!(tr, None);
         assert_eq!(h.state(), HealthState::Ok);
@@ -376,6 +392,7 @@ mod tests {
                 records: 0,
                 late_dropped: 0,
                 dead_letter: 0,
+                quality_flagged: 0,
             };
             assert_eq!(h.observe(arm), None);
             let tr = h.observe(HealthSample {
@@ -384,6 +401,7 @@ mod tests {
                 records: 1000,
                 late_dropped: 20,
                 dead_letter: 0,
+                quality_flagged: 0,
             });
             assert_eq!(tr, None, "2% late drops is below the 5% degraded threshold");
             assert_eq!(h.state(), HealthState::Ok);
@@ -411,6 +429,7 @@ mod tests {
                 records,
                 late_dropped: late,
                 dead_letter: 0,
+                quality_flagged: 0,
             })
         };
         assert_eq!(step(&mut h, 0), None, "arming sample");
@@ -427,11 +446,40 @@ mod tests {
     #[test]
     fn zero_interval_is_ignored() {
         let mut h = ShardHealth::new(quick_policy());
-        let s =
-            HealthSample { t_ns: 5, queue_depth: 0, records: 0, late_dropped: 0, dead_letter: 0 };
+        let s = HealthSample {
+            t_ns: 5,
+            queue_depth: 0,
+            records: 0,
+            late_dropped: 0,
+            dead_letter: 0,
+            quality_flagged: 0,
+        };
         assert_eq!(h.observe(s), None);
         assert_eq!(h.observe(s), None, "dt=0 cannot produce rates");
         assert_eq!(h.state(), HealthState::Ok);
+    }
+
+    #[test]
+    fn quality_flags_trip_the_machine_like_other_rates() {
+        let mut h = ShardHealth::new(quick_policy());
+        let sample = |t_ns, records, flagged| HealthSample {
+            t_ns,
+            queue_depth: 0,
+            records,
+            late_dropped: 0,
+            dead_letter: 0,
+            quality_flagged: flagged,
+        };
+        assert_eq!(h.observe(sample(1, 0, 0)), None, "arming sample");
+        // 10% of the interval's records flagged ≥ the 5% degraded bar.
+        let tr = h.observe(sample(1_000_000_001, 1000, 100));
+        assert_eq!(tr, Some((HealthState::Ok, HealthState::Degraded)));
+        assert!((h.last_rates().quality_fraction - 0.1).abs() < 1e-12);
+        // Clean interval → recovery (quick_policy: one tick each way).
+        assert_eq!(
+            h.observe(sample(2_000_000_001, 2000, 100)),
+            Some((HealthState::Degraded, HealthState::Ok))
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 pub mod engine;
 pub mod health;
+pub mod quality;
 pub mod reorder;
 pub mod router;
 
@@ -36,6 +37,7 @@ pub use health::{
     HealthFsm, HealthPolicy, HealthRates, HealthSample, HealthState, HealthThresholds,
     HealthTransition, ShardHealth,
 };
+pub use quality::{QualityConfig, QualityMonitor, QualitySnapshot};
 pub use reorder::{PushOutcome, ReorderBuffer, ReorderStats, SeqKey, Sequenced};
 pub use router::ShardRouter;
 

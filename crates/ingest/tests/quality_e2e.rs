@@ -1,0 +1,115 @@
+//! End-to-end data-quality telemetry: a seeded fleet stream whose first
+//! vehicle drifts mid-replay must light up the whole quality plane —
+//! the per-vehicle drift gauge crosses the flag threshold within a bounded
+//! number of post-onset records, the victim's shard leaves `Ok`, and the
+//! `quality` burn-rate alert fires off the exported counters.
+//!
+//! This is the test twin of the CI `quality-smoke` job (which asserts the
+//! same story over a live scrape endpoint); here everything is in-process
+//! and deterministic, so the latency bound can be exact.
+
+use navarchos_fleetsim::{
+    dirty_stream, interleave_fleet, CorruptionMode, DirtyConfig, FleetConfig, StreamBody,
+};
+use navarchos_ingest::{HealthState, IngestConfig, ShardedIngest};
+use navarchos_obs as obs;
+
+/// Detection-latency bound, in records of the drifting vehicle: the
+/// monitor needs `window/4 = 8` post-onset samples before the rolling
+/// window is comparable, so 64 is generous slack on top.
+const K_RECORDS: u64 = 64;
+
+#[test]
+fn drifting_vehicle_trips_gauges_health_and_burn_rate_alert() {
+    obs::set_metrics_enabled(true);
+
+    let fleet = FleetConfig::small(31).generate();
+    let victim = fleet.vehicles[0].id.0;
+    let clean = interleave_fleet(&fleet);
+
+    // Finite additive drift from halfway: records stay well-formed (no
+    // dead letters), so only the drift monitor can see the fault.
+    let onset = 0.5;
+    let dirt = DirtyConfig {
+        seed: 0,
+        reorder_prob: 0.0,
+        reorder_horizon_s: 0,
+        dup_prob: 0.0,
+        drop_prob: 0.0,
+        corrupt_prob: 0.0,
+        targeted: None,
+    }
+    .with_target(victim, onset, CorruptionMode::Bias(1.0e6));
+    let stream = dirty_stream(&clean, &dirt);
+    let onset_index = (onset * clean.len() as f64) as usize;
+    let victim_post_onset = clean
+        .iter()
+        .enumerate()
+        .filter(|(i, item)| {
+            *i >= onset_index
+                && item.vehicle == victim
+                && matches!(item.body, StreamBody::Record(_))
+        })
+        .count() as u64;
+    assert!(victim_post_onset > 2 * K_RECORDS, "fleet too small to bound detection latency");
+
+    let names = fleet.vehicles[0].frame.names().to_vec();
+    let mut engine = ShardedIngest::new(&names, IngestConfig::paper_default(2));
+    let mut evaluator = obs::BurnRateEvaluator::new(obs::default_policies());
+    let ring = obs::SnapshotRing::new(64);
+    let mut transitions = Vec::new();
+    ring.push(obs::take_snapshot()); // pre-ingest baseline for the deltas
+
+    let mut chunk = stream;
+    while !chunk.is_empty() {
+        let rest = chunk.split_off(2000.min(chunk.len()));
+        let _ = engine.ingest_batch(chunk);
+        engine.observe_health();
+        ring.push(obs::take_snapshot());
+        transitions.extend(evaluator.evaluate(&ring));
+        chunk = rest;
+    }
+    let _ = engine.finish();
+    engine.observe_health();
+    ring.push(obs::take_snapshot());
+    transitions.extend(evaluator.evaluate(&ring));
+
+    let stats = engine.stats();
+    assert_eq!(stats.dead_letter, 0, "biased rows are finite and must not dead-letter");
+
+    // 1. The drift gauge crossed the flag threshold (4.0 z = 4000 milli-z)
+    //    and flagged all but the detection-latency head of the post-onset
+    //    records: flagged >= post_onset - K pins the latency to <= K.
+    let drift_mz = obs::gauge(&format!("ingest.quality.v{victim:02}.drift_mz")).get();
+    assert!(drift_mz >= 4_000, "victim drift gauge at {drift_mz} milli-z, want >= 4000");
+    assert!(
+        stats.quality_flagged >= victim_post_onset - K_RECORDS,
+        "flagged {} of {} post-onset records — detection latency above {} records",
+        stats.quality_flagged,
+        victim_post_onset,
+        K_RECORDS
+    );
+    assert!(
+        stats.quality_flagged <= victim_post_onset,
+        "only the drifting vehicle's records may be flagged ({} > {})",
+        stats.quality_flagged,
+        victim_post_onset
+    );
+
+    // 2. The victim's shard left Ok on quality alone (no dead letters, no
+    //    stalls — the quality fraction is the only tripped rate).
+    assert!(
+        engine.health_states().iter().any(|h| *h != HealthState::Ok),
+        "no shard left Ok despite a drifting vehicle"
+    );
+
+    // 3. The quality burn-rate alert fired: 1 vehicle in the fleet drifting
+    //    burns the 0.1% flagged-records budget tens of times over.
+    assert!(
+        transitions.iter().any(|t| t.name == "quality" && t.to == obs::AlertState::Firing),
+        "quality alert never fired; transitions: {transitions:?}"
+    );
+    // The alert plane exported its state for scrapers.
+    assert!(obs::gauge("alert.quality.state").get() >= 1);
+    assert!(obs::counter("alert.quality.transitions").get() >= 1);
+}

@@ -1,0 +1,431 @@
+//! Multi-window burn-rate alerting over the snapshot ring.
+//!
+//! A [`BurnRatePolicy`] names a *bad-event budget*: a fraction of some
+//! denominator (records processed, latency samples taken) that is allowed
+//! to be bad (alarms raised, quality flags, samples over the SLO). The
+//! evaluator measures the **burn rate** — observed bad fraction divided by
+//! the budget — over two trailing windows:
+//!
+//! * a **fast** window (seconds): burn `>= fast_burn` means the budget is
+//!   being consumed so quickly that the alert goes straight to
+//!   [`AlertState::Firing`];
+//! * a **slow** window (tens of seconds): burn `>= slow_burn` means a
+//!   sustained simmer worth a [`AlertState::Warning`].
+//!
+//! Windows are realised against the [`SnapshotRing`]: for each window the
+//! evaluator diffs the newest snapshot against the newest snapshot at or
+//! before `latest - window`, falling back to the oldest held snapshot while
+//! the ring warms up (the window degrades to the covered span rather than
+//! reporting nothing).
+//!
+//! De-escalation is hysteretic: an alert escalates immediately but only
+//! steps *down* after [`BurnRatePolicy::clear_ticks`] consecutive
+//! evaluations below threshold, so a briefly quiet window does not flap a
+//! firing alert back to Ok.
+//!
+//! Each policy exports three gauges and a counter (wildcards in the metric
+//! registry, one family per policy name):
+//!
+//! | metric | meaning |
+//! |---|---|
+//! | `alert.*.state` | 0 = Ok, 1 = Warning, 2 = Firing |
+//! | `alert.*.burn_fast_m` | fast-window burn rate × 1000 |
+//! | `alert.*.burn_slow_m` | slow-window burn rate × 1000 |
+//! | `alert.*.transitions` | state changes since start |
+//!
+//! and every transition additionally emits an `alert.transition` event so
+//! journals carry alert provenance alongside alarm provenance.
+
+use std::sync::Arc;
+
+use crate::event::Event;
+use crate::metrics::{counter, gauge, Counter, Gauge};
+use crate::snapshot::{MetricsSnapshot, SnapshotRing};
+
+/// Severity ladder for a burn-rate alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertState {
+    /// Budget consumption is within plan.
+    Ok = 0,
+    /// The slow window shows a sustained simmer.
+    Warning = 1,
+    /// The fast window shows rapid budget consumption.
+    Firing = 2,
+}
+
+impl AlertState {
+    /// Stable wire/gauge encoding.
+    pub fn as_u64(self) -> u64 {
+        self as u64
+    }
+
+    /// Human-readable name, used by `navarchos top` and events.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertState::Ok => "ok",
+            AlertState::Warning => "warning",
+            AlertState::Firing => "firing",
+        }
+    }
+}
+
+/// What counts as "bad" and "total" for a policy.
+#[derive(Debug, Clone)]
+pub enum BurnSource {
+    /// Counter-vs-counter ratio: `numerator / denominator` of the deltas
+    /// over the window is the observed bad fraction.
+    Ratio {
+        /// Counter counting bad events (e.g. `ingest.quality.flagged`).
+        numerator: String,
+        /// Counter counting all events (e.g. `ingest.records`).
+        denominator: String,
+    },
+    /// Histogram-tail fraction: samples recorded above `slo_ns` divided by
+    /// all samples recorded in the window.
+    LatencyOverSlo {
+        /// Histogram of latencies in nanoseconds (e.g. `alarm.latency_ns`).
+        histogram: String,
+        /// Latency objective; samples in buckets wholly above this are bad.
+        slo_ns: u64,
+    },
+}
+
+/// One burn-rate alert definition.
+#[derive(Debug, Clone)]
+pub struct BurnRatePolicy {
+    /// Alert family name; becomes the `*` in `alert.*.state`. Use
+    /// lowercase snake_case so Prometheus sanitisation is a no-op.
+    pub name: String,
+    /// Bad/total measurement.
+    pub source: BurnSource,
+    /// Allowed bad fraction (0..1]. Burn rate = observed fraction / budget.
+    pub budget: f64,
+    /// Fast (page-worthy) trailing window.
+    pub fast_window_ns: u64,
+    /// Slow (simmer) trailing window.
+    pub slow_window_ns: u64,
+    /// Fast-window burn multiple at which the alert fires.
+    pub fast_burn: f64,
+    /// Slow-window burn multiple at which the alert warns.
+    pub slow_burn: f64,
+    /// Consecutive below-threshold evaluations before de-escalating.
+    pub clear_ticks: u32,
+}
+
+impl BurnRatePolicy {
+    /// Ratio policy with the default window/burn/hysteresis shape.
+    pub fn ratio(name: &str, numerator: &str, denominator: &str, budget: f64) -> Self {
+        BurnRatePolicy {
+            name: name.to_string(),
+            source: BurnSource::Ratio {
+                numerator: numerator.to_string(),
+                denominator: denominator.to_string(),
+            },
+            budget,
+            fast_window_ns: 2_000_000_000,
+            slow_window_ns: 10_000_000_000,
+            fast_burn: 8.0,
+            slow_burn: 2.0,
+            clear_ticks: 3,
+        }
+    }
+
+    /// Latency-SLO policy with the default window/burn/hysteresis shape.
+    pub fn latency(name: &str, histogram: &str, slo_ns: u64, budget: f64) -> Self {
+        BurnRatePolicy {
+            name: name.to_string(),
+            source: BurnSource::LatencyOverSlo { histogram: histogram.to_string(), slo_ns },
+            budget,
+            fast_window_ns: 2_000_000_000,
+            slow_window_ns: 10_000_000_000,
+            fast_burn: 8.0,
+            slow_burn: 2.0,
+            clear_ticks: 3,
+        }
+    }
+}
+
+/// The default alert set wired into `serve-replay`.
+///
+/// * `alarm_rate` — fleet alarm emissions per ingested record against a
+///   1% budget: a fleet suddenly alarming on most records is either a
+///   detector regression or a genuinely bad day, and both deserve a page.
+/// * `quality` — quality-flagged records per ingested record against a
+///   0.1% budget: one corrupted vehicle in a 50-vehicle fleet consumes
+///   this 10–20× over, tripping the fast window even when the whole
+///   replay fits inside it (burn then degrades to the full-run fraction).
+/// * `alarm_latency` — detection-to-emission latency over a 250 ms SLO
+///   against a 1% budget.
+pub fn default_policies() -> Vec<BurnRatePolicy> {
+    vec![
+        BurnRatePolicy::ratio("alarm_rate", "ingest.alarms", "ingest.records", 0.01),
+        BurnRatePolicy::ratio("quality", "ingest.quality.flagged", "ingest.records", 0.001),
+        BurnRatePolicy::latency("alarm_latency", "alarm.latency_ns", 250_000_000, 0.01),
+    ]
+}
+
+/// A state change produced by one evaluation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    /// Policy name.
+    pub name: String,
+    /// Previous state.
+    pub from: AlertState,
+    /// New state.
+    pub to: AlertState,
+    /// Fast-window burn rate at transition time.
+    pub burn_fast: f64,
+    /// Slow-window burn rate at transition time.
+    pub burn_slow: f64,
+}
+
+#[derive(Debug)]
+struct PolicyRuntime {
+    policy: BurnRatePolicy,
+    state: AlertState,
+    calm_ticks: u32,
+    state_gauge: Arc<Gauge>,
+    fast_gauge: Arc<Gauge>,
+    slow_gauge: Arc<Gauge>,
+    transitions: Arc<Counter>,
+}
+
+/// Evaluates a set of burn-rate policies against a snapshot ring.
+#[derive(Debug)]
+pub struct BurnRateEvaluator {
+    policies: Vec<PolicyRuntime>,
+}
+
+impl BurnRateEvaluator {
+    /// Builds the evaluator and mints its `alert.*` metric families so the
+    /// scrape endpoint exports them (at zero) from the first poll.
+    pub fn new(policies: Vec<BurnRatePolicy>) -> Self {
+        let policies = policies
+            .into_iter()
+            .map(|policy| {
+                let name = &policy.name;
+                PolicyRuntime {
+                    state_gauge: gauge(&format!("alert.{name}.state")),
+                    fast_gauge: gauge(&format!("alert.{name}.burn_fast_m")),
+                    slow_gauge: gauge(&format!("alert.{name}.burn_slow_m")),
+                    transitions: counter(&format!("alert.{name}.transitions")),
+                    state: AlertState::Ok,
+                    calm_ticks: 0,
+                    policy,
+                }
+            })
+            .collect();
+        BurnRateEvaluator { policies }
+    }
+
+    /// Current state of a policy by name (for rendering and tests).
+    pub fn state(&self, name: &str) -> Option<AlertState> {
+        self.policies.iter().find(|p| p.policy.name == name).map(|p| p.state)
+    }
+
+    /// All policy states in construction order (for summaries).
+    pub fn states(&self) -> Vec<(&str, AlertState)> {
+        self.policies.iter().map(|p| (p.policy.name.as_str(), p.state)).collect()
+    }
+
+    /// Runs one evaluation pass over the ring, updating gauges and
+    /// returning (and emitting as events) any state transitions.
+    pub fn evaluate(&mut self, ring: &SnapshotRing) -> Vec<AlertTransition> {
+        let Some(latest) = ring.at_or_before(u64::MAX) else { return Vec::new() };
+        let mut out = Vec::new();
+        for rt in &mut self.policies {
+            let burn_fast = window_burn(ring, &latest, rt.policy.fast_window_ns, &rt.policy);
+            let burn_slow = window_burn(ring, &latest, rt.policy.slow_window_ns, &rt.policy);
+            let target = if burn_fast >= rt.policy.fast_burn {
+                AlertState::Firing
+            } else if burn_slow >= rt.policy.slow_burn {
+                AlertState::Warning
+            } else {
+                AlertState::Ok
+            };
+
+            let next = if target > rt.state {
+                // Escalate immediately: burn-rate alerts exist to page fast.
+                rt.calm_ticks = 0;
+                target
+            } else if target < rt.state {
+                // De-escalate only after a sustained calm stretch.
+                rt.calm_ticks += 1;
+                if rt.calm_ticks >= rt.policy.clear_ticks {
+                    rt.calm_ticks = 0;
+                    target
+                } else {
+                    rt.state
+                }
+            } else {
+                rt.calm_ticks = 0;
+                rt.state
+            };
+
+            rt.fast_gauge.set(burn_to_milli(burn_fast));
+            rt.slow_gauge.set(burn_to_milli(burn_slow));
+            if next != rt.state {
+                let transition = AlertTransition {
+                    name: rt.policy.name.clone(),
+                    from: rt.state,
+                    to: next,
+                    burn_fast,
+                    burn_slow,
+                };
+                rt.transitions.incr();
+                crate::emit(
+                    &Event::new("alert.transition")
+                        .field("alert", transition.name.as_str())
+                        .field("from", transition.from.name())
+                        .field("to", transition.to.name())
+                        .field("burn_fast_m", burn_to_milli(burn_fast))
+                        .field("burn_slow_m", burn_to_milli(burn_slow)),
+                );
+                rt.state = next;
+                out.push(transition);
+            }
+            rt.state_gauge.set(rt.state.as_u64());
+        }
+        out
+    }
+}
+
+/// Burn rate over one trailing window: observed bad fraction / budget.
+fn window_burn(
+    ring: &SnapshotRing,
+    latest: &MetricsSnapshot,
+    window_ns: u64,
+    policy: &BurnRatePolicy,
+) -> f64 {
+    let anchor_t = latest.t_ns.saturating_sub(window_ns);
+    let Some(older) = ring.at_or_before(anchor_t) else { return 0.0 };
+    let (bad, total) = match &policy.source {
+        BurnSource::Ratio { numerator, denominator } => {
+            let bad = counter_delta(&older, latest, numerator);
+            let total = counter_delta(&older, latest, denominator);
+            (bad, total)
+        }
+        BurnSource::LatencyOverSlo { histogram, slo_ns } => {
+            tail_delta(&older, latest, histogram, *slo_ns)
+        }
+    };
+    if total <= 0.0 || policy.budget <= 0.0 {
+        return 0.0;
+    }
+    (bad / total) / policy.budget
+}
+
+fn counter_delta(older: &MetricsSnapshot, newer: &MetricsSnapshot, name: &str) -> f64 {
+    let new = newer.counters.get(name).copied().unwrap_or(0);
+    let old = older.counters.get(name).copied().unwrap_or(0);
+    new.saturating_sub(old) as f64
+}
+
+/// (samples above `slo_ns`, all samples) recorded between the snapshots.
+fn tail_delta(
+    older: &MetricsSnapshot,
+    newer: &MetricsSnapshot,
+    name: &str,
+    slo_ns: u64,
+) -> (f64, f64) {
+    let Some(new_h) = newer.histograms.get(name) else { return (0.0, 0.0) };
+    let mut bad = 0u64;
+    let mut total = 0u64;
+    let old_h = older.histograms.get(name);
+    for (i, &new_count) in new_h.counts.iter().enumerate() {
+        let old_count = old_h.map_or(0, |h| h.counts.get(i).copied().unwrap_or(0));
+        let d = new_count.saturating_sub(old_count);
+        total += d;
+        if crate::metrics::bucket_lower_bound(i) > slo_ns {
+            bad += d;
+        }
+    }
+    (bad as f64, total as f64)
+}
+
+/// Burn rate × 1000, saturated into a gauge-friendly integer.
+fn burn_to_milli(burn: f64) -> u64 {
+    if !burn.is_finite() || burn <= 0.0 {
+        0
+    } else {
+        (burn * 1000.0).min(u64::MAX as f64 / 2.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::take_snapshot;
+    use std::collections::BTreeMap;
+
+    fn snap(t_ns: u64, counters: &[(&str, u64)]) -> MetricsSnapshot {
+        let mut base = take_snapshot();
+        base.t_ns = t_ns;
+        base.counters = counters.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        base.histograms = BTreeMap::new();
+        base
+    }
+
+    fn ratio_policy(clear_ticks: u32) -> BurnRatePolicy {
+        let mut p = BurnRatePolicy::ratio("t_alert", "t.bad", "t.total", 0.01);
+        p.clear_ticks = clear_ticks;
+        p
+    }
+
+    #[test]
+    fn burn_fires_warns_and_clears_with_hysteresis() {
+        let ring = SnapshotRing::new(16);
+        let mut eval = BurnRateEvaluator::new(vec![ratio_policy(2)]);
+
+        // Warm-up: no bad events.
+        ring.push(snap(0, &[("t.bad", 0), ("t.total", 0)]));
+        ring.push(snap(1_000_000_000, &[("t.bad", 0), ("t.total", 1000)]));
+        assert!(eval.evaluate(&ring).is_empty());
+        assert_eq!(eval.state("t_alert"), Some(AlertState::Ok));
+
+        // A dense bad burst: 100 of the 1100 records so far are bad, ~9%
+        // vs a 1% budget — burn ~9 >= fast_burn 8, fire now.
+        ring.push(snap(2_000_000_000, &[("t.bad", 100), ("t.total", 1100)]));
+        let t = eval.evaluate(&ring);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, AlertState::Firing);
+
+        // Calm traffic again: de-escalation waits out clear_ticks.
+        ring.push(snap(30_000_000_000, &[("t.bad", 100), ("t.total", 50_000)]));
+        assert!(eval.evaluate(&ring).is_empty());
+        assert_eq!(eval.state("t_alert"), Some(AlertState::Firing));
+        ring.push(snap(31_000_000_000, &[("t.bad", 100), ("t.total", 51_000)]));
+        let t = eval.evaluate(&ring);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, AlertState::Ok);
+    }
+
+    #[test]
+    fn slow_simmer_warns_without_firing() {
+        let ring = SnapshotRing::new(16);
+        let mut eval = BurnRateEvaluator::new(vec![ratio_policy(3)]);
+        // 3% bad vs 1% budget: burn 3 is below fast_burn 8, above slow_burn 2.
+        ring.push(snap(0, &[("t.bad", 0), ("t.total", 0)]));
+        ring.push(snap(12_000_000_000, &[("t.bad", 30), ("t.total", 1000)]));
+        let t = eval.evaluate(&ring);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, AlertState::Warning);
+    }
+
+    #[test]
+    fn empty_ring_and_zero_denominator_stay_quiet() {
+        let ring = SnapshotRing::new(4);
+        let mut eval = BurnRateEvaluator::new(vec![ratio_policy(1)]);
+        assert!(eval.evaluate(&ring).is_empty());
+        ring.push(snap(0, &[]));
+        ring.push(snap(1_000_000_000, &[]));
+        assert!(eval.evaluate(&ring).is_empty());
+        assert_eq!(eval.state("t_alert"), Some(AlertState::Ok));
+    }
+
+    #[test]
+    fn default_policies_cover_rate_quality_and_latency() {
+        let names: Vec<String> = default_policies().into_iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["alarm_rate", "quality", "alarm_latency"]);
+    }
+}

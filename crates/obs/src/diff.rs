@@ -242,6 +242,34 @@ pub fn diff_manifests(current: &Json, baseline: &Json, cfg: &DiffConfig) -> Diff
         }
     }
 
+    // Gauges (additive in v2 manifests): two-sided like counters — a gauge
+    // is a last-value reading (health state, threshold headroom), so an
+    // unexplained move either way on the same workload is drift. Baselines
+    // predating the section simply contribute no probes, and every current
+    // gauge lands as a "new in current" note.
+    let base_gauges = numeric_entries(baseline, "gauges");
+    let cur_gauges = numeric_entries(current, "gauges");
+    for (k, b) in &base_gauges {
+        probes.push(Probe {
+            key: format!("gauges.{k}"),
+            current: cur_gauges.iter().find(|(ck, _)| ck == k).map(|(_, v)| *v),
+            baseline: Some(*b),
+            direction: Direction::TwoSided,
+            tol_pct: cfg.tol_pct,
+        });
+    }
+    for (k, v) in &cur_gauges {
+        if !base_gauges.iter().any(|(bk, _)| bk == k) {
+            probes.push(Probe {
+                key: format!("gauges.{k}"),
+                current: Some(*v),
+                baseline: None,
+                direction: Direction::NoteOnly,
+                tol_pct: cfg.tol_pct,
+            });
+        }
+    }
+
     // Histograms: quantiles held to the timing rule, counts informational.
     let base_hists = hist_names(baseline);
     for name in &base_hists {
@@ -679,6 +707,33 @@ mod tests {
         let report = diff_timings(&cur, &base, &DiffConfig::default());
         assert!(report.ok(), "{}", report.render());
         assert!(!report.regressions.iter().any(|l| l.key.starts_with("histograms.")));
+    }
+
+    #[test]
+    fn gauges_diff_two_sided_and_appear_as_notes_when_new() {
+        let with_gauges = |v: f64| {
+            let mut m = manifest(0.5, 1000.0, 1e6, 0.68);
+            if let Json::Obj(pairs) = &mut m {
+                pairs.push((
+                    "gauges".to_string(),
+                    Json::Obj(vec![("ingest.shard00.health".to_string(), Json::Num(v))]),
+                ));
+            }
+            m
+        };
+        // Same gauge value: clean. Drifted gauge: two-sided regression.
+        let report = diff_manifests(&with_gauges(0.0), &with_gauges(0.0), &DiffConfig::default());
+        assert!(report.ok(), "{}", report.render());
+        let report = diff_manifests(&with_gauges(2.0), &with_gauges(0.0), &DiffConfig::default());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|l| l.key == "gauges.ingest.shard00.health" && l.detail.contains("drifted")));
+        // Baseline without the section (pre-v2): current gauges are notes.
+        let base = manifest(0.5, 1000.0, 1e6, 0.68);
+        let report = diff_manifests(&with_gauges(1.0), &base, &DiffConfig::default());
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.notes.iter().any(|l| l.key == "gauges.ingest.shard00.health"));
     }
 
     #[test]

@@ -39,8 +39,10 @@ pub fn sanitize_metric_name(name: &str) -> String {
 }
 
 /// Renders a snapshot in the Prometheus text exposition format (version
-/// 0.0.4): counters and gauges verbatim, histograms as summaries with
-/// [`SUMMARY_QUANTILES`] plus `_sum`/`_count`.
+/// 0.0.4): counters and gauges verbatim, histograms and quantile sketches
+/// as summaries with [`SUMMARY_QUANTILES`] plus `_sum`/`_count` (sketch
+/// quantiles are `f64`, histogram quantiles bucketed `u64` — the grammar
+/// does not distinguish).
 pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     out.push_str(&format!("# navarchos ops-plane snapshot at t_ns={}\n", snap.t_ns));
@@ -59,6 +61,14 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
             out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", h.quantile(q)));
         }
         out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+    }
+    for (name, s) in &snap.sketches {
+        let n = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        for q in SUMMARY_QUANTILES {
+            out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", s.quantile(q)));
+        }
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", s.sum(), s.count()));
     }
     out
 }
@@ -270,7 +280,13 @@ mod tests {
             h.max = h.max.max(v);
         }
         histograms.insert("alarm.latency_ns".to_string(), h);
-        MetricsSnapshot { t_ns: 42, counters, gauges, histograms }
+        let mut sketches = BTreeMap::new();
+        let mut sk = crate::sketch::QuantileSketch::default();
+        for v in [0.25f64, 0.5, 0.75] {
+            sk.record(v);
+        }
+        sketches.insert("pipeline.score".to_string(), sk);
+        MetricsSnapshot { t_ns: 42, counters, gauges, histograms, sketches }
     }
 
     #[test]
@@ -294,6 +310,12 @@ mod tests {
         assert_eq!(q[0].labels, vec![("quantile".to_string(), "0.5".to_string())]);
         assert_eq!(by_name("alarm_latency_ns_count")[0].value, 3.0);
         assert_eq!(by_name("alarm_latency_ns_sum")[0].value, 555.0);
+        // Sketches expose the same summary shape, with f64 quantiles.
+        let sq = by_name("pipeline_score");
+        assert_eq!(sq.len(), SUMMARY_QUANTILES.len());
+        assert_eq!(sq[0].value, 0.5, "exact below k");
+        assert_eq!(by_name("pipeline_score_count")[0].value, 3.0);
+        assert_eq!(by_name("pipeline_score_sum")[0].value, 1.5);
     }
 
     #[test]

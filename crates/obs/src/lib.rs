@@ -31,11 +31,14 @@
 //!
 //! [`json`] (value/writer/parser) → [`event`] (NDJSON encode/decode) →
 //! [`sink`] (null / stderr / NDJSON file) → [`metrics`] (registry) →
-//! [`span`] (RAII timing) → [`manifest`] (per-run JSON document) →
-//! [`flame`] (trace → folded stacks) → [`diff`] (manifest regression diff) →
-//! [`snapshot`] (periodic registry snapshots + deltas) → [`export`]
-//! (Prometheus text exposition + scrape endpoint).
+//! [`sketch`] (mergeable quantile sketches) → [`span`] (RAII timing) →
+//! [`manifest`] (per-run JSON document) → [`flame`] (trace → folded
+//! stacks) → [`diff`] (manifest regression diff) → [`snapshot`]
+//! (periodic registry snapshots + deltas) → [`export`] (Prometheus text
+//! exposition + scrape endpoint) → [`alert`] (multi-window burn-rate
+//! alerting over the snapshot ring).
 
+pub mod alert;
 pub mod diff;
 pub mod event;
 pub mod export;
@@ -44,9 +47,11 @@ pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod sink;
+pub mod sketch;
 pub mod snapshot;
 pub mod span;
 
+pub use alert::{default_policies, AlertState, AlertTransition, BurnRateEvaluator, BurnRatePolicy};
 pub use diff::{diff_manifests, diff_timings, DiffConfig, DiffReport};
 pub use event::{encode_ndjson, parse_line, Event};
 pub use export::{
@@ -57,10 +62,11 @@ pub use flame::{fold_spans, fold_trace, render_folded, SpanClose};
 pub use json::Json;
 pub use manifest::{stage_clock, Manifest, StageClock};
 pub use metrics::{
-    counter, gauge, histogram, probe_sample_mask, set_probe_sample_shift, BatchedRecorder, Counter,
-    Gauge, Histogram,
+    counter, gauge, histogram, probe_sample_mask, set_probe_sample_shift, sketch, BatchedRecorder,
+    Counter, Gauge, Histogram,
 };
 pub use sink::{NdjsonSink, NullSink, Sink, StderrSink};
+pub use sketch::{rank_error_bound, QuantileSketch, Sketch};
 pub use snapshot::{
     delta, start_sampler, take_snapshot, CounterDelta, MetricsSnapshot, SamplerGuard,
     SnapshotDelta, SnapshotRing,

@@ -16,6 +16,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::sketch::{QuantileSketch, Sketch};
+
 /// Exact unit buckets below this value.
 const LINEAR_CUTOFF: u64 = 16;
 /// Sub-buckets per octave above the linear cutoff (2^3).
@@ -380,6 +382,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    sketches: Mutex<BTreeMap<String, Arc<Sketch>>>,
 }
 
 fn registry() -> &'static Registry {
@@ -414,6 +417,14 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
     Arc::clone(map.entry(name.to_string()).or_default())
 }
 
+/// Returns (creating on first use) the quantile sketch named `name`.
+/// Cache the handle at call sites; hot loops should accumulate into a
+/// local [`QuantileSketch`] and [`Sketch::merge_from`] it at flush time.
+pub fn sketch(name: &str) -> Arc<Sketch> {
+    let mut map = recover(registry().sketches.lock());
+    Arc::clone(map.entry(name.to_string()).or_default())
+}
+
 /// Point-in-time copy of every registered metric.
 #[derive(Debug, Clone, Default)]
 pub struct RegistrySnapshot {
@@ -423,6 +434,8 @@ pub struct RegistrySnapshot {
     pub gauges: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Quantile-sketch snapshots by name.
+    pub sketches: BTreeMap<String, QuantileSketch>,
 }
 
 /// Snapshots the whole registry (counters with value 0 included —
@@ -436,7 +449,11 @@ pub fn snapshot() -> RegistrySnapshot {
         .iter()
         .map(|(k, v)| (k.clone(), v.snapshot()))
         .collect();
-    RegistrySnapshot { counters, gauges, histograms }
+    let sketches = recover(registry().sketches.lock())
+        .iter()
+        .map(|(k, v)| (k.clone(), v.snapshot()))
+        .collect();
+    RegistrySnapshot { counters, gauges, histograms, sketches }
 }
 
 #[cfg(test)]
@@ -566,6 +583,19 @@ mod tests {
         assert_eq!(snap.counters.get("test.metrics.snap_counter"), Some(&3));
         let h = snap.histograms.get("test.metrics.snap_hist").expect("registered");
         assert!(h.count >= 1);
+    }
+
+    #[test]
+    fn sketch_is_registered_and_snapshotted() {
+        let s = sketch("test.metrics.snap_sketch");
+        for i in 0..100 {
+            s.record(i as f64);
+        }
+        let snap = snapshot();
+        let got = snap.sketches.get("test.metrics.snap_sketch").expect("registered");
+        assert_eq!(got.count(), 100);
+        assert_eq!(got.quantile(1.0), 99.0);
+        assert!(Arc::ptr_eq(&s, &sketch("test.metrics.snap_sketch")));
     }
 
     #[test]

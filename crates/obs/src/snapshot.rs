@@ -18,6 +18,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::metrics::{self, Counter, HistogramSnapshot};
+use crate::sketch::QuantileSketch;
 
 /// A timestamped point-in-time copy of the whole metric registry.
 #[derive(Debug, Clone, Default)]
@@ -30,6 +31,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Quantile-sketch snapshots by name.
+    pub sketches: BTreeMap<String, QuantileSketch>,
 }
 
 /// Takes one snapshot of the registry, stamped before the registry walk so
@@ -39,7 +42,13 @@ pub fn take_snapshot() -> MetricsSnapshot {
     static TAKEN: OnceLock<Arc<Counter>> = OnceLock::new();
     TAKEN.get_or_init(|| metrics::counter("obs.snapshots")).incr();
     let reg = metrics::snapshot();
-    MetricsSnapshot { t_ns, counters: reg.counters, gauges: reg.gauges, histograms: reg.histograms }
+    MetricsSnapshot {
+        t_ns,
+        counters: reg.counters,
+        gauges: reg.gauges,
+        histograms: reg.histograms,
+        sketches: reg.sketches,
+    }
 }
 
 /// What one counter did between two snapshots.
@@ -69,6 +78,10 @@ pub struct SnapshotDelta {
     /// registry does not keep per-interval extrema), so they bound the
     /// whole run, not the interval; quantile clamping stays conservative.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Sketches summarise a cumulative distribution whose compacted items
+    /// cannot be subtracted, so — like gauges — the newer snapshot wins;
+    /// quantiles over these describe the run so far, not the interval.
+    pub sketches: BTreeMap<String, QuantileSketch>,
 }
 
 impl SnapshotDelta {
@@ -119,7 +132,13 @@ pub fn delta(older: &MetricsSnapshot, newer: &MetricsSnapshot) -> SnapshotDelta 
             (name.clone(), d)
         })
         .collect();
-    SnapshotDelta { dt_ns, counters, gauges: newer.gauges.clone(), histograms }
+    SnapshotDelta {
+        dt_ns,
+        counters,
+        gauges: newer.gauges.clone(),
+        histograms,
+        sketches: newer.sketches.clone(),
+    }
 }
 
 /// A bounded ring of snapshots, shareable across the sampler thread, the
@@ -188,6 +207,14 @@ impl SnapshotRing {
     pub fn latest_delta(&self) -> Option<SnapshotDelta> {
         self.latest_pair().map(|(older, newer)| delta(&older, &newer))
     }
+
+    /// The newest held snapshot stamped at or before `t_ns`, falling back
+    /// to the oldest held one — burn-rate windows degrade gracefully to
+    /// the span the ring actually covers while it warms up.
+    pub fn at_or_before(&self, t_ns: u64) -> Option<Arc<MetricsSnapshot>> {
+        let ring = recover(self.ring.lock());
+        ring.iter().rev().find(|s| s.t_ns <= t_ns).cloned().or_else(|| ring.front().cloned())
+    }
 }
 
 /// RAII owner of the background sampler thread. Dropping the guard stops
@@ -255,9 +282,24 @@ mod tests {
         MetricsSnapshot {
             t_ns,
             counters: counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
-            gauges: BTreeMap::new(),
-            histograms: BTreeMap::new(),
+            ..Default::default()
         }
+    }
+
+    #[test]
+    fn sketch_delta_is_newer_wins() {
+        let mut older = snap_at(0, &[]);
+        let mut s0 = QuantileSketch::default();
+        s0.record(1.0);
+        older.sketches.insert("s".into(), s0);
+        let mut newer = snap_at(1_000_000_000, &[]);
+        let mut s1 = QuantileSketch::default();
+        for v in [1.0, 2.0, 3.0] {
+            s1.record(v);
+        }
+        newer.sketches.insert("s".into(), s1.clone());
+        let d = delta(&older, &newer);
+        assert_eq!(d.sketches.get("s"), Some(&s1), "sketches carry the cumulative view");
     }
 
     #[test]

@@ -437,3 +437,101 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------- sketch ---
+
+/// Fraction of `sorted` strictly below / at-or-below `v` — the exact-rank
+/// band a sketch estimate must land near.
+fn exact_rank_band(sorted: &[f64], v: f64) -> (f64, f64) {
+    let n = sorted.len() as f64;
+    let lt = sorted.iter().filter(|x| **x < v).count() as f64 / n;
+    let le = sorted.iter().filter(|x| **x <= v).count() as f64 / n;
+    (lt, le)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every quantile estimate's exact rank stays within the documented
+    /// rank-error bound of the requested rank (plus 1/n for the
+    /// discreteness of small inputs). k = 64 forces real compaction at
+    /// these lengths, so this exercises the compactor hierarchy, not the
+    /// exact small-n path.
+    #[test]
+    fn sketch_quantiles_respect_documented_rank_error(
+        mut vals in prop::collection::vec(-1.0e6f64..1.0e6, 1..1500),
+        qs in prop::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        use navarchos_obs::QuantileSketch;
+        let mut sk = QuantileSketch::new(64);
+        for &v in &vals {
+            sk.record(v);
+        }
+        vals.sort_by(f64::total_cmp);
+        let eps = sk.rank_error_bound() + 1.0 / vals.len() as f64;
+        for &q in &qs {
+            let est = sk.quantile(q);
+            let (lo, hi) = exact_rank_band(&vals, est);
+            prop_assert!(
+                lo - eps <= q && q <= hi + eps,
+                "quantile({q}) = {est} has exact rank [{lo}, {hi}], outside +/-{eps}"
+            );
+        }
+    }
+
+    /// Merging is associative up to the error bound: both association
+    /// orders agree exactly on count/min/max, agree closely on sum, and
+    /// both satisfy the rank-error bound against the pooled exact data.
+    #[test]
+    fn sketch_merge_is_associative_within_bound(
+        a in prop::collection::vec(-1.0e6f64..1.0e6, 0..400),
+        b in prop::collection::vec(-1.0e6f64..1.0e6, 0..400),
+        c in prop::collection::vec(-1.0e6f64..1.0e6, 1..400),
+    ) {
+        use navarchos_obs::QuantileSketch;
+        let build = |vals: &[f64]| {
+            let mut sk = QuantileSketch::new(64);
+            for &v in vals {
+                sk.record(v);
+            }
+            sk
+        };
+        let (ska, skb, skc) = (build(&a), build(&b), build(&c));
+        // ((a + b) + c)
+        let mut left = QuantileSketch::new(64);
+        left.merge(&ska);
+        left.merge(&skb);
+        left.merge(&skc);
+        // (a + (b + c))
+        let mut bc = QuantileSketch::new(64);
+        bc.merge(&skb);
+        bc.merge(&skc);
+        let mut right = QuantileSketch::new(64);
+        right.merge(&ska);
+        right.merge(&bc);
+
+        let mut pooled: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        pooled.sort_by(f64::total_cmp);
+        let n = pooled.len() as f64;
+        prop_assert_eq!(left.count(), pooled.len() as u64);
+        prop_assert_eq!(right.count(), pooled.len() as u64);
+        prop_assert_eq!(left.min(), pooled[0]);
+        prop_assert_eq!(right.min(), pooled[0]);
+        prop_assert_eq!(left.max(), pooled[pooled.len() - 1]);
+        prop_assert_eq!(right.max(), pooled[pooled.len() - 1]);
+        let sum_scale = pooled.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        prop_assert!((left.sum() - right.sum()).abs() / sum_scale < 1e-12);
+
+        for sk in [&left, &right] {
+            let eps = sk.rank_error_bound() + 1.0 / n;
+            for q in [0.01, 0.25, 0.5, 0.75, 0.9, 0.99] {
+                let est = sk.quantile(q);
+                let (lo, hi) = exact_rank_band(&pooled, est);
+                prop_assert!(
+                    lo - eps <= q && q <= hi + eps,
+                    "merged quantile({q}) = {est} rank [{lo}, {hi}] outside +/-{eps}"
+                );
+            }
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! | id  | rule |
 //! |-----|------|
-//! | L8  | every `counter`/`gauge`/`histogram`/`span` name used in `crates/*/src` must be declared in the metric registry file, and vice versa |
+//! | L8  | every `counter`/`gauge`/`histogram`/`sketch`/`span` name used in `crates/*/src` must be declared in the metric registry file, and vice versa |
 //! | L9  | every `Ordering::*` use carries a `//` justification (same line or line above); read-modify-write with `Relaxed` is waiver-only |
 //! | L10 | registered kernel roots must not reach an allocation (`Vec::new`, `vec!`, `to_vec`, `clone`, `format!`, `Box::new`, `collect`, …) through any call path |
 //! | L11 | registered kernel roots must not reach `unwrap`/`expect`/`panic!`-family macros or unchecked indexing through any call path |
@@ -26,7 +26,7 @@ use crate::SourceFile;
 /// wildcards for families minted through a `format!` template.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricEntry {
-    /// `counter`, `gauge`, `histogram` or `span`.
+    /// `counter`, `gauge`, `histogram`, `sketch` or `span`.
     pub kind: String,
     /// Declared name or wildcard pattern.
     pub name: String,
@@ -44,10 +44,10 @@ pub fn parse_registry(text: &str) -> Result<Vec<MetricEntry>, String> {
      -> Result<(), String> {
         if let Some((at_line, kind, name)) = cur.take() {
             let kind = kind.ok_or(format!("registry entry at line {at_line} missing `kind`"))?;
-            if !matches!(kind.as_str(), "counter" | "gauge" | "histogram" | "span") {
+            if !matches!(kind.as_str(), "counter" | "gauge" | "histogram" | "sketch" | "span") {
                 return Err(format!(
                     "registry entry at line {at_line}: kind `{kind}` is not \
-                     counter/gauge/histogram/span"
+                     counter/gauge/histogram/sketch/span"
                 ));
             }
             let name = name.ok_or(format!("registry entry at line {at_line} missing `name`"))?;
@@ -151,8 +151,8 @@ struct MetricUse {
 }
 
 /// Collects `counter("..")` / `gauge("..")` / `histogram("..")` /
-/// `span("..")` / `span_child_of("..")` sites from one file's test-stripped
-/// tokens.
+/// `sketch("..")` / `span("..")` / `span_child_of("..")` sites from one
+/// file's test-stripped tokens.
 fn metric_uses(f: &SourceFile) -> Vec<MetricUse> {
     let toks = &f.lib_toks;
     let mut out = Vec::new();
@@ -164,6 +164,7 @@ fn metric_uses(f: &SourceFile) -> Vec<MetricUse> {
             "counter" => "counter",
             "gauge" => "gauge",
             "histogram" => "histogram",
+            "sketch" => "sketch",
             "span" | "span_child_of" => "span",
             _ => continue,
         };

@@ -232,9 +232,14 @@ fn cmd_alarm_latency(args: &[String]) -> ExitCode {
         }
     };
 
+    // A journal may be empty (no alarms raised) or end in a truncated line
+    // (the writer was killed mid-append). Neither is a reason to fail a
+    // post-mortem tool: unusable lines are warned about and skipped, and an
+    // empty tally exits 0 with a message.
     let mut buffer_wait: Vec<u64> = Vec::new();
     let mut pipeline: Vec<u64> = Vec::new();
     let mut total: Vec<u64> = Vec::new();
+    let mut skipped = 0usize;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -242,8 +247,9 @@ fn cmd_alarm_latency(args: &[String]) -> ExitCode {
         let doc = match navarchos_obs::json::parse(line) {
             Ok(d) => d,
             Err(e) => {
-                eprintln!("{}:{}: malformed journal line: {e}", journal.display(), i + 1);
-                return ExitCode::from(1);
+                eprintln!("{}:{}: skipping malformed journal line: {e}", journal.display(), i + 1);
+                skipped += 1;
+                continue;
             }
         };
         let field = |name: &str| -> Option<u64> {
@@ -253,18 +259,22 @@ fn cmd_alarm_latency(args: &[String]) -> ExitCode {
             (field("arrival_ns"), field("release_ns"), field("emit_ns"))
         else {
             eprintln!(
-                "{}:{}: journal line lacks arrival_ns/release_ns/emit_ns",
+                "{}:{}: skipping journal line lacking arrival_ns/release_ns/emit_ns",
                 journal.display(),
                 i + 1
             );
-            return ExitCode::from(1);
+            skipped += 1;
+            continue;
         };
         buffer_wait.push(release.saturating_sub(arrival));
         pipeline.push(emit.saturating_sub(release));
         total.push(emit.saturating_sub(arrival));
     }
+    if skipped > 0 {
+        eprintln!("alarm-latency: skipped {skipped} unusable line(s)");
+    }
     if total.is_empty() {
-        println!("alarm-latency: no alarms in {}", journal.display());
+        println!("alarm-latency: no usable alarms in {}", journal.display());
         return ExitCode::SUCCESS;
     }
     buffer_wait.sort_unstable();
