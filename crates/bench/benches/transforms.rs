@@ -8,6 +8,7 @@ use navarchos_stat::correlation::CorrelationPairs;
 use navarchos_stat::{IncrementalMean, IncrementalPearson};
 use navarchos_tsframe::{
     CorrelationTransform, DeltaTransform, Frame, MeanTransform, RawTransform, Transform,
+    WindowCadence,
 };
 
 /// One vehicle-day-scale telemetry frame (~7k records).
@@ -170,5 +171,54 @@ fn bench_mean_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_transforms, bench_correlation_kernel, bench_mean_kernel);
+/// The cadence bookkeeping every windowed transform runs per record —
+/// must stay negligible next to the kernels it schedules. Also the
+/// checkpoint hot path: a snapshot round-trip per emission boundary.
+fn bench_window_cadence(c: &mut Criterion) {
+    let frame = telemetry();
+    let n = frame.len().min(4096);
+    let ts: Vec<i64> = frame.timestamps()[..n].to_vec();
+
+    let mut group = c.benchmark_group("window_cadence_w45_s3");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("per_record", |b| {
+        b.iter(|| {
+            let mut cadence = WindowCadence::new(45, 3);
+            let mut emissions = 0usize;
+            for &t in &ts {
+                let _ = cadence.gap_reset(t);
+                if cadence.note_push() {
+                    emissions += 1;
+                }
+            }
+            emissions
+        })
+    });
+    group.bench_function("snapshot_round_trip", |b| {
+        use navarchos_stat::{Restore, SnapReader, SnapWriter, Snapshot};
+        let mut cadence = WindowCadence::new(45, 3);
+        for &t in &ts {
+            let _ = cadence.gap_reset(t);
+            let _ = cadence.note_push();
+        }
+        b.iter(|| {
+            let mut w = SnapWriter::new();
+            cadence.write_state(&mut w);
+            let bytes = w.into_bytes();
+            let mut fresh = WindowCadence::new(45, 3);
+            let mut r = SnapReader::new(&bytes);
+            fresh.read_state(&mut r).expect("round trip");
+            fresh.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transforms,
+    bench_correlation_kernel,
+    bench_mean_kernel,
+    bench_window_cadence
+);
 criterion_main!(benches);

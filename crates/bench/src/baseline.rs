@@ -454,6 +454,55 @@ pub fn run(scale: &BaselineScale, progress: &mut dyn Write) -> obs::Json {
     }
     obs::set_metrics_enabled(false);
 
+    // PR 10 checkpoint: snapshot size and write/restore latency as the
+    // resident fleet grows — the cost of durability, committed. Each pass
+    // warms a fresh engine on the stream of the first `keep` vehicles,
+    // serialises it, restores it, and asserts the round trip preserved
+    // the counters (a wrong restore here would also fail the ingest
+    // property suite, but the bench asserting it keeps the timing honest:
+    // both sides of the measurement do the full work). Metrics are off:
+    // the warm-up ingests are scaffolding, and letting them bump the
+    // global ingest.* counters would skew the committed per-shard tallies
+    // the manifest diff guards.
+    let clock = obs::stage_clock();
+    let n_shards = *scale.ingest_shards.last().expect("at least one shard count");
+    let total_vehicles = fleet.vehicles.len();
+    let mut seen = std::collections::BTreeSet::new();
+    for frac in [4usize, 2, 1] {
+        let keep = (total_vehicles / frac).max(1);
+        if !seen.insert(keep) {
+            continue;
+        }
+        let ids: std::collections::BTreeSet<u32> =
+            fleet.vehicles.iter().take(keep).map(|vd| vd.id.0).collect();
+        let stream: Vec<_> = clean.iter().filter(|it| ids.contains(&it.vehicle)).cloned().collect();
+        let consumed = stream.len() as u64;
+        let mut engine = ShardedIngest::new(&names, IngestConfig::paper_default(n_shards));
+        let alarms = engine.ingest_batch(stream);
+        let started = Instant::now();
+        let bytes = navarchos_ingest::write_checkpoint(&engine, consumed, &alarms);
+        let write_ms = started.elapsed().as_secs_f64() * 1e3;
+        let started = Instant::now();
+        let restored = navarchos_ingest::read_checkpoint(
+            &names,
+            IngestConfig::paper_default(n_shards),
+            &bytes,
+        )
+        .expect("the bench checkpoint must restore");
+        let restore_ms = started.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(restored.engine.stats(), engine.stats(), "restore must preserve counters");
+        manifest.metric(&format!("checkpoint_bytes_vehicles{keep}"), bytes.len());
+        manifest.metric(&format!("checkpoint_write_ms_vehicles{keep}"), write_ms);
+        manifest.metric(&format!("checkpoint_restore_ms_vehicles{keep}"), restore_ms);
+        let _ = writeln!(
+            progress,
+            "[bench_baseline] checkpoint ({keep} vehicle(s)): {} bytes, \
+             write {write_ms:.2} ms, restore {restore_ms:.2} ms",
+            bytes.len()
+        );
+    }
+    manifest.end_stage("checkpoint", clock);
+
     // PR 9 sketch substrate: the mergeable quantile sketch's record /
     // query / merge costs on a deterministic value stream, reported per
     // operation so the overhead of wiring sketches into hot paths is a

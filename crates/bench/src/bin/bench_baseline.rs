@@ -1,9 +1,10 @@
 //! Thin CLI wrapper over [`navarchos_bench::baseline`]: runs the full-scale
 //! measurement pass (paper fleet, 5 reps, ingest at 1 and 4 shards, snapshot
-//! sampler at 1 s and 100 ms cadence, sketch substrate, drift latency) and
-//! writes the manifest to `BENCH_PR9.json` at the repo root — the trajectory
+//! sampler at 1 s and 100 ms cadence, checkpoint round-trips at three fleet
+//! sizes, sketch substrate, drift latency) and
+//! writes the manifest to `BENCH_PR10.json` at the repo root — the trajectory
 //! file is generated, never hand-edited. Progress lines go to stderr; the
-//! committed `BENCH_PR8.json` stays as the regression baseline for
+//! committed `BENCH_PR9.json` stays as the regression baseline for
 //! `check-manifest --against` (the tier-1 guard in
 //! `crates/bench/tests/manifest_guard.rs` runs the same pass at smoke scale
 //! against the structural `BENCH_PR3.json` floor).
@@ -13,9 +14,9 @@ use navarchos_bench::baseline::{run, BaselineScale};
 fn main() {
     navarchos_bench::init_obs();
     let doc = run(&BaselineScale::full(), &mut std::io::stderr());
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json");
     let rendered = doc.to_pretty_string();
-    std::fs::write(path, &rendered).expect("write BENCH_PR9.json");
+    std::fs::write(path, &rendered).expect("write BENCH_PR10.json");
     println!("{rendered}");
     println!("[written to {path}]");
 }

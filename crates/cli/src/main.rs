@@ -125,6 +125,7 @@ USAGE:
                          [--dirty SEED [--reorder-prob F] [--dup-prob F] [--drop-prob F] [--corrupt-prob F]]
                          [--corrupt-vehicle N [--corrupt-after FRAC] [--corrupt-mode nan|bias] [--corrupt-bias F]]
                          [--verify] [--metrics] [--manifest FILE] [--batch-size N] [--journal FILE]
+                         [--checkpoint-every N [--checkpoint FILE]] [--restore FILE]
                          [--metrics-addr HOST:PORT [--snapshot-ms N] [--hold-s N]]
   navarchos check-manifest --path FILE [--against BASELINE] [--tol-pct N] [--time-tol-pct N]
                            [--ignore k1,k2] [--slo-p99-ms N]
@@ -151,6 +152,15 @@ OBSERVABILITY:
                     with `cargo run -p xtask -- alarm-latency --journal FILE`
   --batch-size N    serve-replay: feed the engine in N-item batches and observe
                     per-shard health between batches (0 = one batch)
+  --checkpoint-every N  serve-replay: write a navarchos-checkpoint/v1 snapshot
+                    of the full engine state every N stream items (to
+                    --checkpoint FILE, default serve-checkpoint.bin; written
+                    atomically via tmp + rename)
+  --restore FILE    serve-replay: restore engine state from a checkpoint and
+                    resume the regenerated stream at its cursor; run with the
+                    same fleet/dirt/config flags as the checkpointed run —
+                    alarms (prior + resumed) stay byte-identical to the
+                    uninterrupted run, so --verify still passes
   --corrupt-vehicle N  serve-replay: corrupt vehicle N's records from
                     --corrupt-after (fraction of the stream, default 0.5)
                     onward — NaN bursts by default, a finite additive shift
@@ -690,6 +700,21 @@ fn observe_alerts(
     }
 }
 
+/// Writes a checkpoint atomically: serialise, write to `<path>.tmp`,
+/// rename. A crash mid-write leaves the previous checkpoint intact.
+fn write_checkpoint_file(
+    path: &Path,
+    engine: &navarchos_ingest::ShardedIngest,
+    cursor: u64,
+    alarms: &[navarchos_ingest::FleetAlarm],
+) -> Result<(), String> {
+    let bytes = navarchos_ingest::write_checkpoint(engine, cursor, alarms);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &bytes).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))?;
+    Ok(())
+}
+
 /// Serves a fleet's interleaved (optionally dirtied) event stream through
 /// the sharded ingest engine and reports what the engine did with it;
 /// `--verify` additionally replays every vehicle sorted and fails unless
@@ -810,6 +835,14 @@ fn cmd_serve_replay(flags: &BTreeMap<String, String>) -> Result<(), String> {
     // health FSM (0, the default, ingests everything as one batch and
     // health is only observed once, at the end).
     let batch_size: usize = get_num(flags, "batch-size", 0)?;
+    // `--checkpoint-every N` snapshots the full engine state (plus stream
+    // cursor and alarm ledger) every N items; `--restore FILE` resumes a
+    // checkpointed run. The stream is regenerated deterministically from
+    // the same flags, so skipping the cursor's worth of items lands the
+    // restored engine exactly where the checkpointed one stopped.
+    let checkpoint_every: usize = get_num(flags, "checkpoint-every", 0)?;
+    let checkpoint_path: PathBuf =
+        flags.get("checkpoint").map(PathBuf::from).unwrap_or_else(|| "serve-checkpoint.bin".into());
     // Burn-rate alerting rides on metrics: its own snapshot ring is fed at
     // batch boundaries (not the ops-plane sampler cadence) so a replay
     // that outruns wall-clock still accumulates evaluable deltas.
@@ -820,23 +853,66 @@ fn cmd_serve_replay(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let mut alert_log: Vec<obs::AlertTransition> = Vec::new();
     let clock = obs::stage_clock();
     let started = std::time::Instant::now();
-    let mut engine = ShardedIngest::new(&names, cfg.clone());
-    let mut alarms = Vec::new();
+    let dirty_len = stream.len() as u64;
+    let mut engine;
+    let mut alarms: Vec<navarchos_ingest::FleetAlarm>;
+    let mut cursor: u64 = 0;
+    if let Some(restore_path) = flags.get("restore") {
+        let bytes = std::fs::read(restore_path).map_err(|e| format!("read {restore_path}: {e}"))?;
+        let restored = navarchos_ingest::read_checkpoint(&names, cfg.clone(), &bytes)
+            .map_err(|e| format!("restore {restore_path}: {e}"))?;
+        engine = restored.engine;
+        cursor = restored.cursor;
+        alarms = restored.prior_alarms;
+        if cursor > dirty_len {
+            return Err(format!(
+                "restore {restore_path}: checkpoint cursor {cursor} is past the regenerated \
+                 stream ({dirty_len} items) — was the run configured identically?"
+            ));
+        }
+        println!(
+            "restored engine from {restore_path}: cursor {cursor}, {} prior alarm(s)",
+            alarms.len()
+        );
+        stream.drain(..cursor as usize);
+    } else {
+        engine = ShardedIngest::new(&names, cfg.clone());
+        alarms = Vec::new();
+    }
+    let cursor_at_start = cursor;
+    let mut checkpoint_writes = 0usize;
     let mut transitions = Vec::new();
     observe_alerts(&mut alerting, &mut alert_log); // baseline snapshot
-    if batch_size == 0 {
-        alarms = engine.ingest_batch(stream);
+    let chunk_size = if batch_size > 0 { batch_size } else { checkpoint_every };
+    if chunk_size == 0 {
+        alarms.extend(engine.ingest_batch(stream));
     } else {
+        // Checkpoints land at chunk boundaries, once per crossed multiple
+        // of `checkpoint_every`; the end-of-stream boundary is skipped so
+        // the file left behind always points mid-stream.
+        let every = checkpoint_every as u64;
+        let mut ckpt_bucket = if every > 0 { cursor / every } else { 0 };
         let mut chunk = stream;
         while !chunk.is_empty() {
-            let rest = chunk.split_off(batch_size.min(chunk.len()));
+            let rest = chunk.split_off(chunk_size.min(chunk.len()));
+            cursor += chunk.len() as u64;
             alarms.extend(engine.ingest_batch(chunk));
-            transitions.extend(engine.observe_health());
-            observe_alerts(&mut alerting, &mut alert_log);
+            if batch_size > 0 {
+                transitions.extend(engine.observe_health());
+                observe_alerts(&mut alerting, &mut alert_log);
+            }
+            if every > 0 && cursor / every > ckpt_bucket && !rest.is_empty() {
+                ckpt_bucket = cursor / every;
+                write_checkpoint_file(&checkpoint_path, &engine, cursor, &alarms)?;
+                checkpoint_writes += 1;
+            }
             chunk = rest;
         }
     }
     alarms.extend(engine.finish());
+    if checkpoint_writes > 0 {
+        println!("wrote {checkpoint_writes} checkpoint(s) to {}", checkpoint_path.display());
+    }
     transitions.extend(engine.observe_health());
     observe_alerts(&mut alerting, &mut alert_log);
     let wall = started.elapsed().as_secs_f64();
@@ -895,6 +971,8 @@ fn cmd_serve_replay(flags: &BTreeMap<String, String>) -> Result<(), String> {
         m.metric("alarms", stats.alarms);
         m.metric("peak_queue_depth", stats.peak_queue_depth);
         m.metric("health_transitions", transitions.len());
+        m.metric("checkpoints_written", checkpoint_writes);
+        m.metric("restored_cursor", cursor_at_start as usize);
         m.metric(
             "health_worst",
             health.iter().map(|h| h.gauge_value()).max().unwrap_or(0) as usize,
@@ -956,10 +1034,29 @@ fn cmd_serve_replay(flags: &BTreeMap<String, String>) -> Result<(), String> {
         for fa in &alarms {
             got.entry(fa.vehicle).or_default().push(fa.alarm.clone());
         }
+        // Counter accounting: every stream item must be offered (a restore
+        // that skips or double-feeds records shifts `offered` off the
+        // stream length) and every offered item must land in exactly one
+        // outcome bucket. Alarm equivalence alone can miss an eaten
+        // record whose loss happens not to change any alarm.
+        let offered = stats.records + stats.maintenance;
+        let accounted = stats.released + stats.duplicates + stats.late_dropped + stats.dead_letter;
+        let accounting_ok = offered == dirty_len && accounted == offered;
+        println!(
+            "verify: accounting — offered {offered} of {dirty_len} stream items; released {} \
+             + duplicates {} + late-dropped {} + dead-lettered {} = {accounted}",
+            stats.released, stats.duplicates, stats.late_dropped, stats.dead_letter
+        );
         let ok = got == expected;
         if let Some(m) = manifest.as_mut() {
             m.end_stage("verify", clock);
-            m.metric("verified", usize::from(ok));
+            m.metric("verified", usize::from(ok && accounting_ok));
+        }
+        if !accounting_ok {
+            verify_failure = Some(format!(
+                "serve-replay --verify: counter accounting shows lost or double-counted \
+                 records (offered {offered} of {dirty_len}, outcome buckets sum to {accounted})"
+            ));
         }
         if ok {
             println!(

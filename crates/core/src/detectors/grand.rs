@@ -155,6 +155,20 @@ impl Detector for GrandDetector {
     fn uses_constant_threshold(&self) -> bool {
         true
     }
+
+    // `fit` deterministically rebuilds the NCM index and calibration set
+    // from the restored reference profile (and resets the martingale), so
+    // only the martingale's evolved state needs to travel.
+    fn write_state(&self, w: &mut navarchos_stat::SnapWriter) {
+        navarchos_stat::Snapshot::write_state(&self.martingale, w);
+    }
+
+    fn read_state(
+        &mut self,
+        r: &mut navarchos_stat::SnapReader<'_>,
+    ) -> Result<(), navarchos_stat::SnapError> {
+        navarchos_stat::Restore::read_state(&mut self.martingale, r)
+    }
 }
 
 #[cfg(test)]

@@ -64,6 +64,29 @@ pub trait Detector: std::fmt::Debug + Send {
     fn uses_constant_threshold(&self) -> bool {
         false
     }
+
+    /// Appends the detector's mutable *streaming* state to a checkpoint
+    /// writer. Fitted models themselves are not serialised: `fit` is
+    /// deterministic given the reference profile and seeded params, so the
+    /// restoring pipeline re-fits from the restored profile and then calls
+    /// [`Detector::read_state`] to recover what a re-fit cannot — the
+    /// rolling windows and martingale state that evolved after fitting.
+    /// The default writes nothing, which is correct for the stateless
+    /// scorers (closest-pair, XGBoost, iforest, MLP, PCA, KDE).
+    fn write_state(&self, w: &mut navarchos_stat::SnapWriter) {
+        let _ = w;
+    }
+
+    /// Overwrites the detector's mutable streaming state from a checkpoint
+    /// reader (counterpart of [`Detector::write_state`]; called after
+    /// re-fitting).
+    fn read_state(
+        &mut self,
+        r: &mut navarchos_stat::SnapReader<'_>,
+    ) -> Result<(), navarchos_stat::SnapError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Identifies a detector choice; used by experiment grids.

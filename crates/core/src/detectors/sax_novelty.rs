@@ -128,6 +128,34 @@ impl Detector for SaxNoveltyDetector {
         self.since_emit = 0;
         self.last_scores = vec![0.0; self.names.len()];
     }
+
+    // The vocabulary is rebuilt deterministically by `fit`; the rolling
+    // buffer, emission phase and held scores are the evolved state.
+    fn write_state(&self, w: &mut navarchos_stat::SnapWriter) {
+        w.put_f64_slice(&self.buffer);
+        w.put_usize(self.since_emit);
+        w.put_f64_slice(&self.last_scores);
+    }
+
+    fn read_state(
+        &mut self,
+        r: &mut navarchos_stat::SnapReader<'_>,
+    ) -> Result<(), navarchos_stat::SnapError> {
+        let n_feats = self.names.len();
+        let buffer = r.get_f64_vec()?;
+        if buffer.len() % n_feats != 0 || buffer.len() > self.window * n_feats {
+            return Err(navarchos_stat::SnapError::Corrupt("SaxNoveltyDetector buffer mismatch"));
+        }
+        let since_emit = r.get_usize()?;
+        let last_scores = r.get_f64_vec()?;
+        if last_scores.len() != n_feats {
+            return Err(navarchos_stat::SnapError::Corrupt("SaxNoveltyDetector score mismatch"));
+        }
+        self.buffer = buffer;
+        self.since_emit = since_emit;
+        self.last_scores = last_scores;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -107,6 +107,24 @@ impl Detector for TranAdDetector {
         self.model = None;
         self.buffer.clear();
     }
+
+    // `fit` is deterministic (seeded) from the reference profile; the
+    // rolling window of recent samples is the only evolved state.
+    fn write_state(&self, w: &mut navarchos_stat::SnapWriter) {
+        w.put_f64_slice(&self.buffer);
+    }
+
+    fn read_state(
+        &mut self,
+        r: &mut navarchos_stat::SnapReader<'_>,
+    ) -> Result<(), navarchos_stat::SnapError> {
+        let buffer = r.get_f64_vec()?;
+        if buffer.len() % self.dim != 0 || buffer.len() > self.cfg.window * self.dim {
+            return Err(navarchos_stat::SnapError::Corrupt("TranAdDetector buffer mismatch"));
+        }
+        self.buffer = buffer;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

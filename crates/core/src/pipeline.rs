@@ -11,6 +11,7 @@ use crate::detectors::{Detector, DetectorKind, DetectorParams};
 use crate::reference::{ReferenceProfile, ResetPolicy};
 use crate::threshold::SelfTuningThreshold;
 use navarchos_obs as obs;
+use navarchos_stat::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use navarchos_tsframe::{FilterSpec, Frame, Transform, TransformKind};
 
 /// Pipeline configuration (one vehicle's instantiation of the framework).
@@ -517,6 +518,59 @@ impl StreamingPipeline {
     }
 }
 
+// The pipeline's mutable state, in processing order: phase, transform
+// buffers, reference profile, tuned threshold, detector streaming state,
+// plus the model-quality telemetry needed for gauge continuity. The fitted
+// detector model itself is NOT serialised — `fit` is deterministic given
+// the profile and seeded params, so `read_state` re-fits from the restored
+// profile (the profile data is retained after fitting exactly so this is
+// possible) and then restores the detector's evolved streaming state.
+impl Snapshot for StreamingPipeline {
+    fn write_state(&self, w: &mut SnapWriter) {
+        match self.phase {
+            Phase::FillingReference => w.put_u8(0),
+            Phase::Holdout(seen) => {
+                w.put_u8(1);
+                w.put_usize(seen);
+            }
+            Phase::Detecting => w.put_u8(2),
+        }
+        self.transform.write_state(w);
+        self.profile.write_state(w);
+        self.threshold.write_state(w);
+        self.detector.write_state(w);
+        w.put_u64(self.stats.emissions_since_refit);
+        w.put_opt_f64(self.stats.last_threshold_mean);
+    }
+}
+
+impl Restore for StreamingPipeline {
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let phase = match r.get_u8()? {
+            0 => Phase::FillingReference,
+            1 => Phase::Holdout(r.get_usize()?),
+            2 => Phase::Detecting,
+            _ => return Err(SnapError::Corrupt("pipeline phase tag out of range")),
+        };
+        self.transform.read_state(r)?;
+        self.profile.read_state(r)?;
+        self.threshold.read_state(r)?;
+        if phase != Phase::FillingReference {
+            // Past the filling phase the profile must be complete, or the
+            // deterministic re-fit below could panic on a short profile.
+            if !self.profile.is_full() {
+                return Err(SnapError::Corrupt("pipeline phase past an unfilled profile"));
+            }
+            self.detector.fit(&self.profile);
+        }
+        self.detector.read_state(r)?;
+        self.phase = phase;
+        self.stats.emissions_since_refit = r.get_u64()?;
+        self.stats.last_threshold_mean = r.get_opt_f64()?;
+        Ok(())
+    }
+}
+
 /// Streams one vehicle's full history through a fresh
 /// [`StreamingPipeline`], interleaving maintenance events at their
 /// recorded times — the measurement pass behind `alarm.latency_ns`: the
@@ -777,6 +831,86 @@ mod tests {
         let replayed = replay_stream(&frame, &[], cfg);
         assert_eq!(replayed, expected);
         assert!(!replayed.is_empty(), "flip must alarm through replay too");
+    }
+
+    /// Checkpoint at cut point `k` of a 260-record flip stream, restore
+    /// into a fresh pipeline, feed the remainder: alarms must be
+    /// byte-identical to the uninterrupted run (scores compared by bits,
+    /// not approximately).
+    #[test]
+    fn checkpoint_restore_resumes_byte_identical() {
+        let records: Vec<(i64, [f64; 2])> = (0..260)
+            .map(|i| {
+                let a = (i as f64 * 0.7).sin() * 10.0 + 20.0;
+                let b = if i < 200 { 2.0 * a + 1.0 } else { -2.0 * a + 90.0 };
+                (i as i64 * 60, [a, b])
+            })
+            .collect();
+        let mut oracle = tiny_pipeline();
+        let mut expected = Vec::new();
+        for &(t, row) in &records {
+            expected.extend(oracle.process_record(t, &row));
+        }
+        assert!(!expected.is_empty(), "the flip must alarm");
+        for k in [3usize, 47, 120, 199, 205, 259] {
+            let mut first = tiny_pipeline();
+            for &(t, row) in &records[..k] {
+                first.process_record(t, &row);
+            }
+            let bytes = first.state_bytes();
+            let mut resumed = tiny_pipeline();
+            {
+                let mut r = navarchos_stat::SnapReader::new(&bytes);
+                Restore::read_state(&mut resumed, &mut r).unwrap();
+                r.finish().unwrap();
+            }
+            let mut got = Vec::new();
+            let mut baseline = tiny_pipeline();
+            for &(t, row) in &records[..k] {
+                baseline.process_record(t, &row);
+            }
+            for &(t, row) in &records[k..] {
+                got.extend(resumed.process_record(t, &row));
+                baseline.process_record(t, &row);
+            }
+            let tail: Vec<&Alarm> =
+                expected.iter().filter(|a| a.timestamp >= k as i64 * 60).collect();
+            assert_eq!(got.len(), tail.len(), "cut at {k}: alarm count");
+            for (g, e) in got.iter().zip(&tail) {
+                assert_eq!(g.timestamp, e.timestamp, "cut at {k}");
+                assert_eq!(g.channel, e.channel, "cut at {k}");
+                assert_eq!(g.score.to_bits(), e.score.to_bits(), "cut at {k}: score bits");
+                assert_eq!(
+                    g.threshold.to_bits(),
+                    e.threshold.to_bits(),
+                    "cut at {k}: threshold bits"
+                );
+            }
+            // snapshot → restore → snapshot is byte-stable.
+            assert_eq!(bytes, {
+                let mut again = tiny_pipeline();
+                let mut r = navarchos_stat::SnapReader::new(&bytes);
+                Restore::read_state(&mut again, &mut r).unwrap();
+                again.state_bytes()
+            });
+        }
+    }
+
+    /// Truncating the snapshot at every byte boundary must error, never
+    /// panic (L11 panic-freedom).
+    #[test]
+    fn truncated_pipeline_snapshot_errors() {
+        let mut p = tiny_pipeline();
+        feed_healthy(&mut p, 0, 120);
+        let bytes = p.state_bytes();
+        for cut in 0..bytes.len() {
+            let mut target = tiny_pipeline();
+            let mut r = navarchos_stat::SnapReader::new(&bytes[..cut]);
+            assert!(
+                Restore::read_state(&mut target, &mut r).is_err() || !r.is_at_end(),
+                "cut at {cut} silently succeeded"
+            );
+        }
     }
 
     #[test]

@@ -110,6 +110,36 @@ impl ReferenceProfile {
     }
 }
 
+// Restore writes `data` directly instead of replaying `push` so the
+// `reference.fills` counter is not re-bumped by a restore — checkpoint
+// restore must be invisible to fleet telemetry.
+impl navarchos_stat::Snapshot for ReferenceProfile {
+    fn write_state(&self, w: &mut navarchos_stat::SnapWriter) {
+        w.put_usize(self.dim);
+        w.put_usize(self.capacity);
+        w.put_f64_slice(&self.data);
+    }
+}
+
+impl navarchos_stat::Restore for ReferenceProfile {
+    fn read_state(
+        &mut self,
+        r: &mut navarchos_stat::SnapReader<'_>,
+    ) -> Result<(), navarchos_stat::SnapError> {
+        let dim = r.get_usize()?;
+        let capacity = r.get_usize()?;
+        if dim != self.dim || capacity != self.capacity {
+            return Err(navarchos_stat::SnapError::Corrupt("ReferenceProfile shape mismatch"));
+        }
+        let data = r.get_f64_vec()?;
+        if data.len() % dim != 0 || data.len() > dim * capacity {
+            return Err(navarchos_stat::SnapError::Corrupt("ReferenceProfile data mismatch"));
+        }
+        self.data = data;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

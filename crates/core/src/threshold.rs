@@ -6,6 +6,7 @@
 //! `factor` parameter.
 
 use navarchos_stat::descriptive::RunningStats;
+use navarchos_stat::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// Per-channel self-tuning threshold state.
 #[derive(Debug, Clone)]
@@ -116,6 +117,40 @@ impl SelfTuningThreshold {
                 }
             })
             .collect()
+    }
+}
+
+// State restores field-direct rather than via `fit()`: a re-fit on restore
+// would bump the `threshold.retunes` counter and re-emit the retune event,
+// making a restart visible in telemetry that should only count genuine
+// retunes.
+impl Snapshot for SelfTuningThreshold {
+    fn write_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.stats.len());
+        for st in &self.stats {
+            st.write_state(w);
+        }
+        w.put_f64_slice(&self.thresholds);
+        w.put_bool(self.fitted);
+    }
+}
+
+impl Restore for SelfTuningThreshold {
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let channels = r.get_len(8)?;
+        if channels != self.stats.len() {
+            return Err(SnapError::Corrupt("SelfTuningThreshold channel count mismatch"));
+        }
+        for st in &mut self.stats {
+            st.read_state(r)?;
+        }
+        let thresholds = r.get_f64_vec()?;
+        if thresholds.len() != self.thresholds.len() {
+            return Err(SnapError::Corrupt("SelfTuningThreshold threshold count mismatch"));
+        }
+        self.thresholds = thresholds;
+        self.fitted = r.get_bool()?;
+        Ok(())
     }
 }
 

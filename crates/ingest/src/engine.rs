@@ -31,6 +31,7 @@ use navarchos_core::pipeline::{Alarm, PipelineConfig, StreamingPipeline};
 use navarchos_core::{par_map_mut, DetectorKind, TransformKind};
 use navarchos_fleetsim::{StreamBody, StreamItem};
 use navarchos_obs as obs;
+use navarchos_stat::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::health::{HealthPolicy, HealthSample, HealthState, HealthTransition, ShardHealth};
 use crate::quality::{QualityConfig, QualityMonitor, QualitySnapshot};
@@ -56,6 +57,38 @@ impl Sequenced for Arrival {
     fn identical(&self, other: &Self) -> bool {
         self.item.identical(&other.item)
     }
+}
+
+/// Serialises one in-flight arrival for checkpoints and migration. The
+/// arrival stamp travels too: [`AlarmProvenance`] subtracts stamps with
+/// `saturating_sub`, so a stamp from a previous process (a different
+/// monotonic epoch) degrades a latency reading, never an alarm.
+fn write_arrival(w: &mut SnapWriter, a: &Arrival) {
+    w.put_u32(a.item.vehicle);
+    w.put_i64(a.item.timestamp);
+    match &a.item.body {
+        StreamBody::Record(row) => {
+            w.put_u8(0);
+            w.put_f64_slice(row);
+        }
+        StreamBody::Maintenance { is_repair } => {
+            w.put_u8(1);
+            w.put_bool(*is_repair);
+        }
+    }
+    w.put_u64(a.arrival_ns);
+}
+
+fn read_arrival(r: &mut SnapReader<'_>) -> Result<Arrival, SnapError> {
+    let vehicle = r.get_u32()?;
+    let timestamp = r.get_i64()?;
+    let body = match r.get_u8()? {
+        0 => StreamBody::Record(r.get_f64_vec()?),
+        1 => StreamBody::Maintenance { is_repair: r.get_bool()? },
+        _ => return Err(SnapError::Corrupt("unknown stream-body tag")),
+    };
+    let arrival_ns = r.get_u64()?;
+    Ok(Arrival { item: StreamItem { vehicle, timestamp, body }, arrival_ns })
 }
 
 impl Sequenced for StreamItem {
@@ -243,6 +276,66 @@ impl IngestStats {
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
         self.quality_flagged += other.quality_flagged;
     }
+
+    fn write_state(&self, w: &mut SnapWriter) {
+        for v in [
+            self.records,
+            self.maintenance,
+            self.released,
+            self.reordered,
+            self.duplicates,
+            self.late_dropped,
+            self.dead_letter,
+            self.forced_releases,
+            self.alarms,
+            self.peak_queue_depth,
+            self.quality_flagged,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    fn read_state(r: &mut SnapReader<'_>) -> Result<IngestStats, SnapError> {
+        Ok(IngestStats {
+            records: r.get_u64()?,
+            maintenance: r.get_u64()?,
+            released: r.get_u64()?,
+            reordered: r.get_u64()?,
+            duplicates: r.get_u64()?,
+            late_dropped: r.get_u64()?,
+            dead_letter: r.get_u64()?,
+            forced_releases: r.get_u64()?,
+            alarms: r.get_u64()?,
+            peak_queue_depth: r.get_u64()?,
+            quality_flagged: r.get_u64()?,
+        })
+    }
+}
+
+fn write_dead_letter(w: &mut SnapWriter, d: &DeadLetter) {
+    w.put_u32(d.vehicle);
+    w.put_i64(d.timestamp);
+    match d.reason {
+        DeadLetterReason::WrongArity { got, expected } => {
+            w.put_u8(0);
+            w.put_usize(got);
+            w.put_usize(expected);
+        }
+        DeadLetterReason::NonFinite => w.put_u8(1),
+        DeadLetterReason::Conflict => w.put_u8(2),
+    }
+}
+
+fn read_dead_letter(r: &mut SnapReader<'_>) -> Result<DeadLetter, SnapError> {
+    let vehicle = r.get_u32()?;
+    let timestamp = r.get_i64()?;
+    let reason = match r.get_u8()? {
+        0 => DeadLetterReason::WrongArity { got: r.get_usize()?, expected: r.get_usize()? },
+        1 => DeadLetterReason::NonFinite,
+        2 => DeadLetterReason::Conflict,
+        _ => return Err(SnapError::Corrupt("unknown dead-letter reason tag")),
+    };
+    Ok(DeadLetter { vehicle, timestamp, reason })
 }
 
 /// Global-counter handles, resolved once per shard.
@@ -533,6 +626,108 @@ impl Shard {
         }
     }
 
+    /// Serialises one vehicle's lane (reorder buffer + pipeline) as a
+    /// self-contained frame — the unit both full checkpoints and shard
+    /// migration move around.
+    fn write_lane(lane: &Lane, w: &mut SnapWriter) {
+        w.put_u32(lane.vehicle);
+        w.put_frame(|w| lane.buffer.write_state_with(w, write_arrival));
+        w.put_frame(|w| lane.pipeline.write_state(w));
+    }
+
+    /// Reconstructs a lane from [`Shard::write_lane`] bytes and inserts it
+    /// in vehicle order. The buffer and pipeline are built fresh from this
+    /// shard's config, then overwritten with the serialised state.
+    fn read_lane(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let vehicle = r.get_u32()?;
+        let mut buffer = ReorderBuffer::new(self.cfg.horizon_s, self.cfg.reorder_capacity);
+        let mut frame = r.get_frame()?;
+        buffer.read_state_with(&mut frame, read_arrival)?;
+        frame.finish()?;
+        let mut pipeline = StreamingPipeline::new_scoped(
+            &self.names,
+            self.cfg.pipeline.clone(),
+            Some(&format!("v{vehicle:02}")),
+        );
+        let mut frame = r.get_frame()?;
+        pipeline.read_state(&mut frame)?;
+        frame.finish()?;
+        match self.lanes.binary_search_by_key(&vehicle, |l| l.vehicle) {
+            Ok(_) => Err(SnapError::Corrupt("duplicate lane for one vehicle")),
+            Err(i) => {
+                self.lanes.insert(i, Lane { vehicle, buffer, pipeline });
+                Ok(())
+            }
+        }
+    }
+
+    fn write_quality(q: &QualityLane, w: &mut SnapWriter) {
+        w.put_u32(q.vehicle);
+        w.put_frame(|w| q.monitor.write_state(w));
+    }
+
+    fn read_quality(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let vehicle = r.get_u32()?;
+        let mut lane = QualityLane::new(vehicle, self.names.len(), self.cfg.quality);
+        let mut frame = r.get_frame()?;
+        lane.monitor.read_state(&mut frame)?;
+        frame.finish()?;
+        match self.quality.binary_search_by_key(&vehicle, |q| q.vehicle) {
+            Ok(_) => Err(SnapError::Corrupt("duplicate quality lane for one vehicle")),
+            Err(i) => {
+                self.quality.insert(i, lane);
+                Ok(())
+            }
+        }
+    }
+
+    /// Full shard state: counters, retained dead letters, every lane and
+    /// every quality monitor. Config (names, horizon, pipeline…) is not
+    /// written — the restoring engine is constructed from its own config
+    /// and the checkpoint fingerprint guards against mismatch.
+    fn write_state(&self, w: &mut SnapWriter) {
+        self.stats.write_state(w);
+        w.put_usize(self.dead.len());
+        for d in &self.dead {
+            write_dead_letter(w, d);
+        }
+        w.put_usize(self.lanes.len());
+        for lane in &self.lanes {
+            w.put_frame(|w| Shard::write_lane(lane, w));
+        }
+        w.put_usize(self.quality.len());
+        for q in &self.quality {
+            w.put_frame(|w| Shard::write_quality(q, w));
+        }
+    }
+
+    /// Counterpart of [`Shard::write_state`], on a freshly built shard.
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.stats = IngestStats::read_state(r)?;
+        let n_dead = r.get_len(13)?;
+        if n_dead > self.cfg.max_dead_letters_kept {
+            return Err(SnapError::Corrupt("more dead letters than the retention cap"));
+        }
+        self.dead.clear();
+        for _ in 0..n_dead {
+            let d = read_dead_letter(r)?;
+            self.dead.push(d);
+        }
+        let n_lanes = r.get_len(1)?;
+        for _ in 0..n_lanes {
+            let mut frame = r.get_frame()?;
+            self.read_lane(&mut frame)?;
+            frame.finish()?;
+        }
+        let n_quality = r.get_len(1)?;
+        for _ in 0..n_quality {
+            let mut frame = r.get_frame()?;
+            self.read_quality(&mut frame)?;
+            frame.finish()?;
+        }
+        Ok(())
+    }
+
     fn finish(&mut self, alarms: &mut Vec<FleetAlarm>) {
         for lane_i in 0..self.lanes.len() {
             self.released.clear();
@@ -552,14 +747,33 @@ impl Shard {
     }
 }
 
+/// Counters for vehicle moves between shards (see
+/// [`ShardedIngest::migrate_vehicle`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Vehicles moved to another shard.
+    pub moves: u64,
+    /// In-flight reorder-buffer items carried across during moves.
+    pub inflight_items: u64,
+}
+
 /// The engine: router + shards. See the module docs.
 #[derive(Debug)]
 pub struct ShardedIngest {
     router: ShardRouter,
+    /// Routing overrides from [`ShardedIngest::migrate_vehicle`], sorted
+    /// by vehicle id. The hash router stays pure; the effective route is
+    /// the override when present. Serialised into checkpoints so a
+    /// restored engine keeps delivering migrated vehicles to their new
+    /// home.
+    overrides: Vec<(u32, usize)>,
     shards: Vec<Shard>,
     health: Vec<ShardHealth>,
     /// Fleet-level worst per-vehicle drift, in milli-z.
     worst_drift: std::sync::Arc<obs::Gauge>,
+    migration: MigrationStats,
+    migration_moves: std::sync::Arc<obs::Counter>,
+    migration_inflight: std::sync::Arc<obs::Counter>,
     finished: bool,
 }
 
@@ -573,10 +787,34 @@ impl ShardedIngest {
         let shards = (0..cfg.n_shards).map(|i| Shard::new(i, names.clone(), cfg.clone())).collect();
         ShardedIngest {
             router,
+            overrides: Vec::new(),
             shards,
             health,
             worst_drift: obs::gauge("ingest.quality.worst_drift_mz"),
+            migration: MigrationStats::default(),
+            migration_moves: obs::counter("ingest.migration.moves"),
+            migration_inflight: obs::counter("ingest.migration.inflight_items"),
             finished: false,
+        }
+    }
+
+    /// The signal names per-vehicle pipelines read records with (arity
+    /// validation uses their count).
+    pub fn signal_names(&self) -> &[String] {
+        &self.shards[0].names
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &IngestConfig {
+        &self.shards[0].cfg
+    }
+
+    /// The shard `vehicle`'s state lives on: a migration override when one
+    /// exists, else the pure hash route.
+    pub fn shard_of(&self, vehicle: u32) -> usize {
+        match self.overrides.binary_search_by_key(&vehicle, |(v, _)| *v) {
+            Ok(i) => self.overrides[i].1,
+            Err(_) => self.router.route(vehicle),
         }
     }
 
@@ -584,7 +822,7 @@ impl ShardedIngest {
     /// records this arrival released.
     pub fn ingest(&mut self, item: StreamItem) -> Vec<FleetAlarm> {
         let mut alarms = Vec::new();
-        let shard = self.router.route(item.vehicle);
+        let shard = self.shard_of(item.vehicle);
         self.shards[shard].process(item, &mut alarms);
         alarms
     }
@@ -597,7 +835,7 @@ impl ShardedIngest {
         let n = self.shards.len();
         let mut buckets: Vec<Vec<StreamItem>> = (0..n).map(|_| Vec::new()).collect();
         for item in items {
-            buckets[self.router.route(item.vehicle)].push(item);
+            buckets[self.shard_of(item.vehicle)].push(item);
         }
         let mut tasks: Vec<(&mut Shard, Vec<StreamItem>)> =
             self.shards.iter_mut().zip(buckets).collect();
@@ -730,6 +968,127 @@ impl ShardedIngest {
             out.append(&mut shard.provenance);
         }
         out
+    }
+
+    /// Moves one vehicle's entire state — reorder buffer with in-flight
+    /// items, pipeline, quality monitor — to `to_shard`, and records a
+    /// routing override so future arrivals follow it. The state travels
+    /// through the same serialised-lane frames checkpoints use (drain →
+    /// snapshot → reroute → restore), so migration equivalence is the
+    /// checkpoint equivalence guarantee applied between shards: alarms
+    /// after the move are byte-identical to never having moved.
+    ///
+    /// In-flight items are *not* flushed: flushing would feed the pipeline
+    /// records the watermark has not released and change its output.
+    /// Returns whether any live state moved (an unseen vehicle gets only
+    /// the override).
+    ///
+    /// # Panics
+    /// Panics if `to_shard` is out of range.
+    pub fn migrate_vehicle(&mut self, vehicle: u32, to_shard: usize) -> bool {
+        assert!(to_shard < self.shards.len(), "target shard out of range");
+        let from = self.shard_of(vehicle);
+        match self.overrides.binary_search_by_key(&vehicle, |(v, _)| *v) {
+            Ok(i) => self.overrides[i].1 = to_shard,
+            Err(i) => self.overrides.insert(i, (vehicle, to_shard)),
+        }
+        if from == to_shard {
+            return false;
+        }
+        let mut moved = false;
+        let mut inflight = 0u64;
+        if let Ok(i) = self.shards[from].lanes.binary_search_by_key(&vehicle, |l| l.vehicle) {
+            let lane = self.shards[from].lanes.remove(i);
+            inflight = lane.buffer.len() as u64;
+            let mut w = SnapWriter::new();
+            Shard::write_lane(&lane, &mut w);
+            let bytes = w.into_bytes();
+            let mut r = SnapReader::new(&bytes);
+            self.shards[to_shard]
+                .read_lane(&mut r)
+                .and_then(|()| r.finish())
+                .expect("a just-written lane frame must restore");
+            moved = true;
+        }
+        if let Ok(i) = self.shards[from].quality.binary_search_by_key(&vehicle, |q| q.vehicle) {
+            let q = self.shards[from].quality.remove(i);
+            let mut w = SnapWriter::new();
+            Shard::write_quality(&q, &mut w);
+            let bytes = w.into_bytes();
+            let mut r = SnapReader::new(&bytes);
+            self.shards[to_shard]
+                .read_quality(&mut r)
+                .and_then(|()| r.finish())
+                .expect("a just-written quality frame must restore");
+            moved = true;
+        }
+        if moved {
+            self.migration.moves += 1;
+            self.migration.inflight_items += inflight;
+            if obs::metrics_enabled() {
+                self.migration_moves.incr();
+                self.migration_inflight.add(inflight);
+            }
+        }
+        moved
+    }
+
+    /// Cumulative migration counters.
+    pub fn migration_stats(&self) -> MigrationStats {
+        self.migration
+    }
+
+    /// Serialises the engine's full mutable state (routing overrides plus
+    /// every shard). Health-FSM trackers are deliberately excluded: they
+    /// are wall-clock-rate ops telemetry, re-armed on the next
+    /// [`ShardedIngest::observe_health`] tick after a restore.
+    pub(crate) fn write_engine_state(&self, w: &mut SnapWriter) {
+        w.put_bool(self.finished);
+        w.put_usize(self.overrides.len());
+        for (v, s) in &self.overrides {
+            w.put_u32(*v);
+            w.put_usize(*s);
+        }
+        w.put_u64(self.migration.moves);
+        w.put_u64(self.migration.inflight_items);
+        w.put_usize(self.shards.len());
+        for shard in &self.shards {
+            w.put_frame(|w| shard.write_state(w));
+        }
+    }
+
+    /// Counterpart of [`ShardedIngest::write_engine_state`], on a freshly
+    /// constructed engine with the same config.
+    pub(crate) fn read_engine_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let finished = r.get_bool()?;
+        let n_overrides = r.get_len(12)?;
+        let mut overrides = Vec::with_capacity(n_overrides);
+        for _ in 0..n_overrides {
+            let v = r.get_u32()?;
+            let s = r.get_usize()?;
+            if s >= self.shards.len() {
+                return Err(SnapError::Corrupt("routing override to a nonexistent shard"));
+            }
+            overrides.push((v, s));
+        }
+        if !overrides.iter().zip(overrides.iter().skip(1)).all(|(a, b)| a.0 < b.0) {
+            return Err(SnapError::Corrupt("routing overrides out of order"));
+        }
+        let moves = r.get_u64()?;
+        let inflight_items = r.get_u64()?;
+        let n_shards = r.get_usize()?;
+        if n_shards != self.shards.len() {
+            return Err(SnapError::Corrupt("shard-count mismatch"));
+        }
+        for shard in &mut self.shards {
+            let mut frame = r.get_frame()?;
+            shard.read_state(&mut frame)?;
+            frame.finish()?;
+        }
+        self.finished = finished;
+        self.overrides = overrides;
+        self.migration = MigrationStats { moves, inflight_items };
+        Ok(())
     }
 }
 

@@ -23,15 +23,19 @@
 //! `tests/props.rs` proves the reorder-buffer half property-based; the
 //! release-rule argument itself is in the [`reorder`] module docs.
 
+pub mod checkpoint;
 pub mod engine;
 pub mod health;
 pub mod quality;
 pub mod reorder;
 pub mod router;
 
+pub use checkpoint::{
+    read_checkpoint, write_checkpoint, RestoredEngine, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use engine::{
     AlarmProvenance, DeadLetter, DeadLetterReason, FleetAlarm, IngestConfig, IngestStats,
-    ShardedIngest,
+    MigrationStats, ShardedIngest,
 };
 pub use health::{
     HealthFsm, HealthPolicy, HealthRates, HealthSample, HealthState, HealthThresholds,
@@ -42,5 +46,8 @@ pub use reorder::{PushOutcome, ReorderBuffer, ReorderStats, SeqKey, Sequenced};
 pub use router::ShardRouter;
 
 // The stream item types live in `navarchos-fleetsim` (the feed substrate);
-// re-exported here so engine users need only this crate.
+// re-exported here so engine users need only this crate. `SnapError` is
+// re-exported so checkpoint callers (the CLI) can match restore failures
+// without depending on `navarchos-stat` directly.
 pub use navarchos_fleetsim::{StreamBody, StreamItem};
+pub use navarchos_stat::SnapError;

@@ -39,6 +39,7 @@
 //! Memory is bounded: one `f64` ring per channel plus one gap ring per
 //! vehicle, all of length `window`.
 
+use navarchos_stat::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use std::collections::VecDeque;
 
 /// Thresholds and window lengths for one vehicle's monitor.
@@ -204,6 +205,51 @@ impl ChannelQuality {
     }
 }
 
+impl ChannelQuality {
+    fn write_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.ref_count);
+        w.put_f64(self.ref_mean);
+        w.put_f64(self.ref_m2);
+        w.put_f64(self.ref_min);
+        w.put_f64(self.ref_max);
+        w.put_bool(self.frozen);
+        w.put_f64_seq(self.ring.len(), self.ring.iter().copied());
+        w.put_f64(self.finite_sum);
+        w.put_usize(self.finite_count);
+        w.put_usize(self.nan_count);
+    }
+
+    fn read_state(&mut self, r: &mut SnapReader<'_>, window: usize) -> Result<(), SnapError> {
+        let ref_count = r.get_usize()?;
+        let ref_mean = r.get_f64()?;
+        let ref_m2 = r.get_f64()?;
+        let ref_min = r.get_f64()?;
+        let ref_max = r.get_f64()?;
+        let frozen = r.get_bool()?;
+        let ring = r.get_f64_vec()?;
+        if ring.len() > window {
+            return Err(SnapError::Corrupt("quality ring larger than the window"));
+        }
+        let finite_sum = r.get_f64()?;
+        let finite_count = r.get_usize()?;
+        let nan_count = r.get_usize()?;
+        if finite_count + nan_count != ring.len() {
+            return Err(SnapError::Corrupt("quality ring counts disagree with its length"));
+        }
+        self.ref_count = ref_count;
+        self.ref_mean = ref_mean;
+        self.ref_m2 = ref_m2;
+        self.ref_min = ref_min;
+        self.ref_max = ref_max;
+        self.frozen = frozen;
+        self.ring = ring.into();
+        self.finite_sum = finite_sum;
+        self.finite_count = finite_count;
+        self.nan_count = nan_count;
+        Ok(())
+    }
+}
+
 /// One vehicle's monitor: per-channel stats plus the cadence tracker.
 #[derive(Debug, Clone)]
 pub struct QualityMonitor {
@@ -339,6 +385,75 @@ impl QualityMonitor {
             reference_frozen: self.reference_frozen(),
             records: self.records,
         }
+    }
+}
+
+// Everything outside `cfg` is evolved state: reference accumulators (the
+// freeze threshold may not be reached yet), rolling rings, and the cadence
+// tracker including its warm-up gap collection.
+impl Snapshot for QualityMonitor {
+    fn write_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.channels.len());
+        for ch in &self.channels {
+            ch.write_state(w);
+        }
+        w.put_u64(self.records);
+        w.put_opt_i64(self.last_ts);
+        w.put_usize(self.warmup_dts.len());
+        for dt in &self.warmup_dts {
+            w.put_i64(*dt);
+        }
+        w.put_opt_i64(self.median_dt);
+        w.put_usize(self.gap_ring.len());
+        for g in &self.gap_ring {
+            w.put_bool(*g);
+        }
+        w.put_usize(self.gap_count);
+    }
+}
+
+impl Restore for QualityMonitor {
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n_channels = r.get_usize()?;
+        if n_channels != self.channels.len() {
+            return Err(SnapError::Corrupt("quality monitor channel-count mismatch"));
+        }
+        let mut channels: Vec<ChannelQuality> =
+            (0..n_channels).map(|_| ChannelQuality::new()).collect();
+        for ch in &mut channels {
+            ch.read_state(r, self.cfg.window)?;
+        }
+        let records = r.get_u64()?;
+        let last_ts = r.get_opt_i64()?;
+        let n_warmup = r.get_len(8)?;
+        if n_warmup > self.cfg.reference_len {
+            return Err(SnapError::Corrupt("cadence warm-up larger than the reference"));
+        }
+        let mut warmup_dts = Vec::with_capacity(n_warmup);
+        for _ in 0..n_warmup {
+            warmup_dts.push(r.get_i64()?);
+        }
+        let median_dt = r.get_opt_i64()?;
+        let n_gaps = r.get_len(1)?;
+        if n_gaps > self.cfg.window {
+            return Err(SnapError::Corrupt("gap ring larger than the window"));
+        }
+        let mut gap_ring = VecDeque::with_capacity(n_gaps);
+        for _ in 0..n_gaps {
+            gap_ring.push_back(r.get_bool()?);
+        }
+        let gap_count = r.get_usize()?;
+        if gap_count != gap_ring.iter().filter(|g| **g).count() {
+            return Err(SnapError::Corrupt("gap count disagrees with the gap ring"));
+        }
+        self.channels = channels;
+        self.records = records;
+        self.last_ts = last_ts;
+        self.warmup_dts = warmup_dts;
+        self.median_dt = median_dt;
+        self.gap_ring = gap_ring;
+        self.gap_count = gap_count;
+        Ok(())
     }
 }
 

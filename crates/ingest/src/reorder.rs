@@ -24,6 +24,7 @@
 //! then suffer, but memory cannot grow without bound — graceful
 //! degradation over correctness-at-any-cost.
 
+use navarchos_stat::{SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// Canonical ordering key of a stream element: event time, then a rank
@@ -207,6 +208,93 @@ impl<T: Sequenced> ReorderBuffer<T> {
             self.stats.forced_releases += 1;
             self.release(item, out);
         }
+    }
+
+    /// Appends the buffer's full mutable state to a checkpoint writer.
+    /// Items are serialised through `put_item` because the element type is
+    /// the caller's (the engine wraps stream items with arrival stamps the
+    /// buffer knows nothing about). `horizon` and `capacity` are config,
+    /// not state: the restoring side reconstructs them and
+    /// [`ReorderBuffer::read_state_with`] only fills in what evolved.
+    pub fn write_state_with(
+        &self,
+        w: &mut SnapWriter,
+        mut put_item: impl FnMut(&mut SnapWriter, &T),
+    ) {
+        w.put_usize(self.buf.len());
+        for item in &self.buf {
+            put_item(w, item);
+        }
+        w.put_opt_i64(self.max_ts);
+        match self.last_released {
+            None => w.put_bool(false),
+            Some(k) => {
+                w.put_bool(true);
+                w.put_i64(k.timestamp);
+                w.put_u8(k.rank);
+            }
+        }
+        w.put_usize(self.recent.len());
+        for k in &self.recent {
+            w.put_i64(k.timestamp);
+            w.put_u8(k.rank);
+        }
+        w.put_u64(self.stats.accepted);
+        w.put_u64(self.stats.reordered);
+        w.put_u64(self.stats.duplicates);
+        w.put_u64(self.stats.late_dropped);
+        w.put_u64(self.stats.conflicts);
+        w.put_u64(self.stats.forced_releases);
+    }
+
+    /// Restores state written by [`ReorderBuffer::write_state_with`] into
+    /// a freshly constructed buffer (same horizon/capacity). Errors — and
+    /// leaves `self` untouched in an unspecified but valid state — on any
+    /// structural mismatch; never panics.
+    pub fn read_state_with(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        mut get_item: impl FnMut(&mut SnapReader<'_>) -> Result<T, SnapError>,
+    ) -> Result<(), SnapError> {
+        let n = r.get_len(1)?;
+        if n > self.capacity {
+            return Err(SnapError::Corrupt("reorder buffer larger than its capacity"));
+        }
+        let mut buf = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            buf.push_back(get_item(r)?);
+        }
+        if !buf.iter().zip(buf.iter().skip(1)).all(|(a, b)| a.key() <= b.key()) {
+            return Err(SnapError::Corrupt("reorder buffer items out of order"));
+        }
+        let max_ts = r.get_opt_i64()?;
+        let last_released = if r.get_bool()? {
+            Some(SeqKey { timestamp: r.get_i64()?, rank: r.get_u8()? })
+        } else {
+            None
+        };
+        let n_recent = r.get_len(9)?;
+        if n_recent > self.capacity {
+            return Err(SnapError::Corrupt("reorder recent-ring larger than its capacity"));
+        }
+        let mut recent = VecDeque::with_capacity(n_recent);
+        for _ in 0..n_recent {
+            recent.push_back(SeqKey { timestamp: r.get_i64()?, rank: r.get_u8()? });
+        }
+        let stats = ReorderStats {
+            accepted: r.get_u64()?,
+            reordered: r.get_u64()?,
+            duplicates: r.get_u64()?,
+            late_dropped: r.get_u64()?,
+            conflicts: r.get_u64()?,
+            forced_releases: r.get_u64()?,
+        };
+        self.buf = buf;
+        self.max_ts = max_ts;
+        self.last_released = last_released;
+        self.recent = recent;
+        self.stats = stats;
+        Ok(())
     }
 
     fn release(&mut self, item: T, out: &mut Vec<T>) {

@@ -14,7 +14,7 @@ use navarchos_core::pipeline::{replay_interleaved, Alarm};
 use navarchos_fleetsim::{
     dirty_stream, interleave_fleet, DirtyConfig, FleetConfig, FleetData, StreamItem,
 };
-use navarchos_ingest::{IngestConfig, ShardedIngest};
+use navarchos_ingest::{read_checkpoint, write_checkpoint, IngestConfig, ShardedIngest};
 
 /// The committed scenario seeds.
 const FLEET_SEED: u64 = 42;
@@ -153,4 +153,106 @@ fn beyond_horizon_straggler_never_corrupts_window_state() {
     let (got, engine) = engine_run(&fleet, salted, &cfg);
     assert_eq!(got, expected, "straggler must not change a single alarm");
     assert_eq!(engine.stats().late_dropped, 1, "straggler is counted");
+}
+
+/// Groups a flat fleet-alarm list per vehicle, preserving emission order
+/// within each vehicle (batch boundaries permute alarms only *across*
+/// vehicles, by shard emission order).
+fn group(alarms: Vec<navarchos_ingest::FleetAlarm>) -> BTreeMap<u32, Vec<Alarm>> {
+    let mut by_vehicle: BTreeMap<u32, Vec<Alarm>> = BTreeMap::new();
+    for fa in alarms {
+        by_vehicle.entry(fa.vehicle).or_default().push(fa.alarm);
+    }
+    by_vehicle
+}
+
+/// Bit-exact equality: `Alarm`'s `PartialEq` compares `f64`s by value,
+/// which conflates `0.0`/`-0.0`; the checkpoint contract is stronger.
+fn assert_bit_identical(got: &BTreeMap<u32, Vec<Alarm>>, expected: &BTreeMap<u32, Vec<Alarm>>) {
+    assert_eq!(got, expected);
+    for (v, alarms) in got {
+        for (a, b) in alarms.iter().zip(&expected[v]) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "score bits diverge on vehicle {v}");
+            assert_eq!(
+                a.threshold.to_bits(),
+                b.threshold.to_bits(),
+                "threshold bits diverge on vehicle {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_mid_replay_resumes_byte_identical_to_oracle() {
+    // The committed-seed dirty stream, wounded at three different depths:
+    // early (reference windows still filling), midway, and late (most
+    // alarms already emitted). Each wound: checkpoint → fresh engine →
+    // restore → feed the remainder. Total alarms must equal the sorted-
+    // replay oracle bit for bit, and cumulative counters must match the
+    // uninterrupted engine's.
+    let fleet = fleet();
+    let clean = interleave_fleet(&fleet);
+    let dirty = dirty_stream(&clean, &DirtyConfig::reorder_and_dup(DIRT_SEED));
+    let cfg = IngestConfig::paper_default(3);
+    let expected = oracle(&fleet, &cfg);
+    let (_, uninterrupted) = engine_run(&fleet, dirty.clone(), &cfg);
+    let names = fleet.vehicles[0].frame.names().to_vec();
+
+    for cut in [dirty.len() / 8, dirty.len() / 2, dirty.len() * 7 / 8] {
+        let mut first = ShardedIngest::new(&names, cfg.clone());
+        let prior = first.ingest_batch(dirty[..cut].to_vec());
+        let bytes = write_checkpoint(&first, cut as u64, &prior);
+        drop(first);
+
+        let restored =
+            read_checkpoint(&names, cfg.clone(), &bytes).expect("golden checkpoint restores");
+        assert_eq!(restored.cursor, cut as u64);
+        let mut engine = restored.engine;
+        let mut alarms = restored.prior_alarms;
+        alarms.extend(engine.ingest_batch(dirty[cut..].to_vec()));
+        alarms.extend(engine.finish());
+
+        assert_bit_identical(&group(alarms), &expected);
+        assert_eq!(engine.stats(), uninterrupted.stats(), "counters must survive the cut at {cut}");
+    }
+}
+
+#[test]
+fn migration_under_load_loses_and_duplicates_no_alarms() {
+    // Mid-stream, migrate half the fleet to different shards — drain,
+    // snapshot, reroute, restore, exactly the checkpoint codec applied
+    // between shards — then keep feeding. Alarms must still equal the
+    // oracle bit for bit: nothing lost, nothing duplicated, in-flight
+    // reorder-buffer items carried across un-flushed.
+    let fleet = fleet();
+    let clean = interleave_fleet(&fleet);
+    let dirty = dirty_stream(&clean, &DirtyConfig::reorder_and_dup(DIRT_SEED));
+    let cfg = IngestConfig::paper_default(4);
+    let expected = oracle(&fleet, &cfg);
+    let names = fleet.vehicles[0].frame.names().to_vec();
+
+    let mut engine = ShardedIngest::new(&names, cfg.clone());
+    let cut = dirty.len() / 2;
+    let mut alarms = engine.ingest_batch(dirty[..cut].to_vec());
+
+    let movers: Vec<u32> = fleet.vehicles.iter().map(|vd| vd.id.0).filter(|v| v % 2 == 0).collect();
+    assert!(!movers.is_empty(), "the committed fleet must contain even-id vehicles");
+    for &v in &movers {
+        let home = engine.shard_of(v);
+        let target = (home + 1) % 4;
+        assert!(engine.migrate_vehicle(v, target), "migration must move an off-home vehicle");
+        assert_eq!(engine.shard_of(v), target, "routing override must take effect");
+    }
+    let migration = engine.migration_stats();
+    assert_eq!(migration.moves, movers.len() as u64, "ingest.migration.moves counts every move");
+    assert!(
+        migration.inflight_items > 0,
+        "mid-stream migration must carry in-flight reorder-buffer items \
+         (ingest.migration.inflight_items)"
+    );
+
+    alarms.extend(engine.ingest_batch(dirty[cut..].to_vec()));
+    alarms.extend(engine.finish());
+    assert_bit_identical(&group(alarms), &expected);
+    assert_eq!(engine.stats().dead_letter, 0, "migration must not dead-letter anything");
 }

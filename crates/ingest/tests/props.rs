@@ -202,6 +202,120 @@ proptest! {
     }
 }
 
+// ---- ReorderBuffer checkpoint round-trip (xtask L4 kernel) --------------
+
+proptest! {
+    /// Checkpoint contract for the [`ReorderBuffer`]: cut the arrival
+    /// sequence anywhere — including with items still in flight — snapshot
+    /// through the item-codec closures, restore into a fresh buffer, and
+    /// the remainder of the stream releases **identically**: same released
+    /// items, same final stats, byte-identical re-snapshot.
+    #[test]
+    fn reorder_buffer_snapshot_round_trip_is_release_identical(
+        n in 10usize..80,
+        jitters in prop::collection::vec(0i64..HORIZON, 80),
+        dup_jitters in prop::collection::vec(0i64..HORIZON, 80),
+        dup_marks in prop::collection::vec(0u8..100, 80),
+        cut_sel in 0usize..1_000_000,
+    ) {
+        use navarchos_stat::{SnapReader, SnapWriter};
+
+        let clean: Vec<Item> =
+            (0..n).map(|i| Item { ts: i as i64 * STEP, payload: i as u64 }).collect();
+        let (arrivals, _) = arrival_order(&clean, &jitters, &dup_jitters, &dup_marks);
+        let cut = cut_sel % (arrivals.len() + 1);
+
+        let write_item = |w: &mut SnapWriter, it: &Item| {
+            w.put_i64(it.ts);
+            w.put_u64(it.payload);
+        };
+        let read_item = |r: &mut SnapReader<'_>| {
+            Ok(Item { ts: r.get_i64()?, payload: r.get_u64()? })
+        };
+
+        let mut live = ReorderBuffer::new(HORIZON, 128);
+        let mut live_out = Vec::new();
+        for a in &arrivals[..cut] {
+            live.push(a.clone(), &mut live_out);
+        }
+
+        let mut w = SnapWriter::new();
+        live.write_state_with(&mut w, write_item);
+        let bytes = w.into_bytes();
+        let mut restored: ReorderBuffer<Item> = ReorderBuffer::new(HORIZON, 128);
+        let mut r = SnapReader::new(&bytes);
+        restored.read_state_with(&mut r, read_item).expect("buffer snapshot must restore");
+        r.finish().expect("buffer snapshot must have no trailing bytes");
+
+        let mut restored_out = Vec::new();
+        for a in &arrivals[cut..] {
+            prop_assert_eq!(
+                live.push(a.clone(), &mut live_out),
+                restored.push(a.clone(), &mut restored_out),
+                "push outcome diverged after restore"
+            );
+        }
+        live.flush_into(&mut live_out);
+        restored.flush_into(&mut restored_out);
+        prop_assert_eq!(&live_out[..], &clean[..], "the wounded run still releases sorted");
+        // The restored buffer's releases are the tail of the full run.
+        prop_assert_eq!(
+            &restored_out[..],
+            &live_out[live_out.len() - restored_out.len()..],
+            "restored buffer must release the same tail"
+        );
+        // Stats ride in the snapshot, so after the shared remainder the
+        // two buffers' counters are identical, not merely consistent.
+        prop_assert_eq!(live.stats(), restored.stats());
+    }
+
+    /// Buffer snapshots with broken invariants — out-of-order in-flight
+    /// items, lengths beyond capacity — are refused, never trusted.
+    #[test]
+    fn reorder_buffer_rejects_malformed_snapshots(
+        n in 2usize..40,
+        trunc_sel in 0usize..1_000_000,
+    ) {
+        use navarchos_stat::{SnapReader, SnapWriter};
+
+        let write_item = |w: &mut SnapWriter, it: &Item| {
+            w.put_i64(it.ts);
+            w.put_u64(it.payload);
+        };
+        let read_item = |r: &mut SnapReader<'_>| {
+            Ok(Item { ts: r.get_i64()?, payload: r.get_u64()? })
+        };
+
+        let mut buffer = ReorderBuffer::new(HORIZON, 128);
+        let mut out = Vec::new();
+        for i in 0..n {
+            buffer.push(Item { ts: i as i64 * STEP, payload: i as u64 }, &mut out);
+        }
+        let mut w = SnapWriter::new();
+        buffer.write_state_with(&mut w, write_item);
+        let bytes = w.into_bytes();
+
+        // Any truncation is an error, never a panic.
+        let trunc_at = trunc_sel % bytes.len();
+        let mut fresh: ReorderBuffer<Item> = ReorderBuffer::new(HORIZON, 128);
+        let mut r = SnapReader::new(&bytes[..trunc_at]);
+        prop_assert!(
+            fresh.read_state_with(&mut r, read_item).and_then(|()| r.finish()).is_err(),
+            "a truncated buffer snapshot must be refused"
+        );
+
+        // A capacity smaller than the in-flight count is a refusal too.
+        let mut tiny: ReorderBuffer<Item> = ReorderBuffer::new(HORIZON, 1);
+        let mut r = SnapReader::new(&bytes);
+        if buffer.len() > 1 {
+            prop_assert!(
+                tiny.read_state_with(&mut r, read_item).is_err(),
+                "in-flight items beyond capacity must be refused"
+            );
+        }
+    }
+}
+
 // ---- health state machine (ops plane) ----------------------------------
 
 proptest! {

@@ -197,6 +197,30 @@ impl RunningStats {
     }
 }
 
+impl crate::snapshot::Snapshot for RunningStats {
+    fn write_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_u64(self.n);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+}
+
+impl crate::snapshot::Restore for RunningStats {
+    fn read_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        self.n = r.get_u64()?;
+        self.mean = r.get_f64()?;
+        self.m2 = r.get_f64()?;
+        self.min = r.get_f64()?;
+        self.max = r.get_f64()?;
+        Ok(())
+    }
+}
+
 /// Z-score of `x` with respect to a reference `mean` and `std`.
 ///
 /// A zero or non-finite `std` yields 0 when `x == mean` and ±`f64::INFINITY`

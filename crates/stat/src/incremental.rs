@@ -23,6 +23,8 @@
 
 use std::collections::VecDeque;
 
+use crate::snapshot::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// Minimum eviction count between two rebuilds, so near-empty windows do
 /// not rebuild on every eviction.
 const MIN_REBUILD_PERIOD: usize = 16;
@@ -171,6 +173,91 @@ impl IncrementalMean {
         self.pivot.fill(0.0);
         self.sum.fill(0.0);
         self.evictions = 0;
+    }
+}
+
+// The accumulators are serialised verbatim — rows, pivot, sums and the
+// eviction counter — rather than rebuilt from the rows on restore. A
+// rebuild would re-pivot at the current front row, changing the residues
+// carried in `sum`, and the eviction counter schedules the *next* rebuild;
+// either difference can flip low-order bits of a downstream score, which
+// the checkpoint contract (byte-identical alarms) forbids.
+impl Snapshot for IncrementalMean {
+    fn write_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.width);
+        w.put_f64_seq(self.rows.len(), self.rows.iter().copied());
+        w.put_f64_slice(&self.pivot);
+        w.put_f64_slice(&self.sum);
+        w.put_usize(self.evictions);
+    }
+}
+
+impl Restore for IncrementalMean {
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let width = r.get_usize()?;
+        if width != self.width {
+            return Err(SnapError::Corrupt("IncrementalMean width mismatch"));
+        }
+        let rows = r.get_f64_vec()?;
+        let pivot = r.get_f64_vec()?;
+        let sum = r.get_f64_vec()?;
+        let evictions = r.get_usize()?;
+        if rows.len() % width != 0 || pivot.len() != width || sum.len() != width {
+            return Err(SnapError::Corrupt("IncrementalMean state shape mismatch"));
+        }
+        self.rows.clear();
+        self.rows.extend(rows);
+        self.pivot = pivot;
+        self.sum = sum;
+        self.evictions = evictions;
+        Ok(())
+    }
+}
+
+impl Snapshot for IncrementalPearson {
+    fn write_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.n_signals);
+        w.put_f64_seq(self.rows.len(), self.rows.iter().copied());
+        w.put_f64_slice(&self.pivot);
+        w.put_f64_slice(&self.sum);
+        w.put_f64_slice(&self.sum_sq);
+        w.put_f64_slice(&self.sum_xy);
+        w.put_f64_slice(&self.energy);
+        w.put_usize(self.evictions);
+    }
+}
+
+impl Restore for IncrementalPearson {
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n_signals = r.get_usize()?;
+        if n_signals != self.n_signals {
+            return Err(SnapError::Corrupt("IncrementalPearson width mismatch"));
+        }
+        let rows = r.get_f64_vec()?;
+        let pivot = r.get_f64_vec()?;
+        let sum = r.get_f64_vec()?;
+        let sum_sq = r.get_f64_vec()?;
+        let sum_xy = r.get_f64_vec()?;
+        let energy = r.get_f64_vec()?;
+        let evictions = r.get_usize()?;
+        if rows.len() % n_signals != 0
+            || pivot.len() != n_signals
+            || sum.len() != n_signals
+            || sum_sq.len() != n_signals
+            || energy.len() != n_signals
+            || sum_xy.len() != self.n_pairs
+        {
+            return Err(SnapError::Corrupt("IncrementalPearson state shape mismatch"));
+        }
+        self.rows.clear();
+        self.rows.extend(rows);
+        self.pivot = pivot;
+        self.sum = sum;
+        self.sum_sq = sum_sq;
+        self.sum_xy = sum_xy;
+        self.energy = energy;
+        self.evictions = evictions;
+        Ok(())
     }
 }
 

@@ -22,6 +22,9 @@
 //!   chart) for the concept-drift monitoring extension: catching the
 //!   *unrecorded* baseline shifts the paper's discussion section blames
 //!   for most of the task's difficulty.
+//! * [`snapshot`] — the framed-binary checkpoint codec and the
+//!   [`Snapshot`]/[`Restore`] traits every stateful kernel implements so
+//!   serving processes can checkpoint and resume byte-identically.
 
 pub mod correlation;
 pub mod descriptive;
@@ -30,6 +33,7 @@ pub mod drift;
 pub mod incremental;
 pub mod martingale;
 pub mod ranking;
+pub mod snapshot;
 pub mod special;
 
 pub use correlation::{pearson, spearman, CorrelationPairs};
@@ -41,3 +45,4 @@ pub use martingale::{conformal_pvalue, PowerMartingale};
 pub use ranking::{
     average_ranks, friedman_test, holm_correction, wilcoxon_signed_rank, RankAnalysis,
 };
+pub use snapshot::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};

@@ -125,6 +125,40 @@ impl Default for PowerMartingale {
     }
 }
 
+// epsilon / window / log_saturation are configuration (rebuilt by the
+// restoring side); log_m and the windowed increment history are the
+// streaming state.
+impl crate::snapshot::Snapshot for PowerMartingale {
+    fn write_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_f64(self.log_m);
+        w.put_f64_slice(&self.history);
+    }
+}
+
+impl crate::snapshot::Restore for PowerMartingale {
+    fn read_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        let log_m = r.get_f64()?;
+        let history = r.get_f64_vec()?;
+        if let Some(w) = self.window {
+            if history.len() > w {
+                return Err(crate::snapshot::SnapError::Corrupt(
+                    "PowerMartingale history exceeds window",
+                ));
+            }
+        } else if !history.is_empty() {
+            return Err(crate::snapshot::SnapError::Corrupt(
+                "PowerMartingale history without a window",
+            ));
+        }
+        self.log_m = log_m;
+        self.history = history;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

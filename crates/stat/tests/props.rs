@@ -6,7 +6,9 @@ use navarchos_stat::dist::{chi_squared_cdf, normal_cdf, normal_quantile};
 use navarchos_stat::drift::{Cusum, EwmaChart, PageHinkley};
 use navarchos_stat::martingale::{conformal_pvalue, PowerMartingale};
 use navarchos_stat::ranking::{average_ranks, holm_correction, wilcoxon_signed_rank};
-use navarchos_stat::{IncrementalMean, IncrementalPearson};
+use navarchos_stat::{
+    IncrementalMean, IncrementalPearson, Restore, SnapReader, SnapWriter, Snapshot,
+};
 use proptest::prelude::*;
 
 fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
@@ -282,6 +284,123 @@ proptest! {
                 prop_assert!((got - want).abs() <= 1e-9, "signal {c} at {i}: {got} vs {want}");
             }
         }
+    }
+}
+
+/// Snapshot → fresh kernel → restore; returns the restored kernel. Also
+/// asserts the reader consumed the bytes exactly.
+fn round_trip<K: Snapshot + Restore>(live: &K, mut fresh: K) -> K {
+    let mut w = SnapWriter::new();
+    live.write_state(&mut w);
+    let bytes = w.into_bytes();
+    let mut r = SnapReader::new(&bytes);
+    fresh.read_state(&mut r).expect("kernel snapshot must restore into a same-shape kernel");
+    r.finish().expect("kernel snapshot must have no trailing bytes");
+    fresh
+}
+
+fn snapshot_bytes<K: Snapshot>(k: &K) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    k.write_state(&mut w);
+    w.into_bytes()
+}
+
+proptest! {
+    /// Checkpoint contract for the [`IncrementalPearson`] kernel: cut the
+    /// stream anywhere, round-trip the accumulator through its snapshot,
+    /// and the restored kernel's outputs stay **bit-identical** to the
+    /// uninterrupted one on the whole remainder — and re-snapshots stay
+    /// byte-identical, so nothing was silently rebuilt.
+    #[test]
+    fn incremental_pearson_snapshot_round_trip_is_bit_exact(
+        (rows, width, window) in row_stream(),
+        cut in 0usize..80,
+    ) {
+        let cut = cut.min(rows.len());
+        let mut live = IncrementalPearson::new(width);
+        for row in &rows[..cut] {
+            if live.len() == window {
+                live.pop_front();
+            }
+            live.push(row);
+        }
+        let mut restored = round_trip(&live, IncrementalPearson::new(width));
+        let mut a = vec![0.0; live.n_pairs()];
+        let mut b = vec![0.0; live.n_pairs()];
+        for row in &rows[cut..] {
+            if live.len() == window {
+                live.pop_front();
+            }
+            live.push(row);
+            if restored.len() == window {
+                restored.pop_front();
+            }
+            restored.push(row);
+            live.corr_into(&mut a);
+            restored.corr_into(&mut b);
+            for (&x, &y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+            }
+        }
+        prop_assert_eq!(snapshot_bytes(&live), snapshot_bytes(&restored));
+    }
+
+    /// Same contract for [`IncrementalMean`].
+    #[test]
+    fn incremental_mean_snapshot_round_trip_is_bit_exact(
+        (rows, width, window) in row_stream(),
+        cut in 0usize..80,
+    ) {
+        let cut = cut.min(rows.len());
+        let mut live = IncrementalMean::new(width);
+        for row in &rows[..cut] {
+            if live.len() == window {
+                live.pop_front();
+            }
+            live.push(row);
+        }
+        let mut restored = round_trip(&live, IncrementalMean::new(width));
+        let mut a = vec![0.0; width];
+        let mut b = vec![0.0; width];
+        for row in &rows[cut..] {
+            if live.len() == window {
+                live.pop_front();
+            }
+            live.push(row);
+            if restored.len() == window {
+                restored.pop_front();
+            }
+            restored.push(row);
+            live.means_into(&mut a);
+            restored.means_into(&mut b);
+            for (&x, &y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+            }
+        }
+        prop_assert_eq!(snapshot_bytes(&live), snapshot_bytes(&restored));
+    }
+
+    /// Truncated kernel snapshots are an error, never a panic.
+    #[test]
+    fn kernel_snapshot_truncation_is_an_error(
+        (rows, width, window) in row_stream(),
+        trunc_sel in 0usize..1_000_000,
+    ) {
+        let mut live = IncrementalPearson::new(width);
+        for row in &rows {
+            if live.len() == window {
+                live.pop_front();
+            }
+            live.push(row);
+        }
+        let bytes = snapshot_bytes(&live);
+        let trunc_at = trunc_sel % bytes.len();
+        let mut fresh = IncrementalPearson::new(width);
+        let mut r = SnapReader::new(&bytes[..trunc_at]);
+        prop_assert!(
+            fresh.read_state(&mut r).and_then(|()| r.finish()).is_err(),
+            "a truncated kernel snapshot must be refused"
+        );
     }
 }
 

@@ -5,6 +5,58 @@
 
 use crate::transform::Transform;
 use navarchos_dsp::{band_energies, spectral_centroid, Histogram};
+use navarchos_stat::snapshot::{SnapError, SnapReader, SnapWriter};
+
+/// Shared window-buffer state codec for the extended transformations
+/// (both buffer raw columns + timestamps with an emission cadence).
+fn write_buffer_state(
+    w: &mut SnapWriter,
+    cols: &[Vec<f64>],
+    times: &[i64],
+    since_emit: usize,
+    full_once: bool,
+) {
+    w.put_usize(cols.len());
+    for c in cols {
+        w.put_f64_slice(c);
+    }
+    w.put_usize(times.len());
+    for &t in times {
+        w.put_i64(t);
+    }
+    w.put_usize(since_emit);
+    w.put_bool(full_once);
+}
+
+// The tuple mirrors the four buffer fields the two callers restore in
+// place; a named struct would outlive its single use.
+#[allow(clippy::type_complexity)]
+fn read_buffer_state(
+    r: &mut SnapReader<'_>,
+    n_cols: usize,
+    window: usize,
+) -> Result<(Vec<Vec<f64>>, Vec<i64>, usize, bool), SnapError> {
+    let nc = r.get_len(8)?;
+    if nc != n_cols {
+        return Err(SnapError::Corrupt("window buffer column count mismatch"));
+    }
+    let mut cols = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        let c = r.get_f64_vec()?;
+        if c.len() > window {
+            return Err(SnapError::Corrupt("window buffer column exceeds window"));
+        }
+        cols.push(c);
+    }
+    let nt = r.get_len(8)?;
+    let mut times = Vec::with_capacity(nt);
+    for _ in 0..nt {
+        times.push(r.get_i64()?);
+    }
+    let since_emit = r.get_usize()?;
+    let full_once = r.get_bool()?;
+    Ok((cols, times, since_emit, full_once))
+}
 
 /// Frequency-domain transformation: per signal, the normalised energies of
 /// `n_bands` spectral bands plus the spectral centroid of the window —
@@ -113,6 +165,20 @@ impl Transform for SpectralTransform {
         self.times.clear();
         self.since_emit = 0;
         self.full_once = false;
+    }
+
+    fn write_state(&self, w: &mut SnapWriter) {
+        write_buffer_state(w, &self.cols, &self.times, self.since_emit, self.full_once);
+    }
+
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let (cols, times, since_emit, full_once) =
+            read_buffer_state(r, self.names.len(), self.window)?;
+        self.cols = cols;
+        self.times = times;
+        self.since_emit = since_emit;
+        self.full_once = full_once;
+        Ok(())
     }
 }
 
@@ -237,6 +303,20 @@ impl Transform for HistogramTransform {
         self.times.clear();
         self.since_emit = 0;
         self.full_once = false;
+    }
+
+    fn write_state(&self, w: &mut SnapWriter) {
+        write_buffer_state(w, &self.cols, &self.times, self.since_emit, self.full_once);
+    }
+
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let (cols, times, since_emit, full_once) =
+            read_buffer_state(r, self.names.len(), self.window)?;
+        self.cols = cols;
+        self.times = times;
+        self.since_emit = since_emit;
+        self.full_once = full_once;
+        Ok(())
     }
 }
 

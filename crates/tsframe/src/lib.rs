@@ -34,4 +34,5 @@ pub use resample::{resample, FillMethod, ResampleSpec};
 pub use rolling::{rolling_mean, rolling_std, RollingExtrema, RollingStats};
 pub use transform::{
     CorrelationTransform, DeltaTransform, MeanTransform, RawTransform, Transform, TransformKind,
+    WindowCadence,
 };

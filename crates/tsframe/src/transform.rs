@@ -13,6 +13,7 @@
 
 use crate::frame::Frame;
 use navarchos_stat::correlation::CorrelationPairs;
+use navarchos_stat::snapshot::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use navarchos_stat::{IncrementalMean, IncrementalPearson};
 use std::collections::VecDeque;
 
@@ -54,6 +55,22 @@ pub trait Transform: std::fmt::Debug + Send {
 
     /// Clears all buffered state (used when the reference profile resets).
     fn reset(&mut self);
+
+    /// Appends the transform's mutable streaming state to a checkpoint
+    /// writer. The default writes nothing — correct for stateless
+    /// transforms ([`RawTransform`]); every stateful transform overrides
+    /// both this and [`Transform::read_state`] so a restored pipeline
+    /// resumes byte-identically.
+    fn write_state(&self, w: &mut SnapWriter) {
+        let _ = w;
+    }
+
+    /// Overwrites the transform's mutable streaming state from a
+    /// checkpoint reader (counterpart of [`Transform::write_state`]).
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let _ = r;
+        Ok(())
+    }
 
     /// Applies the transformation to a whole frame, returning the
     /// transformed frame. The streaming state is reset before and after.
@@ -252,14 +269,34 @@ impl Transform for DeltaTransform {
         self.prev_t = None;
         self.prev.clear();
     }
+
+    fn write_state(&self, w: &mut SnapWriter) {
+        w.put_opt_i64(self.prev_t);
+        w.put_f64_slice(&self.prev);
+    }
+
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let prev_t = r.get_opt_i64()?;
+        let prev = r.get_f64_vec()?;
+        if !prev.is_empty() && prev.len() != self.names.len() {
+            return Err(SnapError::Corrupt("DeltaTransform prev width mismatch"));
+        }
+        self.prev_t = prev_t;
+        self.prev = prev;
+        Ok(())
+    }
 }
 
 /// Emission cadence shared by the windowed transformations: tracks how
 /// many records are buffered, when the window first fills, and the stride
 /// between emissions. Holds no sample storage — the incremental kernels
 /// own the window contents.
+///
+/// Public because the checkpoint subsystem treats it as a first-class
+/// stateful kernel (xtask L4 registry): its mutable state round-trips
+/// through [`Snapshot`]/[`Restore`] alongside the incremental kernels.
 #[derive(Debug, Clone)]
-struct WindowCadence {
+pub struct WindowCadence {
     window: usize,
     stride: usize,
     /// Maximum gap between consecutive records (seconds); a larger gap
@@ -280,7 +317,12 @@ impl WindowCadence {
     /// an overnight gap starts a fresh window.
     const DEFAULT_MAX_GAP: i64 = 6 * 3600;
 
-    fn new(window: usize, stride: usize) -> Self {
+    /// Creates the cadence for the given window length and stride
+    /// (both in records).
+    ///
+    /// # Panics
+    /// Panics if `window < 2` or `stride < 1`.
+    pub fn new(window: usize, stride: usize) -> Self {
         assert!(window >= 2, "window must hold at least 2 records");
         assert!(stride >= 1, "stride must be at least 1");
         WindowCadence {
@@ -296,14 +338,24 @@ impl WindowCadence {
 
     /// Whether the window is at capacity (the caller must evict one
     /// record before pushing the next).
-    fn full(&self) -> bool {
+    pub fn full(&self) -> bool {
         self.len == self.window
+    }
+
+    /// Records currently counted in the window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no records are counted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 
     /// Registers a record at time `t`. Returns true when the gap since the
     /// previous record exceeds `max_gap`, in which case the cadence has
     /// been reset and the caller must clear its kernel state too.
-    fn gap_reset(&mut self, t: i64) -> bool {
+    pub fn gap_reset(&mut self, t: i64) -> bool {
         let stale = matches!(self.last_t, Some(last) if t - last > self.max_gap);
         if stale {
             self.reset();
@@ -314,7 +366,7 @@ impl WindowCadence {
 
     /// Notes that one record entered the window (after any eviction);
     /// returns true when a transformed sample should be emitted.
-    fn note_push(&mut self) -> bool {
+    pub fn note_push(&mut self) -> bool {
         if self.len < self.window {
             self.len += 1;
         }
@@ -336,11 +388,38 @@ impl WindowCadence {
         }
     }
 
-    fn reset(&mut self) {
+    /// Clears the cadence back to an empty window.
+    pub fn reset(&mut self) {
         self.last_t = None;
         self.len = 0;
         self.since_emit = 0;
         self.full_once = false;
+    }
+}
+
+impl Snapshot for WindowCadence {
+    fn write_state(&self, w: &mut SnapWriter) {
+        w.put_opt_i64(self.last_t);
+        w.put_usize(self.len);
+        w.put_usize(self.since_emit);
+        w.put_bool(self.full_once);
+    }
+}
+
+impl Restore for WindowCadence {
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let last_t = r.get_opt_i64()?;
+        let len = r.get_usize()?;
+        let since_emit = r.get_usize()?;
+        let full_once = r.get_bool()?;
+        if len > self.window {
+            return Err(SnapError::Corrupt("WindowCadence len exceeds window"));
+        }
+        self.last_t = last_t;
+        self.len = len;
+        self.since_emit = since_emit;
+        self.full_once = full_once;
+        Ok(())
     }
 }
 
@@ -395,6 +474,16 @@ impl Transform for MeanTransform {
     fn reset(&mut self) {
         self.cadence.reset();
         self.kernel.reset();
+    }
+
+    fn write_state(&self, w: &mut SnapWriter) {
+        self.cadence.write_state(w);
+        self.kernel.write_state(w);
+    }
+
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cadence.read_state(r)?;
+        self.kernel.read_state(r)
     }
 }
 
@@ -566,6 +655,36 @@ impl Transform for CorrelationTransform {
         self.diff_flags.clear();
         self.prev_t = None;
         self.prev_row.clear();
+    }
+
+    fn write_state(&self, w: &mut SnapWriter) {
+        self.cadence.write_state(w);
+        self.kernel.write_state(w);
+        w.put_opt_i64(self.prev_t);
+        w.put_f64_slice(&self.prev_row);
+        w.put_usize(self.diff_flags.len());
+        for &f in &self.diff_flags {
+            w.put_bool(f);
+        }
+    }
+
+    fn read_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cadence.read_state(r)?;
+        self.kernel.read_state(r)?;
+        let prev_t = r.get_opt_i64()?;
+        let prev_row = r.get_f64_vec()?;
+        if !prev_row.is_empty() && prev_row.len() != self.pairs.n_signals() {
+            return Err(SnapError::Corrupt("CorrelationTransform prev_row width mismatch"));
+        }
+        let n_flags = r.get_len(1)?;
+        let mut flags = VecDeque::with_capacity(n_flags);
+        for _ in 0..n_flags {
+            flags.push_back(r.get_bool()?);
+        }
+        self.prev_t = prev_t;
+        self.prev_row = prev_row;
+        self.diff_flags = flags;
+        Ok(())
     }
 }
 

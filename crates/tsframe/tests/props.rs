@@ -299,3 +299,78 @@ proptest! {
         }
     }
 }
+
+// ---- WindowCadence checkpoint round-trip (xtask L4 kernel) --------------
+
+use navarchos_stat::{Restore, SnapReader, SnapWriter, Snapshot};
+use navarchos_tsframe::WindowCadence;
+
+proptest! {
+    /// Checkpoint contract for [`WindowCadence`]: cut the record sequence
+    /// anywhere, round-trip the cadence through its snapshot, and the
+    /// restored cadence makes **identical** gap-reset and emission
+    /// decisions on the whole remainder — and re-snapshots stay
+    /// byte-identical. The drawn inter-record gaps straddle the 6-hour
+    /// ride boundary so both the reset and the no-reset paths are hit.
+    #[test]
+    fn window_cadence_snapshot_round_trip_is_decision_identical(
+        gaps in prop::collection::vec(1i64..30_000, 4..120),
+        window in 2usize..12,
+        stride in 1usize..5,
+        cut in 0usize..120,
+    ) {
+        let cut = cut.min(gaps.len());
+        let mut ts = Vec::with_capacity(gaps.len());
+        let mut t = 0i64;
+        for &g in &gaps {
+            t += g;
+            ts.push(t);
+        }
+
+        let mut live = WindowCadence::new(window, stride);
+        for &t in &ts[..cut] {
+            let _ = live.gap_reset(t);
+            let _ = live.note_push();
+        }
+
+        let mut w = SnapWriter::new();
+        live.write_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = WindowCadence::new(window, stride);
+        let mut r = SnapReader::new(&bytes);
+        restored.read_state(&mut r).expect("cadence snapshot must restore");
+        r.finish().expect("cadence snapshot must have no trailing bytes");
+        prop_assert_eq!(restored.len(), live.len());
+        prop_assert_eq!(restored.full(), live.full());
+
+        for &t in &ts[cut..] {
+            prop_assert_eq!(restored.gap_reset(t), live.gap_reset(t), "gap decision diverged");
+            prop_assert_eq!(restored.note_push(), live.note_push(), "emission decision diverged");
+            prop_assert_eq!(restored.len(), live.len());
+        }
+
+        let mut wa = SnapWriter::new();
+        live.write_state(&mut wa);
+        let mut wb = SnapWriter::new();
+        restored.write_state(&mut wb);
+        prop_assert_eq!(wa.into_bytes(), wb.into_bytes(), "re-snapshot must be byte-identical");
+    }
+
+    /// A cadence snapshot claiming more buffered records than the window
+    /// holds is refused — the validator, not the caller, guards the
+    /// invariant.
+    #[test]
+    fn window_cadence_overfull_snapshot_is_refused(window in 2usize..12, stride in 1usize..5) {
+        let mut big = WindowCadence::new(window + 1, stride);
+        for i in 0..=window {
+            let _ = big.gap_reset(i as i64 * 60);
+            let _ = big.note_push();
+        }
+        let mut w = SnapWriter::new();
+        big.write_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut small = WindowCadence::new(window, stride);
+        let mut r = SnapReader::new(&bytes);
+        prop_assert!(small.read_state(&mut r).is_err(), "len > window must be corrupt");
+    }
+}

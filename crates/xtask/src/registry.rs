@@ -34,6 +34,12 @@ const KERNELS: &[(&str, &str, &str, &str)] = &[
         "crates/bench/benches/transforms.rs",
     ),
     (
+        "WindowCadence",
+        "crates/tsframe/src/transform.rs",
+        "crates/tsframe/tests/props.rs",
+        "crates/bench/benches/transforms.rs",
+    ),
+    (
         "par_map",
         "crates/core/src/par.rs",
         "crates/core/tests/props.rs",

@@ -24,6 +24,30 @@ cargo build --workspace --release
 step "cargo test --workspace -q"
 cargo test --workspace -q
 
+step "checkpoint/restore smoke (serve-replay --checkpoint-every / --restore)"
+CK_DIR="$(mktemp -d)"
+trap 'rm -rf "$CK_DIR"' EXIT
+./target/release/navarchos serve-replay \
+  --vehicles 10 --days 15 --seed 7 --shards 2 --dirty 99 \
+  --checkpoint-every 3000 --checkpoint "$CK_DIR/ck.bin" --verify > /dev/null
+test -s "$CK_DIR/ck.bin"
+./target/release/navarchos serve-replay \
+  --vehicles 10 --days 15 --seed 7 --shards 2 --dirty 99 \
+  --restore "$CK_DIR/ck.bin" --verify > /dev/null
+# A version-skewed checkpoint must be refused with the named error.
+printf '\x09' | dd of="$CK_DIR/ck.bin" bs=1 seek=28 count=1 conv=notrunc 2> /dev/null
+if ./target/release/navarchos serve-replay \
+     --vehicles 10 --days 15 --seed 7 --shards 2 --dirty 99 \
+     --restore "$CK_DIR/ck.bin" > /dev/null 2> "$CK_DIR/err.txt"; then
+  echo "error: restoring a version-9 checkpoint exited 0" >&2
+  exit 1
+fi
+grep -q 'snapshot version mismatch' "$CK_DIR/err.txt" || {
+  echo "error: missing the named version-mismatch error:" >&2
+  cat "$CK_DIR/err.txt" >&2
+  exit 1
+}
+
 step "cargo run -p xtask -- lint"
 cargo run -p xtask -- lint
 
